@@ -1,0 +1,1 @@
+"""Benchmark suite (pytest-benchmark): one module per paper table."""

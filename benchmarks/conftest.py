@@ -1,0 +1,37 @@
+"""Shared workloads for the benchmark suite.
+
+Benchmarks regenerate the paper's tables at machine scale: the pair
+count is reduced from the paper's 32768 so a single benchmark iteration
+stays in the ~100 ms range, but the *shape* claims (who wins, by what
+factor) are asserted in the experiment harness and tests, not here —
+benchmarks measure, they do not judge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.swa.scoring import ScoringScheme
+from repro.workloads.datasets import paper_workload
+
+#: The paper's scoring parameters (Table II).
+SCHEME = ScoringScheme(match_score=2, mismatch_penalty=1, gap_penalty=1)
+
+#: Scaled-down stand-in for the paper's 32K pairs.
+BENCH_PAIRS = 2048
+
+#: Pattern length (the paper fixes m = 128).
+BENCH_M = 128
+
+
+@pytest.fixture(scope="session")
+def bench_batch():
+    """One shared workload: 2048 pairs, m = 128, n = 512."""
+    return paper_workload(512, pairs=BENCH_PAIRS, m=BENCH_M, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_batch():
+    """Small workload for per-call micro-benchmarks."""
+    return paper_workload(128, pairs=256, m=32, seed=43)

@@ -1,0 +1,52 @@
+"""Benchmarks for the simulated GPU pipeline and the §II string matcher.
+
+The SIMT simulator executes real per-thread programs, so its wall-clock
+is simulation cost, not device time — these benches track the
+simulator's own performance (regressions here make the Figure 2 /
+kernel tests slow) and the BPBC string-matching kernel of §II.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import encode_batch_bit_transposed
+from repro.core.string_matching import bpbc_string_matching
+from repro.kernels.pipeline import run_gpu_pipeline
+from repro.workloads.datasets import paper_workload
+
+from .conftest import SCHEME
+
+
+@pytest.mark.benchmark(group="gpusim-pipeline")
+@pytest.mark.parametrize("word_bits", [32, 64])
+def test_simulated_pipeline(benchmark, word_bits):
+    batch = paper_workload(24, pairs=word_bits, m=8, seed=11)
+    scores, _ = benchmark(run_gpu_pipeline, batch.X, batch.Y, SCHEME,
+                          word_bits)
+    assert scores.shape == (word_bits,)
+
+
+@pytest.mark.benchmark(group="section2-stringmatch")
+def test_bpbc_string_matching(benchmark):
+    rng = np.random.default_rng(12)
+    P, m, n = 4096, 8, 256
+    X = rng.integers(0, 4, (P, m), dtype=np.uint8)
+    Y = rng.integers(0, 4, (P, n), dtype=np.uint8)
+    XH, XL = encode_batch_bit_transposed(X, 64)
+    YH, YL = encode_batch_bit_transposed(Y, 64)
+    d = benchmark(bpbc_string_matching, XH, XL, YH, YL, 64)
+    assert d.shape[0] == n - m + 1
+
+
+@pytest.mark.benchmark(group="section2-stringmatch")
+def test_straightforward_string_matching(benchmark):
+    """The wordwise baseline of §II on ONE pair — the BPBC bench above
+    does 4096 pairs in comparable time."""
+    from repro.core.string_matching import straightforward_string_matching
+
+    rng = np.random.default_rng(12)
+    X = rng.integers(0, 4, 8, dtype=np.uint8)
+    Y = rng.integers(0, 4, 256, dtype=np.uint8)
+    benchmark(straightforward_string_matching, X, Y)

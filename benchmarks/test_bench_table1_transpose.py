@@ -1,0 +1,59 @@
+"""Benchmarks for Table I: full vs reduced bit-matrix transpose.
+
+The paper's Table I claims the reduced schedule cuts the 32x32
+transpose from 560 operations (s = 32) to 127 (s = 2).  These
+benchmarks measure the corresponding wall-clock on batches of blocks,
+per reduced width, plus the W2B conversion path built on top.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import (encode_batch_bit_transposed,
+                                 encode_batch_via_bit_matrix)
+from repro.core.transpose import (transpose_bits, transpose_bits_reduced,
+                                  untranspose_bits_reduced)
+
+BLOCKS = 256
+
+
+def _blocks(s: int, word_bits: int = 32) -> np.ndarray:
+    rng = np.random.default_rng(1)
+    return rng.integers(0, 1 << s, size=(BLOCKS, word_bits),
+                        dtype=np.uint64).astype(np.uint32)
+
+
+@pytest.mark.benchmark(group="table1-transpose32")
+def test_full_transpose_32(benchmark):
+    data = _blocks(32)
+    benchmark(transpose_bits, data, 32)
+
+
+@pytest.mark.benchmark(group="table1-transpose32")
+@pytest.mark.parametrize("s", [16, 8, 4, 2])
+def test_reduced_transpose_32(benchmark, s):
+    data = _blocks(s)
+    benchmark(transpose_bits_reduced, data, 32, s)
+
+
+@pytest.mark.benchmark(group="table1-untranspose")
+@pytest.mark.parametrize("s", [8, 2])
+def test_reduced_untranspose_32(benchmark, s):
+    planes = transpose_bits_reduced(_blocks(s), 32, s)
+    benchmark(untranspose_bits_reduced, planes, 32, s)
+
+
+@pytest.mark.benchmark(group="table1-w2b")
+def test_w2b_direct_packing(benchmark):
+    rng = np.random.default_rng(2)
+    codes = rng.integers(0, 4, size=(1024, 256), dtype=np.uint8)
+    benchmark(encode_batch_bit_transposed, codes, 32)
+
+
+@pytest.mark.benchmark(group="table1-w2b")
+def test_w2b_via_bit_matrix(benchmark):
+    rng = np.random.default_rng(2)
+    codes = rng.integers(0, 4, size=(1024, 256), dtype=np.uint8)
+    benchmark(encode_batch_via_bit_matrix, codes, 32)

@@ -1,0 +1,65 @@
+"""Benchmarks for Table IV: SWA engine running time, per implementation.
+
+Machine-scale analogue of the paper's main table: the bitwise BPBC
+engine at 32 and 64-bit word widths against the wordwise baseline, on
+identical workloads, plus the W2B/B2W conversion steps separately
+(the table's column structure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bitops import lane_count, word_dtype
+from repro.core.encoding import encode_batch_bit_transposed
+from repro.core.sw_bpbc import bpbc_sw_wavefront
+from repro.core.transpose import untranspose_bits_reduced
+from repro.swa.numpy_batch import sw_batch_max_scores
+
+from .conftest import SCHEME
+
+
+def _planes(batch, w):
+    XH, XL = encode_batch_bit_transposed(batch.X, w)
+    YH, YL = encode_batch_bit_transposed(batch.Y, w)
+    return XH, XL, YH, YL
+
+
+@pytest.mark.benchmark(group="table4-swa")
+@pytest.mark.parametrize("word_bits", [32, 64])
+def test_bitwise_swa(benchmark, bench_batch, word_bits):
+    XH, XL, YH, YL = _planes(bench_batch, word_bits)
+    result = benchmark(bpbc_sw_wavefront, XH, XL, YH, YL, SCHEME,
+                       word_bits)
+    assert result.max_scores.shape[0] >= bench_batch.pairs
+
+
+@pytest.mark.benchmark(group="table4-swa")
+def test_wordwise_swa(benchmark, bench_batch):
+    scores = benchmark(sw_batch_max_scores, bench_batch.X,
+                       bench_batch.Y, SCHEME)
+    assert scores.shape == (bench_batch.pairs,)
+
+
+@pytest.mark.benchmark(group="table4-w2b")
+@pytest.mark.parametrize("word_bits", [32, 64])
+def test_w2b_step(benchmark, bench_batch, word_bits):
+    def convert():
+        encode_batch_bit_transposed(bench_batch.X, word_bits)
+        encode_batch_bit_transposed(bench_batch.Y, word_bits)
+
+    benchmark(convert)
+
+
+@pytest.mark.benchmark(group="table4-b2w")
+@pytest.mark.parametrize("word_bits", [32, 64])
+def test_b2w_step(benchmark, bench_batch, word_bits):
+    XH, XL, YH, YL = _planes(bench_batch, word_bits)
+    result = bpbc_sw_wavefront(XH, XL, YH, YL, SCHEME, word_bits)
+    s = result.s
+    groups = lane_count(bench_batch.pairs, word_bits)
+    dt = word_dtype(word_bits)
+    padded = np.zeros((groups, word_bits), dtype=dt)
+    padded[:, :s] = result.score_planes.T
+    benchmark(untranspose_bits_reduced, padded, word_bits, s)

@@ -1,0 +1,36 @@
+"""Benchmarks for Table V: end-to-end GCUPS of the bulk pipeline.
+
+Measures the full score path (encode -> W2B -> bulk SWA -> trim) per
+engine; pytest-benchmark's ops/sec column divided into the fixed cell
+count gives the machine's GCUPS for each implementation (the paper's
+Table V metric).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.filter.screening import bulk_max_scores
+from repro.swa.numpy_batch import sw_batch_max_scores
+
+from .conftest import SCHEME
+
+
+@pytest.mark.benchmark(group="table5-endtoend")
+@pytest.mark.parametrize("word_bits", [32, 64])
+def test_bulk_pipeline_end_to_end(benchmark, bench_batch, word_bits):
+    scores = benchmark(bulk_max_scores, bench_batch.X, bench_batch.Y,
+                       SCHEME, word_bits)
+    assert scores.shape == (bench_batch.pairs,)
+    benchmark.extra_info["cells"] = bench_batch.cells
+    benchmark.extra_info["gcups_hint"] = (
+        "GCUPS = cells / mean-time / 1e9"
+    )
+
+
+@pytest.mark.benchmark(group="table5-endtoend")
+def test_wordwise_end_to_end(benchmark, bench_batch):
+    scores = benchmark(sw_batch_max_scores, bench_batch.X,
+                       bench_batch.Y, SCHEME)
+    assert scores.shape == (bench_batch.pairs,)
+    benchmark.extra_info["cells"] = bench_batch.cells

@@ -1,0 +1,81 @@
+"""Bulk exact string matching: the paper's §II warm-up, end to end.
+
+    python examples/bulk_string_matching.py
+
+Reproduces the paper's 4-pair worked example, then runs a larger bulk
+search — thousands of pattern/text pairs matched with three bitwise
+operations per (i, j) position for ALL pairs at once — and compares
+wall-clock against the scalar straightforward matcher.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import match_offsets
+from repro.core.encoding import decode, encode_batch_bit_transposed
+from repro.core.string_matching import (
+    bpbc_string_matching,
+    straightforward_string_matching,
+)
+from repro.core.bitops import unpack_lanes
+from repro.workloads.dna import plant_homology, MutationModel, random_strands
+
+
+def worked_example() -> None:
+    print("paper §II worked example (4 pairs, 8-bit words):")
+    pairs = [("ATCGA", "AATCGACA"), ("TCGAC", "AATCGACA"),
+             ("AAAAA", "AAAAAAAA"), ("TTTTT", "AATTTTTT")]
+    for pattern, text in pairs:
+        offs = match_offsets(pattern, text, word_bits=8)
+        print(f"  {pattern} in {text}: offsets {offs}")
+
+
+def bulk_search() -> None:
+    rng = np.random.default_rng(99)
+    P, m, n = 4096, 12, 512
+    patterns = random_strands(rng, P, m)
+    texts = random_strands(rng, P, n)
+    # Plant each pattern verbatim somewhere in its text.
+    positions = []
+    for p in range(P):
+        text, pos = plant_homology(rng, patterns[p], n,
+                                   MutationModel(0, 0, 0))
+        texts[p] = text
+        positions.append(pos)
+
+    XH, XL = encode_batch_bit_transposed(patterns, 64)
+    YH, YL = encode_batch_bit_transposed(texts, 64)
+    t0 = time.perf_counter()
+    d = bpbc_string_matching(XH, XL, YH, YL, 64)
+    bulk_time = time.perf_counter() - t0
+
+    bits = unpack_lanes(d, 64, count=P)  # (offsets, P)
+    found = bits.T == 0
+    hit_rate = np.mean([found[p, positions[p]] for p in range(P)])
+    print(f"\nbulk search: {P} pairs (m={m}, n={n}) in "
+          f"{bulk_time * 1e3:.0f} ms; planted occurrence found in "
+          f"{hit_rate:.0%} of pairs")
+
+    # Scalar baseline on a sample, to estimate the bulk advantage.
+    sample = 32
+    t0 = time.perf_counter()
+    for p in range(sample):
+        ref = straightforward_string_matching(patterns[p], texts[p])
+        np.testing.assert_array_equal(ref, bits[:, p])
+    scalar_time = (time.perf_counter() - t0) * (P / sample)
+    print(f"scalar straightforward matcher (extrapolated to {P} "
+          f"pairs): {scalar_time * 1e3:.0f} ms "
+          f"-> bulk speedup ~{scalar_time / bulk_time:.0f}x "
+          f"(and the sampled results agree exactly)")
+
+
+def main() -> None:
+    worked_example()
+    bulk_search()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Regenerate every table and figure of the paper.
+
+    python examples/paper_tables.py [--fast]
+
+Thin wrapper over ``python -m repro.experiments``; kept as an example
+so the experiment entry point is discoverable next to the other
+runnable scripts.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,87 @@
+"""Protein search with reduced alphabets and affine gaps.
+
+    python examples/protein_search.py
+
+Demonstrates the two extensions layered on the paper's technique:
+
+1. **general alphabets** — the circuits are parametric in the
+   character width epsilon, so protein search (epsilon = 5) costs only
+   2*(5-2) = 6 extra operations per DP cell over DNA; Murphy's reduced
+   10-letter alphabet (epsilon = 4) trades sensitivity for 2 ops;
+2. **affine gaps** — the Gotoh three-matrix recurrence, bit-sliced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.affine_bpbc import bpbc_gotoh_wavefront
+from repro.core.alphabet import MURPHY10, PROTEIN
+from repro.core.encoding import encode_batch_bit_transposed
+from repro.core.sw_bpbc import bpbc_sw_wavefront_planes
+from repro.swa.affine import AffineScheme, gotoh_max_score
+from repro.swa.scoring import ScoringScheme
+
+
+def random_protein(rng, length: int) -> str:
+    return "".join(PROTEIN.letters[i]
+                   for i in rng.integers(0, PROTEIN.size, length))
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    scheme = ScoringScheme(match_score=2, mismatch_penalty=1,
+                           gap_penalty=1)
+    P, m, n = 128, 24, 120
+
+    # Build protein pairs; plant a mutated copy in half of them.
+    queries = [random_protein(rng, m) for _ in range(P)]
+    subjects = []
+    related = np.zeros(P, dtype=bool)
+    for p in range(P):
+        text = random_protein(rng, n)
+        if p % 2 == 0:
+            related[p] = True
+            pos = int(rng.integers(0, n - m))
+            mutated = list(queries[p])
+            for i in range(m):
+                if rng.random() < 0.08:
+                    mutated[i] = PROTEIN.letters[
+                        int(rng.integers(0, PROTEIN.size))
+                    ]
+            text = text[:pos] + "".join(mutated) + text[pos + m:]
+        subjects.append(text)
+
+    for alphabet in (PROTEIN, MURPHY10):
+        X = alphabet.encode_batch(queries)
+        Y = alphabet.encode_batch(subjects)
+        r = bpbc_sw_wavefront_planes(
+            alphabet.batch_planes(X, 64), alphabet.batch_planes(Y, 64),
+            scheme, 64,
+        )
+        scores = r.max_scores[:P]
+        gap = scores[related].mean() - scores[~related].mean()
+        print(f"{alphabet.name:10s} (eps={alphabet.bits}): "
+              f"related mean {scores[related].mean():5.1f}, "
+              f"unrelated mean {scores[~related].mean():5.1f}, "
+              f"separation {gap:5.1f}")
+
+    # Affine gaps on DNA-coded inputs: one long gap beats many short
+    # ones, which matters for indel-rich homologies.
+    dna_rng = np.random.default_rng(12)
+    aff = AffineScheme(match_score=2, mismatch_penalty=1, gap_open=3,
+                       gap_extend=1)
+    Xd = dna_rng.integers(0, 4, (64, 20), dtype=np.uint8)
+    Yd = dna_rng.integers(0, 4, (64, 80), dtype=np.uint8)
+    XH, XL = encode_batch_bit_transposed(Xd, 64)
+    YH, YL = encode_batch_bit_transposed(Yd, 64)
+    r = bpbc_gotoh_wavefront(XH, XL, YH, YL, aff, 64)
+    spot = int(dna_rng.integers(0, 64))
+    assert r.max_scores[spot] == gotoh_max_score(Xd[spot], Yd[spot], aff)
+    print(f"\naffine-gap (Gotoh) bulk engine: 64 pairs scored, "
+          f"spot-check vs gold DP OK "
+          f"(mean score {r.max_scores[:64].mean():.1f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""repro — Bitwise Parallel Bulk Computation for Smith-Waterman.
+
+A from-scratch reproduction of *"Accelerating the Smith-Waterman
+Algorithm Using Bitwise Parallel Bulk Computation Technique on GPU"*
+(Nishimura, Bordim, Ito, Nakano — IPDPS Workshops 2017).
+
+The package computes Smith-Waterman maximum scores for thousands of
+DNA sequence pairs at once by storing one bit of every pair in each
+bit of a machine word and evaluating the DP recurrence as a
+combinational circuit with bitwise instructions.
+
+Quick start::
+
+    import numpy as np
+    from repro import ScoringScheme, bulk_max_scores
+    from repro.workloads.dna import homologous_pairs
+
+    rng = np.random.default_rng(0)
+    X, Y, labels = homologous_pairs(rng, count=256, m=64, n=512)
+    scores = bulk_max_scores(X, Y, ScoringScheme(2, 1, 1))
+
+Sub-packages
+------------
+``repro.core``
+    The BPBC technique: bit transpose (Table I), bit-sliced circuits
+    (paper §IV-A), the bulk SW engines (§IV-B), BPBC string matching
+    (§II).
+``repro.swa``
+    Conventional Smith-Waterman substrate: scoring, sequential and
+    wavefront DP, traceback, the wordwise batch baseline.
+``repro.gpusim`` / ``repro.kernels``
+    A cooperative SIMT GPU simulator and the paper's §V kernels /
+    five-step pipeline running on it.
+``repro.perfmodel``
+    Operation counts (Lemmas 1-6) and the calibrated analytic model
+    regenerating Tables IV and V.
+``repro.workloads`` / ``repro.filter``
+    Synthetic DNA generators and the threshold screening application.
+``repro.experiments``
+    ``python -m repro.experiments`` regenerates every table and
+    figure of the paper.
+"""
+
+from .core.encoding import ALPHABET, decode, encode, encode_batch
+from .core.string_matching import (bpbc_string_matching_strings,
+                                   match_offsets)
+from .core.sw_bpbc import (BPBCResult, bpbc_sw_sequential,
+                           bpbc_sw_wavefront)
+from .filter.screening import (ScreenHit, ScreenResult, bulk_max_scores,
+                               screen_pairs)
+from .kernels.pipeline import PipelineReport, run_gpu_pipeline
+from .swa.scoring import DEFAULT_SCHEME, ScoringScheme
+from .swa.sequential import sw_matrix, sw_max_score
+from .swa.traceback import Alignment, align, format_alignment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ALPHABET",
+    "encode",
+    "decode",
+    "encode_batch",
+    "ScoringScheme",
+    "DEFAULT_SCHEME",
+    "sw_matrix",
+    "sw_max_score",
+    "align",
+    "Alignment",
+    "format_alignment",
+    "BPBCResult",
+    "bpbc_sw_sequential",
+    "bpbc_sw_wavefront",
+    "bulk_max_scores",
+    "screen_pairs",
+    "ScreenResult",
+    "ScreenHit",
+    "bpbc_string_matching_strings",
+    "match_offsets",
+    "run_gpu_pipeline",
+    "PipelineReport",
+]

@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``score``
+    Bulk-score FASTA query/subject pairs with the BPBC engine; TSV to
+    stdout (id, id, score).
+``screen``
+    The paper's τ-threshold workflow: bulk-score, then align and print
+    the survivors.
+``match``
+    Exact or k-mismatch bulk string matching (§II and its extension).
+``experiments``
+    Regenerate the paper's tables and figures.
+
+Queries and subjects are matched up pairwise (record i against record
+i); use ``--all-vs-all`` in ``score``/``screen`` to cross every query
+with every subject instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core.bitops import unpack_lanes
+from .core.approx_matching import bpbc_k_mismatch
+from .core.encoding import decode, encode_batch_bit_transposed
+from .filter.screening import screen_pairs
+from .swa.scoring import ScoringScheme
+from .swa.traceback import format_alignment
+from .workloads.fasta import read_fasta, records_to_batch
+
+__all__ = ["main"]
+
+
+def _scheme_from_args(args) -> ScoringScheme:
+    return ScoringScheme(match_score=args.match,
+                         mismatch_penalty=args.mismatch,
+                         gap_penalty=args.gap)
+
+
+def _add_scoring_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--match", type=int, default=2,
+                   help="match score c1 (default 2)")
+    p.add_argument("--mismatch", type=int, default=1,
+                   help="mismatch penalty c2 (default 1)")
+    p.add_argument("--gap", type=int, default=1,
+                   help="linear gap penalty (default 1)")
+    p.add_argument("--word-bits", type=int, default=64,
+                   choices=(8, 16, 32, 64),
+                   help="lane word width (default 64)")
+
+
+def _load_pairs(args) -> tuple[list, list, np.ndarray, np.ndarray]:
+    queries = read_fasta(args.queries)
+    subjects = read_fasta(args.subjects)
+    if getattr(args, "all_vs_all", False):
+        q = [r for r in queries for _ in subjects]
+        s = [r for _ in queries for r in subjects]
+    else:
+        if len(queries) != len(subjects):
+            raise SystemExit(
+                f"error: {len(queries)} queries vs {len(subjects)} "
+                f"subjects; pairwise mode needs equal counts "
+                f"(or pass --all-vs-all)"
+            )
+        q, s = queries, subjects
+    return q, s, records_to_batch(q), records_to_batch(s)
+
+
+def _cmd_score(args) -> int:
+    from .filter.screening import bulk_max_scores
+
+    q, s, X, Y = _load_pairs(args)
+    scores = bulk_max_scores(X, Y, _scheme_from_args(args),
+                             word_bits=args.word_bits)
+    out = sys.stdout
+    out.write("query\tsubject\tscore\n")
+    for qr, sr, sc in zip(q, s, scores):
+        out.write(f"{qr.id}\t{sr.id}\t{int(sc)}\n")
+    return 0
+
+
+def _cmd_screen(args) -> int:
+    q, s, X, Y = _load_pairs(args)
+    result = screen_pairs(X, Y, args.threshold, _scheme_from_args(args),
+                          word_bits=args.word_bits)
+    print(f"{len(result.hits)} of {len(q)} pairs exceed "
+          f"tau={args.threshold} ({result.pass_rate:.1%})")
+    for hit in sorted(result.hits, key=lambda h: -h.score):
+        print(f"\n{q[hit.pair_index].id} vs {s[hit.pair_index].id}")
+        print(format_alignment(hit.alignment))
+    return 0
+
+
+def _cmd_match(args) -> int:
+    patterns = read_fasta(args.patterns)
+    texts = read_fasta(args.texts)
+    if len(patterns) != len(texts):
+        raise SystemExit(
+            f"error: {len(patterns)} patterns vs {len(texts)} texts"
+        )
+    X = records_to_batch(patterns)
+    Y = records_to_batch(texts)
+    P = len(patterns)
+    XH, XL = encode_batch_bit_transposed(X, args.word_bits)
+    YH, YL = encode_batch_bit_transposed(Y, args.word_bits)
+    hits = bpbc_k_mismatch(XH, XL, YH, YL, args.k, args.word_bits)
+    bits = unpack_lanes(hits, args.word_bits, count=P)  # (offsets, P)
+    print(f"pattern\ttext\tk\toffsets")
+    for p in range(P):
+        offs = ",".join(str(j) for j in np.flatnonzero(bits[:, p]))
+        print(f"{patterns[p].id}\t{texts[p].id}\t{args.k}\t"
+              f"{offs or '-'}")
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from .experiments import main as exp_main
+
+    argv = list(args.names)
+    if args.fast:
+        argv.append("--fast")
+    return exp_main(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Bitwise Parallel Bulk Computation for "
+                    "Smith-Waterman (IPDPS-W 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("score", help="bulk-score FASTA pairs")
+    p.add_argument("queries", help="FASTA file of query sequences")
+    p.add_argument("subjects", help="FASTA file of subject sequences")
+    p.add_argument("--all-vs-all", action="store_true",
+                   help="cross every query with every subject")
+    _add_scoring_args(p)
+    p.set_defaults(func=_cmd_score)
+
+    p = sub.add_parser("screen",
+                       help="threshold screening with alignments")
+    p.add_argument("queries")
+    p.add_argument("subjects")
+    p.add_argument("--threshold", "-t", type=int, required=True,
+                   help="report pairs scoring above this tau")
+    p.add_argument("--all-vs-all", action="store_true")
+    _add_scoring_args(p)
+    p.set_defaults(func=_cmd_screen)
+
+    p = sub.add_parser("match", help="bulk (k-mismatch) string search")
+    p.add_argument("patterns", help="FASTA file of patterns")
+    p.add_argument("texts", help="FASTA file of texts")
+    p.add_argument("-k", type=int, default=0,
+                   help="allowed mismatches (default 0 = exact)")
+    p.add_argument("--word-bits", type=int, default=64,
+                   choices=(8, 16, 32, 64))
+    p.set_defaults(func=_cmd_match)
+
+    p = sub.add_parser("experiments",
+                       help="regenerate the paper's tables/figures")
+    p.add_argument("names", nargs="*", default=[])
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

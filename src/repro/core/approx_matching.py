@@ -1,0 +1,131 @@
+"""BPBC approximate string matching (k-mismatch).
+
+The paper's §II matcher only detects *exact* occurrences; its
+references [19, 20] concern the approximate variant.  The BPBC
+extension is natural: instead of OR-ing mismatch flags into one bit,
+*count* mismatches per offset with a bit-sliced counter — one
+half-adder increment (2 ops per counter bit) per pattern position —
+then compare the count against ``k`` with the §IV comparator.  Total
+cost stays O(mn) bitwise operations for ``word_bits x lanes`` pairs at
+once.
+
+Functions::
+
+    counter = increment_if(counter, flag)        # bit-sliced +flag
+    counts  = bpbc_count_mismatches(XH, XL, YH, YL, word_bits)
+    hits    = bpbc_k_mismatch(XH, XL, YH, YL, k, word_bits)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitops import BitOpsError, OpCounter, word_dtype
+from .circuits import greater_than, splat_constant
+
+__all__ = [
+    "increment_if",
+    "increment_if_ops",
+    "bpbc_count_mismatches",
+    "bpbc_k_mismatch",
+    "count_mismatches_reference",
+]
+
+
+def increment_if(planes: list[np.ndarray], flag: np.ndarray,
+                 counter: OpCounter | None = None) -> list[np.ndarray]:
+    """Add a per-lane 0/1 ``flag`` to a bit-sliced counter.
+
+    Half-adder ripple: ``2s - 1`` operations for an ``s``-bit counter
+    (the final carry's AND is skipped).  The caller must size the
+    counter so it cannot overflow (``s = bit_length(max_count)``).
+    """
+    s = len(planes)
+    if s == 0:
+        raise BitOpsError("empty counter")
+    out = []
+    carry = flag
+    for h in range(s):
+        out.append(planes[h] ^ carry)
+        if counter is not None:
+            counter.add(1, kind="count")
+        if h < s - 1:
+            carry = planes[h] & carry
+            if counter is not None:
+                counter.add(1, kind="count")
+    return out
+
+
+def increment_if_ops(s: int) -> int:
+    """Exact op count of :func:`increment_if`: ``2s - 1``."""
+    return 2 * s - 1
+
+
+def bpbc_count_mismatches(XH, XL, YH, YL, word_bits: int,
+                          counter: OpCounter | None = None) -> np.ndarray:
+    """Per-offset bit-sliced Hamming distances for all lanes.
+
+    Inputs as in :func:`repro.core.string_matching.bpbc_string_matching`.
+    Returns an array of shape ``(n - m + 1, s, lanes)`` where
+    ``[j]`` is the bit-sliced mismatch count of offset ``j``
+    (``s = bit_length(m)``).
+    """
+    XH = np.asarray(XH)
+    XL = np.asarray(XL)
+    YH = np.asarray(YH)
+    YL = np.asarray(YL)
+    if XH.shape != XL.shape or YH.shape != YL.shape:
+        raise BitOpsError("H/L plane shapes must match")
+    m, n = XH.shape[0], YH.shape[0]
+    if m == 0:
+        raise BitOpsError("empty pattern")
+    if m > n:
+        raise BitOpsError(f"pattern length {m} exceeds text length {n}")
+    dt = word_dtype(word_bits)
+    s = max(1, m.bit_length())
+    lanes = XH.shape[1:]
+    out = np.zeros((n - m + 1, s) + lanes, dtype=dt)
+    for j in range(n - m + 1):
+        planes = [np.zeros(lanes, dtype=dt) for _ in range(s)]
+        for i in range(m):
+            flag = (XH[i] ^ YH[i + j]) | (XL[i] ^ YL[i + j])
+            if counter is not None:
+                counter.add(3, kind="mismatch-flag")
+            planes = increment_if(planes, flag, counter)
+        for h in range(s):
+            out[j, h] = planes[h]
+    return out
+
+
+def bpbc_k_mismatch(XH, XL, YH, YL, k: int, word_bits: int,
+                    counter: OpCounter | None = None) -> np.ndarray:
+    """Per-offset, per-lane flag words: lane bit 1 iff the pattern
+    matches at that offset with at most ``k`` mismatches.
+
+    ``k = 0`` degenerates to the exact matcher of §II (tested).
+    Returns shape ``(n - m + 1, lanes)`` flag words.
+    """
+    if k < 0:
+        raise BitOpsError(f"k must be non-negative, got {k}")
+    counts = bpbc_count_mismatches(XH, XL, YH, YL, word_bits, counter)
+    n_off, s = counts.shape[0], counts.shape[1]
+    k_planes = splat_constant(min(k, (1 << s) - 1), s, word_bits)
+    dt = word_dtype(word_bits)
+    out = np.zeros((n_off,) + counts.shape[2:], dtype=dt)
+    for j in range(n_off):
+        # k >= count  <=>  greater_than(k, count).
+        out[j] = greater_than(k_planes, [counts[j, h] for h in range(s)],
+                              counter)
+    return out
+
+
+def count_mismatches_reference(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    """Wordwise reference: mismatch count per offset for one pair."""
+    X = np.asarray(X)
+    Y = np.asarray(Y)
+    m, n = len(X), len(Y)
+    if m == 0 or m > n:
+        raise BitOpsError("invalid pattern/text lengths")
+    return np.array([
+        int((X != Y[j:j + m]).sum()) for j in range(n - m + 1)
+    ])

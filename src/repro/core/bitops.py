@@ -1,0 +1,307 @@
+"""Low-level bitwise primitives used throughout the BPBC technique.
+
+The Bitwise Parallel Bulk Computation (BPBC) technique stores one bit of
+each of *w* problem instances in a *w*-bit machine word ("bit-transpose
+format") and simulates combinational logic with the bitwise AND / OR /
+XOR / NOT / shift instructions of the host.  This module provides
+
+* word-width metadata (supported widths, NumPy dtypes, masks),
+* the ``swap`` and ``copy`` register primitives from Section II of the
+  paper (the building blocks of the bit-matrix transpose),
+* lane packing/unpacking helpers that convert between "one value per
+  array element" (wordwise) and "one bit per instance" (bit-sliced)
+  layouts, and
+* an :class:`OpCounter` that mirrors the paper's operation accounting
+  (each shift, AND, OR, XOR, NOT counts as one operation).
+
+All functions are vectorised: ``A`` and ``B`` may be scalars or NumPy
+arrays of the given word dtype, in which case every element is treated
+as an independent machine word.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Word widths supported by the BPBC engines.  The paper evaluates 32-
+#: and 64-bit words; 8- and 16-bit words are supported for the worked
+#: examples (Figure 1 uses an 8x8 transpose).
+SUPPORTED_WORD_BITS: tuple[int, ...] = (8, 16, 32, 64)
+
+#: Map word width -> unsigned NumPy dtype.
+WORD_DTYPES: dict[int, np.dtype] = {
+    8: np.dtype(np.uint8),
+    16: np.dtype(np.uint16),
+    32: np.dtype(np.uint32),
+    64: np.dtype(np.uint64),
+}
+
+
+class BitOpsError(ValueError):
+    """Raised for invalid word widths, masks, or shapes."""
+
+
+def check_word_bits(word_bits: int) -> int:
+    """Validate a word width and return it.
+
+    Raises :class:`BitOpsError` for anything other than 8, 16, 32, 64.
+    """
+    if word_bits not in SUPPORTED_WORD_BITS:
+        raise BitOpsError(
+            f"unsupported word width {word_bits!r}; expected one of "
+            f"{SUPPORTED_WORD_BITS}"
+        )
+    return word_bits
+
+
+def word_dtype(word_bits: int) -> np.dtype:
+    """Return the unsigned NumPy dtype for a word width."""
+    return WORD_DTYPES[check_word_bits(word_bits)]
+
+
+def full_mask(word_bits: int) -> int:
+    """All-ones mask for a word width (``1^w`` in the paper's notation)."""
+    check_word_bits(word_bits)
+    return (1 << word_bits) - 1
+
+
+def alternating_mask(word_bits: int, k: int) -> int:
+    """Mask with the low ``k`` bits of every ``2k``-bit group set.
+
+    These are the masks used by the bit-matrix transpose::
+
+        alternating_mask(8, 4) == 0b00001111
+        alternating_mask(8, 2) == 0b00110011
+        alternating_mask(8, 1) == 0b01010101
+
+    ``k`` must be a power of two dividing ``word_bits``.
+    """
+    check_word_bits(word_bits)
+    if k <= 0 or k > word_bits // 2 or (k & (k - 1)) != 0:
+        raise BitOpsError(
+            f"mask block size {k} must be a power of two in "
+            f"[1, {word_bits // 2}]"
+        )
+    block = (1 << k) - 1
+    mask = 0
+    for shift in range(0, word_bits, 2 * k):
+        mask |= block << shift
+    return mask
+
+
+@dataclass
+class OpCounter:
+    """Counts bitwise operations using the paper's accounting.
+
+    Every shift, AND, OR, XOR and NOT is one operation, regardless of
+    how many lanes the word carries — that is the whole point of the
+    BPBC technique: one operation advances *word_bits* instances.
+
+    The counter also tallies the higher-level ``swap`` (7 ops) and
+    ``copy`` (4 ops) primitives so that Table I of the paper can be
+    reproduced exactly.
+    """
+
+    ops: int = 0
+    swaps: int = 0
+    copies: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+
+    def add(self, n: int = 1, kind: str = "bitop") -> None:
+        """Record ``n`` primitive operations of the given kind."""
+        self.ops += n
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + n
+
+    def add_swap(self) -> None:
+        """Record one ``swap`` primitive (7 operations, per the paper)."""
+        self.swaps += 1
+        self.add(SWAP_OP_COST, kind="swap")
+
+    def add_copy(self) -> None:
+        """Record one ``copy`` primitive (4 operations, per the paper)."""
+        self.copies += 1
+        self.add(COPY_OP_COST, kind="copy")
+
+    def merged(self, other: "OpCounter") -> "OpCounter":
+        """Return a new counter combining this counter with ``other``."""
+        out = OpCounter(ops=self.ops + other.ops,
+                        swaps=self.swaps + other.swaps,
+                        copies=self.copies + other.copies,
+                        by_kind=dict(self.by_kind))
+        for kind, n in other.by_kind.items():
+            out.by_kind[kind] = out.by_kind.get(kind, 0) + n
+        return out
+
+    def reset(self) -> None:
+        """Zero all tallies."""
+        self.ops = 0
+        self.swaps = 0
+        self.copies = 0
+        self.by_kind.clear()
+
+
+#: Cost, in primitive bit operations, of one ``swap`` call.  The paper:
+#: "Each swap operation performs 7 operations including bit shift,
+#: bitwise AND, and bitwise XOR."
+SWAP_OP_COST = 7
+
+#: Cost of one ``copy`` call ("Clearly, this function performs 4
+#: operations").
+COPY_OP_COST = 4
+
+
+def _as_word(value, word_bits: int) -> np.ndarray:
+    """Coerce ``value`` (int or array) to the word dtype, validating range."""
+    dt = word_dtype(word_bits)
+    arr = np.asarray(value)
+    if arr.dtype != dt:
+        if np.issubdtype(arr.dtype, np.integer) or arr.dtype == object:
+            arr = arr.astype(dt)
+        else:
+            raise BitOpsError(f"expected integer word data, got {arr.dtype}")
+    return arr
+
+
+def swap(A, B, k: int, mask: int, word_bits: int,
+         counter: OpCounter | None = None):
+    """The paper's ``swap(A, B, k, b)`` register primitive.
+
+    Exchanges the bits of ``A`` at positions ``mask << k`` with the bits
+    of ``B`` at positions ``mask``::
+
+        C <- ((A >> k) & b) ^ (B & b)
+        A <- A ^ (C << k)
+        B <- B ^ C
+
+    Returns the new ``(A, B)`` pair (inputs are not modified).  Counts
+    as one ``swap`` (7 operations) on ``counter``.
+    """
+    dt = word_dtype(word_bits)
+    A = _as_word(A, word_bits)
+    B = _as_word(B, word_bits)
+    b = dt.type(mask)
+    kk = dt.type(k)
+    C = ((A >> kk) & b) ^ (B & b)
+    A2 = A ^ (C << kk)
+    B2 = B ^ C
+    if counter is not None:
+        counter.add_swap()
+    return A2, B2
+
+
+def copy_up(A, B, k: int, mask: int, word_bits: int,
+            counter: OpCounter | None = None):
+    """The paper's ``copy(A, B, k, b)`` primitive.
+
+    Keeps the bits of ``A`` at positions ``mask`` and overwrites the
+    bits at ``mask << k`` with the bits of ``B`` at ``mask``::
+
+        A <- (A & b) | ((B & b) << k)
+
+    ``B`` is unchanged.  Counts as one ``copy`` (4 operations).
+    """
+    dt = word_dtype(word_bits)
+    A = _as_word(A, word_bits)
+    B = _as_word(B, word_bits)
+    b = dt.type(mask)
+    kk = dt.type(k)
+    A2 = (A & b) | ((B & b) << kk)
+    if counter is not None:
+        counter.add_copy()
+    return A2
+
+
+def copy_down(A, B, k: int, mask: int, word_bits: int,
+              counter: OpCounter | None = None):
+    """Mirror of :func:`copy_up`: move ``A``'s high block into ``B``.
+
+    Keeps the bits of ``B`` at positions ``mask << k`` and overwrites
+    the bits at ``mask`` with the bits of ``A`` at ``mask << k``::
+
+        B <- (B & (b << k)) | ((A >> k) & b)
+
+    ``A`` is unchanged.  Counts as one ``copy`` (4 operations; same
+    instruction mix as ``copy_up``).
+    """
+    dt = word_dtype(word_bits)
+    A = _as_word(A, word_bits)
+    B = _as_word(B, word_bits)
+    b = dt.type(mask)
+    kk = dt.type(k)
+    B2 = (B & dt.type((mask << k) & full_mask(word_bits))) | ((A >> kk) & b)
+    if counter is not None:
+        counter.add_copy()
+    return B2
+
+
+def pack_lanes(bits: np.ndarray, word_bits: int) -> np.ndarray:
+    """Pack a trailing axis of 0/1 values into lane words.
+
+    ``bits`` has shape ``(..., P)`` with entries in {0, 1}; the result
+    has shape ``(..., ceil(P / word_bits))`` with dtype the word dtype,
+    where bit ``k`` of output word ``l`` is ``bits[..., l*word_bits+k]``
+    (instance ``l*word_bits + k`` occupies lane ``k`` of word ``l``,
+    exactly the paper's bit-transpose layout).
+    """
+    dt = word_dtype(word_bits)
+    bits = np.asarray(bits)
+    if bits.ndim == 0:
+        raise BitOpsError("pack_lanes requires at least one axis")
+    P = bits.shape[-1]
+    L = -(-P // word_bits)
+    padded = np.zeros(bits.shape[:-1] + (L * word_bits,), dtype=dt)
+    padded[..., :P] = bits.astype(dt) & dt.type(1)
+    padded = padded.reshape(bits.shape[:-1] + (L, word_bits))
+    weights = (dt.type(1) << np.arange(word_bits, dtype=dt))
+    return (padded * weights).sum(axis=-1, dtype=dt)
+
+
+def unpack_lanes(words: np.ndarray, word_bits: int,
+                 count: int | None = None) -> np.ndarray:
+    """Inverse of :func:`pack_lanes`.
+
+    ``words`` has shape ``(..., L)``; the result has shape
+    ``(..., count)`` (default ``L * word_bits``) with entries in {0, 1}.
+    """
+    dt = word_dtype(word_bits)
+    words = np.asarray(words, dtype=dt)
+    L = words.shape[-1]
+    if count is None:
+        count = L * word_bits
+    if count > L * word_bits:
+        raise BitOpsError(
+            f"cannot unpack {count} lanes from {L} words of {word_bits} bits"
+        )
+    shifts = np.arange(word_bits, dtype=dt)
+    bits = (words[..., :, None] >> shifts) & dt.type(1)
+    bits = bits.reshape(words.shape[:-1] + (L * word_bits,))
+    return bits[..., :count].astype(np.uint8)
+
+
+def lane_count(n_instances: int, word_bits: int) -> int:
+    """Number of lane words needed to hold ``n_instances`` instances."""
+    check_word_bits(word_bits)
+    if n_instances < 0:
+        raise BitOpsError("instance count must be non-negative")
+    return -(-n_instances // word_bits)
+
+
+def broadcast_bit(value: bool | int, shape, word_bits: int) -> np.ndarray:
+    """A lane array carrying the same bit in every lane.
+
+    Used to splat scalar constants (e.g. the bits of ``gap``) across all
+    instances: returns all-ones words when ``value`` is truthy, zeros
+    otherwise.
+    """
+    dt = word_dtype(word_bits)
+    fill = dt.type(full_mask(word_bits)) if value else dt.type(0)
+    return np.full(shape, fill, dtype=dt)
+
+
+def popcount(words: np.ndarray, word_bits: int) -> np.ndarray:
+    """Per-word population count (number of set lanes)."""
+    dt = word_dtype(word_bits)
+    words = np.asarray(words, dtype=dt)
+    return np.bitwise_count(words).astype(np.int64)

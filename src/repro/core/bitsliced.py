@@ -1,0 +1,164 @@
+"""Bit-sliced unsigned integers: the data type of the BPBC circuits.
+
+A *bit-sliced* ``s``-bit unsigned integer batch stores bit ``h`` of
+every instance in lane array ``data[h]``.  A lane array is a NumPy
+array of unsigned words; bit ``k`` of word ``l`` belongs to instance
+``l * word_bits + k``.  One bitwise NumPy operation on a slice
+therefore advances ``word_bits * n_words`` instances at once — the
+paper's technique with 32/64 instances per word, generalised to any
+number of words (which is exactly what the GPU does: each CUDA thread
+owns one word).
+
+:class:`BitSlicedUInt` is a thin, validated container; the arithmetic
+*circuits* that operate on it live in :mod:`repro.core.circuits`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bitops import (
+    BitOpsError,
+    check_word_bits,
+    full_mask,
+    lane_count,
+    pack_lanes,
+    unpack_lanes,
+    word_dtype,
+)
+
+__all__ = ["BitSlicedUInt", "slices_from_ints", "ints_from_slices"]
+
+
+def slices_from_ints(values: np.ndarray, s: int, word_bits: int) -> np.ndarray:
+    """Pack wordwise unsigned values into ``s`` bit-plane lane arrays.
+
+    ``values`` has shape ``(P,)``; the result has shape ``(s, L)`` with
+    ``L = ceil(P / word_bits)``: row ``h`` is the lane array of bit
+    ``h``.  Values must fit in ``s`` bits.
+    """
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise BitOpsError(f"expected 1-D values, got shape {values.shape}")
+    if np.any(values < 0) or np.any(values.astype(np.uint64) >> np.uint64(s)):
+        raise BitOpsError(f"values do not fit in {s} bits")
+    vals = values.astype(np.uint64)
+    bits = (vals[None, :] >> np.arange(s, dtype=np.uint64)[:, None]) & np.uint64(1)
+    return pack_lanes(bits, word_bits)
+
+
+def ints_from_slices(slices: np.ndarray, word_bits: int,
+                     count: int | None = None) -> np.ndarray:
+    """Inverse of :func:`slices_from_ints`: recover wordwise values.
+
+    ``slices`` has shape ``(s, L)``; returns ``(count,)`` uint64 values
+    (default ``L * word_bits``).
+    """
+    slices = np.asarray(slices)
+    if slices.ndim != 2:
+        raise BitOpsError(f"expected (s, L) slices, got shape {slices.shape}")
+    bits = unpack_lanes(slices, word_bits, count=count).astype(np.uint64)
+    weights = np.uint64(1) << np.arange(slices.shape[0], dtype=np.uint64)
+    return (bits * weights[:, None]).sum(axis=0, dtype=np.uint64)
+
+
+@dataclass
+class BitSlicedUInt:
+    """A batch of ``s``-bit unsigned integers in bit-sliced layout.
+
+    Attributes
+    ----------
+    data:
+        Array of shape ``(s, *lane_shape)``; ``data[h]`` is the lane
+        array holding bit ``h`` of every instance.
+    word_bits:
+        Lane-word width (8/16/32/64).
+    """
+
+    data: np.ndarray
+    word_bits: int
+
+    def __post_init__(self) -> None:
+        check_word_bits(self.word_bits)
+        self.data = np.asarray(self.data, dtype=word_dtype(self.word_bits))
+        if self.data.ndim < 2:
+            raise BitOpsError(
+                "BitSlicedUInt needs shape (s, ...lanes...), got "
+                f"{self.data.shape}"
+            )
+
+    # -- construction ------------------------------------------------
+    @classmethod
+    def from_ints(cls, values, s: int, word_bits: int) -> "BitSlicedUInt":
+        """Pack a 1-D array of unsigned ints into bit-sliced form."""
+        return cls(slices_from_ints(np.asarray(values), s, word_bits),
+                   word_bits)
+
+    @classmethod
+    def zeros(cls, s: int, lane_shape, word_bits: int) -> "BitSlicedUInt":
+        """An all-zero batch with ``s`` bit planes of the given lane shape."""
+        if np.isscalar(lane_shape):
+            lane_shape = (lane_shape,)
+        return cls(np.zeros((s, *lane_shape), dtype=word_dtype(word_bits)),
+                   word_bits)
+
+    @classmethod
+    def constant(cls, value: int, s: int, lane_shape,
+                 word_bits: int) -> "BitSlicedUInt":
+        """Every instance holds ``value`` (a splatted circuit constant)."""
+        if value < 0 or value >> s:
+            raise BitOpsError(f"constant {value} does not fit in {s} bits")
+        if np.isscalar(lane_shape):
+            lane_shape = (lane_shape,)
+        dt = word_dtype(word_bits)
+        ones = dt.type(full_mask(word_bits))
+        data = np.zeros((s, *lane_shape), dtype=dt)
+        for h in range(s):
+            if (value >> h) & 1:
+                data[h] = ones
+        return cls(data, word_bits)
+
+    # -- properties --------------------------------------------------
+    @property
+    def s(self) -> int:
+        """Number of bit planes (integer width in bits)."""
+        return self.data.shape[0]
+
+    @property
+    def lane_shape(self) -> tuple[int, ...]:
+        """Shape of one bit plane."""
+        return self.data.shape[1:]
+
+    @property
+    def n_instances(self) -> int:
+        """Total instance capacity (lanes x word width)."""
+        return int(np.prod(self.lane_shape, dtype=np.int64)) * self.word_bits
+
+    # -- conversion --------------------------------------------------
+    def to_ints(self, count: int | None = None) -> np.ndarray:
+        """Unpack back to wordwise uint64 values (1-D lane shape only)."""
+        if len(self.lane_shape) != 1:
+            raise BitOpsError(
+                "to_ints requires a 1-D lane shape; got "
+                f"{self.lane_shape}"
+            )
+        return ints_from_slices(self.data, self.word_bits, count=count)
+
+    def copy(self) -> "BitSlicedUInt":
+        """Deep copy."""
+        return BitSlicedUInt(self.data.copy(), self.word_bits)
+
+    def widen(self, s_new: int) -> "BitSlicedUInt":
+        """Return a copy with ``s_new >= s`` planes (zero-extended)."""
+        if s_new < self.s:
+            raise BitOpsError(f"cannot narrow from {self.s} to {s_new} bits")
+        out = np.zeros((s_new, *self.lane_shape),
+                       dtype=word_dtype(self.word_bits))
+        out[: self.s] = self.data
+        return BitSlicedUInt(out, self.word_bits)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BitSlicedUInt(s={self.s}, lanes={self.lane_shape}, "
+                f"word_bits={self.word_bits})")

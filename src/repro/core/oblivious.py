@@ -1,0 +1,306 @@
+"""Oblivious straight-line programs with interchangeable executors.
+
+The paper builds on the authors' earlier "bulk execution of oblivious
+algorithms" line of work (§I, refs [10], [12] — the C2CU generator):
+any *oblivious* program — one whose operation sequence does not depend
+on data — can be executed for many inputs at once, and if its
+operations are expressible as circuits, in bit-sliced form.
+
+This module makes that idea a first-class object: an
+:class:`ObliviousProgram` is a recorded straight-line sequence of
+saturating ``s``-bit operations (const / add / ssub / max / char-eq /
+select) that can be run by two interchangeable executors,
+
+* :meth:`~ObliviousProgram.run_wordwise` — plain integer semantics,
+  one array element per instance (the paper's "wordwise format"), and
+* :meth:`~ObliviousProgram.run_bitsliced` — the BPBC executor over
+  bit planes, ``word_bits`` instances per lane word,
+
+plus a static :meth:`~ObliviousProgram.op_count` derived from the
+circuit lemmas.  The two executors agreeing on every program is the
+obliviousness property the whole paper rests on, and the property
+tests sweep random programs to check it.
+
+:func:`sw_cell_program` expresses the paper's SW cell in the IR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .bitops import BitOpsError, OpCounter, word_dtype
+from .bitsliced import ints_from_slices, slices_from_ints
+from .circuits import (
+    add_b,
+    add_b_ops,
+    clamp_penalty,
+    max_b,
+    max_b_ops,
+    splat_constant,
+    ssub_b,
+    ssub_b_ops,
+)
+
+__all__ = ["Value", "ObliviousProgram", "sw_cell_program"]
+
+
+@dataclass(frozen=True)
+class Value:
+    """Handle to one intermediate value of a program."""
+
+    index: int
+    kind: str  # "score" (s-bit) or "char" (eps-bit) or "flag" (1-bit)
+
+
+@dataclass(frozen=True)
+class _Instr:
+    op: str
+    dst: int
+    srcs: tuple[int, ...]
+    imm: int | None = None
+
+
+class ObliviousProgram:
+    """A recorded straight-line program over saturating ``s``-bit values."""
+
+    def __init__(self, s_bits: int, char_bits: int = 2) -> None:
+        if s_bits <= 0 or char_bits <= 0:
+            raise BitOpsError("widths must be positive")
+        self.s = s_bits
+        self.eps = char_bits
+        self._instrs: list[_Instr] = []
+        self._kinds: list[str] = []
+        self._inputs: dict[str, Value] = {}
+        self._outputs: dict[str, Value] = {}
+
+    # -- builder ---------------------------------------------------------
+    def _new(self, kind: str) -> Value:
+        self._kinds.append(kind)
+        return Value(len(self._kinds) - 1, kind)
+
+    def _expect(self, v: Value, kind: str, ctx: str) -> None:
+        if v.kind != kind:
+            raise BitOpsError(
+                f"{ctx}: expected a {kind} value, got {v.kind}"
+            )
+
+    def inp(self, name: str, kind: str = "score") -> Value:
+        """Declare a named input of the given kind."""
+        if name in self._inputs:
+            raise BitOpsError(f"duplicate input {name!r}")
+        if kind not in ("score", "char"):
+            raise BitOpsError(f"unknown input kind {kind!r}")
+        v = self._new(kind)
+        self._inputs[name] = v
+        self._instrs.append(_Instr("input", v.index, ()))
+        return v
+
+    def const(self, value: int) -> Value:
+        """An ``s``-bit constant."""
+        if value < 0 or value >> self.s:
+            raise BitOpsError(
+                f"constant {value} does not fit in {self.s} bits"
+            )
+        v = self._new("score")
+        self._instrs.append(_Instr("const", v.index, (), imm=value))
+        return v
+
+    def add(self, a: Value, b: Value) -> Value:
+        """``(a + b) mod 2**s`` (caller guarantees no overflow)."""
+        self._expect(a, "score", "add")
+        self._expect(b, "score", "add")
+        v = self._new("score")
+        self._instrs.append(_Instr("add", v.index, (a.index, b.index)))
+        return v
+
+    def ssub(self, a: Value, b: Value) -> Value:
+        """Saturating ``max(a - b, 0)``."""
+        self._expect(a, "score", "ssub")
+        self._expect(b, "score", "ssub")
+        v = self._new("score")
+        self._instrs.append(_Instr("ssub", v.index, (a.index, b.index)))
+        return v
+
+    def max(self, a: Value, b: Value) -> Value:
+        """``max(a, b)``."""
+        self._expect(a, "score", "max")
+        self._expect(b, "score", "max")
+        v = self._new("score")
+        self._instrs.append(_Instr("max", v.index, (a.index, b.index)))
+        return v
+
+    def char_ne(self, x: Value, y: Value) -> Value:
+        """1-bit flag: characters differ."""
+        self._expect(x, "char", "char_ne")
+        self._expect(y, "char", "char_ne")
+        v = self._new("flag")
+        self._instrs.append(_Instr("char_ne", v.index,
+                                   (x.index, y.index)))
+        return v
+
+    def select(self, flag: Value, when1: Value, when0: Value) -> Value:
+        """``flag ? when1 : when0`` over scores."""
+        self._expect(flag, "flag", "select")
+        self._expect(when1, "score", "select")
+        self._expect(when0, "score", "select")
+        v = self._new("score")
+        self._instrs.append(_Instr(
+            "select", v.index, (flag.index, when1.index, when0.index)
+        ))
+        return v
+
+    def output(self, name: str, v: Value) -> None:
+        """Declare a named output."""
+        self._expect(v, "score", "output")
+        if name in self._outputs:
+            raise BitOpsError(f"duplicate output {name!r}")
+        self._outputs[name] = v
+
+    # -- executors ---------------------------------------------------------
+    def run_wordwise(self, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Integer-array executor (one element per instance)."""
+        self._check_io(inputs)
+        mod = 1 << self.s
+        env: list[np.ndarray | None] = [None] * len(self._kinds)
+        for ins in self._instrs:
+            if ins.op == "input":
+                name = next(k for k, v in self._inputs.items()
+                            if v.index == ins.dst)
+                env[ins.dst] = np.asarray(inputs[name], dtype=np.int64)
+            elif ins.op == "const":
+                env[ins.dst] = np.int64(ins.imm)
+            elif ins.op == "add":
+                env[ins.dst] = (env[ins.srcs[0]] + env[ins.srcs[1]]) % mod
+            elif ins.op == "ssub":
+                env[ins.dst] = np.maximum(
+                    env[ins.srcs[0]] - env[ins.srcs[1]], 0
+                )
+            elif ins.op == "max":
+                env[ins.dst] = np.maximum(env[ins.srcs[0]],
+                                          env[ins.srcs[1]])
+            elif ins.op == "char_ne":
+                env[ins.dst] = (env[ins.srcs[0]]
+                                != env[ins.srcs[1]]).astype(np.int64)
+            else:  # select
+                f, a, b = (env[i] for i in ins.srcs)
+                env[ins.dst] = np.where(f != 0, a, b)
+        return {name: np.asarray(env[v.index])
+                for name, v in self._outputs.items()}
+
+    def run_bitsliced(self, inputs: dict[str, np.ndarray],
+                      word_bits: int = 64,
+                      counter: OpCounter | None = None
+                      ) -> dict[str, np.ndarray]:
+        """BPBC executor: inputs/outputs are wordwise arrays, the
+        computation is bit-sliced internally."""
+        self._check_io(inputs)
+        counts = {np.asarray(v).shape[0] for v in inputs.values()}
+        if len(counts) != 1:
+            raise BitOpsError(
+                f"inputs disagree on instance count: {sorted(counts)}"
+            )
+        P = counts.pop()
+        dt = word_dtype(word_bits)
+        env: list[list[np.ndarray] | np.ndarray | None] = (
+            [None] * len(self._kinds)
+        )
+        for ins in self._instrs:
+            if ins.op == "input":
+                name = next(k for k, v in self._inputs.items()
+                            if v.index == ins.dst)
+                width = (self.s if self._kinds[ins.dst] == "score"
+                         else self.eps)
+                env[ins.dst] = list(
+                    slices_from_ints(np.asarray(inputs[name]), width,
+                                     word_bits)
+                )
+            elif ins.op == "const":
+                env[ins.dst] = splat_constant(ins.imm, self.s, word_bits)
+            elif ins.op == "add":
+                env[ins.dst] = add_b(env[ins.srcs[0]], env[ins.srcs[1]],
+                                     counter)
+            elif ins.op == "ssub":
+                env[ins.dst] = ssub_b(env[ins.srcs[0]],
+                                      env[ins.srcs[1]], counter)
+            elif ins.op == "max":
+                env[ins.dst] = max_b(env[ins.srcs[0]], env[ins.srcs[1]],
+                                     counter)
+            elif ins.op == "char_ne":
+                x, y = env[ins.srcs[0]], env[ins.srcs[1]]
+                e = dt.type(0)
+                for b in range(self.eps):
+                    e = e | (x[b] ^ y[b])
+                    if counter is not None:
+                        counter.add(2, kind="matchflag")
+                env[ins.dst] = e
+            else:  # select
+                f = env[ins.srcs[0]]
+                a, b = env[ins.srcs[1]], env[ins.srcs[2]]
+                out = []
+                for h in range(self.s):
+                    out.append((a[h] & f) | (b[h] & ~f))
+                    if counter is not None:
+                        counter.add(4, kind="select")
+                env[ins.dst] = out
+        return {
+            name: ints_from_slices(
+                np.stack(env[v.index]), word_bits, count=P
+            ).astype(np.int64)
+            for name, v in self._outputs.items()
+        }
+
+    def op_count(self) -> int:
+        """Static bitwise-operation count of one bit-sliced run."""
+        total = 0
+        for ins in self._instrs:
+            if ins.op == "add":
+                total += add_b_ops(self.s)
+            elif ins.op == "ssub":
+                total += ssub_b_ops(self.s)
+            elif ins.op == "max":
+                total += max_b_ops(self.s)
+            elif ins.op == "char_ne":
+                total += 2 * self.eps
+            elif ins.op == "select":
+                total += 4 * self.s
+        return total
+
+    def _check_io(self, inputs: dict[str, np.ndarray]) -> None:
+        if not self._outputs:
+            raise BitOpsError("program has no outputs")
+        missing = set(self._inputs) - set(inputs)
+        if missing:
+            raise BitOpsError(f"missing inputs: {sorted(missing)}")
+
+    @property
+    def n_instructions(self) -> int:
+        """Recorded instructions (including inputs/constants)."""
+        return len(self._instrs)
+
+
+def sw_cell_program(s: int, gap: int, c1: int, c2: int,
+                    eps: int = 2) -> ObliviousProgram:
+    """The paper's SW cell expressed in the oblivious IR.
+
+    Inputs ``up``, ``left``, ``diag`` (scores) and ``x``, ``y``
+    (characters); output ``d``.  Its :meth:`ObliviousProgram.op_count`
+    equals :func:`repro.core.circuits.sw_cell_ops_exact` — the IR and
+    the hand circuit account identically.
+    """
+    prog = ObliviousProgram(s, eps)
+    up = prog.inp("up")
+    left = prog.inp("left")
+    diag = prog.inp("diag")
+    x = prog.inp("x", kind="char")
+    y = prog.inp("y", kind="char")
+    t = prog.max(up, left)
+    u = prog.ssub(t, prog.const(clamp_penalty(gap, s)))
+    r = prog.add(diag, prog.const(c1))
+    tt = prog.ssub(diag, prog.const(clamp_penalty(c2, s)))
+    e = prog.char_ne(x, y)
+    matched = prog.select(e, tt, r)
+    prog.output("d", prog.max(matched, u))
+    return prog

@@ -1,0 +1,118 @@
+"""Straightforward and BPBC string matching (paper §II).
+
+The paper introduces the BPBC technique on a deliberately naive
+exact-matching algorithm: slide the pattern ``X`` (length ``m``) along
+the text ``Y`` (length ``n``) and set ``d[j] = 0`` iff ``X`` matches at
+offset ``j``.  The BPBC version runs the identical loop over
+bit-transposed inputs, deciding 32 (or 64, or ``word_bits x lanes``)
+pattern/text pairs per machine word in the same O(mn) operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitops import BitOpsError, OpCounter, lane_count, word_dtype
+from .encoding import encode, encode_batch, encode_batch_bit_transposed
+
+__all__ = [
+    "straightforward_string_matching",
+    "bpbc_string_matching",
+    "bpbc_string_matching_strings",
+    "match_offsets",
+]
+
+
+def straightforward_string_matching(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    """The paper's wordwise reference: ``d[j] = 0`` iff match at ``j``.
+
+    ``X`` (length ``m``) and ``Y`` (length ``n >= m``) are code arrays.
+    Returns ``d`` of length ``n - m + 1`` with entries in {0, 1}.
+    """
+    X = np.asarray(X)
+    Y = np.asarray(Y)
+    m, n = len(X), len(Y)
+    if m == 0:
+        raise BitOpsError("empty pattern")
+    if m > n:
+        raise BitOpsError(f"pattern length {m} exceeds text length {n}")
+    d = np.empty(n - m + 1, dtype=np.uint8)
+    for j in range(n - m + 1):
+        d[j] = 0
+        for i in range(m):
+            if X[i] != Y[i + j]:
+                d[j] = 1
+    return d
+
+
+def bpbc_string_matching(
+    XH: np.ndarray, XL: np.ndarray, YH: np.ndarray, YL: np.ndarray,
+    word_bits: int, counter: OpCounter | None = None,
+) -> np.ndarray:
+    """BPBC straightforward string matching over bit-transposed inputs.
+
+    ``XH``/``XL`` have shape ``(m, lanes)`` and ``YH``/``YL`` shape
+    ``(n, lanes)`` — the high/low code-bit planes of every instance.
+    Returns ``d`` of shape ``(n - m + 1, lanes)``: bit ``k`` of
+    ``d[j, l]`` is 0 iff instance ``l * word_bits + k`` matches at
+    offset ``j``.  Three bitwise operations per (i, j) pair decide the
+    position for every lane at once::
+
+        d[j] |= (x_i^H ^ y_{i+j}^H) | (x_i^L ^ y_{i+j}^L)
+    """
+    XH = np.asarray(XH)
+    XL = np.asarray(XL)
+    YH = np.asarray(YH)
+    YL = np.asarray(YL)
+    if XH.shape != XL.shape or YH.shape != YL.shape:
+        raise BitOpsError("H/L plane shapes must match")
+    if XH.shape[1:] != YH.shape[1:]:
+        raise BitOpsError(
+            f"lane shape mismatch: {XH.shape[1:]} vs {YH.shape[1:]}"
+        )
+    m, n = XH.shape[0], YH.shape[0]
+    if m == 0:
+        raise BitOpsError("empty pattern")
+    if m > n:
+        raise BitOpsError(f"pattern length {m} exceeds text length {n}")
+    dt = word_dtype(word_bits)
+    d = np.zeros((n - m + 1,) + XH.shape[1:], dtype=dt)
+    for j in range(n - m + 1):
+        acc = d[j]
+        for i in range(m):
+            acc = acc | (XH[i] ^ YH[i + j]) | (XL[i] ^ YL[i + j])
+            if counter is not None:
+                counter.add(4, kind="strmatch")
+        d[j] = acc
+    return d
+
+
+def bpbc_string_matching_strings(
+    patterns: list[str], texts: list[str], word_bits: int = 32,
+    counter: OpCounter | None = None,
+) -> np.ndarray:
+    """Convenience wrapper: match ``patterns[k]`` against ``texts[k]``.
+
+    Returns a ``(P, n - m + 1)`` 0/1 matrix (0 = match at that offset),
+    one row per pair, computed through the full BPBC path: encode,
+    bit-transpose, bulk match, un-transpose.
+    """
+    if len(patterns) != len(texts):
+        raise BitOpsError("need one text per pattern")
+    P = len(patterns)
+    Xc = encode_batch(patterns)
+    Yc = encode_batch(texts)
+    XH, XL = encode_batch_bit_transposed(Xc, word_bits)
+    YH, YL = encode_batch_bit_transposed(Yc, word_bits)
+    d = bpbc_string_matching(XH, XL, YH, YL, word_bits, counter=counter)
+    # Un-transpose the 1-bit results: lane k of word l -> instance row.
+    from .bitops import unpack_lanes
+
+    bits = unpack_lanes(d, word_bits, count=P)  # (offsets, P)
+    return bits.T.copy()
+
+
+def match_offsets(pattern: str, text: str, word_bits: int = 32) -> list[int]:
+    """Offsets where ``pattern`` occurs in ``text`` (single-pair helper)."""
+    d = bpbc_string_matching_strings([pattern], [text], word_bits)[0]
+    return [int(j) for j in np.flatnonzero(d == 0)]

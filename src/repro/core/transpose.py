@@ -1,0 +1,406 @@
+"""Bit-matrix transpose (Hacker's Delight §7.3) with operation counting.
+
+A ``w x w`` bit matrix stored in ``w`` machine words of ``w`` bits each
+is transposed by ``log2(w)`` rounds of block swaps (Figure 1 of the
+paper).  The paper's Table I additionally counts a *reduced* variant:
+when every input word holds an ``s``-bit number (``s < w``), most of
+the matrix is known to be zero, so full 7-operation ``swap`` calls can
+be replaced by 4-operation ``copy`` calls or skipped entirely.
+
+This module provides
+
+* :func:`transpose_schedule` — the full swap schedule for a width,
+* :func:`classify_reduced_schedule` — a forward-liveness / backward-
+  neededness dataflow analysis that decides, for each scheduled pair,
+  whether it must be a ``swap``, can be a ``copy``, or can be skipped
+  (this regenerates Table I),
+* :func:`transpose_bits` / :func:`untranspose_bits` — vectorised
+  executors for batches of bit matrices, and
+* :func:`transpose8x8_stages` — the intermediate states of Figure 1.
+
+Layout convention: ``A`` has shape ``(..., w)``; ``A[..., i]`` is word
+``i`` and bit ``j`` of word ``i`` is matrix element ``(i, j)``.  After
+transposing, bit ``j`` of word ``i`` is the original element ``(j, i)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from .bitops import (
+    BitOpsError,
+    OpCounter,
+    alternating_mask,
+    check_word_bits,
+    copy_down,
+    copy_up,
+    full_mask,
+    swap,
+    word_dtype,
+)
+
+__all__ = [
+    "PairOp",
+    "ClassifiedOp",
+    "transpose_schedule",
+    "classify_reduced_schedule",
+    "count_reduced_ops",
+    "table1_row",
+    "transpose_bits",
+    "untranspose_bits",
+    "transpose_bits_reduced",
+    "untranspose_bits_reduced",
+    "transpose8x8_stages",
+    "bit_matrix_from_words",
+    "words_from_bit_matrix",
+]
+
+
+@dataclass(frozen=True)
+class PairOp:
+    """One scheduled exchange between words ``i`` and ``j = i + k``.
+
+    ``k`` is both the index distance and the shift amount; ``mask`` is
+    the alternating mask selecting the moving block within each word.
+    """
+
+    i: int
+    j: int
+    k: int
+    mask: int
+    step: int
+
+
+@dataclass(frozen=True)
+class ClassifiedOp:
+    """A :class:`PairOp` after the reduced-schedule dataflow analysis.
+
+    ``kind`` is one of ``"swap"``, ``"copy_up"`` (word ``j``'s block
+    moves into word ``i``), ``"copy_down"`` (word ``i``'s block moves
+    into word ``j``) or ``"skip"``.
+    """
+
+    op: PairOp
+    kind: str
+
+
+@lru_cache(maxsize=None)
+def transpose_schedule(word_bits: int) -> tuple[tuple[PairOp, ...], ...]:
+    """The full swap schedule for a ``w x w`` bit-matrix transpose.
+
+    Returns one tuple of :class:`PairOp` per step; step ``t`` uses
+    shift ``k = w / 2^(t+1)`` and pairs word ``i`` with word ``i + k``
+    inside each aligned block of ``2k`` words.  A ``w x w`` transpose
+    has ``log2(w)`` steps of ``w / 2`` swaps each (e.g. 5 steps of 16
+    swaps for ``w = 32``, hence Lemma 1's ``80 * 7 = 560`` operations).
+    """
+    check_word_bits(word_bits)
+    steps: list[tuple[PairOp, ...]] = []
+    k = word_bits // 2
+    step = 0
+    while k >= 1:
+        mask = alternating_mask(word_bits, k)
+        ops = []
+        for base in range(0, word_bits, 2 * k):
+            for off in range(k):
+                i = base + off
+                ops.append(PairOp(i=i, j=i + k, k=k, mask=mask, step=step))
+        steps.append(tuple(ops))
+        k //= 2
+        step += 1
+    return tuple(steps)
+
+
+def _live_after_swap(live_a: int, live_b: int, k: int, mask: int,
+                     word_bits: int) -> tuple[int, int]:
+    """Forward liveness transfer of a full ``swap``."""
+    fm = full_mask(word_bits)
+    hi = (mask << k) & fm
+    new_a = (live_a & ~hi) | (((live_b & mask) << k) & fm)
+    new_b = (live_b & ~mask) | ((live_a & hi) >> k)
+    return new_a & fm, new_b & fm
+
+
+def _needed_before_swap(need_a: int, need_b: int, k: int, mask: int,
+                        word_bits: int) -> tuple[int, int]:
+    """Backward neededness transfer of a full ``swap`` (its own inverse)."""
+    return _live_after_swap(need_a, need_b, k, mask, word_bits)
+
+
+def classify_reduced_schedule(
+    word_bits: int, s: int
+) -> tuple[tuple[ClassifiedOp, ...], ...]:
+    """Classify every scheduled pair for ``s``-bit inputs.
+
+    Every input word is assumed to hold an ``s``-bit number (bits
+    ``0..s-1`` possibly non-zero, the rest zero) and only the first
+    ``s`` output words (rows ``0..s-1`` of the transposed matrix) are
+    required.  The classification runs the schedule twice:
+
+    1. *forward*, propagating which bit positions of which words can be
+       non-zero (``live``), and
+    2. *backward*, propagating which bit positions are still needed to
+       produce the required output rows (``needed``).
+
+    A pair where data must move in both directions is a ``swap``; one
+    direction only, a ``copy``; neither, a ``skip``.  Operation totals
+    derived from this classification reproduce the paper's Table I.
+    """
+    check_word_bits(word_bits)
+    if not 1 <= s <= word_bits:
+        raise BitOpsError(f"s must be in [1, {word_bits}], got {s}")
+    steps = transpose_schedule(word_bits)
+    flat = [op for step in steps for op in step]
+    fm = full_mask(word_bits)
+
+    # Forward liveness.
+    live = [(1 << s) - 1] * word_bits
+    live_before: list[tuple[int, int]] = []
+    for op in flat:
+        la, lb = live[op.i], live[op.j]
+        live_before.append((la, lb))
+        live[op.i], live[op.j] = _live_after_swap(
+            la, lb, op.k, op.mask, word_bits
+        )
+
+    # Backward neededness: output rows 0..s-1 fully needed.
+    needed = [fm if i < s else 0 for i in range(word_bits)]
+    needed_after: list[tuple[int, int]] = [None] * len(flat)  # type: ignore
+    for idx in range(len(flat) - 1, -1, -1):
+        op = flat[idx]
+        na, nb = needed[op.i], needed[op.j]
+        needed_after[idx] = (na, nb)
+        needed[op.i], needed[op.j] = _needed_before_swap(
+            na, nb, op.k, op.mask, word_bits
+        )
+
+    # Classification.
+    classified: list[list[ClassifiedOp]] = [[] for _ in steps]
+    for idx, op in enumerate(flat):
+        la, lb = live_before[idx]
+        na, nb = needed_after[idx]
+        hi = (op.mask << op.k) & fm
+        # Bits that are live in A's high block and needed at B's low block.
+        move_ab = ((la & hi) >> op.k) & (nb & op.mask)
+        # Bits live in B's low block and needed at A's high block.
+        move_ba = (lb & op.mask) & ((na & hi) >> op.k)
+        # Bits of A (outside the exchanged block) that must survive in A,
+        # and similarly for B: a one-sided move may still need the swap's
+        # "keep" semantics, but copy_up keeps A's low block and copy_down
+        # keeps B's high block, which is exactly what the schedule needs.
+        if move_ab and move_ba:
+            kind = "swap"
+        elif move_ba:
+            kind = "copy_up"
+        elif move_ab:
+            kind = "copy_down"
+        else:
+            kind = "skip"
+        classified[op.step].append(ClassifiedOp(op=op, kind=kind))
+    return tuple(tuple(step) for step in classified)
+
+
+def count_reduced_ops(word_bits: int, s: int) -> dict[str, object]:
+    """Swap/copy/skip totals for the reduced transpose at width ``s``.
+
+    Returns a dict with per-step counts and overall totals, including
+    ``total_operations`` under the paper's 7-ops-per-swap /
+    4-ops-per-copy accounting (Table I).
+    """
+    classified = classify_reduced_schedule(word_bits, s)
+    per_step = []
+    total_swap = total_copy = 0
+    for step_ops in classified:
+        n_swap = sum(1 for c in step_ops if c.kind == "swap")
+        n_copy = sum(1 for c in step_ops if c.kind.startswith("copy"))
+        per_step.append({"swap": n_swap, "copy": n_copy})
+        total_swap += n_swap
+        total_copy += n_copy
+    return {
+        "word_bits": word_bits,
+        "s": s,
+        "per_step": per_step,
+        "total_swap": total_swap,
+        "total_copy": total_copy,
+        "total_operations": 7 * total_swap + 4 * total_copy,
+    }
+
+
+def table1_row(s: int) -> dict[str, object]:
+    """The Table I row for a ``32 x 32`` transpose of ``s``-bit numbers."""
+    return count_reduced_ops(32, s)
+
+
+def _words_view(A: np.ndarray, word_bits: int) -> np.ndarray:
+    dt = word_dtype(word_bits)
+    A = np.asarray(A)
+    if A.shape[-1] != word_bits:
+        raise BitOpsError(
+            f"expected trailing axis of {word_bits} words, got shape {A.shape}"
+        )
+    return A.astype(dt, copy=True)
+
+
+def transpose_bits(A: np.ndarray, word_bits: int,
+                   counter: OpCounter | None = None) -> np.ndarray:
+    """Transpose batches of ``w x w`` bit matrices.
+
+    ``A`` has shape ``(..., w)``; every trailing group of ``w`` words is
+    one matrix.  Returns a new array; counts one ``swap`` per scheduled
+    pair per matrix *column of the batch* is **not** multiplied — the
+    counter reflects the per-matrix register-level schedule, matching
+    the paper's per-32x32-block accounting.
+    """
+    out = _words_view(A, word_bits)
+    for step in transpose_schedule(word_bits):
+        for op in step:
+            a, b = swap(out[..., op.i], out[..., op.j], op.k, op.mask,
+                        word_bits, counter=counter)
+            out[..., op.i] = a
+            out[..., op.j] = b
+    return out
+
+
+def untranspose_bits(A: np.ndarray, word_bits: int,
+                     counter: OpCounter | None = None) -> np.ndarray:
+    """Inverse of :func:`transpose_bits`.
+
+    A square bit-matrix transpose is an involution, but the paper notes
+    bit-untranspose "can be done by executing operations performed by
+    bit transpose backwards"; we execute the schedule in reverse so the
+    reduced variants (which are *not* involutions) share code paths.
+    """
+    out = _words_view(A, word_bits)
+    for step in reversed(transpose_schedule(word_bits)):
+        for op in reversed(step):
+            a, b = swap(out[..., op.i], out[..., op.j], op.k, op.mask,
+                        word_bits, counter=counter)
+            out[..., op.i] = a
+            out[..., op.j] = b
+    return out
+
+
+def transpose_bits_reduced(A: np.ndarray, word_bits: int, s: int,
+                           counter: OpCounter | None = None) -> np.ndarray:
+    """Reduced transpose for ``s``-bit inputs (Table I variant).
+
+    Input words must hold values below ``2**s``.  Only the first ``s``
+    output words are meaningful (they hold bit-planes ``0..s-1``); the
+    remaining words contain don't-care values, exactly as in the
+    paper's register-level construction.  Returns the full ``(..., w)``
+    array with the trailing ``w - s`` words zeroed for convenience.
+    """
+    out = _words_view(A, word_bits)
+    if s < word_bits:
+        limit = word_dtype(word_bits).type((1 << s) - 1)
+        if np.any(out & ~limit):
+            raise BitOpsError(
+                f"reduced transpose requires inputs < 2**{s}"
+            )
+    for step_ops in classify_reduced_schedule(word_bits, s):
+        for c in step_ops:
+            op = c.op
+            if c.kind == "skip":
+                continue
+            if c.kind == "swap":
+                a, b = swap(out[..., op.i], out[..., op.j], op.k, op.mask,
+                            word_bits, counter=counter)
+                out[..., op.i] = a
+                out[..., op.j] = b
+            elif c.kind == "copy_up":
+                out[..., op.i] = copy_up(out[..., op.i], out[..., op.j],
+                                         op.k, op.mask, word_bits,
+                                         counter=counter)
+            else:  # copy_down
+                out[..., op.j] = copy_down(out[..., op.i], out[..., op.j],
+                                           op.k, op.mask, word_bits,
+                                           counter=counter)
+    out[..., s:] = 0
+    return out
+
+
+def untranspose_bits_reduced(A: np.ndarray, word_bits: int, s: int,
+                             counter: OpCounter | None = None) -> np.ndarray:
+    """Reduced bit-untranspose: bit-sliced ``s``-bit values back to wordwise.
+
+    This is the paper's B2W step: the input's first ``s`` words are bit
+    planes (word ``h`` = bit ``h`` of every instance) and the output's
+    ``w`` words each hold one instance's ``s``-bit value.  Implemented
+    by running the reduced transpose schedule *backwards* with every
+    operation inverted (``swap`` is self-inverse; the two ``copy``
+    directions mirror each other), exactly as the paper prescribes
+    ("bit-untranspose can be done by executing operations performed by
+    bit transpose backwards") — so the operation counts equal Table I's.
+    """
+    out = _words_view(A, word_bits)
+    out[..., s:] = 0
+    for step_ops in reversed(classify_reduced_schedule(word_bits, s)):
+        for c in reversed(step_ops):
+            op = c.op
+            if c.kind == "skip":
+                continue
+            if c.kind == "swap":
+                a, b = swap(out[..., op.i], out[..., op.j], op.k, op.mask,
+                            word_bits, counter=counter)
+                out[..., op.i] = a
+                out[..., op.j] = b
+            elif c.kind == "copy_up":
+                # Forward copy_up moved B's low block into A's high
+                # block; its dataflow inverse moves A's high block back
+                # down into B.
+                out[..., op.j] = copy_down(out[..., op.i], out[..., op.j],
+                                           op.k, op.mask, word_bits,
+                                           counter=counter)
+            else:  # forward copy_down -> inverse copy_up
+                out[..., op.i] = copy_up(out[..., op.i], out[..., op.j],
+                                         op.k, op.mask, word_bits,
+                                         counter=counter)
+    mask_val = word_dtype(word_bits).type(
+        (1 << s) - 1 if s < word_bits else full_mask(word_bits)
+    )
+    return out & mask_val
+
+
+def transpose8x8_stages(A: np.ndarray) -> list[np.ndarray]:
+    """Intermediate states of the 8x8 transpose (Figure 1).
+
+    Returns ``[initial, after step 1, after step 2, after step 3]``.
+    """
+    out = _words_view(A, 8)
+    stages = [out.copy()]
+    for step in transpose_schedule(8):
+        for op in step:
+            a, b = swap(out[..., op.i], out[..., op.j], op.k, op.mask, 8)
+            out[..., op.i] = a
+            out[..., op.j] = b
+        stages.append(out.copy())
+    return stages
+
+
+def bit_matrix_from_words(words: np.ndarray, word_bits: int) -> np.ndarray:
+    """Expand ``w`` words into a ``w x w`` 0/1 matrix (row ``i`` = word ``i``)."""
+    dt = word_dtype(word_bits)
+    words = np.asarray(words, dtype=dt)
+    if words.shape != (word_bits,):
+        raise BitOpsError(
+            f"expected exactly {word_bits} words, got shape {words.shape}"
+        )
+    shifts = np.arange(word_bits, dtype=dt)
+    return ((words[:, None] >> shifts) & dt.type(1)).astype(np.uint8)
+
+
+def words_from_bit_matrix(matrix: np.ndarray, word_bits: int) -> np.ndarray:
+    """Pack a ``w x w`` 0/1 matrix back into ``w`` words."""
+    dt = word_dtype(word_bits)
+    matrix = np.asarray(matrix)
+    if matrix.shape != (word_bits, word_bits):
+        raise BitOpsError(
+            f"expected a {word_bits}x{word_bits} matrix, got {matrix.shape}"
+        )
+    weights = dt.type(1) << np.arange(word_bits, dtype=dt)
+    return ((matrix.astype(dt) & dt.type(1)) * weights).sum(
+        axis=1, dtype=dt
+    )

@@ -1,0 +1,5 @@
+"""Experiment harness regenerating every table and figure."""
+
+from .runner import EXPERIMENTS, main
+
+__all__ = ["EXPERIMENTS", "main"]

@@ -1,0 +1,64 @@
+"""Experiment: Figure 1 — the three stages of the 8x8 bit transpose.
+
+Reconstructs the paper's figure by tracking, for a symbolic 8x8
+matrix whose (i, j) entry is labelled ``i,j``, where every element
+sits after each swap round — and verifies the final stage is the
+exact transpose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.transpose import transpose_schedule
+from .report import render_table
+
+__all__ = ["run", "stages_symbolic"]
+
+
+def stages_symbolic() -> list[np.ndarray]:
+    """Symbolic element positions after each 8x8 transpose step.
+
+    Returns four ``(8, 8)`` arrays of ``"i,j"`` labels: initial state
+    and the state after each of the three swap rounds (the panels of
+    Figure 1).  Entry ``[w, b]`` is the label of the element currently
+    held in bit ``b`` of word ``w``.
+    """
+    state = np.empty((8, 8), dtype=object)
+    for i in range(8):
+        for j in range(8):
+            state[i, j] = f"{i},{j}"
+    stages = [state.copy()]
+    for step in transpose_schedule(8):
+        for op in step:
+            for b in range(8):
+                if (op.mask >> b) & 1:
+                    hb = b + op.k
+                    a_hi = state[op.i, hb]
+                    state[op.i, hb] = state[op.j, b]
+                    state[op.j, b] = a_hi
+        stages.append(state.copy())
+    return stages
+
+
+def run(verbose: bool = True) -> str:
+    """Render Figure 1's four panels."""
+    stages = stages_symbolic()
+    names = ["initial", "after step 1 (k=4)", "after step 2 (k=2)",
+             "after step 3 (k=1)"]
+    parts = []
+    for name, st in zip(names, stages):
+        rows = [[f"A[{w}]"] + [st[w, b] for b in range(7, -1, -1)]
+                for w in range(8)]
+        parts.append(render_table(
+            ["word"] + [f"bit{b}" for b in range(7, -1, -1)], rows,
+            title=f"Figure 1 — {name}"))
+    final = stages[-1]
+    transposed_ok = all(final[w, b] == f"{b},{w}"
+                        for w in range(8) for b in range(8))
+    out = "\n\n".join(parts) + (
+        f"\n\nfinal state is the exact transpose: {transposed_ok}"
+    )
+    if verbose:
+        print(out)
+    return out

@@ -1,0 +1,28 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+__all__ = ["render_table", "fmt"]
+
+
+def fmt(value, nd: int = 2) -> str:
+    """Format a cell: floats with ``nd`` decimals, everything else str."""
+    if isinstance(value, float):
+        return f"{value:.{nd}f}"
+    return str(value)
+
+
+def render_table(headers: list[str], rows: list[list], title: str = "",
+                 nd: int = 2) -> str:
+    """Right-aligned monospace table, like the paper's."""
+    cells = [[fmt(c, nd) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

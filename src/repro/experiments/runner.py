@@ -1,0 +1,58 @@
+"""Experiment runner: regenerate every table and figure.
+
+Usage::
+
+    python -m repro.experiments            # everything
+    python -m repro.experiments table4     # one experiment
+    python -m repro.experiments --fast     # smaller measured runs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (ablations, figure1, figure2, table1, table2, table3,
+               table4, table5)
+
+__all__ = ["EXPERIMENTS", "main"]
+
+EXPERIMENTS = {
+    "table1": lambda fast: table1.run(),
+    "table2": lambda fast: table2.run(),
+    "table3": lambda fast: table3.run(),
+    "table4": lambda fast: table4.run(
+        measured_pairs=1024 if fast else 2048,
+        measured_n=(256, 512) if fast else (256, 512, 1024),
+    ),
+    "table5": lambda fast: table5.run(
+        measured_pairs=1024 if fast else 2048,
+        measured_n=(256, 512) if fast else (256, 512, 1024),
+    ),
+    "figure1": lambda fast: figure1.run(),
+    "figure2": lambda fast: figure2.run(),
+    "ablations": lambda fast: ablations.run(),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("names", nargs="*",
+                        choices=[*EXPERIMENTS, []],
+                        help="experiments to run (default: all)")
+    parser.add_argument("--fast", action="store_true",
+                        help="smaller measured workloads")
+    args = parser.parse_args(argv)
+    names = args.names or list(EXPERIMENTS)
+    for name in names:
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+        EXPERIMENTS[name](args.fast)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

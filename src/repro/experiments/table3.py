@@ -1,0 +1,59 @@
+"""Experiment: Table III — the anti-diagonal wavefront schedule.
+
+Prints the step ``t`` at which each cell of the Table II example is
+computed, and verifies the two schedule invariants the paper's
+parallel algorithm rests on: every cell's dependencies are scheduled
+strictly earlier, and each diagonal's cells are mutually independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..perfmodel.paper_data import TABLE2_X, TABLE2_Y
+from ..swa.parallel import diagonal_cells, wavefront_schedule
+from .report import render_table
+
+__all__ = ["run", "compute"]
+
+
+def compute(m: int | None = None, n: int | None = None) -> dict:
+    """Schedule matrix plus dependency/coverage checks."""
+    m = m if m is not None else len(TABLE2_X)
+    n = n if n is not None else len(TABLE2_Y)
+    sched = wavefront_schedule(m, n)
+    deps_ok = True
+    for i in range(m):
+        for j in range(n):
+            for di, dj in ((-1, 0), (0, -1), (-1, -1)):
+                pi, pj = i + di, j + dj
+                if pi >= 0 and pj >= 0 and sched[pi, pj] >= sched[i, j]:
+                    deps_ok = False
+    covered = sum(len(diagonal_cells(m, n, t)) for t in range(m + n - 1))
+    return {
+        "schedule": sched,
+        "deps_ok": deps_ok,
+        "coverage_ok": covered == m * n,
+        "steps": m + n - 1,
+    }
+
+
+def run(verbose: bool = True) -> str:
+    """Render the Table III schedule (printed 1-based like the paper)."""
+    r = compute()
+    sched = r["schedule"]
+    header = [""] + list(TABLE2_Y)
+    rows = [[list(TABLE2_X)[i]] + [int(v) + 1 for v in sched[i]]
+            for i in range(sched.shape[0])]
+    table = render_table(
+        header, rows,
+        title="Table III: wavefront step t per cell (1-based, as printed)",
+    )
+    table += (
+        f"\nsteps = {r['steps']} (m + n - 1); dependencies scheduled "
+        f"earlier: {r['deps_ok']}; every cell covered exactly once: "
+        f"{r['coverage_ok']}"
+    )
+    if verbose:
+        print(table)
+    return table

@@ -1,0 +1,157 @@
+"""Experiment: Table IV — running time of the SWA implementations.
+
+Two complementary reproductions:
+
+1. **Analytic, paper scale** — the calibrated operation-count model of
+   :mod:`repro.perfmodel.model` regenerates all 21 rows (3 blocks x 7
+   text lengths) of Table IV from the n = 1024 / n = 65536 rows and
+   the circuit/transpose operation counts; middle rows are genuine
+   predictions.
+2. **Measured, machine scale** — the real NumPy engines (bitwise lane-
+   parallel vs wordwise batch) are timed on this machine at a reduced
+   pair count, with the same W2B / SWA / B2W breakdown, to demonstrate
+   the bitwise-beats-wordwise shape on hardware we actually have.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.bitsliced import ints_from_slices
+from ..core.encoding import encode_batch_bit_transposed
+from ..core.sw_bpbc import bpbc_sw_wavefront
+from ..core.transpose import untranspose_bits_reduced
+from ..core.bitops import lane_count, word_dtype
+from ..perfmodel.model import Table4Model
+from ..perfmodel.paper_data import N_VALUES, PAPER_TABLE4
+from ..swa.numpy_batch import sw_batch_max_scores
+from ..swa.scoring import ScoringScheme
+from ..workloads.datasets import paper_workload
+from .report import render_table
+
+__all__ = ["run", "analytic_table", "measure_cpu_bitwise",
+           "measure_cpu_wordwise", "measured_table"]
+
+SCHEME = ScoringScheme(match_score=2, mismatch_penalty=1, gap_penalty=1)
+
+
+def analytic_table() -> dict:
+    """Model-predicted Table IV plus per-column worst relative errors."""
+    model = Table4Model()
+    return {
+        "model": model,
+        "predicted": model.table4(),
+        "errors": model.relative_errors(),
+    }
+
+
+def measure_cpu_bitwise(n: int, pairs: int, m: int, word_bits: int,
+                        seed: int = 0) -> dict[str, float]:
+    """Wall-clock W2B / SWA / B2W breakdown of the bitwise NumPy engine."""
+    batch = paper_workload(n, pairs=pairs, m=m, seed=seed)
+    t0 = time.perf_counter()
+    XH, XL = encode_batch_bit_transposed(batch.X, word_bits)
+    YH, YL = encode_batch_bit_transposed(batch.Y, word_bits)
+    t1 = time.perf_counter()
+    result = bpbc_sw_wavefront(XH, XL, YH, YL, SCHEME, word_bits)
+    t2 = time.perf_counter()
+    # B2W: reduced untranspose of the bit-sliced scores per lane group.
+    s = result.s
+    groups = lane_count(pairs, word_bits)
+    dt = word_dtype(word_bits)
+    padded = np.zeros((groups, word_bits), dtype=dt)
+    padded[:, :s] = result.score_planes.T
+    wordwise = untranspose_bits_reduced(padded, word_bits, s)
+    t3 = time.perf_counter()
+    scores = wordwise.reshape(-1)[:pairs].astype(np.int64)
+    return {
+        "w2b": (t1 - t0) * 1e3,
+        "swa": (t2 - t1) * 1e3,
+        "b2w": (t3 - t2) * 1e3,
+        "total": (t3 - t0) * 1e3,
+        "scores": scores,
+        "cells": batch.cells,
+    }
+
+
+def measure_cpu_wordwise(n: int, pairs: int, m: int,
+                         seed: int = 0) -> dict[str, float]:
+    """Wall-clock timing of the wordwise NumPy batch engine."""
+    batch = paper_workload(n, pairs=pairs, m=m, seed=seed)
+    t0 = time.perf_counter()
+    scores = sw_batch_max_scores(batch.X, batch.Y, SCHEME)
+    t1 = time.perf_counter()
+    ms = (t1 - t0) * 1e3
+    return {"swa": ms, "total": ms, "scores": scores,
+            "cells": batch.cells}
+
+
+def measured_table(n_values=(256, 512, 1024), pairs: int = 2048,
+                   m: int = 128) -> list[dict]:
+    """Scaled-down measured Table IV rows on this machine.
+
+    The three engines score identical workloads; rows carry the same
+    breakdown columns as the paper plus agreement checks.
+    """
+    rows = []
+    for n in n_values:
+        b32 = measure_cpu_bitwise(n, pairs, m, 32)
+        b64 = measure_cpu_bitwise(n, pairs, m, 64)
+        ww = measure_cpu_wordwise(n, pairs, m)
+        agree = bool((b32["scores"] == ww["scores"]).all()
+                     and (b64["scores"] == ww["scores"]).all())
+        rows.append({"n": n, "bitwise32": b32, "bitwise64": b64,
+                     "wordwise": ww, "scores_agree": agree})
+    return rows
+
+
+def run(verbose: bool = True, measured_pairs: int = 2048,
+        measured_n=(256, 512, 1024)) -> str:
+    """Render both Table IV reproductions."""
+    parts = []
+    a = analytic_table()
+    pred = a["predicted"]
+    for block in ("bitwise32", "bitwise64", "wordwise32"):
+        for device in ("cpu", "gpu"):
+            cols = list(PAPER_TABLE4[block][device].keys())
+            headers = ["n"] + [f"{c} (model)" for c in cols] + \
+                      [f"{c} (paper)" for c in cols]
+            rows = []
+            for i, n in enumerate(N_VALUES):
+                row = [n]
+                row += [pred[block][device][c][i] for c in cols]
+                row += [PAPER_TABLE4[block][device][c][i] for c in cols]
+                rows.append(row)
+            parts.append(render_table(
+                headers, rows,
+                title=f"Table IV [{block} / {device.upper()}] (ms, 32K "
+                      f"pairs, m=128) — model vs paper"))
+    err_rows = [[fam, f"{e * 100:.1f}%"]
+                for fam, e in sorted(a["errors"].items())]
+    parts.append(render_table(["column family", "max rel err (predicted "
+                               "rows)"], err_rows,
+                              title="Model prediction error vs paper"))
+
+    meas = measured_table(measured_n, pairs=measured_pairs)
+    headers = ["n", "b32 w2b", "b32 swa", "b32 b2w", "b64 w2b", "b64 swa",
+               "b64 b2w", "wordwise swa", "b64 speedup", "agree"]
+    rows = []
+    for r in meas:
+        rows.append([
+            r["n"], r["bitwise32"]["w2b"], r["bitwise32"]["swa"],
+            r["bitwise32"]["b2w"], r["bitwise64"]["w2b"],
+            r["bitwise64"]["swa"], r["bitwise64"]["b2w"],
+            r["wordwise"]["swa"],
+            r["wordwise"]["total"] / r["bitwise64"]["total"],
+            r["scores_agree"],
+        ])
+    parts.append(render_table(
+        headers, rows,
+        title=f"Measured on this machine (ms, {measured_pairs} pairs, "
+              f"m=128): bitwise lane-parallel vs wordwise"))
+    out = "\n\n".join(parts)
+    if verbose:
+        print(out)
+    return out

@@ -1,0 +1,5 @@
+"""Companion BPBC applications from the paper's lineage (§I refs)."""
+
+from .life import life_step_bpbc, life_step_reference, run_life
+
+__all__ = ["life_step_bpbc", "life_step_reference", "run_life"]

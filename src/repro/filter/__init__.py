@@ -1,0 +1,11 @@
+"""Threshold screening: bulk BPBC scoring + CPU re-alignment."""
+
+from .database import SearchHit, search_database, window_overlap
+from .screening import ScreenHit, ScreenResult, bulk_max_scores, screen_pairs
+from .stats import NullModel, fit_null_model, suggest_threshold
+
+__all__ = [
+    "screen_pairs", "bulk_max_scores", "ScreenResult", "ScreenHit",
+    "search_database", "SearchHit", "window_overlap",
+    "fit_null_model", "NullModel", "suggest_threshold",
+]

@@ -1,0 +1,149 @@
+"""Database search over heterogeneous sequences.
+
+The bulk engines want rectangular batches (every pattern one length,
+every text one length), but real collections are ragged.  This module
+provides the batching layer a database-search application needs:
+
+* sequences are **bucketed by length** (texts additionally padded up to
+  a small set of bucket lengths with score-neutral handling — padding
+  with random-free 'A' runs can only create spurious matches against
+  'A'-rich queries, so padding instead *truncates scores* correctly by
+  splitting long texts into overlapping windows),
+* every (query, text) pair is routed through the BPBC engine in
+  lane-sized chunks, and
+* results are re-assembled into per-pair maximum scores.
+
+Windowing: a text longer than its bucket is cut into overlapping
+windows.  A positive-scoring local alignment of an ``m``-char query
+aligns at most ``m`` query characters (each contributing at most
+``c1``) and pays ``gap`` per text character it skips, so it spans at
+most ``m + (m * c1 - 1) // gap`` text positions; using that as the
+window overlap guarantees every alignment fits entirely inside some
+window.  A zero gap penalty makes spans unbounded, so windowing is
+refused in that case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.encoding import encode
+from ..swa.scoring import DEFAULT_SCHEME, ScoringScheme
+from .screening import bulk_max_scores
+
+__all__ = ["SearchHit", "window_overlap", "windows_for",
+           "search_database"]
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """Best score of one query against one database entry."""
+
+    query_index: int
+    db_index: int
+    score: int
+
+
+def window_overlap(m: int, scheme: ScoringScheme | None = None) -> int:
+    """Overlap that preserves every local alignment of an ``m``-char
+    query.
+
+    A positive-scoring alignment contains at most ``m`` aligned query
+    characters (scoring at most ``m * c1`` in total) and every text
+    gap costs ``gap``, so the number of gapped text positions is less
+    than ``m * c1 / gap`` and the total text span is at most
+    ``m + (m * c1 - 1) // gap``.  Raises if ``gap == 0`` (spans are
+    unbounded; windowing would be unsound).
+    """
+    scheme = scheme or DEFAULT_SCHEME
+    if scheme.gap_penalty == 0:
+        raise ValueError(
+            "windowed search requires a positive gap penalty; with "
+            "gap == 0 a local alignment can span the entire text"
+        )
+    return m + (m * scheme.match_score - 1) // scheme.gap_penalty
+
+
+def windows_for(length: int, window: int, overlap: int) -> list[tuple[int, int]]:
+    """Half-open ``(start, end)`` windows covering ``[0, length)``.
+
+    Consecutive windows overlap by ``overlap``; the final window is
+    right-aligned so no suffix is lost.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    if overlap >= window:
+        raise ValueError(
+            f"overlap {overlap} must be smaller than window {window}"
+        )
+    if length <= window:
+        return [(0, length)]
+    step = window - overlap
+    starts = list(range(0, length - window + 1, step))
+    if starts[-1] + window < length:
+        starts.append(length - window)
+    return [(s, s + window) for s in starts]
+
+
+def search_database(
+    queries: list[str] | list[np.ndarray],
+    database: list[str] | list[np.ndarray],
+    scheme: ScoringScheme | None = None,
+    word_bits: int = 64,
+    window: int | None = None,
+    max_batch_pairs: int = 8192,
+) -> list[SearchHit]:
+    """All-vs-all search of ragged queries against a ragged database.
+
+    Returns one :class:`SearchHit` per (query, entry) combination with
+    the exact maximum local-alignment score, computed through the bulk
+    BPBC engine.  ``window`` bounds the text length per batch (default:
+    the longest entry, i.e. no windowing); long entries are windowed
+    with a safety overlap so no alignment is lost.
+    """
+    scheme = scheme or DEFAULT_SCHEME
+    q_codes = [encode(q) if isinstance(q, str) else np.asarray(q)
+               for q in queries]
+    d_codes = [encode(d) if isinstance(d, str) else np.asarray(d)
+               for d in database]
+    if not q_codes or not d_codes:
+        raise ValueError("queries and database must be non-empty")
+
+    max_m = max(len(q) for q in q_codes)
+    max_n = max(len(d) for d in d_codes)
+    if window is None:
+        window = max_n
+    if window < max_n:
+        # Windowing will actually split texts: make the window large
+        # enough for the worst-case overlap (raises for gap == 0).
+        window = max(window, window_overlap(max_m, scheme) + 1)
+
+    # Work items: (qi, di, query, text-window), grouped by the
+    # (m, n) rectangle so each group is one bulk call.
+    groups: dict[tuple[int, int], list[tuple[int, int, np.ndarray,
+                                             np.ndarray]]] = {}
+    for qi, q in enumerate(q_codes):
+        ov = (window_overlap(len(q), scheme) if window < max_n else 0)
+        for di, d in enumerate(d_codes):
+            for start, end in windows_for(len(d), window, min(ov, window - 1)):
+                key = (len(q), end - start)
+                groups.setdefault(key, []).append(
+                    (qi, di, q, d[start:end])
+                )
+
+    best: dict[tuple[int, int], int] = {}
+    for (m, n), items in groups.items():
+        for chunk_start in range(0, len(items), max_batch_pairs):
+            chunk = items[chunk_start:chunk_start + max_batch_pairs]
+            X = np.stack([c[2] for c in chunk])
+            Y = np.stack([c[3] for c in chunk])
+            scores = bulk_max_scores(X, Y, scheme, word_bits=word_bits)
+            for (qi, di, _, _), sc in zip(chunk, scores):
+                key = (qi, di)
+                if sc > best.get(key, -1):
+                    best[key] = int(sc)
+
+    return [SearchHit(query_index=qi, db_index=di, score=sc)
+            for (qi, di), sc in sorted(best.items())]

@@ -1,0 +1,101 @@
+"""Score statistics for threshold selection.
+
+The paper leaves the screening threshold τ as a free parameter.  In
+practice τ is chosen from the *null distribution* — the scores random
+(unrelated) pairs produce.  This module estimates that distribution
+with the bulk engine itself (scoring thousands of random pairs is
+exactly what BPBC is fast at), and provides
+
+* empirical p-values and quantile-based thresholds, and
+* a Gumbel (extreme-value) fit: Karlin-Altschul theory says ungapped
+  local-alignment maxima follow an extreme-value law, and gapped
+  scores do so empirically — the fit extrapolates p-values beyond the
+  sampled range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sps
+
+from ..swa.scoring import DEFAULT_SCHEME, ScoringScheme
+from ..workloads.dna import random_strands
+from .screening import bulk_max_scores
+
+__all__ = ["NullModel", "fit_null_model", "suggest_threshold"]
+
+
+@dataclass(frozen=True)
+class NullModel:
+    """A fitted null distribution of max scores for one (m, n) shape."""
+
+    m: int
+    n: int
+    samples: np.ndarray          # sorted null scores
+    gumbel_loc: float
+    gumbel_scale: float
+    max_score: int               # hard ceiling: c1 * min(m, n)
+
+    def empirical_pvalue(self, score: float) -> float:
+        """P(null >= score) from the raw sample (add-one smoothed)."""
+        exceed = int((self.samples >= score).sum())
+        return (exceed + 1) / (len(self.samples) + 1)
+
+    def gumbel_pvalue(self, score: float) -> float:
+        """P(null >= score) under the fitted extreme-value law."""
+        return float(sps.gumbel_r.sf(score, loc=self.gumbel_loc,
+                                     scale=self.gumbel_scale))
+
+    def quantile(self, q: float) -> float:
+        """Empirical quantile of the null scores."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        return float(np.quantile(self.samples, q))
+
+
+def fit_null_model(m: int, n: int, scheme: ScoringScheme | None = None,
+                   samples: int = 2048, seed: int = 0,
+                   word_bits: int = 64) -> NullModel:
+    """Score ``samples`` random pairs and fit the null distribution.
+
+    Uses the bulk BPBC engine, so even thousands of samples cost one
+    engine pass.
+    """
+    if samples < 16:
+        raise ValueError(f"need at least 16 samples, got {samples}")
+    scheme = scheme or DEFAULT_SCHEME
+    rng = np.random.default_rng(seed)
+    X = random_strands(rng, samples, m)
+    Y = random_strands(rng, samples, n)
+    scores = bulk_max_scores(X, Y, scheme, word_bits=word_bits)
+    loc, scale = sps.gumbel_r.fit(scores)
+    return NullModel(m=m, n=n, samples=np.sort(scores),
+                     gumbel_loc=float(loc), gumbel_scale=float(scale),
+                     max_score=scheme.max_score(m, n))
+
+
+def suggest_threshold(null: NullModel, alpha: float = 1e-3,
+                      method: str = "gumbel") -> int:
+    """Smallest integer τ with null pass probability at most ``alpha``.
+
+    ``method`` is ``"gumbel"`` (extrapolating fit; works for alphas far
+    below ``1 / samples``) or ``"empirical"`` (raw quantile).
+
+    Scores are bounded by ``c1 * min(m, n)``, but the Gumbel tail is
+    not — for short queries and tiny alphas the extrapolated tau can
+    exceed the ceiling, which would silently reject *everything*; the
+    result is clamped to ``max_score - 1`` (the strictest threshold a
+    perfect match still passes).
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    if method == "empirical":
+        tau = int(np.ceil(null.quantile(1.0 - alpha)))
+    elif method == "gumbel":
+        tau = int(np.ceil(sps.gumbel_r.isf(alpha, loc=null.gumbel_loc,
+                                           scale=null.gumbel_scale)))
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    return min(tau, null.max_score - 1)

@@ -1,0 +1,18 @@
+"""Cooperative SIMT GPU simulator (devices, memories, kernel launch)."""
+
+from .device import CORE_I7_6700, GTX_280, GTX_TITAN_X, CpuSpec, DeviceSpec
+from .errors import (GpuSimError, KernelDeadlock, LaunchConfigError,
+                     MemoryFault)
+from .kernel import Barrier, KernelStats, Shfl, ThreadCtx, launch_kernel
+from .memory import GlobalMemory, MemoryStats, SharedMemory
+from .timing import (KernelTimeEstimate, estimate_kernel_time,
+                     estimate_transfer_time)
+
+__all__ = [
+    "DeviceSpec", "CpuSpec", "GTX_TITAN_X", "GTX_280", "CORE_I7_6700",
+    "GlobalMemory", "SharedMemory", "MemoryStats",
+    "launch_kernel", "Barrier", "Shfl", "ThreadCtx", "KernelStats",
+    "GpuSimError", "KernelDeadlock", "MemoryFault", "LaunchConfigError",
+    "estimate_kernel_time", "estimate_transfer_time",
+    "KernelTimeEstimate",
+]

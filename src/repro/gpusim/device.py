@@ -1,0 +1,131 @@
+"""Device descriptions for the SIMT simulator and the analytic model.
+
+The specs carry the numbers the paper's evaluation depends on: SM /
+core counts and clock for the GPU side, single-thread issue rate for
+the CPU side, and the PCIe bandwidth that governs the H2G/G2H columns
+of Table IV.  The figures for the paper's hardware are taken from the
+paper itself where stated (e.g. "GeForce GTX TITAN X has 28 streaming
+multiprocessors with 128 cores each") and from vendor datasheets
+otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DeviceSpec",
+    "CpuSpec",
+    "GTX_TITAN_X",
+    "GTX_280",
+    "CORE_I7_6700",
+]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A CUDA-like device for simulation and analytic timing.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, for reports.
+    sm_count / cores_per_sm:
+        Streaming multiprocessors and CUDA cores per SM.
+    clock_ghz:
+        Core clock in GHz.
+    warp_size:
+        Threads per warp (32 for every CUDA device).
+    shared_mem_banks:
+        Number of shared-memory banks (bank-conflict accounting).
+    shared_mem_bytes:
+        Shared memory per block, bytes.
+    max_threads_per_block:
+        Launch-configuration limit.
+    global_mem_bytes:
+        Device DRAM capacity.
+    mem_bandwidth_gbs:
+        Device DRAM bandwidth, GB/s.
+    pcie_gbs:
+        Effective host-device transfer bandwidth, GB/s (governs the
+        H2G and G2H columns of Table IV).
+    coalesce_segment_bytes:
+        Size of one global-memory transaction segment.
+    """
+
+    name: str
+    sm_count: int
+    cores_per_sm: int
+    clock_ghz: float
+    warp_size: int = 32
+    shared_mem_banks: int = 32
+    shared_mem_bytes: int = 48 * 1024
+    max_threads_per_block: int = 1024
+    global_mem_bytes: int = 12 * 1024**3
+    mem_bandwidth_gbs: float = 336.5
+    pcie_gbs: float = 6.0
+    coalesce_segment_bytes: int = 128
+
+    @property
+    def total_cores(self) -> int:
+        """Total CUDA cores across the device."""
+        return self.sm_count * self.cores_per_sm
+
+    @property
+    def peak_int_ops_per_sec(self) -> float:
+        """Peak simple integer/logic operations per second (1 op per
+        core per clock)."""
+        return self.total_cores * self.clock_ghz * 1e9
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A single CPU thread for the analytic model.
+
+    ``ops_per_cycle`` is the *effective* sustained bitwise-op
+    throughput of the scalar reference implementation, not the
+    architectural issue width; it is the one free parameter the
+    Table IV model calibrates from a single paper measurement.
+    """
+
+    name: str
+    clock_ghz: float
+    ops_per_cycle: float = 1.0
+
+    @property
+    def ops_per_sec(self) -> float:
+        """Sustained simple operations per second on one thread."""
+        return self.clock_ghz * 1e9 * self.ops_per_cycle
+
+
+#: The paper's GPU (§VI): "GeForce GTX TITAN X has 28 streaming
+#: multiprocessors with 128 cores each" — we reproduce the paper's
+#: stated configuration.
+GTX_TITAN_X = DeviceSpec(
+    name="GeForce GTX TITAN X",
+    sm_count=28,
+    cores_per_sm=128,
+    clock_ghz=1.0,
+    mem_bandwidth_gbs=336.5,
+    global_mem_bytes=12 * 1024**3,
+    pcie_gbs=6.0,
+)
+
+#: The GPU of the prior work the paper compares GCUPS against
+#: (Munekawa et al., 8.32 GCUPS).
+GTX_280 = DeviceSpec(
+    name="GeForce GTX 280",
+    sm_count=30,
+    cores_per_sm=8,
+    clock_ghz=1.296,
+    shared_mem_bytes=16 * 1024,
+    max_threads_per_block=512,
+    global_mem_bytes=1 * 1024**3,
+    mem_bandwidth_gbs=141.7,
+    pcie_gbs=3.0,
+)
+
+#: The paper's CPU: Intel Core i7-6700 (3.6 GHz auto-boost not
+#: modelled; sequential algorithms run on a single thread).
+CORE_I7_6700 = CpuSpec(name="Intel Core i7-6700", clock_ghz=3.6,
+                       ops_per_cycle=1.0)

@@ -1,0 +1,32 @@
+"""Exceptions raised by the SIMT GPU simulator."""
+
+from __future__ import annotations
+
+__all__ = [
+    "GpuSimError",
+    "KernelDeadlock",
+    "MemoryFault",
+    "LaunchConfigError",
+]
+
+
+class GpuSimError(RuntimeError):
+    """Base class for simulator failures."""
+
+
+class KernelDeadlock(GpuSimError):
+    """Some threads of a block reached a barrier others never will.
+
+    Raised when, at a synchronisation round, part of a block waits at
+    ``barrier()`` while the rest have already terminated — the classic
+    divergent-``__syncthreads`` bug, which real hardware turns into a
+    hang and the simulator turns into a diagnosable error.
+    """
+
+
+class MemoryFault(GpuSimError):
+    """Out-of-bounds or type-mismatched access to a simulated memory."""
+
+
+class LaunchConfigError(GpuSimError):
+    """Invalid grid/block dimensions or resource over-subscription."""

@@ -1,0 +1,235 @@
+"""Cooperative SIMT kernel execution.
+
+A kernel is a Python *generator function* taking a :class:`ThreadCtx`
+(plus user arguments).  Every ``yield`` is a synchronisation point:
+
+* ``yield Barrier()`` — block-wide ``__syncthreads()``;
+* ``value = yield Shfl("up"|"down", my_value, delta)`` — warp shuffle,
+  returning the neighbouring lane's value (own value at the warp edge,
+  like CUDA's ``__shfl_up_sync`` with unmatched lanes).
+
+The executor runs blocks one after another (the simulator models
+*semantics and operation counts*, not timing overlap) and, within a
+block, advances all live threads one synchronisation round at a time,
+exactly the lockstep the paper's wavefront kernel relies on.  A block
+where some threads wait at a barrier that the already-terminated
+threads will never reach raises :class:`~repro.gpusim.errors.KernelDeadlock`
+instead of hanging.
+
+Threads account their own instruction counts through
+:meth:`ThreadCtx.count_ops`; combined with the memory statistics this
+gives the per-kernel cost profile that :mod:`repro.perfmodel` converts
+into Table IV-style timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+import numpy as np
+
+from .device import DeviceSpec, GTX_TITAN_X
+from .errors import GpuSimError, KernelDeadlock, LaunchConfigError
+from .memory import GlobalMemory, MemoryStats, SharedMemory
+
+__all__ = ["Barrier", "Shfl", "ThreadCtx", "KernelStats", "launch_kernel"]
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Block-wide synchronisation (``__syncthreads``)."""
+
+
+@dataclass(frozen=True)
+class Shfl:
+    """Warp shuffle: exchange a register value with a warp neighbour.
+
+    ``direction`` is ``"up"`` (receive from lane ``lane - delta``) or
+    ``"down"`` (from lane ``lane + delta``).  Lanes without a source
+    receive their own value back.
+    """
+
+    direction: str
+    value: object
+    delta: int = 1
+
+
+@dataclass
+class KernelStats:
+    """Aggregate statistics of one kernel launch."""
+
+    blocks: int = 0
+    threads: int = 0
+    instructions: int = 0
+    barriers: int = 0
+    shuffles: int = 0
+    sync_rounds: int = 0
+    gmem: MemoryStats = field(default_factory=MemoryStats)
+    smem: MemoryStats = field(default_factory=MemoryStats)
+
+
+class ThreadCtx:
+    """Per-thread view of the machine handed to kernel functions."""
+
+    def __init__(self, thread_idx: int, block_idx: int, block_dim: int,
+                 grid_dim: int, gmem: GlobalMemory, smem: SharedMemory,
+                 device: DeviceSpec, stats: KernelStats) -> None:
+        self.thread_idx = thread_idx
+        self.block_idx = block_idx
+        self.block_dim = block_dim
+        self.grid_dim = grid_dim
+        self.gmem = gmem
+        self.smem = smem
+        self.device = device
+        self._stats = stats
+
+    @property
+    def global_thread_idx(self) -> int:
+        """Flat thread id across the grid."""
+        return self.block_idx * self.block_dim + self.thread_idx
+
+    @property
+    def lane(self) -> int:
+        """Lane within the warp."""
+        return self.thread_idx % self.device.warp_size
+
+    @property
+    def warp(self) -> int:
+        """Warp index within the block."""
+        return self.thread_idx // self.device.warp_size
+
+    def count_ops(self, n: int = 1) -> None:
+        """Record ``n`` arithmetic/logic instructions for this thread."""
+        self._stats.instructions += n
+
+
+def launch_kernel(
+    kernel: Callable[..., Iterator],
+    grid_dim: int,
+    block_dim: int,
+    gmem: GlobalMemory,
+    *args,
+    shared_words: int = 0,
+    device: DeviceSpec = GTX_TITAN_X,
+    **kwargs,
+) -> KernelStats:
+    """Run ``kernel`` over ``grid_dim`` blocks of ``block_dim`` threads.
+
+    Blocks execute sequentially; threads within a block execute in
+    lockstep between synchronisation points.  Returns the launch's
+    :class:`KernelStats` (global-memory statistics are also accumulated
+    on ``gmem.stats`` across launches).
+    """
+    if grid_dim <= 0 or block_dim <= 0:
+        raise LaunchConfigError(
+            f"grid and block dimensions must be positive, got "
+            f"{grid_dim} x {block_dim}"
+        )
+    if block_dim > device.max_threads_per_block:
+        raise LaunchConfigError(
+            f"block of {block_dim} threads exceeds the device limit of "
+            f"{device.max_threads_per_block}"
+        )
+    stats = KernelStats(blocks=grid_dim, threads=grid_dim * block_dim)
+    before = MemoryStats()
+    before.merge(gmem.stats)
+
+    for block in range(grid_dim):
+        smem = SharedMemory(shared_words, banks=device.shared_mem_banks,
+                            capacity_bytes=device.shared_mem_bytes)
+        threads = []
+        for t in range(block_dim):
+            ctx = ThreadCtx(t, block, block_dim, grid_dim, gmem, smem,
+                            device, stats)
+            threads.append(kernel(ctx, *args, **kwargs))
+        _run_block(threads, block_dim, device, stats)
+        stats.smem.merge(smem.stats)
+
+    # Attribute only this launch's global-memory traffic.
+    after = gmem.stats
+    stats.gmem.loads = after.loads - before.loads
+    stats.gmem.stores = after.stores - before.stores
+    stats.gmem.load_transactions = (after.load_transactions
+                                    - before.load_transactions)
+    stats.gmem.store_transactions = (after.store_transactions
+                                     - before.store_transactions)
+    stats.gmem.bytes_loaded = after.bytes_loaded - before.bytes_loaded
+    stats.gmem.bytes_stored = after.bytes_stored - before.bytes_stored
+    return stats
+
+
+def _run_block(threads: list[Iterator], block_dim: int,
+               device: DeviceSpec, stats: KernelStats) -> None:
+    """Advance one block's threads round by round until all finish."""
+    pending: list[object | None] = [None] * block_dim  # value to send
+    waiting: list[object | None] = [None] * block_dim  # current command
+    done = [False] * block_dim
+
+    # Prime every generator to its first yield.
+    for t, gen in enumerate(threads):
+        try:
+            waiting[t] = next(gen)
+        except StopIteration:
+            done[t] = True
+
+    while not all(done):
+        stats.sync_rounds += 1
+        live = [t for t in range(block_dim) if not done[t]]
+        commands = [waiting[t] for t in live]
+        if any(isinstance(c, Barrier) for c in commands):
+            if not all(isinstance(c, Barrier) for c in commands):
+                raise KernelDeadlock(
+                    "threads disagree at a synchronisation round: some "
+                    "issued a barrier, others a shuffle"
+                )
+            if len(live) != block_dim:
+                raise KernelDeadlock(
+                    f"{block_dim - len(live)} thread(s) terminated before "
+                    f"a barrier that {len(live)} thread(s) are waiting on"
+                )
+            stats.barriers += 1
+            for t in live:
+                pending[t] = None
+        elif all(isinstance(c, Shfl) for c in commands):
+            _resolve_shuffles(live, waiting, pending, device, stats)
+        else:
+            raise GpuSimError(
+                "unknown synchronisation command "
+                f"{next(c for c in commands if not isinstance(c, (Barrier, Shfl)))!r}"
+            )
+
+        for t in live:
+            try:
+                waiting[t] = threads[t].send(pending[t])
+            except StopIteration:
+                done[t] = True
+                waiting[t] = None
+
+
+def _resolve_shuffles(live: list[int], waiting: list, pending: list,
+                      device: DeviceSpec, stats: KernelStats) -> None:
+    """Deliver warp-shuffle values for one synchronisation round."""
+    warp_size = device.warp_size
+    by_warp: dict[int, list[int]] = {}
+    for t in live:
+        by_warp.setdefault(t // warp_size, []).append(t)
+    for warp_threads in by_warp.values():
+        cmds: dict[int, Shfl] = {t: waiting[t] for t in warp_threads}
+        directions = {c.direction for c in cmds.values()}
+        deltas = {c.delta for c in cmds.values()}
+        if len(directions) != 1 or len(deltas) != 1:
+            raise GpuSimError(
+                "divergent shuffle: lanes of one warp issued different "
+                f"directions/deltas ({directions}, {deltas})"
+            )
+        direction = directions.pop()
+        delta = deltas.pop()
+        if direction not in ("up", "down"):
+            raise GpuSimError(f"unknown shuffle direction {direction!r}")
+        stats.shuffles += len(warp_threads)
+        values = {t % warp_size: cmds[t].value for t in warp_threads}
+        for t in warp_threads:
+            lane = t % warp_size
+            src = lane - delta if direction == "up" else lane + delta
+            pending[t] = values.get(src, cmds[t].value)

@@ -1,0 +1,227 @@
+"""Simulated GPU memories with access-pattern accounting.
+
+:class:`GlobalMemory` models the device DRAM: named typed buffers with
+bounds checking and, per warp-wide access, a count of the 128-byte
+transaction segments touched — perfectly coalesced accesses produce
+one segment per 32 four-byte lanes, strided ones up to 32.
+
+:class:`SharedMemory` models one block's on-chip scratchpad: a word
+array divided across 32 banks; a warp access hitting the same bank at
+different word addresses serialises, and the conflict degree is
+recorded (paper §I discusses both hazards as the key to CUDA
+performance, which is why the simulator accounts for them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .errors import MemoryFault
+
+__all__ = ["MemoryStats", "GlobalMemory", "SharedMemory"]
+
+
+@dataclass
+class MemoryStats:
+    """Aggregated access statistics for one memory object."""
+
+    loads: int = 0
+    stores: int = 0
+    load_transactions: int = 0
+    store_transactions: int = 0
+    bank_conflict_cycles: int = 0
+    bytes_loaded: int = 0
+    bytes_stored: int = 0
+
+    def merge(self, other: "MemoryStats") -> None:
+        """Accumulate ``other`` into this object."""
+        self.loads += other.loads
+        self.stores += other.stores
+        self.load_transactions += other.load_transactions
+        self.store_transactions += other.store_transactions
+        self.bank_conflict_cycles += other.bank_conflict_cycles
+        self.bytes_loaded += other.bytes_loaded
+        self.bytes_stored += other.bytes_stored
+
+
+class GlobalMemory:
+    """Named, typed device buffers with coalescing accounting.
+
+    Buffers are allocated with :meth:`alloc` (or adopted from host
+    arrays with :meth:`from_host`) and accessed per element.  Warp-wide
+    accesses should go through :meth:`warp_load` / :meth:`warp_store`
+    so the transaction count reflects coalescing; scalar accesses count
+    one transaction each.
+    """
+
+    def __init__(self, capacity_bytes: int | None = None,
+                 segment_bytes: int = 128) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+        self._capacity = capacity_bytes
+        self._segment = segment_bytes
+        self.stats = MemoryStats()
+
+    # -- allocation ---------------------------------------------------
+    def alloc(self, name: str, shape, dtype) -> np.ndarray:
+        """Allocate a zeroed device buffer; returns the backing array."""
+        if name in self._buffers:
+            raise MemoryFault(f"buffer {name!r} already allocated")
+        arr = np.zeros(shape, dtype=dtype)
+        self._check_capacity(extra=arr.nbytes)
+        self._buffers[name] = arr
+        return arr
+
+    def from_host(self, name: str, host: np.ndarray) -> np.ndarray:
+        """Copy a host array into a new device buffer (cudaMemcpy H2D)."""
+        if name in self._buffers:
+            raise MemoryFault(f"buffer {name!r} already allocated")
+        self._check_capacity(extra=host.nbytes)
+        self._buffers[name] = np.array(host, copy=True)
+        return self._buffers[name]
+
+    def free(self, name: str) -> None:
+        """Release a buffer."""
+        self._buffers.pop(name, None)
+
+    def buffer(self, name: str) -> np.ndarray:
+        """Direct handle to a buffer (host-side inspection)."""
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise MemoryFault(f"no buffer named {name!r}") from None
+
+    def _check_capacity(self, extra: int) -> None:
+        if self._capacity is None:
+            return
+        used = sum(b.nbytes for b in self._buffers.values())
+        if used + extra > self._capacity:
+            raise MemoryFault(
+                f"device memory exhausted: {used + extra} bytes needed, "
+                f"{self._capacity} available"
+            )
+
+    # -- element access ------------------------------------------------
+    def load(self, name: str, index) -> object:
+        """Scalar load (one transaction)."""
+        buf = self.buffer(name)
+        try:
+            value = buf[index]
+        except IndexError:
+            raise MemoryFault(
+                f"load out of bounds: {name}[{index}] (shape {buf.shape})"
+            ) from None
+        self.stats.loads += 1
+        self.stats.load_transactions += 1
+        self.stats.bytes_loaded += buf.itemsize
+        return value
+
+    def store(self, name: str, index, value) -> None:
+        """Scalar store (one transaction)."""
+        buf = self.buffer(name)
+        try:
+            buf[index] = value
+        except IndexError:
+            raise MemoryFault(
+                f"store out of bounds: {name}[{index}] (shape {buf.shape})"
+            ) from None
+        self.stats.stores += 1
+        self.stats.store_transactions += 1
+        self.stats.bytes_stored += buf.itemsize
+
+    # -- warp-wide access ----------------------------------------------
+    def _transactions(self, buf: np.ndarray, flat_indices) -> int:
+        byte_addrs = np.asarray(flat_indices, dtype=np.int64) * buf.itemsize
+        segments = np.unique(byte_addrs // self._segment)
+        return len(segments)
+
+    def warp_load(self, name: str, flat_indices) -> np.ndarray:
+        """Load one element per lane (flat indices); counts coalescing."""
+        buf = self.buffer(name)
+        flat = np.asarray(flat_indices, dtype=np.int64)
+        if flat.size and (flat.min() < 0 or flat.max() >= buf.size):
+            raise MemoryFault(
+                f"warp load out of bounds on {name!r} "
+                f"(size {buf.size}, indices {flat.min()}..{flat.max()})"
+            )
+        self.stats.loads += int(flat.size)
+        self.stats.load_transactions += self._transactions(buf, flat)
+        self.stats.bytes_loaded += int(flat.size) * buf.itemsize
+        return buf.reshape(-1)[flat]
+
+    def warp_store(self, name: str, flat_indices, values) -> None:
+        """Store one element per lane (flat indices); counts coalescing."""
+        buf = self.buffer(name)
+        flat = np.asarray(flat_indices, dtype=np.int64)
+        if flat.size and (flat.min() < 0 or flat.max() >= buf.size):
+            raise MemoryFault(
+                f"warp store out of bounds on {name!r} "
+                f"(size {buf.size}, indices {flat.min()}..{flat.max()})"
+            )
+        buf.reshape(-1)[flat] = values
+        self.stats.stores += int(flat.size)
+        self.stats.store_transactions += self._transactions(buf, flat)
+        self.stats.bytes_stored += int(flat.size) * buf.itemsize
+
+
+class SharedMemory:
+    """One block's shared memory: a word array with bank accounting.
+
+    Words are 4 bytes; word ``a`` lives in bank ``a % banks``.  A warp
+    access costs ``max(count of distinct words per bank)`` cycles; the
+    excess over 1 is recorded as conflict cycles.
+    """
+
+    def __init__(self, n_words: int, banks: int = 32,
+                 capacity_bytes: int | None = None) -> None:
+        if capacity_bytes is not None and n_words * 4 > capacity_bytes:
+            raise MemoryFault(
+                f"shared allocation of {n_words * 4} bytes exceeds the "
+                f"{capacity_bytes}-byte block limit"
+            )
+        self._data = np.zeros(n_words, dtype=np.uint64)
+        self._banks = banks
+        self.stats = MemoryStats()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def _account(self, indices, is_store: bool) -> None:
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= len(self._data)):
+            raise MemoryFault(
+                f"shared memory access out of bounds "
+                f"({idx.min()}..{idx.max()} of {len(self._data)})"
+            )
+        words = np.unique(idx)
+        banks = words % self._banks
+        _, counts = np.unique(banks, return_counts=True)
+        degree = int(counts.max()) if counts.size else 1
+        self.stats.bank_conflict_cycles += degree - 1
+        if is_store:
+            self.stats.stores += int(idx.size)
+            self.stats.bytes_stored += int(idx.size) * 4
+        else:
+            self.stats.loads += int(idx.size)
+            self.stats.bytes_loaded += int(idx.size) * 4
+
+    def load(self, index: int) -> int:
+        """Single-lane load."""
+        self._account([index], is_store=False)
+        return int(self._data[index])
+
+    def store(self, index: int, value: int) -> None:
+        """Single-lane store."""
+        self._account([index], is_store=True)
+        self._data[index] = value
+
+    def warp_load(self, indices) -> np.ndarray:
+        """Warp-wide load with bank-conflict accounting."""
+        self._account(indices, is_store=False)
+        return self._data[np.asarray(indices, dtype=np.int64)].copy()
+
+    def warp_store(self, indices, values) -> None:
+        """Warp-wide store with bank-conflict accounting."""
+        self._account(indices, is_store=True)
+        self._data[np.asarray(indices, dtype=np.int64)] = values

@@ -1,0 +1,106 @@
+"""CUDA-style occupancy calculation.
+
+The paper states "We use CUDA blocks of 1024 threads each to maximize
+occupancy" (§V).  This module implements the standard occupancy
+arithmetic — how many blocks fit one streaming multiprocessor given
+the thread, register, and shared-memory budgets — so that launch
+configurations can be *checked* rather than asserted, and the SW
+kernel's register estimate from the paper ("each thread uses 4s + 4
+32-bit registers") can be fed through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+from .errors import LaunchConfigError
+
+__all__ = ["SmLimits", "MAXWELL_LIMITS", "Occupancy",
+           "occupancy_for", "sw_kernel_registers"]
+
+
+@dataclass(frozen=True)
+class SmLimits:
+    """Per-SM resource budgets (Maxwell-generation defaults)."""
+
+    max_threads: int = 2048
+    max_blocks: int = 32
+    max_warps: int = 64
+    registers: int = 65536
+    shared_mem_bytes: int = 96 * 1024
+
+
+#: The paper's GTX TITAN X is Maxwell (SM 5.2).
+MAXWELL_LIMITS = SmLimits()
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of an occupancy calculation."""
+
+    blocks_per_sm: int
+    active_threads: int
+    active_warps: int
+    occupancy: float          # active warps / max warps
+    limiter: str              # which budget binds
+
+
+def occupancy_for(threads_per_block: int, registers_per_thread: int,
+                  shared_bytes_per_block: int, device: DeviceSpec,
+                  limits: SmLimits = MAXWELL_LIMITS) -> Occupancy:
+    """Blocks per SM under every budget; the minimum binds.
+
+    Raises :class:`LaunchConfigError` if a single block already
+    exceeds a budget (the launch would fail on real hardware).
+    """
+    if threads_per_block <= 0:
+        raise LaunchConfigError("threads per block must be positive")
+    if threads_per_block > device.max_threads_per_block:
+        raise LaunchConfigError(
+            f"{threads_per_block} threads exceed the device's "
+            f"{device.max_threads_per_block}-thread block limit"
+        )
+    warps_per_block = -(-threads_per_block // device.warp_size)
+    candidates = {
+        "threads": limits.max_threads // threads_per_block,
+        "blocks": limits.max_blocks,
+        "warps": limits.max_warps // warps_per_block,
+    }
+    if registers_per_thread > 0:
+        per_block = registers_per_thread * threads_per_block
+        if per_block > limits.registers:
+            raise LaunchConfigError(
+                f"one block needs {per_block} registers; the SM has "
+                f"{limits.registers}"
+            )
+        candidates["registers"] = limits.registers // per_block
+    if shared_bytes_per_block > 0:
+        if shared_bytes_per_block > limits.shared_mem_bytes:
+            raise LaunchConfigError(
+                f"one block needs {shared_bytes_per_block} shared "
+                f"bytes; the SM has {limits.shared_mem_bytes}"
+            )
+        candidates["shared"] = (limits.shared_mem_bytes
+                                // shared_bytes_per_block)
+    limiter, blocks = min(candidates.items(), key=lambda kv: kv[1])
+    if blocks == 0:
+        raise LaunchConfigError(
+            f"no block fits an SM (limited by {limiter})"
+        )
+    threads = blocks * threads_per_block
+    warps = blocks * warps_per_block
+    return Occupancy(
+        blocks_per_sm=blocks,
+        active_threads=threads,
+        active_warps=warps,
+        occupancy=warps / limits.max_warps,
+        limiter=limiter,
+    )
+
+
+def sw_kernel_registers(s: int) -> int:
+    """The paper's register estimate for the SW kernel's per-thread
+    state: "each thread uses 4s + 4 32-bit registers" (the four
+    bit-sliced cell values plus x and y)."""
+    return 4 * s + 4

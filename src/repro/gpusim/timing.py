@@ -1,0 +1,86 @@
+"""Analytic timing of simulated kernels.
+
+The SIMT simulator counts *what happened* (instructions, memory
+transactions, barriers, bank conflicts); this module converts those
+counts into an estimated device time for a given
+:class:`~repro.gpusim.device.DeviceSpec` with a simple bounded-resource
+model:
+
+* **compute time** — instructions spread over the cores that the launch
+  can occupy (blocks x threads, capped by the device);
+* **memory time** — global transactions x segment size over DRAM
+  bandwidth;
+* **conflict/sync overhead** — serialized bank-conflict cycles and a
+  per-barrier latency.
+
+The kernel's estimate is the *maximum* of compute and memory time
+(they overlap on real hardware) plus overheads.  This is the standard
+roofline-style first-order model; it is deliberately simple and its
+constants visible, because its role is to let users reason about
+which resource bounds a kernel — not to promise absolute numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+from .kernel import KernelStats
+
+__all__ = ["KernelTimeEstimate", "estimate_kernel_time",
+           "estimate_transfer_time"]
+
+#: Cycles charged per block-wide barrier (pipeline drain + re-issue).
+BARRIER_CYCLES = 40
+
+
+@dataclass(frozen=True)
+class KernelTimeEstimate:
+    """Breakdown of one kernel's estimated device time (seconds)."""
+
+    compute_s: float
+    memory_s: float
+    conflict_s: float
+    barrier_s: float
+
+    @property
+    def total_s(self) -> float:
+        """Roofline total: max(compute, memory) + serial overheads."""
+        return (max(self.compute_s, self.memory_s) + self.conflict_s
+                + self.barrier_s)
+
+    @property
+    def bound(self) -> str:
+        """Which resource dominates: ``"compute"`` or ``"memory"``."""
+        return "compute" if self.compute_s >= self.memory_s else "memory"
+
+
+def estimate_kernel_time(stats: KernelStats,
+                         device: DeviceSpec) -> KernelTimeEstimate:
+    """First-order device-time estimate for one simulated launch."""
+    threads_wanted = stats.threads
+    occupancy = min(threads_wanted, device.total_cores)
+    if occupancy <= 0:
+        raise ValueError("launch had no threads")
+    clock_hz = device.clock_ghz * 1e9
+    # Instructions are summed across threads; with `occupancy` lanes
+    # running concurrently the wall time divides accordingly.
+    compute_s = stats.instructions / (occupancy * clock_hz) * (
+        threads_wanted / occupancy if threads_wanted > occupancy else 1.0
+    )
+    transactions = (stats.gmem.load_transactions
+                    + stats.gmem.store_transactions)
+    memory_s = (transactions * device.coalesce_segment_bytes
+                / (device.mem_bandwidth_gbs * 1e9))
+    conflict_s = stats.smem.bank_conflict_cycles / clock_hz
+    barrier_s = stats.barriers * BARRIER_CYCLES / clock_hz
+    return KernelTimeEstimate(compute_s=compute_s, memory_s=memory_s,
+                              conflict_s=conflict_s, barrier_s=barrier_s)
+
+
+def estimate_transfer_time(n_bytes: int, device: DeviceSpec,
+                           latency_s: float = 10e-6) -> float:
+    """Host-device transfer estimate: latency + bytes / PCIe bandwidth."""
+    if n_bytes < 0:
+        raise ValueError("byte count must be non-negative")
+    return latency_s + n_bytes / (device.pcie_gbs * 1e9)

@@ -1,0 +1,13 @@
+"""The paper's §V CUDA kernels, implemented on the SIMT simulator."""
+
+from .match_kernel import run_match_kernel, string_match_kernel
+from .pipeline import PipelineReport, run_gpu_pipeline
+from .sw_kernel import shared_words_needed, sw_wavefront_kernel
+from .transpose_kernel import b2w_kernel, w2b_kernel
+
+__all__ = [
+    "run_gpu_pipeline", "PipelineReport",
+    "sw_wavefront_kernel", "shared_words_needed",
+    "w2b_kernel", "b2w_kernel",
+    "string_match_kernel", "run_match_kernel",
+]

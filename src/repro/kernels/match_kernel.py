@@ -1,0 +1,76 @@
+"""A §II BPBC string-matching kernel for the SIMT simulator.
+
+One block per lane group, one thread per text offset ``j``: each
+thread accumulates the mismatch word ``d[j]`` over the ``m`` pattern
+positions with the three-operation §II update and writes it to global
+memory.  The per-thread program is embarrassingly parallel (no
+shared-memory hand-off), which makes it a useful contrast to the
+wavefront SW kernel in the simulator's statistics: no barriers beyond
+the launch, perfectly independent rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bitops import word_dtype
+from ..gpusim.device import DeviceSpec, GTX_TITAN_X
+from ..gpusim.kernel import Barrier, KernelStats, ThreadCtx, launch_kernel
+from ..gpusim.memory import GlobalMemory
+
+__all__ = ["string_match_kernel", "run_match_kernel"]
+
+
+def string_match_kernel(ctx: ThreadCtx, xh: str, xl: str, yh: str,
+                        yl: str, out: str, m: int, n: int,
+                        word_bits: int):
+    """Kernel body: thread ``j`` of block ``g`` computes ``d[g][j]``."""
+    g = ctx.block_idx
+    j = ctx.thread_idx
+    dt = word_dtype(word_bits)
+    if j <= n - m:
+        acc = dt.type(0)
+        for i in range(m):
+            xhi = dt.type(ctx.gmem.load(xh, (g, i)))
+            xlo = dt.type(ctx.gmem.load(xl, (g, i)))
+            yhi = dt.type(ctx.gmem.load(yh, (g, i + j)))
+            ylo = dt.type(ctx.gmem.load(yl, (g, i + j)))
+            acc = acc | (xhi ^ yhi) | (xlo ^ ylo)
+            ctx.count_ops(4)
+        ctx.gmem.store(out, (g, j), acc)
+    yield Barrier()
+
+
+def run_match_kernel(XH, XL, YH, YL, word_bits: int,
+                     device: DeviceSpec = GTX_TITAN_X,
+                     ) -> tuple[np.ndarray, KernelStats]:
+    """Launch the matcher over ``(positions, groups)`` planes.
+
+    Returns ``(d, stats)`` where ``d`` has shape
+    ``(groups, n - m + 1)`` — bit ``k`` of ``d[g][j]`` is 0 iff lane
+    ``k`` of group ``g`` matches at offset ``j``.
+    """
+    XH = np.asarray(XH)
+    XL = np.asarray(XL)
+    YH = np.asarray(YH)
+    YL = np.asarray(YL)
+    m, n = XH.shape[0], YH.shape[0]
+    if m == 0 or m > n:
+        raise ValueError(f"invalid pattern/text lengths {m}/{n}")
+    groups = XH.shape[1]
+    dt = word_dtype(word_bits)
+    gmem = GlobalMemory(capacity_bytes=device.global_mem_bytes)
+    gmem.from_host("xh", np.ascontiguousarray(XH.T))
+    gmem.from_host("xl", np.ascontiguousarray(XL.T))
+    gmem.from_host("yh", np.ascontiguousarray(YH.T))
+    gmem.from_host("yl", np.ascontiguousarray(YL.T))
+    gmem.alloc("d", (groups, n - m + 1), dt)
+    if n - m + 1 > device.max_threads_per_block:
+        raise ValueError(
+            f"{n - m + 1} offsets exceed the {device.max_threads_per_block}"
+            f"-thread block limit; split the text"
+        )
+    stats = launch_kernel(string_match_kernel, groups, n - m + 1, gmem,
+                          "xh", "xl", "yh", "yl", "d", m, n, word_bits,
+                          device=device)
+    return gmem.buffer("d").copy(), stats

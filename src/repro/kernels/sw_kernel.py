@@ -1,0 +1,192 @@
+"""Step 3: the BPBC Smith-Waterman wavefront kernel (paper §V).
+
+One CUDA block of ``m`` threads computes SWA(X_k, Y_k) for the
+``word_bits`` pairs of one lane group.  Thread ``i`` owns DP row ``i``
+and walks it left to right; at wavefront step ``t`` it computes
+``d[i][t - i]`` from three registers (its own previous cell, and the
+two neighbour values received from thread ``i - 1``), evaluates the
+bit-sliced SW circuit, hands its fresh value down through shared
+memory, and chains a running-maximum register ``R_i`` down the last
+column so that the bottom thread finally holds
+``max_B{R_0, ..., R_{m-1}}`` and writes it to global memory —
+items 1–5 of the paper's §V listing, Figure 2's dataflow.
+
+Each simulated round is: *compute & publish* (write own cell planes,
+and running max if at the last column), ``__syncthreads``, *consume*
+(read neighbour planes), ``__syncthreads`` (so next round's writes
+cannot race this round's reads).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bitops import word_dtype
+from ..core.circuits import max_b, max_b_ops, sw_cell, sw_cell_ops_exact
+from ..gpusim.errors import GpuSimError
+from ..gpusim.kernel import Barrier, Shfl, ThreadCtx
+from ..swa.scoring import ScoringScheme
+
+__all__ = ["sw_wavefront_kernel", "sw_wavefront_kernel_shfl",
+           "shared_words_needed"]
+
+
+def shared_words_needed(m: int, s: int) -> int:
+    """Shared-memory words for one block: ``m*s`` for the cell-value
+    hand-off plus ``m*s`` for the running-max chain."""
+    return 2 * m * s
+
+
+def sw_wavefront_kernel(ctx: ThreadCtx, xh: str, xl: str, yh: str, yl: str,
+                        out: str, m: int, n: int, s: int,
+                        scheme: ScoringScheme, word_bits: int):
+    """Kernel body; launch with ``grid_dim = lane_groups``,
+    ``block_dim = m``, ``shared_words = shared_words_needed(m, s)``.
+
+    Global layout: ``xh``/``xl`` are ``(groups, m)`` and ``yh``/``yl``
+    ``(groups, n)`` plane words; ``out`` is ``(groups, s)`` bit-sliced
+    maximum scores.
+    """
+    g = ctx.block_idx
+    i = ctx.thread_idx
+    dt = word_dtype(word_bits)
+    zero = dt.type(0)
+    gap, c1, c2 = (scheme.gap_penalty, scheme.match_score,
+                   scheme.mismatch_penalty)
+
+    # Item 1 of the listing: x_i is fixed per thread — read it once.
+    x = [dt.type(ctx.gmem.load(xl, (g, i))),
+         dt.type(ctx.gmem.load(xh, (g, i)))]
+
+    left = [zero] * s   # d[i][j-1]
+    up = [zero] * s     # d[i-1][j]
+    diag = [zero] * s   # d[i-1][j-1]
+    R = [zero] * s      # running maximum of row i
+    cell_base = i * s           # shared slots for the cell hand-off
+    rmax_base = (ctx.block_dim + i) * s  # slots for the R chain
+
+    for t in range(n + m - 1):
+        j = t - i
+        cur = None
+        if 0 <= j <= n - 1:
+            # Item 2: read y_{k, t-i} from global memory.
+            y = [dt.type(ctx.gmem.load(yl, (g, j))),
+                 dt.type(ctx.gmem.load(yh, (g, j)))]
+            # Item 3: evaluate the SW circuit and fold the running max.
+            cur = sw_cell(up, left, diag, x, y, gap, c1, c2, word_bits)
+            ctx.count_ops(sw_cell_ops_exact(s))
+            R = max_b(R, cur)
+            ctx.count_ops(max_b_ops(s))
+            # Item 4 (send half): publish d[i][j] for thread i + 1.
+            for h in range(s):
+                ctx.smem.store(cell_base + h, int(cur[h]))
+            # Item 5 (send half): at the last column, chain the running
+            # max down to thread i + 1 (merging the neighbour's R that
+            # was read in the previous round).
+            if j == n - 1:
+                if i > 0:
+                    R = max_b(R, r_prev)  # noqa: F821 - set below
+                    ctx.count_ops(max_b_ops(s))
+                if i == ctx.block_dim - 1:
+                    for h in range(s):
+                        ctx.gmem.store(out, (g, h), dt.type(R[h]))
+                else:
+                    for h in range(s):
+                        ctx.smem.store(rmax_base + h, int(R[h]))
+        yield Barrier()
+        # Consume phase: rotate registers and read the neighbour's
+        # fresh value (item 4, receive half).
+        if cur is not None:
+            left = cur
+        diag = up
+        j_next = t + 1 - i
+        if i > 0 and 0 <= j_next <= n - 1:
+            up = [dt.type(ctx.smem.load((i - 1) * s + h))
+                  for h in range(s)]
+        elif i == 0:
+            up = [zero] * s
+            diag = [zero] * s
+        # Item 5, receive half: the round before our last column we pick
+        # up the neighbour's chained maximum.
+        if i > 0 and t + 1 - i == n - 1:
+            r_prev = [dt.type(ctx.smem.load((ctx.block_dim + i - 1) * s + h))
+                      for h in range(s)]
+        yield Barrier()
+
+
+def sw_wavefront_kernel_shfl(ctx: ThreadCtx, xh: str, xl: str, yh: str,
+                             yl: str, out: str, m: int, n: int, s: int,
+                             scheme: ScoringScheme, word_bits: int):
+    """Warp-shuffle variant of the wavefront kernel (§V's optimisation).
+
+    "shuffle operations can be employed to transfers values among
+    threads in the same warp, thus reducing the number of read and
+    write operations to the shared memory."  For ``m <= warp_size``
+    the whole block is one warp, so both the cell hand-off and the
+    running-max chain ride on ``__shfl_up``-style register exchange;
+    the kernel touches shared memory not at all.
+
+    Launch with ``grid_dim = lane_groups``, ``block_dim = m`` (at most
+    the warp size), ``shared_words = 0``.
+    """
+    g = ctx.block_idx
+    i = ctx.thread_idx
+    if ctx.block_dim > ctx.device.warp_size:
+        raise GpuSimError(
+            "shuffle kernel requires one warp per block "
+            f"(m = {ctx.block_dim} > warp size {ctx.device.warp_size})"
+        )
+    dt = word_dtype(word_bits)
+    zero = dt.type(0)
+    gap, c1, c2 = (scheme.gap_penalty, scheme.match_score,
+                   scheme.mismatch_penalty)
+    x = [dt.type(ctx.gmem.load(xl, (g, i))),
+         dt.type(ctx.gmem.load(xh, (g, i)))]
+    left = [zero] * s
+    up = [zero] * s
+    diag = [zero] * s
+    R = [zero] * s
+    r_prev = [zero] * s
+    for t in range(n + m - 1):
+        j = t - i
+        cur = None
+        if 0 <= j <= n - 1:
+            y = [dt.type(ctx.gmem.load(yl, (g, j))),
+                 dt.type(ctx.gmem.load(yh, (g, j)))]
+            cur = sw_cell(up, left, diag, x, y, gap, c1, c2, word_bits)
+            ctx.count_ops(sw_cell_ops_exact(s))
+            R = max_b(R, cur)
+            ctx.count_ops(max_b_ops(s))
+            if j == n - 1:
+                if i > 0:
+                    R = max_b(R, r_prev)
+                    ctx.count_ops(max_b_ops(s))
+                if i == ctx.block_dim - 1:
+                    for h in range(s):
+                        ctx.gmem.store(out, (g, h), dt.type(R[h]))
+        # Register rotation + shuffle hand-off: every lane ships its s
+        # cell planes (and its R planes near the last column) up by
+        # one lane; inactive lanes ship zeros/don't-cares.
+        send = cur if cur is not None else [zero] * s
+        received = []
+        for h in range(s):
+            got = yield Shfl("up", int(send[h]), 1)
+            received.append(dt.type(got))
+        if cur is not None:
+            left = cur
+        diag = up
+        j_next = t + 1 - i
+        if i > 0 and 0 <= j_next <= n - 1:
+            up = received
+        elif i == 0:
+            up = [zero] * s
+            diag = [zero] * s
+        # Chain the running max via shuffle one round before each
+        # lane's final column.
+        r_send = R
+        r_recv = []
+        for h in range(s):
+            got = yield Shfl("up", int(r_send[h]), 1)
+            r_recv.append(dt.type(got))
+        if i > 0 and t + 1 - i == n - 1:
+            r_prev = r_recv

@@ -1,0 +1,144 @@
+"""Step 2 / Step 4 kernels: bit-transpose conversion on the device.
+
+The paper's Step 2 (W2B) converts wordwise input strings into
+bit-transpose format with one thread per ``w``-character block ("each
+thread performs bit transpose for 32 characters"), and Step 4 (B2W)
+converts the bit-sliced maximum scores back to wordwise.  Each thread
+loads ``w`` words into registers, runs the reduced transpose schedule
+of Table I locally, and writes the live planes back — the identical
+register program our :mod:`repro.core.transpose` executes, here driven
+through the SIMT simulator for memory-traffic accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bitops import word_dtype
+from ..core.transpose import classify_reduced_schedule
+from ..core.encoding import CHAR_BITS
+from ..gpusim.kernel import Barrier, ThreadCtx
+
+__all__ = ["w2b_kernel", "b2w_kernel", "apply_classified_ops",
+           "apply_classified_ops_reversed"]
+
+
+def apply_classified_ops(regs: list, schedule, word_bits: int,
+                         ctx: ThreadCtx | None = None) -> None:
+    """Run a classified reduced-transpose schedule on thread registers.
+
+    ``regs`` is a Python list of ``w`` word values, modified in place.
+    Counts 7 instructions per swap and 4 per copy on ``ctx``.
+    """
+    dt = word_dtype(word_bits)
+    for step_ops in schedule:
+        for c in step_ops:
+            op = c.op
+            if c.kind == "skip":
+                continue
+            b = dt.type(op.mask)
+            k = dt.type(op.k)
+            A, B = regs[op.i], regs[op.j]
+            if c.kind == "swap":
+                C = ((A >> k) & b) ^ (B & b)
+                regs[op.i] = A ^ (C << k)
+                regs[op.j] = B ^ C
+                if ctx is not None:
+                    ctx.count_ops(7)
+            elif c.kind == "copy_up":
+                regs[op.i] = (A & b) | ((B & b) << k)
+                if ctx is not None:
+                    ctx.count_ops(4)
+            else:  # copy_down
+                hi = dt.type((op.mask << op.k) & ((1 << word_bits) - 1))
+                regs[op.j] = (B & hi) | ((A >> k) & b)
+                if ctx is not None:
+                    ctx.count_ops(4)
+
+
+def apply_classified_ops_reversed(regs: list, schedule, word_bits: int,
+                                  ctx: ThreadCtx | None = None) -> None:
+    """Run a classified schedule backwards with inverted operations
+    (the B2W direction; see
+    :func:`repro.core.transpose.untranspose_bits_reduced`)."""
+    dt = word_dtype(word_bits)
+    for step_ops in reversed(schedule):
+        for c in reversed(step_ops):
+            op = c.op
+            if c.kind == "skip":
+                continue
+            b = dt.type(op.mask)
+            k = dt.type(op.k)
+            A, B = regs[op.i], regs[op.j]
+            if c.kind == "swap":
+                C = ((A >> k) & b) ^ (B & b)
+                regs[op.i] = A ^ (C << k)
+                regs[op.j] = B ^ C
+                if ctx is not None:
+                    ctx.count_ops(7)
+            elif c.kind == "copy_up":  # inverse is copy_down
+                hi = dt.type((op.mask << op.k) & ((1 << word_bits) - 1))
+                regs[op.j] = (B & hi) | ((A >> k) & b)
+                if ctx is not None:
+                    ctx.count_ops(4)
+            else:  # inverse of copy_down is copy_up
+                regs[op.i] = (A & b) | ((B & b) << k)
+                if ctx is not None:
+                    ctx.count_ops(4)
+
+
+def w2b_kernel(ctx: ThreadCtx, src: str, dst_h: str, dst_l: str,
+               n_positions: int, lane_groups: int, word_bits: int):
+    """Step 2: wordwise character codes -> bit-transpose planes.
+
+    Global layout: ``src`` is ``(lane_groups * w, n_positions)`` code
+    words (instance-major); ``dst_h`` / ``dst_l`` are ``(n_positions,
+    lane_groups)`` plane words.  Thread ``tid`` owns one (position,
+    lane-group) cell: it gathers the ``w`` instance codes, runs the
+    ``s = 2`` reduced transpose (127 operations for ``w = 32``,
+    Table I), and writes the two live plane words.
+    """
+    w = word_bits
+    tid = ctx.global_thread_idx
+    total = n_positions * lane_groups
+    if tid >= total:
+        yield Barrier()
+        return
+    pos = tid // lane_groups
+    group = tid % lane_groups
+    # Gather the w instance codes at this position (a strided, hence
+    # non-coalesced, load — the memory stats make the cost visible).
+    idx = (np.arange(w, dtype=np.int64) + group * w) * n_positions + pos
+    codes = ctx.gmem.warp_load(src, idx)
+    regs = list(codes.astype(word_dtype(w)))
+    schedule = classify_reduced_schedule(w, CHAR_BITS)
+    apply_classified_ops(regs, schedule, w, ctx)
+    ctx.gmem.store(dst_l, (pos, group), regs[0])
+    ctx.gmem.store(dst_h, (pos, group), regs[1])
+    yield Barrier()
+
+
+def b2w_kernel(ctx: ThreadCtx, src: str, dst: str, s: int,
+               lane_groups: int, word_bits: int):
+    """Step 4: bit-sliced ``s``-bit scores -> wordwise values.
+
+    ``src`` is ``(s, lane_groups)`` plane words; ``dst`` is
+    ``(lane_groups * w,)`` wordwise scores.  Thread ``tid`` owns one
+    lane group: loads the ``s`` plane words, runs the reduced schedule
+    backwards, and writes ``w`` scores (coalesced within the group).
+    """
+    w = word_bits
+    tid = ctx.global_thread_idx
+    if tid >= lane_groups:
+        yield Barrier()
+        return
+    dt = word_dtype(w)
+    regs = [dt.type(0)] * w
+    for h in range(s):
+        regs[h] = dt.type(ctx.gmem.load(src, (h, tid)))
+    schedule = classify_reduced_schedule(w, s)
+    apply_classified_ops_reversed(regs, schedule, w, ctx)
+    mask = dt.type((1 << s) - 1) if s < w else dt.type(~dt.type(0))
+    out_idx = tid * w + np.arange(w, dtype=np.int64)
+    ctx.gmem.warp_store(dst, out_idx, [r & mask for r in regs])
+    yield Barrier()

@@ -1,0 +1,15 @@
+"""Operation counts (Lemmas 1-6) and the Table IV/V analytic model."""
+
+from .model import CalibratedRate, Table4Model
+from .opcounts import (WorkloadSpec, b2w_ops, score_bits_paper,
+                       swa_bulk_ops, w2b_ops, wordwise_swa_ops)
+from .paper_data import (M_PATTERN, N_VALUES, PAIRS, PAPER_TABLE1,
+                         PAPER_TABLE4, PAPER_TABLE5)
+
+__all__ = [
+    "Table4Model", "CalibratedRate",
+    "WorkloadSpec", "swa_bulk_ops", "w2b_ops", "b2w_ops",
+    "wordwise_swa_ops", "score_bits_paper",
+    "N_VALUES", "PAIRS", "M_PATTERN",
+    "PAPER_TABLE1", "PAPER_TABLE4", "PAPER_TABLE5",
+]

@@ -1,0 +1,127 @@
+"""Whole-workload operation counts for the BPBC Smith-Waterman.
+
+Combines the circuit costs of :mod:`repro.core.circuits` (per DP cell)
+with the transpose costs of :mod:`repro.core.transpose` (per lane
+group) into end-to-end counts for a batch of ``pairs`` pattern/text
+pairs — the quantities the analytic Table IV model converts into time.
+
+Two accounting flavours are available everywhere: ``paper=True`` uses
+the counts the paper states (Theorem 6's ``48s - 18`` etc., which is
+what the authors' implementation was built from), ``paper=False`` uses
+the exact counts of our circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.circuits import (
+    max_b_ops,
+    sw_cell_ops_exact,
+    sw_cell_ops_paper,
+)
+from ..core.encoding import CHAR_BITS
+from ..core.transpose import count_reduced_ops
+
+__all__ = [
+    "WorkloadSpec",
+    "score_bits_paper",
+    "lane_groups",
+    "swa_bulk_ops",
+    "w2b_ops",
+    "b2w_ops",
+    "wordwise_cell_ops",
+    "wordwise_swa_ops",
+    "h2g_bytes",
+    "g2h_bytes",
+]
+
+#: Estimated simple operations per wordwise DP cell (compare, add,
+#: two subtractions, three max selections ~= 7); validated against the
+#: paper's CPU bitwise/wordwise ratio in the tests.
+WORDWISE_CELL_OPS = 7
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One Table IV workload: ``pairs`` pairs of lengths ``m`` x ``n``."""
+
+    pairs: int
+    m: int
+    n: int
+    word_bits: int = 32
+
+    @property
+    def cells(self) -> int:
+        """Total DP cell updates (CUPS numerator)."""
+        return self.pairs * self.m * self.n
+
+
+def score_bits_paper(c1: int, m: int) -> int:
+    """The paper's score width: ``ceil(log2(c1 * m))`` (8 for the
+    evaluation's ``c1=2, m=128``; one bit short of the safe width when
+    ``c1*m`` is a power of two — see ``ScoringScheme.score_bits``)."""
+    v = c1 * m
+    return max(1, (v - 1).bit_length())
+
+
+def lane_groups(pairs: int, word_bits: int) -> int:
+    """Lane-word groups needed for ``pairs`` instances."""
+    return -(-pairs // word_bits)
+
+
+def swa_bulk_ops(spec: WorkloadSpec, s: int, paper: bool = True) -> int:
+    """Bitwise operations of the bulk SWA phase.
+
+    One SW-cell circuit evaluation per DP cell per lane group, plus one
+    running-max fold per cell (the §V listing's item 3 and the final
+    reduction; the paper's stated per-cell count absorbs the fold, so
+    ``paper=True`` counts cells only).
+    """
+    groups = lane_groups(spec.pairs, spec.word_bits)
+    cell_circuits = groups * spec.m * spec.n
+    if paper:
+        return cell_circuits * sw_cell_ops_paper(s)
+    return cell_circuits * (sw_cell_ops_exact(s, CHAR_BITS)
+                            + max_b_ops(s))
+
+
+def w2b_ops(spec: WorkloadSpec) -> int:
+    """Bitwise operations of the W2B (Step 2) conversion.
+
+    One reduced ``s = 2`` transpose per lane group per ``word_bits``
+    characters, over both strings — ``(m + n)`` positions per pair.
+    """
+    w = spec.word_bits
+    groups = lane_groups(spec.pairs, w)
+    per_block = count_reduced_ops(w, CHAR_BITS)["total_operations"]
+    return groups * (spec.m + spec.n) * per_block
+
+
+def b2w_ops(spec: WorkloadSpec, s: int) -> int:
+    """Bitwise operations of the B2W (Step 4) conversion: one reduced
+    ``s``-bit untranspose per lane group (scores only)."""
+    w = spec.word_bits
+    groups = lane_groups(spec.pairs, w)
+    per_block = count_reduced_ops(w, s)["total_operations"]
+    return groups * per_block
+
+
+def wordwise_cell_ops() -> int:
+    """Simple operations per DP cell of the wordwise implementation."""
+    return WORDWISE_CELL_OPS
+
+
+def wordwise_swa_ops(spec: WorkloadSpec) -> int:
+    """Total operations of the wordwise SWA over the workload."""
+    return spec.cells * WORDWISE_CELL_OPS
+
+
+def h2g_bytes(spec: WorkloadSpec, bytes_per_char: int = 1) -> int:
+    """Host-to-device bytes: both strings, wordwise characters."""
+    return spec.pairs * (spec.m + spec.n) * bytes_per_char
+
+
+def g2h_bytes(spec: WorkloadSpec, bytes_per_score: int = 4) -> int:
+    """Device-to-host bytes: one wordwise score per pair."""
+    return spec.pairs * bytes_per_score

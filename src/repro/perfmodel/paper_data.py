@@ -1,0 +1,134 @@
+"""The paper's published evaluation numbers (Tables I, IV and V).
+
+Stored verbatim so the experiment harness can print paper-vs-model /
+paper-vs-measured comparisons.  All times are milliseconds for 32K
+(32768) pairs with m = 128; n is the data-string length.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "N_VALUES",
+    "PAIRS",
+    "M_PATTERN",
+    "PAPER_TABLE1",
+    "PAPER_TABLE4",
+    "PAPER_TABLE5",
+    "PAPER_TABLE2_MATRIX",
+    "TABLE2_X",
+    "TABLE2_Y",
+]
+
+#: Data-string lengths evaluated in §VI.
+N_VALUES = (1024, 2048, 4096, 8192, 16384, 32768, 65536)
+
+#: Number of sequence pairs ("32K pairs").
+PAIRS = 32768
+
+#: Pattern length ("pattern strings of a fixed length of m = 128").
+M_PATTERN = 128
+
+#: Table I: (total swap, total copy, total operations) per s for the
+#: 32 x 32 bit transpose, as printed.  Note: the s = 16 row's printed
+#: totals are inconsistent with its own per-step entries (copy 16 then
+#: 4 x swap 8 sums to swap 32 / copy 16 / 288 ops, not 16 / 40 / 272);
+#: both are recorded.
+PAPER_TABLE1: dict[int, dict[str, int]] = {
+    32: {"swap": 80, "copy": 0, "operations": 560},
+    16: {"swap": 16, "copy": 40, "operations": 272},  # printed (typo)
+    8: {"swap": 12, "copy": 24, "operations": 180},
+    7: {"swap": 11, "copy": 25, "operations": 177},
+    6: {"swap": 8, "copy": 28, "operations": 168},
+    5: {"swap": 8, "copy": 27, "operations": 164},
+    4: {"swap": 4, "copy": 28, "operations": 140},
+    3: {"swap": 1, "copy": 31, "operations": 131},
+    2: {"swap": 1, "copy": 30, "operations": 127},
+}
+
+#: Step-entry-consistent totals for the s = 16 row of Table I.
+PAPER_TABLE1_S16_FROM_STEPS = {"swap": 32, "copy": 16, "operations": 288}
+
+#: Table IV: running time in ms.  Keys: implementation block ->
+#: device -> column -> tuple over N_VALUES.
+PAPER_TABLE4: dict[str, dict[str, dict[str, tuple[float, ...]]]] = {
+    "bitwise32": {
+        "cpu": {
+            "w2b": (153.89, 306.70, 715.70, 1451.89, 3063.70, 5907.22,
+                    8924.32),
+            "swa": (10990.03, 21918.45, 45065.72, 90114.62, 180065.17,
+                    357122.10, 720876.85),
+            "b2w": (0.15, 0.16, 0.15, 0.21, 0.18, 0.26, 0.27),
+            "total": (11144.07, 22225.32, 45781.57, 91566.72, 183129.05,
+                      363030.58, 729800.04),
+        },
+        "gpu": {
+            "h2g": (5.51, 10.60, 19.01, 38.00, 79.54, 153.31, 299.47),
+            "w2b": (0.14, 0.22, 0.32, 0.56, 1.02, 1.85, 3.35),
+            "swa": (6.91, 12.61, 24.17, 48.29, 96.56, 196.03, 392.52),
+            "b2w": (0.01,) * 7,
+            "g2h": (0.08, 0.08, 0.07, 0.07, 0.08, 0.08, 0.08),
+            "total": (12.66, 23.52, 43.59, 86.94, 177.21, 351.27, 695.42),
+        },
+    },
+    "bitwise64": {
+        "cpu": {
+            "w2b": (232.54, 471.38, 944.04, 2051.98, 3890.75, 6593.45,
+                    8973.66),
+            "swa": (5434.08, 10871.87, 21894.50, 43544.63, 86937.86,
+                    174271.58, 348896.24),
+            "b2w": (0.09, 0.11, 0.13, 0.14, 0.17, 0.23, 0.24),
+            "total": (5666.71, 11343.36, 22838.67, 45596.74, 90828.78,
+                      180865.26, 357870.14),
+        },
+        "gpu": {
+            "h2g": (5.71, 10.81, 19.61, 37.89, 76.21, 151.97, 297.54),
+            "w2b": (2.76, 5.13, 9.84, 19.22, 37.76, 75.33, 150.59),
+            "swa": (10.72, 20.47, 38.43, 75.44, 150.08, 301.07, 605.80),
+            "b2w": (0.01,) * 7,
+            "g2h": (0.08, 0.08, 0.08, 0.07, 0.08, 0.08, 0.09),
+            "total": (19.28, 36.51, 67.97, 132.64, 264.14, 528.46,
+                      1054.04),
+        },
+    },
+    "wordwise32": {
+        "cpu": {
+            "swa": (6803.99, 13590.92, 27169.32, 54358.14, 108680.38,
+                    217621.17, 435637.82),
+            "total": (6803.99, 13590.92, 27169.32, 54358.14, 108680.38,
+                      217621.17, 435637.82),
+        },
+        "gpu": {
+            "h2g": (5.78, 10.46, 20.22, 39.83, 78.52, 156.89, 315.53),
+            "swa": (30.66, 52.66, 111.62, 203.41, 446.47, 835.81, 1861.36),
+            "g2h": (0.08, 0.07, 0.07, 0.08, 0.08, 0.08, 0.07),
+            "total": (36.51, 63.20, 131.91, 243.32, 525.07, 992.78,
+                      2176.96),
+        },
+    },
+}
+
+#: Table V: throughput (GCUPS) and speed-up, best wordsize per device
+#: (CPU uses 64-bit, GPU uses 32-bit).
+PAPER_TABLE5: dict[int, dict[str, float]] = {
+    1024: {"cpu_gcups": 0.76, "gpu_gcups": 1877.40, "speedup": 447.6},
+    2048: {"cpu_gcups": 0.76, "gpu_gcups": 2022.85, "speedup": 482.3},
+    4096: {"cpu_gcups": 0.75, "gpu_gcups": 2197.58, "speedup": 523.9},
+    8192: {"cpu_gcups": 0.75, "gpu_gcups": 2199.75, "speedup": 524.5},
+    16384: {"cpu_gcups": 0.76, "gpu_gcups": 2149.79, "speedup": 512.5},
+    32768: {"cpu_gcups": 0.76, "gpu_gcups": 2159.60, "speedup": 514.9},
+    65536: {"cpu_gcups": 0.77, "gpu_gcups": 2158.43, "speedup": 514.6},
+}
+
+#: Table II example: X = TACTG, Y = GAACTGA with c1 = 2, c2 = 1, gap = 1.
+TABLE2_X = "TACTG"
+TABLE2_Y = "GAACTGA"
+
+#: The DP matrix of Table II, including the zero boundary row/column.
+PAPER_TABLE2_MATRIX = (
+    (0, 0, 0, 0, 0, 0, 0, 0),
+    (0, 0, 0, 0, 0, 2, 1, 0),
+    (0, 0, 2, 2, 1, 1, 1, 3),
+    (0, 0, 1, 1, 4, 3, 2, 2),
+    (0, 0, 0, 0, 3, 6, 5, 4),
+    (0, 2, 1, 0, 2, 5, 8, 7),
+)

@@ -1,0 +1,161 @@
+"""Affine-gap Smith-Waterman (Gotoh) — the paper's future-work hook.
+
+The paper closes with "the proposed BPBC can be coupled with other SWA
+strategies"; the most important such strategy in practice is the
+affine gap model (opening a gap costs more than extending it), solved
+by Gotoh's three-matrix recurrence::
+
+    E[i][j] = max(H[i][j-1] - open, E[i][j-1] - extend)   # gap in x
+    F[i][j] = max(H[i-1][j] - open, F[i-1][j] - extend)   # gap in y
+    H[i][j] = max(0, E[i][j], F[i][j], H[i-1][j-1] + w(x_i, y_j))
+
+This module provides the wordwise substrate (gold-standard DP and a
+vectorised batch engine); the bit-sliced BPBC engine lives in
+:mod:`repro.core.affine_bpbc`.
+
+Saturation note (why BPBC applies unchanged): clamping E and F at zero
+after every saturating subtraction computes ``max(0, E_true)`` /
+``max(0, F_true)`` exactly — a clamped intermediate can only replace a
+negative path score, and those never reach ``H`` through its outer
+``max(0, ...)``.  With ``open == extend`` the model degenerates to the
+paper's linear recurrence, which the tests exploit for
+cross-validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AffineScheme", "gotoh_matrix", "gotoh_max_score",
+           "gotoh_batch_max_scores"]
+
+
+@dataclass(frozen=True)
+class AffineScheme:
+    """Affine-gap scoring parameters (non-negative magnitudes).
+
+    ``gap_open`` is the total cost of a gap's first character;
+    ``gap_extend`` the cost of each further character.  Conventionally
+    ``gap_open >= gap_extend``; with equality the model is linear.
+    """
+
+    match_score: int = 2
+    mismatch_penalty: int = 1
+    gap_open: int = 3
+    gap_extend: int = 1
+
+    def __post_init__(self) -> None:
+        if self.match_score <= 0:
+            raise ValueError(
+                f"match_score must be positive, got {self.match_score}"
+            )
+        for name in ("mismatch_penalty", "gap_open", "gap_extend"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.gap_extend > self.gap_open:
+            raise ValueError(
+                "gap_extend must not exceed gap_open "
+                f"({self.gap_extend} > {self.gap_open})"
+            )
+
+    def max_score(self, m: int, n: int | None = None) -> int:
+        """Largest possible H value (full match of the shorter input)."""
+        shorter = m if n is None else min(m, n)
+        return self.match_score * shorter
+
+    def score_bits(self, m: int, n: int | None = None) -> int:
+        """Bits needed for any H/E/F value under zero-clamping."""
+        return max(1, self.max_score(m, n).bit_length())
+
+
+def gotoh_matrix(x, y, scheme: AffineScheme) -> np.ndarray:
+    """Full ``(m+1) x (n+1)`` H matrix, pure Python (gold standard).
+
+    E and F are kept clamped at zero, matching the bit-sliced engine;
+    the H values are the standard local-alignment scores.
+    """
+    m, n = len(x), len(y)
+    H = np.zeros((m + 1, n + 1), dtype=np.int64)
+    E = np.zeros((m + 1, n + 1), dtype=np.int64)
+    F = np.zeros((m + 1, n + 1), dtype=np.int64)
+    c1 = scheme.match_score
+    c2 = scheme.mismatch_penalty
+    go = scheme.gap_open
+    ge = scheme.gap_extend
+    for i in range(1, m + 1):
+        xi = x[i - 1]
+        for j in range(1, n + 1):
+            E[i, j] = max(0, H[i, j - 1] - go, E[i, j - 1] - ge)
+            F[i, j] = max(0, H[i - 1, j] - go, F[i - 1, j] - ge)
+            diag = H[i - 1, j - 1] + (c1 if xi == y[j - 1] else -c2)
+            H[i, j] = max(0, E[i, j], F[i, j], diag)
+    return H
+
+
+def gotoh_max_score(x, y, scheme: AffineScheme) -> int:
+    """Maximum affine-gap local-alignment score."""
+    return int(gotoh_matrix(x, y, scheme).max())
+
+
+def gotoh_batch_max_scores(X: np.ndarray, Y: np.ndarray,
+                           scheme: AffineScheme) -> np.ndarray:
+    """Wordwise batch engine: max H per pair, wavefront-vectorised.
+
+    ``X`` is ``(P, m)``, ``Y`` is ``(P, n)``; returns ``(P,)`` int64.
+    """
+    X = np.asarray(X)
+    Y = np.asarray(Y)
+    if X.ndim != 2 or Y.ndim != 2 or X.shape[0] != Y.shape[0]:
+        raise ValueError(
+            f"expected (P, m) / (P, n) code matrices, got {X.shape} "
+            f"and {Y.shape}"
+        )
+    P, m = X.shape
+    n = Y.shape[1]
+    c1 = np.int32(scheme.match_score)
+    c2 = np.int32(scheme.mismatch_penalty)
+    go = np.int32(scheme.gap_open)
+    ge = np.int32(scheme.gap_extend)
+    h1 = np.zeros((P, m), dtype=np.int32)  # H on diagonal t-1
+    h2 = np.zeros((P, m), dtype=np.int32)  # H on diagonal t-2
+    e1 = np.zeros((P, m), dtype=np.int32)  # E on diagonal t-1
+    f1 = np.zeros((P, m), dtype=np.int32)  # F on diagonal t-1
+    best = np.zeros(P, dtype=np.int32)
+    for t in range(m + n - 1):
+        lo = max(0, t - n + 1)
+        hi = min(m - 1, t)
+        i_idx = np.arange(lo, hi + 1)
+        j_idx = t - i_idx
+        width = hi - lo + 1
+        h_up = np.zeros((P, width), dtype=np.int32)
+        h_diag = np.zeros((P, width), dtype=np.int32)
+        f_up = np.zeros((P, width), dtype=np.int32)
+        inner = i_idx > 0
+        h_up[:, inner] = h1[:, i_idx[inner] - 1]
+        h_diag[:, inner] = h2[:, i_idx[inner] - 1]
+        f_up[:, inner] = f1[:, i_idx[inner] - 1]
+        h_left = h1[:, i_idx].copy()
+        e_left = e1[:, i_idx].copy()
+        jz = j_idx > 0
+        h_left[:, ~jz] = 0
+        e_left[:, ~jz] = 0
+        h_diag[:, ~jz] = 0
+        E = np.maximum(0, np.maximum(h_left - go, e_left - ge))
+        F = np.maximum(0, np.maximum(h_up - go, f_up - ge))
+        w = np.where(X[:, i_idx] == Y[:, j_idx], c1, -c2)
+        H = np.maximum(np.maximum(E, F),
+                       np.maximum(0, h_diag + w)).astype(np.int32)
+        best = np.maximum(best, H.max(axis=1))
+        h2 = h1
+        nh = h1.copy()
+        nh[:, lo:hi + 1] = H
+        h1 = nh
+        ne = e1.copy()
+        ne[:, lo:hi + 1] = E
+        e1 = ne
+        nf = f1.copy()
+        nf[:, lo:hi + 1] = F
+        f1 = nf
+    return best.astype(np.int64)

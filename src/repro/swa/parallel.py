@@ -1,0 +1,101 @@
+"""Anti-diagonal (wavefront) Smith-Waterman (paper §III, parallel form).
+
+The paper parallelises the DP by computing every cell of one
+anti-diagonal at the same time: at step ``t`` the cells
+``d[i][t - i]`` for all valid ``i`` depend only on diagonals ``t - 1``
+and ``t - 2``.  This module provides
+
+* :func:`wavefront_schedule` — the ``t`` value at which each cell is
+  computed (reproducing Table III), and
+* :func:`sw_matrix_wavefront` — a NumPy engine that walks diagonals,
+  vectorising across the pattern axis.  It is bit-for-bit equal to the
+  row-major :func:`repro.swa.sequential.sw_matrix` (tested), which is
+  precisely the obliviousness argument that lets the paper bulk-execute
+  the algorithm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .scoring import ScoringScheme
+
+__all__ = ["wavefront_schedule", "sw_matrix_wavefront", "diagonal_cells"]
+
+
+def wavefront_schedule(m: int, n: int) -> np.ndarray:
+    """Table III: the parallel step ``t`` at which ``d[i][j]`` is computed.
+
+    Returns an ``(m, n)`` matrix with ``t = i + j`` (0-based), matching
+    the paper's schedule where cell values flow from top-left to
+    bottom-right and each anti-diagonal is one time step (the paper's
+    table is printed 1-based: ``t = i + j + 1`` with its boundary row).
+    """
+    if m <= 0 or n <= 0:
+        raise ValueError("sequence lengths must be positive")
+    i = np.arange(m)[:, None]
+    j = np.arange(n)[None, :]
+    return (i + j).astype(np.int64)
+
+
+def diagonal_cells(m: int, n: int, t: int) -> list[tuple[int, int]]:
+    """The (i, j) cells computed at wavefront step ``t`` (0-based)."""
+    cells = []
+    for i in range(min(m - 1, t), -1, -1):
+        j = t - i
+        if 0 <= j < n:
+            cells.append((i, j))
+    return cells
+
+
+def sw_matrix_wavefront(x, y, scheme: ScoringScheme) -> np.ndarray:
+    """Scoring matrix computed diagonal-by-diagonal (vectorised in i).
+
+    Maintains three rolling diagonals.  ``diag_t[i]`` holds
+    ``d[i][t - i]`` (1-based DP indices internally, matching
+    :func:`repro.swa.sequential.sw_matrix`'s output layout).
+    """
+    x = np.asarray(x if not isinstance(x, str) else list(x))
+    y = np.asarray(y if not isinstance(y, str) else list(y))
+    m, n = len(x), len(y)
+    d = np.zeros((m + 1, n + 1), dtype=np.int64)
+    c1 = scheme.match_score
+    c2 = scheme.mismatch_penalty
+    gap = scheme.gap_penalty
+    # prev2[i], prev1[i] hold d[i+1][t-2-i], d[i+1][t-1-i] for the DP
+    # rows i+1 (1-based); boundary cells are zero so plain zero arrays
+    # initialise the recurrence correctly.
+    prev2 = np.zeros(m, dtype=np.int64)
+    prev1 = np.zeros(m, dtype=np.int64)
+    for t in range(m + n - 1):
+        lo = max(0, t - n + 1)
+        hi = min(m - 1, t)
+        i_idx = np.arange(lo, hi + 1)
+        j_idx = t - i_idx
+        # Neighbours: up = d[i-1][j] -> prev1 shifted by one row;
+        # left = d[i][j-1] -> prev1 same row; diag -> prev2 shifted.
+        up = np.where(i_idx > 0, prev1[i_idx - 1], 0)
+        left = prev1[i_idx]
+        diag = np.where(i_idx > 0, prev2[i_idx - 1], 0)
+        # Row i == 0 has zero boundary above; for j == 0 the left and
+        # diagonal neighbours are boundary zeros.
+        left = np.where(j_idx > 0, left, 0)
+        diag = np.where(j_idx > 0, diag, 0)
+        w = np.where(x[i_idx] == y[j_idx], c1, -c2)
+        cur = np.maximum(0, np.maximum.reduce(
+            [up - gap, left - gap, diag + w]
+        ))
+        d[i_idx + 1, j_idx + 1] = cur
+        nxt = np.zeros(m, dtype=np.int64)
+        nxt[i_idx] = cur
+        # Cells not on this diagonal keep their previous value of the
+        # same column only where still needed: d[i][j-1] for next step
+        # is prev1's entry when row i is not updated this step (its j-1
+        # is the one computed two steps ago) — but the recurrence only
+        # reads rows adjacent to the active band, whose values are
+        # exactly the freshly written ones or boundary zeros, so a
+        # plain roll suffices.
+        prev2, prev1 = prev1, np.where(
+            (np.arange(m) >= lo) & (np.arange(m) <= hi), nxt, prev1
+        )
+    return d

@@ -1,0 +1,86 @@
+"""Scoring scheme for the Smith-Waterman recurrence.
+
+The paper's recurrence (§III) is::
+
+    d[i][j] = max(0,
+                  d[i-1][j]   - gap,
+                  d[i][j-1]   - gap,
+                  d[i-1][j-1] + w(x_i, y_j))
+
+    w(x, y) = c1 if x == y else -c2
+
+with the worked example (Table II) using ``c1 = 2``, mismatch ``-1``
+and gap ``-1``.  The paper's prose writes the penalties with
+inconsistent signs ("c1 = 2 and c1 = -1 and gap = -1"); we normalise:
+``match_score`` (c1), ``mismatch_penalty`` (c2) and ``gap_penalty``
+(gap) are all **non-negative magnitudes**, subtracted where the
+recurrence subtracts.  This matches both Table II and the bitwise
+circuits, whose saturating subtraction requires non-negative operands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ScoringScheme", "DEFAULT_SCHEME"]
+
+
+@dataclass(frozen=True)
+class ScoringScheme:
+    """Smith-Waterman scoring parameters (non-negative magnitudes).
+
+    Attributes
+    ----------
+    match_score:
+        ``c1`` — added when characters match; must be positive.
+    mismatch_penalty:
+        ``c2`` — subtracted (saturating at 0) on mismatch.
+    gap_penalty:
+        ``gap`` — subtracted (saturating at 0) when opening/extending
+        a gap (the paper uses linear gap costs).
+    """
+
+    match_score: int = 2
+    mismatch_penalty: int = 1
+    gap_penalty: int = 1
+
+    def __post_init__(self) -> None:
+        if self.match_score <= 0:
+            raise ValueError(
+                f"match_score must be positive, got {self.match_score}"
+            )
+        if self.mismatch_penalty < 0:
+            raise ValueError(
+                "mismatch_penalty is a non-negative magnitude, got "
+                f"{self.mismatch_penalty}"
+            )
+        if self.gap_penalty < 0:
+            raise ValueError(
+                "gap_penalty is a non-negative magnitude, got "
+                f"{self.gap_penalty}"
+            )
+
+    def w(self, x, y) -> int:
+        """The paper's ``w(x, y)``: ``c1`` on match, ``-c2`` otherwise."""
+        return self.match_score if x == y else -self.mismatch_penalty
+
+    def max_score(self, m: int, n: int | None = None) -> int:
+        """Largest possible cell value: a full-length match of the
+        shorter sequence."""
+        shorter = m if n is None else min(m, n)
+        return self.match_score * shorter
+
+    def score_bits(self, m: int, n: int | None = None) -> int:
+        """Bits needed to hold any score (the paper's ``s``).
+
+        The paper states ``s <= ceil(log2(c1 * m))``, which is one bit
+        short when ``c1 * m`` is a power of two (e.g. ``c1=2, m=128``
+        gives 256, needing 9 bits, not 8); we use the exact
+        ``bit_length``.
+        """
+        return max(1, self.max_score(m, n).bit_length())
+
+
+#: The paper's Table II parameters: match +2, mismatch -1, gap -1.
+DEFAULT_SCHEME = ScoringScheme(match_score=2, mismatch_penalty=1,
+                               gap_penalty=1)

@@ -1,0 +1,135 @@
+"""Traceback and local-alignment extraction for Smith-Waterman.
+
+The BPBC pipeline reports only the maximum score per pair; pairs whose
+score passes the threshold are re-aligned here on the CPU, as the paper
+prescribes (§III: "Once such strings are identified, a detailed
+matching can be computed by a conventional SWA on the CPU, where the
+score and traceback matrices can be used to identify similar regions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .scoring import ScoringScheme
+from .sequential import sw_matrix
+
+__all__ = ["Alignment", "traceback", "align", "format_alignment"]
+
+#: Traceback direction codes.
+_STOP, _DIAG, _UP, _LEFT = 0, 1, 2, 3
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """A local alignment between two sequences.
+
+    ``x_start``/``x_end`` and ``y_start``/``y_end`` are half-open
+    0-based ranges into the original sequences; ``aligned_x`` /
+    ``aligned_y`` are the gapped alignment rows (``-`` = gap) and
+    ``score`` the Smith-Waterman score of the region.
+    """
+
+    score: int
+    x_start: int
+    x_end: int
+    y_start: int
+    y_end: int
+    aligned_x: str
+    aligned_y: str
+
+    @property
+    def length(self) -> int:
+        """Number of alignment columns (including gaps)."""
+        return len(self.aligned_x)
+
+    @property
+    def identity(self) -> float:
+        """Fraction of alignment columns that are exact matches."""
+        if not self.aligned_x:
+            return 0.0
+        matches = sum(
+            1 for a, b in zip(self.aligned_x, self.aligned_y)
+            if a == b and a != "-"
+        )
+        return matches / len(self.aligned_x)
+
+
+def traceback(d: np.ndarray, x, y, scheme: ScoringScheme,
+              end: tuple[int, int] | None = None) -> Alignment:
+    """Trace one optimal local alignment back from ``end``.
+
+    ``d`` is the ``(m+1) x (n+1)`` scoring matrix of
+    :func:`repro.swa.sequential.sw_matrix`; ``end`` defaults to the
+    argmax cell.  Ties are broken diagonal-first (the conventional
+    choice, preferring substitutions over gaps).
+    """
+    m, n = len(x), len(y)
+    if d.shape != (m + 1, n + 1):
+        raise ValueError(
+            f"matrix shape {d.shape} does not fit sequences "
+            f"({m + 1} x {n + 1} expected)"
+        )
+    if end is None:
+        flat = int(np.argmax(d))
+        end = (flat // (n + 1), flat % (n + 1))
+    i, j = end
+    score = int(d[i, j])
+    c1, c2, gap = (scheme.match_score, scheme.mismatch_penalty,
+                   scheme.gap_penalty)
+    ax: list[str] = []
+    ay: list[str] = []
+    x_end, y_end = i, j
+    while i > 0 and j > 0 and d[i, j] > 0:
+        here = d[i, j]
+        w = c1 if x[i - 1] == y[j - 1] else -c2
+        if here == d[i - 1, j - 1] + w:
+            ax.append(str(x[i - 1]))
+            ay.append(str(y[j - 1]))
+            i -= 1
+            j -= 1
+        elif here == d[i - 1, j] - gap:
+            ax.append(str(x[i - 1]))
+            ay.append("-")
+            i -= 1
+        elif here == d[i, j - 1] - gap:
+            ax.append("-")
+            ay.append(str(y[j - 1]))
+            j -= 1
+        else:  # pragma: no cover - would indicate a corrupted matrix
+            raise ValueError(
+                f"inconsistent scoring matrix at cell ({i}, {j})"
+            )
+    return Alignment(
+        score=score,
+        x_start=i,
+        x_end=x_end,
+        y_start=j,
+        y_end=y_end,
+        aligned_x="".join(reversed(ax)),
+        aligned_y="".join(reversed(ay)),
+    )
+
+
+def align(x, y, scheme: ScoringScheme | None = None) -> Alignment:
+    """Best local alignment of ``x`` against ``y`` (matrix + traceback)."""
+    from .scoring import DEFAULT_SCHEME
+
+    scheme = scheme or DEFAULT_SCHEME
+    d = sw_matrix(x, y, scheme)
+    return traceback(d, x, y, scheme)
+
+
+def format_alignment(a: Alignment) -> str:
+    """Three-row pretty print: query, match bars, subject."""
+    bars = "".join(
+        "|" if p == q and p != "-" else " "
+        for p, q in zip(a.aligned_x, a.aligned_y)
+    )
+    return (
+        f"score={a.score} x[{a.x_start}:{a.x_end}] "
+        f"y[{a.y_start}:{a.y_end}] identity={a.identity:.2f}\n"
+        f"  {a.aligned_x}\n  {bars}\n  {a.aligned_y}"
+    )

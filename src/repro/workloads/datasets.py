@@ -1,0 +1,64 @@
+"""Experiment batch builders.
+
+Thin, seeded wrappers that assemble the exact workloads the paper's
+evaluation uses (32K random pairs, m = 128, n swept over powers of
+two) at configurable scale, since a Python reproduction measures
+scaled-down pair counts and extrapolates with the analytic model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dna import random_strands
+
+__all__ = ["PairBatch", "paper_workload", "sweep_workloads"]
+
+
+@dataclass(frozen=True)
+class PairBatch:
+    """A batch of pattern/text pairs in wordwise code format."""
+
+    X: np.ndarray  # (P, m)
+    Y: np.ndarray  # (P, n)
+    seed: int
+
+    @property
+    def pairs(self) -> int:
+        """Number of pairs."""
+        return self.X.shape[0]
+
+    @property
+    def m(self) -> int:
+        """Pattern length."""
+        return self.X.shape[1]
+
+    @property
+    def n(self) -> int:
+        """Text length."""
+        return self.Y.shape[1]
+
+    @property
+    def cells(self) -> int:
+        """Total DP cell updates."""
+        return self.pairs * self.m * self.n
+
+
+def paper_workload(n: int, pairs: int = 32768, m: int = 128,
+                   seed: int = 0) -> PairBatch:
+    """The paper's §VI workload (random pairs) at the given scale."""
+    rng = np.random.default_rng(seed)
+    return PairBatch(
+        X=random_strands(rng, pairs, m),
+        Y=random_strands(rng, pairs, n),
+        seed=seed,
+    )
+
+
+def sweep_workloads(n_values, pairs: int = 32768, m: int = 128,
+                    seed: int = 0) -> dict[int, PairBatch]:
+    """One :func:`paper_workload` per ``n`` (Table IV's sweep)."""
+    return {n: paper_workload(n, pairs=pairs, m=m, seed=seed + i)
+            for i, n in enumerate(n_values)}

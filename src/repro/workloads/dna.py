@@ -1,0 +1,119 @@
+"""Synthetic DNA workload generation.
+
+The paper evaluates on random DNA strands; for the screening
+application we additionally need pairs with *planted homologies* —
+texts containing a mutated copy of (part of) the pattern — so that a
+threshold actually separates related from unrelated pairs.  All
+generators are seeded and reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.encoding import ALPHABET, decode
+
+__all__ = [
+    "random_strands",
+    "random_strand",
+    "MutationModel",
+    "mutate",
+    "plant_homology",
+    "homologous_pairs",
+]
+
+
+def random_strands(rng: np.random.Generator, count: int,
+                   length: int) -> np.ndarray:
+    """``(count, length)`` matrix of uniform random base codes."""
+    if count <= 0 or length <= 0:
+        raise ValueError("count and length must be positive")
+    return rng.integers(0, 4, size=(count, length), dtype=np.uint8)
+
+
+def random_strand(rng: np.random.Generator, length: int) -> np.ndarray:
+    """One uniform random strand of base codes."""
+    return random_strands(rng, 1, length)[0]
+
+
+@dataclass(frozen=True)
+class MutationModel:
+    """Per-base mutation channel applied to a strand copy.
+
+    Probabilities are independent per position: ``sub_rate``
+    substitutes a (uniformly different) base, ``del_rate`` drops the
+    base, ``ins_rate`` inserts a random base after it.
+    """
+
+    sub_rate: float = 0.05
+    del_rate: float = 0.0
+    ins_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("sub_rate", "del_rate", "ins_rate"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {v}")
+
+
+def mutate(rng: np.random.Generator, strand: np.ndarray,
+           model: MutationModel) -> np.ndarray:
+    """Apply the mutation channel; returns a (possibly shorter/longer)
+    strand."""
+    out: list[int] = []
+    for base in strand:
+        if model.del_rate and rng.random() < model.del_rate:
+            continue
+        if model.sub_rate and rng.random() < model.sub_rate:
+            out.append(int((base + rng.integers(1, 4)) % 4))
+        else:
+            out.append(int(base))
+        if model.ins_rate and rng.random() < model.ins_rate:
+            out.append(int(rng.integers(0, 4)))
+    return np.array(out, dtype=np.uint8)
+
+
+def plant_homology(rng: np.random.Generator, pattern: np.ndarray,
+                   text_length: int, model: MutationModel,
+                   fragment: float = 1.0) -> tuple[np.ndarray, int]:
+    """A random text with a mutated copy of (a fragment of) ``pattern``.
+
+    ``fragment`` is the fraction of the pattern copied (from a random
+    start).  Returns ``(text, insert_position)``.
+    """
+    if not 0.0 < fragment <= 1.0:
+        raise ValueError(f"fragment must be in (0, 1], got {fragment}")
+    frag_len = max(1, int(round(fragment * len(pattern))))
+    start = int(rng.integers(0, len(pattern) - frag_len + 1))
+    copy = mutate(rng, pattern[start:start + frag_len], model)
+    if len(copy) > text_length:
+        copy = copy[:text_length]
+    text = random_strands(rng, 1, text_length)[0]
+    pos = int(rng.integers(0, text_length - len(copy) + 1))
+    text[pos:pos + len(copy)] = copy
+    return text, pos
+
+
+def homologous_pairs(
+    rng: np.random.Generator, count: int, m: int, n: int,
+    related_fraction: float = 0.5,
+    model: MutationModel | None = None,
+    fragment: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """A screening workload: patterns, texts, and relatedness labels.
+
+    Returns ``(X (count, m), Y (count, n), labels (count,))`` where
+    ``labels[p]`` is True iff ``Y[p]`` contains a planted mutated copy
+    of (a fragment of) ``X[p]``.
+    """
+    if not 0.0 <= related_fraction <= 1.0:
+        raise ValueError("related_fraction must be a probability")
+    model = model or MutationModel()
+    X = random_strands(rng, count, m)
+    Y = random_strands(rng, count, n)
+    labels = rng.random(count) < related_fraction
+    for p in np.flatnonzero(labels):
+        Y[p], _ = plant_homology(rng, X[p], n, model, fragment)
+    return X, Y, labels

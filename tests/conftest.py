@@ -1,0 +1,36 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings as hypothesis_settings
+
+from repro.core.bitops import WORD_DTYPES
+
+# Wall-clock deadlines are meaningless on shared/loaded CI machines and
+# were observed to flake; correctness examples still run in full.
+hypothesis_settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+hypothesis_settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; reseed per test for reproducibility."""
+    return np.random.default_rng(0xBADC0DE)
+
+
+def random_words(rng: np.random.Generator, word_bits: int, shape,
+                 max_value: int | None = None) -> np.ndarray:
+    """Random words of the given width (full range by default)."""
+    high = (1 << word_bits) if max_value is None else max_value
+    vals = rng.integers(0, high, size=shape, dtype=np.uint64)
+    return vals.astype(WORD_DTYPES[word_bits])
+
+
+ALL_WIDTHS = (8, 16, 32, 64)
+MAIN_WIDTHS = (32, 64)  # the widths the paper evaluates

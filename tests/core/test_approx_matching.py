@@ -1,0 +1,142 @@
+"""Tests for repro.core.approx_matching: k-mismatch BPBC search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.approx_matching import (
+    bpbc_count_mismatches,
+    bpbc_k_mismatch,
+    count_mismatches_reference,
+    increment_if,
+    increment_if_ops,
+)
+from repro.core.bitops import BitOpsError, OpCounter, unpack_lanes
+from repro.core.bitsliced import BitSlicedUInt
+from repro.core.encoding import encode_batch_bit_transposed
+from repro.core.string_matching import bpbc_string_matching
+
+
+def _planes(rng, P, m, n, w):
+    X = rng.integers(0, 4, (P, m), dtype=np.uint8)
+    Y = rng.integers(0, 4, (P, n), dtype=np.uint8)
+    XH, XL = encode_batch_bit_transposed(X, w)
+    YH, YL = encode_batch_bit_transposed(Y, w)
+    return X, Y, XH, XL, YH, YL
+
+
+class TestIncrementIf:
+    def test_counts_flags(self, rng):
+        P, s = 90, 5
+        vals = rng.integers(0, 16, P)
+        flags = rng.integers(0, 2, P)
+        planes = list(BitSlicedUInt.from_ints(vals, s, 32).data)
+        fl = BitSlicedUInt.from_ints(flags, 1, 32).data[0]
+        out = increment_if(planes, fl)
+        got = BitSlicedUInt(np.stack(out), 32).to_ints(P)
+        np.testing.assert_array_equal(got, vals + flags)
+
+    def test_op_count(self, rng):
+        s = 6
+        planes = list(BitSlicedUInt.zeros(s, 2, 32).data)
+        c = OpCounter()
+        increment_if(planes, planes[0], c)
+        assert c.ops == increment_if_ops(s) == 2 * s - 1
+
+    def test_empty_counter_rejected(self):
+        with pytest.raises(BitOpsError):
+            increment_if([], np.uint32(0))
+
+
+class TestCountMismatches:
+    @pytest.mark.parametrize("w", [8, 32, 64])
+    def test_matches_reference(self, rng, w):
+        P, m, n = 40, 5, 17
+        X, Y, XH, XL, YH, YL = _planes(rng, P, m, n, w)
+        counts = bpbc_count_mismatches(XH, XL, YH, YL, w)
+        s = counts.shape[1]
+        for p in range(P):
+            ref = count_mismatches_reference(X[p], Y[p])
+            for j in range(n - m + 1):
+                got = BitSlicedUInt(counts[j], w).to_ints(P)[p]
+                assert got == ref[j], (p, j)
+
+    def test_counter_width_holds_m(self, rng):
+        # All-mismatch pair: count must reach m without overflow.
+        m, n = 7, 10
+        X = np.zeros((8, m), dtype=np.uint8)        # all A
+        Y = np.full((8, n), 1, dtype=np.uint8)      # all T
+        XH, XL = encode_batch_bit_transposed(X, 8)
+        YH, YL = encode_batch_bit_transposed(Y, 8)
+        counts = bpbc_count_mismatches(XH, XL, YH, YL, 8)
+        got = BitSlicedUInt(counts[0], 8).to_ints(8)
+        np.testing.assert_array_equal(got, m)
+
+    def test_pattern_longer_rejected(self, rng):
+        _, _, XH, XL, YH, YL = _planes(rng, 8, 6, 4, 8)
+        with pytest.raises(BitOpsError):
+            bpbc_count_mismatches(XH, XL, YH, YL, 8)
+
+
+class TestKMismatch:
+    def test_k0_equals_exact_matcher(self, rng):
+        P, m, n, w = 50, 4, 15, 32
+        _, _, XH, XL, YH, YL = _planes(rng, P, m, n, w)
+        k0 = bpbc_k_mismatch(XH, XL, YH, YL, 0, w)
+        exact_d = bpbc_string_matching(XH, XL, YH, YL, w)
+        # k-mismatch flags are 1 on hit; §II's d is 0 on hit.
+        k0_bits = unpack_lanes(k0, w, count=P)
+        d_bits = unpack_lanes(exact_d, w, count=P)
+        np.testing.assert_array_equal(k0_bits, 1 - d_bits)
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_matches_reference_threshold(self, rng, k):
+        P, m, n, w = 30, 6, 20, 32
+        X, Y, XH, XL, YH, YL = _planes(rng, P, m, n, w)
+        hits = bpbc_k_mismatch(XH, XL, YH, YL, k, w)
+        bits = unpack_lanes(hits, w, count=P)  # (offsets, P)
+        for p in range(P):
+            ref = count_mismatches_reference(X[p], Y[p]) <= k
+            np.testing.assert_array_equal(bits[:, p].astype(bool), ref)
+
+    def test_k_at_least_m_matches_everywhere(self, rng):
+        P, m, n, w = 20, 5, 12, 32
+        _, _, XH, XL, YH, YL = _planes(rng, P, m, n, w)
+        hits = bpbc_k_mismatch(XH, XL, YH, YL, m, w)
+        bits = unpack_lanes(hits, w, count=P)
+        assert bits.all()
+
+    def test_monotone_in_k(self, rng):
+        P, m, n, w = 30, 6, 20, 32
+        _, _, XH, XL, YH, YL = _planes(rng, P, m, n, w)
+        prev = None
+        for k in range(m + 1):
+            bits = unpack_lanes(
+                bpbc_k_mismatch(XH, XL, YH, YL, k, w), w, count=P
+            )
+            if prev is not None:
+                assert (bits >= prev).all()
+            prev = bits
+
+    def test_negative_k_rejected(self, rng):
+        _, _, XH, XL, YH, YL = _planes(rng, 8, 3, 6, 8)
+        with pytest.raises(BitOpsError):
+            bpbc_k_mismatch(XH, XL, YH, YL, -1, 8)
+
+    @settings(max_examples=15, deadline=None)
+    @given(m=st.integers(1, 6), extra=st.integers(0, 10),
+           P=st.integers(1, 40), k=st.integers(0, 6),
+           seed=st.integers(0, 2**31))
+    def test_k_mismatch_property(self, m, extra, P, k, seed):
+        rng = np.random.default_rng(seed)
+        n = m + extra
+        X, Y, XH, XL, YH, YL = _planes(rng, P, m, n, 64)
+        bits = unpack_lanes(
+            bpbc_k_mismatch(XH, XL, YH, YL, k, 64), 64, count=P
+        )
+        for p in range(P):
+            ref = count_mismatches_reference(X[p], Y[p]) <= k
+            np.testing.assert_array_equal(bits[:, p].astype(bool), ref)

@@ -1,0 +1,230 @@
+"""Tests for repro.core.bitops: masks, swap/copy primitives, lane packing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitops import (
+    COPY_OP_COST,
+    SWAP_OP_COST,
+    BitOpsError,
+    OpCounter,
+    alternating_mask,
+    broadcast_bit,
+    check_word_bits,
+    copy_down,
+    copy_up,
+    full_mask,
+    lane_count,
+    pack_lanes,
+    popcount,
+    swap,
+    unpack_lanes,
+    word_dtype,
+)
+
+from ..conftest import ALL_WIDTHS, random_words
+
+
+class TestWordMeta:
+    def test_supported_widths(self):
+        for w in ALL_WIDTHS:
+            assert check_word_bits(w) == w
+
+    @pytest.mark.parametrize("bad", [0, 1, 7, 12, 33, 128, -8])
+    def test_rejects_bad_widths(self, bad):
+        with pytest.raises(BitOpsError):
+            check_word_bits(bad)
+
+    def test_dtypes_are_unsigned(self):
+        for w in ALL_WIDTHS:
+            dt = word_dtype(w)
+            assert dt.kind == "u"
+            assert dt.itemsize * 8 == w
+
+    def test_full_mask(self):
+        assert full_mask(8) == 0xFF
+        assert full_mask(32) == 0xFFFFFFFF
+        assert full_mask(64) == 0xFFFFFFFFFFFFFFFF
+
+
+class TestAlternatingMask:
+    def test_paper_8bit_masks(self):
+        # The §II listing's masks for the 8x8 transpose.
+        assert alternating_mask(8, 4) == 0b00001111
+        assert alternating_mask(8, 2) == 0b00110011
+        assert alternating_mask(8, 1) == 0b01010101
+
+    def test_32bit_top_mask(self):
+        assert alternating_mask(32, 16) == 0x0000FFFF
+
+    @pytest.mark.parametrize("w", ALL_WIDTHS)
+    def test_mask_structure(self, w):
+        k = w // 2
+        while k >= 1:
+            m = alternating_mask(w, k)
+            # Exactly half the bits are set, in blocks of k.
+            assert bin(m).count("1") == w // 2
+            assert m & (m << k) == 0
+            assert (m | (m << k)) == full_mask(w)
+            k //= 2
+
+    @pytest.mark.parametrize("bad_k", [0, 3, -1, 5])
+    def test_rejects_non_power_of_two(self, bad_k):
+        with pytest.raises(BitOpsError):
+            alternating_mask(32, bad_k)
+
+    def test_rejects_k_too_large(self):
+        with pytest.raises(BitOpsError):
+            alternating_mask(8, 8)
+
+
+class TestSwapCopy:
+    @pytest.mark.parametrize("w", ALL_WIDTHS)
+    def test_swap_exchanges_blocks(self, rng, w):
+        k = w // 2
+        b = alternating_mask(w, k)
+        A = random_words(rng, w, ())
+        B = random_words(rng, w, ())
+        A2, B2 = swap(A, B, k, b, w)
+        # A's high block now holds B's low block and vice versa.
+        assert int(A2) >> k == int(B) & b
+        assert int(B2) & b == (int(A) >> k) & b
+        # Untouched halves preserved.
+        assert int(A2) & b == int(A) & b
+        assert int(B2) >> k == int(B) >> k
+
+    @pytest.mark.parametrize("w", ALL_WIDTHS)
+    def test_swap_is_involution(self, rng, w):
+        for k in (1, 2, w // 2):
+            b = alternating_mask(w, k)
+            A = random_words(rng, w, (10,))
+            B = random_words(rng, w, (10,))
+            A2, B2 = swap(A, B, k, b, w)
+            A3, B3 = swap(A2, B2, k, b, w)
+            np.testing.assert_array_equal(A3, A)
+            np.testing.assert_array_equal(B3, B)
+
+    def test_swap_counts_seven_ops(self, rng):
+        c = OpCounter()
+        A = random_words(rng, 32, ())
+        B = random_words(rng, 32, ())
+        swap(A, B, 16, alternating_mask(32, 16), 32, counter=c)
+        assert c.ops == SWAP_OP_COST
+        assert c.swaps == 1
+
+    def test_copy_up_semantics(self, rng):
+        w, k = 8, 4
+        b = alternating_mask(w, k)
+        A = np.uint8(0xAB)
+        B = np.uint8(0xCD)
+        A2 = copy_up(A, B, k, b, w)
+        # A keeps low nibble, gains B's low nibble up high.
+        assert int(A2) == ((0xD << 4) | 0xB)
+
+    def test_copy_down_semantics(self):
+        w, k = 8, 4
+        b = alternating_mask(w, k)
+        A = np.uint8(0xAB)
+        B = np.uint8(0xCD)
+        B2 = copy_down(A, B, k, b, w)
+        # B keeps high nibble, gains A's high nibble down low.
+        assert int(B2) == ((0xC << 4) | 0xA)
+
+    def test_copy_counts_four_ops(self):
+        c = OpCounter()
+        copy_up(np.uint32(1), np.uint32(2), 16,
+                alternating_mask(32, 16), 32, counter=c)
+        copy_down(np.uint32(1), np.uint32(2), 16,
+                  alternating_mask(32, 16), 32, counter=c)
+        assert c.ops == 2 * COPY_OP_COST
+        assert c.copies == 2
+
+    def test_swap_copy_agree_when_one_side_dead(self, rng):
+        """copy_up reproduces swap's effect on A when A's high block and
+        B's high block are irrelevant (the Table I substitution)."""
+        w, k = 32, 16
+        b = alternating_mask(w, k)
+        A = random_words(rng, w, (20,), max_value=1 << 16)  # high block 0
+        B = random_words(rng, w, (20,), max_value=1 << 16)
+        A_swap, _ = swap(A, B, k, b, w)
+        A_copy = copy_up(A, B, k, b, w)
+        np.testing.assert_array_equal(A_swap, A_copy)
+
+
+class TestOpCounter:
+    def test_merge_and_reset(self):
+        a = OpCounter()
+        a.add(3, kind="x")
+        b = OpCounter()
+        b.add(4, kind="x")
+        b.add_swap()
+        m = a.merged(b)
+        assert m.ops == 3 + 4 + SWAP_OP_COST
+        assert m.by_kind["x"] == 7
+        assert m.swaps == 1
+        a.reset()
+        assert a.ops == 0 and a.by_kind == {}
+
+
+class TestLanePacking:
+    @pytest.mark.parametrize("w", ALL_WIDTHS)
+    def test_roundtrip(self, rng, w):
+        bits = rng.integers(0, 2, size=(5, 77), dtype=np.uint8)
+        words = pack_lanes(bits, w)
+        assert words.shape == (5, lane_count(77, w))
+        back = unpack_lanes(words, w, count=77)
+        np.testing.assert_array_equal(back, bits)
+
+    def test_lane_layout(self):
+        # Instance k occupies bit k of word k // w.
+        bits = np.zeros(40, dtype=np.uint8)
+        bits[33] = 1
+        words = pack_lanes(bits, 32)
+        assert words.shape == (2,)
+        assert words[0] == 0
+        assert words[1] == 1 << 1
+
+    def test_unpack_too_many_raises(self):
+        with pytest.raises(BitOpsError):
+            unpack_lanes(np.zeros(2, dtype=np.uint32), 32, count=65)
+
+    def test_pack_scalar_raises(self):
+        with pytest.raises(BitOpsError):
+            pack_lanes(np.uint8(1), 32)
+
+    @given(st.integers(0, 1000))
+    def test_lane_count_formula(self, n):
+        for w in ALL_WIDTHS:
+            assert lane_count(n, w) == (n + w - 1) // w
+
+    def test_lane_count_negative_raises(self):
+        with pytest.raises(BitOpsError):
+            lane_count(-1, 32)
+
+    @settings(max_examples=25)
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=200),
+           st.sampled_from(ALL_WIDTHS))
+    def test_pack_unpack_property(self, bits, w):
+        arr = np.array(bits, dtype=np.uint8)
+        np.testing.assert_array_equal(
+            unpack_lanes(pack_lanes(arr, w), w, count=len(bits)), arr
+        )
+
+
+class TestBroadcastPopcount:
+    def test_broadcast_bit(self):
+        ones = broadcast_bit(True, (3,), 32)
+        zeros = broadcast_bit(False, (3,), 32)
+        assert (ones == np.uint32(0xFFFFFFFF)).all()
+        assert (zeros == 0).all()
+
+    def test_popcount_matches_python(self, rng):
+        for w in ALL_WIDTHS:
+            vals = random_words(rng, w, (50,))
+            got = popcount(vals, w)
+            want = [bin(int(v)).count("1") for v in vals]
+            np.testing.assert_array_equal(got, want)

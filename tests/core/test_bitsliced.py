@@ -1,0 +1,108 @@
+"""Tests for repro.core.bitsliced: the bit-sliced integer container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitops import BitOpsError
+from repro.core.bitsliced import (
+    BitSlicedUInt,
+    ints_from_slices,
+    slices_from_ints,
+)
+
+from ..conftest import ALL_WIDTHS
+
+
+class TestSlices:
+    @pytest.mark.parametrize("w", ALL_WIDTHS)
+    def test_roundtrip(self, rng, w):
+        vals = rng.integers(0, 512, size=100)
+        sl = slices_from_ints(vals, 9, w)
+        assert sl.shape == (9, -(-100 // w))
+        back = ints_from_slices(sl, w, count=100)
+        np.testing.assert_array_equal(back, vals)
+
+    def test_bit_plane_layout(self):
+        vals = np.array([0b101, 0b010, 0b111])
+        sl = slices_from_ints(vals, 3, 32)
+        # Plane h, bit k = bit h of instance k.
+        assert sl[0, 0] == 0b101  # low bits of instances 2,1,0
+        assert sl[1, 0] == 0b110
+        assert sl[2, 0] == 0b101
+
+    def test_overflow_rejected(self):
+        with pytest.raises(BitOpsError):
+            slices_from_ints(np.array([8]), 3, 32)
+
+    def test_negative_rejected(self):
+        with pytest.raises(BitOpsError):
+            slices_from_ints(np.array([-1]), 3, 32)
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(BitOpsError):
+            slices_from_ints(np.zeros((2, 2)), 3, 32)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(0, 2**16 - 1), min_size=1, max_size=99),
+           st.sampled_from(ALL_WIDTHS))
+    def test_roundtrip_property(self, vals, w):
+        arr = np.array(vals, dtype=np.uint64)
+        back = ints_from_slices(slices_from_ints(arr, 16, w), w,
+                                count=len(vals))
+        np.testing.assert_array_equal(back, arr)
+
+
+class TestBitSlicedUInt:
+    def test_from_ints_and_back(self, rng):
+        vals = rng.integers(0, 2**7, size=40)
+        bs = BitSlicedUInt.from_ints(vals, 7, 32)
+        assert bs.s == 7
+        assert bs.word_bits == 32
+        assert bs.n_instances >= 40
+        np.testing.assert_array_equal(bs.to_ints(40), vals)
+
+    def test_zeros_and_constant(self):
+        z = BitSlicedUInt.zeros(5, 3, 32)
+        np.testing.assert_array_equal(z.to_ints(), 0)
+        c = BitSlicedUInt.constant(19, 5, 3, 32)
+        np.testing.assert_array_equal(c.to_ints(), 19)
+
+    def test_constant_overflow_rejected(self):
+        with pytest.raises(BitOpsError):
+            BitSlicedUInt.constant(32, 5, 2, 32)
+
+    def test_widen(self, rng):
+        vals = rng.integers(0, 16, size=10)
+        bs = BitSlicedUInt.from_ints(vals, 4, 32)
+        wide = bs.widen(9)
+        assert wide.s == 9
+        np.testing.assert_array_equal(wide.to_ints(10), vals)
+
+    def test_widen_narrowing_rejected(self):
+        bs = BitSlicedUInt.zeros(4, 1, 32)
+        with pytest.raises(BitOpsError):
+            bs.widen(3)
+
+    def test_copy_is_deep(self):
+        bs = BitSlicedUInt.zeros(2, 1, 32)
+        cp = bs.copy()
+        cp.data[0, 0] = 7
+        assert bs.data[0, 0] == 0
+
+    def test_requires_two_dims(self):
+        with pytest.raises(BitOpsError):
+            BitSlicedUInt(np.zeros(4, dtype=np.uint32), 32)
+
+    def test_to_ints_requires_1d_lanes(self):
+        bs = BitSlicedUInt.zeros(2, (2, 2), 32)
+        with pytest.raises(BitOpsError):
+            bs.to_ints()
+
+    def test_lane_shape_multi_dim(self):
+        bs = BitSlicedUInt.zeros(3, (4, 5), 64)
+        assert bs.lane_shape == (4, 5)
+        assert bs.n_instances == 4 * 5 * 64

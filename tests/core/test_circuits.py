@@ -1,0 +1,273 @@
+"""Tests for repro.core.circuits: the §IV-A bitwise arithmetic.
+
+Every circuit is cross-validated against plain integer arithmetic over
+all lanes, and its measured operation count is asserted against the
+closed-form formulas (which the docstrings relate to the paper's
+Lemmas 2-5 and Theorem 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitops import BitOpsError, OpCounter, unpack_lanes
+from repro.core.bitsliced import BitSlicedUInt
+from repro.core.circuits import (
+    add_b,
+    add_b_ops,
+    greater_than,
+    greater_than_ops,
+    matching_b,
+    matching_b_ops_bound,
+    matching_b_ops_exact,
+    max_b,
+    max_b_ops,
+    splat_constant,
+    ssub_b,
+    ssub_b_ops,
+    sw_cell,
+    sw_cell_ops_exact,
+    sw_cell_ops_paper,
+)
+
+from ..conftest import MAIN_WIDTHS
+
+S_VALUES = (1, 2, 3, 5, 8, 9, 12)
+
+
+def _pack(vals, s, w):
+    return BitSlicedUInt.from_ints(np.asarray(vals), s, w).data
+
+
+def _unpack(planes, w, count):
+    return BitSlicedUInt(np.stack(planes), w).to_ints(count)
+
+
+class TestSplatConstant:
+    def test_values(self):
+        planes = splat_constant(0b101, 3, 32)
+        assert planes[0] == np.uint32(0xFFFFFFFF)
+        assert planes[1] == 0
+        assert planes[2] == np.uint32(0xFFFFFFFF)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(BitOpsError):
+            splat_constant(8, 3, 32)
+        with pytest.raises(BitOpsError):
+            splat_constant(-1, 3, 32)
+
+    def test_broadcasts_against_lane_arrays(self, rng):
+        a = rng.integers(0, 16, 50)
+        A = _pack(a, 4, 32)
+        C = splat_constant(5, 4, 32)
+        got = _unpack(add_b(list(A), C), 32, 50)
+        np.testing.assert_array_equal(got, (a + 5) % 16)
+
+
+class TestGreaterThan:
+    @pytest.mark.parametrize("w", MAIN_WIDTHS)
+    @pytest.mark.parametrize("s", S_VALUES)
+    def test_matches_integer_compare(self, rng, w, s):
+        P = 130
+        a = rng.integers(0, 1 << s, P)
+        b = rng.integers(0, 1 << s, P)
+        flag = greater_than(_pack(a, s, w), _pack(b, s, w))
+        bits = unpack_lanes(flag[None, :], w, count=P)[0]
+        # Flag is 1 iff a >= b (ties resolve to 1; see module docs).
+        np.testing.assert_array_equal(bits, (a >= b).astype(np.uint8))
+
+    @pytest.mark.parametrize("s", S_VALUES)
+    def test_op_count(self, rng, s):
+        c = OpCounter()
+        a = _pack(rng.integers(0, 1 << s, 10), s, 32)
+        greater_than(a, a, c)
+        assert c.ops == greater_than_ops(s) == 5 * s - 2
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(BitOpsError):
+            greater_than([np.uint32(0)] * 3, [np.uint32(0)] * 2)
+
+    def test_empty_raises(self):
+        with pytest.raises(BitOpsError):
+            greater_than([], [])
+
+
+class TestMaxB:
+    @pytest.mark.parametrize("w", MAIN_WIDTHS)
+    @pytest.mark.parametrize("s", S_VALUES)
+    def test_matches_integer_max(self, rng, w, s):
+        P = 200
+        a = rng.integers(0, 1 << s, P)
+        b = rng.integers(0, 1 << s, P)
+        got = _unpack(max_b(_pack(a, s, w), _pack(b, s, w)), w, P)
+        np.testing.assert_array_equal(got, np.maximum(a, b))
+
+    @pytest.mark.parametrize("s", S_VALUES)
+    def test_lemma2_op_count(self, rng, s):
+        c = OpCounter()
+        a = _pack(rng.integers(0, 1 << s, 10), s, 32)
+        max_b(a, a, c)
+        assert c.ops == max_b_ops(s) == 9 * s - 2  # Lemma 2, exact
+
+    def test_idempotent(self, rng):
+        a = rng.integers(0, 256, 64)
+        A = _pack(a, 8, 32)
+        np.testing.assert_array_equal(_unpack(max_b(A, A), 32, 64), a)
+
+
+class TestAddB:
+    @pytest.mark.parametrize("w", MAIN_WIDTHS)
+    @pytest.mark.parametrize("s", S_VALUES)
+    def test_matches_integer_add_mod(self, rng, w, s):
+        P = 200
+        a = rng.integers(0, 1 << s, P)
+        b = rng.integers(0, 1 << s, P)
+        got = _unpack(add_b(_pack(a, s, w), _pack(b, s, w)), w, P)
+        np.testing.assert_array_equal(got, (a + b) % (1 << s))
+
+    @pytest.mark.parametrize("s", S_VALUES)
+    def test_op_count_6s_minus_4(self, rng, s):
+        """Lemma 3 says 6s-5 but its carry init is wrong (a0^b0 instead
+        of a0&b0); the corrected adder costs one more operation."""
+        c = OpCounter()
+        a = _pack(rng.integers(0, 1 << s, 10), s, 32)
+        add_b(a, a, c)
+        assert c.ops == add_b_ops(s)
+        if s > 1:
+            assert c.ops == 6 * s - 4
+
+    def test_carry_init_regression(self):
+        """a0 = b0 = 1 must carry into bit 1 — the exact case the
+        paper's listing gets wrong."""
+        got = _unpack(add_b(_pack([1], 3, 32), _pack([1], 3, 32)), 32, 1)
+        assert got[0] == 2
+
+    def test_carry_chain_full_length(self):
+        # 0b0111 + 1 = 0b1000: carry must ripple through every bit.
+        got = _unpack(add_b(_pack([7], 4, 32), _pack([1], 4, 32)), 32, 1)
+        assert got[0] == 8
+
+
+class TestSSubB:
+    @pytest.mark.parametrize("w", MAIN_WIDTHS)
+    @pytest.mark.parametrize("s", S_VALUES)
+    def test_matches_saturating_subtract(self, rng, w, s):
+        P = 200
+        a = rng.integers(0, 1 << s, P)
+        b = rng.integers(0, 1 << s, P)
+        got = _unpack(ssub_b(_pack(a, s, w), _pack(b, s, w)), w, P)
+        np.testing.assert_array_equal(got, np.maximum(a - b, 0))
+
+    @pytest.mark.parametrize("s", S_VALUES)
+    def test_lemma4_op_count(self, rng, s):
+        c = OpCounter()
+        a = _pack(rng.integers(0, 1 << s, 10), s, 32)
+        ssub_b(a, a, c)
+        assert c.ops == ssub_b_ops(s) == 9 * s - 4  # Lemma 4, exact
+
+    def test_saturation_to_zero(self):
+        got = _unpack(ssub_b(_pack([3], 4, 32), _pack([9], 4, 32)), 32, 1)
+        assert got[0] == 0
+
+    def test_exact_difference(self):
+        got = _unpack(ssub_b(_pack([9], 4, 32), _pack([9], 4, 32)), 32, 1)
+        assert got[0] == 0
+
+
+class TestMatchingB:
+    @pytest.mark.parametrize("w", MAIN_WIDTHS)
+    def test_matches_w_function(self, rng, w):
+        s, c1, c2, P = 9, 2, 1, 300
+        C = rng.integers(0, (1 << s) - c1, P)
+        x = rng.integers(0, 4, P)
+        y = rng.integers(0, 4, P)
+        got = _unpack(
+            matching_b(_pack(C, s, w), _pack(x, 2, w), _pack(y, 2, w),
+                       c1, c2, w),
+            w, P,
+        )
+        want = np.where(x == y, C + c1, np.maximum(C - c2, 0))
+        np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("s", (4, 8, 9, 12))
+    def test_op_count_and_lemma5_bound(self, rng, s):
+        c = OpCounter()
+        C = _pack(rng.integers(0, 4, 10), s, 32)
+        x = _pack(rng.integers(0, 4, 10), 2, 32)
+        matching_b(C, x, x, 2, 1, 32, c)
+        assert c.ops == matching_b_ops_exact(s, 2)
+        assert c.ops <= matching_b_ops_bound(s)  # Lemma 5
+
+    def test_char_width_mismatch_raises(self):
+        C = _pack([0], 4, 32)
+        with pytest.raises(BitOpsError):
+            matching_b(C, _pack([1], 2, 32), _pack([1], 3, 32), 2, 1, 32)
+
+
+class TestSWCell:
+    @pytest.mark.parametrize("w", MAIN_WIDTHS)
+    def test_matches_recurrence(self, rng, w):
+        s, c1, c2, gap, P = 9, 2, 1, 1, 300
+        A = rng.integers(0, (1 << s) - c1, P)
+        B = rng.integers(0, (1 << s) - c1, P)
+        C = rng.integers(0, (1 << s) - c1, P)
+        x = rng.integers(0, 4, P)
+        y = rng.integers(0, 4, P)
+        got = _unpack(
+            sw_cell(_pack(A, s, w), _pack(B, s, w), _pack(C, s, w),
+                    _pack(x, 2, w), _pack(y, 2, w), gap, c1, c2, w),
+            w, P,
+        )
+        w_xy = np.where(x == y, c1, -c2)
+        want = np.maximum.reduce(
+            [np.zeros(P, dtype=np.int64), A - gap, B - gap, C + w_xy]
+        )
+        np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("s", (4, 8, 9))
+    def test_theorem6_op_count(self, rng, s):
+        c = OpCounter()
+        A = _pack(rng.integers(0, 4, 10), s, 32)
+        x = _pack(rng.integers(0, 4, 10), 2, 32)
+        sw_cell(A, A, A, x, x, 1, 2, 1, 32, c)
+        assert c.ops == sw_cell_ops_exact(s, 2) == 46 * s - 16 + 4
+        # Theorem 6's stated 48s-18 is an upper bound for s >= 2 e + ...
+        assert c.ops <= sw_cell_ops_paper(s) + 2  # within the paper's +-1
+
+    def test_result_nonnegative_even_from_zeros(self):
+        z = _pack([0], 4, 32)
+        x = _pack([1], 2, 32)
+        y = _pack([2], 2, 32)
+        got = _unpack(sw_cell(z, z, z, x, y, 1, 2, 1, 32), 32, 1)
+        assert got[0] == 0
+
+    def test_match_from_zero_gives_c1(self):
+        z = _pack([0], 4, 32)
+        x = _pack([3], 2, 32)
+        got = _unpack(sw_cell(z, z, z, x, x, 1, 2, 1, 32), 32, 1)
+        assert got[0] == 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    s=st.integers(2, 12),
+    seed=st.integers(0, 2**31),
+    data=st.data(),
+)
+def test_circuit_algebra_property(s, seed, data):
+    """max/add/ssub over random widths and values always agree with
+    integer arithmetic — the core BPBC soundness property."""
+    rng = np.random.default_rng(seed)
+    P = data.draw(st.integers(1, 80))
+    a = rng.integers(0, 1 << s, P)
+    b = rng.integers(0, 1 << s, P)
+    A, B = _pack(a, s, 64), _pack(b, s, 64)
+    np.testing.assert_array_equal(_unpack(max_b(A, B), 64, P),
+                                  np.maximum(a, b))
+    np.testing.assert_array_equal(_unpack(add_b(A, B), 64, P),
+                                  (a + b) % (1 << s))
+    np.testing.assert_array_equal(_unpack(ssub_b(A, B), 64, P),
+                                  np.maximum(a - b, 0))

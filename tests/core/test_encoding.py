@@ -1,0 +1,165 @@
+"""Tests for repro.core.encoding: DNA codes and layout conversions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitops import BitOpsError, OpCounter
+from repro.core.encoding import (
+    ALPHABET,
+    CHAR_BITS,
+    CODE_OF,
+    decode,
+    decode_batch_bit_transposed,
+    encode,
+    encode_batch,
+    encode_batch_bit_transposed,
+    encode_batch_via_bit_matrix,
+    pack_2bit,
+    unpack_2bit,
+)
+
+from ..conftest import ALL_WIDTHS
+
+dna_strings = st.text(alphabet="ACGT", min_size=1, max_size=64)
+
+
+class TestScalarCodec:
+    def test_paper_encoding(self):
+        # "A = 00, G = 10, C = 11, and T = 01"
+        assert CODE_OF["A"] == 0b00
+        assert CODE_OF["G"] == 0b10
+        assert CODE_OF["C"] == 0b11
+        assert CODE_OF["T"] == 0b01
+        assert CHAR_BITS == 2
+
+    def test_roundtrip(self):
+        s = "ATTCGGCATAG"
+        assert decode(encode(s)) == s
+
+    def test_lowercase_accepted(self):
+        np.testing.assert_array_equal(encode("acgt"), encode("ACGT"))
+
+    def test_invalid_base_rejected(self):
+        with pytest.raises(BitOpsError):
+            encode("ATXG")
+
+    def test_decode_range_check(self):
+        with pytest.raises(BitOpsError):
+            decode(np.array([0, 4]))
+
+    @given(dna_strings)
+    def test_roundtrip_property(self, s):
+        assert decode(encode(s)) == s
+
+
+class TestBatchCodec:
+    def test_encode_batch(self):
+        m = encode_batch(["ACGT", "TTTT"])
+        assert m.shape == (2, 4)
+        np.testing.assert_array_equal(m[1], CODE_OF["T"])
+
+    def test_ragged_batch_rejected(self):
+        with pytest.raises(BitOpsError):
+            encode_batch(["ACG", "AC"])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(BitOpsError):
+            encode_batch([])
+
+
+class TestBitTranspose:
+    @pytest.mark.parametrize("w", ALL_WIDTHS)
+    def test_roundtrip(self, rng, w):
+        P, n = 45, 33
+        codes = rng.integers(0, 4, size=(P, n), dtype=np.uint8)
+        H, L = encode_batch_bit_transposed(codes, w)
+        assert H.shape == (n, -(-P // w))
+        back = decode_batch_bit_transposed(H, L, w, count=P)
+        np.testing.assert_array_equal(back, codes)
+
+    def test_plane_semantics(self):
+        codes = np.array([[0b10], [0b01], [0b11]], dtype=np.uint8)
+        H, L = encode_batch_bit_transposed(codes, 32)
+        assert H[0, 0] == 0b101  # high bits of instances 2,1,0
+        assert L[0, 0] == 0b110
+
+    @pytest.mark.parametrize("w", ALL_WIDTHS)
+    def test_via_bit_matrix_agrees(self, rng, w):
+        """The paper's register-level transpose path must produce the
+        same planes as the direct packing."""
+        for P, n in [(1, 1), (w, 5), (w + 3, 17), (3 * w, 2)]:
+            codes = rng.integers(0, 4, size=(P, n), dtype=np.uint8)
+            H1, L1 = encode_batch_bit_transposed(codes, w)
+            H2, L2 = encode_batch_via_bit_matrix(codes, w)
+            np.testing.assert_array_equal(H1, H2)
+            np.testing.assert_array_equal(L1, L2)
+
+    def test_via_bit_matrix_counts_127_ops_per_block(self, rng):
+        """One 32x32 reduced s=2 transpose (127 ops) per position per
+        lane group — the W2B cost the paper states."""
+        c = OpCounter()
+        codes = rng.integers(0, 4, size=(32, 10), dtype=np.uint8)
+        encode_batch_via_bit_matrix(codes, 32, counter=c)
+        assert c.ops == 127  # counted once per schedule (vectorised)
+
+    def test_rejects_non_2bit_codes(self):
+        with pytest.raises(BitOpsError):
+            encode_batch_bit_transposed(np.array([[4]]), 32)
+
+    def test_rejects_1d(self):
+        with pytest.raises(BitOpsError):
+            encode_batch_bit_transposed(np.zeros(4, dtype=np.uint8), 32)
+
+    def test_plane_shape_mismatch_rejected(self):
+        H = np.zeros((3, 1), dtype=np.uint32)
+        L = np.zeros((4, 1), dtype=np.uint32)
+        with pytest.raises(BitOpsError):
+            decode_batch_bit_transposed(H, L, 32)
+
+    def test_padding_lanes_are_zero(self, rng):
+        codes = rng.integers(0, 4, size=(5, 6), dtype=np.uint8)
+        H, L = encode_batch_bit_transposed(codes, 32)
+        # Lanes 5..31 must be zero (code A) in every position.
+        mask = np.uint32((0xFFFFFFFF << 5) & 0xFFFFFFFF)
+        assert not (H & mask).any()
+        assert not (L & mask).any()
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 70), st.integers(1, 40),
+           st.sampled_from(ALL_WIDTHS), st.integers(0, 2**31))
+    def test_roundtrip_property(self, P, n, w, seed):
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 4, size=(P, n), dtype=np.uint8)
+        H, L = encode_batch_bit_transposed(codes, w)
+        np.testing.assert_array_equal(
+            decode_batch_bit_transposed(H, L, w, count=P), codes
+        )
+
+
+class TestPacked2Bit:
+    def test_roundtrip(self, rng):
+        codes = rng.integers(0, 4, size=(7, 13), dtype=np.uint8)
+        packed = pack_2bit(codes)
+        assert packed.shape == (7, 4)  # ceil(13/4) bytes
+        np.testing.assert_array_equal(unpack_2bit(packed, 13), codes)
+
+    def test_quarter_memory(self, rng):
+        codes = rng.integers(0, 4, size=(1, 400), dtype=np.uint8)
+        assert pack_2bit(codes).nbytes * 4 == codes.nbytes
+
+    def test_range_check(self):
+        with pytest.raises(BitOpsError):
+            pack_2bit(np.array([5], dtype=np.uint8))
+
+    def test_unpack_too_many(self):
+        with pytest.raises(BitOpsError):
+            unpack_2bit(np.zeros(2, dtype=np.uint8), 9)
+
+    def test_worked_example(self):
+        # "ATCG" = codes 0,1,3,2 -> byte 0b10_11_01_00.
+        packed = pack_2bit(encode("ATCG"))
+        assert packed[0] == 0b10110100

@@ -1,0 +1,161 @@
+"""Tests for repro.core.oblivious: the bulk-executable IR."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitops import BitOpsError, OpCounter
+from repro.core.circuits import sw_cell_ops_exact
+from repro.core.oblivious import ObliviousProgram, sw_cell_program
+
+
+def _simple_prog():
+    prog = ObliviousProgram(s_bits=6)
+    a = prog.inp("a")
+    b = prog.inp("b")
+    prog.output("m", prog.max(prog.ssub(a, b), prog.add(b, prog.const(3))))
+    return prog
+
+
+class TestBuilder:
+    def test_duplicate_input_rejected(self):
+        prog = ObliviousProgram(4)
+        prog.inp("a")
+        with pytest.raises(BitOpsError):
+            prog.inp("a")
+
+    def test_kind_mismatch_rejected(self):
+        prog = ObliviousProgram(4)
+        a = prog.inp("a")
+        x = prog.inp("x", kind="char")
+        with pytest.raises(BitOpsError):
+            prog.max(a, x)
+        with pytest.raises(BitOpsError):
+            prog.char_ne(a, a)
+
+    def test_const_overflow_rejected(self):
+        with pytest.raises(BitOpsError):
+            ObliviousProgram(3).const(8)
+
+    def test_output_required(self):
+        prog = ObliviousProgram(4)
+        prog.inp("a")
+        with pytest.raises(BitOpsError):
+            prog.run_wordwise({"a": np.array([1])})
+
+    def test_missing_input_rejected(self):
+        prog = _simple_prog()
+        with pytest.raises(BitOpsError):
+            prog.run_wordwise({"a": np.array([1])})
+
+    def test_select_needs_flag(self):
+        prog = ObliviousProgram(4)
+        a = prog.inp("a")
+        with pytest.raises(BitOpsError):
+            prog.select(a, a, a)
+
+
+class TestExecutorsAgree:
+    def test_simple_program(self, rng):
+        prog = _simple_prog()
+        inputs = {"a": rng.integers(0, 60, 100),
+                  "b": rng.integers(0, 60, 100)}
+        word = prog.run_wordwise(inputs)["m"]
+        sliced = prog.run_bitsliced(inputs, word_bits=32)["m"]
+        np.testing.assert_array_equal(word, sliced)
+        want = np.maximum(np.maximum(inputs["a"] - inputs["b"], 0),
+                          (inputs["b"] + 3) % 64)
+        np.testing.assert_array_equal(word, want)
+
+    def test_sw_cell_program_matches_recurrence(self, rng):
+        s, P = 9, 200
+        prog = sw_cell_program(s, gap=1, c1=2, c2=1)
+        inputs = {
+            "up": rng.integers(0, 500, P),
+            "left": rng.integers(0, 500, P),
+            "diag": rng.integers(0, 500, P),
+            "x": rng.integers(0, 4, P),
+            "y": rng.integers(0, 4, P),
+        }
+        word = prog.run_wordwise(inputs)["d"]
+        sliced = prog.run_bitsliced(inputs)["d"]
+        np.testing.assert_array_equal(word, sliced)
+        w = np.where(inputs["x"] == inputs["y"], 2, -1)
+        want = np.maximum.reduce([
+            np.zeros(P, dtype=np.int64), inputs["up"] - 1,
+            inputs["left"] - 1, inputs["diag"] + w,
+        ])
+        np.testing.assert_array_equal(word, want)
+
+    def test_instance_count_mismatch_rejected(self, rng):
+        prog = _simple_prog()
+        with pytest.raises(BitOpsError):
+            prog.run_bitsliced({"a": np.zeros(3), "b": np.zeros(4)})
+
+
+class TestOpCounts:
+    def test_static_count_matches_measured(self, rng):
+        prog = sw_cell_program(8, 1, 2, 1)
+        c = OpCounter()
+        prog.run_bitsliced({
+            "up": rng.integers(0, 200, 10),
+            "left": rng.integers(0, 200, 10),
+            "diag": rng.integers(0, 200, 10),
+            "x": rng.integers(0, 4, 10),
+            "y": rng.integers(0, 4, 10),
+        }, counter=c)
+        assert c.ops == prog.op_count()
+
+    def test_sw_program_count_equals_circuit_formula(self):
+        for s in (4, 8, 9):
+            assert sw_cell_program(s, 1, 2, 1).op_count() == \
+                sw_cell_ops_exact(s, 2)
+
+    def test_instruction_count(self):
+        prog = sw_cell_program(8, 1, 2, 1)
+        # 5 inputs + 3 consts + 7 compute instructions.
+        assert prog.n_instructions == 15
+
+
+@settings(max_examples=25, deadline=None)
+@given(s=st.integers(2, 10), seed=st.integers(0, 2**31),
+       n_ops=st.integers(1, 15))
+def test_random_programs_property(s, seed, n_ops):
+    """Random straight-line programs: the wordwise and bit-sliced
+    executors agree on every instance — the bulk-execution theorem in
+    miniature."""
+    rng = np.random.default_rng(seed)
+    prog = ObliviousProgram(s)
+    vals = [prog.inp("a"), prog.inp("b")]
+    x = prog.inp("x", kind="char")
+    y = prog.inp("y", kind="char")
+    flag = prog.char_ne(x, y)
+    for _ in range(n_ops):
+        op = rng.integers(0, 4)
+        a = vals[rng.integers(0, len(vals))]
+        b = vals[rng.integers(0, len(vals))]
+        if op == 0:
+            vals.append(prog.max(a, b))
+        elif op == 1:
+            vals.append(prog.ssub(a, b))
+        elif op == 2:
+            vals.append(prog.select(flag, a, b))
+        else:
+            vals.append(prog.ssub(a, prog.const(
+                int(rng.integers(0, 1 << s))
+            )))
+    prog.output("out", vals[-1])
+    P = 60
+    inputs = {
+        "a": rng.integers(0, 1 << s, P),
+        "b": rng.integers(0, 1 << s, P),
+        "x": rng.integers(0, 4, P),
+        "y": rng.integers(0, 4, P),
+    }
+    word = prog.run_wordwise(inputs)["out"]
+    for w in (32, 64):
+        sliced = prog.run_bitsliced(inputs, word_bits=w)["out"]
+        np.testing.assert_array_equal(word, sliced)

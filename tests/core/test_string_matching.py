@@ -1,0 +1,128 @@
+"""Tests for repro.core.string_matching (paper §II)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitops import BitOpsError, OpCounter
+from repro.core.encoding import encode, encode_batch, encode_batch_bit_transposed
+from repro.core.string_matching import (
+    bpbc_string_matching,
+    bpbc_string_matching_strings,
+    match_offsets,
+    straightforward_string_matching,
+)
+
+from ..conftest import ALL_WIDTHS
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=30)
+
+
+class TestStraightforward:
+    def test_paper_intro_example(self):
+        # §II: X=ATTCG, Y=AAATTCGGGA -> d = 110111 (wait: the paper
+        # prints 110111 for n-m+1 = 6 offsets; match at offset 2).
+        d = straightforward_string_matching(encode("ATTCG"),
+                                            encode("AAATTCGGGA"))
+        np.testing.assert_array_equal(d, [1, 1, 0, 1, 1, 1])
+
+    def test_no_match(self):
+        d = straightforward_string_matching(encode("GG"), encode("ATAT"))
+        assert (d == 1).all()
+
+    def test_all_match(self):
+        d = straightforward_string_matching(encode("AA"), encode("AAAA"))
+        assert (d == 0).all()
+
+    def test_pattern_longer_than_text_rejected(self):
+        with pytest.raises(BitOpsError):
+            straightforward_string_matching(encode("AAAA"), encode("AA"))
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(BitOpsError):
+            straightforward_string_matching(np.array([]), encode("AA"))
+
+
+class TestBPBCMatching:
+    def test_paper_4bit_worked_example(self):
+        """§II's 4-pair worked example.
+
+        The paper prints d = 0100, 0101, 1110, 1100 — which is the
+        bitwise COMPLEMENT of what its own listing computes (the
+        listing ORs mismatch flags into d, so bit k of d[j] is 0 on a
+        match; the printed words have 1 on a match).  We assert the
+        algorithm-faithful values and note the erratum.
+        """
+        patterns = ["ATCGA", "TCGAC", "AAAAA", "TTTTT"]
+        texts = ["AATCGACA", "AATCGACA", "AAAAAAAA", "AATTTTTT"]
+        d = bpbc_string_matching_strings(patterns, texts, word_bits=8)
+        # d rows are per-pair mismatch flags over offsets.
+        np.testing.assert_array_equal(d, [
+            [1, 0, 1, 1],   # ATCGA matches AATCGACA at offset 1
+            [1, 1, 0, 1],   # TCGAC matches at offset 2
+            [0, 0, 0, 0],   # AAAAA matches everywhere in AAAAAAAA
+            [1, 1, 0, 0],   # TTTTT matches at offsets 2 and 3
+        ])
+        # Rebuild the paper's d[j] words (bit k = pair k): the printed
+        # example is their complement.
+        words = [int("".join(str(b) for b in d[::-1, j]), 2)
+                 for j in range(d.shape[1])]
+        paper_printed = [0b0100, 0b0101, 0b1110, 0b1100]
+        assert [w ^ 0b1111 for w in words] == paper_printed
+
+    @pytest.mark.parametrize("w", ALL_WIDTHS)
+    def test_matches_straightforward(self, rng, w):
+        P, m, n = 50, 4, 20
+        X = rng.integers(0, 4, (P, m), dtype=np.uint8)
+        Y = rng.integers(0, 4, (P, n), dtype=np.uint8)
+        XH, XL = encode_batch_bit_transposed(X, w)
+        YH, YL = encode_batch_bit_transposed(Y, w)
+        d = bpbc_string_matching(XH, XL, YH, YL, w)
+        from repro.core.bitops import unpack_lanes
+
+        bits = unpack_lanes(d, w, count=P)  # (offsets, P)
+        for p in range(P):
+            ref = straightforward_string_matching(X[p], Y[p])
+            np.testing.assert_array_equal(bits[:, p], ref)
+
+    def test_op_count_is_4mn(self, rng):
+        """4 bitwise ops per (i, j) — O(mn) total, independent of how
+        many pairs ride along (the BPBC selling point)."""
+        m, n = 3, 10
+        X = rng.integers(0, 4, (64, m), dtype=np.uint8)
+        Y = rng.integers(0, 4, (64, n), dtype=np.uint8)
+        XH, XL = encode_batch_bit_transposed(X, 32)
+        YH, YL = encode_batch_bit_transposed(Y, 32)
+        c = OpCounter()
+        bpbc_string_matching(XH, XL, YH, YL, 32, counter=c)
+        assert c.ops == 4 * m * (n - m + 1)
+
+    def test_match_offsets(self):
+        assert match_offsets("TCG", "ATCGTCGA") == [1, 4]
+        assert match_offsets("GGG", "ATATAT") == []
+
+    def test_pattern_longer_raises(self, rng):
+        X = rng.integers(0, 4, (8, 5), dtype=np.uint8)
+        Y = rng.integers(0, 4, (8, 3), dtype=np.uint8)
+        XH, XL = encode_batch_bit_transposed(X, 8)
+        YH, YL = encode_batch_bit_transposed(Y, 8)
+        with pytest.raises(BitOpsError):
+            bpbc_string_matching(XH, XL, YH, YL, 8)
+
+    def test_mismatched_pair_counts_rejected(self):
+        with pytest.raises(BitOpsError):
+            bpbc_string_matching_strings(["AC"], ["ACGT", "ACGT"])
+
+    @settings(max_examples=30, deadline=None)
+    @given(dna, dna)
+    def test_offsets_match_python_find(self, pattern, text):
+        """BPBC offsets == all occurrences str.find would report."""
+        if len(pattern) > len(text):
+            return
+        got = match_offsets(pattern, text)
+        want = [j for j in range(len(text) - len(pattern) + 1)
+                if text[j:j + len(pattern)] == pattern]
+        assert got == want

@@ -1,0 +1,266 @@
+"""Tests for repro.core.transpose: schedules, Table I, executors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitops import BitOpsError, OpCounter
+from repro.core.transpose import (
+    bit_matrix_from_words,
+    classify_reduced_schedule,
+    count_reduced_ops,
+    table1_row,
+    transpose8x8_stages,
+    transpose_bits,
+    transpose_bits_reduced,
+    transpose_schedule,
+    untranspose_bits,
+    untranspose_bits_reduced,
+    words_from_bit_matrix,
+)
+from repro.perfmodel.paper_data import PAPER_TABLE1
+
+from ..conftest import ALL_WIDTHS, random_words
+
+
+class TestSchedule:
+    @pytest.mark.parametrize("w,steps", [(8, 3), (16, 4), (32, 5), (64, 6)])
+    def test_step_count(self, w, steps):
+        assert len(transpose_schedule(w)) == steps
+
+    @pytest.mark.parametrize("w", ALL_WIDTHS)
+    def test_pairs_per_step(self, w):
+        for step in transpose_schedule(w):
+            assert len(step) == w // 2
+            # Every word appears exactly once per step.
+            used = sorted([op.i for op in step] + [op.j for op in step])
+            assert used == list(range(w))
+
+    def test_lemma1_32bit_swap_count(self):
+        # "swap operation is performed 16 x 5 = 80 times for bit
+        # transpose of a 32 x 32 matrix ... 560 operations."
+        total = sum(len(s) for s in transpose_schedule(32))
+        assert total == 80
+        assert total * 7 == 560
+
+    def test_shifts_descend(self):
+        ks = [step[0].k for step in transpose_schedule(32)]
+        assert ks == [16, 8, 4, 2, 1]
+
+
+class TestFullTranspose:
+    @pytest.mark.parametrize("w", ALL_WIDTHS)
+    def test_matches_matrix_transpose(self, rng, w):
+        words = random_words(rng, w, (w,))
+        M = bit_matrix_from_words(words, w)
+        T = transpose_bits(words, w)
+        np.testing.assert_array_equal(bit_matrix_from_words(T, w), M.T)
+
+    @pytest.mark.parametrize("w", ALL_WIDTHS)
+    def test_involution(self, rng, w):
+        words = random_words(rng, w, (3, w))
+        np.testing.assert_array_equal(
+            transpose_bits(transpose_bits(words, w), w), words
+        )
+
+    @pytest.mark.parametrize("w", ALL_WIDTHS)
+    def test_untranspose_inverts(self, rng, w):
+        words = random_words(rng, w, (4, w))
+        np.testing.assert_array_equal(
+            untranspose_bits(transpose_bits(words, w), w), words
+        )
+
+    def test_batched_matches_loop(self, rng):
+        batch = random_words(rng, 32, (6, 32))
+        whole = transpose_bits(batch, 32)
+        for i in range(6):
+            np.testing.assert_array_equal(
+                whole[i], transpose_bits(batch[i], 32)
+            )
+
+    def test_counts_80_swaps_for_32(self, rng):
+        c = OpCounter()
+        transpose_bits(random_words(rng, 32, (32,)), 32, counter=c)
+        assert c.swaps == 80
+        assert c.ops == 560
+
+    def test_wrong_trailing_axis_raises(self, rng):
+        with pytest.raises(BitOpsError):
+            transpose_bits(random_words(rng, 32, (31,)), 32)
+
+    def test_input_not_modified(self, rng):
+        words = random_words(rng, 32, (32,))
+        before = words.copy()
+        transpose_bits(words, 32)
+        np.testing.assert_array_equal(words, before)
+
+
+class TestReducedSchedule:
+    @pytest.mark.parametrize("s", [32, 16, 8, 7, 6, 5, 4, 3, 2, 1])
+    def test_classification_correct(self, rng, s):
+        """Whatever the op counts, the classified schedule must compute
+        the right planes — the safety property behind Table I."""
+        words = random_words(rng, 32, (8, 32), max_value=1 << s)
+        reduced = transpose_bits_reduced(words, 32, s)
+        full = transpose_bits(words, 32)
+        np.testing.assert_array_equal(reduced[..., :s], full[..., :s])
+        np.testing.assert_array_equal(reduced[..., s:], 0)
+
+    @pytest.mark.parametrize("s,expected", [
+        # Rows of Table I that our dataflow classifier matches exactly.
+        (32, (80, 0, 560)),
+        (8, (12, 24, 180)),
+        (7, (11, 25, 177)),
+        (5, (8, 27, 164)),
+        (4, (4, 28, 140)),
+        (2, (1, 30, 127)),
+    ])
+    def test_table1_exact_rows(self, s, expected):
+        r = count_reduced_ops(32, s)
+        assert (r["total_swap"], r["total_copy"],
+                r["total_operations"]) == expected
+        paper = PAPER_TABLE1[s]
+        assert r["total_operations"] == paper["operations"]
+
+    def test_table1_s16_matches_step_entries_not_typo_totals(self):
+        """The paper's s=16 totals (16/40/272) contradict its own step
+        entries (copy 16 then 4 x swap 8); we match the step entries."""
+        r = count_reduced_ops(32, 16)
+        assert [(d["swap"], d["copy"]) for d in r["per_step"]] == [
+            (0, 16), (8, 0), (8, 0), (8, 0), (8, 0)
+        ]
+        assert (r["total_swap"], r["total_copy"],
+                r["total_operations"]) == (32, 16, 288)
+
+    def test_table1_s6_one_op_better_than_paper(self):
+        r = count_reduced_ops(32, 6)
+        assert r["total_operations"] == 167  # paper prints 168
+        assert r["total_operations"] <= PAPER_TABLE1[6]["operations"]
+
+    def test_table1_s3_paper_hand_routing_wins(self):
+        r = count_reduced_ops(32, 3)
+        assert r["total_operations"] == 137  # paper's hand-tuned: 131
+        assert r["total_operations"] - PAPER_TABLE1[3]["operations"] == 6
+
+    def test_dna_transpose_is_127_ops(self):
+        # "we use bit transpose with 2-bit numbers, which performs only
+        # 127 operations" — the count the SWA pipeline depends on.
+        assert table1_row(2)["total_operations"] == 127
+
+    def test_8x8_2bit_example(self):
+        # §II: "the total number of operations is 6 x 4 + 1 x 7 = 31".
+        r = count_reduced_ops(8, 2)
+        assert r["total_copy"] == 6
+        assert r["total_swap"] == 1
+        assert r["total_operations"] == 31
+
+    def test_monotone_in_s(self):
+        ops = [count_reduced_ops(32, s)["total_operations"]
+               for s in range(1, 33)]
+        assert all(a <= b for a, b in zip(ops, ops[1:]))
+
+    def test_reduced_executor_counts_match_classifier(self, rng):
+        for s in (2, 5, 8):
+            c = OpCounter()
+            words = random_words(rng, 32, (32,), max_value=1 << s)
+            transpose_bits_reduced(words, 32, s, counter=c)
+            r = count_reduced_ops(32, s)
+            assert c.swaps == r["total_swap"]
+            assert c.copies == r["total_copy"]
+            assert c.ops == r["total_operations"]
+
+    def test_rejects_out_of_range_values(self, rng):
+        words = random_words(rng, 32, (32,), max_value=1 << 8)
+        words[0] |= np.uint32(1 << 10)
+        with pytest.raises(BitOpsError):
+            transpose_bits_reduced(words, 32, 8)
+
+    @pytest.mark.parametrize("bad_s", [0, 33, -1])
+    def test_rejects_bad_s(self, bad_s):
+        with pytest.raises(BitOpsError):
+            classify_reduced_schedule(32, bad_s)
+
+
+class TestReducedUntranspose:
+    @pytest.mark.parametrize("w", ALL_WIDTHS)
+    @pytest.mark.parametrize("s", [1, 2, 3, 5])
+    def test_inverts_reduced_transpose(self, rng, w, s):
+        words = random_words(rng, w, (4, w), max_value=1 << s)
+        planes = transpose_bits_reduced(words, w, s)
+        back = untranspose_bits_reduced(planes, w, s)
+        np.testing.assert_array_equal(back, words)
+
+    def test_same_op_count_as_forward(self, rng):
+        for s in (2, 8):
+            fwd, bwd = OpCounter(), OpCounter()
+            words = random_words(rng, 32, (32,), max_value=1 << s)
+            planes = transpose_bits_reduced(words, 32, s, counter=fwd)
+            untranspose_bits_reduced(planes, 32, s, counter=bwd)
+            assert fwd.ops == bwd.ops
+            assert fwd.swaps == bwd.swaps
+
+    def test_ignores_garbage_beyond_s_planes(self, rng):
+        """B2W must not depend on the dead planes (the paper leaves
+        don't-care values there)."""
+        s = 4
+        words = random_words(rng, 32, (32,), max_value=1 << s)
+        planes = transpose_bits_reduced(words, 32, s)
+        garbled = planes.copy()
+        garbled[..., s:] = random_words(rng, 32, garbled[..., s:].shape)
+        np.testing.assert_array_equal(
+            untranspose_bits_reduced(garbled, 32, s),
+            untranspose_bits_reduced(planes, 32, s),
+        )
+
+
+class TestFigure1Stages:
+    def test_stage_count_and_endpoints(self, rng):
+        words = random_words(rng, 8, (8,))
+        stages = transpose8x8_stages(words)
+        assert len(stages) == 4
+        np.testing.assert_array_equal(stages[0], words)
+        np.testing.assert_array_equal(stages[-1], transpose_bits(words, 8))
+
+    def test_first_stage_matches_figure(self):
+        """After step 1, word 0's high nibble holds word 4's low nibble
+        (the '4,3 4,2 4,1 4,0 | 0,3 0,2 0,1 0,0' row of Figure 1)."""
+        words = np.arange(8, dtype=np.uint8) * 16 + np.arange(8, dtype=np.uint8)
+        stages = transpose8x8_stages(words)
+        a0 = int(stages[1][0])
+        assert a0 & 0x0F == int(words[0]) & 0x0F
+        assert a0 >> 4 == int(words[4]) & 0x0F
+
+
+class TestBitMatrixHelpers:
+    def test_roundtrip(self, rng):
+        for w in ALL_WIDTHS:
+            words = random_words(rng, w, (w,))
+            M = bit_matrix_from_words(words, w)
+            np.testing.assert_array_equal(words_from_bit_matrix(M, w),
+                                          words)
+
+    def test_shape_validation(self):
+        with pytest.raises(BitOpsError):
+            bit_matrix_from_words(np.zeros(31, dtype=np.uint32), 32)
+        with pytest.raises(BitOpsError):
+            words_from_bit_matrix(np.zeros((8, 9), dtype=np.uint8), 8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    s=st.integers(1, 32),
+    seed=st.integers(0, 2**31),
+)
+def test_reduced_transpose_property(s, seed):
+    """For any width s and any s-bit inputs, the reduced schedule
+    produces the same live planes as the full transpose."""
+    rng = np.random.default_rng(seed)
+    words = rng.integers(0, 1 << s, size=32, dtype=np.uint64).astype(
+        np.uint32
+    )
+    reduced = transpose_bits_reduced(words, 32, s)
+    full = transpose_bits(words, 32)
+    np.testing.assert_array_equal(reduced[..., :s], full[..., :s])

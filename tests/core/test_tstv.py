@@ -1,0 +1,145 @@
+"""Tests for repro.core.tstv: transition/transversion scoring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitops import BitOpsError
+from repro.core.encoding import CODE_OF, encode
+from repro.core.sw_bpbc import bpbc_sw_wavefront_planes
+from repro.core.alphabet import DNA
+from repro.core.tstv import (
+    TsTvScheme,
+    classify_substitution,
+    sw_tstv_matrix,
+    sw_tstv_max_score,
+    tstv_cell,
+)
+from repro.swa.scoring import ScoringScheme
+from repro.swa.sequential import sw_matrix
+
+SCHEME = TsTvScheme(match_score=2, transition_penalty=1,
+                    transversion_penalty=2, gap_penalty=1)
+
+
+class TestClassification:
+    def test_transitions(self):
+        # Purine <-> purine and pyrimidine <-> pyrimidine.
+        assert classify_substitution(CODE_OF["A"], CODE_OF["G"]) == \
+            "transition"
+        assert classify_substitution(CODE_OF["C"], CODE_OF["T"]) == \
+            "transition"
+
+    def test_transversions(self):
+        for a, b in (("A", "T"), ("A", "C"), ("G", "T"), ("G", "C")):
+            assert classify_substitution(CODE_OF[a], CODE_OF[b]) == \
+                "transversion", (a, b)
+
+    def test_matches(self):
+        for b in "ATGC":
+            assert classify_substitution(CODE_OF[b], CODE_OF[b]) == \
+                "match"
+
+    def test_symmetric(self):
+        for a in range(4):
+            for b in range(4):
+                assert classify_substitution(a, b) == \
+                    classify_substitution(b, a)
+
+    def test_range_check(self):
+        with pytest.raises(BitOpsError):
+            classify_substitution(4, 0)
+
+
+class TestScheme:
+    def test_w_values(self):
+        assert SCHEME.w(CODE_OF["A"], CODE_OF["A"]) == 2
+        assert SCHEME.w(CODE_OF["A"], CODE_OF["G"]) == -1
+        assert SCHEME.w(CODE_OF["A"], CODE_OF["T"]) == -2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TsTvScheme(match_score=0)
+        with pytest.raises(ValueError):
+            TsTvScheme(transition_penalty=-1)
+
+
+class TestGold:
+    def test_equal_penalties_reduce_to_linear(self, rng):
+        """ts == tv makes the model the paper's match/mismatch SW."""
+        tstv = TsTvScheme(2, 1, 1, 1)
+        lin = ScoringScheme(2, 1, 1)
+        for _ in range(5):
+            m, n = rng.integers(1, 10, 2)
+            x = rng.integers(0, 4, m)
+            y = rng.integers(0, 4, n)
+            np.testing.assert_array_equal(
+                sw_tstv_matrix(x, y, tstv), sw_matrix(x, y, lin)
+            )
+
+    def test_transition_rich_pair_scores_higher(self):
+        """AG repeats vs GA repeats differ only by transitions; AT vs
+        TA only by transversions — the model must separate them."""
+        x_ts = encode("AGAGAGAG")
+        y_ts = encode("GAGAGAGA")
+        x_tv = encode("ATATATAT")
+        y_tv = encode("TATATATA")
+        assert sw_tstv_max_score(x_ts, y_ts, SCHEME) >= \
+            sw_tstv_max_score(x_tv, y_tv, SCHEME)
+
+    def test_hand_example(self):
+        # x=AGAG vs y=AAAA: A matches interleaved with G->A
+        # transitions.  At ts penalty 1 the best local path is A,G,A
+        # = 2-1+2 = 3; with free transitions the full diagonal scores
+        # 4.
+        assert sw_tstv_max_score(encode("AGAG"), encode("AAAA"),
+                                 SCHEME) == 3
+        free_ts = TsTvScheme(2, 0, 2, 1)
+        assert sw_tstv_max_score(encode("AGAG"), encode("AAAA"),
+                                 free_ts) == 4
+
+
+class TestBPBCTsTv:
+    @pytest.mark.parametrize("w", [8, 32, 64])
+    def test_matches_gold(self, rng, w):
+        P, m, n = w + 3, 6, 13
+        X = rng.integers(0, 4, (P, m), dtype=np.uint8)
+        Y = rng.integers(0, 4, (P, n), dtype=np.uint8)
+        s = SCHEME.score_bits(m, n)
+        cell = tstv_cell(SCHEME, s, w)
+        r = bpbc_sw_wavefront_planes(
+            DNA.batch_planes(X, w), DNA.batch_planes(Y, w),
+            ScoringScheme(SCHEME.match_score, 1, SCHEME.gap_penalty),
+            w, s=s, cell=cell,
+        )
+        gold = [sw_tstv_max_score(X[p], Y[p], SCHEME) for p in range(P)]
+        np.testing.assert_array_equal(r.max_scores[:P], gold)
+
+    def test_rejects_non_dna_planes(self, rng):
+        s = 4
+        cell = tstv_cell(SCHEME, s, 32)
+        bad_x = [np.uint32(0)] * 3  # 3-bit characters
+        with pytest.raises(BitOpsError):
+            cell([np.uint32(0)] * s, [np.uint32(0)] * s,
+                 [np.uint32(0)] * s, bad_x, bad_x)
+
+    @settings(max_examples=10, deadline=None)
+    @given(m=st.integers(1, 7), n=st.integers(1, 10),
+           P=st.integers(1, 40), seed=st.integers(0, 2**31),
+           ts=st.integers(0, 3), tv_delta=st.integers(0, 3))
+    def test_bpbc_tstv_property(self, m, n, P, seed, ts, tv_delta):
+        rng = np.random.default_rng(seed)
+        scheme = TsTvScheme(2, ts, ts + tv_delta, 1)
+        X = rng.integers(0, 4, (P, m), dtype=np.uint8)
+        Y = rng.integers(0, 4, (P, n), dtype=np.uint8)
+        s = scheme.score_bits(m, n)
+        r = bpbc_sw_wavefront_planes(
+            DNA.batch_planes(X, 64), DNA.batch_planes(Y, 64),
+            ScoringScheme(2, 1, 1), 64, s=s,
+            cell=tstv_cell(scheme, s, 64),
+        )
+        gold = [sw_tstv_max_score(X[p], Y[p], scheme) for p in range(P)]
+        np.testing.assert_array_equal(r.max_scores[:P], gold)

@@ -1,0 +1,133 @@
+"""Tests for repro.experiments: every table/figure harness runs and
+asserts its own reproduction claims."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments import (figure1, figure2, table1, table2, table3,
+                               table4, table5)
+from repro.experiments.report import fmt, render_table
+
+
+class TestReport:
+    def test_render_basic(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [30, 4.0]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "2.50" in out
+        assert "30" in out
+
+    def test_fmt(self):
+        assert fmt(1.234, 1) == "1.2"
+        assert fmt("x") == "x"
+        assert fmt(7) == "7"
+
+
+class TestTable1:
+    def test_rows_cover_paper(self):
+        rows = table1.rows()
+        assert [r["s"] for r in rows] == [32, 16, 8, 7, 6, 5, 4, 3, 2]
+        exact = [r for r in rows if r["ops_ours"] == r["ops_paper"]]
+        assert len(exact) == 6
+
+    def test_run_renders(self):
+        out = table1.run(verbose=False)
+        assert "127" in out and "560" in out
+
+
+class TestTable2:
+    def test_all_engines_match_paper(self):
+        r = table2.compute()
+        np.testing.assert_array_equal(r["sequential"], r["paper"])
+        np.testing.assert_array_equal(r["wavefront"], r["paper"])
+        np.testing.assert_array_equal(r["bpbc"], r["paper"])
+        assert r["gpu_max"] == 8
+        assert r["max_score"] == 8
+
+    def test_run_renders(self):
+        out = table2.run(verbose=False)
+        assert "max score = 8 (paper: 8)" in out
+        assert "False" not in out
+
+
+class TestTable3:
+    def test_schedule_invariants(self):
+        r = table3.compute()
+        assert r["deps_ok"] and r["coverage_ok"]
+        assert r["steps"] == 11
+
+    def test_larger_shapes(self):
+        r = table3.compute(m=17, n=23)
+        assert r["deps_ok"] and r["coverage_ok"]
+
+    def test_run_renders(self):
+        out = table3.run(verbose=False)
+        assert "11" in out
+
+
+class TestTable4:
+    def test_analytic_errors_small_on_swa(self):
+        a = table4.analytic_table()
+        for fam, e in a["errors"].items():
+            if fam.endswith("/swa") and "wordwise" not in fam:
+                assert e < 0.05
+
+    def test_measured_engines_agree(self):
+        rows = table4.measured_table(n_values=(64,), pairs=96, m=16)
+        assert rows[0]["scores_agree"]
+
+    def test_measured_breakdown_fields(self):
+        rows = table4.measured_table(n_values=(64,), pairs=64, m=8)
+        b = rows[0]["bitwise32"]
+        assert set(b) >= {"w2b", "swa", "b2w", "total"}
+        assert b["total"] >= b["swa"]
+
+
+class TestTable5:
+    def test_analytic_speedups(self):
+        rows = table5.analytic_rows()
+        for r in rows:
+            assert r["speedup_model"] == pytest.approx(
+                r["speedup_paper"], rel=0.06
+            )
+
+    def test_measured_bitwise_wins_at_scale(self):
+        rows = table5.measured_rows(n_values=(128,), pairs=2048, m=64)
+        assert rows[0]["speedup"] > 1.0
+
+
+class TestFigures:
+    def test_figure1_final_stage_is_transpose(self):
+        stages = figure1.stages_symbolic()
+        assert len(stages) == 4
+        final = stages[-1]
+        assert all(final[w, b] == f"{b},{w}"
+                   for w in range(8) for b in range(8))
+
+    def test_figure1_matches_paper_panel2(self):
+        # Figure 1 second panel, word A[0]: 4,3 4,2 4,1 4,0 0,3 0,2 0,1 0,0
+        st1 = figure1.stages_symbolic()[1]
+        assert [st1[0, b] for b in range(7, -1, -1)] == [
+            "4,3", "4,2", "4,1", "4,0", "0,3", "0,2", "0,1", "0,0"
+        ]
+
+    def test_figure2_kernel_consistency(self):
+        r = figure2.compute(m=4, n=7, pairs=16)
+        assert r["scores_ok"]
+        assert r["report"].swa.barriers == r["expected_barriers"]
+
+    def test_figure2_trace_covers_all_cells(self):
+        r = figure2.compute(m=4, n=7, pairs=16)
+        cells = [c for e in r["trace"] for c in e["cells"]]
+        assert len(cells) == 4 * 7
+
+
+class TestRunner:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "table3", "table4", "table5",
+            "figure1", "figure2", "ablations",
+        }

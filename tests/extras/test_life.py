@@ -1,0 +1,162 @@
+"""Tests for repro.extras.life: the original BPBC application."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitops import BitOpsError
+from repro.extras.life import (
+    life_step_bpbc,
+    life_step_reference,
+    run_life,
+)
+
+
+def _board(rows: list[str]) -> np.ndarray:
+    return np.array([[1 if ch == "#" else 0 for ch in row]
+                     for row in rows], dtype=np.uint8)
+
+
+class TestReference:
+    def test_blinker_oscillates(self):
+        horiz = _board(["     ",
+                        " ### ",
+                        "     "])
+        vert = life_step_reference(horiz)
+        np.testing.assert_array_equal(vert, _board(["  #  ",
+                                                    "  #  ",
+                                                    "  #  "]))
+        np.testing.assert_array_equal(life_step_reference(vert), horiz)
+
+    def test_block_is_still(self):
+        block = _board(["    ",
+                        " ## ",
+                        " ## ",
+                        "    "])
+        np.testing.assert_array_equal(life_step_reference(block), block)
+
+    def test_lonely_cell_dies(self):
+        lone = _board(["   ", " # ", "   "])
+        assert life_step_reference(lone).sum() == 0
+
+    def test_1d_rejected(self):
+        with pytest.raises(BitOpsError):
+            life_step_reference(np.zeros(5))
+
+
+class TestBPBC:
+    @pytest.mark.parametrize("w", [8, 32, 64])
+    def test_matches_reference_random(self, rng, w):
+        board = rng.integers(0, 2, (17, 41), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            life_step_bpbc(board, w), life_step_reference(board)
+        )
+
+    def test_cross_word_boundaries(self, rng):
+        """Live cells hugging a lane-word boundary must see their
+        neighbours in the adjacent word."""
+        board = np.zeros((3, 16), dtype=np.uint8)
+        board[1, 7:10] = 1  # blinker straddling the 8-bit word edge
+        got = life_step_bpbc(board, 8)
+        np.testing.assert_array_equal(got, life_step_reference(board))
+        assert got[0, 8] == 1 and got[2, 8] == 1
+
+    def test_glider_translates(self):
+        glider = _board([" #      ",
+                         "  #     ",
+                         "###     ",
+                         "        ",
+                         "        ",
+                         "        "])
+        # After 4 generations a glider moves one cell diagonally.
+        a = run_life(glider, 4, engine="bpbc")
+        b = run_life(glider, 4, engine="reference")
+        np.testing.assert_array_equal(a, b)
+        assert a.sum() == 5  # glider preserved
+
+    def test_full_board_count_eight(self):
+        """All-ones board: interior cells have 8 neighbours and die;
+        exercises the count's bit-3 plane."""
+        board = np.ones((6, 70), dtype=np.uint8)
+        got = life_step_bpbc(board, 64)
+        np.testing.assert_array_equal(got, life_step_reference(board))
+        assert got[2:-2, 2:-2].sum() == 0
+
+    def test_empty_board_rejected(self):
+        with pytest.raises(BitOpsError):
+            life_step_bpbc(np.zeros((0, 0)), 32)
+
+    def test_run_life_generations(self, rng):
+        board = rng.integers(0, 2, (12, 12), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            run_life(board, 5, engine="bpbc"),
+            run_life(board, 5, engine="reference"),
+        )
+
+    def test_negative_generations_rejected(self, rng):
+        with pytest.raises(BitOpsError):
+            run_life(np.zeros((2, 2)), -1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(r=st.integers(1, 20), c=st.integers(1, 80),
+           seed=st.integers(0, 2**31), w=st.sampled_from([8, 32, 64]))
+    def test_bpbc_equals_reference_property(self, r, c, seed, w):
+        rng = np.random.default_rng(seed)
+        board = rng.integers(0, 2, (r, c), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            life_step_bpbc(board, w), life_step_reference(board)
+        )
+
+
+class TestPackedState:
+    def test_packed_step_matches_unpacked(self, rng):
+        from repro.core.bitops import pack_lanes, unpack_lanes
+        from repro.extras.life import life_step_packed
+
+        board = rng.integers(0, 2, (9, 50), dtype=np.uint8)
+        packed = pack_lanes(board, 32)
+        nxt = life_step_packed(packed, 32)
+        got = unpack_lanes(nxt, 32, count=50)
+        np.testing.assert_array_equal(got, life_step_reference(board))
+
+    def test_padding_stays_dead(self, rng):
+        """Bits beyond the real columns must never come alive (they
+        would corrupt the wrap into the next word's carry)."""
+        from repro.core.bitops import pack_lanes
+        from repro.extras.life import life_step_packed
+
+        board = np.ones((5, 33), dtype=np.uint8)  # 31 padding bits
+        packed = pack_lanes(board, 64)
+        nxt = life_step_packed(packed, 64, columns=33)
+        mask = np.uint64((0xFFFFFFFFFFFFFFFF << 33)
+                         & 0xFFFFFFFFFFFFFFFF)
+        assert not (nxt & mask).any()
+        # Without the mask the padding column IS born — the hazard
+        # the parameter exists for.
+        unmasked = life_step_packed(packed, 64)
+        assert (unmasked & mask).any()
+
+    def test_iterated_packed_matches_reference_ragged_width(self, rng):
+        """Multi-generation packed stepping on a width that is not a
+        word multiple — the exact feedback scenario the mask fixes."""
+        from repro.core.bitops import pack_lanes, unpack_lanes
+        from repro.extras.life import life_step_packed
+
+        board = rng.integers(0, 2, (8, 21), dtype=np.uint8)
+        packed = pack_lanes(board, 8)
+        ref = board
+        for _ in range(4):
+            packed = life_step_packed(packed, 8, columns=21)
+            ref = life_step_reference(ref)
+        np.testing.assert_array_equal(
+            unpack_lanes(packed, 8, count=21), ref
+        )
+
+    def test_1d_rejected(self):
+        from repro.extras.life import life_step_packed
+
+        with pytest.raises(BitOpsError):
+            life_step_packed(np.zeros(4, dtype=np.uint32), 32)

@@ -1,0 +1,123 @@
+"""Tests for repro.filter.database: ragged all-vs-all search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encoding import decode
+from repro.filter.database import (
+    search_database,
+    window_overlap,
+    windows_for,
+)
+from repro.swa.scoring import ScoringScheme
+from repro.swa.sequential import sw_max_score
+from repro.workloads.dna import random_strand
+
+SCHEME = ScoringScheme(2, 1, 1)
+
+
+class TestWindows:
+    def test_short_text_single_window(self):
+        assert windows_for(10, 20, 5) == [(0, 10)]
+
+    def test_exact_fit(self):
+        assert windows_for(20, 20, 5) == [(0, 20)]
+
+    def test_overlapping_cover(self):
+        wins = windows_for(50, 20, 8)
+        assert wins[0] == (0, 20)
+        # Full coverage, right-aligned tail.
+        assert wins[-1][1] == 50
+        for (a1, b1), (a2, b2) in zip(wins, wins[1:]):
+            assert a2 < b1  # overlap
+        covered = set()
+        for a, b in wins:
+            covered.update(range(a, b))
+        assert covered == set(range(50))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            windows_for(10, 0, 0)
+        with pytest.raises(ValueError):
+            windows_for(10, 5, 5)
+
+    def test_overlap_formula(self):
+        # m + (m*c1 - 1) // gap with the default scheme (c1=2, gap=1).
+        assert window_overlap(16) == 16 + 31
+
+    def test_overlap_scales_with_scheme(self):
+        tight = ScoringScheme(2, 1, 4)
+        assert window_overlap(16, tight) == 16 + (32 - 1) // 4
+
+    def test_zero_gap_refused(self):
+        with pytest.raises(ValueError):
+            window_overlap(8, ScoringScheme(2, 1, 0))
+
+    def test_zero_gap_search_without_windowing_ok(self, rng):
+        scheme = ScoringScheme(2, 1, 0)
+        q = decode(random_strand(rng, 5))
+        d = decode(random_strand(rng, 20))
+        hits = search_database([q], [d], scheme)
+        assert hits[0].score == sw_max_score(q, d, scheme)
+
+
+class TestSearchDatabase:
+    def test_all_vs_all_exact_scores(self, rng):
+        queries = [decode(random_strand(rng, m)) for m in (6, 9)]
+        db = [decode(random_strand(rng, n)) for n in (20, 33, 15)]
+        hits = search_database(queries, db, SCHEME)
+        assert len(hits) == 6
+        for hit in hits:
+            want = sw_max_score(queries[hit.query_index],
+                                db[hit.db_index], SCHEME)
+            assert hit.score == want
+
+    def test_windowing_preserves_scores(self, rng):
+        """Scores must be identical with and without windowing."""
+        queries = [decode(random_strand(rng, 8))]
+        db = [decode(random_strand(rng, 200)) for _ in range(3)]
+        full = search_database(queries, db, SCHEME)
+        windowed = search_database(queries, db, SCHEME, window=48)
+        assert full == windowed
+
+    def test_planted_match_found_across_window_boundary(self, rng):
+        """A hit straddling a window edge must not be lost."""
+        q = random_strand(rng, 10)
+        text = random_strand(rng, 120)
+        # Plant near a window boundary for window=60.
+        text[55:65] = q
+        hits = search_database([decode(q)], [decode(text)], SCHEME,
+                               window=60)
+        assert hits[0].score == 20  # full match
+
+    def test_small_batches(self, rng):
+        queries = [decode(random_strand(rng, 5)) for _ in range(3)]
+        db = [decode(random_strand(rng, 12)) for _ in range(3)]
+        one = search_database(queries, db, SCHEME, max_batch_pairs=1)
+        many = search_database(queries, db, SCHEME)
+        assert one == many
+
+    def test_code_array_inputs(self, rng):
+        q = random_strand(rng, 6)
+        d = random_strand(rng, 15)
+        hits = search_database([q], [d], SCHEME)
+        assert hits[0].score == sw_max_score(q, d, SCHEME)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            search_database([], ["ACGT"], SCHEME)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 2**31), window=st.integers(30, 80))
+    def test_windowed_equals_full_property(self, seed, window):
+        rng = np.random.default_rng(seed)
+        queries = [decode(random_strand(rng, int(rng.integers(3, 9))))]
+        db = [decode(random_strand(rng, int(rng.integers(10, 150))))
+              for _ in range(2)]
+        full = search_database(queries, db, SCHEME)
+        win = search_database(queries, db, SCHEME, window=window)
+        assert full == win

@@ -1,0 +1,89 @@
+"""Tests for repro.filter.screening: the threshold application."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.filter.screening import bulk_max_scores, screen_pairs
+from repro.swa.scoring import ScoringScheme
+from repro.swa.sequential import sw_max_score
+from repro.workloads.dna import MutationModel, homologous_pairs
+
+SCHEME = ScoringScheme(2, 1, 1)
+
+
+class TestBulkMaxScores:
+    @pytest.mark.parametrize("word_bits", [32, 64])
+    def test_matches_gold(self, rng, word_bits):
+        X = rng.integers(0, 4, (37, 6), dtype=np.uint8)
+        Y = rng.integers(0, 4, (37, 14), dtype=np.uint8)
+        got = bulk_max_scores(X, Y, SCHEME, word_bits=word_bits)
+        want = [sw_max_score(X[p], Y[p], SCHEME) for p in range(37)]
+        np.testing.assert_array_equal(got, want)
+
+    def test_trims_lane_padding(self, rng):
+        X = rng.integers(0, 4, (3, 5), dtype=np.uint8)
+        Y = rng.integers(0, 4, (3, 9), dtype=np.uint8)
+        assert len(bulk_max_scores(X, Y, SCHEME)) == 3
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            bulk_max_scores(np.zeros((2, 3)), np.zeros((3, 5)), SCHEME)
+
+
+class TestScreenPairs:
+    def test_survivors_have_alignments(self, rng):
+        X, Y, labels = homologous_pairs(
+            rng, 30, 16, 64, related_fraction=0.5,
+            model=MutationModel(sub_rate=0.02),
+        )
+        tau = 20
+        result = screen_pairs(X, Y, tau, SCHEME)
+        assert result.threshold == tau
+        surv = set(result.survivor_indices.tolist())
+        assert {h.pair_index for h in result.hits} == surv
+        for h in result.hits:
+            assert h.score > tau
+            assert h.alignment.score == h.score
+
+    def test_screening_separates_planted_pairs(self, rng):
+        """With a reasonable tau, most planted-homology pairs pass and
+        most random pairs do not — the application the paper pitches."""
+        X, Y, labels = homologous_pairs(
+            rng, 60, 24, 96, related_fraction=0.5,
+            model=MutationModel(sub_rate=0.02),
+        )
+        tau = 30  # well above random-pair background for m=24
+        result = screen_pairs(X, Y, tau, SCHEME, align_survivors=False)
+        passed = result.scores > tau
+        # Every passer should be a planted pair; most planted pairs pass.
+        assert (~passed[~labels]).all()
+        assert passed[labels].mean() > 0.8
+
+    def test_no_survivors(self, rng):
+        X = rng.integers(0, 4, (10, 4), dtype=np.uint8)
+        Y = rng.integers(0, 4, (10, 8), dtype=np.uint8)
+        result = screen_pairs(X, Y, 8, SCHEME)  # max possible score
+        assert result.hits == []
+        assert result.pass_rate == 0.0
+
+    def test_all_survive_threshold_zero_on_identical(self, rng):
+        X = rng.integers(0, 4, (5, 6), dtype=np.uint8)
+        result = screen_pairs(X, X.copy(), 0, SCHEME)
+        assert len(result.hits) == 5
+        for h in result.hits:
+            assert h.score == 12  # full match 6 * c1
+            assert h.alignment.identity == 1.0
+
+    def test_align_survivors_flag(self, rng):
+        X = rng.integers(0, 4, (5, 6), dtype=np.uint8)
+        result = screen_pairs(X, X.copy(), 0, SCHEME,
+                              align_survivors=False)
+        assert result.hits == []
+        assert len(result.survivor_indices) == 5
+
+    def test_negative_threshold_rejected(self, rng):
+        X = rng.integers(0, 4, (2, 4), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            screen_pairs(X, X, -1, SCHEME)

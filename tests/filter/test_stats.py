@@ -1,0 +1,107 @@
+"""Tests for repro.filter.stats: null models and threshold selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.filter.stats import NullModel, fit_null_model, suggest_threshold
+from repro.swa.scoring import ScoringScheme
+
+SCHEME = ScoringScheme(2, 1, 1)
+
+
+@pytest.fixture(scope="module")
+def null() -> NullModel:
+    return fit_null_model(16, 128, SCHEME, samples=512, seed=1)
+
+
+class TestFit:
+    def test_shapes_recorded(self, null):
+        assert (null.m, null.n) == (16, 128)
+        assert len(null.samples) == 512
+        assert (np.diff(null.samples) >= 0).all()
+
+    def test_scores_in_valid_range(self, null):
+        assert null.samples.min() >= 0
+        assert null.samples.max() <= 32  # c1 * m
+
+    def test_gumbel_params_sane(self, null):
+        # Location near the bulk of the distribution, positive scale.
+        assert null.samples.min() <= null.gumbel_loc <= \
+            null.samples.max()
+        assert null.gumbel_scale > 0
+
+    def test_reproducible(self):
+        a = fit_null_model(8, 32, SCHEME, samples=64, seed=7)
+        b = fit_null_model(8, 32, SCHEME, samples=64, seed=7)
+        np.testing.assert_array_equal(a.samples, b.samples)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_null_model(8, 32, SCHEME, samples=4)
+
+
+class TestPValues:
+    def test_empirical_monotone(self, null):
+        ps = [null.empirical_pvalue(s) for s in range(0, 33, 4)]
+        assert all(a >= b for a, b in zip(ps, ps[1:]))
+
+    def test_empirical_extremes(self, null):
+        assert null.empirical_pvalue(0) == pytest.approx(1.0, abs=0.01)
+        assert null.empirical_pvalue(33) == pytest.approx(
+            1 / 513, abs=1e-6
+        )
+
+    def test_gumbel_close_to_empirical_in_bulk(self, null):
+        """Near the median the fit and the sample should agree within
+        a few percentage points."""
+        med = float(np.median(null.samples))
+        emp = null.empirical_pvalue(med)
+        gum = null.gumbel_pvalue(med)
+        assert abs(emp - gum) < 0.15
+
+    def test_quantile_validation(self, null):
+        with pytest.raises(ValueError):
+            null.quantile(1.5)
+
+
+class TestThreshold:
+    def test_threshold_controls_null_pass_rate(self, null):
+        tau = suggest_threshold(null, alpha=0.05, method="empirical")
+        pass_rate = (null.samples > tau).mean()
+        assert pass_rate <= 0.05
+
+    def test_gumbel_threshold_reasonable(self, null):
+        tau = suggest_threshold(null, alpha=1e-3)
+        # Above the null bulk, below the hard ceiling.
+        assert null.quantile(0.9) < tau <= 40
+
+    def test_smaller_alpha_larger_tau(self, null):
+        t1 = suggest_threshold(null, alpha=1e-2)
+        t2 = suggest_threshold(null, alpha=1e-5)
+        assert t2 >= t1
+
+    def test_threshold_separates_planted_pairs(self):
+        """End to end: a Gumbel threshold at alpha=1e-3 keeps random
+        pairs out and lets planted homologies through."""
+        from repro.filter.screening import screen_pairs
+        from repro.workloads.dna import MutationModel, homologous_pairs
+
+        null = fit_null_model(24, 96, SCHEME, samples=512, seed=2)
+        tau = suggest_threshold(null, alpha=1e-3)
+        rng = np.random.default_rng(3)
+        X, Y, labels = homologous_pairs(
+            rng, 60, 24, 96, related_fraction=0.5,
+            model=MutationModel(sub_rate=0.02),
+        )
+        res = screen_pairs(X, Y, tau, SCHEME, align_survivors=False)
+        passed = res.scores > tau
+        assert passed[labels].mean() > 0.8
+        assert passed[~labels].mean() < 0.1
+
+    def test_validation(self, null):
+        with pytest.raises(ValueError):
+            suggest_threshold(null, alpha=0.0)
+        with pytest.raises(ValueError):
+            suggest_threshold(null, alpha=0.5, method="bayes")

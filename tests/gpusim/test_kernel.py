@@ -1,0 +1,212 @@
+"""Tests for repro.gpusim.kernel: lockstep execution, barriers, shuffles,
+deadlock detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import GTX_280, GTX_TITAN_X
+from repro.gpusim.errors import (GpuSimError, KernelDeadlock,
+                                 LaunchConfigError)
+from repro.gpusim.kernel import Barrier, Shfl, launch_kernel
+from repro.gpusim.memory import GlobalMemory
+
+
+def _gmem_with(name, arr):
+    g = GlobalMemory()
+    g.from_host(name, np.asarray(arr))
+    return g
+
+
+class TestBasicExecution:
+    def test_every_thread_runs(self):
+        def kern(ctx):
+            ctx.gmem.store("out", ctx.global_thread_idx,
+                           ctx.global_thread_idx * 2)
+            yield Barrier()
+
+        g = GlobalMemory()
+        g.alloc("out", 12, np.int64)
+        stats = launch_kernel(kern, 3, 4, g)
+        np.testing.assert_array_equal(g.buffer("out"),
+                                      np.arange(12) * 2)
+        assert stats.blocks == 3
+        assert stats.threads == 12
+
+    def test_ctx_indices(self):
+        seen = []
+
+        def kern(ctx):
+            seen.append((ctx.block_idx, ctx.thread_idx, ctx.lane,
+                         ctx.warp))
+            yield Barrier()
+
+        launch_kernel(kern, 2, 40, GlobalMemory())
+        assert (1, 39, 7, 1) in seen
+        assert (0, 0, 0, 0) in seen
+
+    def test_instruction_accounting(self):
+        def kern(ctx):
+            ctx.count_ops(5)
+            yield Barrier()
+            ctx.count_ops(2)
+
+        stats = launch_kernel(kern, 2, 3, GlobalMemory())
+        assert stats.instructions == 6 * 7
+
+    def test_barrier_ordering(self):
+        """Writes before a barrier are visible after it."""
+        def kern(ctx):
+            ctx.smem.store(ctx.thread_idx, ctx.thread_idx + 1)
+            yield Barrier()
+            left = ctx.smem.load((ctx.thread_idx - 1) % ctx.block_dim)
+            ctx.gmem.store("out", ctx.global_thread_idx, left)
+            yield Barrier()
+
+        g = GlobalMemory()
+        g.alloc("out", 4, np.int64)
+        launch_kernel(kern, 1, 4, g, shared_words=4)
+        np.testing.assert_array_equal(g.buffer("out"), [4, 1, 2, 3])
+
+    def test_sequential_blocks_fresh_shared_memory(self):
+        def kern(ctx):
+            assert ctx.smem.load(0) == 0  # zero-initialised per block
+            ctx.smem.store(0, 9)
+            yield Barrier()
+
+        launch_kernel(kern, 3, 1, GlobalMemory(), shared_words=1)
+
+
+class TestLaunchValidation:
+    def test_bad_dims(self):
+        def kern(ctx):
+            yield Barrier()
+
+        with pytest.raises(LaunchConfigError):
+            launch_kernel(kern, 0, 4, GlobalMemory())
+        with pytest.raises(LaunchConfigError):
+            launch_kernel(kern, 1, 0, GlobalMemory())
+
+    def test_block_size_limit(self):
+        def kern(ctx):
+            yield Barrier()
+
+        with pytest.raises(LaunchConfigError):
+            launch_kernel(kern, 1, 513, GlobalMemory(), device=GTX_280)
+
+    def test_shared_memory_limit(self):
+        def kern(ctx):
+            yield Barrier()
+
+        with pytest.raises(Exception):
+            launch_kernel(kern, 1, 1, GlobalMemory(),
+                          shared_words=GTX_TITAN_X.shared_mem_bytes)
+
+
+class TestDeadlockDetection:
+    def test_divergent_exit_before_barrier(self):
+        """Thread 0 skips the barrier other threads wait on — the
+        classic divergent __syncthreads bug, caught not hung."""
+        def kern(ctx):
+            if ctx.thread_idx == 0:
+                return
+            yield Barrier()
+
+        with pytest.raises(KernelDeadlock):
+            launch_kernel(kern, 1, 4, GlobalMemory())
+
+    def test_unbalanced_barrier_counts(self):
+        def kern(ctx):
+            yield Barrier()
+            if ctx.thread_idx < 2:
+                yield Barrier()
+
+        with pytest.raises(KernelDeadlock):
+            launch_kernel(kern, 1, 4, GlobalMemory())
+
+    def test_mixed_commands_in_round(self):
+        def kern(ctx):
+            if ctx.thread_idx == 0:
+                yield Barrier()
+            else:
+                yield Shfl("up", 1)
+
+        with pytest.raises(KernelDeadlock):
+            launch_kernel(kern, 1, 2, GlobalMemory())
+
+
+class TestShuffle:
+    def test_shfl_up(self):
+        def kern(ctx):
+            got = yield Shfl("up", ctx.thread_idx, 1)
+            ctx.gmem.store("out", ctx.global_thread_idx, got)
+
+        g = GlobalMemory()
+        g.alloc("out", 8, np.int64)
+        launch_kernel(kern, 1, 8, g)
+        # Lane 0 keeps its own value; lane k gets k-1.
+        np.testing.assert_array_equal(g.buffer("out"),
+                                      [0, 0, 1, 2, 3, 4, 5, 6])
+
+    def test_shfl_down_delta2(self):
+        def kern(ctx):
+            got = yield Shfl("down", ctx.thread_idx, 2)
+            ctx.gmem.store("out", ctx.global_thread_idx, got)
+
+        g = GlobalMemory()
+        g.alloc("out", 6, np.int64)
+        launch_kernel(kern, 1, 6, g)
+        np.testing.assert_array_equal(g.buffer("out"),
+                                      [2, 3, 4, 5, 4, 5])
+
+    def test_shuffle_is_warp_scoped(self):
+        """Lane 0 of warp 1 must not receive from warp 0."""
+        def kern(ctx):
+            got = yield Shfl("up", ctx.thread_idx, 1)
+            ctx.gmem.store("out", ctx.global_thread_idx, got)
+
+        g = GlobalMemory()
+        g.alloc("out", 64, np.int64)
+        launch_kernel(kern, 1, 64, g)
+        out = g.buffer("out")
+        assert out[32] == 32  # warp edge keeps own value
+        assert out[33] == 32
+
+    def test_divergent_shuffle_rejected(self):
+        def kern(ctx):
+            if ctx.thread_idx == 0:
+                yield Shfl("up", 1, 1)
+            else:
+                yield Shfl("down", 1, 1)
+
+        with pytest.raises(GpuSimError):
+            launch_kernel(kern, 1, 2, GlobalMemory())
+
+    def test_unknown_direction_rejected(self):
+        def kern(ctx):
+            yield Shfl("sideways", 1, 1)
+
+        with pytest.raises(GpuSimError):
+            launch_kernel(kern, 1, 2, GlobalMemory())
+
+    def test_shuffle_count_in_stats(self):
+        def kern(ctx):
+            yield Shfl("up", 0, 1)
+
+        stats = launch_kernel(kern, 1, 8, GlobalMemory())
+        assert stats.shuffles == 8
+
+
+class TestDeviceSpecs:
+    def test_titan_x_matches_paper(self):
+        # "GeForce GTX TITAN X has 28 streaming multiprocessors with
+        # 128 cores each"
+        assert GTX_TITAN_X.sm_count == 28
+        assert GTX_TITAN_X.cores_per_sm == 128
+        assert GTX_TITAN_X.total_cores == 3584
+
+    def test_peak_ops(self):
+        assert GTX_TITAN_X.peak_int_ops_per_sec == pytest.approx(
+            3584 * 1e9
+        )

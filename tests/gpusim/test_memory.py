@@ -1,0 +1,143 @@
+"""Tests for repro.gpusim.memory: buffers, coalescing, bank conflicts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim.errors import MemoryFault
+from repro.gpusim.memory import GlobalMemory, MemoryStats, SharedMemory
+
+
+class TestGlobalMemory:
+    def test_alloc_and_access(self):
+        g = GlobalMemory()
+        g.alloc("a", (4, 4), np.uint32)
+        g.store("a", (1, 2), 7)
+        assert g.load("a", (1, 2)) == 7
+        assert g.stats.loads == 1
+        assert g.stats.stores == 1
+
+    def test_from_host_copies(self):
+        g = GlobalMemory()
+        host = np.arange(10, dtype=np.int32)
+        dev = g.from_host("a", host)
+        host[0] = 99
+        assert dev[0] == 0
+
+    def test_double_alloc_rejected(self):
+        g = GlobalMemory()
+        g.alloc("a", 4, np.uint8)
+        with pytest.raises(MemoryFault):
+            g.alloc("a", 4, np.uint8)
+
+    def test_unknown_buffer_rejected(self):
+        with pytest.raises(MemoryFault):
+            GlobalMemory().load("nope", 0)
+
+    def test_capacity_enforced(self):
+        g = GlobalMemory(capacity_bytes=16)
+        g.alloc("a", 4, np.uint32)  # exactly 16 bytes
+        with pytest.raises(MemoryFault):
+            g.alloc("b", 1, np.uint8)
+
+    def test_free_releases_capacity(self):
+        g = GlobalMemory(capacity_bytes=16)
+        g.alloc("a", 4, np.uint32)
+        g.free("a")
+        g.alloc("b", 4, np.uint32)
+
+    def test_out_of_bounds_scalar(self):
+        g = GlobalMemory()
+        g.alloc("a", 4, np.uint32)
+        with pytest.raises(MemoryFault):
+            g.load("a", 7)
+
+    def test_out_of_bounds_warp(self):
+        g = GlobalMemory()
+        g.alloc("a", 4, np.uint32)
+        with pytest.raises(MemoryFault):
+            g.warp_load("a", [0, 1, 4])
+        with pytest.raises(MemoryFault):
+            g.warp_store("a", [-1], [0])
+
+
+class TestCoalescing:
+    def test_sequential_access_is_coalesced(self):
+        """32 consecutive 4-byte words fit one 128-byte transaction."""
+        g = GlobalMemory(segment_bytes=128)
+        g.alloc("a", 64, np.uint32)
+        g.warp_load("a", np.arange(32))
+        assert g.stats.load_transactions == 1
+
+    def test_strided_access_is_not(self):
+        g = GlobalMemory(segment_bytes=128)
+        g.alloc("a", 32 * 32, np.uint32)
+        g.warp_load("a", np.arange(32) * 32)  # stride 128 bytes
+        assert g.stats.load_transactions == 32
+
+    def test_store_transactions_counted(self):
+        g = GlobalMemory(segment_bytes=128)
+        g.alloc("a", 64, np.uint32)
+        g.warp_store("a", np.arange(32), np.zeros(32))
+        assert g.stats.store_transactions == 1
+
+    def test_bytes_accounted(self):
+        g = GlobalMemory()
+        g.alloc("a", 64, np.uint32)
+        g.warp_load("a", np.arange(8))
+        assert g.stats.bytes_loaded == 32
+
+
+class TestSharedMemory:
+    def test_basic_roundtrip(self):
+        s = SharedMemory(32)
+        s.store(3, 42)
+        assert s.load(3) == 42
+
+    def test_word_capacity_check(self):
+        with pytest.raises(MemoryFault):
+            SharedMemory(100, capacity_bytes=256)
+
+    def test_out_of_bounds(self):
+        s = SharedMemory(8)
+        with pytest.raises(MemoryFault):
+            s.load(8)
+        with pytest.raises(MemoryFault):
+            s.warp_store([9], [1])
+
+    def test_conflict_free_warp_access(self):
+        s = SharedMemory(64, banks=32)
+        s.warp_load(np.arange(32))  # one word per bank
+        assert s.stats.bank_conflict_cycles == 0
+
+    def test_same_word_broadcast_no_conflict(self):
+        s = SharedMemory(32, banks=32)
+        s.warp_load(np.zeros(32, dtype=int))  # broadcast
+        assert s.stats.bank_conflict_cycles == 0
+
+    def test_two_way_conflict(self):
+        s = SharedMemory(64, banks=32)
+        s.warp_load(np.arange(32) * 2)  # even words: 2 words per bank
+        assert s.stats.bank_conflict_cycles == 1
+
+    def test_full_conflict(self):
+        s = SharedMemory(32 * 32, banks=32)
+        s.warp_load(np.arange(32) * 32)  # all lanes hit bank 0
+        assert s.stats.bank_conflict_cycles == 31
+
+    def test_holds_64bit_values(self):
+        s = SharedMemory(4)
+        s.store(0, (1 << 63) + 5)
+        assert s.load(0) == (1 << 63) + 5
+
+
+class TestMemoryStats:
+    def test_merge(self):
+        a = MemoryStats(loads=1, stores=2, bytes_loaded=4)
+        b = MemoryStats(loads=10, store_transactions=3)
+        a.merge(b)
+        assert a.loads == 11
+        assert a.stores == 2
+        assert a.store_transactions == 3
+        assert a.bytes_loaded == 4

@@ -1,0 +1,79 @@
+"""Tests for repro.gpusim.occupancy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim.device import GTX_TITAN_X
+from repro.gpusim.errors import LaunchConfigError
+from repro.gpusim.occupancy import (
+    MAXWELL_LIMITS,
+    occupancy_for,
+    sw_kernel_registers,
+)
+
+
+class TestOccupancy:
+    def test_paper_w2b_config_is_full_occupancy(self):
+        """§V: 'blocks of 1024 threads each to maximize occupancy' —
+        the transpose kernel's tiny register/shared footprint lets two
+        such blocks fill an SM completely."""
+        occ = occupancy_for(1024, registers_per_thread=32,
+                            shared_bytes_per_block=0,
+                            device=GTX_TITAN_X)
+        assert occ.blocks_per_sm == 2
+        assert occ.occupancy == 1.0
+
+    def test_sw_kernel_occupancy(self):
+        """The SW kernel at m=128, s=8: 4s+4 = 36 registers/thread and
+        2*m*s shared words — still multiple blocks per SM."""
+        s, m = 8, 128
+        occ = occupancy_for(m, sw_kernel_registers(s),
+                            shared_bytes_per_block=2 * m * s * 4,
+                            device=GTX_TITAN_X)
+        assert occ.blocks_per_sm >= 4
+        assert 0.0 < occ.occupancy <= 1.0
+
+    def test_register_limited(self):
+        occ = occupancy_for(1024, registers_per_thread=64,
+                            shared_bytes_per_block=0,
+                            device=GTX_TITAN_X)
+        assert occ.limiter == "registers"
+        assert occ.blocks_per_sm == 1
+
+    def test_shared_limited(self):
+        occ = occupancy_for(64, registers_per_thread=8,
+                            shared_bytes_per_block=48 * 1024,
+                            device=GTX_TITAN_X)
+        assert occ.limiter == "shared"
+        assert occ.blocks_per_sm == 2
+
+    def test_warp_limited_small_blocks(self):
+        occ = occupancy_for(32, registers_per_thread=8,
+                            shared_bytes_per_block=0,
+                            device=GTX_TITAN_X)
+        # 32-thread blocks: the 32-blocks/SM cap binds before warps.
+        assert occ.limiter == "blocks"
+        assert occ.blocks_per_sm == 32
+
+    def test_block_too_large_rejected(self):
+        with pytest.raises(LaunchConfigError):
+            occupancy_for(2048, 8, 0, GTX_TITAN_X)
+
+    def test_register_overflow_rejected(self):
+        with pytest.raises(LaunchConfigError):
+            occupancy_for(1024, 128, 0, GTX_TITAN_X)
+
+    def test_shared_overflow_rejected(self):
+        with pytest.raises(LaunchConfigError):
+            occupancy_for(
+                64, 8, MAXWELL_LIMITS.shared_mem_bytes + 1, GTX_TITAN_X
+            )
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(LaunchConfigError):
+            occupancy_for(0, 8, 0, GTX_TITAN_X)
+
+    def test_register_formula(self):
+        assert sw_kernel_registers(8) == 36
+        assert sw_kernel_registers(9) == 40

@@ -1,0 +1,93 @@
+"""Tests for repro.gpusim.timing: the roofline kernel-time model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import GTX_280, GTX_TITAN_X
+from repro.gpusim.kernel import KernelStats
+from repro.gpusim.memory import MemoryStats
+from repro.gpusim.timing import (
+    BARRIER_CYCLES,
+    estimate_kernel_time,
+    estimate_transfer_time,
+)
+
+
+def _stats(instructions=0, threads=32, load_tx=0, store_tx=0,
+           conflicts=0, barriers=0) -> KernelStats:
+    s = KernelStats(blocks=1, threads=threads,
+                    instructions=instructions, barriers=barriers)
+    s.gmem = MemoryStats(load_transactions=load_tx,
+                         store_transactions=store_tx)
+    s.smem = MemoryStats(bank_conflict_cycles=conflicts)
+    return s
+
+
+class TestKernelEstimate:
+    def test_compute_bound_kernel(self):
+        st = _stats(instructions=10_000_000, threads=3584)
+        est = estimate_kernel_time(st, GTX_TITAN_X)
+        assert est.bound == "compute"
+        # 1e7 instructions over 3584 cores at 1 GHz.
+        assert est.compute_s == pytest.approx(1e7 / (3584 * 1e9))
+
+    def test_memory_bound_kernel(self):
+        st = _stats(instructions=100, threads=32, load_tx=1_000_000)
+        est = estimate_kernel_time(st, GTX_TITAN_X)
+        assert est.bound == "memory"
+        assert est.memory_s == pytest.approx(
+            1_000_000 * 128 / (336.5 * 1e9)
+        )
+
+    def test_total_is_roofline_plus_overheads(self):
+        st = _stats(instructions=1000, threads=32, load_tx=10,
+                    conflicts=5, barriers=2)
+        est = estimate_kernel_time(st, GTX_TITAN_X)
+        assert est.total_s == pytest.approx(
+            max(est.compute_s, est.memory_s)
+            + 5 / 1e9 + 2 * BARRIER_CYCLES / 1e9
+        )
+
+    def test_oversubscription_scales_time(self):
+        base = _stats(instructions=1_000_000, threads=3584)
+        over = _stats(instructions=1_000_000, threads=2 * 3584)
+        t1 = estimate_kernel_time(base, GTX_TITAN_X).compute_s
+        t2 = estimate_kernel_time(over, GTX_TITAN_X).compute_s
+        assert t2 > t1
+
+    def test_weaker_device_is_slower(self):
+        st = _stats(instructions=1_000_000, threads=512)
+        fast = estimate_kernel_time(st, GTX_TITAN_X).total_s
+        slow = estimate_kernel_time(st, GTX_280).total_s
+        assert slow > fast
+
+    def test_empty_launch_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_kernel_time(_stats(threads=0), GTX_TITAN_X)
+
+    def test_real_pipeline_stats_work(self, rng):
+        from repro.kernels.pipeline import run_gpu_pipeline
+        from repro.swa.scoring import ScoringScheme
+
+        X = rng.integers(0, 4, (32, 4), dtype=np.uint8)
+        Y = rng.integers(0, 4, (32, 9), dtype=np.uint8)
+        _, report = run_gpu_pipeline(X, Y, ScoringScheme(2, 1, 1))
+        est = estimate_kernel_time(report.swa, GTX_TITAN_X)
+        assert est.total_s > 0
+        assert est.bound in ("compute", "memory")
+
+
+class TestTransferEstimate:
+    def test_latency_floor(self):
+        assert estimate_transfer_time(0, GTX_TITAN_X) == \
+            pytest.approx(10e-6)
+
+    def test_bandwidth_term(self):
+        t = estimate_transfer_time(6_000_000_000, GTX_TITAN_X)
+        assert t == pytest.approx(10e-6 + 1.0, rel=1e-6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_transfer_time(-1, GTX_TITAN_X)

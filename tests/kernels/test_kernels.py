@@ -1,0 +1,256 @@
+"""Tests for repro.kernels: the §V kernels and the 5-step pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitops import word_dtype
+from repro.core.encoding import encode_batch_bit_transposed
+from repro.core.transpose import classify_reduced_schedule
+from repro.gpusim.device import GTX_280
+from repro.gpusim.kernel import launch_kernel
+from repro.gpusim.memory import GlobalMemory
+from repro.kernels.pipeline import run_gpu_pipeline
+from repro.kernels.sw_kernel import shared_words_needed, sw_wavefront_kernel
+from repro.kernels.transpose_kernel import (
+    apply_classified_ops,
+    apply_classified_ops_reversed,
+    b2w_kernel,
+    w2b_kernel,
+)
+from repro.swa.numpy_batch import sw_batch_max_scores
+from repro.swa.scoring import ScoringScheme
+
+SCHEME = ScoringScheme(2, 1, 1)
+
+
+class TestRegisterTranspose:
+    @pytest.mark.parametrize("w", [8, 32])
+    @pytest.mark.parametrize("s", [2, 5])
+    def test_matches_array_transpose(self, rng, w, s):
+        from repro.core.transpose import transpose_bits_reduced
+
+        dt = word_dtype(w)
+        vals = rng.integers(0, 1 << s, size=w, dtype=np.uint64).astype(dt)
+        regs = list(vals)
+        apply_classified_ops(regs, classify_reduced_schedule(w, s), w)
+        want = transpose_bits_reduced(vals, w, s)
+        np.testing.assert_array_equal(np.array(regs)[:s], want[:s])
+
+    def test_reversed_inverts(self, rng):
+        w, s = 32, 7
+        dt = word_dtype(w)
+        vals = rng.integers(0, 1 << s, size=w, dtype=np.uint64).astype(dt)
+        regs = list(vals)
+        sched = classify_reduced_schedule(w, s)
+        apply_classified_ops(regs, sched, w)
+        for h in range(s, w):
+            regs[h] = dt.type(0)
+        apply_classified_ops_reversed(regs, sched, w)
+        mask = dt.type((1 << s) - 1)
+        np.testing.assert_array_equal(
+            np.array([r & mask for r in regs]), vals
+        )
+
+
+class TestW2BKernel:
+    @pytest.mark.parametrize("w", [8, 32])
+    def test_matches_host_conversion(self, rng, w):
+        P = 2 * w + 3
+        n = 9
+        groups = -(-P // w)
+        codes = rng.integers(0, 4, (groups * w, n), dtype=np.uint8)
+        codes[P:] = 0
+        g = GlobalMemory()
+        g.from_host("src", codes.astype(word_dtype(w)))
+        g.alloc("H", (n, groups), word_dtype(w))
+        g.alloc("L", (n, groups), word_dtype(w))
+        launch_kernel(w2b_kernel, -(-n * groups // 64), 64, g,
+                      "src", "H", "L", n, groups, w)
+        want_h, want_l = encode_batch_bit_transposed(codes, w)
+        np.testing.assert_array_equal(g.buffer("H"), want_h)
+        np.testing.assert_array_equal(g.buffer("L"), want_l)
+
+    def test_instruction_count_is_127_per_block(self, rng):
+        """Each thread runs the Table I s=2 schedule: 127 ops."""
+        w, n, groups = 32, 4, 1
+        codes = rng.integers(0, 4, (w, n), dtype=np.uint8)
+        g = GlobalMemory()
+        g.from_host("src", codes.astype(np.uint32))
+        g.alloc("H", (n, groups), np.uint32)
+        g.alloc("L", (n, groups), np.uint32)
+        stats = launch_kernel(w2b_kernel, 1, n * groups, g,
+                              "src", "H", "L", n, groups, w)
+        assert stats.instructions == 127 * n * groups
+
+
+class TestB2WKernel:
+    def test_roundtrip_through_kernels(self, rng):
+        from repro.core.bitsliced import slices_from_ints
+
+        w, s = 32, 9
+        P = 2 * w
+        groups = P // w
+        vals = rng.integers(0, 1 << s, P)
+        planes = slices_from_ints(vals, s, w)  # (s, groups)
+        g = GlobalMemory()
+        g.from_host("planes", planes)
+        g.alloc("scores", (P,), word_dtype(w))
+        launch_kernel(b2w_kernel, 1, groups, g,
+                      "planes", "scores", s, groups, w)
+        np.testing.assert_array_equal(g.buffer("scores"), vals)
+
+
+class TestSWKernel:
+    def _run(self, rng, P, m, n, w, scheme=SCHEME, device=None):
+        X = rng.integers(0, 4, (P, m), dtype=np.uint8)
+        Y = rng.integers(0, 4, (P, n), dtype=np.uint8)
+        kwargs = {"word_bits": w}
+        if device is not None:
+            kwargs["device"] = device
+        scores, report = run_gpu_pipeline(X, Y, scheme, **kwargs)
+        gold = sw_batch_max_scores(X, Y, scheme)
+        return scores, gold, report
+
+    @pytest.mark.parametrize("w", [32, 64])
+    def test_pipeline_matches_gold(self, rng, w):
+        scores, gold, _ = self._run(rng, 2 * w + 5, 5, 13, w)
+        np.testing.assert_array_equal(scores, gold)
+
+    def test_multi_block(self, rng):
+        scores, gold, report = self._run(rng, 70, 4, 9, 32)
+        assert report.swa.blocks == 3  # ceil(70/32) lane groups
+        np.testing.assert_array_equal(scores, gold)
+
+    def test_single_row_pattern(self, rng):
+        scores, gold, _ = self._run(rng, 8, 1, 6, 32)
+        np.testing.assert_array_equal(scores, gold)
+
+    def test_single_column_text(self, rng):
+        scores, gold, _ = self._run(rng, 8, 5, 1, 32)
+        np.testing.assert_array_equal(scores, gold)
+
+    def test_barrier_count_two_per_step(self, rng):
+        m, n = 5, 9
+        _, _, report = self._run(rng, 32, m, n, 32)
+        assert report.swa.barriers == 2 * (m + n - 1)
+
+    def test_on_older_device(self, rng):
+        scores, gold, _ = self._run(rng, 16, 4, 7, 32, device=GTX_280)
+        np.testing.assert_array_equal(scores, gold)
+
+    def test_alternative_scheme(self, rng):
+        scheme = ScoringScheme(3, 2, 2)
+        scores, gold, _ = self._run(rng, 40, 6, 10, 32, scheme=scheme)
+        np.testing.assert_array_equal(scores, gold)
+
+    def test_shared_words_formula(self):
+        assert shared_words_needed(128, 9) == 2 * 128 * 9
+
+    def test_report_cell_updates(self, rng):
+        _, _, report = self._run(rng, 10, 4, 9, 32)
+        assert report.cell_updates == 10 * 4 * 9
+
+    def test_h2g_g2h_bytes(self, rng):
+        P, m, n = 32, 4, 9
+        _, _, report = self._run(rng, P, m, n, 32)
+        # Wordwise input: one word per character; scores: one per pair.
+        assert report.h2g_bytes == P * (m + n) * 4
+        assert report.g2h_bytes == P * 4
+
+    def test_shape_validation(self, rng):
+        X = rng.integers(0, 4, (3, 4))
+        Y = rng.integers(0, 4, (4, 6))
+        with pytest.raises(ValueError):
+            run_gpu_pipeline(X, Y, SCHEME)
+
+    @settings(max_examples=8, deadline=None)
+    @given(P=st.integers(1, 40), m=st.integers(1, 6),
+           n=st.integers(1, 10), seed=st.integers(0, 2**31))
+    def test_pipeline_property(self, P, m, n, seed):
+        rng = np.random.default_rng(seed)
+        scores, gold, _ = self._run(rng, P, m, n, 32)
+        np.testing.assert_array_equal(scores, gold)
+
+
+class TestMatchKernel:
+    def test_matches_host_matcher(self, rng):
+        from repro.core.string_matching import bpbc_string_matching
+        from repro.kernels.match_kernel import run_match_kernel
+
+        P, m, n = 70, 4, 18
+        X = rng.integers(0, 4, (P, m), dtype=np.uint8)
+        Y = rng.integers(0, 4, (P, n), dtype=np.uint8)
+        XH, XL = encode_batch_bit_transposed(X, 32)
+        YH, YL = encode_batch_bit_transposed(Y, 32)
+        d_dev, stats = run_match_kernel(XH, XL, YH, YL, 32)
+        d_host = bpbc_string_matching(XH, XL, YH, YL, 32)
+        np.testing.assert_array_equal(d_dev, d_host.T)
+        # Embarrassingly parallel: one launch barrier round, 4 ops per
+        # (i, j) per active thread.
+        assert stats.instructions == d_dev.shape[0] * m * (n - m + 1) * 4
+
+    def test_rejects_pattern_longer_than_text(self, rng):
+        from repro.kernels.match_kernel import run_match_kernel
+
+        X = rng.integers(0, 4, (8, 6), dtype=np.uint8)
+        Y = rng.integers(0, 4, (8, 4), dtype=np.uint8)
+        XH, XL = encode_batch_bit_transposed(X, 8)
+        YH, YL = encode_batch_bit_transposed(Y, 8)
+        with pytest.raises(ValueError):
+            run_match_kernel(XH, XL, YH, YL, 8)
+
+
+class TestShuffleKernel:
+    def _launch(self, rng, P, m, n, w=32):
+        from repro.core.bitops import lane_count
+        from repro.gpusim.memory import GlobalMemory
+        from repro.kernels.sw_kernel import sw_wavefront_kernel_shfl
+
+        X = rng.integers(0, 4, (P, m), dtype=np.uint8)
+        Y = rng.integers(0, 4, (P, n), dtype=np.uint8)
+        XH, XL = encode_batch_bit_transposed(X, w)
+        YH, YL = encode_batch_bit_transposed(Y, w)
+        groups = lane_count(P, w)
+        s = SCHEME.score_bits(m, n)
+        g = GlobalMemory()
+        g.from_host("xh", np.ascontiguousarray(XH.T))
+        g.from_host("xl", np.ascontiguousarray(XL.T))
+        g.from_host("yh", np.ascontiguousarray(YH.T))
+        g.from_host("yl", np.ascontiguousarray(YL.T))
+        g.alloc("out", (groups, s), word_dtype(w))
+        stats = launch_kernel(sw_wavefront_kernel_shfl, groups, m, g,
+                              "xh", "xl", "yh", "yl", "out", m, n, s,
+                              SCHEME, w)
+        from repro.core.bitsliced import ints_from_slices
+
+        planes = np.ascontiguousarray(g.buffer("out").T)
+        scores = ints_from_slices(planes.reshape(s, groups), w,
+                                  count=P).astype(np.int64)
+        return X, Y, scores, stats
+
+    def test_matches_gold(self, rng):
+        X, Y, scores, stats = self._launch(rng, 70, 6, 11)
+        gold = sw_batch_max_scores(X, Y, SCHEME)
+        np.testing.assert_array_equal(scores, gold)
+
+    def test_no_shared_memory_traffic(self, rng):
+        _, _, _, stats = self._launch(rng, 32, 5, 9)
+        assert stats.smem.loads == 0
+        assert stats.smem.stores == 0
+        assert stats.shuffles > 0
+        assert stats.barriers == 0
+
+    def test_rejects_blocks_wider_than_warp(self, rng):
+        from repro.gpusim.errors import GpuSimError
+
+        with pytest.raises(GpuSimError):
+            self._launch(rng, 32, 40, 50)
+
+    def test_matches_shared_memory_kernel(self, rng):
+        X, Y, scores, _ = self._launch(rng, 40, 8, 14)
+        via_pipeline, _ = run_gpu_pipeline(X, Y, SCHEME, word_bits=32)
+        np.testing.assert_array_equal(scores, via_pipeline)

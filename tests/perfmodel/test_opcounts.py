@@ -1,0 +1,95 @@
+"""Tests for repro.perfmodel.opcounts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perfmodel.opcounts import (
+    WorkloadSpec,
+    b2w_ops,
+    g2h_bytes,
+    h2g_bytes,
+    lane_groups,
+    score_bits_paper,
+    swa_bulk_ops,
+    w2b_ops,
+    wordwise_swa_ops,
+)
+
+
+class TestScoreBits:
+    def test_paper_formula_gives_8_for_evaluation(self):
+        # ceil(log2(2 * 128)) = 8 — the width the paper's numbers use.
+        assert score_bits_paper(2, 128) == 8
+
+    def test_non_power_of_two(self):
+        assert score_bits_paper(2, 100) == 8  # 200 -> ceil(log2)=8
+        assert score_bits_paper(3, 100) == 9  # 300 -> 9
+
+    def test_minimum(self):
+        assert score_bits_paper(1, 1) == 1
+
+
+class TestWorkloadSpec:
+    def test_cells(self):
+        spec = WorkloadSpec(pairs=32768, m=128, n=1024)
+        assert spec.cells == 32768 * 128 * 1024
+
+    def test_lane_groups(self):
+        assert lane_groups(32768, 32) == 1024
+        assert lane_groups(32768, 64) == 512
+        assert lane_groups(33, 32) == 2
+
+
+class TestOps:
+    def test_swa_ops_paper_accounting(self):
+        spec = WorkloadSpec(pairs=32, m=4, n=8, word_bits=32)
+        # One lane group, 32 cells, 48*8-18 = 366 ops each at s=8.
+        assert swa_bulk_ops(spec, 8, paper=True) == 32 * 366
+
+    def test_swa_ops_exact_accounting_includes_running_max(self):
+        spec = WorkloadSpec(pairs=32, m=4, n=8, word_bits=32)
+        exact = swa_bulk_ops(spec, 8, paper=False)
+        assert exact == 32 * ((46 * 8 - 16 + 4) + (9 * 8 - 2))
+
+    def test_swa_ops_scale_with_groups(self):
+        a = WorkloadSpec(pairs=64, m=4, n=8, word_bits=32)
+        b = WorkloadSpec(pairs=64, m=4, n=8, word_bits=64)
+        assert swa_bulk_ops(a, 8) == 2 * swa_bulk_ops(b, 8)
+
+    def test_w2b_ops_use_127_per_block(self):
+        spec = WorkloadSpec(pairs=32, m=4, n=8, word_bits=32)
+        assert w2b_ops(spec) == (4 + 8) * 127
+
+    def test_b2w_ops_tiny(self):
+        spec = WorkloadSpec(pairs=32768, m=128, n=65536, word_bits=32)
+        # Independent of n: scores only.
+        assert b2w_ops(spec, 8) == 1024 * 180
+
+    def test_wordwise_ops(self):
+        spec = WorkloadSpec(pairs=10, m=4, n=8)
+        assert wordwise_swa_ops(spec) == 10 * 4 * 8 * 7
+
+    def test_transfer_bytes(self):
+        spec = WorkloadSpec(pairs=100, m=10, n=20)
+        assert h2g_bytes(spec) == 100 * 30
+        assert g2h_bytes(spec) == 400
+
+
+class TestBitwiseAdvantage:
+    def test_per_instance_op_ratio(self):
+        """Per instance, the bitwise cell costs (48s-18)/w ops vs ~7
+        wordwise.  At w=32, s=8 that is 11.4 > 7 — which is exactly why
+        the paper's CPU bitwise-32 is SLOWER than its CPU wordwise
+        (10990 ms vs 6804 ms); only w=64 (5.7 ops/instance) wins on the
+        CPU.  The GPU wins at both widths because its wordwise kernel
+        is memory-bound, not op-bound."""
+        spec32 = WorkloadSpec(pairs=32768, m=128, n=1024, word_bits=32)
+        bit32 = swa_bulk_ops(spec32, 8) / spec32.cells
+        word = wordwise_swa_ops(spec32) / spec32.cells
+        assert bit32 == pytest.approx(366 / 32)
+        assert bit32 > word  # bitwise-32 loses on the CPU
+        spec64 = WorkloadSpec(pairs=32768, m=128, n=1024, word_bits=64)
+        bit64 = swa_bulk_ops(spec64, 8) / spec64.cells
+        assert bit64 == pytest.approx(366 / 64)
+        assert bit64 < word  # bitwise-64 wins — the paper's ~20% saving

@@ -1,0 +1,172 @@
+"""Tests for the affine-gap (Gotoh) extension: wordwise substrate and
+the bit-sliced BPBC engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.affine_bpbc import bpbc_gotoh_wavefront, gotoh_cell_ops_exact
+from repro.core.bitops import BitOpsError, OpCounter
+from repro.core.encoding import encode, encode_batch_bit_transposed
+from repro.swa.affine import (
+    AffineScheme,
+    gotoh_batch_max_scores,
+    gotoh_matrix,
+    gotoh_max_score,
+)
+from repro.swa.scoring import ScoringScheme
+from repro.swa.sequential import sw_matrix
+
+SCHEME = AffineScheme(match_score=2, mismatch_penalty=1, gap_open=3,
+                      gap_extend=1)
+
+
+def _gold(X, Y, scheme=SCHEME):
+    return np.array([gotoh_max_score(x, y, scheme)
+                     for x, y in zip(X, Y)])
+
+
+class TestAffineScheme:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AffineScheme(match_score=0)
+        with pytest.raises(ValueError):
+            AffineScheme(gap_open=-1)
+        with pytest.raises(ValueError):
+            AffineScheme(gap_open=1, gap_extend=2)  # extend > open
+
+    def test_score_bits(self):
+        assert AffineScheme(2, 1, 3, 1).score_bits(128) == 9
+
+
+class TestGotohGold:
+    def test_linear_degeneration(self, rng):
+        """open == extend reduces Gotoh to the paper's linear SW."""
+        lin_affine = AffineScheme(2, 1, 1, 1)
+        lin = ScoringScheme(2, 1, 1)
+        for _ in range(5):
+            m, n = rng.integers(1, 10, 2)
+            x = rng.integers(0, 4, m)
+            y = rng.integers(0, 4, n)
+            np.testing.assert_array_equal(
+                gotoh_matrix(x, y, lin_affine), sw_matrix(x, y, lin)
+            )
+
+    def test_affine_prefers_one_long_gap(self):
+        """x = ACGTACGT vs y = ACGT....ACGT (one 4-gap):
+        affine pays open + 3*extend once; linear pays 4 gaps."""
+        x = "ACGTAAAAACGT"
+        y = "ACGTACGT"
+        affine = gotoh_max_score(encode(x), encode(y),
+                                 AffineScheme(2, 1, 3, 1))
+        # 8 matches (+16), one gap of 4 (-3 -1*3 = -6) -> 10.
+        assert affine == 10
+
+    def test_gap_open_antitone(self, rng):
+        x = rng.integers(0, 4, 10)
+        y = rng.integers(0, 4, 20)
+        soft = gotoh_max_score(x, y, AffineScheme(2, 1, 1, 1))
+        hard = gotoh_max_score(x, y, AffineScheme(2, 1, 5, 1))
+        assert soft >= hard
+
+    def test_all_nonnegative(self, rng):
+        x = rng.integers(0, 4, 8)
+        y = rng.integers(0, 4, 12)
+        assert (gotoh_matrix(x, y, SCHEME) >= 0).all()
+
+    def test_perfect_match(self):
+        x = encode("ACGTAC")
+        assert gotoh_max_score(x, x, SCHEME) == 12
+
+
+class TestGotohBatch:
+    def test_matches_gold(self, rng):
+        P = 40
+        X = rng.integers(0, 4, (P, 6), dtype=np.uint8)
+        Y = rng.integers(0, 4, (P, 13), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            gotoh_batch_max_scores(X, Y, SCHEME), _gold(X, Y)
+        )
+
+    @pytest.mark.parametrize("m,n", [(1, 1), (1, 7), (7, 1), (5, 5)])
+    def test_shapes(self, rng, m, n):
+        X = rng.integers(0, 4, (6, m), dtype=np.uint8)
+        Y = rng.integers(0, 4, (6, n), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            gotoh_batch_max_scores(X, Y, SCHEME), _gold(X, Y)
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            gotoh_batch_max_scores(np.zeros((2, 3)), np.zeros((3, 4)),
+                                   SCHEME)
+
+
+class TestBPBCGotoh:
+    @pytest.mark.parametrize("w", [8, 32, 64])
+    def test_matches_gold(self, rng, w):
+        P = w + 7
+        X = rng.integers(0, 4, (P, 6), dtype=np.uint8)
+        Y = rng.integers(0, 4, (P, 14), dtype=np.uint8)
+        XH, XL = encode_batch_bit_transposed(X, w)
+        YH, YL = encode_batch_bit_transposed(Y, w)
+        r = bpbc_gotoh_wavefront(XH, XL, YH, YL, SCHEME, w)
+        np.testing.assert_array_equal(r.max_scores[:P], _gold(X, Y))
+
+    def test_linear_degeneration_matches_sw_engine(self, rng):
+        from repro.core.sw_bpbc import bpbc_sw_wavefront
+
+        X = rng.integers(0, 4, (40, 5), dtype=np.uint8)
+        Y = rng.integers(0, 4, (40, 11), dtype=np.uint8)
+        XH, XL = encode_batch_bit_transposed(X, 32)
+        YH, YL = encode_batch_bit_transposed(Y, 32)
+        aff = bpbc_gotoh_wavefront(XH, XL, YH, YL,
+                                   AffineScheme(2, 1, 1, 1), 32)
+        lin = bpbc_sw_wavefront(XH, XL, YH, YL,
+                                ScoringScheme(2, 1, 1), 32)
+        np.testing.assert_array_equal(aff.max_scores, lin.max_scores)
+
+    def test_op_count_formula(self, rng):
+        m, n = 3, 4
+        X = rng.integers(0, 4, (32, m), dtype=np.uint8)
+        Y = rng.integers(0, 4, (32, n), dtype=np.uint8)
+        XH, XL = encode_batch_bit_transposed(X, 32)
+        YH, YL = encode_batch_bit_transposed(Y, 32)
+        c = OpCounter()
+        r = bpbc_gotoh_wavefront(XH, XL, YH, YL, SCHEME, 32, counter=c)
+        s = r.s
+        per_step = gotoh_cell_ops_exact(s, 2) + max_b_ops_local(s)
+        # One circuit evaluation per diagonal + running max + final
+        # row-tree reduction (ceil(log2 m) = 2 rounds for m=3).
+        expected = (m + n - 1) * per_step + 2 * max_b_ops_local(s)
+        assert c.ops == expected
+
+    def test_empty_rejected(self):
+        empty = np.zeros((0, 1), dtype=np.uint32)
+        with pytest.raises(BitOpsError):
+            bpbc_gotoh_wavefront(empty, empty, empty, empty, SCHEME, 32)
+
+    @settings(max_examples=10, deadline=None)
+    @given(m=st.integers(1, 7), n=st.integers(1, 10),
+           P=st.integers(1, 40), seed=st.integers(0, 2**31),
+           go=st.integers(0, 4), ge_delta=st.integers(0, 4))
+    def test_bpbc_gotoh_property(self, m, n, P, seed, go, ge_delta):
+        rng = np.random.default_rng(seed)
+        ge = max(0, go - ge_delta)
+        scheme = AffineScheme(2, 1, go, ge)
+        X = rng.integers(0, 4, (P, m), dtype=np.uint8)
+        Y = rng.integers(0, 4, (P, n), dtype=np.uint8)
+        XH, XL = encode_batch_bit_transposed(X, 64)
+        YH, YL = encode_batch_bit_transposed(Y, 64)
+        r = bpbc_gotoh_wavefront(XH, XL, YH, YL, scheme, 64)
+        np.testing.assert_array_equal(r.max_scores[:P],
+                                      _gold(X, Y, scheme))
+
+
+def max_b_ops_local(s: int) -> int:
+    from repro.core.circuits import max_b_ops
+
+    return max_b_ops(s)

@@ -1,0 +1,92 @@
+"""Tests for repro.swa.parallel: wavefront schedule and engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.swa.parallel import (
+    diagonal_cells,
+    sw_matrix_wavefront,
+    wavefront_schedule,
+)
+from repro.swa.scoring import ScoringScheme
+from repro.swa.sequential import sw_matrix
+
+SCHEME = ScoringScheme(2, 1, 1)
+
+
+class TestSchedule:
+    def test_table3_values(self):
+        """Table III prints t = i + j + 1 (1-based) for a 5 x 7 DP."""
+        sched = wavefront_schedule(5, 7)
+        printed = sched + 1
+        assert printed[0, 0] == 1
+        assert printed[4, 6] == 11
+        np.testing.assert_array_equal(printed[0], np.arange(1, 8))
+        np.testing.assert_array_equal(printed[:, 0], np.arange(1, 6))
+
+    def test_dependencies_precede(self):
+        sched = wavefront_schedule(6, 9)
+        for i in range(6):
+            for j in range(9):
+                if i > 0:
+                    assert sched[i - 1, j] < sched[i, j]
+                if j > 0:
+                    assert sched[i, j - 1] < sched[i, j]
+                if i > 0 and j > 0:
+                    assert sched[i - 1, j - 1] < sched[i, j]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            wavefront_schedule(0, 5)
+
+    def test_diagonal_cells_partition(self):
+        m, n = 4, 6
+        seen = set()
+        for t in range(m + n - 1):
+            for cell in diagonal_cells(m, n, t):
+                assert cell not in seen
+                seen.add(cell)
+        assert len(seen) == m * n
+
+    def test_diagonal_cells_on_schedule(self):
+        sched = wavefront_schedule(4, 6)
+        for t in range(9):
+            for i, j in diagonal_cells(4, 6, t):
+                assert sched[i, j] == t
+
+
+class TestWavefrontEngine:
+    @pytest.mark.parametrize("m,n", [(1, 1), (1, 7), (7, 1), (5, 7),
+                                     (7, 5), (8, 8)])
+    def test_equals_sequential(self, rng, m, n):
+        x = rng.integers(0, 4, m)
+        y = rng.integers(0, 4, n)
+        np.testing.assert_array_equal(
+            sw_matrix_wavefront(x, y, SCHEME), sw_matrix(x, y, SCHEME)
+        )
+
+    def test_string_input(self):
+        np.testing.assert_array_equal(
+            sw_matrix_wavefront("TACTG", "GAACTGA", SCHEME),
+            sw_matrix("TACTG", "GAACTGA", SCHEME),
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(m=st.integers(1, 10), n=st.integers(1, 14),
+           seed=st.integers(0, 2**31),
+           c1=st.integers(1, 4), c2=st.integers(0, 3),
+           gap=st.integers(0, 3))
+    def test_equals_sequential_property(self, m, n, seed, c1, c2, gap):
+        """Obliviousness in action: the wavefront execution order never
+        changes the DP result, for any scoring scheme."""
+        rng = np.random.default_rng(seed)
+        scheme = ScoringScheme(c1, c2, gap)
+        x = rng.integers(0, 4, m)
+        y = rng.integers(0, 4, n)
+        np.testing.assert_array_equal(
+            sw_matrix_wavefront(x, y, scheme), sw_matrix(x, y, scheme)
+        )

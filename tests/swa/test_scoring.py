@@ -1,0 +1,69 @@
+"""Tests for repro.swa.scoring."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.swa.scoring import DEFAULT_SCHEME, ScoringScheme
+
+
+class TestValidation:
+    def test_defaults_are_paper_example(self):
+        assert DEFAULT_SCHEME.match_score == 2
+        assert DEFAULT_SCHEME.mismatch_penalty == 1
+        assert DEFAULT_SCHEME.gap_penalty == 1
+
+    @pytest.mark.parametrize("c1", [0, -1])
+    def test_match_score_must_be_positive(self, c1):
+        with pytest.raises(ValueError):
+            ScoringScheme(match_score=c1)
+
+    def test_negative_penalties_rejected(self):
+        with pytest.raises(ValueError):
+            ScoringScheme(mismatch_penalty=-1)
+        with pytest.raises(ValueError):
+            ScoringScheme(gap_penalty=-2)
+
+    def test_zero_penalties_allowed(self):
+        s = ScoringScheme(2, 0, 0)
+        assert s.w("A", "C") == 0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_SCHEME.match_score = 5  # type: ignore[misc]
+
+
+class TestW:
+    def test_match(self):
+        assert DEFAULT_SCHEME.w("A", "A") == 2
+
+    def test_mismatch(self):
+        assert DEFAULT_SCHEME.w("A", "G") == -1
+
+    def test_code_inputs(self):
+        assert DEFAULT_SCHEME.w(3, 3) == 2
+        assert DEFAULT_SCHEME.w(3, 0) == -1
+
+
+class TestBounds:
+    def test_max_score(self):
+        assert DEFAULT_SCHEME.max_score(128) == 256
+        assert DEFAULT_SCHEME.max_score(128, 50) == 100
+
+    def test_score_bits_exact(self):
+        # c1*m = 256 needs 9 bits — one more than the paper's
+        # ceil(log2(c1*m)) = 8 formula claims.
+        assert DEFAULT_SCHEME.score_bits(128) == 9
+        assert DEFAULT_SCHEME.score_bits(127) == 8
+
+    def test_score_bits_minimum_one(self):
+        assert ScoringScheme(1, 0, 0).score_bits(1) == 1
+
+    @given(st.integers(1, 10), st.integers(1, 1000))
+    def test_score_bits_hold_max(self, c1, m):
+        s = ScoringScheme(c1, 1, 1)
+        bits = s.score_bits(m)
+        assert s.max_score(m) < (1 << bits)
+        assert s.max_score(m) >= (1 << (bits - 1))

@@ -1,0 +1,81 @@
+"""Tests for repro.swa.sequential against hand-checked values."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.paper_data import (PAPER_TABLE2_MATRIX, TABLE2_X,
+                                        TABLE2_Y)
+from repro.swa.scoring import ScoringScheme
+from repro.swa.sequential import sw_matrix, sw_matrix_strings, sw_max_score
+
+SCHEME = ScoringScheme(2, 1, 1)
+
+
+class TestTable2:
+    def test_paper_matrix_reproduced(self):
+        d = sw_matrix(TABLE2_X, TABLE2_Y, SCHEME)
+        np.testing.assert_array_equal(d, np.array(PAPER_TABLE2_MATRIX))
+
+    def test_max_is_eight(self):
+        assert sw_max_score(TABLE2_X, TABLE2_Y, SCHEME) == 8
+
+    def test_argmax_position(self):
+        # The highest score sits at (G, G): row 5, column 6.
+        d = sw_matrix(TABLE2_X, TABLE2_Y, SCHEME)
+        assert d[5, 6] == 8
+
+
+class TestBasicProperties:
+    def test_boundary_rows_zero(self):
+        d = sw_matrix("ACGT", "TTTT", SCHEME)
+        assert (d[0, :] == 0).all()
+        assert (d[:, 0] == 0).all()
+
+    def test_all_nonnegative(self, rng):
+        from repro.workloads.dna import random_strand
+
+        x = random_strand(rng, 12)
+        y = random_strand(rng, 20)
+        assert (sw_matrix(x, y, SCHEME) >= 0).all()
+
+    def test_identical_strings(self):
+        d = sw_matrix("ACGT", "ACGT", SCHEME)
+        assert d[4, 4] == 8  # full match: 4 * c1
+        assert d.max() == 8
+
+    def test_disjoint_alphabet_like_strings(self):
+        assert sw_max_score("AAAA", "TTTT", SCHEME) == 0
+
+    def test_single_char(self):
+        assert sw_max_score("A", "A", SCHEME) == 2
+        assert sw_max_score("A", "T", SCHEME) == 0
+
+    def test_substring_score(self):
+        # y contains x: perfect local match of length m.
+        assert sw_max_score("CGT", "AACGTAA", SCHEME) == 6
+
+    def test_symmetry(self, rng):
+        from repro.workloads.dna import random_strand
+
+        x = random_strand(rng, 8)
+        y = random_strand(rng, 8)
+        assert sw_max_score(x, y, SCHEME) == sw_max_score(y, x, SCHEME)
+
+    def test_string_wrapper_default_scheme(self):
+        d = sw_matrix_strings(TABLE2_X, TABLE2_Y)
+        assert d.max() == 8
+
+    def test_code_and_string_inputs_agree(self):
+        from repro.core.encoding import encode
+
+        d1 = sw_matrix("TACTG", "GAACTGA", SCHEME)
+        d2 = sw_matrix(encode("TACTG"), encode("GAACTGA"), SCHEME)
+        np.testing.assert_array_equal(d1, d2)
+
+    def test_gap_alignment_hand_example(self):
+        # x=ACGT vs y=ACT: best local alignment AC-GT? ACT with gap:
+        # A C G T
+        # A C - T  -> 3 matches (+6), one gap (-1) = 5.
+        assert sw_max_score("ACGT", "ACT", SCHEME) == 5

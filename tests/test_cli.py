@@ -1,0 +1,123 @@
+"""Tests for the repro command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.encoding import decode
+from repro.swa.scoring import ScoringScheme
+from repro.swa.sequential import sw_max_score
+from repro.workloads.dna import plant_homology, MutationModel, random_strand
+from repro.workloads.fasta import FastaRecord, write_fasta
+
+
+@pytest.fixture
+def fasta_pair(tmp_path):
+    rng = np.random.default_rng(3)
+    queries, subjects = [], []
+    for i in range(3):
+        q = random_strand(rng, 16)
+        if i < 2:  # plant the query into its subject
+            t, _ = plant_homology(rng, q, 64, MutationModel(0, 0, 0))
+        else:
+            t = random_strand(rng, 64)
+        queries.append(FastaRecord(f"q{i}", "", decode(q)))
+        subjects.append(FastaRecord(f"s{i}", "", decode(t)))
+    qp = tmp_path / "q.fa"
+    sp = tmp_path / "s.fa"
+    write_fasta(qp, queries)
+    write_fasta(sp, subjects)
+    return qp, sp, queries, subjects
+
+
+class TestScore:
+    def test_pairwise_scores(self, fasta_pair, capsys):
+        qp, sp, queries, subjects = fasta_pair
+        assert main(["score", str(qp), str(sp)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "query\tsubject\tscore"
+        assert len(lines) == 4
+        scheme = ScoringScheme(2, 1, 1)
+        for line, q, s in zip(lines[1:], queries, subjects):
+            qid, sid, score = line.split("\t")
+            assert (qid, sid) == (q.id, s.id)
+            assert int(score) == sw_max_score(q.codes, s.codes, scheme)
+
+    def test_planted_pairs_score_full(self, fasta_pair, capsys):
+        qp, sp, *_ = fasta_pair
+        main(["score", str(qp), str(sp)])
+        lines = capsys.readouterr().out.strip().splitlines()[1:]
+        scores = [int(l.split("\t")[2]) for l in lines]
+        assert scores[0] == 32 and scores[1] == 32  # 16 * c1
+        assert scores[2] < 32
+
+    def test_all_vs_all(self, fasta_pair, capsys):
+        qp, sp, *_ = fasta_pair
+        main(["score", str(qp), str(sp), "--all-vs-all"])
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 1 + 9
+
+    def test_mismatched_counts_error(self, fasta_pair, tmp_path):
+        qp, sp, queries, _ = fasta_pair
+        short = tmp_path / "one.fa"
+        write_fasta(short, queries[:1])
+        with pytest.raises(SystemExit):
+            main(["score", str(qp), str(short)])
+
+    def test_custom_scoring(self, fasta_pair, capsys):
+        qp, sp, queries, subjects = fasta_pair
+        main(["score", str(qp), str(sp), "--match", "3",
+              "--mismatch", "2", "--gap", "2"])
+        lines = capsys.readouterr().out.strip().splitlines()[1:]
+        scheme = ScoringScheme(3, 2, 2)
+        for line, q, s in zip(lines, queries, subjects):
+            assert int(line.split("\t")[2]) == \
+                sw_max_score(q.codes, s.codes, scheme)
+
+
+class TestScreen:
+    def test_reports_survivors(self, fasta_pair, capsys):
+        qp, sp, *_ = fasta_pair
+        assert main(["screen", str(qp), str(sp), "-t", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "2 of 3 pairs exceed tau=25" in out
+        assert "q0 vs s0" in out
+        assert "score=32" in out
+
+    def test_no_survivors(self, fasta_pair, capsys):
+        qp, sp, *_ = fasta_pair
+        main(["screen", str(qp), str(sp), "-t", "32"])
+        assert "0 of 3" in capsys.readouterr().out
+
+
+class TestMatch:
+    def test_exact_offsets(self, fasta_pair, capsys):
+        qp, sp, queries, subjects = fasta_pair
+        assert main(["match", str(qp), str(sp)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()[1:]
+        # Planted pairs report the plant offset; the random one none.
+        off0 = lines[0].split("\t")[3]
+        assert off0 != "-"
+        j = int(off0.split(",")[0])
+        assert subjects[0].sequence[j:j + 16] == queries[0].sequence
+        assert lines[2].split("\t")[3] == "-"
+
+    def test_k_relaxation_monotone(self, fasta_pair, capsys):
+        qp, sp, *_ = fasta_pair
+        main(["match", str(qp), str(sp), "-k", "16"])
+        lines = capsys.readouterr().out.strip().splitlines()[1:]
+        for line in lines:
+            offs = line.split("\t")[3]
+            assert offs.count(",") == 64 - 16  # every offset hits
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiments_registered(self):
+        args = build_parser().parse_args(["experiments", "table1"])
+        assert args.names == ["table1"]

@@ -1,0 +1,140 @@
+"""Tests for repro.workloads: generators, mutation channel, datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.swa.scoring import ScoringScheme
+from repro.swa.sequential import sw_max_score
+from repro.workloads.datasets import paper_workload, sweep_workloads
+from repro.workloads.dna import (
+    MutationModel,
+    homologous_pairs,
+    mutate,
+    plant_homology,
+    random_strand,
+    random_strands,
+)
+
+
+class TestRandomStrands:
+    def test_shape_and_range(self, rng):
+        s = random_strands(rng, 10, 50)
+        assert s.shape == (10, 50)
+        assert s.min() >= 0 and s.max() <= 3
+
+    def test_reproducible(self):
+        a = random_strands(np.random.default_rng(7), 4, 9)
+        b = random_strands(np.random.default_rng(7), 4, 9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_roughly_uniform(self, rng):
+        s = random_strands(rng, 100, 100)
+        counts = np.bincount(s.reshape(-1), minlength=4)
+        assert counts.min() > 0.2 * s.size / 4
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            random_strands(rng, 0, 5)
+        with pytest.raises(ValueError):
+            random_strand(rng, 0)
+
+
+class TestMutationModel:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            MutationModel(sub_rate=1.5)
+        with pytest.raises(ValueError):
+            MutationModel(del_rate=-0.1)
+
+    def test_zero_rates_identity(self, rng):
+        strand = random_strand(rng, 30)
+        out = mutate(rng, strand, MutationModel(0, 0, 0))
+        np.testing.assert_array_equal(out, strand)
+
+    def test_substitutions_change_bases(self, rng):
+        strand = random_strand(rng, 200)
+        out = mutate(rng, strand, MutationModel(sub_rate=1.0))
+        assert len(out) == len(strand)
+        assert (out != strand).all()  # substitution is always different
+        assert out.max() <= 3
+
+    def test_deletions_shrink(self, rng):
+        strand = random_strand(rng, 200)
+        out = mutate(rng, strand, MutationModel(0, 0.5, 0))
+        assert len(out) < 200
+
+    def test_insertions_grow(self, rng):
+        strand = random_strand(rng, 200)
+        out = mutate(rng, strand, MutationModel(0, 0, 0.5))
+        assert len(out) > 200
+
+
+class TestPlantHomology:
+    def test_planted_copy_scores_high(self, rng):
+        scheme = ScoringScheme(2, 1, 1)
+        pattern = random_strand(rng, 32)
+        text, pos = plant_homology(rng, pattern, 200,
+                                   MutationModel(sub_rate=0.03))
+        planted = sw_max_score(pattern, text, scheme)
+        background = sw_max_score(pattern, random_strand(rng, 200),
+                                  scheme)
+        assert planted > background
+
+    def test_insert_position_in_range(self, rng):
+        pattern = random_strand(rng, 16)
+        for _ in range(5):
+            text, pos = plant_homology(rng, pattern, 64,
+                                       MutationModel(0, 0, 0))
+            assert 0 <= pos <= 64 - 16
+            np.testing.assert_array_equal(text[pos:pos + 16], pattern)
+
+    def test_fragment_validation(self, rng):
+        with pytest.raises(ValueError):
+            plant_homology(rng, random_strand(rng, 8), 32,
+                           MutationModel(), fragment=0.0)
+
+    def test_fragment_copies_part(self, rng):
+        pattern = random_strand(rng, 40)
+        text, _ = plant_homology(rng, pattern, 100, MutationModel(0, 0, 0),
+                                 fragment=0.5)
+        scheme = ScoringScheme(2, 1, 1)
+        assert sw_max_score(pattern, text, scheme) >= 2 * 20
+
+
+class TestHomologousPairs:
+    def test_labels_separate_scores(self, rng):
+        scheme = ScoringScheme(2, 1, 1)
+        X, Y, labels = homologous_pairs(rng, 40, 24, 128,
+                                        related_fraction=0.5)
+        assert labels.any() and not labels.all()
+        rel = [sw_max_score(X[p], Y[p], scheme)
+               for p in np.flatnonzero(labels)]
+        unrel = [sw_max_score(X[p], Y[p], scheme)
+                 for p in np.flatnonzero(~labels)]
+        assert np.mean(rel) > np.mean(unrel)
+
+    def test_fraction_validation(self, rng):
+        with pytest.raises(ValueError):
+            homologous_pairs(rng, 4, 8, 16, related_fraction=1.5)
+
+
+class TestDatasets:
+    def test_paper_workload_shape(self):
+        b = paper_workload(256, pairs=100, m=16, seed=3)
+        assert b.X.shape == (100, 16)
+        assert b.Y.shape == (100, 256)
+        assert b.pairs == 100 and b.m == 16 and b.n == 256
+        assert b.cells == 100 * 16 * 256
+
+    def test_paper_workload_reproducible(self):
+        a = paper_workload(64, pairs=10, m=8, seed=1)
+        b = paper_workload(64, pairs=10, m=8, seed=1)
+        np.testing.assert_array_equal(a.X, b.X)
+        np.testing.assert_array_equal(a.Y, b.Y)
+
+    def test_sweep(self):
+        ws = sweep_workloads((32, 64), pairs=8, m=4)
+        assert set(ws) == {32, 64}
+        assert ws[64].n == 64
