@@ -1,0 +1,113 @@
+"""Serving throughput: micro-batching vs one-request-per-engine-call.
+
+The acceptance claim of the serving subsystem, measured: with
+randomly-arriving length-100 DNA pairs at 64-bit words, the
+micro-batcher must deliver **>= 4x the requests/sec** of a naive
+client that makes one engine call per request, while keeping **mean
+lane occupancy >= 50%**.
+
+The naive baseline is exactly what `cli.py score` did for a single
+pair before this subsystem existed: encode a ``(1, m)`` batch and run
+the BPBC wavefront engine with 63 of 64 lanes idle.  Its rate is
+measured over a subsample (each call costs the same regardless of how
+many we make — the engine's work scales with diagonals, not occupied
+lanes) to keep the benchmark's wall clock sane; the served rate is
+measured over the full stream, submission to last-future-resolved.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.filter.screening import bulk_max_scores
+from repro.serve import AlignmentService
+from repro.workloads.traffic import request_stream
+
+from .conftest import SCHEME
+
+#: Pair length of the acceptance workload.
+SERVE_M = 100
+
+#: Requests replayed through the service.
+SERVE_REQUESTS = 256
+
+#: Requests timed one-per-engine-call (rate extrapolates; see module
+#: docstring).
+NAIVE_REQUESTS = 16
+
+WORD_BITS = 64
+
+
+@pytest.fixture(scope="module")
+def serve_stream():
+    rng = np.random.default_rng(7)
+    return list(request_stream(rng, SERVE_REQUESTS,
+                               rate_per_s=50_000.0, m=SERVE_M))
+
+
+def test_micro_batching_beats_naive_by_4x(serve_stream):
+    # -- naive: one engine call per request --------------------------
+    t0 = time.perf_counter()
+    naive_scores = [
+        int(bulk_max_scores(req.query[None, :], req.subject[None, :],
+                            SCHEME, word_bits=WORD_BITS)[0])
+        for req in serve_stream[:NAIVE_REQUESTS]
+    ]
+    naive_rate = NAIVE_REQUESTS / (time.perf_counter() - t0)
+
+    # -- served: same pairs arriving as traffic ----------------------
+    service = AlignmentService(engine="bpbc", workers=2,
+                               word_bits=WORD_BITS, max_queue=4096,
+                               max_wait_ms=5.0, cache_size=0)
+    with service:
+        t0 = time.perf_counter()
+        start = t0
+        futures = []
+        for req in serve_stream:
+            # Replay the Poisson arrival process in real time.
+            delay = req.at_s - (time.perf_counter() - start)
+            if delay > 0:
+                time.sleep(delay)
+            futures.append(service.submit(req.query, req.subject))
+        results = [f.result(timeout=300) for f in futures]
+        served_rate = SERVE_REQUESTS / (time.perf_counter() - t0)
+    occupancy = service.stats.mean_lane_occupancy
+
+    # Same engine, same pairs: scores must agree bit for bit.
+    assert [r.score for r in results[:NAIVE_REQUESTS]] == naive_scores
+
+    speedup = served_rate / naive_rate
+    print(f"\nnaive:  {naive_rate:8.1f} req/s  "
+          f"(1 pair / engine call)")
+    print(f"served: {served_rate:8.1f} req/s  "
+          f"({service.stats.batches} batches, "
+          f"occupancy {occupancy:.1%}) -> {speedup:.1f}x")
+    assert speedup >= 4.0, (
+        f"micro-batching speedup {speedup:.2f}x below the 4x bar "
+        f"({served_rate:.0f} vs {naive_rate:.0f} req/s)"
+    )
+    assert occupancy >= 0.5, (
+        f"mean lane occupancy {occupancy:.1%} below 50%"
+    )
+
+
+@pytest.mark.benchmark(group="serve")
+def test_bench_served_throughput(benchmark):
+    """pytest-benchmark view of one 64-request burst through the
+    service (submission to last future resolved)."""
+    rng = np.random.default_rng(11)
+    reqs = list(request_stream(rng, 64, rate_per_s=np.inf, m=SERVE_M))
+    service = AlignmentService(engine="bpbc", workers=2,
+                               word_bits=WORD_BITS, max_queue=4096,
+                               max_wait_ms=5.0, cache_size=0)
+
+    def burst():
+        futures = [service.submit(r.query, r.subject) for r in reqs]
+        return [f.result(timeout=300) for f in futures]
+
+    with service:
+        results = benchmark(burst)
+    assert len(results) == 64

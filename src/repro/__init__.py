@@ -36,6 +36,10 @@ Sub-packages
     regenerating Tables IV and V.
 ``repro.workloads`` / ``repro.filter``
     Synthetic DNA generators and the threshold screening application.
+``repro.serve``
+    Asynchronous micro-batching alignment service: bounded request
+    queue, length-binned lane packer, engine worker pool, result
+    cache, and a line-JSON TCP server/client pair.
 ``repro.experiments``
     ``python -m repro.experiments`` regenerates every table and
     figure of the paper.
@@ -49,6 +53,8 @@ from .core.sw_bpbc import (BPBCResult, bpbc_sw_sequential,
 from .filter.screening import (ScreenHit, ScreenResult, bulk_max_scores,
                                screen_pairs)
 from .kernels.pipeline import PipelineReport, run_gpu_pipeline
+from .serve.queue import AlignmentResult
+from .serve.service import AlignmentService
 from .swa.scoring import DEFAULT_SCHEME, ScoringScheme
 from .swa.sequential import sw_matrix, sw_max_score
 from .swa.traceback import Alignment, align, format_alignment
@@ -79,4 +85,6 @@ __all__ = [
     "match_offsets",
     "run_gpu_pipeline",
     "PipelineReport",
+    "AlignmentService",
+    "AlignmentResult",
 ]

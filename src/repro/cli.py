@@ -12,10 +12,16 @@ Commands
     Exact or k-mismatch bulk string matching (§II and its extension).
 ``experiments``
     Regenerate the paper's tables and figures.
+``serve``
+    Run the micro-batching alignment server (newline-JSON over TCP;
+    pair it with ``python -m repro.serve.client``).
 
 Queries and subjects are matched up pairwise (record i against record
 i); use ``--all-vs-all`` in ``score``/``screen`` to cross every query
-with every subject instead.
+with every subject instead.  All-vs-all never materialises the cross
+product: pair indices are generated lazily and scored in
+``--chunk-size`` slices, so a 1k x 1k screen streams through bounded
+memory.
 """
 
 from __future__ import annotations
@@ -52,46 +58,100 @@ def _add_scoring_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--word-bits", type=int, default=64,
                    choices=(8, 16, 32, 64),
                    help="lane word width (default 64)")
+    p.add_argument("--chunk-size", type=int, default=4096,
+                   help="pairs scored per engine slice (bounds peak "
+                        "memory; default 4096)")
 
 
-def _load_pairs(args) -> tuple[list, list, np.ndarray, np.ndarray]:
+def _load_sides(args) -> tuple[list, list]:
+    """Read both FASTA files, validating counts for pairwise mode."""
     queries = read_fasta(args.queries)
     subjects = read_fasta(args.subjects)
-    if getattr(args, "all_vs_all", False):
-        q = [r for r in queries for _ in subjects]
-        s = [r for _ in queries for r in subjects]
-    else:
-        if len(queries) != len(subjects):
-            raise SystemExit(
-                f"error: {len(queries)} queries vs {len(subjects)} "
-                f"subjects; pairwise mode needs equal counts "
-                f"(or pass --all-vs-all)"
-            )
-        q, s = queries, subjects
-    return q, s, records_to_batch(q), records_to_batch(s)
+    if not getattr(args, "all_vs_all", False) and \
+            len(queries) != len(subjects):
+        raise SystemExit(
+            f"error: {len(queries)} queries vs {len(subjects)} "
+            f"subjects; pairwise mode needs equal counts "
+            f"(or pass --all-vs-all)"
+        )
+    return queries, subjects
+
+
+def _iter_pair_chunks(n_queries: int, n_subjects: int, chunk_size: int):
+    """Lazily yield ``(query_idx, subject_idx)`` arrays covering the
+    |Q| x |S| cross product in row-major chunks of ``chunk_size``
+    pairs — no million-element Python lists, ever."""
+    if chunk_size <= 0:
+        raise SystemExit(
+            f"error: --chunk-size must be positive, got {chunk_size}"
+        )
+    total = n_queries * n_subjects
+    for start in range(0, total, chunk_size):
+        flat = np.arange(start, min(start + chunk_size, total),
+                         dtype=np.int64)
+        yield flat // n_subjects, flat % n_subjects
 
 
 def _cmd_score(args) -> int:
     from .filter.screening import bulk_max_scores
 
-    q, s, X, Y = _load_pairs(args)
-    scores = bulk_max_scores(X, Y, _scheme_from_args(args),
-                             word_bits=args.word_bits)
+    queries, subjects = _load_sides(args)
+    scheme = _scheme_from_args(args)
     out = sys.stdout
     out.write("query\tsubject\tscore\n")
-    for qr, sr, sc in zip(q, s, scores):
-        out.write(f"{qr.id}\t{sr.id}\t{int(sc)}\n")
+    if args.all_vs_all:
+        Q = records_to_batch(queries)
+        S = records_to_batch(subjects)
+        for qi, si in _iter_pair_chunks(len(queries), len(subjects),
+                                        args.chunk_size):
+            scores = bulk_max_scores(Q[qi], S[si], scheme,
+                                     word_bits=args.word_bits)
+            for a, b, sc in zip(qi, si, scores):
+                out.write(f"{queries[a].id}\t{subjects[b].id}\t"
+                          f"{int(sc)}\n")
+    else:
+        scores = bulk_max_scores(records_to_batch(queries),
+                                 records_to_batch(subjects), scheme,
+                                 word_bits=args.word_bits,
+                                 chunk_size=args.chunk_size)
+        for qr, sr, sc in zip(queries, subjects, scores):
+            out.write(f"{qr.id}\t{sr.id}\t{int(sc)}\n")
     return 0
 
 
 def _cmd_screen(args) -> int:
-    q, s, X, Y = _load_pairs(args)
-    result = screen_pairs(X, Y, args.threshold, _scheme_from_args(args),
-                          word_bits=args.word_bits)
-    print(f"{len(result.hits)} of {len(q)} pairs exceed "
-          f"tau={args.threshold} ({result.pass_rate:.1%})")
-    for hit in sorted(result.hits, key=lambda h: -h.score):
-        print(f"\n{q[hit.pair_index].id} vs {s[hit.pair_index].id}")
+    queries, subjects = _load_sides(args)
+    scheme = _scheme_from_args(args)
+    if args.all_vs_all:
+        n_subjects = len(subjects)
+        Q = records_to_batch(queries)
+        S = records_to_batch(subjects)
+        total = len(queries) * n_subjects
+        hits = []  # (global pair index, ScreenHit)
+        for qi, si in _iter_pair_chunks(len(queries), n_subjects,
+                                        args.chunk_size):
+            result = screen_pairs(Q[qi], S[si], args.threshold, scheme,
+                                  word_bits=args.word_bits)
+            base = int(qi[0]) * n_subjects + int(si[0])
+            hits.extend((base + h.pair_index, h) for h in result.hits)
+    else:
+        result = screen_pairs(records_to_batch(queries),
+                              records_to_batch(subjects),
+                              args.threshold, scheme,
+                              word_bits=args.word_bits,
+                              chunk_size=args.chunk_size)
+        total = len(queries)
+        hits = [(h.pair_index, h) for h in result.hits]
+        n_subjects = 1
+    print(f"{len(hits)} of {total} pairs exceed "
+          f"tau={args.threshold} ({len(hits) / max(1, total):.1%})")
+    for gp, hit in sorted(hits, key=lambda item: -item[1].score):
+        if args.all_vs_all:
+            qid = queries[gp // n_subjects].id
+            sid = subjects[gp % n_subjects].id
+        else:
+            qid, sid = queries[gp].id, subjects[gp].id
+        print(f"\n{qid} vs {sid}")
         print(format_alignment(hit.alignment))
     return 0
 
@@ -125,6 +185,35 @@ def _cmd_experiments(args) -> int:
     if args.fast:
         argv.append("--fast")
     return exp_main(argv)
+
+
+def _cmd_serve(args) -> int:
+    from .serve.server import AlignmentServer
+    from .serve.service import AlignmentService
+
+    service = AlignmentService(
+        engine=args.engine, workers=args.workers,
+        word_bits=args.word_bits, max_queue=args.max_queue,
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        bin_granularity=args.bin_granularity,
+        cache_size=args.cache_size,
+    )
+    with service:
+        server = AlignmentServer(service, host=args.host,
+                                 port=args.port)
+        host, port = server.address
+        print(f"serving on {host}:{port} "
+              f"(engine={args.engine}, workers={args.workers}, "
+              f"word_bits={args.word_bits}); Ctrl-C to stop",
+              file=sys.stderr)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.shutdown()
+            print(service.stats.render(), file=sys.stderr)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -168,6 +257,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("names", nargs="*", default=[])
     p.add_argument("--fast", action="store_true")
     p.set_defaults(func=_cmd_experiments)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the micro-batching alignment server "
+             "(client: python -m repro.serve.client)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7421,
+                   help="TCP port (0 = ephemeral; default 7421)")
+    p.add_argument("--engine", default="bpbc",
+                   choices=("bpbc", "numpy", "gpusim"),
+                   help="scoring backend (default bpbc)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="engine worker threads (default 2)")
+    p.add_argument("--word-bits", type=int, default=64,
+                   choices=(8, 16, 32, 64))
+    p.add_argument("--max-queue", type=int, default=1024,
+                   help="pending-request bound; beyond it submissions "
+                        "are rejected (default 1024)")
+    p.add_argument("--max-batch", type=int, default=None,
+                   help="lanes per micro-batch (default: word bits)")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="latency trigger for partial batches "
+                        "(default 2 ms)")
+    p.add_argument("--bin-granularity", type=int, default=16,
+                   help="length-bin rounding; sequences padded by < "
+                        "this many sentinel positions (default 16)")
+    p.add_argument("--cache-size", type=int, default=4096,
+                   help="result-cache entries, 0 disables "
+                        "(default 4096)")
+    p.set_defaults(func=_cmd_serve)
     return parser
 
 

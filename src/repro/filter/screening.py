@@ -44,22 +44,31 @@ class ScreenResult:
 
     @property
     def survivor_indices(self) -> np.ndarray:
-        """Indices of pairs whose score exceeds the threshold."""
+        """Indices of pairs whose score *strictly exceeds* the threshold."""
         return np.flatnonzero(self.scores > self.threshold)
 
     @property
     def pass_rate(self) -> float:
-        """Fraction of pairs passing the threshold."""
-        return len(self.hits) / max(1, len(self.scores))
+        """Fraction of pairs strictly exceeding the threshold.
+
+        Derived from the scores (not from ``hits``), so it is correct
+        even when the run skipped survivor alignment
+        (``align_survivors=False``) and ``hits`` is empty.
+        """
+        return len(self.survivor_indices) / max(1, len(self.scores))
 
 
 def bulk_max_scores(X: np.ndarray, Y: np.ndarray,
                     scheme: ScoringScheme | None = None,
-                    word_bits: int = 64) -> np.ndarray:
+                    word_bits: int = 64,
+                    chunk_size: int | None = None) -> np.ndarray:
     """Max SW score per pair via the BPBC wavefront engine.
 
     ``X`` is ``(P, m)`` and ``Y`` ``(P, n)`` wordwise code matrices;
-    lane padding is handled (and trimmed) internally.
+    lane padding is handled (and trimmed) internally.  With
+    ``chunk_size`` set, the batch is encoded and scored in slices of
+    at most that many pairs, bounding peak memory to one chunk's
+    planes instead of one ``(P, m)``-sized allocation.
     """
     X = np.asarray(X)
     Y = np.asarray(Y)
@@ -70,6 +79,15 @@ def bulk_max_scores(X: np.ndarray, Y: np.ndarray,
         )
     scheme = scheme or DEFAULT_SCHEME
     P = X.shape[0]
+    if chunk_size is not None and chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if chunk_size is not None and P > chunk_size:
+        scores = np.empty(P, dtype=np.int64)
+        for start in range(0, P, chunk_size):
+            stop = min(start + chunk_size, P)
+            scores[start:stop] = bulk_max_scores(
+                X[start:stop], Y[start:stop], scheme, word_bits)
+        return scores
     XH, XL = encode_batch_bit_transposed(X, word_bits)
     YH, YL = encode_batch_bit_transposed(Y, word_bits)
     result = bpbc_sw_wavefront(XH, XL, YH, YL, scheme, word_bits)
@@ -79,7 +97,8 @@ def bulk_max_scores(X: np.ndarray, Y: np.ndarray,
 def screen_pairs(X: np.ndarray, Y: np.ndarray, threshold: int,
                  scheme: ScoringScheme | None = None,
                  word_bits: int = 64,
-                 align_survivors: bool = True) -> ScreenResult:
+                 align_survivors: bool = True,
+                 chunk_size: int | None = None) -> ScreenResult:
     """Bulk-score all pairs; fully align those scoring above ``threshold``.
 
     The bulk phase never computes tracebacks — exactly the paper's
@@ -90,7 +109,8 @@ def screen_pairs(X: np.ndarray, Y: np.ndarray, threshold: int,
     scheme = scheme or DEFAULT_SCHEME
     if threshold < 0:
         raise ValueError(f"threshold must be non-negative, got {threshold}")
-    scores = bulk_max_scores(X, Y, scheme, word_bits)
+    scores = bulk_max_scores(X, Y, scheme, word_bits,
+                             chunk_size=chunk_size)
     hits: list[ScreenHit] = []
     if align_survivors:
         for p in np.flatnonzero(scores > threshold):

@@ -1,0 +1,89 @@
+"""Keyed LRU result cache: repeat queries skip the engine entirely.
+
+Screening workloads are heavily repetitive — the same read is checked
+against the same reference window by many callers — so the service
+memoises exact maximum scores keyed by the *content* of the pair plus
+the scoring scheme.  Keys are the raw code bytes (not a hash digest),
+so a hit is exact by construction: a cached score is bit-identical to
+what a cold engine run would return, because it *is* a previous engine
+run's output for the identical inputs.
+
+The cache is a plain ``OrderedDict`` LRU under one lock with hit/miss
+counters; ``capacity=0`` disables it (every lookup is a miss, inserts
+are dropped).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from ..swa.scoring import ScoringScheme
+
+__all__ = ["ResultCache", "cache_key"]
+
+#: A cache key: (query bytes, subject bytes, scheme).
+CacheKey = tuple[bytes, bytes, ScoringScheme]
+
+
+def cache_key(query: np.ndarray, subject: np.ndarray,
+              scheme: ScoringScheme) -> CacheKey:
+    """Exact content key for a pair under a scheme.
+
+    The two byte strings are kept separate (not concatenated), so
+    pairs like ``("AT", "G")`` and ``("A", "TG")`` cannot collide.
+    """
+    return (np.ascontiguousarray(query, dtype=np.uint8).tobytes(),
+            np.ascontiguousarray(subject, dtype=np.uint8).tobytes(),
+            scheme)
+
+
+class ResultCache:
+    """Thread-safe LRU of ``cache_key -> exact max score``."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._data: OrderedDict[CacheKey, int] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def get(self, key: CacheKey) -> int | None:
+        """Score for ``key`` (refreshing recency) or ``None`` on miss."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: CacheKey, score: int) -> None:
+        """Insert/refresh; evicts the least recently used past capacity."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._data[key] = int(score)
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups (0.0 before any lookup)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        with self._lock:
+            self._data.clear()

@@ -1,0 +1,168 @@
+"""Worker pool fanning packed batches out to pluggable engines.
+
+An *engine* is any callable ``(PackedBatch, word_bits) -> (P,) scores``
+returning exact per-lane maximum scores.  Three are built in:
+
+* ``"bpbc"`` — the paper's bitwise wavefront engine
+  (:func:`repro.core.sw_bpbc.bpbc_sw_wavefront`); mixed-length batches
+  take the sentinel-padded 3-plane path, which stays exact (see
+  :mod:`repro.serve.packer`).
+* ``"numpy"`` — the wordwise baseline
+  (:func:`repro.swa.numpy_batch.sw_batch_max_scores`); sentinel codes
+  simply never compare equal, so padding is exact here too.
+* ``"gpusim"`` — the five-step §V pipeline on the SIMT simulator;
+  sentinel-padded batches are split into uniform-shape sub-runs since
+  the simulated kernels encode 2-bit DNA only.
+
+The pool owns N worker threads over a *bounded* internal queue, so a
+slow engine backs pressure up into the request queue (whose ``put``
+rejects) instead of buffering unboundedly.  Workers demultiplex scores
+back onto request futures, feed the result cache and record batch
+stats; an engine exception fails every future in the batch with
+:class:`~repro.serve.errors.EngineFailedError` — nothing hangs.
+"""
+
+from __future__ import annotations
+
+import queue as _stdqueue
+import threading
+
+import numpy as np
+
+from ..core.sw_bpbc import bpbc_sw_wavefront, bpbc_sw_wavefront_planes
+from ..swa.numpy_batch import sw_batch_max_scores
+from .cache import ResultCache, cache_key
+from .errors import EngineFailedError
+from .packer import PackedBatch
+from .stats import ServiceStats
+
+__all__ = ["ENGINES", "EnginePool", "resolve_engine"]
+
+
+def _engine_bpbc(batch: PackedBatch, word_bits: int) -> np.ndarray:
+    if batch.padded:
+        Xp, Yp = batch.char_planes(word_bits)
+        result = bpbc_sw_wavefront_planes(Xp, Yp, batch.scheme,
+                                          word_bits)
+    else:
+        XH, XL, YH, YL = batch.bit_planes(word_bits)
+        result = bpbc_sw_wavefront(XH, XL, YH, YL, batch.scheme,
+                                   word_bits)
+    return result.max_scores[:batch.pairs]
+
+
+def _engine_numpy(batch: PackedBatch, word_bits: int) -> np.ndarray:
+    return sw_batch_max_scores(batch.X, batch.Y, batch.scheme)
+
+
+def _engine_gpusim(batch: PackedBatch, word_bits: int) -> np.ndarray:
+    from ..kernels.pipeline import run_gpu_pipeline
+
+    if not batch.padded:
+        scores, _ = run_gpu_pipeline(batch.X, batch.Y, batch.scheme,
+                                     word_bits)
+        return scores[:batch.pairs]
+    # Uniform-shape sub-runs: the simulated kernels are 2-bit only.
+    out = np.zeros(batch.pairs, dtype=np.int64)
+    shapes: dict[tuple[int, int], list[int]] = {}
+    for p, req in enumerate(batch.requests):
+        shapes.setdefault((req.m, req.n), []).append(p)
+    for (m, n), rows in shapes.items():
+        idx = np.asarray(rows)
+        scores, _ = run_gpu_pipeline(batch.X[idx, :m], batch.Y[idx, :n],
+                                     batch.scheme, word_bits)
+        out[idx] = scores[:len(rows)]
+    return out
+
+
+#: Built-in engine registry (extend freely; values are engine callables).
+ENGINES = {
+    "bpbc": _engine_bpbc,
+    "numpy": _engine_numpy,
+    "gpusim": _engine_gpusim,
+}
+
+
+def resolve_engine(engine):
+    """Engine name or callable -> engine callable."""
+    if callable(engine):
+        return engine
+    try:
+        return ENGINES[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of "
+            f"{sorted(ENGINES)} or a callable"
+        ) from None
+
+
+class EnginePool:
+    """N worker threads draining a bounded queue of packed batches."""
+
+    def __init__(self, engine="bpbc", workers: int = 2,
+                 word_bits: int = 64,
+                 cache: ResultCache | None = None,
+                 stats: ServiceStats | None = None,
+                 queue_depth: int | None = None) -> None:
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self._engine = resolve_engine(engine)
+        self.workers = workers
+        self.word_bits = word_bits
+        self._cache = cache
+        self._stats = stats
+        self._q: _stdqueue.Queue = _stdqueue.Queue(
+            maxsize=queue_depth if queue_depth is not None
+            else workers * 4)
+        self._threads: list[threading.Thread] = []
+
+    def start(self) -> None:
+        if self._threads:
+            return
+        for i in range(self.workers):
+            t = threading.Thread(target=self._run,
+                                 name=f"repro-serve-engine-{i}",
+                                 daemon=True)
+            t.start()
+            self._threads.append(t)
+
+    def stop(self) -> None:
+        """Finish queued batches, then join the workers."""
+        for _ in self._threads:
+            self._q.put(None)
+        for t in self._threads:
+            t.join()
+        self._threads.clear()
+
+    def submit(self, batch: PackedBatch) -> None:
+        """Hand a batch to the workers (blocks when the pool is saturated
+        — that is the backpressure path into the request queue)."""
+        self._q.put(batch)
+
+    def _run(self) -> None:
+        while True:
+            batch = self._q.get()
+            if batch is None:
+                return
+            try:
+                scores = self._engine(batch, self.word_bits)
+            except Exception as exc:  # noqa: BLE001 - must not kill worker
+                err = EngineFailedError(
+                    f"engine failed on {batch.pairs}-pair batch: {exc!r}"
+                )
+                for req in batch.requests:
+                    req.fail(err)
+                if self._stats is not None:
+                    self._stats.record_failed(batch.pairs)
+                continue
+            if self._stats is not None:
+                self._stats.record_batch(batch.pairs, self.word_bits)
+            for req, score in zip(batch.requests, scores):
+                if self._cache is not None:
+                    self._cache.put(
+                        cache_key(req.query, req.subject, req.scheme),
+                        int(score),
+                    )
+                latency = req.resolve(int(score), cached=False)
+                if self._stats is not None:
+                    self._stats.record_completed(latency)

@@ -1,0 +1,54 @@
+"""Exception taxonomy for the alignment service.
+
+Every failure a caller can observe through a request future or a
+client round-trip is one of these, so both the in-process API and the
+wire protocol can map errors to stable kinds.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServeError",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "ServiceStoppedError",
+    "EngineFailedError",
+    "error_kind",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class for alignment-service failures."""
+
+
+class QueueFullError(ServeError):
+    """Backpressure: the request queue is at capacity (submit rejected)."""
+
+
+class DeadlineExceededError(ServeError):
+    """The request's deadline expired before an engine picked it up."""
+
+
+class ServiceStoppedError(ServeError):
+    """The service is not running (or stopped while requests waited)."""
+
+
+class EngineFailedError(ServeError):
+    """The backend engine raised while scoring a batch."""
+
+
+#: Exception class -> stable protocol ``kind`` string.
+_KINDS = {
+    QueueFullError: "queue_full",
+    DeadlineExceededError: "deadline",
+    ServiceStoppedError: "stopped",
+    EngineFailedError: "engine",
+}
+
+
+def error_kind(exc: BaseException) -> str:
+    """Stable ``kind`` string for an exception (wire-protocol field)."""
+    for cls, kind in _KINDS.items():
+        if isinstance(exc, cls):
+            return kind
+    return "error"

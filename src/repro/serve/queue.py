@@ -1,0 +1,208 @@
+"""Bounded alignment-request queue with futures, deadlines, backpressure.
+
+The front door of the service: callers submit individual ``(query,
+subject, scheme, tau)`` requests and immediately receive a
+:class:`concurrent.futures.Future`.  The queue is bounded — when it is
+full, :meth:`RequestQueue.put` raises :class:`~repro.serve.errors.
+QueueFullError` instead of blocking, which is the backpressure signal
+a caller under load needs (shed or retry, never pile up).
+
+:meth:`RequestQueue.drain` is the micro-batcher's side: it blocks for
+the first request, then keeps collecting until either ``max_items``
+requests are in hand or ``max_wait`` seconds have passed since the
+window opened — the classic size-or-latency trigger.  Requests whose
+deadline has already expired when they are popped are failed with
+:class:`~repro.serve.errors.DeadlineExceededError` (the future
+resolves with an error; nothing ever hangs) and never reach an engine.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..swa.scoring import ScoringScheme
+from .errors import DeadlineExceededError
+
+__all__ = ["AlignmentRequest", "AlignmentResult", "RequestQueue"]
+
+
+@dataclass(frozen=True)
+class AlignmentResult:
+    """What a request future resolves to.
+
+    Attributes
+    ----------
+    score:
+        The exact Smith-Waterman maximum score of the pair.
+    passed:
+        ``score > threshold`` when the request carried a ``tau``
+        (strictly greater, per the paper's screening wording);
+        ``None`` when it did not.
+    cached:
+        True when the score came from the result cache and no engine
+        ran for this request.
+    wait_ms:
+        Submission-to-resolution latency in milliseconds.
+    """
+
+    score: int
+    passed: bool | None
+    cached: bool
+    wait_ms: float
+
+
+@dataclass
+class AlignmentRequest:
+    """One queued pair plus the future its caller is watching.
+
+    ``deadline`` is an absolute :func:`time.monotonic` timestamp (or
+    ``None`` for no deadline); it is enforced at dispatch time — a
+    request already packed into a batch is always answered, possibly
+    late.
+    """
+
+    query: np.ndarray
+    subject: np.ndarray
+    scheme: ScoringScheme
+    threshold: int | None
+    deadline: float | None
+    future: Future
+    enqueued_at: float
+
+    @property
+    def m(self) -> int:
+        return int(self.query.shape[0])
+
+    @property
+    def n(self) -> int:
+        return int(self.subject.shape[0])
+
+    def expired(self, now: float | None = None) -> bool:
+        """Whether the deadline has passed."""
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline
+
+    def resolve(self, score: int, cached: bool = False) -> float:
+        """Fulfil the future; returns the latency in seconds."""
+        latency = time.monotonic() - self.enqueued_at
+        passed = None if self.threshold is None else score > self.threshold
+        result = AlignmentResult(score=int(score), passed=passed,
+                                 cached=cached, wait_ms=latency * 1e3)
+        if not self.future.set_running_or_notify_cancel():
+            return latency  # caller cancelled; nothing to deliver
+        self.future.set_result(result)
+        return latency
+
+    def fail(self, exc: BaseException) -> None:
+        """Resolve the future with an error (never leaves it hanging)."""
+        if self.future.set_running_or_notify_cancel():
+            self.future.set_exception(exc)
+
+
+class RequestQueue:
+    """Thread-safe bounded FIFO of :class:`AlignmentRequest`.
+
+    ``on_expired`` is called (with the request) whenever a deadline
+    expiry is detected at pop time, after the future has been failed —
+    the stats hook.
+    """
+
+    def __init__(self, maxsize: int = 1024,
+                 on_expired: Callable[[AlignmentRequest], None] | None
+                 = None) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._on_expired = on_expired
+        self._items: deque[AlignmentRequest] = deque()
+        self._cond = threading.Condition()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    @property
+    def depth(self) -> int:
+        """Current number of queued requests (a gauge for stats)."""
+        return len(self)
+
+    def put(self, request: AlignmentRequest) -> None:
+        """Enqueue or reject: raises ``QueueFullError`` when at capacity."""
+        from .errors import QueueFullError
+
+        with self._cond:
+            if len(self._items) >= self.maxsize:
+                raise QueueFullError(
+                    f"request queue full ({self.maxsize} pending); "
+                    f"retry later or raise max_queue"
+                )
+            self._items.append(request)
+            self._cond.notify()
+
+    def _pop_live(self, limit: int) -> list[AlignmentRequest]:
+        """Pop up to ``limit`` requests, failing expired ones in place.
+
+        Caller holds the lock.
+        """
+        out: list[AlignmentRequest] = []
+        now = time.monotonic()
+        while self._items and len(out) < limit:
+            req = self._items.popleft()
+            if req.expired(now):
+                req.fail(DeadlineExceededError(
+                    f"deadline expired {now - req.deadline:.4f}s before "
+                    f"dispatch"
+                ))
+                if self._on_expired is not None:
+                    self._on_expired(req)
+                continue
+            out.append(req)
+        return out
+
+    def drain(self, max_items: int, max_wait: float,
+              stop: threading.Event | None = None,
+              poll: float = 0.05) -> list[AlignmentRequest]:
+        """Collect a micro-batch: size-or-latency trigger.
+
+        Blocks until at least one live request arrives, then keeps
+        collecting until ``max_items`` are in hand or ``max_wait``
+        seconds have elapsed since the window opened.  Returns what it
+        has (possibly ``[]``) as soon as ``stop`` is set; while idle it
+        re-checks ``stop`` every ``poll`` seconds.
+        """
+        if max_items <= 0:
+            raise ValueError(f"max_items must be positive, got {max_items}")
+        batch: list[AlignmentRequest] = []
+        window_ends: float | None = None
+        with self._cond:
+            while True:
+                got = self._pop_live(max_items - len(batch))
+                if got and window_ends is None:
+                    window_ends = time.monotonic() + max_wait
+                batch.extend(got)
+                now = time.monotonic()
+                if batch and (len(batch) >= max_items
+                              or now >= window_ends):
+                    return batch
+                if stop is not None and stop.is_set():
+                    return batch
+                timeout = poll if window_ends is None else min(
+                    poll, window_ends - now)
+                self._cond.wait(timeout=max(timeout, 1e-4))
+
+    def fail_all(self, exc: BaseException) -> int:
+        """Fail every queued request (service shutdown); returns count."""
+        with self._cond:
+            pending = list(self._items)
+            self._items.clear()
+        for req in pending:
+            req.fail(exc)
+        return len(pending)

@@ -1,0 +1,189 @@
+"""TCP front end: newline-delimited JSON over a threading server.
+
+The protocol is one JSON object per line, both directions.  Requests::
+
+    {"op": "align", "id": 7, "query": "ACGT...", "subject": "TTGA...",
+     "match": 2, "mismatch": 1, "gap": 1,
+     "threshold": 20, "timeout_ms": 250}
+    {"op": "stats"}
+    {"op": "ping"}
+
+``op`` defaults to ``"align"``; scoring fields default to the paper's
+Table II scheme.  Responses echo ``id`` and carry ``ok``; an align
+response adds ``score`` / ``passed`` / ``cached`` / ``wait_ms``, an
+error response adds ``error`` (message) and ``kind`` (a stable string
+from :func:`repro.serve.errors.error_kind`).
+
+Clients may *pipeline*: send many lines before reading any responses.
+The handler keeps reading while a per-connection writer thread emits
+responses in submission order as futures resolve — this is what lets a
+single connection fill whole 64-lane batches instead of ping-ponging
+one pair at a time.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+from concurrent.futures import Future
+from queue import Queue
+
+from ..swa.scoring import DEFAULT_SCHEME, ScoringScheme
+from .errors import error_kind
+from .service import AlignmentService
+
+__all__ = ["AlignmentServer", "DEFAULT_PORT"]
+
+#: Default TCP port for ``python -m repro serve``.
+DEFAULT_PORT = 7421
+
+#: Upper bound on how long the writer waits for one future before
+#: answering with a timeout error (keeps connections from wedging on a
+#: lost request).
+_RESULT_TIMEOUT_S = 60.0
+
+
+def _scheme_from(obj: dict) -> ScoringScheme:
+    if not any(k in obj for k in ("match", "mismatch", "gap")):
+        return DEFAULT_SCHEME
+    return ScoringScheme(
+        match_score=int(obj.get("match", DEFAULT_SCHEME.match_score)),
+        mismatch_penalty=int(
+            obj.get("mismatch", DEFAULT_SCHEME.mismatch_penalty)),
+        gap_penalty=int(obj.get("gap", DEFAULT_SCHEME.gap_penalty)),
+    )
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One thread per connection; a second thread writes responses."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        service: AlignmentService = self.server.service
+        out: Queue = Queue()
+        writer = threading.Thread(target=self._write_loop, args=(out,),
+                                  daemon=True)
+        writer.start()
+        try:
+            for raw in self.rfile:
+                line = raw.strip()
+                if not line:
+                    continue
+                out.put(self._dispatch(service, line))
+        finally:
+            out.put(None)
+            writer.join()
+
+    def _dispatch(self, service: AlignmentService, line: bytes):
+        """Parse one request line -> response dict or (id, future)."""
+        try:
+            obj = json.loads(line)
+            if not isinstance(obj, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as exc:
+            return {"ok": False, "error": f"bad JSON: {exc}",
+                    "kind": "bad_request"}
+        rid = obj.get("id")
+        op = obj.get("op", "align")
+        if op == "ping":
+            return {"ok": True, "id": rid, "pong": True}
+        if op == "stats":
+            return {"ok": True, "id": rid,
+                    "stats": service.stats.snapshot()}
+        if op != "align":
+            return {"ok": False, "id": rid,
+                    "error": f"unknown op {op!r}", "kind": "bad_request"}
+        try:
+            future = service.submit(
+                obj["query"], obj["subject"],
+                scheme=_scheme_from(obj),
+                threshold=obj.get("threshold"),
+                timeout_ms=obj.get("timeout_ms"),
+            )
+        except KeyError as exc:
+            return {"ok": False, "id": rid,
+                    "error": f"missing field {exc.args[0]!r}",
+                    "kind": "bad_request"}
+        except Exception as exc:  # noqa: BLE001 - becomes a wire error
+            return {"ok": False, "id": rid, "error": str(exc),
+                    "kind": error_kind(exc)}
+        return (rid, future)
+
+    def _write_loop(self, out: Queue) -> None:
+        """Emit responses in submission order as futures resolve."""
+        while True:
+            item = out.get()
+            if item is None:
+                return
+            if isinstance(item, tuple):
+                rid, future = item
+                item = self._await(rid, future)
+            try:
+                self.wfile.write(json.dumps(item).encode() + b"\n")
+                self.wfile.flush()
+            except OSError:
+                return  # client went away; drain silently
+
+    @staticmethod
+    def _await(rid, future: Future) -> dict:
+        try:
+            result = future.result(timeout=_RESULT_TIMEOUT_S)
+        except Exception as exc:  # noqa: BLE001 - becomes a wire error
+            return {"ok": False, "id": rid, "error": str(exc),
+                    "kind": error_kind(exc)}
+        return {"ok": True, "id": rid, "score": result.score,
+                "passed": result.passed, "cached": result.cached,
+                "wait_ms": round(result.wait_ms, 3)}
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class AlignmentServer:
+    """Socket server wrapping an :class:`AlignmentService`.
+
+    ``port=0`` binds an ephemeral port; read :attr:`address` for the
+    actual one.  ``serve_forever`` blocks; ``start`` runs the accept
+    loop on a background thread (what the tests use).
+    """
+
+    def __init__(self, service: AlignmentService,
+                 host: str = "127.0.0.1",
+                 port: int = DEFAULT_PORT) -> None:
+        self.service = service
+        self._tcp = _TCPServer((host, port), _Handler)
+        self._tcp.service = service
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Actual ``(host, port)`` bound."""
+        return self._tcp.server_address[:2]
+
+    def start(self) -> "AlignmentServer":
+        """Serve on a background thread (service must be started)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._tcp.serve_forever,
+                name="repro-serve-accept", daemon=True)
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking accept loop (the CLI path)."""
+        self._tcp.serve_forever()
+
+    def shutdown(self) -> None:
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def __enter__(self) -> "AlignmentServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

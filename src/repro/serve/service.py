@@ -1,0 +1,208 @@
+"""The alignment service: queue + packer loop + engine pool + cache.
+
+:class:`AlignmentService` is the in-process facade the CLI server and
+the tests drive.  One background *packer* thread runs the
+size-or-latency drain loop (fire when ``max_batch`` lanes fill or
+``max_wait_ms`` elapses, whichever comes first), length-bins and packs
+the drained requests, and hands the resulting batches to the worker
+pool.  Each request's caller holds a future that resolves to an
+:class:`~repro.serve.queue.AlignmentResult` or to a
+:class:`~repro.serve.errors.ServeError`.
+
+Flow of one request::
+
+    submit() -- cache hit? --> future resolves immediately
+        \\-- miss --> RequestQueue -- drain --> pack_requests
+                 --> EnginePool worker --> scores --> futures + cache
+
+Backpressure is end to end: the pool's internal queue is bounded, so a
+saturated engine stalls the packer, the request queue fills, and
+``submit`` rejects with ``QueueFullError`` — the caller sees load
+instead of the process seeing OOM.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+
+from ..core.encoding import encode
+from ..swa.scoring import DEFAULT_SCHEME, ScoringScheme
+from .cache import ResultCache, cache_key
+from .engine_pool import EnginePool
+from .errors import ServiceStoppedError
+from .packer import pack_requests
+from .queue import AlignmentRequest, AlignmentResult, RequestQueue
+from .stats import ServiceStats
+
+__all__ = ["AlignmentService"]
+
+
+def _as_codes(seq) -> np.ndarray:
+    """Accept a DNA string or a code array; return ``(len,)`` uint8."""
+    arr = encode(seq) if isinstance(seq, str) else \
+        np.ascontiguousarray(seq, dtype=np.uint8)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError(
+            f"expected a non-empty sequence, got shape {arr.shape}"
+        )
+    return arr
+
+
+class AlignmentService:
+    """Micro-batching alignment service over the BPBC engines.
+
+    Parameters
+    ----------
+    engine:
+        ``"bpbc"`` (default), ``"numpy"``, ``"gpusim"`` or any
+        callable ``(PackedBatch, word_bits) -> scores``.
+    workers:
+        Engine worker threads.
+    word_bits:
+        Lane word width; also the default ``max_batch`` (one full lane
+        word per batch).
+    max_queue:
+        Bound on pending requests; beyond it ``submit`` raises
+        ``QueueFullError``.
+    max_batch:
+        Lanes per micro-batch (the size trigger).  Defaults to
+        ``word_bits``.
+    max_wait_ms:
+        Latency trigger: a partially filled batch fires this long
+        after its first request arrived.
+    bin_granularity:
+        Length-bin rounding ``g``; requests whose rounded-up
+        ``(m, n)`` shapes coincide share a batch with < ``g``
+        sentinel-padded positions per sequence.  ``1`` = exact shapes.
+    cache_size:
+        LRU entries for the result cache (0 disables caching).
+    """
+
+    def __init__(self, engine="bpbc", workers: int = 2,
+                 word_bits: int = 64, max_queue: int = 1024,
+                 max_batch: int | None = None,
+                 max_wait_ms: float = 2.0,
+                 bin_granularity: int = 1,
+                 cache_size: int = 4096) -> None:
+        if max_wait_ms < 0:
+            raise ValueError(
+                f"max_wait_ms must be >= 0, got {max_wait_ms}"
+            )
+        if bin_granularity <= 0:
+            raise ValueError(
+                f"bin_granularity must be positive, got {bin_granularity}"
+            )
+        self.word_bits = word_bits
+        self.max_batch = max_batch if max_batch is not None else word_bits
+        self.max_wait_s = max_wait_ms / 1e3
+        self.bin_granularity = bin_granularity
+        self.stats = ServiceStats()
+        self.cache = ResultCache(cache_size)
+        self.queue = RequestQueue(
+            maxsize=max_queue,
+            on_expired=lambda req: self.stats.record_expired(),
+        )
+        self.stats.set_queue_gauge(lambda: self.queue.depth)
+        self.pool = EnginePool(engine=engine, workers=workers,
+                               word_bits=word_bits, cache=self.cache,
+                               stats=self.stats)
+        self._stop = threading.Event()
+        self._packer: threading.Thread | None = None
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._packer is not None and self._packer.is_alive()
+
+    def start(self) -> "AlignmentService":
+        """Start workers and the packer loop (idempotent)."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self.pool.start()
+        self._packer = threading.Thread(target=self._packer_loop,
+                                        name="repro-serve-packer",
+                                        daemon=True)
+        self._packer.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain-free shutdown: fail queued requests, join all threads."""
+        if self._packer is None:
+            return
+        self._stop.set()
+        self._packer.join()
+        self._packer = None
+        self.queue.fail_all(ServiceStoppedError("service stopped"))
+        self.pool.stop()
+
+    def __enter__(self) -> "AlignmentService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- submission -----------------------------------------------------
+    def submit(self, query, subject,
+               scheme: ScoringScheme | None = None,
+               threshold: int | None = None,
+               timeout_ms: float | None = None) -> Future:
+        """Queue one pair; returns a future of ``AlignmentResult``.
+
+        ``query`` / ``subject`` are DNA strings or 1-D code arrays.
+        ``timeout_ms`` sets a dispatch deadline: a request still queued
+        when it expires resolves with ``DeadlineExceededError``.
+        Raises ``QueueFullError`` (backpressure) or
+        ``ServiceStoppedError`` immediately; never blocks.
+        """
+        if not self.running:
+            raise ServiceStoppedError(
+                "submit on a stopped service; call start() first"
+            )
+        q = _as_codes(query)
+        s = _as_codes(subject)
+        scheme = scheme or DEFAULT_SCHEME
+        now = time.monotonic()
+        self.stats.record_submitted()
+        future: Future = Future()
+        request = AlignmentRequest(
+            query=q, subject=s, scheme=scheme, threshold=threshold,
+            deadline=None if timeout_ms is None else now + timeout_ms / 1e3,
+            future=future, enqueued_at=now,
+        )
+        cached = self.cache.get(cache_key(q, s, scheme))
+        if cached is not None:
+            latency = request.resolve(cached, cached=True)
+            self.stats.record_cache_hit(latency)
+            return future
+        try:
+            self.queue.put(request)
+        except Exception:
+            self.stats.record_rejected()
+            raise
+        return future
+
+    def align(self, query, subject,
+              scheme: ScoringScheme | None = None,
+              threshold: int | None = None,
+              timeout_ms: float | None = None,
+              result_timeout_s: float | None = None) -> AlignmentResult:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(query, subject, scheme=scheme,
+                           threshold=threshold,
+                           timeout_ms=timeout_ms).result(
+                               timeout=result_timeout_s)
+
+    # -- the micro-batching loop ---------------------------------------
+    def _packer_loop(self) -> None:
+        while not self._stop.is_set():
+            requests = self.queue.drain(self.max_batch, self.max_wait_s,
+                                        stop=self._stop)
+            if not requests:
+                continue
+            for batch in pack_requests(requests, self.bin_granularity):
+                self.pool.submit(batch)

@@ -1,0 +1,130 @@
+"""Service-level counters: occupancy, latency percentiles, queue depth.
+
+One :class:`ServiceStats` instance is shared by the queue, packer,
+engine pool and cache paths of a service.  Everything is guarded by a
+single lock — these are tiny critical sections next to an engine call.
+
+Lane occupancy is the quantity the whole subsystem exists to improve:
+a batch of ``P`` pairs at word width ``w`` consumes ``ceil(P / w)``
+lane words = ``ceil(P / w) * w`` lane slots, of which ``P`` do useful
+work.  A naive one-request-per-call client therefore runs at ``1/w``
+occupancy; the micro-batcher's job is to keep the mean near 1.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+import numpy as np
+
+__all__ = ["ServiceStats"]
+
+
+class ServiceStats:
+    """Thread-safe counters + a bounded latency reservoir."""
+
+    def __init__(self, latency_window: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.expired = 0
+        self.failed = 0
+        self.cache_hits = 0
+        self.batches = 0
+        self.lanes_used = 0
+        self.lane_slots = 0
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+        self._queue_gauge = None
+
+    # -- recording hooks ------------------------------------------------
+    def record_submitted(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_expired(self) -> None:
+        with self._lock:
+            self.expired += 1
+
+    def record_failed(self, count: int = 1) -> None:
+        with self._lock:
+            self.failed += count
+
+    def record_cache_hit(self, latency_s: float) -> None:
+        with self._lock:
+            self.cache_hits += 1
+            self.completed += 1
+            self._latencies.append(latency_s)
+
+    def record_batch(self, pairs: int, word_bits: int) -> None:
+        """Account one dispatched batch's lane usage."""
+        slots = -(-pairs // word_bits) * word_bits
+        with self._lock:
+            self.batches += 1
+            self.lanes_used += pairs
+            self.lane_slots += slots
+
+    def record_completed(self, latency_s: float) -> None:
+        with self._lock:
+            self.completed += 1
+            self._latencies.append(latency_s)
+
+    def set_queue_gauge(self, fn) -> None:
+        """Register a zero-arg callable reporting current queue depth."""
+        self._queue_gauge = fn
+
+    # -- derived --------------------------------------------------------
+    @property
+    def mean_lane_occupancy(self) -> float:
+        """Useful lanes / consumed lane slots across all batches."""
+        with self._lock:
+            return self.lanes_used / self.lane_slots if self.lane_slots \
+                else 0.0
+
+    @property
+    def queue_depth(self) -> int:
+        fn = self._queue_gauge
+        return int(fn()) if fn is not None else 0
+
+    def latency_percentiles(self) -> tuple[float, float]:
+        """(p50, p99) request latency in milliseconds over the window."""
+        with self._lock:
+            lats = list(self._latencies)
+        if not lats:
+            return (0.0, 0.0)
+        arr = np.asarray(lats) * 1e3
+        return (float(np.percentile(arr, 50)),
+                float(np.percentile(arr, 99)))
+
+    def snapshot(self) -> dict:
+        """All counters and derived figures as one JSON-able dict."""
+        p50, p99 = self.latency_percentiles()
+        with self._lock:
+            snap = {
+                "requests_submitted": self.submitted,
+                "requests_completed": self.completed,
+                "requests_rejected": self.rejected,
+                "requests_expired": self.expired,
+                "requests_failed": self.failed,
+                "cache_hits": self.cache_hits,
+                "batches": self.batches,
+                "lanes_used": self.lanes_used,
+                "lane_slots": self.lane_slots,
+            }
+        snap["mean_lane_occupancy"] = round(self.mean_lane_occupancy, 4)
+        snap["queue_depth"] = self.queue_depth
+        snap["latency_p50_ms"] = round(p50, 3)
+        snap["latency_p99_ms"] = round(p99, 3)
+        return snap
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        snap = self.snapshot()
+        width = max(len(k) for k in snap)
+        return "\n".join(f"{k.ljust(width)}  {v}" for k, v in
+                         snap.items())

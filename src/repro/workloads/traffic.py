@@ -1,0 +1,88 @@
+"""Synthetic request traffic for the alignment service.
+
+Serving benchmarks need *arrival processes*, not just batches: the
+micro-batcher's occupancy and latency depend on how requests trickle
+in.  Everything here is seeded and deterministic.
+
+:func:`poisson_arrivals` draws exponential inter-arrival gaps;
+:func:`request_stream` couples an arrival process with random (or
+planted-homology) DNA pairs, yielding ``TimedRequest`` records a
+driver replays against a service — see ``examples/serving_demo.py``
+and ``benchmarks/test_bench_serve.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from .dna import MutationModel, plant_homology, random_strand
+
+__all__ = ["TimedRequest", "poisson_arrivals", "request_stream"]
+
+
+@dataclass(frozen=True)
+class TimedRequest:
+    """One synthetic request: arrival offset plus the pair to align."""
+
+    at_s: float
+    query: np.ndarray
+    subject: np.ndarray
+    related: bool
+
+
+def poisson_arrivals(rng: np.random.Generator, count: int,
+                     rate_per_s: float) -> np.ndarray:
+    """``(count,)`` arrival offsets (seconds) of a Poisson process.
+
+    ``rate_per_s = inf`` (or 0 gaps) degenerates to a burst at t=0.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if rate_per_s <= 0:
+        raise ValueError(
+            f"rate_per_s must be positive, got {rate_per_s}"
+        )
+    if np.isinf(rate_per_s):
+        return np.zeros(count)
+    return np.cumsum(rng.exponential(1.0 / rate_per_s, size=count))
+
+
+def request_stream(rng: np.random.Generator, count: int,
+                   rate_per_s: float, m: int = 100,
+                   n: int | None = None,
+                   length_jitter: int = 0,
+                   related_fraction: float = 0.0,
+                   model: MutationModel | None = None,
+                   ) -> Iterator[TimedRequest]:
+    """Yield ``count`` timed requests with random DNA pairs.
+
+    ``length_jitter`` subtracts up to that many positions from each
+    sequence's length uniformly at random (exercises the length
+    binner); ``related_fraction`` plants a mutated homology of the
+    query in that fraction of subjects (exercises thresholds and the
+    cache on realistic score distributions).
+    """
+    if n is None:
+        n = m
+    if length_jitter < 0 or length_jitter >= min(m, n):
+        if length_jitter:
+            raise ValueError(
+                f"length_jitter must be in [0, {min(m, n) - 1}], got "
+                f"{length_jitter}"
+            )
+    model = model or MutationModel()
+    arrivals = poisson_arrivals(rng, count, rate_per_s)
+    for t in arrivals:
+        lm = m - int(rng.integers(0, length_jitter + 1))
+        ln = n - int(rng.integers(0, length_jitter + 1))
+        query = random_strand(rng, lm)
+        related = bool(rng.random() < related_fraction)
+        if related:
+            subject, _ = plant_homology(rng, query, ln, model)
+        else:
+            subject = random_strand(rng, ln)
+        yield TimedRequest(at_s=float(t), query=query, subject=subject,
+                           related=related)

@@ -31,6 +31,20 @@ class TestBulkMaxScores:
         with pytest.raises(ValueError):
             bulk_max_scores(np.zeros((2, 3)), np.zeros((3, 5)), SCHEME)
 
+    @pytest.mark.parametrize("chunk_size", [1, 7, 64, 1000])
+    def test_chunked_equals_one_shot(self, rng, chunk_size):
+        X = rng.integers(0, 4, (41, 6), dtype=np.uint8)
+        Y = rng.integers(0, 4, (41, 14), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            bulk_max_scores(X, Y, SCHEME, chunk_size=chunk_size),
+            bulk_max_scores(X, Y, SCHEME),
+        )
+
+    def test_bad_chunk_size(self, rng):
+        X = rng.integers(0, 4, (4, 6), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            bulk_max_scores(X, X, SCHEME, chunk_size=0)
+
 
 class TestScreenPairs:
     def test_survivors_have_alignments(self, rng):
@@ -87,3 +101,32 @@ class TestScreenPairs:
         X = rng.integers(0, 4, (2, 4), dtype=np.uint8)
         with pytest.raises(ValueError):
             screen_pairs(X, X, -1, SCHEME)
+
+    def test_chunked_screen_matches_one_shot(self, rng):
+        X, Y, _ = homologous_pairs(rng, 20, 12, 48,
+                                   related_fraction=0.5)
+        whole = screen_pairs(X, Y, 15, SCHEME)
+        chunked = screen_pairs(X, Y, 15, SCHEME, chunk_size=7)
+        np.testing.assert_array_equal(whole.scores, chunked.scores)
+        assert [h.pair_index for h in whole.hits] == \
+            [h.pair_index for h in chunked.hits]
+
+    def test_threshold_is_strictly_greater_everywhere(self, rng):
+        """hits, survivor_indices and pass_rate must all use the same
+        strictly-greater-than-tau rule (the paper's 'larger than a
+        given threshold'), with or without survivor alignment."""
+        X = rng.integers(0, 4, (6, 5), dtype=np.uint8)
+        result = screen_pairs(X, X.copy(), 10, SCHEME)  # max score = 10
+        assert len(result.hits) == 0
+        assert len(result.survivor_indices) == 0
+        assert result.pass_rate == 0.0
+        result = screen_pairs(X, X.copy(), 9, SCHEME)
+        assert {h.pair_index for h in result.hits} == set(range(6))
+        assert set(result.survivor_indices.tolist()) == set(range(6))
+        assert result.pass_rate == 1.0
+        # pass_rate must agree with survivors even when hits are not
+        # materialised (the historical asymmetry risk).
+        unaligned = screen_pairs(X, X.copy(), 9, SCHEME,
+                                 align_survivors=False)
+        assert unaligned.hits == []
+        assert unaligned.pass_rate == 1.0

@@ -1,0 +1,76 @@
+"""Tests for the keyed LRU result cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.cache import ResultCache, cache_key
+from repro.swa.scoring import DEFAULT_SCHEME, ScoringScheme
+
+
+def key_of(rng, m=8, n=8, scheme=DEFAULT_SCHEME):
+    return cache_key(rng.integers(0, 4, m, dtype=np.uint8),
+                     rng.integers(0, 4, n, dtype=np.uint8), scheme)
+
+
+class TestKey:
+    def test_same_content_same_key(self):
+        q = np.array([0, 1, 2], dtype=np.uint8)
+        s = np.array([3, 3], dtype=np.uint8)
+        assert cache_key(q, s, DEFAULT_SCHEME) == \
+            cache_key(q.copy(), s.copy(), DEFAULT_SCHEME)
+
+    def test_sides_do_not_collide(self):
+        """("AT","G") and ("A","TG") concatenate identically but must
+        key differently."""
+        a = cache_key(np.array([0, 1], dtype=np.uint8),
+                      np.array([2], dtype=np.uint8), DEFAULT_SCHEME)
+        b = cache_key(np.array([0], dtype=np.uint8),
+                      np.array([1, 2], dtype=np.uint8), DEFAULT_SCHEME)
+        assert a != b
+
+    def test_scheme_is_part_of_the_key(self):
+        q = np.array([0, 1], dtype=np.uint8)
+        assert cache_key(q, q, DEFAULT_SCHEME) != \
+            cache_key(q, q, ScoringScheme(3, 1, 1))
+
+
+class TestLRU:
+    def test_hit_miss_counters(self, rng):
+        cache = ResultCache(capacity=4)
+        k = key_of(rng)
+        assert cache.get(k) is None
+        cache.put(k, 7)
+        assert cache.get(k) == 7
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_evicts_least_recently_used(self, rng):
+        cache = ResultCache(capacity=2)
+        k1, k2, k3 = (key_of(rng) for _ in range(3))
+        cache.put(k1, 1)
+        cache.put(k2, 2)
+        assert cache.get(k1) == 1  # refresh k1; k2 becomes LRU
+        cache.put(k3, 3)
+        assert cache.get(k2) is None
+        assert cache.get(k1) == 1 and cache.get(k3) == 3
+
+    def test_capacity_zero_disables(self, rng):
+        cache = ResultCache(capacity=0)
+        k = key_of(rng)
+        cache.put(k, 5)
+        assert cache.get(k) is None
+        assert len(cache) == 0
+
+    def test_clear_keeps_counters(self, rng):
+        cache = ResultCache(capacity=4)
+        k = key_of(rng)
+        cache.put(k, 1)
+        cache.get(k)
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=-1)

@@ -1,0 +1,123 @@
+"""Tests for the bounded request queue: futures, deadlines, triggers."""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.serve.errors import DeadlineExceededError, QueueFullError
+from repro.serve.queue import AlignmentRequest, RequestQueue
+from repro.swa.scoring import DEFAULT_SCHEME
+
+
+def make_request(rng, m=8, n=8, threshold=None, deadline=None):
+    return AlignmentRequest(
+        query=rng.integers(0, 4, m, dtype=np.uint8),
+        subject=rng.integers(0, 4, n, dtype=np.uint8),
+        scheme=DEFAULT_SCHEME, threshold=threshold, deadline=deadline,
+        future=Future(), enqueued_at=time.monotonic(),
+    )
+
+
+class TestBackpressure:
+    def test_put_rejects_when_full(self, rng):
+        q = RequestQueue(maxsize=2)
+        q.put(make_request(rng))
+        q.put(make_request(rng))
+        with pytest.raises(QueueFullError):
+            q.put(make_request(rng))
+        assert len(q) == 2
+
+    def test_depth_gauge(self, rng):
+        q = RequestQueue(maxsize=8)
+        for _ in range(3):
+            q.put(make_request(rng))
+        assert q.depth == 3
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            RequestQueue(maxsize=0)
+
+
+class TestDrainTriggers:
+    def test_size_trigger_fires_before_wait(self, rng):
+        q = RequestQueue(maxsize=64)
+        for _ in range(5):
+            q.put(make_request(rng))
+        t0 = time.monotonic()
+        batch = q.drain(max_items=5, max_wait=60.0)
+        assert len(batch) == 5
+        assert time.monotonic() - t0 < 5.0  # did not sit out max_wait
+
+    def test_latency_trigger_fires_partial(self, rng):
+        q = RequestQueue(maxsize=64)
+        q.put(make_request(rng))
+        batch = q.drain(max_items=64, max_wait=0.05)
+        assert len(batch) == 1  # partial batch after the wait window
+
+    def test_stop_event_unblocks_empty_drain(self):
+        q = RequestQueue(maxsize=4)
+        stop = threading.Event()
+        out = []
+
+        def drain():
+            out.append(q.drain(64, 0.01, stop=stop, poll=0.01))
+
+        t = threading.Thread(target=drain)
+        t.start()
+        stop.set()
+        t.join(timeout=5)
+        assert not t.is_alive()
+        assert out == [[]]
+
+    def test_fifo_order(self, rng):
+        q = RequestQueue(maxsize=16)
+        reqs = [make_request(rng) for _ in range(4)]
+        for r in reqs:
+            q.put(r)
+        assert q.drain(4, 1.0) == reqs
+
+
+class TestDeadlines:
+    def test_expired_request_fails_not_hangs(self, rng):
+        q = RequestQueue(maxsize=4)
+        dead = make_request(rng, deadline=time.monotonic() - 0.01)
+        live = make_request(rng)
+        q.put(dead)
+        q.put(live)
+        batch = q.drain(4, 0.01)
+        assert batch == [live]
+        with pytest.raises(DeadlineExceededError):
+            dead.future.result(timeout=1)
+
+    def test_on_expired_hook(self, rng):
+        seen = []
+        q = RequestQueue(maxsize=4, on_expired=seen.append)
+        dead = make_request(rng, deadline=time.monotonic() - 0.01)
+        live = make_request(rng)
+        q.put(dead)
+        q.put(live)  # drain blocks until a *live* request shows up
+        assert q.drain(4, 0.01) == [live]
+        assert seen == [dead]
+
+    def test_future_resolution_computes_passed(self, rng):
+        req = make_request(rng, threshold=10)
+        req.resolve(11)
+        assert req.future.result(timeout=1).passed is True
+        req2 = make_request(rng, threshold=10)
+        req2.resolve(10)  # equal to tau: strictly-greater means fail
+        assert req2.future.result(timeout=1).passed is False
+
+    def test_fail_all(self, rng):
+        q = RequestQueue(maxsize=4)
+        reqs = [make_request(rng) for _ in range(3)]
+        for r in reqs:
+            q.put(r)
+        assert q.fail_all(RuntimeError("bye")) == 3
+        for r in reqs:
+            with pytest.raises(RuntimeError):
+                r.future.result(timeout=1)

@@ -59,6 +59,25 @@ class TestScore:
         lines = capsys.readouterr().out.strip().splitlines()
         assert len(lines) == 1 + 9
 
+    def test_all_vs_all_chunked_matches_unchunked(self, fasta_pair,
+                                                  capsys):
+        """Chunked lazy cross-product streaming must emit exactly the
+        rows (and order) of the one-shot path."""
+        qp, sp, *_ = fasta_pair
+        main(["score", str(qp), str(sp), "--all-vs-all"])
+        whole = capsys.readouterr().out
+        main(["score", str(qp), str(sp), "--all-vs-all",
+              "--chunk-size", "2"])
+        assert capsys.readouterr().out == whole
+
+    def test_all_vs_all_screen_chunked(self, fasta_pair, capsys):
+        qp, sp, *_ = fasta_pair
+        main(["screen", str(qp), str(sp), "--all-vs-all", "-t", "25",
+              "--chunk-size", "2"])
+        out = capsys.readouterr().out
+        assert "of 9 pairs exceed tau=25" in out
+        assert "q0 vs s0" in out
+
     def test_mismatched_counts_error(self, fasta_pair, tmp_path):
         qp, sp, queries, _ = fasta_pair
         short = tmp_path / "one.fa"
