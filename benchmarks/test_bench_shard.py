@@ -1,0 +1,89 @@
+"""Sharded throughput: the multi-core acceptance claim, measured.
+
+The sharding subsystem's bar: on the 2048-pair x 256 nt screening
+workload, four worker processes must deliver **>= 2x the throughput**
+of the single-process engine — while returning **bit-identical**
+scores (sharding re-partitions work; it must never change answers).
+
+The identity assertion always runs.  The speedup assertion needs four
+real cores to be physically possible, so it skips (not passes) on
+smaller machines — same policy as GPU tests without a GPU.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.filter.screening import bulk_max_scores
+from repro.shard import ShardExecutor, default_workers
+from repro.workloads.datasets import paper_workload
+
+from .conftest import SCHEME
+
+#: The acceptance workload: 2048 pairs of m=128 queries vs 256 nt
+#: subjects (the screening shape, scaled from the paper's 32K pairs).
+SHARD_PAIRS = 2048
+SHARD_M = 128
+SHARD_N = 256
+
+SPEEDUP_WORKERS = 4
+SPEEDUP_BAR = 2.0
+
+
+@pytest.fixture(scope="module")
+def shard_batch():
+    return paper_workload(SHARD_N, pairs=SHARD_PAIRS, m=SHARD_M, seed=29)
+
+
+def test_sharded_scores_bit_identical(shard_batch):
+    X, Y = shard_batch.X, shard_batch.Y
+    base = bulk_max_scores(X, Y, SCHEME)
+    with ShardExecutor(workers=SPEEDUP_WORKERS) as ex:
+        result = ex.run(X, Y, SCHEME)
+    assert np.array_equal(result.scores, base)
+    assert sum(t.pairs for t in result.timings) == SHARD_PAIRS
+
+
+@pytest.mark.skipif(
+    default_workers() < SPEEDUP_WORKERS,
+    reason=f"needs >= {SPEEDUP_WORKERS} usable cores for a real speedup",
+)
+def test_shard_speedup_4_workers(shard_batch):
+    X, Y = shard_batch.X, shard_batch.Y
+
+    t0 = time.perf_counter()
+    base = bulk_max_scores(X, Y, SCHEME)
+    single_s = time.perf_counter() - t0
+
+    with ShardExecutor(workers=SPEEDUP_WORKERS) as ex:
+        ex.run(X[:64], Y[:64], SCHEME)  # warm the pool out of the timing
+        t0 = time.perf_counter()
+        result = ex.run(X, Y, SCHEME)
+        sharded_s = time.perf_counter() - t0
+
+    assert np.array_equal(result.scores, base)
+    speedup = single_s / sharded_s
+    loads = sorted(t.cost for t in result.timings)
+    print(f"\nsingle:  {single_s:6.2f}s  "
+          f"({SHARD_PAIRS / single_s:8.1f} pairs/s)")
+    print(f"sharded: {sharded_s:6.2f}s  "
+          f"({SHARD_PAIRS / sharded_s:8.1f} pairs/s, "
+          f"{len(loads)} shards, load spread "
+          f"{loads[0]}..{loads[-1]}) -> {speedup:.2f}x")
+    assert speedup >= SPEEDUP_BAR, (
+        f"sharded speedup {speedup:.2f}x below the {SPEEDUP_BAR}x bar "
+        f"at {SPEEDUP_WORKERS} workers"
+    )
+
+
+@pytest.mark.benchmark(group="shard")
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_bench_sharded_screen(benchmark, shard_batch, workers):
+    """pytest-benchmark view of the screening workload per worker
+    count (pool held open; per-run sharding + scoring timed)."""
+    X, Y = shard_batch.X, shard_batch.Y
+    with ShardExecutor(workers=workers) as ex:
+        benchmark(lambda: ex.run(X, Y, SCHEME))

@@ -40,6 +40,10 @@ Sub-packages
     Asynchronous micro-batching alignment service: bounded request
     queue, length-binned lane packer, engine worker pool, result
     cache, and a line-JSON TCP server/client pair.
+``repro.shard``
+    Sharded multi-core bulk execution: cost-balanced (LPT) work
+    partitions fanned out to a process pool, with per-shard failure
+    containment and timing.
 ``repro.experiments``
     ``python -m repro.experiments`` regenerates every table and
     figure of the paper.
@@ -55,6 +59,7 @@ from .filter.screening import (ScreenHit, ScreenResult, bulk_max_scores,
 from .kernels.pipeline import PipelineReport, run_gpu_pipeline
 from .serve.queue import AlignmentResult
 from .serve.service import AlignmentService
+from .shard import ShardError, ShardExecutor, shard_bulk_max_scores
 from .swa.scoring import DEFAULT_SCHEME, ScoringScheme
 from .swa.sequential import sw_matrix, sw_max_score
 from .swa.traceback import Alignment, align, format_alignment
@@ -87,4 +92,7 @@ __all__ = [
     "PipelineReport",
     "AlignmentService",
     "AlignmentResult",
+    "ShardExecutor",
+    "ShardError",
+    "shard_bulk_max_scores",
 ]

@@ -61,6 +61,9 @@ def _add_scoring_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--chunk-size", type=int, default=4096,
                    help="pairs scored per engine slice (bounds peak "
                         "memory; default 4096)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard the bulk phase across this many "
+                        "processes (default 1 = in-process)")
 
 
 def _load_sides(args) -> tuple[list, list]:
@@ -75,6 +78,15 @@ def _load_sides(args) -> tuple[list, list]:
             f"(or pass --all-vs-all)"
         )
     return queries, subjects
+
+
+def _workers_from_args(args) -> int | None:
+    """Validate ``--workers``; ``None`` means stay in-process."""
+    if args.workers <= 0:
+        raise SystemExit(
+            f"error: --workers must be positive, got {args.workers}"
+        )
+    return args.workers if args.workers > 1 else None
 
 
 def _iter_pair_chunks(n_queries: int, n_subjects: int, chunk_size: int):
@@ -97,23 +109,40 @@ def _cmd_score(args) -> int:
 
     queries, subjects = _load_sides(args)
     scheme = _scheme_from_args(args)
+    workers = _workers_from_args(args)
     out = sys.stdout
     out.write("query\tsubject\tscore\n")
     if args.all_vs_all:
         Q = records_to_batch(queries)
         S = records_to_batch(subjects)
-        for qi, si in _iter_pair_chunks(len(queries), len(subjects),
-                                        args.chunk_size):
-            scores = bulk_max_scores(Q[qi], S[si], scheme,
+        # One shard pool shared across every chunk of the cross
+        # product, so --workers amortises its startup cost.
+        executor = None
+        if workers is not None:
+            from .shard import ShardExecutor
+
+            executor = ShardExecutor(workers=workers,
                                      word_bits=args.word_bits)
-            for a, b, sc in zip(qi, si, scores):
-                out.write(f"{queries[a].id}\t{subjects[b].id}\t"
-                          f"{int(sc)}\n")
+        try:
+            for qi, si in _iter_pair_chunks(len(queries), len(subjects),
+                                            args.chunk_size):
+                if executor is not None:
+                    scores = executor.run(Q[qi], S[si], scheme).scores
+                else:
+                    scores = bulk_max_scores(Q[qi], S[si], scheme,
+                                             word_bits=args.word_bits)
+                for a, b, sc in zip(qi, si, scores):
+                    out.write(f"{queries[a].id}\t{subjects[b].id}\t"
+                              f"{int(sc)}\n")
+        finally:
+            if executor is not None:
+                executor.close()
     else:
         scores = bulk_max_scores(records_to_batch(queries),
                                  records_to_batch(subjects), scheme,
                                  word_bits=args.word_bits,
-                                 chunk_size=args.chunk_size)
+                                 chunk_size=args.chunk_size,
+                                 workers=workers)
         for qr, sr, sc in zip(queries, subjects, scores):
             out.write(f"{qr.id}\t{sr.id}\t{int(sc)}\n")
     return 0
@@ -122,6 +151,7 @@ def _cmd_score(args) -> int:
 def _cmd_screen(args) -> int:
     queries, subjects = _load_sides(args)
     scheme = _scheme_from_args(args)
+    workers = _workers_from_args(args)
     if args.all_vs_all:
         n_subjects = len(subjects)
         Q = records_to_batch(queries)
@@ -131,7 +161,8 @@ def _cmd_screen(args) -> int:
         for qi, si in _iter_pair_chunks(len(queries), n_subjects,
                                         args.chunk_size):
             result = screen_pairs(Q[qi], S[si], args.threshold, scheme,
-                                  word_bits=args.word_bits)
+                                  word_bits=args.word_bits,
+                                  workers=workers)
             base = int(qi[0]) * n_subjects + int(si[0])
             hits.extend((base + h.pair_index, h) for h in result.hits)
     else:
@@ -139,7 +170,8 @@ def _cmd_screen(args) -> int:
                               records_to_batch(subjects),
                               args.threshold, scheme,
                               word_bits=args.word_bits,
-                              chunk_size=args.chunk_size)
+                              chunk_size=args.chunk_size,
+                              workers=workers)
         total = len(queries)
         hits = [(h.pair_index, h) for h in result.hits]
         n_subjects = 1
@@ -197,6 +229,8 @@ def _cmd_serve(args) -> int:
         max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
         bin_granularity=args.bin_granularity,
         cache_size=args.cache_size,
+        shard_workers=(args.shard_workers if args.shard_workers > 1
+                       else None),
     )
     with service:
         server = AlignmentServer(service, host=args.host,
@@ -270,6 +304,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="scoring backend (default bpbc)")
     p.add_argument("--workers", type=int, default=2,
                    help="engine worker threads (default 2)")
+    p.add_argument("--shard-workers", type=int, default=1,
+                   help="shard each batch across this many processes "
+                        "(bpbc/numpy engines; default 1 = off)")
     p.add_argument("--word-bits", type=int, default=64,
                    choices=(8, 16, 32, 64))
     p.add_argument("--max-queue", type=int, default=1024,

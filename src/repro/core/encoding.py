@@ -38,10 +38,14 @@ __all__ = [
     "CODE_OF",
     "BASE_OF",
     "CHAR_BITS",
+    "QUERY_PAD",
+    "SUBJECT_PAD",
+    "PAD_BITS",
     "encode",
     "decode",
     "encode_batch",
     "encode_batch_bit_transposed",
+    "encode_batch_char_planes",
     "encode_batch_via_bit_matrix",
     "decode_batch_bit_transposed",
     "pack_2bit",
@@ -60,6 +64,18 @@ BASE_OF: dict[int, str] = {code: base for code, base in enumerate(ALPHABET)}
 
 #: Bits per character (the paper's epsilon).
 CHAR_BITS: int = 2
+
+#: Sentinel code padding query tails in mixed-shape batches.  Outside
+#: the 2-bit DNA alphabet, so it mismatches every real base *and* the
+#: subject sentinel — a padded cell can only lose score, which is what
+#: makes sentinel padding exact (see :mod:`repro.serve.packer`).
+QUERY_PAD: int = 4
+
+#: Sentinel code padding subject tails (mismatches everything too).
+SUBJECT_PAD: int = 5
+
+#: Character bit-planes needed once sentinel codes are in play.
+PAD_BITS: int = 3
 
 
 def encode(seq: str) -> np.ndarray:
@@ -111,6 +127,29 @@ def encode_batch_bit_transposed(
     hi = ((codes >> 1) & 1).T  # (n, P)
     lo = (codes & 1).T
     return (pack_lanes(hi, word_bits), pack_lanes(lo, word_bits))
+
+
+def encode_batch_char_planes(
+    codes: np.ndarray, word_bits: int, char_bits: int = PAD_BITS
+) -> np.ndarray:
+    """Bit-transpose a ``(P, n)`` code matrix into character planes.
+
+    Returns ``(char_bits, n, lanes)``: plane ``b`` carries bit ``b`` of
+    every code.  This is the ``eps``-bit generalisation of
+    :func:`encode_batch_bit_transposed` that sentinel-padded batches
+    need (codes 4/5 exceed the 2-bit DNA alphabet, so three planes).
+    """
+    codes = np.asarray(codes)
+    if codes.ndim != 2:
+        raise BitOpsError(f"expected (P, n) codes, got shape {codes.shape}")
+    if codes.size and codes.max() >= (1 << char_bits):
+        raise BitOpsError(
+            f"codes must fit in {char_bits} bits, got max {codes.max()}"
+        )
+    return np.stack([
+        pack_lanes(((codes >> b) & 1).T, word_bits)
+        for b in range(char_bits)
+    ])
 
 
 def decode_batch_bit_transposed(

@@ -94,6 +94,7 @@ def search_database(
     word_bits: int = 64,
     window: int | None = None,
     max_batch_pairs: int = 8192,
+    workers: int | None = None,
 ) -> list[SearchHit]:
     """All-vs-all search of ragged queries against a ragged database.
 
@@ -101,9 +102,14 @@ def search_database(
     the exact maximum local-alignment score, computed through the bulk
     BPBC engine.  ``window`` bounds the text length per batch (default:
     the longest entry, i.e. no windowing); long entries are windowed
-    with a safety overlap so no alignment is lost.
+    with a safety overlap so no alignment is lost.  ``workers > 1``
+    scores every batch through one shared
+    :class:`repro.shard.ShardExecutor` process pool (startup amortised
+    across all shape groups).
     """
     scheme = scheme or DEFAULT_SCHEME
+    if workers is not None and workers <= 0:
+        raise ValueError(f"workers must be positive, got {workers}")
     q_codes = [encode(q) if isinstance(q, str) else np.asarray(q)
                for q in queries]
     d_codes = [encode(d) if isinstance(d, str) else np.asarray(d)
@@ -133,17 +139,31 @@ def search_database(
                     (qi, di, q, d[start:end])
                 )
 
+    executor = None
+    if workers is not None and workers > 1:
+        from ..shard import ShardExecutor
+
+        executor = ShardExecutor(workers=workers, word_bits=word_bits,
+                                 max_shard_pairs=max_batch_pairs)
     best: dict[tuple[int, int], int] = {}
-    for (m, n), items in groups.items():
-        for chunk_start in range(0, len(items), max_batch_pairs):
-            chunk = items[chunk_start:chunk_start + max_batch_pairs]
-            X = np.stack([c[2] for c in chunk])
-            Y = np.stack([c[3] for c in chunk])
-            scores = bulk_max_scores(X, Y, scheme, word_bits=word_bits)
-            for (qi, di, _, _), sc in zip(chunk, scores):
-                key = (qi, di)
-                if sc > best.get(key, -1):
-                    best[key] = int(sc)
+    try:
+        for (m, n), items in groups.items():
+            for chunk_start in range(0, len(items), max_batch_pairs):
+                chunk = items[chunk_start:chunk_start + max_batch_pairs]
+                X = np.stack([c[2] for c in chunk])
+                Y = np.stack([c[3] for c in chunk])
+                if executor is not None:
+                    scores = executor.run(X, Y, scheme).scores
+                else:
+                    scores = bulk_max_scores(X, Y, scheme,
+                                             word_bits=word_bits)
+                for (qi, di, _, _), sc in zip(chunk, scores):
+                    key = (qi, di)
+                    if sc > best.get(key, -1):
+                        best[key] = int(sc)
+    finally:
+        if executor is not None:
+            executor.close()
 
     return [SearchHit(query_index=qi, db_index=di, score=sc)
             for (qi, di), sc in sorted(best.items())]

@@ -61,7 +61,8 @@ class ScreenResult:
 def bulk_max_scores(X: np.ndarray, Y: np.ndarray,
                     scheme: ScoringScheme | None = None,
                     word_bits: int = 64,
-                    chunk_size: int | None = None) -> np.ndarray:
+                    chunk_size: int | None = None,
+                    workers: int | None = None) -> np.ndarray:
     """Max SW score per pair via the BPBC wavefront engine.
 
     ``X`` is ``(P, m)`` and ``Y`` ``(P, n)`` wordwise code matrices;
@@ -69,6 +70,12 @@ def bulk_max_scores(X: np.ndarray, Y: np.ndarray,
     ``chunk_size`` set, the batch is encoded and scored in slices of
     at most that many pairs, bounding peak memory to one chunk's
     planes instead of one ``(P, m)``-sized allocation.
+
+    ``workers > 1`` shards the batch across a process pool
+    (:mod:`repro.shard`); results are identical to the single-process
+    path, ``chunk_size`` becomes the per-shard pair cap, and a worker
+    failure raises :class:`repro.shard.ShardError` naming the affected
+    pairs.
     """
     X = np.asarray(X)
     Y = np.asarray(Y)
@@ -81,6 +88,14 @@ def bulk_max_scores(X: np.ndarray, Y: np.ndarray,
     P = X.shape[0]
     if chunk_size is not None and chunk_size <= 0:
         raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if workers is not None and workers <= 0:
+        raise ValueError(f"workers must be positive, got {workers}")
+    if workers is not None and workers > 1:
+        from ..shard import shard_bulk_max_scores
+
+        return shard_bulk_max_scores(X, Y, scheme, word_bits=word_bits,
+                                     workers=workers,
+                                     max_shard_pairs=chunk_size)
     if chunk_size is not None and P > chunk_size:
         scores = np.empty(P, dtype=np.int64)
         for start in range(0, P, chunk_size):
@@ -98,19 +113,22 @@ def screen_pairs(X: np.ndarray, Y: np.ndarray, threshold: int,
                  scheme: ScoringScheme | None = None,
                  word_bits: int = 64,
                  align_survivors: bool = True,
-                 chunk_size: int | None = None) -> ScreenResult:
+                 chunk_size: int | None = None,
+                 workers: int | None = None) -> ScreenResult:
     """Bulk-score all pairs; fully align those scoring above ``threshold``.
 
     The bulk phase never computes tracebacks — exactly the paper's
     division of labour.  Survivor alignments are exact (wordwise CPU
     matrix + traceback) and their scores are asserted to agree with
     the bulk engine's, which doubles as an end-to-end self-check.
+    ``workers > 1`` shards the bulk phase across processes (see
+    :func:`bulk_max_scores`); survivor alignment stays in-process.
     """
     scheme = scheme or DEFAULT_SCHEME
     if threshold < 0:
         raise ValueError(f"threshold must be non-negative, got {threshold}")
     scores = bulk_max_scores(X, Y, scheme, word_bits,
-                             chunk_size=chunk_size)
+                             chunk_size=chunk_size, workers=workers)
     hits: list[ScreenHit] = []
     if align_survivors:
         for p in np.flatnonzero(scores > threshold):

@@ -23,7 +23,8 @@ Layers (each its own module):
 """
 
 from .cache import ResultCache, cache_key
-from .engine_pool import ENGINES, EnginePool, resolve_engine
+from .engine_pool import (ENGINES, EnginePool, ShardedEngine,
+                          resolve_engine)
 from .errors import (DeadlineExceededError, EngineFailedError,
                      QueueFullError, ServeError, ServiceStoppedError)
 from .packer import PackedBatch, bin_requests, pack_requests
@@ -42,6 +43,7 @@ __all__ = [
     "pack_requests",
     "bin_requests",
     "EnginePool",
+    "ShardedEngine",
     "ENGINES",
     "resolve_engine",
     "ResultCache",

@@ -20,6 +20,13 @@ rejects) instead of buffering unboundedly.  Workers demultiplex scores
 back onto request futures, feed the result cache and record batch
 stats; an engine exception fails every future in the batch with
 :class:`~repro.serve.errors.EngineFailedError` — nothing hangs.
+
+For multi-core machines, :class:`ShardedEngine` wraps the ``bpbc`` or
+``numpy`` engine in a :class:`repro.shard.ShardExecutor`: each packed
+batch is split into cost-balanced shards and scored across a process
+pool, with per-shard timings fed into ``serve.stats``.  Construct it
+via ``EnginePool(engine="bpbc", shard_workers=N)`` or pass an instance
+as the engine.
 """
 
 from __future__ import annotations
@@ -36,7 +43,7 @@ from .errors import EngineFailedError
 from .packer import PackedBatch
 from .stats import ServiceStats
 
-__all__ = ["ENGINES", "EnginePool", "resolve_engine"]
+__all__ = ["ENGINES", "EnginePool", "ShardedEngine", "resolve_engine"]
 
 
 def _engine_bpbc(batch: PackedBatch, word_bits: int) -> np.ndarray:
@@ -96,16 +103,80 @@ def resolve_engine(engine):
         ) from None
 
 
+class ShardedEngine:
+    """Engine wrapper scoring each batch across a shard process pool.
+
+    Wraps a *shardable* engine (``"bpbc"`` or ``"numpy"``; the gpusim
+    engine is simulation-bound and not shardable) in a persistent
+    :class:`repro.shard.ShardExecutor`.  Satisfies the engine protocol
+    ``(PackedBatch, word_bits) -> scores``, so it plugs straight into
+    :class:`EnginePool` / :class:`~repro.serve.service.AlignmentService`.
+    Sentinel-padded batches shard exactly: the shard workers detect pad
+    codes and take the 3-plane path, same as :func:`_engine_bpbc`.
+
+    Per-shard timings are recorded through ``stats.record_shard`` when
+    a :class:`~repro.serve.stats.ServiceStats` is attached (the pool
+    attaches its own automatically when it builds the wrapper from
+    ``shard_workers=``).
+    """
+
+    def __init__(self, engine="bpbc", workers: int | None = None,
+                 word_bits: int = 64,
+                 stats: ServiceStats | None = None,
+                 timeout_s: float | None = None) -> None:
+        from ..shard import ShardExecutor
+
+        self._executor = ShardExecutor(workers=workers, engine=engine,
+                                       word_bits=word_bits,
+                                       timeout_s=timeout_s)
+        self.workers = self._executor.workers
+        self.stats = stats
+
+    def __call__(self, batch: PackedBatch, word_bits: int) -> np.ndarray:
+        result = self._executor.run(batch.X, batch.Y, batch.scheme)
+        if self.stats is not None:
+            for t in result.timings:
+                self.stats.record_shard(t.pairs, t.elapsed_s)
+        return result.scores
+
+    def close(self) -> None:
+        """Tear down the underlying process pool (idempotent)."""
+        self._executor.close()
+
+
 class EnginePool:
-    """N worker threads draining a bounded queue of packed batches."""
+    """N worker threads draining a bounded queue of packed batches.
+
+    ``shard_workers > 1`` wraps a named ``"bpbc"``/``"numpy"`` engine
+    in a :class:`ShardedEngine`, so every batch is additionally spread
+    across that many processes; the pool owns the wrapper and closes
+    it in :meth:`stop`.
+    """
 
     def __init__(self, engine="bpbc", workers: int = 2,
                  word_bits: int = 64,
                  cache: ResultCache | None = None,
                  stats: ServiceStats | None = None,
-                 queue_depth: int | None = None) -> None:
+                 queue_depth: int | None = None,
+                 shard_workers: int | None = None) -> None:
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
+        if shard_workers is not None and shard_workers <= 0:
+            raise ValueError(
+                f"shard_workers must be positive, got {shard_workers}"
+            )
+        self._owned_sharded: ShardedEngine | None = None
+        if shard_workers is not None and shard_workers > 1:
+            if not isinstance(engine, str) or engine not in ("bpbc",
+                                                             "numpy"):
+                raise ValueError(
+                    f"shard_workers requires the 'bpbc' or 'numpy' "
+                    f"engine, got {engine!r}"
+                )
+            self._owned_sharded = ShardedEngine(
+                engine, workers=shard_workers, word_bits=word_bits,
+                stats=stats)
+            engine = self._owned_sharded
         self._engine = resolve_engine(engine)
         self.workers = workers
         self.word_bits = word_bits
@@ -133,6 +204,8 @@ class EnginePool:
         for t in self._threads:
             t.join()
         self._threads.clear()
+        if self._owned_sharded is not None:
+            self._owned_sharded.close()
 
     def submit(self, batch: PackedBatch) -> None:
         """Hand a batch to the workers (blocks when the pool is saturated

@@ -32,23 +32,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.bitops import pack_lanes
-from ..core.encoding import encode_batch_bit_transposed
+from ..core.encoding import (PAD_BITS, QUERY_PAD, SUBJECT_PAD,
+                             encode_batch_bit_transposed,
+                             encode_batch_char_planes)
 from ..swa.scoring import ScoringScheme
 from .queue import AlignmentRequest
 
 __all__ = ["PackedBatch", "QUERY_PAD", "SUBJECT_PAD", "PAD_BITS",
            "bin_key", "bin_requests", "pack_requests"]
-
-#: Sentinel code padding query tails (mismatches every real base and
-#: the subject sentinel).
-QUERY_PAD = 4
-
-#: Sentinel code padding subject tails.
-SUBJECT_PAD = 5
-
-#: Character bit-planes needed once sentinels are in play.
-PAD_BITS = 3
 
 
 @dataclass
@@ -103,15 +94,8 @@ class PackedBatch:
 
     def char_planes(self, word_bits: int):
         """``(eps=3, len, lanes)`` character planes for both sides."""
-        return (_planes3(self.X, word_bits), _planes3(self.Y, word_bits))
-
-
-def _planes3(codes: np.ndarray, word_bits: int) -> np.ndarray:
-    """Bit-transpose ``(P, n)`` 3-bit codes into ``(3, n, lanes)``."""
-    return np.stack([
-        pack_lanes(((codes >> b) & 1).T, word_bits)
-        for b in range(PAD_BITS)
-    ])
+        return (encode_batch_char_planes(self.X, word_bits),
+                encode_batch_char_planes(self.Y, word_bits))
 
 
 def bin_key(request: AlignmentRequest,

@@ -80,6 +80,12 @@ class AlignmentService:
         sentinel-padded positions per sequence.  ``1`` = exact shapes.
     cache_size:
         LRU entries for the result cache (0 disables caching).
+    shard_workers:
+        With a value > 1, every batch is additionally sharded across
+        that many *processes* via
+        :class:`~repro.serve.engine_pool.ShardedEngine` (``bpbc`` /
+        ``numpy`` engines only); per-shard timings surface in
+        ``stats.snapshot()``.
     """
 
     def __init__(self, engine="bpbc", workers: int = 2,
@@ -87,7 +93,8 @@ class AlignmentService:
                  max_batch: int | None = None,
                  max_wait_ms: float = 2.0,
                  bin_granularity: int = 1,
-                 cache_size: int = 4096) -> None:
+                 cache_size: int = 4096,
+                 shard_workers: int | None = None) -> None:
         if max_wait_ms < 0:
             raise ValueError(
                 f"max_wait_ms must be >= 0, got {max_wait_ms}"
@@ -109,7 +116,8 @@ class AlignmentService:
         self.stats.set_queue_gauge(lambda: self.queue.depth)
         self.pool = EnginePool(engine=engine, workers=workers,
                                word_bits=word_bits, cache=self.cache,
-                               stats=self.stats)
+                               stats=self.stats,
+                               shard_workers=shard_workers)
         self._stop = threading.Event()
         self._packer: threading.Thread | None = None
 

@@ -35,7 +35,10 @@ class ServiceStats:
         self.batches = 0
         self.lanes_used = 0
         self.lane_slots = 0
+        self.shards = 0
+        self.shard_pairs = 0
         self._latencies: deque[float] = deque(maxlen=latency_window)
+        self._shard_times: deque[float] = deque(maxlen=latency_window)
         self._queue_gauge = None
 
     # -- recording hooks ------------------------------------------------
@@ -74,6 +77,13 @@ class ServiceStats:
             self.completed += 1
             self._latencies.append(latency_s)
 
+    def record_shard(self, pairs: int, elapsed_s: float) -> None:
+        """Account one completed shard of a sharded engine run."""
+        with self._lock:
+            self.shards += 1
+            self.shard_pairs += pairs
+            self._shard_times.append(elapsed_s)
+
     def set_queue_gauge(self, fn) -> None:
         """Register a zero-arg callable reporting current queue depth."""
         self._queue_gauge = fn
@@ -101,9 +111,20 @@ class ServiceStats:
         return (float(np.percentile(arr, 50)),
                 float(np.percentile(arr, 99)))
 
+    def shard_time_percentiles(self) -> tuple[float, float]:
+        """(p50, p99) per-shard compute time in ms over the window."""
+        with self._lock:
+            times = list(self._shard_times)
+        if not times:
+            return (0.0, 0.0)
+        arr = np.asarray(times) * 1e3
+        return (float(np.percentile(arr, 50)),
+                float(np.percentile(arr, 99)))
+
     def snapshot(self) -> dict:
         """All counters and derived figures as one JSON-able dict."""
         p50, p99 = self.latency_percentiles()
+        sp50, sp99 = self.shard_time_percentiles()
         with self._lock:
             snap = {
                 "requests_submitted": self.submitted,
@@ -115,11 +136,15 @@ class ServiceStats:
                 "batches": self.batches,
                 "lanes_used": self.lanes_used,
                 "lane_slots": self.lane_slots,
+                "shards": self.shards,
+                "shard_pairs": self.shard_pairs,
             }
         snap["mean_lane_occupancy"] = round(self.mean_lane_occupancy, 4)
         snap["queue_depth"] = self.queue_depth
         snap["latency_p50_ms"] = round(p50, 3)
         snap["latency_p99_ms"] = round(p99, 3)
+        snap["shard_p50_ms"] = round(sp50, 3)
+        snap["shard_p99_ms"] = round(sp99, 3)
         return snap
 
     def render(self) -> str:

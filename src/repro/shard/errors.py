@@ -1,0 +1,35 @@
+"""Errors raised by the sharded bulk-execution backend."""
+
+from __future__ import annotations
+
+__all__ = ["ShardError"]
+
+
+class ShardError(RuntimeError):
+    """One shard of a sharded run failed.
+
+    Raised (or collected, with ``errors="return"``) when a shard's
+    worker crashed, timed out, or its engine raised.  The failure is
+    confined to the shard: every other shard's scores are computed and
+    delivered normally.  ``pair_indices`` names exactly the pairs in
+    the caller's submission order whose scores are missing, so the
+    caller can retry them (e.g. in-process) or skip them.
+
+    Attributes
+    ----------
+    shard_id:
+        Which shard of the run's partition failed.
+    pair_indices:
+        Original (submission-order) indices of the pairs the shard
+        owned.
+    cause:
+        The underlying exception, when one was observed (``None`` for
+        a timeout / lost-worker failure).
+    """
+
+    def __init__(self, message: str, shard_id: int,
+                 pair_indices, cause: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.shard_id = int(shard_id)
+        self.pair_indices = tuple(int(i) for i in pair_indices)
+        self.cause = cause

@@ -1,0 +1,325 @@
+"""Sharded multi-core bulk execution.
+
+The bulk engines score 64 pairs per lane word, but a single Python
+process drives only one core.  :class:`ShardExecutor` closes that gap
+the way SWAPHI and SALoBa scale alignment across compute units: the
+pair workload is partitioned into cost-balanced shards (greedy LPT on
+``len(x) * len(y)``, :mod:`repro.shard.partition`), shards fan out to
+a ``multiprocessing`` worker pool (engine constructed per worker,
+sequences shipped as packed ``uint8`` buffers,
+:mod:`repro.shard.worker`), and ``(shard_id, scores)`` results are
+reassembled into submission order.
+
+Failure model: a worker crash, timeout, or engine exception fails
+*only its shard* — every completed shard's scores are kept, and the
+failure surfaces as a :class:`~repro.shard.errors.ShardError` carrying
+the shard's original pair indices so the caller can retry or skip
+exactly those pairs.  Detection of a silently dead worker needs a
+finite ``timeout_s`` (a lost task never resolves on its own).
+
+Degradation: ``workers=1``, a platform without a usable
+``multiprocessing`` start method, or a pool that fails to spawn all
+fall back to in-process execution over the *same* shard plan and
+scoring code, so results are identical either way.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..swa.scoring import DEFAULT_SCHEME, ScoringScheme
+from .errors import ShardError
+from .partition import pair_costs, partition_lpt
+from .worker import (init_worker, pack_shard, resolve_shard_engine,
+                     run_shard, score_shard)
+
+__all__ = ["ShardTiming", "ShardRunResult", "ShardExecutor",
+           "shard_bulk_max_scores", "default_workers"]
+
+
+def default_workers() -> int:
+    """Usable CPU count (affinity-aware where the platform exposes it)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _make_context(start_method: str | None):
+    """A usable multiprocessing context, or ``None`` to degrade.
+
+    Prefers ``fork`` (cheap startup; the engines hold no threads or
+    locks at run time) and falls back to ``spawn``/``forkserver``.
+    """
+    preferred = ([start_method] if start_method is not None
+                 else ["fork", "spawn", "forkserver"])
+    try:
+        available = multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - platform without mp
+        return None
+    for method in preferred:
+        if method in available:
+            try:
+                return multiprocessing.get_context(method)
+            except ValueError:  # pragma: no cover - races/odd platforms
+                continue
+    return None
+
+
+@dataclass(frozen=True)
+class ShardTiming:
+    """Per-shard accounting: what ran where, for how long."""
+
+    shard_id: int
+    pairs: int
+    cost: int        # total DP cells: sum of len(x) * len(y)
+    elapsed_s: float  # worker-side compute time
+
+
+@dataclass
+class ShardRunResult:
+    """Output of one sharded run.
+
+    ``scores`` is ``(P,)`` int64 in submission order; pairs belonging
+    to a failed shard hold ``-1`` (only possible with
+    ``errors="return"``).  ``timings`` covers completed shards,
+    ``errors`` the failed ones.
+    """
+
+    scores: np.ndarray
+    timings: list[ShardTiming]
+    errors: list[ShardError]
+
+    @property
+    def failed_pairs(self) -> np.ndarray:
+        """Submission-order indices of pairs whose shard failed."""
+        if not self.errors:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(
+            [np.asarray(e.pair_indices, dtype=np.int64)
+             for e in self.errors]))
+
+
+def _as_rows(batch) -> list[np.ndarray]:
+    """Accept a ``(P, n)`` code matrix or a ragged list of 1-D arrays."""
+    if isinstance(batch, np.ndarray):
+        if batch.ndim != 2:
+            raise ValueError(
+                f"expected a (P, n) code matrix, got shape {batch.shape}"
+            )
+        return list(np.ascontiguousarray(batch, dtype=np.uint8))
+    rows = [np.ascontiguousarray(row, dtype=np.uint8) for row in batch]
+    for row in rows:
+        if row.ndim != 1:
+            raise ValueError(
+                f"ragged input rows must be 1-D, got shape {row.shape}"
+            )
+    return rows
+
+
+class ShardExecutor:
+    """A reusable sharded scoring backend over a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Process count (default: the machine's usable CPUs).  ``1``
+        runs in-process with no pool at all.
+    engine:
+        ``"bpbc"`` (default), ``"numpy"``, or a picklable callable
+        ``(X, Y, scheme, word_bits) -> scores``.
+    word_bits:
+        Lane word width for the BPBC engine.
+    timeout_s:
+        Wall-clock budget per :meth:`run`; shards unfinished when it
+        expires fail with :class:`ShardError` (this is also how a
+        silently dead worker is detected).  ``None`` waits forever.
+    max_shard_pairs:
+        Cap on pairs per shard (bounds per-worker memory; the shard
+        count rises above ``workers`` as needed).
+    bin_granularity:
+        Length-bin rounding for ragged shards (see
+        :func:`repro.shard.worker.score_codes`).
+    start_method:
+        Force a ``multiprocessing`` start method; default tries
+        ``fork`` then ``spawn``/``forkserver``, degrading to
+        in-process execution when none is usable.
+    """
+
+    def __init__(self, workers: int | None = None, engine="bpbc",
+                 word_bits: int = 64, timeout_s: float | None = None,
+                 max_shard_pairs: int | None = None,
+                 bin_granularity: int = 16,
+                 start_method: str | None = None) -> None:
+        workers = default_workers() if workers is None else workers
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError(
+                f"timeout_s must be positive, got {timeout_s}"
+            )
+        if max_shard_pairs is not None and max_shard_pairs <= 0:
+            raise ValueError(
+                f"max_shard_pairs must be positive, got {max_shard_pairs}"
+            )
+        if bin_granularity <= 0:
+            raise ValueError(
+                f"bin_granularity must be positive, got {bin_granularity}"
+            )
+        self.word_bits = word_bits
+        self.timeout_s = timeout_s
+        self.max_shard_pairs = max_shard_pairs
+        self.bin_granularity = bin_granularity
+        self._engine_fn = resolve_shard_engine(engine)  # fail fast
+        self._pool = None
+        if workers > 1:
+            ctx = _make_context(start_method)
+            if ctx is not None:
+                try:
+                    self._pool = ctx.Pool(
+                        workers, initializer=init_worker,
+                        initargs=(engine, word_bits, bin_granularity))
+                except (OSError, ValueError):
+                    self._pool = None  # degrade to in-process
+        self.workers = workers if self._pool is not None else 1
+
+    @property
+    def in_process(self) -> bool:
+        """True when running without a pool (degraded or ``workers=1``)."""
+        return self._pool is None
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Tear the pool down (idempotent; in-flight shards are
+        abandoned)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+        self.workers = 1
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- execution ------------------------------------------------------
+    def run(self, X, Y, scheme: ScoringScheme | None = None,
+            errors: str = "raise") -> ShardRunResult:
+        """Score every pair ``(X[p], Y[p])``; shard-parallel.
+
+        ``X`` / ``Y`` are ``(P, m)`` / ``(P, n)`` code matrices or
+        ragged lists of 1-D code arrays.  ``errors="raise"`` (default)
+        raises the first :class:`ShardError` after all shards settle;
+        ``errors="return"`` instead reports failures in
+        ``ShardRunResult.errors`` with the affected scores at ``-1``.
+        """
+        if errors not in ("raise", "return"):
+            raise ValueError(
+                f'errors must be "raise" or "return", got {errors!r}'
+            )
+        xs = _as_rows(X)
+        ys = _as_rows(Y)
+        if len(xs) != len(ys):
+            raise ValueError(
+                f"pair count mismatch: {len(xs)} queries vs "
+                f"{len(ys)} subjects"
+            )
+        if not xs:
+            return ShardRunResult(scores=np.empty(0, dtype=np.int64),
+                                  timings=[], errors=[])
+        scheme = scheme or DEFAULT_SCHEME
+        costs = pair_costs(xs, ys)
+        plan = partition_lpt(costs, self.workers,
+                             max_pairs=self.max_shard_pairs)
+        payloads = [
+            pack_shard(sid, [xs[i] for i in idx], [ys[i] for i in idx])
+            for sid, idx in enumerate(plan)
+        ]
+        scores = np.full(len(xs), -1, dtype=np.int64)
+        timings: list[ShardTiming] = []
+        failures: list[ShardError] = []
+
+        def settle(sid: int, shard_scores: np.ndarray,
+                   elapsed: float) -> None:
+            idx = plan[sid]
+            scores[idx] = shard_scores
+            timings.append(ShardTiming(
+                shard_id=sid, pairs=len(idx),
+                cost=int(costs[idx].sum()), elapsed_s=elapsed))
+
+        if self._pool is None:
+            for payload, idx in zip(payloads, plan):
+                try:
+                    sid, shard_scores, elapsed = score_shard(
+                        payload, scheme, self._engine_fn,
+                        self.word_bits, self.bin_granularity)
+                    settle(sid, shard_scores, elapsed)
+                except Exception as exc:  # noqa: BLE001 - per-shard fault
+                    failures.append(ShardError(
+                        f"shard {payload.shard_id} failed in-process: "
+                        f"{exc!r}", payload.shard_id, idx, cause=exc))
+        else:
+            deadline = (None if self.timeout_s is None
+                        else time.monotonic() + self.timeout_s)
+            handles = [
+                self._pool.apply_async(run_shard, (payload, scheme))
+                for payload in payloads
+            ]
+            for payload, idx, handle in zip(payloads, plan, handles):
+                try:
+                    remaining = (None if deadline is None else
+                                 max(deadline - time.monotonic(), 1e-3))
+                    sid, score_bytes, elapsed = handle.get(remaining)
+                    settle(sid, np.frombuffer(score_bytes,
+                                              dtype=np.int64), elapsed)
+                except multiprocessing.TimeoutError:
+                    failures.append(ShardError(
+                        f"shard {payload.shard_id} missed the "
+                        f"{self.timeout_s}s deadline (worker dead, "
+                        f"stuck, or overloaded); pairs "
+                        f"{idx[0]}..{idx[-1]} unscored",
+                        payload.shard_id, idx))
+                except Exception as exc:  # noqa: BLE001 - per-shard fault
+                    failures.append(ShardError(
+                        f"shard {payload.shard_id} failed in worker: "
+                        f"{exc!r}", payload.shard_id, idx, cause=exc))
+        failures.sort(key=lambda e: e.shard_id)
+        if failures and errors == "raise":
+            raise failures[0]
+        return ShardRunResult(scores=scores, timings=timings,
+                              errors=failures)
+
+
+def shard_bulk_max_scores(X, Y, scheme: ScoringScheme | None = None,
+                          word_bits: int = 64,
+                          workers: int | None = None,
+                          engine="bpbc",
+                          timeout_s: float | None = None,
+                          max_shard_pairs: int | None = None,
+                          bin_granularity: int = 16) -> np.ndarray:
+    """One-shot sharded scoring: build a pool, score, tear down.
+
+    The convenience form of :class:`ShardExecutor` for batch callers
+    (:func:`repro.filter.screening.bulk_max_scores` with ``workers >
+    1`` routes here).  Long-lived callers (the serve engine pool)
+    should hold a :class:`ShardExecutor` instead and amortise pool
+    startup.
+    """
+    with ShardExecutor(workers=workers, engine=engine,
+                       word_bits=word_bits, timeout_s=timeout_s,
+                       max_shard_pairs=max_shard_pairs,
+                       bin_granularity=bin_granularity) as executor:
+        return executor.run(X, Y, scheme).scores

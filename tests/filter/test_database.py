@@ -111,6 +111,20 @@ class TestSearchDatabase:
         with pytest.raises(ValueError):
             search_database([], ["ACGT"], SCHEME)
 
+    def test_sharded_matches_in_process(self, rng):
+        queries = [decode(random_strand(rng, int(rng.integers(4, 10))))
+                   for _ in range(4)]
+        db = [decode(random_strand(rng, int(rng.integers(10, 40))))
+              for _ in range(6)]
+        base = search_database(queries, db, SCHEME)
+        sharded = search_database(queries, db, SCHEME, workers=2)
+        assert base == sharded
+
+    @pytest.mark.parametrize("workers", [0, -1])
+    def test_bad_workers(self, workers):
+        with pytest.raises(ValueError, match="workers must be positive"):
+            search_database(["ACGT"], ["ACGT"], SCHEME, workers=workers)
+
     @settings(max_examples=8, deadline=None)
     @given(seed=st.integers(0, 2**31), window=st.integers(30, 80))
     def test_windowed_equals_full_property(self, seed, window):

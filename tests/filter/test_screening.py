@@ -40,10 +40,36 @@ class TestBulkMaxScores:
             bulk_max_scores(X, Y, SCHEME),
         )
 
-    def test_bad_chunk_size(self, rng):
+    @pytest.mark.parametrize("chunk_size", [0, -1, -64])
+    def test_bad_chunk_size(self, rng, chunk_size):
         X = rng.integers(0, 4, (4, 6), dtype=np.uint8)
-        with pytest.raises(ValueError):
-            bulk_max_scores(X, X, SCHEME, chunk_size=0)
+        with pytest.raises(ValueError, match="chunk_size must be positive"):
+            bulk_max_scores(X, X, SCHEME, chunk_size=chunk_size)
+
+    @pytest.mark.parametrize("workers", [0, -1])
+    def test_bad_workers(self, rng, workers):
+        X = rng.integers(0, 4, (4, 6), dtype=np.uint8)
+        with pytest.raises(ValueError, match="workers must be positive"):
+            bulk_max_scores(X, X, SCHEME, workers=workers)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_workers_equal_one_shot(self, rng, workers):
+        X = rng.integers(0, 4, (41, 6), dtype=np.uint8)
+        Y = rng.integers(0, 4, (41, 14), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            bulk_max_scores(X, Y, SCHEME, workers=workers),
+            bulk_max_scores(X, Y, SCHEME),
+        )
+
+    def test_workers_with_chunk_size_caps_shards(self, rng):
+        # chunk_size doubles as the per-shard pair cap on the sharded
+        # path; results must stay identical.
+        X = rng.integers(0, 4, (30, 6), dtype=np.uint8)
+        Y = rng.integers(0, 4, (30, 10), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            bulk_max_scores(X, Y, SCHEME, chunk_size=7, workers=2),
+            bulk_max_scores(X, Y, SCHEME),
+        )
 
 
 class TestScreenPairs:
@@ -101,6 +127,27 @@ class TestScreenPairs:
         X = rng.integers(0, 4, (2, 4), dtype=np.uint8)
         with pytest.raises(ValueError):
             screen_pairs(X, X, -1, SCHEME)
+
+    @pytest.mark.parametrize("chunk_size", [0, -5])
+    def test_bad_chunk_size(self, rng, chunk_size):
+        X = rng.integers(0, 4, (4, 6), dtype=np.uint8)
+        with pytest.raises(ValueError, match="chunk_size must be positive"):
+            screen_pairs(X, X, 5, SCHEME, chunk_size=chunk_size)
+
+    @pytest.mark.parametrize("workers", [0, -2])
+    def test_bad_workers(self, rng, workers):
+        X = rng.integers(0, 4, (4, 6), dtype=np.uint8)
+        with pytest.raises(ValueError, match="workers must be positive"):
+            screen_pairs(X, X, 5, SCHEME, workers=workers)
+
+    def test_sharded_screen_matches_one_shot(self, rng):
+        X, Y, _ = homologous_pairs(rng, 20, 12, 48,
+                                   related_fraction=0.5)
+        whole = screen_pairs(X, Y, 15, SCHEME)
+        sharded = screen_pairs(X, Y, 15, SCHEME, workers=2)
+        np.testing.assert_array_equal(whole.scores, sharded.scores)
+        assert [h.pair_index for h in whole.hits] == \
+            [h.pair_index for h in sharded.hits]
 
     def test_chunked_screen_matches_one_shot(self, rng):
         X, Y, _ = homologous_pairs(rng, 20, 12, 48,

@@ -1,0 +1,141 @@
+"""Concurrency stress: 16 producers against the bounded queue.
+
+The queue's contract under contention: every request either enters
+the queue (and its future later resolves exactly once) or is rejected
+with ``QueueFullError`` (and its future never resolves) — nothing is
+lost, nothing is delivered twice, and the shed count adds up.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.serve import AlignmentService
+from repro.serve.errors import QueueFullError
+from repro.serve.queue import AlignmentRequest, RequestQueue
+from repro.swa.scoring import DEFAULT_SCHEME
+
+PRODUCERS = 16
+PER_PRODUCER = 200
+QUEUE_SIZE = 64
+
+
+def _tagged_request(tag: int) -> AlignmentRequest:
+    # The threshold field doubles as a unique tag: the consumer echoes
+    # it back as the score, so delivery is traceable end to end.
+    return AlignmentRequest(
+        query=np.zeros(4, dtype=np.uint8),
+        subject=np.zeros(4, dtype=np.uint8),
+        scheme=DEFAULT_SCHEME, threshold=tag, deadline=None,
+        future=Future(), enqueued_at=time.monotonic(),
+    )
+
+
+def test_sixteen_producers_no_lost_or_duplicated_futures():
+    queue = RequestQueue(maxsize=QUEUE_SIZE)
+    accepted: list[list[AlignmentRequest]] = [[] for _ in range(PRODUCERS)]
+    rejected: list[list[AlignmentRequest]] = [[] for _ in range(PRODUCERS)]
+    consumed: list[int] = []
+    stop = threading.Event()
+    start = threading.Barrier(PRODUCERS + 1)
+
+    def producer(tid: int) -> None:
+        start.wait()
+        for i in range(PER_PRODUCER):
+            req = _tagged_request(tid * PER_PRODUCER + i)
+            try:
+                queue.put(req)
+            except QueueFullError:
+                rejected[tid].append(req)
+            else:
+                accepted[tid].append(req)
+
+    def consumer() -> None:
+        start.wait()
+        while not stop.is_set() or len(queue):
+            for req in queue.drain(32, 0.001, stop=stop):
+                req.resolve(req.threshold)
+                consumed.append(req.threshold)
+
+    threads = [threading.Thread(target=producer, args=(t,))
+               for t in range(PRODUCERS)]
+    threads.append(threading.Thread(target=consumer))
+    for t in threads:
+        t.start()
+    for t in threads[:-1]:
+        t.join(timeout=60)
+    stop.set()
+    threads[-1].join(timeout=60)
+    assert not any(t.is_alive() for t in threads)
+
+    n_accepted = sum(len(a) for a in accepted)
+    n_rejected = sum(len(r) for r in rejected)
+    assert n_accepted + n_rejected == PRODUCERS * PER_PRODUCER
+    assert n_accepted >= QUEUE_SIZE  # the queue did absorb work
+
+    # Exactly the accepted tags were consumed — once each.
+    accepted_tags = sorted(r.threshold for a in accepted for r in a)
+    assert sorted(consumed) == accepted_tags
+    assert len(set(consumed)) == len(consumed)
+    assert len(queue) == 0
+
+    # Every accepted future resolved with its own tag; no rejected
+    # future was ever touched.
+    for reqs in accepted:
+        for req in reqs:
+            assert req.future.done()
+            assert req.future.result(timeout=0).score == req.threshold
+    for reqs in rejected:
+        for req in reqs:
+            assert not req.future.done()
+
+
+def test_service_level_backpressure_accounting():
+    """The same contract one layer up: concurrent ``submit`` against a
+    small service either returns a future that resolves or raises
+    ``QueueFullError``, and the stats ledger balances."""
+    service = AlignmentService(engine="bpbc", workers=2, max_queue=32,
+                               max_wait_ms=0.5, cache_size=0)
+    futures: list[Future] = []
+    counts = {"rejected": 0}
+    lock = threading.Lock()
+    start = threading.Barrier(PRODUCERS)
+    rng = np.random.default_rng(5)
+    query = rng.integers(0, 4, 8, dtype=np.uint8)
+    subject = rng.integers(0, 4, 8, dtype=np.uint8)
+
+    def producer() -> None:
+        start.wait()
+        for _ in range(25):
+            try:
+                f = service.submit(query, subject)
+            except QueueFullError:
+                with lock:
+                    counts["rejected"] += 1
+            else:
+                with lock:
+                    futures.append(f)
+
+    with service:
+        threads = [threading.Thread(target=producer)
+                   for _ in range(PRODUCERS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not any(t.is_alive() for t in threads)
+        results = [f.result(timeout=60) for f in futures]
+
+    submitted = PRODUCERS * 25
+    assert len(futures) + counts["rejected"] == submitted
+    assert len({r.score for r in results}) <= 1  # one pair, one score
+    snap = service.stats.snapshot()
+    assert snap["requests_submitted"] == submitted
+    assert snap["requests_rejected"] == counts["rejected"]
+    assert snap["requests_completed"] == len(futures)
+    assert snap["requests_failed"] == 0 and snap["requests_expired"] == 0

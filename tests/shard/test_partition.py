@@ -1,0 +1,105 @@
+"""Greedy-LPT partitioning: coverage, balance, capacity, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.shard.partition import pair_costs, partition_lpt, shard_loads
+
+
+def _flatten(plan) -> np.ndarray:
+    return np.sort(np.concatenate(plan)) if plan else \
+        np.empty(0, dtype=np.int64)
+
+
+class TestPairCosts:
+    def test_rectangular(self):
+        X = np.zeros((5, 7), dtype=np.uint8)
+        Y = np.zeros((5, 11), dtype=np.uint8)
+        assert np.array_equal(pair_costs(X, Y), np.full(5, 77))
+
+    def test_ragged(self):
+        xs = [np.zeros(3, np.uint8), np.zeros(10, np.uint8)]
+        ys = [np.zeros(4, np.uint8), np.zeros(2, np.uint8)]
+        assert np.array_equal(pair_costs(xs, ys), [12, 20])
+
+    def test_mismatched_counts(self):
+        with pytest.raises(ValueError, match="pair count mismatch"):
+            pair_costs([np.zeros(3, np.uint8)], [])
+
+
+class TestPartitionLPT:
+    def test_exact_coverage(self, rng):
+        costs = rng.integers(1, 1000, size=97)
+        plan = partition_lpt(costs, 4)
+        assert np.array_equal(_flatten(plan), np.arange(97))
+
+    def test_indices_sorted_within_shard(self, rng):
+        costs = rng.integers(1, 1000, size=50)
+        for idx in partition_lpt(costs, 3):
+            assert np.array_equal(idx, np.sort(idx))
+
+    def test_balance_uniform(self):
+        # 64 equal pairs over 4 shards: perfectly even split.
+        plan = partition_lpt(np.full(64, 100), 4)
+        loads = shard_loads(np.full(64, 100), plan)
+        assert len(plan) == 4
+        assert np.all(loads == 1600)
+
+    def test_balance_skewed(self, rng):
+        # Zipf-ish skew: LPT keeps makespan within 4/3 of the mean
+        # lower bound (theory bound, loose in practice).
+        costs = (rng.zipf(1.5, size=512) * 10).astype(np.int64)
+        costs = np.minimum(costs, 10_000)
+        plan = partition_lpt(costs, 4)
+        loads = shard_loads(costs, plan)
+        lower_bound = max(costs.sum() / 4, costs.max())
+        assert loads.max() <= lower_bound * 4 / 3 + 1
+
+    def test_beats_contiguous_chunking_on_sorted_input(self):
+        # Costs sorted ascending — the adversarial case for contiguous
+        # chunking, which dumps all the big pairs into the last shard.
+        costs = np.arange(1, 129, dtype=np.int64) ** 2
+        lpt = shard_loads(costs, partition_lpt(costs, 4)).max()
+        chunks = [np.arange(i, i + 32, dtype=np.int64)
+                  for i in range(0, 128, 32)]
+        contiguous = shard_loads(costs, chunks).max()
+        assert lpt < contiguous
+
+    def test_max_pairs_respected_and_grows_shards(self):
+        costs = np.full(100, 5)
+        plan = partition_lpt(costs, 2, max_pairs=10)
+        assert len(plan) == 10
+        assert all(len(idx) <= 10 for idx in plan)
+        assert np.array_equal(_flatten(plan), np.arange(100))
+
+    def test_shards_clipped_to_pair_count(self):
+        plan = partition_lpt([7, 7], 16)
+        assert len(plan) == 2
+        assert np.array_equal(_flatten(plan), np.arange(2))
+
+    def test_empty(self):
+        assert partition_lpt(np.empty(0, np.int64), 4) == []
+
+    def test_deterministic(self, rng):
+        costs = rng.integers(1, 100, size=200)
+        a = partition_lpt(costs, 5, max_pairs=50)
+        b = partition_lpt(costs, 5, max_pairs=50)
+        assert len(a) == len(b)
+        for ia, ib in zip(a, b):
+            assert np.array_equal(ia, ib)
+
+    @pytest.mark.parametrize("shards", [0, -1])
+    def test_bad_shards(self, shards):
+        with pytest.raises(ValueError, match="shards must be positive"):
+            partition_lpt([1, 2], shards)
+
+    @pytest.mark.parametrize("max_pairs", [0, -3])
+    def test_bad_max_pairs(self, max_pairs):
+        with pytest.raises(ValueError, match="max_pairs must be positive"):
+            partition_lpt([1, 2], 2, max_pairs=max_pairs)
+
+    def test_bad_cost_shape(self):
+        with pytest.raises(ValueError, match="1-D"):
+            partition_lpt(np.ones((2, 2)), 2)

@@ -85,6 +85,26 @@ class TestScore:
         with pytest.raises(SystemExit):
             main(["score", str(qp), str(short)])
 
+    def test_workers_matches_in_process(self, fasta_pair, capsys):
+        """--workers 2 shards across processes; the rows must not
+        change by a byte, pairwise and all-vs-all."""
+        qp, sp, *_ = fasta_pair
+        main(["score", str(qp), str(sp)])
+        pairwise = capsys.readouterr().out
+        main(["score", str(qp), str(sp), "--workers", "2"])
+        assert capsys.readouterr().out == pairwise
+        main(["score", str(qp), str(sp), "--all-vs-all"])
+        cross = capsys.readouterr().out
+        main(["score", str(qp), str(sp), "--all-vs-all",
+              "--workers", "2", "--chunk-size", "2"])
+        assert capsys.readouterr().out == cross
+
+    @pytest.mark.parametrize("workers", ["0", "-1"])
+    def test_bad_workers_rejected(self, fasta_pair, workers):
+        qp, sp, *_ = fasta_pair
+        with pytest.raises(SystemExit, match="workers must be positive"):
+            main(["score", str(qp), str(sp), "--workers", workers])
+
     def test_custom_scoring(self, fasta_pair, capsys):
         qp, sp, queries, subjects = fasta_pair
         main(["score", str(qp), str(sp), "--match", "3",
@@ -97,6 +117,13 @@ class TestScore:
 
 
 class TestScreen:
+    def test_workers_matches_in_process(self, fasta_pair, capsys):
+        qp, sp, *_ = fasta_pair
+        main(["screen", str(qp), str(sp), "-t", "25"])
+        base = capsys.readouterr().out
+        main(["screen", str(qp), str(sp), "-t", "25", "--workers", "2"])
+        assert capsys.readouterr().out == base
+
     def test_reports_survivors(self, fasta_pair, capsys):
         qp, sp, *_ = fasta_pair
         assert main(["screen", str(qp), str(sp), "-t", "25"]) == 0
