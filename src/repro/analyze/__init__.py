@@ -1,0 +1,31 @@
+"""Static and dynamic analysis for the BPBC reproduction.
+
+Three passes over the artifacts this library builds:
+
+* :mod:`repro.analyze.races` — a happens-before data-race detector
+  fed by the SIMT simulator's access-tracing hook;
+* :mod:`repro.analyze.lint` — an AST lint of kernel generator
+  functions for barrier divergence, non-constant shuffle deltas, and
+  shared-memory stripe violations;
+* :mod:`repro.analyze.netcheck` — a netlist DAG verifier plus the
+  gate-count assertions against the paper's ``46s - 16 + 2e`` table.
+
+Run everything with ``python -m repro analyze --all``.
+"""
+
+from .drivers import (KernelLaunchPlan, analyze_all, analyze_kernels,
+                      analyze_netlists, analyze_plan,
+                      shipped_kernel_plans)
+from .lint import KernelLintError, lint_kernel
+from .netcheck import check_sw_cell_counts, verify_netlist
+from .races import RaceTracer, trace_launch
+from .report import Diagnostic, Report, Severity
+
+__all__ = [
+    "Severity", "Diagnostic", "Report",
+    "RaceTracer", "trace_launch",
+    "lint_kernel", "KernelLintError",
+    "verify_netlist", "check_sw_cell_counts",
+    "KernelLaunchPlan", "shipped_kernel_plans", "analyze_plan",
+    "analyze_kernels", "analyze_netlists", "analyze_all",
+]

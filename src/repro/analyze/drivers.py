@@ -1,0 +1,156 @@
+"""Top-level analysis drivers: what ``python -m repro analyze`` runs.
+
+:func:`shipped_kernel_plans` builds a small, deterministic launch for
+every kernel the library ships (wavefront SW, its shuffle variant, the
+string matcher, and both transpose kernels), sized so a traced run
+completes in well under a second.  :func:`analyze_kernels` puts each
+plan through both the static lint (:mod:`repro.analyze.lint`) and a
+traced launch under the race detector (:mod:`repro.analyze.races`);
+:func:`analyze_netlists` runs the netlist verifier
+(:mod:`repro.analyze.netcheck`); :func:`analyze_all` merges the two.
+
+All shipped artifacts are expected to analyse clean — the test suite
+pins that as a regression gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+from ..core.bitops import word_dtype
+from ..gpusim.device import DeviceSpec, GTX_TITAN_X
+from ..gpusim.memory import GlobalMemory
+from ..kernels.match_kernel import string_match_kernel
+from ..kernels.sw_kernel import (shared_words_needed, sw_wavefront_kernel,
+                                 sw_wavefront_kernel_shfl)
+from ..kernels.transpose_kernel import b2w_kernel, w2b_kernel
+from ..swa.scoring import DEFAULT_SCHEME
+from .lint import KernelLintError, lint_kernel
+from .netcheck import check_sw_cell_counts
+from .races import trace_launch
+from .report import Diagnostic, Report, Severity
+
+__all__ = ["KernelLaunchPlan", "shipped_kernel_plans",
+           "analyze_kernels", "analyze_netlists", "analyze_all"]
+
+
+@dataclass
+class KernelLaunchPlan:
+    """One ready-to-trace kernel launch."""
+
+    name: str
+    kernel: Callable[..., Iterator[Any]]
+    grid_dim: int
+    block_dim: int
+    gmem: GlobalMemory
+    args: tuple[Any, ...] = ()
+    kwargs: dict[str, Any] = field(default_factory=dict)
+    shared_words: int = 0
+    device: DeviceSpec = GTX_TITAN_X
+
+
+def shipped_kernel_plans(word_bits: int = 32) -> list[KernelLaunchPlan]:
+    """Deterministic small launches for every shipped kernel."""
+    dt = word_dtype(word_bits)
+    scheme = DEFAULT_SCHEME
+    m, n, groups = 5, 9, 2
+    s = scheme.score_bits(m, n)
+    plans: list[KernelLaunchPlan] = []
+
+    def sw_gmem() -> GlobalMemory:
+        g = GlobalMemory()
+        g.alloc("xh", (groups, m), dt)
+        g.alloc("xl", (groups, m), dt)
+        g.alloc("yh", (groups, n), dt)
+        g.alloc("yl", (groups, n), dt)
+        g.alloc("out", (groups, s), dt)
+        return g
+
+    sw_args = ("xh", "xl", "yh", "yl", "out", m, n, s, scheme, word_bits)
+    plans.append(KernelLaunchPlan(
+        name="sw_wavefront_kernel", kernel=sw_wavefront_kernel,
+        grid_dim=groups, block_dim=m, gmem=sw_gmem(), args=sw_args,
+        shared_words=shared_words_needed(m, s)))
+    plans.append(KernelLaunchPlan(
+        name="sw_wavefront_kernel_shfl", kernel=sw_wavefront_kernel_shfl,
+        grid_dim=groups, block_dim=m, gmem=sw_gmem(), args=sw_args))
+
+    match_gmem = GlobalMemory()
+    match_gmem.alloc("xh", (groups, m), dt)
+    match_gmem.alloc("xl", (groups, m), dt)
+    match_gmem.alloc("yh", (groups, n), dt)
+    match_gmem.alloc("yl", (groups, n), dt)
+    match_gmem.alloc("out", (groups, n - m + 1), dt)
+    plans.append(KernelLaunchPlan(
+        name="string_match_kernel", kernel=string_match_kernel,
+        grid_dim=groups, block_dim=n - m + 1, gmem=match_gmem,
+        args=("xh", "xl", "yh", "yl", "out", m, n, word_bits)))
+
+    positions = 4
+    w2b_gmem = GlobalMemory()
+    w2b_gmem.alloc("src", (groups * word_bits, positions), dt)
+    w2b_gmem.alloc("dst_h", (positions, groups), dt)
+    w2b_gmem.alloc("dst_l", (positions, groups), dt)
+    plans.append(KernelLaunchPlan(
+        name="w2b_kernel", kernel=w2b_kernel, grid_dim=1,
+        block_dim=positions * groups, gmem=w2b_gmem,
+        args=("src", "dst_h", "dst_l", positions, groups, word_bits)))
+
+    b2w_gmem = GlobalMemory()
+    b2w_gmem.alloc("src", (s, groups), dt)
+    b2w_gmem.alloc("dst", (groups * word_bits,), dt)
+    plans.append(KernelLaunchPlan(
+        name="b2w_kernel", kernel=b2w_kernel, grid_dim=1,
+        block_dim=groups, gmem=b2w_gmem,
+        args=("src", "dst", s, groups, word_bits)))
+    return plans
+
+
+def analyze_plan(plan: KernelLaunchPlan) -> Report:
+    """Lint one plan's kernel, then trace its launch for races."""
+    rep = Report()
+    try:
+        findings = lint_kernel(plan.kernel, name=plan.name)
+    except KernelLintError as exc:
+        rep.add(Diagnostic(
+            rule="lint.unanalysable", severity=Severity.WARNING,
+            subject=plan.name, message=str(exc)))
+    else:
+        rep.extend(findings)
+        if not findings:
+            rep.add(Diagnostic(
+                rule="lint.clean", severity=Severity.NOTE,
+                subject=plan.name, message="static lint found no "
+                "barrier-divergence, shuffle, or stripe hazards"))
+    rep.extend(trace_launch(
+        plan.kernel, plan.grid_dim, plan.block_dim, plan.gmem,
+        *plan.args, name=plan.name, shared_words=plan.shared_words,
+        device=plan.device, **plan.kwargs))
+    if rep.ok:
+        rep.add(Diagnostic(
+            rule="race.clean", severity=Severity.NOTE, subject=plan.name,
+            message=f"traced launch ({plan.grid_dim}x{plan.block_dim} "
+                    "threads) reported no races"))
+    return rep
+
+
+def analyze_kernels(
+        plans: Sequence[KernelLaunchPlan] | None = None) -> Report:
+    """Lint + race-trace every plan (default: all shipped kernels)."""
+    rep = Report()
+    for plan in (shipped_kernel_plans() if plans is None else plans):
+        rep.extend(analyze_plan(plan))
+    return rep
+
+
+def analyze_netlists(s_values: Sequence[int] = (4, 8, 16)) -> Report:
+    """Verify SW-cell netlists against the paper's op-count table."""
+    return check_sw_cell_counts(s_values=s_values)
+
+
+def analyze_all() -> Report:
+    """Every analysis pass over every shipped artifact."""
+    rep = analyze_kernels()
+    rep.extend(analyze_netlists())
+    return rep

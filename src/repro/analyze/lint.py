@@ -1,0 +1,476 @@
+"""Static lint for SIMT kernel generator functions.
+
+The pass parses a kernel's source (kernels are Python generator
+functions over a :class:`~repro.gpusim.kernel.ThreadCtx`) and checks
+the three hazards the simulator can only catch at run time — or not at
+all:
+
+``lint.barrier-divergence``
+    A synchronisation yield (``yield Barrier()`` / ``yield Shfl``)
+    whose execution count depends on a *thread-varying* condition.  Two
+    threads of one block would then reach different synchronisation
+    rounds — the divergent-``__syncthreads`` bug that hangs real
+    hardware.  The check is path-sensitive: a barrier under a
+    thread-dependent branch is fine when every divergent path issues
+    the same synchronisation sequence (the guard-and-exit idiom
+    ``if tid >= total: yield Barrier(); return`` lints clean).
+
+``lint.shfl-nonconst-delta``
+    A ``Shfl`` whose ``delta`` is not a compile-time constant: lanes
+    of one warp could disagree, which the executor rejects at run time.
+
+``lint.smem-uniform-store`` / ``lint.smem-stripe-write``
+    A shared-memory store at a thread-*uniform* index (every thread
+    writes the same word — a guaranteed write-write race), or at an
+    index computed by subtracting from / wrapping a thread-dependent
+    value (writing a *neighbour's* stripe, the pattern that turns the
+    owner-computes convention into a race).
+
+**Taint model.**  ``ctx.thread_idx``, ``ctx.global_thread_idx``,
+``ctx.lane`` and ``ctx.warp`` are thread-varying; ``ctx.block_idx``,
+``ctx.block_dim``, kernel parameters and constants are uniform across
+a block.  Taint propagates through assignments, loop targets, and
+assignments under tainted control flow.
+
+**Suppression.**  Append ``# analyze: skip`` to the offending source
+line to silence any finding it anchors (documented in
+``docs/ANALYSIS.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import itertools
+import textwrap
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .report import Diagnostic, Severity
+
+__all__ = ["lint_kernel", "KernelLintError"]
+
+#: ThreadCtx attributes that vary per thread within a block.
+_THREAD_ATTRS = frozenset(
+    {"thread_idx", "global_thread_idx", "lane", "warp"})
+
+#: Cap on enumerated control-flow paths before the pass gives up.
+_MAX_PATHS = 2048
+
+_SUPPRESS_MARK = "analyze: skip"
+
+
+class KernelLintError(ValueError):
+    """The linted object is not an analysable kernel function."""
+
+
+# ---------------------------------------------------------------------------
+# Taint analysis
+# ---------------------------------------------------------------------------
+
+class _Taint:
+    """Forward may-taint over a kernel body (names only, no kills)."""
+
+    def __init__(self, ctx_name: str) -> None:
+        self.ctx_name = ctx_name
+        self.names: set[str] = set()
+
+    def expr_tainted(self, node: ast.AST) -> bool:
+        """Does this expression (possibly) vary across threads?"""
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and sub.id in self.names:
+                return True
+            if isinstance(sub, ast.Attribute) \
+                    and sub.attr in _THREAD_ATTRS \
+                    and isinstance(sub.value, ast.Name) \
+                    and sub.value.id == self.ctx_name:
+                return True
+        return False
+
+    def _bind(self, target: ast.AST) -> None:
+        for sub in ast.walk(target):
+            if isinstance(sub, ast.Name):
+                self.names.add(sub.id)
+
+    def _visit(self, stmts: list[ast.stmt], control: bool) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                value = stmt.value
+                tainted = control or (value is not None
+                                      and self.expr_tainted(value))
+                if isinstance(stmt, ast.Assign):
+                    targets: list[ast.AST] = list(stmt.targets)
+                else:
+                    targets = [stmt.target]
+                if isinstance(stmt, ast.AugAssign):
+                    # x op= e keeps x's own taint regardless.
+                    tainted = tainted or self.expr_tainted(stmt.target)
+                if tainted:
+                    for t in targets:
+                        self._bind(t)
+            elif isinstance(stmt, ast.For):
+                if control or self.expr_tainted(stmt.iter):
+                    self._bind(stmt.target)
+                body_control = control or self.expr_tainted(stmt.iter)
+                self._visit(stmt.body, body_control)
+                self._visit(stmt.orelse, body_control)
+            elif isinstance(stmt, ast.While):
+                body_control = control or self.expr_tainted(stmt.test)
+                self._visit(stmt.body, body_control)
+                self._visit(stmt.orelse, body_control)
+            elif isinstance(stmt, ast.If):
+                branch_control = control or self.expr_tainted(stmt.test)
+                self._visit(stmt.body, branch_control)
+                self._visit(stmt.orelse, branch_control)
+            elif isinstance(stmt, (ast.With, ast.Try)):
+                self._visit(getattr(stmt, "body", []), control)
+
+    def run(self, body: list[ast.stmt]) -> None:
+        """Fixpoint: repeat the forward pass until no new names taint."""
+        while True:
+            before = len(self.names)
+            self._visit(body, control=False)
+            if len(self.names) == before:
+                return
+
+
+# ---------------------------------------------------------------------------
+# Synchronisation-divergence analysis
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Path:
+    """One control-flow path: its sync signature and decisions."""
+
+    #: Sync signature: counts of direct barriers ('B'), shuffles
+    #: ('S'), bare yields ('Y'), and per-loop symbols ('L<id>').
+    sig: Counter = field(default_factory=Counter)
+    #: Outcome taken at each *uniform* branch node (id -> bool).
+    uniform: dict[int, bool] = field(default_factory=dict)
+    #: (node id, lineno, outcome) of each *tainted* branch taken.
+    tainted: list[tuple[int, int, bool]] = field(default_factory=list)
+    done: bool = False
+
+    def fork(self) -> "_Path":
+        return _Path(Counter(self.sig), dict(self.uniform),
+                     list(self.tainted), self.done)
+
+
+def _sync_kind(value: ast.expr | None) -> str | None:
+    """Classify a yielded expression: 'B'arrier, 'S'hfl, or 'Y' other."""
+    if value is None:
+        return "Y"
+    if isinstance(value, ast.Call):
+        fn = value.func
+        name = fn.id if isinstance(fn, ast.Name) else (
+            fn.attr if isinstance(fn, ast.Attribute) else "")
+        if name == "Barrier":
+            return "B"
+        if name == "Shfl":
+            return "S"
+    return "Y"
+
+
+def _yield_in(node: ast.AST) -> ast.Yield | None:
+    """The Yield expression directly inside a statement, if any."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Yield):
+            return sub
+    return None
+
+
+def _contains_sync(stmts: list[ast.stmt]) -> bool:
+    return any(_yield_in(s) is not None for s in stmts)
+
+
+class _SyncAnalysis:
+    """Path-sensitive synchronisation-count analysis of one function."""
+
+    def __init__(self, taint: _Taint, subject: str,
+                 suppressed: Callable[[int], bool]) -> None:
+        self.taint = taint
+        self.subject = subject
+        self.suppressed = suppressed
+        self.findings: list[Diagnostic] = []
+        self.overflowed = False
+
+    # -- path enumeration ---------------------------------------------
+    def _enumerate(self, stmts: list[ast.stmt]) -> list[_Path]:
+        paths = [_Path()]
+        for stmt in stmts:
+            if all(p.done for p in paths):
+                break
+            next_paths: list[_Path] = []
+            for p in paths:
+                if p.done:
+                    next_paths.append(p)
+                else:
+                    next_paths.extend(self._step(p, stmt))
+                if len(next_paths) > _MAX_PATHS:
+                    self.overflowed = True
+                    return next_paths[:_MAX_PATHS]
+            paths = next_paths
+        return paths
+
+    def _step(self, path: _Path, stmt: ast.stmt) -> list[_Path]:
+        y = _yield_in(stmt) if isinstance(
+            stmt, (ast.Expr, ast.Assign, ast.AugAssign, ast.AnnAssign)
+        ) else None
+        if y is not None:
+            kind = _sync_kind(y.value)
+            if kind:
+                path.sig[kind] += 1
+            return [path]
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            path.done = True
+            return [path]
+        if isinstance(stmt, ast.If):
+            tainted = self.taint.expr_tainted(stmt.test)
+            out: list[_Path] = []
+            for branch, body in ((True, stmt.body), (False, stmt.orelse)):
+                forked = path.fork()
+                if tainted:
+                    forked.tainted.append((id(stmt), stmt.lineno, branch))
+                else:
+                    forked.uniform[id(stmt)] = branch
+                sub = self._enumerate(body)
+                for s in sub:
+                    merged = forked.fork()
+                    merged.sig.update(s.sig)
+                    merged.uniform.update(s.uniform)
+                    merged.tainted.extend(s.tainted)
+                    merged.done = s.done
+                    out.append(merged)
+            return out
+        if isinstance(stmt, (ast.For, ast.While)):
+            header = stmt.iter if isinstance(stmt, ast.For) else stmt.test
+            has_sync = _contains_sync(list(ast.walk(stmt)))
+            if self.taint.expr_tainted(header):
+                if has_sync and not self.suppressed(stmt.lineno):
+                    self.findings.append(Diagnostic(
+                        rule="lint.barrier-divergence",
+                        severity=Severity.ERROR,
+                        subject=self.subject,
+                        message="synchronisation inside a loop whose "
+                                "trip count depends on the thread "
+                                "index: threads would issue different "
+                                "numbers of sync rounds",
+                        location=f"line {stmt.lineno}",
+                    ))
+                return [path]
+            # Uniform loop: all threads run it the same number of
+            # times.  Check the body independently for internal
+            # divergence; the loop as a whole contributes one opaque
+            # uniform symbol if it synchronises at all.
+            self.check(stmt.body)
+            if has_sync:
+                path.sig[f"L{stmt.lineno}"] += 1
+            return [path]
+        if isinstance(stmt, (ast.With, ast.Try)):
+            return self._enumerate_into(path, getattr(stmt, "body", []))
+        return [path]
+
+    def _enumerate_into(self, path: _Path,
+                        body: list[ast.stmt]) -> list[_Path]:
+        out = []
+        for s in self._enumerate(body):
+            merged = path.fork()
+            merged.sig.update(s.sig)
+            merged.uniform.update(s.uniform)
+            merged.tainted.extend(s.tainted)
+            merged.done = s.done
+            out.append(merged)
+        return out
+
+    # -- divergence check ---------------------------------------------
+    def check(self, stmts: list[ast.stmt]) -> None:
+        """Enumerate paths of ``stmts`` and report divergent pairs.
+
+        Two paths can be taken *simultaneously* by two threads of one
+        block iff they agree on every uniform branch both evaluated.
+        If such a pair issues different synchronisation signatures,
+        the block deadlocks (or worse) — report the first tainted
+        branch where the two paths part ways.
+        """
+        paths = self._enumerate(stmts)
+        reported: set[int] = set()
+        for a, b in itertools.combinations(paths, 2):
+            if a.sig == b.sig:
+                continue
+            if any(a.uniform.get(k) != v for k, v in b.uniform.items()
+                   if k in a.uniform):
+                continue  # require a uniform branch to disagree: never
+            # First tainted decision where the two paths differ.
+            diff = [d for d in a.tainted + b.tainted
+                    if d not in a.tainted or d not in b.tainted]
+            if not diff:
+                continue  # identical decisions cannot diverge
+            node_id, lineno, _ = diff[0]
+            if node_id in reported or self.suppressed(lineno):
+                continue
+            reported.add(node_id)
+            a_counts = dict(a.sig)
+            b_counts = dict(b.sig)
+            self.findings.append(Diagnostic(
+                rule="lint.barrier-divergence",
+                severity=Severity.ERROR,
+                subject=self.subject,
+                message="a thread-dependent branch changes the "
+                        "synchronisation sequence: one side issues "
+                        f"{a_counts or 'no syncs'}, the other "
+                        f"{b_counts or 'no syncs'}",
+                location=f"line {lineno}",
+            ))
+
+
+# ---------------------------------------------------------------------------
+# Shuffle and shared-store checks
+# ---------------------------------------------------------------------------
+
+def _is_const(node: ast.expr) -> bool:
+    try:
+        ast.literal_eval(node)
+        return True
+    except (ValueError, TypeError, SyntaxError):
+        return False
+
+
+def _check_shuffles(fndef: ast.FunctionDef, taint: _Taint, subject: str,
+                    suppressed: Callable[[int], bool]
+                    ) -> list[Diagnostic]:
+    out = []
+    for node in ast.walk(fndef):
+        if not isinstance(node, ast.Call):
+            continue
+        fn = node.func
+        name = fn.id if isinstance(fn, ast.Name) else (
+            fn.attr if isinstance(fn, ast.Attribute) else "")
+        if name != "Shfl":
+            continue
+        delta: ast.expr | None = None
+        if len(node.args) >= 3:
+            delta = node.args[2]
+        for kw in node.keywords:
+            if kw.arg == "delta":
+                delta = kw.value
+        if delta is None or _is_const(delta):
+            continue
+        if suppressed(node.lineno):
+            continue
+        out.append(Diagnostic(
+            rule="lint.shfl-nonconst-delta",
+            severity=Severity.ERROR, subject=subject,
+            message="Shfl delta is not a compile-time constant: lanes "
+                    "of a warp could issue different deltas, which "
+                    "the executor rejects",
+            location=f"line {node.lineno}",
+        ))
+    return out
+
+
+def _smem_store_index(node: ast.Call, ctx_name: str) -> ast.expr | None:
+    """The index operand of a ``ctx.smem.store``/``warp_store`` call."""
+    fn = node.func
+    if not (isinstance(fn, ast.Attribute)
+            and fn.attr in ("store", "warp_store")):
+        return None
+    base = fn.value
+    if not (isinstance(base, ast.Attribute) and base.attr == "smem"
+            and isinstance(base.value, ast.Name)
+            and base.value.id == ctx_name):
+        return None
+    return node.args[0] if node.args else None
+
+
+def _check_smem_stores(fndef: ast.FunctionDef, taint: _Taint,
+                       subject: str,
+                       suppressed: Callable[[int], bool]
+                       ) -> list[Diagnostic]:
+    out = []
+    for node in ast.walk(fndef):
+        if not isinstance(node, ast.Call):
+            continue
+        idx = _smem_store_index(node, taint.ctx_name)
+        if idx is None or suppressed(node.lineno):
+            continue
+        if not taint.expr_tainted(idx):
+            out.append(Diagnostic(
+                rule="lint.smem-uniform-store",
+                severity=Severity.ERROR, subject=subject,
+                message="shared-memory store at a thread-uniform "
+                        "index: every thread of the block writes the "
+                        "same word (write-write race)",
+                location=f"line {node.lineno}",
+            ))
+            continue
+        for sub in ast.walk(idx):
+            if isinstance(sub, ast.BinOp) \
+                    and isinstance(sub.op, (ast.Sub, ast.Mod)) \
+                    and (taint.expr_tainted(sub.left)
+                         or taint.expr_tainted(sub.right)):
+                op = "subtracting from" if isinstance(sub.op, ast.Sub) \
+                    else "wrapping"
+                out.append(Diagnostic(
+                    rule="lint.smem-stripe-write",
+                    severity=Severity.ERROR, subject=subject,
+                    message="shared-memory store at an index computed "
+                            f"by {op} a thread-dependent value: this "
+                            "writes another thread's stripe "
+                            "(owner-computes violation)",
+                    location=f"line {node.lineno}",
+                ))
+                break
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def lint_kernel(kernel: Callable[..., Any],
+                name: str | None = None) -> list[Diagnostic]:
+    """Statically lint one kernel generator function.
+
+    Returns the diagnostics (empty list = clean).  Raises
+    :class:`KernelLintError` if ``kernel``'s source cannot be
+    retrieved or parsed (lambdas, C extensions, exec-generated code).
+    """
+    subject = name or getattr(kernel, "__name__", str(kernel))
+    try:
+        source = textwrap.dedent(inspect.getsource(kernel))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError) as exc:
+        raise KernelLintError(
+            f"cannot lint {subject}: {exc}"
+        ) from exc
+    fndef = next((n for n in tree.body
+                  if isinstance(n, ast.FunctionDef)), None)
+    if fndef is None:
+        raise KernelLintError(f"{subject}: no function definition found")
+    if not fndef.args.args:
+        raise KernelLintError(f"{subject}: kernel takes no ThreadCtx")
+
+    lines = source.splitlines()
+
+    def suppressed(lineno: int) -> bool:
+        if 1 <= lineno <= len(lines):
+            return _SUPPRESS_MARK in lines[lineno - 1]
+        return False
+
+    taint = _Taint(fndef.args.args[0].arg)
+    taint.run(fndef.body)
+
+    sync = _SyncAnalysis(taint, subject, suppressed)
+    sync.check(fndef.body)
+    findings = list(sync.findings)
+    if sync.overflowed:
+        findings.append(Diagnostic(
+            rule="lint.path-overflow", severity=Severity.WARNING,
+            subject=subject,
+            message=f"more than {_MAX_PATHS} control-flow paths; "
+                    "barrier-divergence analysis truncated",
+        ))
+    findings.extend(_check_shuffles(fndef, taint, subject, suppressed))
+    findings.extend(_check_smem_stores(fndef, taint, subject, suppressed))
+    return findings

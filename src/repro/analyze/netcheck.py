@@ -1,0 +1,194 @@
+"""Netlist verification: structure lint and gate-count assertions.
+
+Two layers:
+
+:func:`verify_netlist`
+    Structural lint of one :class:`~repro.core.netlist.Netlist` DAG —
+    missing/mis-sized outputs, dead logic gates (built but not in the
+    output cone), unused input bits, and circuit depth against an
+    optional budget.  Dangling gate references and arity violations
+    cannot occur post-construction (``Netlist._add`` rejects them), so
+    the lint focuses on what *can* go wrong in a well-formed DAG.
+
+:func:`check_sw_cell_counts`
+    The headline reproduction check: synthesise the SW cell with
+    ``simplify=False`` — the literal straight-line circuit of paper
+    §IV-A — and assert its logic-gate count equals
+    :func:`repro.core.circuits.sw_cell_ops_exact` (the ``46s - 16 +
+    2e`` family) for each requested width.  Each netlist is then
+    differentially evaluated against the hand-coded
+    :func:`repro.core.circuits.sw_cell` on deterministic pseudo-random
+    planes, so the count check cannot pass on a circuit that computes
+    the wrong function.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core import circuits
+from ..core.netlist import Netlist, NetlistError, build_sw_cell_netlist
+from .report import Diagnostic, Report, Severity
+
+__all__ = ["verify_netlist", "check_sw_cell_counts"]
+
+_LOGIC_KINDS = frozenset({"AND", "OR", "XOR", "NOT"})
+
+
+def verify_netlist(net: Netlist, name: str,
+                   expected_outputs: int | None = None,
+                   expected_logic_gates: int | None = None,
+                   max_depth: int | None = None) -> list[Diagnostic]:
+    """Lint one netlist DAG; return diagnostics (empty = clean).
+
+    ``expected_outputs`` asserts the output bus width,
+    ``expected_logic_gates`` the AND/OR/XOR/NOT total, ``max_depth``
+    bounds the critical path.  Dead logic gates and unused input bits
+    are warnings — legal, but they mean the synthesiser emitted work
+    no output depends on.
+    """
+    out: list[Diagnostic] = []
+
+    def diag(rule: str, severity: Severity, message: str,
+             location: str = "") -> None:
+        out.append(Diagnostic(rule=rule, severity=severity, subject=name,
+                              message=message, location=location))
+
+    outputs = net.outputs
+    if not outputs:
+        diag("netlist.no-outputs", Severity.ERROR,
+             "netlist declares no outputs; it computes nothing")
+        return out
+    if expected_outputs is not None and len(outputs) != expected_outputs:
+        diag("netlist.width-mismatch", Severity.ERROR,
+             f"output bus is {len(outputs)} bits wide, expected "
+             f"{expected_outputs}")
+
+    live = net.used_gates()
+    gates = net.gates
+    dead_logic = [gid for gid, g in enumerate(gates)
+                  if g.kind in _LOGIC_KINDS and gid not in live]
+    if dead_logic:
+        shown = ", ".join(str(g) for g in dead_logic[:8])
+        more = "..." if len(dead_logic) > 8 else ""
+        diag("netlist.dead-gates", Severity.WARNING,
+             f"{len(dead_logic)} logic gate(s) unreachable from the "
+             f"outputs (ids {shown}{more})")
+    unused_inputs = [
+        f"{bus}[{h}]"
+        for bus, _width in net.input_buses
+        for h, gid in enumerate(net.input_ids(bus))
+        if gid not in live
+    ]
+    if unused_inputs:
+        shown = ", ".join(unused_inputs[:8])
+        more = "..." if len(unused_inputs) > 8 else ""
+        diag("netlist.unused-inputs", Severity.WARNING,
+             f"{len(unused_inputs)} input bit(s) feed no output: "
+             f"{shown}{more}")
+
+    n_logic = net.logic_gate_count()
+    if expected_logic_gates is not None and n_logic != expected_logic_gates:
+        diag("netlist.gate-count", Severity.ERROR,
+             f"{n_logic} logic gates, expected {expected_logic_gates}")
+
+    depth = net.depth()
+    if max_depth is not None and depth > max_depth:
+        diag("netlist.depth", Severity.ERROR,
+             f"critical path is {depth} gates, budget {max_depth}")
+    else:
+        diag("netlist.depth", Severity.NOTE,
+             f"{n_logic} logic gates, critical path {depth}")
+    return out
+
+
+def _differential_check(net: Netlist, name: str, s: int, eps: int,
+                        gap: int, c1: int, c2: int,
+                        word_bits: int = 32,
+                        lanes: int = 8, seed: int = 7) -> list[Diagnostic]:
+    """Evaluate the netlist vs the hand-coded circuit on random planes."""
+    rng = np.random.default_rng(seed)
+    dt = np.uint32 if word_bits == 32 else np.uint64
+
+    def planes(n: int) -> list[np.ndarray]:
+        return [rng.integers(0, 1 << 16, size=lanes).astype(dt)
+                ^ (rng.integers(0, 1 << 16, size=lanes).astype(dt) << 16)
+                for _ in range(n)]
+
+    A, B, C = planes(s), planes(s), planes(s)
+    x, y = planes(eps), planes(eps)
+    want = circuits.sw_cell(A, B, C, x, y, gap, c1, c2, word_bits)
+    try:
+        got = net.evaluate(
+            {"up": A, "left": B, "diag": C, "x": x, "y": y},
+            word_bits=word_bits)
+    except NetlistError as exc:
+        return [Diagnostic(
+            rule="netlist.eval-failed", severity=Severity.ERROR,
+            subject=name, message=f"evaluation raised: {exc}")]
+    bad = [h for h in range(s)
+           if not np.array_equal(np.asarray(got[h]), np.asarray(want[h]))]
+    if bad:
+        return [Diagnostic(
+            rule="netlist.differential", severity=Severity.ERROR,
+            subject=name,
+            message="netlist disagrees with circuits.sw_cell on "
+                    f"output plane(s) {bad}")]
+    return [Diagnostic(
+        rule="netlist.differential", severity=Severity.NOTE, subject=name,
+        message=f"matches circuits.sw_cell on {lanes} random lane "
+                f"words (seed {seed})")]
+
+
+def check_sw_cell_counts(s_values: Sequence[int] = (4, 8, 16),
+                         gap: int = 1, c1: int = 2, c2: int = 1,
+                         eps: int = 2) -> Report:
+    """Verify SW-cell netlists against the paper's op-count table.
+
+    For each ``s``: synthesise the literal (``simplify=False``) cell,
+    assert its gate count equals ``46s - 16 + 2e`` exactly, lint the
+    DAG, and differentially evaluate it; then synthesise the
+    *simplified* cell and note how far folding shrinks it (the
+    optimisation headroom a real CUDA kernel exploits).
+    """
+    rep = Report()
+    for s in s_values:
+        name = f"sw_cell[s={s}]"
+        expected = circuits.sw_cell_ops_exact(s, eps)
+        try:
+            literal = build_sw_cell_netlist(s, gap, c1, c2, eps=eps,
+                                            simplify=False)
+        except NetlistError as exc:
+            rep.add(Diagnostic(
+                rule="netlist.synth-failed", severity=Severity.ERROR,
+                subject=name, message=f"synthesis raised: {exc}"))
+            continue
+        got = literal.logic_gate_count()
+        if got != expected:
+            rep.add(Diagnostic(
+                rule="netlist.op-count", severity=Severity.ERROR,
+                subject=name,
+                message=f"literal netlist has {got} logic gates; the "
+                        "measured op count (46s - 16 + 2e) is "
+                        f"{expected}"))
+        else:
+            rep.add(Diagnostic(
+                rule="netlist.op-count", severity=Severity.NOTE,
+                subject=name,
+                message=f"literal gate count {got} == 46*{s} - 16 + "
+                        f"2*{eps}"))
+        rep.extend(verify_netlist(literal, name, expected_outputs=s))
+        rep.extend(_differential_check(literal, name, s, eps, gap, c1, c2))
+
+        folded = build_sw_cell_netlist(s, gap, c1, c2, eps=eps,
+                                       simplify=True)
+        rep.extend(verify_netlist(folded, f"{name} (folded)",
+                                  expected_outputs=s))
+        rep.add(Diagnostic(
+            rule="netlist.folding", severity=Severity.NOTE,
+            subject=name,
+            message=f"constant folding + CSE: {got} -> "
+                    f"{folded.logic_gate_count()} gates"))
+    return rep

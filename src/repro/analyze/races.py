@@ -1,0 +1,213 @@
+"""Dynamic data-race detection for simulated kernels.
+
+:class:`RaceTracer` implements the simulator's
+:class:`~repro.gpusim.trace.AccessTracer` protocol and keeps
+ThreadSanitizer-style *shadow state* per memory element: the last
+writer ``(block, thread, epoch)`` and the readers seen so far.  The
+*barrier epoch* of a block starts at 0 and advances every time a
+block-wide barrier retires; two accesses to the same address are
+**unordered** — and hence race when at least one is a write — exactly
+when they come from different threads with no barrier between them:
+
+* shared memory: same block, same epoch, different threads;
+* global memory: different threads of the same block in the same
+  epoch, or *any* two threads of different blocks (blocks never
+  synchronise within a launch).
+
+Warp shuffles exchange registers only and do not advance the epoch —
+the model mirrors what ``compute-sanitizer --tool racecheck`` checks
+on real CUDA hardware.
+
+Use :func:`trace_launch` to run one launch under a tracer and get a
+:class:`~repro.analyze.report.Report` back::
+
+    report = trace_launch(my_kernel, grid, block, gmem, *args,
+                          shared_words=..., name="my_kernel")
+    assert report.ok
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+import numpy as np
+
+from ..gpusim.device import DeviceSpec, GTX_TITAN_X
+from ..gpusim.errors import GpuSimError
+from ..gpusim.kernel import launch_kernel
+from ..gpusim.memory import GlobalMemory
+from .report import Diagnostic, Report, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..gpusim.memory import SharedMemory
+
+__all__ = ["RaceTracer", "trace_launch"]
+
+#: One prior access in the shadow state: (block, thread, epoch).
+_Access = tuple[int, int, int]
+
+
+@dataclass
+class _Shadow:
+    """Shadow state of one memory element."""
+
+    last_write: _Access | None = None
+    #: Latest read epoch per (block, thread).
+    readers: dict[tuple[int, int], int] = field(default_factory=dict)
+
+
+class RaceTracer:
+    """Happens-before race detector fed by the SIMT executor.
+
+    Attach via ``launch_kernel(..., tracer=RaceTracer("name"))`` and
+    read :attr:`findings` afterwards (or use :func:`trace_launch`).
+    ``max_findings`` caps the number of reported races per launch;
+    duplicate races (same buffer, same thread pair, same kind) are
+    reported once with the first offending address.
+    """
+
+    def __init__(self, kernel_name: str = "kernel",
+                 max_findings: int = 25) -> None:
+        self.kernel_name = kernel_name
+        self.max_findings = max_findings
+        self.findings: list[Diagnostic] = []
+        self.suppressed = 0
+        self._block = -1
+        self._thread = -1
+        self._epoch = 0
+        self._shared: dict[int, _Shadow] = {}
+        self._global: dict[tuple[str, int], _Shadow] = {}
+        self._seen: set[tuple[Any, ...]] = set()
+
+    # -- AccessTracer protocol -----------------------------------------
+    def begin_block(self, block_idx: int, smem: "SharedMemory") -> None:
+        """Fresh block: new shared memory, epoch counter back to 0."""
+        self._block = block_idx
+        self._epoch = 0
+        self._shared = {}
+
+    def set_thread(self, thread_idx: int) -> None:
+        """Attribute subsequent accesses to this thread."""
+        self._thread = thread_idx
+
+    def on_barrier(self) -> None:
+        """A block-wide barrier retired: advance the epoch."""
+        self._epoch += 1
+
+    def record_global(self, name: str, flat_indices: np.ndarray,
+                      is_store: bool) -> None:
+        """Check and update shadow state for a global-memory access."""
+        for addr in flat_indices:
+            self._check(self._global.setdefault((name, int(addr)),
+                                                _Shadow()),
+                        f"global '{name}'[{int(addr)}]", is_store,
+                        cross_block=True)
+
+    def record_shared(self, smem: "SharedMemory", flat_indices: np.ndarray,
+                      is_store: bool) -> None:
+        """Check and update shadow state for a shared-memory access."""
+        for addr in flat_indices:
+            self._check(self._shared.setdefault(int(addr), _Shadow()),
+                        f"shared[{int(addr)}]", is_store,
+                        cross_block=False)
+
+    # -- detection ------------------------------------------------------
+    def _conflicts(self, other: _Access, cross_block: bool) -> bool:
+        """Is a prior access by ``other`` unordered with the current one?"""
+        b, t, e = other
+        if (b, t) == (self._block, self._thread):
+            return False  # program order within one thread
+        if b != self._block:
+            return cross_block  # no grid-wide sync inside a launch
+        return e == self._epoch  # same block: a barrier orders epochs
+
+    def _check(self, shadow: _Shadow, where: str, is_store: bool,
+               cross_block: bool) -> None:
+        me: _Access = (self._block, self._thread, self._epoch)
+        if shadow.last_write is not None \
+                and self._conflicts(shadow.last_write, cross_block):
+            self._report("write-write" if is_store else "read-write",
+                         where, shadow.last_write, me, is_store)
+        if is_store:
+            for (b, t), e in shadow.readers.items():
+                if self._conflicts((b, t, e), cross_block):
+                    self._report("read-write", where, (b, t, e), me,
+                                 is_store)
+                    break
+            shadow.last_write = me
+        else:
+            shadow.readers[(self._block, self._thread)] = self._epoch
+
+    def _report(self, kind: str, where: str, prior: _Access,
+                current: _Access, is_store: bool) -> None:
+        pair = frozenset((prior[:2], current[:2]))
+        key = (kind, where.split("[")[0], pair)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        if len(self.findings) >= self.max_findings:
+            self.suppressed += 1
+            return
+
+        def _who(a: _Access) -> str:
+            return f"block {a[0]}/thread {a[1]} (epoch {a[2]})"
+
+        if kind == "write-write":
+            detail = (f"{where} written by {_who(prior)} and "
+                      f"{_who(current)}")
+        elif is_store:
+            detail = (f"{where} read by {_who(prior)}, written by "
+                      f"{_who(current)}")
+        else:
+            detail = (f"{where} written by {_who(prior)}, read by "
+                      f"{_who(current)}")
+        self.findings.append(Diagnostic(
+            rule=f"race.{kind}",
+            severity=Severity.ERROR,
+            subject=self.kernel_name,
+            message=f"{detail} with no barrier between",
+            location=where,
+        ))
+
+    def report(self) -> Report:
+        """The findings as a :class:`Report` (plus a suppression note)."""
+        rep = Report(list(self.findings))
+        if self.suppressed:
+            rep.add(Diagnostic(
+                rule="race.suppressed", severity=Severity.NOTE,
+                subject=self.kernel_name,
+                message=f"{self.suppressed} further distinct race "
+                        "pair(s) suppressed after the first "
+                        f"{self.max_findings}",
+            ))
+        return rep
+
+
+def trace_launch(kernel: Callable[..., Iterator[Any]], grid_dim: int,
+                 block_dim: int, gmem: GlobalMemory, *args: Any,
+                 name: str | None = None, shared_words: int = 0,
+                 device: DeviceSpec = GTX_TITAN_X,
+                 max_findings: int = 25, **kwargs: Any) -> Report:
+    """Run one launch under a :class:`RaceTracer`; return the report.
+
+    A simulator error during the traced launch (deadlock, memory
+    fault, launch misconfiguration) becomes an error diagnostic rather
+    than an exception — the analyzer reports, it does not crash.
+    """
+    kname = name or getattr(kernel, "__name__", "kernel")
+    tracer = RaceTracer(kname, max_findings=max_findings)
+    try:
+        launch_kernel(kernel, grid_dim, block_dim, gmem, *args,
+                      shared_words=shared_words, device=device,
+                      tracer=tracer, **kwargs)
+    except GpuSimError as exc:
+        rep = tracer.report()
+        rep.add(Diagnostic(
+            rule="race.launch-failed", severity=Severity.ERROR,
+            subject=kname,
+            message="traced launch raised "
+                    f"{type(exc).__name__}: {exc}",
+        ))
+        return rep
+    return tracer.report()

@@ -1,0 +1,111 @@
+"""Diagnostics and reports for the :mod:`repro.analyze` passes.
+
+Every analysis pass — the race detector, the kernel lint, the netlist
+verifier — emits :class:`Diagnostic` records into a shared
+:class:`Report`.  A diagnostic carries the pass/rule that produced it
+(``rule``), the artifact it concerns (``subject`` — a kernel or
+netlist name), a severity, and a human-readable message; optional
+``location`` pins it to a source line or memory address.
+
+Severities follow compiler convention:
+
+* ``error`` — a finding: the artifact is (or may be) broken; the CLI
+  exits non-zero.
+* ``warning`` — suspicious but not necessarily wrong.
+* ``note`` — informational output (measured values, pass summaries).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["Severity", "Diagnostic", "Report"]
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is; orders ``NOTE < WARNING < ERROR``."""
+
+    NOTE = "note"
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __lt__(self, other: "Severity") -> bool:
+        order = [Severity.NOTE, Severity.WARNING, Severity.ERROR]
+        if not isinstance(other, Severity):
+            return NotImplemented  # type: ignore[return-value]
+        return order.index(self) < order.index(other)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding (or note) from an analysis pass."""
+
+    rule: str            # e.g. "race.write-write", "lint.barrier-divergence"
+    severity: Severity
+    subject: str         # kernel or netlist name
+    message: str
+    location: str = ""   # "file:line", "shared[12]", "gate 41", ...
+
+    def render(self) -> str:
+        """One-line compiler-style rendering."""
+        where = f" ({self.location})" if self.location else ""
+        return (f"{self.severity.value}: [{self.rule}] {self.subject}: "
+                f"{self.message}{where}")
+
+
+@dataclass
+class Report:
+    """An ordered collection of diagnostics with exit-code semantics."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, diag: Diagnostic) -> None:
+        """Append one diagnostic."""
+        self.diagnostics.append(diag)
+
+    def extend(self, diags: "Report | list[Diagnostic]") -> None:
+        """Append many diagnostics (from a list or another report)."""
+        if isinstance(diags, Report):
+            diags = diags.diagnostics
+        self.diagnostics.extend(diags)
+
+    def by_severity(self, severity: Severity) -> list[Diagnostic]:
+        """All diagnostics of exactly this severity."""
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        """Error-severity findings only."""
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        """Warning-severity findings only."""
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding was recorded."""
+        return not self.errors
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: 0 when :attr:`ok`, 1 otherwise."""
+        return 0 if self.ok else 1
+
+    def render(self, verbose: bool = True) -> str:
+        """Multi-line rendering plus a summary footer.
+
+        ``verbose=False`` hides notes (errors and warnings always
+        print).
+        """
+        lines = [d.render() for d in self.diagnostics
+                 if verbose or d.severity is not Severity.NOTE]
+        n_err, n_warn = len(self.errors), len(self.warnings)
+        n_note = len(self.by_severity(Severity.NOTE))
+        lines.append(
+            f"analyze: {n_err} error(s), {n_warn} warning(s), "
+            f"{n_note} note(s)"
+        )
+        return "\n".join(lines)

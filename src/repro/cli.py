@@ -15,6 +15,10 @@ Commands
 ``serve``
     Run the micro-batching alignment server (newline-JSON over TCP;
     pair it with ``python -m repro.serve.client``).
+``analyze``
+    Static/dynamic analysis of the shipped kernels and netlists: the
+    race detector, the barrier-divergence lint, and the netlist
+    op-count verifier.  Exits non-zero on any finding.
 
 Queries and subjects are matched up pairwise (record i against record
 i); use ``--all-vs-all`` in ``score``/``screen`` to cross every query
@@ -33,7 +37,7 @@ import numpy as np
 
 from .core.bitops import unpack_lanes
 from .core.approx_matching import bpbc_k_mismatch
-from .core.encoding import decode, encode_batch_bit_transposed
+from .core.encoding import encode_batch_bit_transposed
 from .filter.screening import screen_pairs
 from .swa.scoring import ScoringScheme
 from .swa.traceback import format_alignment
@@ -74,8 +78,8 @@ def _load_sides(args) -> tuple[list, list]:
             len(queries) != len(subjects):
         raise SystemExit(
             f"error: {len(queries)} queries vs {len(subjects)} "
-            f"subjects; pairwise mode needs equal counts "
-            f"(or pass --all-vs-all)"
+            "subjects; pairwise mode needs equal counts "
+            "(or pass --all-vs-all)"
         )
     return queries, subjects
 
@@ -202,7 +206,7 @@ def _cmd_match(args) -> int:
     YH, YL = encode_batch_bit_transposed(Y, args.word_bits)
     hits = bpbc_k_mismatch(XH, XL, YH, YL, args.k, args.word_bits)
     bits = unpack_lanes(hits, args.word_bits, count=P)  # (offsets, P)
-    print(f"pattern\ttext\tk\toffsets")
+    print("pattern\ttext\tk\toffsets")
     for p in range(P):
         offs = ",".join(str(j) for j in np.flatnonzero(bits[:, p]))
         print(f"{patterns[p].id}\t{texts[p].id}\t{args.k}\t"
@@ -248,6 +252,49 @@ def _cmd_serve(args) -> int:
             server.shutdown()
             print(service.stats.render(), file=sys.stderr)
     return 0
+
+
+def _resolve_kernel(spec: str):
+    """Resolve ``--kernel module:attr`` to a plan or kernel function."""
+    import importlib
+
+    mod_name, _, attr = spec.partition(":")
+    if not mod_name or not attr:
+        raise SystemExit(
+            f"error: --kernel expects 'module:attr', got {spec!r}"
+        )
+    try:
+        mod = importlib.import_module(mod_name)
+        return getattr(mod, attr)
+    except (ImportError, AttributeError) as exc:
+        raise SystemExit(f"error: cannot resolve {spec!r}: {exc}")
+
+
+def _cmd_analyze(args) -> int:
+    from .analyze import (KernelLaunchPlan, Report, analyze_kernels,
+                          analyze_netlists, analyze_plan, lint_kernel)
+
+    report = Report()
+    if args.kernel:
+        for spec in args.kernel:
+            target = _resolve_kernel(spec)
+            if isinstance(target, KernelLaunchPlan):
+                report.extend(analyze_plan(target))
+            elif callable(target):
+                report.extend(lint_kernel(target))
+            else:
+                raise SystemExit(
+                    f"error: {spec!r} is neither a KernelLaunchPlan "
+                    "nor a kernel function"
+                )
+    run_all = args.all or not (args.kernels or args.netlists
+                               or args.kernel)
+    if args.kernels or run_all:
+        report.extend(analyze_kernels())
+    if args.netlists or run_all:
+        report.extend(analyze_netlists())
+    print(report.render(verbose=args.verbose))
+    return report.exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -324,6 +371,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="result-cache entries, 0 disables "
                         "(default 4096)")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "analyze",
+        help="race-detect, lint, and verify kernels and netlists")
+    p.add_argument("--kernels", action="store_true",
+                   help="lint + race-trace the shipped kernels")
+    p.add_argument("--netlists", action="store_true",
+                   help="verify SW-cell netlists against the op-count "
+                        "table")
+    p.add_argument("--all", action="store_true",
+                   help="run every pass (default when no flag given)")
+    p.add_argument("--kernel", action="append", default=[],
+                   metavar="MODULE:ATTR",
+                   help="analyze a specific kernel function or "
+                        "KernelLaunchPlan (repeatable)")
+    p.add_argument("--verbose", action="store_true", default=True,
+                   help="print notes as well as findings (default)")
+    p.add_argument("--quiet", dest="verbose", action="store_false",
+                   help="print only errors and warnings")
+    p.set_defaults(func=_cmd_analyze)
     return parser
 
 

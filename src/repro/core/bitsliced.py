@@ -23,7 +23,6 @@ from .bitops import (
     BitOpsError,
     check_word_bits,
     full_mask,
-    lane_count,
     pack_lanes,
     unpack_lanes,
     word_dtype,
@@ -45,7 +44,8 @@ def slices_from_ints(values: np.ndarray, s: int, word_bits: int) -> np.ndarray:
     if np.any(values < 0) or np.any(values.astype(np.uint64) >> np.uint64(s)):
         raise BitOpsError(f"values do not fit in {s} bits")
     vals = values.astype(np.uint64)
-    bits = (vals[None, :] >> np.arange(s, dtype=np.uint64)[:, None]) & np.uint64(1)
+    bits = ((vals[None, :] >> np.arange(s, dtype=np.uint64)[:, None])
+            & np.uint64(1))
     return pack_lanes(bits, word_bits)
 
 

@@ -30,7 +30,7 @@ Synthesisers mirror §IV-A: :func:`synth_greater_equal`,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -75,9 +75,18 @@ class Netlist:
     Gates are referred to by integer id; buses (multi-bit values) are
     plain lists of gate ids, least-significant bit first — matching
     the bit-plane order used everywhere else in the library.
+
+    ``simplify`` (default on) enables structural hashing and the
+    constant/identity peepholes below.  With it *off*, every helper
+    call materialises a gate, and the synthesisers mirror the paper's
+    straight-line listings literally — so ``logic_gate_count()`` of an
+    unsimplified netlist equals the measured op counts of
+    :mod:`repro.core.circuits` (the ``46s - 16 + 2e`` family), which
+    is what :mod:`repro.analyze.netcheck` asserts.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, simplify: bool = True) -> None:
+        self._simplify = simplify
         self._gates: list[Gate] = []
         self._input_order: list[tuple[str, int]] = []  # (bus, width)
         self._input_ids: dict[str, list[int]] = {}
@@ -104,11 +113,11 @@ class Netlist:
             if not 0 <= i < len(self._gates):
                 raise NetlistError(f"dangling gate input id {i}")
         key = (kind, inputs)
-        if kind not in ("INPUT",) and key in self._cse:
+        if self._simplify and kind not in ("INPUT",) and key in self._cse:
             return self._cse[key]
         self._gates.append(Gate(kind, inputs, name))
         gid = len(self._gates) - 1
-        if kind != "INPUT":
+        if self._simplify and kind != "INPUT":
             self._cse[key] = gid
         return gid
 
@@ -145,7 +154,14 @@ class Netlist:
     # Gate helpers with light peephole simplification: constant inputs
     # fold away, so synthesising with constant operands yields the
     # small circuits a hand optimiser would write.
+    @property
+    def simplifying(self) -> bool:
+        """Whether peephole folding and CSE are active."""
+        return self._simplify
+
     def NOT(self, a: int) -> int:
+        if not self._simplify:
+            return self._add("NOT", (a,))
         g = self._gates[a]
         if g.kind == "CONST0":
             return self.const(True)
@@ -156,6 +172,8 @@ class Netlist:
         return self._add("NOT", (a,))
 
     def AND(self, a: int, b: int) -> int:
+        if not self._simplify:
+            return self._add("AND", (a, b))
         ka, kb = self._gates[a].kind, self._gates[b].kind
         if ka == "CONST0" or kb == "CONST0":
             return self.const(False)
@@ -168,6 +186,8 @@ class Netlist:
         return self._add("AND", (min(a, b), max(a, b)))
 
     def OR(self, a: int, b: int) -> int:
+        if not self._simplify:
+            return self._add("OR", (a, b))
         ka, kb = self._gates[a].kind, self._gates[b].kind
         if ka == "CONST1" or kb == "CONST1":
             return self.const(True)
@@ -180,6 +200,8 @@ class Netlist:
         return self._add("OR", (min(a, b), max(a, b)))
 
     def XOR(self, a: int, b: int) -> int:
+        if not self._simplify:
+            return self._add("XOR", (a, b))
         ka, kb = self._gates[a].kind, self._gates[b].kind
         if ka == "CONST0":
             return b
@@ -207,6 +229,27 @@ class Netlist:
         self._plan_cache = None
 
     # -- analysis --------------------------------------------------------
+    @property
+    def outputs(self) -> list[int]:
+        """The declared output gate ids (LSB first)."""
+        return list(self._outputs)
+
+    @property
+    def input_buses(self) -> list[tuple[str, int]]:
+        """Declared input buses as ``(name, width)`` in order."""
+        return list(self._input_order)
+
+    def input_ids(self, name: str) -> list[int]:
+        """Gate ids of one input bus."""
+        if name not in self._input_ids:
+            raise NetlistError(f"unknown input bus {name!r}")
+        return list(self._input_ids[name])
+
+    @property
+    def gates(self) -> list[Gate]:
+        """The gate list (read-only view by convention)."""
+        return list(self._gates)
+
     @property
     def n_gates(self) -> int:
         """Total nodes, including inputs and constants."""
@@ -351,7 +394,12 @@ def synth_add(net: Netlist, A: Sequence[int],
     p = net.AND(A[0], B[0])
     for i in range(1, s):
         t = net.XOR(B[i], p)
-        out.append(net.XOR(A[i], t))
+        if net.simplifying:
+            out.append(net.XOR(A[i], t))  # shares t with the carry
+        else:
+            # Literal listing: A ^ B ^ p, recomputing B ^ p — the gate
+            # count then equals add_b's measured 6s - 4 operations.
+            out.append(net.XOR(net.XOR(A[i], B[i]), p))
         p = net.OR(net.AND(A[i], t), net.AND(B[i], p))
     return out
 
@@ -364,10 +412,14 @@ def synth_ssub(net: Netlist, A: Sequence[int],
     p = net.AND(net.NOT(A[0]), B[0])
     for i in range(1, s):
         t = net.XOR(B[i], p)
-        out.append(net.XOR(A[i], t))
+        if net.simplifying:
+            out.append(net.XOR(A[i], t))
+        else:
+            out.append(net.XOR(net.XOR(A[i], B[i]), p))
         p = net.OR(net.AND(net.NOT(A[i]), t), net.AND(B[i], p))
-    np_ = net.NOT(p)
-    return [net.AND(q, np_) for q in out]
+    # NOT(p) inside the loop mirrors ssub_b's per-bit ~p (2s measured
+    # ops); under CSE it is a single shared gate, as before.
+    return [net.AND(q, net.NOT(p)) for q in out]
 
 
 def synth_matching(net: Netlist, C: Sequence[int], x: Sequence[int],
@@ -383,8 +435,11 @@ def synth_matching(net: Netlist, C: Sequence[int], x: Sequence[int],
     s = len(C)
     R = synth_add(net, C, net.const_bus(c1, s))
     T = synth_ssub(net, C, net.const_bus(clamp_penalty(c2, s), s))
-    e = net.XOR(x[0], y[0])
-    for i in range(1, len(x)):
+    # Accumulate the mismatch flag from constant 0, as matching_b does
+    # (2 measured ops per character bit); the initial OR folds away
+    # under simplification.
+    e = net.const(False)
+    for i in range(len(x)):
         e = net.OR(e, net.XOR(x[i], y[i]))
     return [net.MUX(e, T[i], R[i]) for i in range(s)]
 
@@ -403,10 +458,14 @@ def synth_sw_cell(net: Netlist, A: Sequence[int], B: Sequence[int],
 
 
 def build_sw_cell_netlist(s: int, gap: int, c1: int, c2: int,
-                          eps: int = 2) -> Netlist:
+                          eps: int = 2, simplify: bool = True) -> Netlist:
     """A ready-to-evaluate SW-cell circuit with buses
-    ``up``/``left``/``diag`` (s bits) and ``x``/``y`` (eps bits)."""
-    net = Netlist()
+    ``up``/``left``/``diag`` (s bits) and ``x``/``y`` (eps bits).
+
+    ``simplify=False`` synthesises the literal straight-line circuit
+    (no CSE, no constant folding), whose logic-gate count equals
+    :func:`repro.core.circuits.sw_cell_ops_exact`."""
+    net = Netlist(simplify=simplify)
     A = net.input_bus("up", s)
     B = net.input_bus("left", s)
     C = net.input_bus("diag", s)

@@ -27,7 +27,6 @@ tests sweep random programs to check it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 
@@ -160,7 +159,8 @@ class ObliviousProgram:
         self._outputs[name] = v
 
     # -- executors ---------------------------------------------------------
-    def run_wordwise(self, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    def run_wordwise(self, inputs: dict[str, np.ndarray]
+                     ) -> dict[str, np.ndarray]:
         """Integer-array executor (one element per instance)."""
         self._check_io(inputs)
         mod = 1 << self.s

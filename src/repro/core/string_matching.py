@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from .bitops import BitOpsError, OpCounter, lane_count, word_dtype
-from .encoding import encode, encode_batch, encode_batch_bit_transposed
+from .bitops import BitOpsError, OpCounter, word_dtype
+from .encoding import encode_batch, encode_batch_bit_transposed
 
 __all__ = [
     "straightforward_string_matching",
@@ -23,7 +23,8 @@ __all__ = [
 ]
 
 
-def straightforward_string_matching(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+def straightforward_string_matching(X: np.ndarray,
+                                    Y: np.ndarray) -> np.ndarray:
     """The paper's wordwise reference: ``d[j] = 0`` iff match at ``j``.
 
     ``X`` (length ``m``) and ``Y`` (length ``n >= m``) are code arrays.

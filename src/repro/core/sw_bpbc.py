@@ -249,7 +249,7 @@ def bpbc_sw_wavefront_planes(Xp, Yp, scheme: ScoringScheme,
     else:
         raise BitOpsError(
             f"unknown cell evaluator {cell!r}; expected 'generic', "
-            f"'folded', or a callable (up, left, diag, x, y) -> planes"
+            "'folded', or a callable (up, left, diag, x, y) -> planes"
         )
     # prev1/prev2[h, i+1, :] = row i's value on diagonals t-1 / t-2;
     # row padding keeps index 0 at zero forever.

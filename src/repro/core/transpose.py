@@ -381,7 +381,8 @@ def transpose8x8_stages(A: np.ndarray) -> list[np.ndarray]:
 
 
 def bit_matrix_from_words(words: np.ndarray, word_bits: int) -> np.ndarray:
-    """Expand ``w`` words into a ``w x w`` 0/1 matrix (row ``i`` = word ``i``)."""
+    """Expand ``w`` words into a ``w x w`` 0/1 matrix (row ``i`` =
+    word ``i``)."""
     dt = word_dtype(word_bits)
     words = np.asarray(words, dtype=dt)
     if words.shape != (word_bits,):

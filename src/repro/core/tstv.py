@@ -34,7 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .bitops import BitOpsError, OpCounter, word_dtype
+from .bitops import BitOpsError, OpCounter
 from .circuits import add_b, clamp_penalty, max_b, splat_constant, ssub_b
 
 __all__ = ["TsTvScheme", "tstv_cell", "sw_tstv_matrix",

@@ -149,7 +149,7 @@ def run(verbose: bool = True) -> str:
         ["evaluator", "ops or gates / cell", "time (ms)"],
         [["generic circuit", ce["generic_ops"], ce["generic_ms"]],
          ["folded netlist", ce["folded_gates"], ce["folded_ms"]]],
-        title=f"Ablation: constant folding "
+        title="Ablation: constant folding "
               f"(measured {ce['speedup']:.2f}x)"))
     gm = gap_model_study()
     parts.append(render_table(

@@ -108,7 +108,7 @@ def run(verbose: bool = True) -> str:
         f"(expected {r['expected_barriers']} = 2 per step), "
         f"{rep.swa.smem.loads + rep.swa.smem.stores} shared accesses; "
         f"scores match gold: {r['scores_ok']}"
-        f"\nwarp-shuffle kernel (§V optimisation): "
+        "\nwarp-shuffle kernel (§V optimisation): "
         f"{shfl.shuffles} shuffles, {shfl.barriers} barriers, "
         f"{shfl.smem.loads + shfl.smem.stores} shared accesses; "
         f"scores match gold: {r['shfl_scores_ok']}"

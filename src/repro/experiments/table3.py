@@ -8,7 +8,6 @@ strictly earlier, and each diagonal's cells are mutually independent.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..perfmodel.paper_data import TABLE2_X, TABLE2_Y
 from ..swa.parallel import diagonal_cells, wavefront_schedule

@@ -19,7 +19,6 @@ import time
 
 import numpy as np
 
-from ..core.bitsliced import ints_from_slices
 from ..core.encoding import encode_batch_bit_transposed
 from ..core.sw_bpbc import bpbc_sw_wavefront
 from ..core.transpose import untranspose_bits_reduced
@@ -127,7 +126,7 @@ def run(verbose: bool = True, measured_pairs: int = 2048,
             parts.append(render_table(
                 headers, rows,
                 title=f"Table IV [{block} / {device.upper()}] (ms, 32K "
-                      f"pairs, m=128) — model vs paper"))
+                      "pairs, m=128) — model vs paper"))
     err_rows = [[fam, f"{e * 100:.1f}%"]
                 for fam, e in sorted(a["errors"].items())]
     parts.append(render_table(["column family", "max rel err (predicted "
@@ -150,7 +149,7 @@ def run(verbose: bool = True, measured_pairs: int = 2048,
     parts.append(render_table(
         headers, rows,
         title=f"Measured on this machine (ms, {measured_pairs} pairs, "
-              f"m=128): bitwise lane-parallel vs wordwise"))
+              "m=128): bitwise lane-parallel vs wordwise"))
     out = "\n\n".join(parts)
     if verbose:
         print(out)

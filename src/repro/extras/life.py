@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.bitops import BitOpsError, OpCounter, pack_lanes, unpack_lanes, word_dtype
+from ..core.bitops import (BitOpsError, OpCounter, pack_lanes,
+                           unpack_lanes, word_dtype)
 
 __all__ = ["life_step_reference", "life_step_bpbc",
            "life_step_packed", "run_life"]
@@ -101,7 +102,7 @@ def life_step_bpbc(board: np.ndarray, word_bits: int = 64,
     """
     board = np.asarray(board)
     if board.ndim != 2 or board.size == 0:
-        raise BitOpsError(f"expected a non-empty 2-D board, got "
+        raise BitOpsError("expected a non-empty 2-D board, got "
                           f"{board.shape}")
     R, C = board.shape
     rows = pack_lanes(board, word_bits)  # (R, W)

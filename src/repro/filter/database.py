@@ -66,7 +66,8 @@ def window_overlap(m: int, scheme: ScoringScheme | None = None) -> int:
     return m + (m * scheme.match_score - 1) // scheme.gap_penalty
 
 
-def windows_for(length: int, window: int, overlap: int) -> list[tuple[int, int]]:
+def windows_for(length: int, window: int,
+                overlap: int) -> list[tuple[int, int]]:
     """Half-open ``(start, end)`` windows covering ``[0, length)``.
 
     Consecutive windows overlap by ``overlap``; the final window is

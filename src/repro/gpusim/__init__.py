@@ -5,6 +5,7 @@ from .errors import (GpuSimError, KernelDeadlock, LaunchConfigError,
                      MemoryFault)
 from .kernel import Barrier, KernelStats, Shfl, ThreadCtx, launch_kernel
 from .memory import GlobalMemory, MemoryStats, SharedMemory
+from .trace import AccessTracer
 from .timing import (KernelTimeEstimate, estimate_kernel_time,
                      estimate_transfer_time)
 
@@ -13,6 +14,7 @@ __all__ = [
     "GlobalMemory", "SharedMemory", "MemoryStats",
     "launch_kernel", "Barrier", "Shfl", "ThreadCtx", "KernelStats",
     "GpuSimError", "KernelDeadlock", "MemoryFault", "LaunchConfigError",
+    "AccessTracer",
     "estimate_kernel_time", "estimate_transfer_time",
     "KernelTimeEstimate",
 ]

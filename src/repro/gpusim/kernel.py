@@ -27,11 +27,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
-import numpy as np
-
 from .device import DeviceSpec, GTX_TITAN_X
 from .errors import GpuSimError, KernelDeadlock, LaunchConfigError
 from .memory import GlobalMemory, MemoryStats, SharedMemory
+from .trace import AccessTracer
 
 __all__ = ["Barrier", "Shfl", "ThreadCtx", "KernelStats", "launch_kernel"]
 
@@ -112,6 +111,7 @@ def launch_kernel(
     *args,
     shared_words: int = 0,
     device: DeviceSpec = GTX_TITAN_X,
+    tracer: AccessTracer | None = None,
     **kwargs,
 ) -> KernelStats:
     """Run ``kernel`` over ``grid_dim`` blocks of ``block_dim`` threads.
@@ -120,10 +120,14 @@ def launch_kernel(
     lockstep between synchronisation points.  Returns the launch's
     :class:`KernelStats` (global-memory statistics are also accumulated
     on ``gmem.stats`` across launches).
+
+    ``tracer`` — an optional :class:`~repro.gpusim.trace.AccessTracer`
+    attached to both memories for the duration of the launch and fed
+    the thread/epoch stream (see :mod:`repro.analyze.races`).
     """
     if grid_dim <= 0 or block_dim <= 0:
         raise LaunchConfigError(
-            f"grid and block dimensions must be positive, got "
+            "grid and block dimensions must be positive, got "
             f"{grid_dim} x {block_dim}"
         )
     if block_dim > device.max_threads_per_block:
@@ -135,16 +139,25 @@ def launch_kernel(
     before = MemoryStats()
     before.merge(gmem.stats)
 
-    for block in range(grid_dim):
-        smem = SharedMemory(shared_words, banks=device.shared_mem_banks,
-                            capacity_bytes=device.shared_mem_bytes)
-        threads = []
-        for t in range(block_dim):
-            ctx = ThreadCtx(t, block, block_dim, grid_dim, gmem, smem,
-                            device, stats)
-            threads.append(kernel(ctx, *args, **kwargs))
-        _run_block(threads, block_dim, device, stats)
-        stats.smem.merge(smem.stats)
+    prior_tracer = gmem.tracer
+    if tracer is not None:
+        gmem.tracer = tracer
+    try:
+        for block in range(grid_dim):
+            smem = SharedMemory(shared_words, banks=device.shared_mem_banks,
+                                capacity_bytes=device.shared_mem_bytes)
+            if tracer is not None:
+                smem.tracer = tracer
+                tracer.begin_block(block, smem)
+            threads = []
+            for t in range(block_dim):
+                ctx = ThreadCtx(t, block, block_dim, grid_dim, gmem, smem,
+                                device, stats)
+                threads.append(kernel(ctx, *args, **kwargs))
+            _run_block(threads, block_dim, device, stats, tracer)
+            stats.smem.merge(smem.stats)
+    finally:
+        gmem.tracer = prior_tracer
 
     # Attribute only this launch's global-memory traffic.
     after = gmem.stats
@@ -160,7 +173,8 @@ def launch_kernel(
 
 
 def _run_block(threads: list[Iterator], block_dim: int,
-               device: DeviceSpec, stats: KernelStats) -> None:
+               device: DeviceSpec, stats: KernelStats,
+               tracer: AccessTracer | None = None) -> None:
     """Advance one block's threads round by round until all finish."""
     pending: list[object | None] = [None] * block_dim  # value to send
     waiting: list[object | None] = [None] * block_dim  # current command
@@ -168,6 +182,8 @@ def _run_block(threads: list[Iterator], block_dim: int,
 
     # Prime every generator to its first yield.
     for t, gen in enumerate(threads):
+        if tracer is not None:
+            tracer.set_thread(t)
         try:
             waiting[t] = next(gen)
         except StopIteration:
@@ -189,17 +205,22 @@ def _run_block(threads: list[Iterator], block_dim: int,
                     f"a barrier that {len(live)} thread(s) are waiting on"
                 )
             stats.barriers += 1
+            if tracer is not None:
+                tracer.on_barrier()
             for t in live:
                 pending[t] = None
         elif all(isinstance(c, Shfl) for c in commands):
             _resolve_shuffles(live, waiting, pending, device, stats)
         else:
+            rogue = next(c for c in commands
+                         if not isinstance(c, (Barrier, Shfl)))
             raise GpuSimError(
-                "unknown synchronisation command "
-                f"{next(c for c in commands if not isinstance(c, (Barrier, Shfl)))!r}"
+                f"unknown synchronisation command {rogue!r}"
             )
 
         for t in live:
+            if tracer is not None:
+                tracer.set_thread(t)
             try:
                 waiting[t] = threads[t].send(pending[t])
             except StopIteration:

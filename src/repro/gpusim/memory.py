@@ -10,17 +10,30 @@ array divided across 32 banks; a warp access hitting the same bank at
 different word addresses serialises, and the conflict degree is
 recorded (paper §I discusses both hazards as the key to CUDA
 performance, which is why the simulator accounts for them).
+
+Both memories carry an optional :class:`~repro.gpusim.trace.AccessTracer`
+(the ``tracer`` attribute, normally attached by
+:func:`~repro.gpusim.kernel.launch_kernel`): when set, every element
+access is reported with its flat address, which is what the
+:mod:`repro.analyze` race detector consumes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional
 
 import numpy as np
 
 from .errors import MemoryFault
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .trace import AccessTracer
+
 __all__ = ["MemoryStats", "GlobalMemory", "SharedMemory"]
+
+#: Scalar element index: an int, or one int per buffer dimension.
+Index = Any
 
 
 @dataclass
@@ -46,6 +59,25 @@ class MemoryStats:
         self.bytes_stored += other.bytes_stored
 
 
+def _flat_elements(buf: np.ndarray, index: Index) -> np.ndarray:
+    """Flat element addresses a scalar index touches (tracer currency).
+
+    Fast paths cover the kernel idioms (an int into a 1-d buffer, a
+    full tuple of ints); anything fancier falls back to indexing an
+    address grid, which is exact for every NumPy indexing form.
+    """
+    if isinstance(index, tuple) and len(index) == buf.ndim \
+            and all(np.ndim(i) == 0 for i in index):
+        flat = 0
+        for i, dim in zip(index, buf.shape):
+            flat = flat * dim + int(i) % dim
+        return np.array([flat], dtype=np.int64)
+    if np.ndim(index) == 0 and buf.ndim == 1:
+        return np.array([int(index) % buf.size], dtype=np.int64)
+    grid = np.arange(buf.size, dtype=np.int64).reshape(buf.shape)
+    return np.atleast_1d(np.asarray(grid[index], dtype=np.int64)).reshape(-1)
+
+
 class GlobalMemory:
     """Named, typed device buffers with coalescing accounting.
 
@@ -62,9 +94,11 @@ class GlobalMemory:
         self._capacity = capacity_bytes
         self._segment = segment_bytes
         self.stats = MemoryStats()
+        self.tracer: Optional["AccessTracer"] = None
 
     # -- allocation ---------------------------------------------------
-    def alloc(self, name: str, shape, dtype) -> np.ndarray:
+    def alloc(self, name: str, shape: int | tuple[int, ...],
+              dtype: Any) -> np.ndarray:
         """Allocate a zeroed device buffer; returns the backing array."""
         if name in self._buffers:
             raise MemoryFault(f"buffer {name!r} already allocated")
@@ -103,66 +137,78 @@ class GlobalMemory:
             )
 
     # -- element access ------------------------------------------------
-    def load(self, name: str, index) -> object:
+    def load(self, name: str, index: Index) -> Any:
         """Scalar load (one transaction)."""
         buf = self.buffer(name)
         try:
             value = buf[index]
         except IndexError:
             raise MemoryFault(
-                f"load out of bounds: {name}[{index}] (shape {buf.shape})"
+                f"load out of bounds on buffer {name!r}: index {index!r} "
+                f"not within shape {buf.shape}"
             ) from None
         self.stats.loads += 1
         self.stats.load_transactions += 1
         self.stats.bytes_loaded += buf.itemsize
+        if self.tracer is not None:
+            self.tracer.record_global(name, _flat_elements(buf, index),
+                                      is_store=False)
         return value
 
-    def store(self, name: str, index, value) -> None:
+    def store(self, name: str, index: Index, value: Any) -> None:
         """Scalar store (one transaction)."""
         buf = self.buffer(name)
         try:
             buf[index] = value
         except IndexError:
             raise MemoryFault(
-                f"store out of bounds: {name}[{index}] (shape {buf.shape})"
+                f"store out of bounds on buffer {name!r}: index {index!r} "
+                f"not within shape {buf.shape}"
             ) from None
         self.stats.stores += 1
         self.stats.store_transactions += 1
         self.stats.bytes_stored += buf.itemsize
+        if self.tracer is not None:
+            self.tracer.record_global(name, _flat_elements(buf, index),
+                                      is_store=True)
 
     # -- warp-wide access ----------------------------------------------
-    def _transactions(self, buf: np.ndarray, flat_indices) -> int:
+    def _transactions(self, buf: np.ndarray, flat_indices: np.ndarray) -> int:
         byte_addrs = np.asarray(flat_indices, dtype=np.int64) * buf.itemsize
         segments = np.unique(byte_addrs // self._segment)
         return len(segments)
 
-    def warp_load(self, name: str, flat_indices) -> np.ndarray:
+    def warp_load(self, name: str, flat_indices: Any) -> np.ndarray:
         """Load one element per lane (flat indices); counts coalescing."""
         buf = self.buffer(name)
         flat = np.asarray(flat_indices, dtype=np.int64)
         if flat.size and (flat.min() < 0 or flat.max() >= buf.size):
             raise MemoryFault(
-                f"warp load out of bounds on {name!r} "
+                f"warp load out of bounds on buffer {name!r} "
                 f"(size {buf.size}, indices {flat.min()}..{flat.max()})"
             )
         self.stats.loads += int(flat.size)
         self.stats.load_transactions += self._transactions(buf, flat)
         self.stats.bytes_loaded += int(flat.size) * buf.itemsize
+        if self.tracer is not None:
+            self.tracer.record_global(name, flat, is_store=False)
         return buf.reshape(-1)[flat]
 
-    def warp_store(self, name: str, flat_indices, values) -> None:
+    def warp_store(self, name: str, flat_indices: Any, values: Any) -> None:
         """Store one element per lane (flat indices); counts coalescing."""
         buf = self.buffer(name)
         flat = np.asarray(flat_indices, dtype=np.int64)
         if flat.size and (flat.min() < 0 or flat.max() >= buf.size):
             raise MemoryFault(
-                f"warp store out of bounds on {name!r} "
+                f"warp store out of bounds on buffer {name!r} "
                 f"(size {buf.size}, indices {flat.min()}..{flat.max()})"
             )
         buf.reshape(-1)[flat] = values
         self.stats.stores += int(flat.size)
         self.stats.store_transactions += self._transactions(buf, flat)
         self.stats.bytes_stored += int(flat.size) * buf.itemsize
+        if self.tracer is not None:
+            self.tracer.record_global(name, flat, is_store=True)
 
 
 class SharedMemory:
@@ -174,7 +220,8 @@ class SharedMemory:
     """
 
     def __init__(self, n_words: int, banks: int = 32,
-                 capacity_bytes: int | None = None) -> None:
+                 capacity_bytes: int | None = None,
+                 name: str = "shared") -> None:
         if capacity_bytes is not None and n_words * 4 > capacity_bytes:
             raise MemoryFault(
                 f"shared allocation of {n_words * 4} bytes exceeds the "
@@ -182,17 +229,24 @@ class SharedMemory:
             )
         self._data = np.zeros(n_words, dtype=np.uint64)
         self._banks = banks
+        self.name = name
         self.stats = MemoryStats()
+        self.tracer: Optional["AccessTracer"] = None
 
     def __len__(self) -> int:
         return len(self._data)
 
-    def _account(self, indices, is_store: bool) -> None:
-        idx = np.asarray(indices, dtype=np.int64)
+    def _account(self, indices: Any, is_store: bool) -> np.ndarray:
+        idx = np.atleast_1d(np.asarray(indices, dtype=np.int64))
         if idx.size and (idx.min() < 0 or idx.max() >= len(self._data)):
+            bad = idx[(idx < 0) | (idx >= len(self._data))]
             raise MemoryFault(
-                f"shared memory access out of bounds "
-                f"({idx.min()}..{idx.max()} of {len(self._data)})"
+                f"{'store' if is_store else 'load'} out of bounds on "
+                f"{self.name} memory: "
+                f"{'index' if bad.size == 1 else 'indices'} "
+                f"{', '.join(str(int(b)) for b in bad[:8])}"
+                f"{', ...' if bad.size > 8 else ''} "
+                f"not within 0..{len(self._data) - 1}"
             )
         words = np.unique(idx)
         banks = words % self._banks
@@ -205,6 +259,10 @@ class SharedMemory:
         else:
             self.stats.loads += int(idx.size)
             self.stats.bytes_loaded += int(idx.size) * 4
+        if self.tracer is not None:
+            self.tracer.record_shared(self, idx.reshape(-1),
+                                      is_store=is_store)
+        return idx
 
     def load(self, index: int) -> int:
         """Single-lane load."""
@@ -216,12 +274,12 @@ class SharedMemory:
         self._account([index], is_store=True)
         self._data[index] = value
 
-    def warp_load(self, indices) -> np.ndarray:
+    def warp_load(self, indices: Any) -> np.ndarray:
         """Warp-wide load with bank-conflict accounting."""
         self._account(indices, is_store=False)
         return self._data[np.asarray(indices, dtype=np.int64)].copy()
 
-    def warp_store(self, indices, values) -> None:
+    def warp_store(self, indices: Any, values: Any) -> None:
         """Warp-wide store with bank-conflict accounting."""
         self._account(indices, is_store=True)
         self._data[np.asarray(indices, dtype=np.int64)] = values

@@ -1,0 +1,55 @@
+"""Access-tracing hooks for the SIMT simulator (epoch plumbing).
+
+The simulator executes a block's threads in lockstep rounds separated
+by synchronisation commands.  An :class:`AccessTracer` plugged into
+:func:`~repro.gpusim.kernel.launch_kernel` observes that execution at
+exactly the granularity a happens-before race detector needs:
+
+* which thread is currently running (:meth:`AccessTracer.set_thread`),
+* when a block starts (:meth:`AccessTracer.begin_block`),
+* when a block-wide barrier retires (:meth:`AccessTracer.on_barrier`
+  — this is what advances the *barrier epoch*: two accesses in the
+  same epoch are unordered unless made by the same thread),
+* every element touched in global or shared memory
+  (:meth:`AccessTracer.record_global` /
+  :meth:`AccessTracer.record_shared`).
+
+The simulator itself ships no detector; :mod:`repro.analyze.races`
+implements this protocol and turns the stream into diagnostics.  Warp
+shuffles do *not* advance the epoch — ``__shfl`` exchanges registers
+and orders nothing in shared or global memory, which is precisely the
+subtlety a detector must model.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .memory import SharedMemory
+
+__all__ = ["AccessTracer"]
+
+
+@runtime_checkable
+class AccessTracer(Protocol):
+    """What :func:`launch_kernel` tells an attached tracer."""
+
+    def begin_block(self, block_idx: int, smem: "SharedMemory") -> None:
+        """A new block starts executing with a fresh shared memory."""
+
+    def set_thread(self, thread_idx: int) -> None:
+        """Subsequent accesses belong to this thread of the block."""
+
+    def on_barrier(self) -> None:
+        """A block-wide barrier retired: the epoch advances."""
+
+    def record_global(self, name: str, flat_indices: np.ndarray,
+                      is_store: bool) -> None:
+        """Elements ``flat_indices`` of buffer ``name`` were accessed."""
+
+    def record_shared(self, smem: "SharedMemory", flat_indices: np.ndarray,
+                      is_store: bool) -> None:
+        """Words ``flat_indices`` of a block's shared memory were accessed."""

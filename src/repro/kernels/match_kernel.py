@@ -68,7 +68,7 @@ def run_match_kernel(XH, XL, YH, YL, word_bits: int,
     if n - m + 1 > device.max_threads_per_block:
         raise ValueError(
             f"{n - m + 1} offsets exceed the {device.max_threads_per_block}"
-            f"-thread block limit; split the text"
+            "-thread block limit; split the text"
         )
     stats = launch_kernel(string_match_kernel, groups, n - m + 1, gmem,
                           "xh", "xl", "yh", "yl", "d", m, n, word_bits,

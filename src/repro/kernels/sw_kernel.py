@@ -19,8 +19,6 @@ cannot race this round's reads).
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..core.bitops import word_dtype
 from ..core.circuits import max_b, max_b_ops, sw_cell, sw_cell_ops_exact
 from ..gpusim.errors import GpuSimError

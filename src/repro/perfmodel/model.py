@@ -32,8 +32,6 @@ from dataclasses import dataclass, field
 
 from .opcounts import (
     WorkloadSpec,
-    b2w_ops,
-    g2h_bytes,
     h2g_bytes,
     score_bits_paper,
     swa_bulk_ops,

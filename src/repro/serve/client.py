@@ -174,8 +174,8 @@ def main(argv: list[str] | None = None) -> int:
         if len(queries) != len(subjects):
             raise SystemExit(
                 f"error: {len(queries)} queries vs {len(subjects)} "
-                f"subjects; pairwise mode needs equal counts "
-                f"(or pass --all-vs-all)"
+                "subjects; pairwise mode needs equal counts "
+                "(or pass --all-vs-all)"
             )
         index_pairs = list(zip(range(len(queries)),
                                range(len(subjects))))
@@ -184,7 +184,7 @@ def main(argv: list[str] | None = None) -> int:
     except OSError as exc:
         raise SystemExit(
             f"error: cannot reach {args.host}:{args.port} ({exc}); "
-            f"is 'python -m repro serve' running?"
+            "is 'python -m repro serve' running?"
         )
     with client:
         responses = client.align_many(

@@ -170,7 +170,7 @@ class EnginePool:
             if not isinstance(engine, str) or engine not in ("bpbc",
                                                              "numpy"):
                 raise ValueError(
-                    f"shard_workers requires the 'bpbc' or 'numpy' "
+                    "shard_workers requires the 'bpbc' or 'numpy' "
                     f"engine, got {engine!r}"
                 )
             self._owned_sharded = ShardedEngine(

@@ -142,7 +142,7 @@ class RequestQueue:
             if len(self._items) >= self.maxsize:
                 raise QueueFullError(
                     f"request queue full ({self.maxsize} pending); "
-                    f"retry later or raise max_queue"
+                    "retry later or raise max_queue"
                 )
             self._items.append(request)
             self._cond.notify()
@@ -159,7 +159,7 @@ class RequestQueue:
             if req.expired(now):
                 req.fail(DeadlineExceededError(
                     f"deadline expired {now - req.deadline:.4f}s before "
-                    f"dispatch"
+                    "dispatch"
                 ))
                 if self._on_expired is not None:
                     self._on_expired(req)

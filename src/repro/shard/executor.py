@@ -289,7 +289,7 @@ class ShardExecutor:
                     failures.append(ShardError(
                         f"shard {payload.shard_id} missed the "
                         f"{self.timeout_s}s deadline (worker dead, "
-                        f"stuck, or overloaded); pairs "
+                        "stuck, or overloaded); pairs "
                         f"{idx[0]}..{idx[-1]} unscored",
                         payload.shard_id, idx))
                 except Exception as exc:  # noqa: BLE001 - per-shard fault

@@ -13,8 +13,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.encoding import ALPHABET, decode
-
 __all__ = [
     "random_strands",
     "random_strand",

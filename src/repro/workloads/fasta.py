@@ -9,14 +9,13 @@ encode 2-bit bases only).
 
 from __future__ import annotations
 
-import io
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
 
 import numpy as np
 
-from ..core.encoding import ALPHABET, decode, encode
+from ..core.encoding import ALPHABET, encode
 
 __all__ = ["FastaRecord", "read_fasta", "write_fasta", "records_to_batch"]
 
@@ -64,7 +63,7 @@ def _parse(lines: Iterable[str], source: str) -> Iterator[FastaRecord]:
             if header is None:
                 raise FastaError(
                     f"{source}:{lineno}: sequence data before any "
-                    f"'>' header"
+                    "'>' header"
                 )
             chunks.append(line.strip())
     if header is not None:
@@ -126,6 +125,6 @@ def records_to_batch(records: list[FastaRecord]) -> np.ndarray:
             raise FastaError(
                 f"record {rec.id!r} has length {len(rec)}; the batch "
                 f"engines need equal lengths ({n} expected). Pad or "
-                f"split the input."
+                "split the input."
             )
     return np.stack([rec.codes for rec in records])

@@ -1,0 +1,94 @@
+"""Deliberately broken kernels for exercising the analyzers.
+
+Each fixture seeds exactly one bug class:
+
+* :func:`racy_shared_kernel` — neighbour read with no barrier between
+  it and the owner's write (read-write race on shared memory);
+* :func:`racy_global_kernel` — every thread stores to the same global
+  word (write-write race);
+* :func:`divergent_barrier_kernel` — a barrier under an odd/even
+  thread split, so half the block syncs twice and half once;
+* :func:`nonconst_shfl_kernel` — a shuffle whose delta is the thread
+  index;
+* :func:`stripe_violation_kernel` — a store into the *previous*
+  thread's shared-memory stripe.
+
+The module also exports ready-made :class:`KernelLaunchPlan`\\ s so the
+CLI's ``--kernel tests.analyze.fixtures:racy_shared_plan`` path can
+drive them end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analyze import KernelLaunchPlan
+from repro.gpusim import Barrier, GlobalMemory, Shfl, ThreadCtx
+
+__all__ = [
+    "racy_shared_kernel", "racy_global_kernel",
+    "divergent_barrier_kernel", "nonconst_shfl_kernel",
+    "stripe_violation_kernel",
+    "racy_shared_plan", "racy_global_plan", "divergent_plan",
+]
+
+_BLOCK = 4
+
+
+def racy_shared_kernel(ctx: ThreadCtx, out: str):
+    """Write own slot, read the neighbour's — with no barrier."""
+    t = ctx.thread_idx
+    ctx.smem.store(t, t + 1)
+    # BUG: thread t reads slot t+1 in the same epoch its neighbour
+    # writes it.
+    v = ctx.smem.load((t + 1) % ctx.block_dim)
+    ctx.gmem.store(out, t, np.uint32(v))
+    yield Barrier()
+
+
+def racy_global_kernel(ctx: ThreadCtx, out: str):
+    """Every thread of every block stores to out[0]."""
+    ctx.gmem.store(out, 0, np.uint32(ctx.global_thread_idx))
+    yield Barrier()
+
+
+def divergent_barrier_kernel(ctx: ThreadCtx, out: str):
+    """Odd threads sync once, even threads twice: deadlock on HW."""
+    t = ctx.thread_idx
+    if t % 2 == 0:
+        yield Barrier()
+    ctx.gmem.store(out, t, np.uint32(t))
+    yield Barrier()
+
+
+def nonconst_shfl_kernel(ctx: ThreadCtx, out: str):
+    """Shuffle delta varies per lane — illegal."""
+    t = ctx.thread_idx
+    got = yield Shfl("up", t, t % 3)
+    ctx.gmem.store(out, t, np.uint32(got))
+    yield Barrier()
+
+
+def stripe_violation_kernel(ctx: ThreadCtx, out: str):
+    """Store into the neighbour's stripe: (t - 1) is not ours."""
+    t = ctx.thread_idx
+    ctx.smem.store((t - 1) % ctx.block_dim, t)
+    yield Barrier()
+    ctx.gmem.store(out, t, np.uint32(ctx.smem.load(t)))
+    yield Barrier()
+
+
+def _plan(kernel, name: str, grid_dim: int = 1,
+          shared_words: int = _BLOCK) -> KernelLaunchPlan:
+    gmem = GlobalMemory()
+    gmem.alloc("out", (_BLOCK,), np.uint32)
+    return KernelLaunchPlan(
+        name=name, kernel=kernel, grid_dim=grid_dim, block_dim=_BLOCK,
+        gmem=gmem, args=("out",), shared_words=shared_words)
+
+
+racy_shared_plan = _plan(racy_shared_kernel, "racy_shared_kernel")
+racy_global_plan = _plan(racy_global_kernel, "racy_global_kernel",
+                         grid_dim=2, shared_words=0)
+divergent_plan = _plan(divergent_barrier_kernel,
+                       "divergent_barrier_kernel", shared_words=0)

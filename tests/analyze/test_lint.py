@@ -1,0 +1,150 @@
+"""Tests for the static kernel lint (repro.analyze.lint)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyze import KernelLintError, lint_kernel
+from repro.gpusim import Barrier, Shfl
+from repro.kernels.match_kernel import string_match_kernel
+from repro.kernels.sw_kernel import (sw_wavefront_kernel,
+                                     sw_wavefront_kernel_shfl)
+from repro.kernels.transpose_kernel import b2w_kernel, w2b_kernel
+
+from .fixtures import (divergent_barrier_kernel, nonconst_shfl_kernel,
+                       stripe_violation_kernel)
+
+
+def _rules(findings):
+    return {d.rule for d in findings}
+
+
+class TestBarrierDivergence:
+    def test_divergent_fixture_flagged(self):
+        findings = lint_kernel(divergent_barrier_kernel)
+        assert "lint.barrier-divergence" in _rules(findings)
+        d = next(f for f in findings
+                 if f.rule == "lint.barrier-divergence")
+        assert d.subject == "divergent_barrier_kernel"
+        assert d.location.startswith("line ")
+
+    def test_guard_and_exit_idiom_is_clean(self):
+        """The shipped ``if tid >= total: yield Barrier(); return``
+        pattern balances sync counts across paths — no finding."""
+        def guarded(ctx, out, total):
+            if ctx.global_thread_idx >= total:
+                yield Barrier()
+                return
+            ctx.gmem.store(out, ctx.global_thread_idx, 1)
+            yield Barrier()
+
+        assert lint_kernel(guarded) == []
+
+    def test_tainted_loop_with_sync_flagged(self):
+        def bad(ctx):
+            for _ in range(ctx.thread_idx):
+                yield Barrier()
+
+        assert "lint.barrier-divergence" in _rules(lint_kernel(bad))
+
+    def test_uniform_loop_with_sync_is_clean(self):
+        def good(ctx, n):
+            for _ in range(n):
+                yield Barrier()
+
+        assert lint_kernel(good) == []
+
+    def test_sync_free_tainted_branch_is_clean(self):
+        def good(ctx, out):
+            if ctx.thread_idx == 0:
+                ctx.gmem.store(out, 0, 1)
+            yield Barrier()
+
+        assert lint_kernel(good) == []
+
+    def test_uniform_branch_divergence_not_flagged(self):
+        """Different sync counts under a *uniform* branch are fine:
+        every thread takes the same side."""
+        def good(ctx, flag):
+            if flag:
+                yield Barrier()
+            yield Barrier()
+
+        assert lint_kernel(good) == []
+
+    def test_control_dependent_taint_propagates(self):
+        """A variable assigned under a tainted branch is tainted."""
+        def bad(ctx):
+            n = 0
+            if ctx.thread_idx > 2:
+                n = 1
+            if n:
+                yield Barrier()
+            yield Barrier()
+
+        assert "lint.barrier-divergence" in _rules(lint_kernel(bad))
+
+    def test_suppression_comment(self):
+        def hushed(ctx):
+            if ctx.thread_idx == 0:  # analyze: skip
+                yield Barrier()
+            yield Barrier()
+
+        assert lint_kernel(hushed) == []
+
+
+class TestShflDelta:
+    def test_nonconst_delta_flagged(self):
+        findings = lint_kernel(nonconst_shfl_kernel)
+        assert "lint.shfl-nonconst-delta" in _rules(findings)
+
+    def test_const_delta_clean(self):
+        def good(ctx):
+            got = yield Shfl("up", ctx.thread_idx, 1)
+            yield Shfl("down", got, delta=2)
+
+        assert "lint.shfl-nonconst-delta" not in _rules(
+            lint_kernel(good))
+
+
+class TestSmemStores:
+    def test_stripe_violation_flagged(self):
+        findings = lint_kernel(stripe_violation_kernel)
+        assert "lint.smem-stripe-write" in _rules(findings)
+
+    def test_uniform_store_flagged(self):
+        def bad(ctx):
+            ctx.smem.store(0, ctx.thread_idx)
+            yield Barrier()
+
+        assert "lint.smem-uniform-store" in _rules(lint_kernel(bad))
+
+    def test_own_stripe_store_clean(self):
+        def good(ctx, s):
+            base = ctx.thread_idx * s
+            for h in range(s):
+                ctx.smem.store(base + h, h)
+            yield Barrier()
+
+        assert lint_kernel(good) == []
+
+
+class TestShippedKernelsRegressionGate:
+    """Every kernel the library ships must lint clean, forever."""
+
+    @pytest.mark.parametrize("kernel", [
+        sw_wavefront_kernel, sw_wavefront_kernel_shfl,
+        string_match_kernel, w2b_kernel, b2w_kernel,
+    ], ids=lambda k: k.__name__)
+    def test_clean(self, kernel):
+        assert lint_kernel(kernel) == []
+
+
+class TestLintErrors:
+    def test_unanalysable_callable_raises(self):
+        with pytest.raises(KernelLintError):
+            lint_kernel(map)  # no Python source
+
+    def test_lambda_kernels_rejected(self):
+        with pytest.raises(KernelLintError):
+            lint_kernel(lambda ctx: None)

@@ -1,0 +1,127 @@
+"""Tests for the netlist verifier (repro.analyze.netcheck)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyze import check_sw_cell_counts, verify_netlist
+from repro.core.circuits import sw_cell_ops_exact
+from repro.core.netlist import Netlist, build_sw_cell_netlist
+
+
+def _rules(diags):
+    return {d.rule for d in diags}
+
+
+class TestVerifyNetlist:
+    def test_no_outputs_is_error(self):
+        net = Netlist()
+        net.input_bus("a", 2)
+        diags = verify_netlist(net, "empty")
+        assert any(d.rule == "netlist.no-outputs" for d in diags)
+
+    def test_width_mismatch(self):
+        net = Netlist()
+        a = net.input_bus("a", 2)
+        net.set_outputs([net.NOT(a[0])])
+        diags = verify_netlist(net, "narrow", expected_outputs=2)
+        assert "netlist.width-mismatch" in _rules(diags)
+
+    def test_dead_gates_warned(self):
+        net = Netlist()
+        a = net.input_bus("a", 2)
+        net.AND(a[0], a[1])  # never reaches an output
+        net.set_outputs([net.NOT(a[0])])
+        diags = verify_netlist(net, "dead")
+        dead = next(d for d in diags if d.rule == "netlist.dead-gates")
+        assert dead.severity.value == "warning"
+
+    def test_unused_inputs_warned(self):
+        net = Netlist()
+        a = net.input_bus("a", 2)
+        net.set_outputs([net.NOT(a[0])])
+        diags = verify_netlist(net, "partial")
+        unused = next(d for d in diags
+                      if d.rule == "netlist.unused-inputs")
+        assert "a[1]" in unused.message
+
+    def test_gate_count_mismatch_is_error(self):
+        net = Netlist()
+        a = net.input_bus("a", 1)
+        net.set_outputs([net.NOT(a[0])])
+        diags = verify_netlist(net, "tiny", expected_logic_gates=5)
+        assert "netlist.gate-count" in _rules(diags)
+
+    def test_depth_budget(self):
+        net = Netlist(simplify=False)  # keep the NOT chain un-folded
+        a = net.input_bus("a", 1)
+        q = a[0]
+        for _ in range(4):
+            q = net.NOT(q)
+        net.set_outputs([q])
+        diags = verify_netlist(net, "deep", max_depth=2)
+        assert "netlist.depth" in _rules(diags)
+        assert any(d.rule == "netlist.depth"
+                   and d.severity.value == "error" for d in diags)
+
+    def test_clean_netlist_gets_depth_note_only(self):
+        net = Netlist()
+        a = net.input_bus("a", 1)
+        b = net.input_bus("b", 1)
+        net.set_outputs([net.AND(a[0], b[0])])
+        diags = verify_netlist(net, "and2", expected_outputs=1,
+                               expected_logic_gates=1)
+        assert all(d.severity.value == "note" for d in diags)
+
+
+class TestSwCellCounts:
+    def test_literal_counts_match_formula(self):
+        """Acceptance: the unsimplified netlist reproduces the measured
+        op counts 46s - 16 + 2e for s in {4, 8, 16}."""
+        rep = check_sw_cell_counts(s_values=(4, 8, 16))
+        assert rep.ok
+        notes = [d for d in rep.diagnostics
+                 if d.rule == "netlist.op-count"]
+        assert len(notes) == 3
+        assert all(d.severity.value == "note" for d in notes)
+
+    @pytest.mark.parametrize("s", [2, 4, 8, 16])
+    def test_gate_count_formula_directly(self, s):
+        net = build_sw_cell_netlist(s, 1, 2, 1, simplify=False)
+        assert net.logic_gate_count() == sw_cell_ops_exact(s, 2)
+
+    def test_differential_pass_runs(self):
+        rep = check_sw_cell_counts(s_values=(4,))
+        diffs = [d for d in rep.diagnostics
+                 if d.rule == "netlist.differential"]
+        assert diffs and all(d.severity.value == "note" for d in diffs)
+
+    def test_folding_shrinks_the_circuit(self):
+        rep = check_sw_cell_counts(s_values=(8,))
+        fold = next(d for d in rep.diagnostics
+                    if d.rule == "netlist.folding")
+        literal, folded = [int(tok) for tok in fold.message.split()
+                           if tok.isdigit()][:2]
+        assert folded < literal
+
+    def test_simplified_netlist_still_evaluates_identically(self):
+        """simplify=True changes gate structure, never the function."""
+        import numpy as np
+
+        from repro.core import circuits
+
+        rng = np.random.default_rng(3)
+        s = 5
+        planes = {
+            name: [np.uint32(rng.integers(0, 1 << 32))
+                   for _ in range(s if name in ("up", "left", "diag")
+                                  else 2)]
+            for name in ("up", "left", "diag", "x", "y")
+        }
+        want = circuits.sw_cell(planes["up"], planes["left"],
+                                planes["diag"], planes["x"],
+                                planes["y"], 1, 2, 1, 32)
+        for simplify in (True, False):
+            net = build_sw_cell_netlist(s, 1, 2, 1, simplify=simplify)
+            got = net.evaluate(planes)
+            assert [int(g) for g in got] == [int(w) for w in want]

@@ -1,0 +1,140 @@
+"""Tests for the dynamic race detector (repro.analyze.races)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analyze import RaceTracer, trace_launch
+from repro.gpusim import Barrier, GlobalMemory
+
+from .fixtures import (divergent_plan, racy_global_kernel,
+                       racy_global_plan, racy_shared_kernel,
+                       racy_shared_plan)
+
+
+def _out_gmem(n=4):
+    g = GlobalMemory()
+    g.alloc("out", (n,), np.uint32)
+    return g
+
+
+class TestSharedRaces:
+    def test_neighbour_read_without_barrier_flagged(self):
+        rep = trace_launch(racy_shared_kernel, 1, 4, _out_gmem(),
+                           "out", shared_words=4)
+        assert not rep.ok
+        assert any(d.rule == "race.read-write" for d in rep.errors)
+        msg = next(d for d in rep.errors
+                   if d.rule == "race.read-write").message
+        assert "shared[" in msg and "no barrier between" in msg
+
+    def test_report_names_both_threads(self):
+        rep = trace_launch(racy_shared_kernel, 1, 4, _out_gmem(),
+                           "out", shared_words=4)
+        msg = rep.errors[0].message
+        # Both parties appear with their block/thread/epoch coordinates.
+        assert msg.count("block 0/thread") == 2
+        assert "(epoch 0)" in msg
+
+    def test_barrier_clears_the_conflict(self):
+        def fixed(ctx, out):
+            t = ctx.thread_idx
+            ctx.smem.store(t, t + 1)
+            yield Barrier()
+            v = ctx.smem.load((t + 1) % ctx.block_dim)
+            ctx.gmem.store(out, t, np.uint32(v))
+            yield Barrier()
+
+        rep = trace_launch(fixed, 1, 4, _out_gmem(), "out",
+                           shared_words=4)
+        assert rep.ok
+
+    def test_write_write_same_slot(self):
+        def clash(ctx, out):
+            ctx.smem.store(0, ctx.thread_idx)
+            yield Barrier()
+            ctx.gmem.store(out, ctx.thread_idx,
+                           np.uint32(ctx.smem.load(0)))
+            yield Barrier()
+
+        rep = trace_launch(clash, 1, 4, _out_gmem(), "out",
+                           shared_words=4)
+        assert any(d.rule == "race.write-write" for d in rep.errors)
+
+
+class TestGlobalRaces:
+    def test_same_block_write_write(self):
+        rep = trace_launch(racy_global_kernel, 1, 4, _out_gmem(), "out")
+        assert any(d.rule == "race.write-write" for d in rep.errors)
+
+    def test_cross_block_conflict_despite_epochs(self):
+        """Blocks never sync with each other: a barrier inside each
+        block must not order accesses across blocks."""
+        def kern(ctx, out):
+            yield Barrier()
+            ctx.gmem.store(out, 0, np.uint32(ctx.block_idx))
+            yield Barrier()
+
+        rep = trace_launch(kern, 2, 1, _out_gmem(), "out")
+        assert any(d.rule == "race.write-write" for d in rep.errors)
+        assert any("block 0" in d.message and "block 1" in d.message
+                   for d in rep.errors)
+
+    def test_distinct_addresses_are_clean(self):
+        def kern(ctx, out):
+            ctx.gmem.store(out, ctx.global_thread_idx,
+                           np.uint32(ctx.thread_idx))
+            yield Barrier()
+
+        rep = trace_launch(kern, 2, 2, _out_gmem(), "out")
+        assert rep.ok
+
+    def test_concurrent_reads_are_clean(self):
+        def kern(ctx, out):
+            ctx.gmem.load(out, 0)
+            yield Barrier()
+
+        rep = trace_launch(kern, 2, 4, _out_gmem(), "out")
+        assert rep.ok
+
+
+class TestTracerMechanics:
+    def test_dedup_one_finding_per_conflicting_pair(self):
+        """Each conflicting (thread pair, buffer) is reported once,
+        however many accesses repeat the conflict."""
+        def noisy(ctx, out):
+            for _ in range(5):
+                ctx.gmem.store(out, 0, np.uint32(ctx.thread_idx))
+            yield Barrier()
+
+        rep = trace_launch(noisy, 1, 4, _out_gmem(), "out")
+        # Writers arrive in thread order, so the racing pairs are the
+        # chained (0,1), (1,2), (2,3) — one finding each, not 5x.
+        assert len(rep.errors) == 3
+
+    def test_max_findings_cap_with_note(self):
+        rep = trace_launch(racy_global_kernel, 4, 8, _out_gmem(), "out",
+                           max_findings=2)
+        assert len(rep.errors) == 2
+        assert any(d.rule == "race.suppressed"
+                   for d in rep.diagnostics)
+
+    def test_launch_failure_becomes_diagnostic(self):
+        rep = trace_launch(divergent_plan.kernel, 1, 4, _out_gmem(),
+                           "out")
+        assert any(d.rule == "race.launch-failed" for d in rep.errors)
+        assert "KernelDeadlock" in rep.errors[-1].message
+
+    def test_tracer_protocol_shape(self):
+        from repro.gpusim import AccessTracer
+
+        assert isinstance(RaceTracer(), AccessTracer)
+
+
+class TestFixturePlans:
+    def test_racy_plans_fail(self):
+        from repro.analyze import analyze_plan
+
+        assert not analyze_plan(racy_shared_plan).ok
+        assert not analyze_plan(racy_global_plan).ok
+        assert not analyze_plan(divergent_plan).ok

@@ -142,7 +142,8 @@ class TestGeneralEngine:
         diff = counters["protein"] - counters["DNA"]
         steps = m + n - 1
         assert diff == steps * (sw_cell_ops_exact(SCHEME.score_bits(m, n), 5)
-                                - sw_cell_ops_exact(SCHEME.score_bits(m, n), 2))
+                                - sw_cell_ops_exact(
+                                    SCHEME.score_bits(m, n), 2))
         assert diff == steps * 6
 
     def test_mismatched_eps_rejected(self, rng):

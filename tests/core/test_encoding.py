@@ -9,7 +9,6 @@ from hypothesis import strategies as st
 
 from repro.core.bitops import BitOpsError, OpCounter
 from repro.core.encoding import (
-    ALPHABET,
     CHAR_BITS,
     CODE_OF,
     decode,

@@ -10,7 +10,6 @@ from hypothesis import strategies as st
 from repro.core.bitsliced import BitSlicedUInt
 from repro.core.circuits import (
     matching_b,
-    max_b,
     sw_cell,
     sw_cell_ops_exact,
 )
@@ -19,11 +18,9 @@ from repro.core.netlist import (
     NetlistError,
     build_sw_cell_netlist,
     synth_add,
-    synth_greater_equal,
     synth_matching,
     synth_max,
     synth_ssub,
-    synth_sw_cell,
 )
 
 

@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.bitops import BitOpsError, OpCounter
-from repro.core.encoding import encode, encode_batch, encode_batch_bit_transposed
+from repro.core.encoding import encode, encode_batch_bit_transposed
 from repro.core.string_matching import (
     bpbc_string_matching,
     bpbc_string_matching_strings,

@@ -227,7 +227,8 @@ class TestFigure1Stages:
     def test_first_stage_matches_figure(self):
         """After step 1, word 0's high nibble holds word 4's low nibble
         (the '4,3 4,2 4,1 4,0 | 0,3 0,2 0,1 0,0' row of Figure 1)."""
-        words = np.arange(8, dtype=np.uint8) * 16 + np.arange(8, dtype=np.uint8)
+        words = (np.arange(8, dtype=np.uint8) * 16
+                 + np.arange(8, dtype=np.uint8))
         stages = transpose8x8_stages(words)
         a0 = int(stages[1][0])
         assert a0 & 0x0F == int(words[0]) & 0x0F

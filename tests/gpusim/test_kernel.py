@@ -136,6 +136,61 @@ class TestDeadlockDetection:
             launch_kernel(kern, 1, 2, GlobalMemory())
 
 
+class TestDeadlockEdgeCases:
+    def test_thread_exits_mid_loop_before_barrier(self):
+        """Thread 0 leaves a barrier-per-iteration loop early; the
+        survivors wait on a barrier it will never issue."""
+        def kern(ctx):
+            for r in range(4):
+                if ctx.thread_idx == 0 and r == 2:
+                    return
+                yield Barrier()
+
+        with pytest.raises(KernelDeadlock) as exc:
+            launch_kernel(kern, 1, 4, GlobalMemory())
+        assert "terminated before a barrier" in str(exc.value)
+
+    def test_zero_thread_block_is_launch_error(self):
+        def kern(ctx):
+            yield Barrier()
+
+        with pytest.raises(LaunchConfigError):
+            launch_kernel(kern, 1, 0, GlobalMemory())
+        with pytest.raises(LaunchConfigError):
+            launch_kernel(kern, 0, 0, GlobalMemory())
+
+    def test_single_thread_block_never_deadlocks(self):
+        """With one thread, early exit and lone barriers are both
+        trivially synchronised."""
+        def early_exit(ctx):
+            if ctx.thread_idx == 0:
+                return
+            yield Barrier()
+
+        stats = launch_kernel(early_exit, 3, 1, GlobalMemory())
+        assert stats.barriers == 0
+
+        def lone_barriers(ctx):
+            yield Barrier()
+            yield Barrier()
+
+        stats = launch_kernel(lone_barriers, 1, 1, GlobalMemory())
+        assert stats.barriers == 2
+
+    def test_deadlock_raised_not_hung_with_tracer(self):
+        """The deadlock path must fire identically under tracing."""
+        from repro.analyze import RaceTracer
+
+        def kern(ctx):
+            if ctx.thread_idx == 0:
+                return
+            yield Barrier()
+
+        with pytest.raises(KernelDeadlock):
+            launch_kernel(kern, 1, 2, GlobalMemory(),
+                          tracer=RaceTracer("kern"))
+
+
 class TestShuffle:
     def test_shfl_up(self):
         def kern(ctx):

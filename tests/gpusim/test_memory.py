@@ -132,6 +132,52 @@ class TestSharedMemory:
         assert s.load(0) == (1 << 63) + 5
 
 
+class TestFaultDiagnostics:
+    """Out-of-range accesses must name the buffer and the bad index."""
+
+    def test_scalar_load_names_buffer_and_index(self):
+        g = GlobalMemory()
+        g.alloc("scores", 4, np.uint32)
+        with pytest.raises(MemoryFault,
+                           match=r"load out of bounds on buffer "
+                                 r"'scores': index 7 .*\(4,\)"):
+            g.load("scores", 7)
+
+    def test_scalar_store_names_buffer_and_index(self):
+        g = GlobalMemory()
+        g.alloc("out", (2, 3), np.uint32)
+        with pytest.raises(MemoryFault,
+                           match=r"store out of bounds on buffer "
+                                 r"'out': index \(5, 0\)"):
+            g.store("out", (5, 0), 1)
+
+    def test_warp_access_names_buffer(self):
+        g = GlobalMemory()
+        g.alloc("planes", 4, np.uint32)
+        with pytest.raises(MemoryFault, match=r"'planes'"):
+            g.warp_load("planes", [0, 9])
+        with pytest.raises(MemoryFault, match=r"'planes'"):
+            g.warp_store("planes", [-2], [0])
+
+    def test_shared_scalar_reports_index_and_range(self):
+        s = SharedMemory(8)
+        with pytest.raises(MemoryFault,
+                           match=r"load out of bounds on shared "
+                                 r"memory: index 8 not within 0\.\.7"):
+            s.load(8)
+
+    def test_shared_warp_reports_every_bad_index(self):
+        s = SharedMemory(8)
+        with pytest.raises(MemoryFault,
+                           match=r"indices -1, 12 not within 0\.\.7"):
+            s.warp_store([-1, 3, 12], [0, 0, 0])
+
+    def test_shared_custom_name_in_message(self):
+        s = SharedMemory(4, name="stripe")
+        with pytest.raises(MemoryFault, match=r"on stripe memory"):
+            s.store(4, 1)
+
+
 class TestMemoryStats:
     def test_merge(self):
         a = MemoryStats(loads=1, stores=2, bytes_loaded=4)

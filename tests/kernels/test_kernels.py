@@ -14,7 +14,7 @@ from repro.gpusim.device import GTX_280
 from repro.gpusim.kernel import launch_kernel
 from repro.gpusim.memory import GlobalMemory
 from repro.kernels.pipeline import run_gpu_pipeline
-from repro.kernels.sw_kernel import shared_words_needed, sw_wavefront_kernel
+from repro.kernels.sw_kernel import shared_words_needed
 from repro.kernels.transpose_kernel import (
     apply_classified_ops,
     apply_classified_ops_reversed,

@@ -13,7 +13,6 @@ import time
 from concurrent.futures import Future
 
 import numpy as np
-import pytest
 
 from repro.serve import AlignmentService
 from repro.serve.errors import QueueFullError

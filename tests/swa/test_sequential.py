@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.perfmodel.paper_data import (PAPER_TABLE2_MATRIX, TABLE2_X,
                                         TABLE2_Y)
