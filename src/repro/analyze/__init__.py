@@ -17,7 +17,8 @@ from .drivers import (KernelLaunchPlan, analyze_all, analyze_kernels,
                       analyze_netlists, analyze_plan,
                       shipped_kernel_plans)
 from .lint import KernelLintError, lint_kernel
-from .netcheck import check_sw_cell_counts, verify_netlist
+from .netcheck import (check_compiled_cells, check_sw_cell_counts,
+                       verify_netlist)
 from .races import RaceTracer, trace_launch
 from .report import Diagnostic, Report, Severity
 
@@ -25,7 +26,7 @@ __all__ = [
     "Severity", "Diagnostic", "Report",
     "RaceTracer", "trace_launch",
     "lint_kernel", "KernelLintError",
-    "verify_netlist", "check_sw_cell_counts",
+    "verify_netlist", "check_sw_cell_counts", "check_compiled_cells",
     "KernelLaunchPlan", "shipped_kernel_plans", "analyze_plan",
     "analyze_kernels", "analyze_netlists", "analyze_all",
 ]

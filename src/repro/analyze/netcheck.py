@@ -1,6 +1,6 @@
 """Netlist verification: structure lint and gate-count assertions.
 
-Two layers:
+Three layers:
 
 :func:`verify_netlist`
     Structural lint of one :class:`~repro.core.netlist.Netlist` DAG —
@@ -20,10 +20,18 @@ Two layers:
     :func:`repro.core.circuits.sw_cell` on deterministic pseudo-random
     planes, so the count check cannot pass on a circuit that computes
     the wrong function.
+
+:func:`check_compiled_cells`
+    The :mod:`repro.jit` layer: compile the folded cell for each
+    width, parse the generated straight-line source with :mod:`ast`,
+    assert the scheduled op count never exceeds the folded gate count,
+    and differentially evaluate the compiled cell against the
+    hand-coded circuit.
 """
 
 from __future__ import annotations
 
+import ast
 from typing import Sequence
 
 import numpy as np
@@ -32,7 +40,8 @@ from ..core import circuits
 from ..core.netlist import Netlist, NetlistError, build_sw_cell_netlist
 from .report import Diagnostic, Report, Severity
 
-__all__ = ["verify_netlist", "check_sw_cell_counts"]
+__all__ = ["verify_netlist", "check_sw_cell_counts",
+           "check_compiled_cells"]
 
 _LOGIC_KINDS = frozenset({"AND", "OR", "XOR", "NOT"})
 
@@ -191,4 +200,93 @@ def check_sw_cell_counts(s_values: Sequence[int] = (4, 8, 16),
             subject=name,
             message=f"constant folding + CSE: {got} -> "
                     f"{folded.logic_gate_count()} gates"))
+    return rep
+
+
+def check_compiled_cells(s_values: Sequence[int] = (4, 8, 16),
+                         gap: int = 1, c1: int = 2, c2: int = 1,
+                         eps: int = 2, word_bits: int = 32) -> Report:
+    """Verify the :mod:`repro.jit` compiled SW cells and their source.
+
+    For each ``s``: compile the folded cell netlist to a straight-line
+    NumPy evaluator, parse the generated source with :mod:`ast` (the
+    compiler's output must always be valid Python), assert the
+    scheduled op count never exceeds the folded gate count (the jit's
+    CSE pass may only shrink the circuit), and differentially evaluate
+    the compiled cell against the hand-coded
+    :func:`repro.core.circuits.sw_cell` on deterministic pseudo-random
+    planes.
+    """
+    from ..jit import JitError, compile_netlist
+
+    rep = Report()
+    for s in s_values:
+        name = f"compiled_sw_cell[s={s}]"
+        folded = build_sw_cell_netlist(s, gap, c1, c2, eps=eps,
+                                       simplify=True)
+        try:
+            compiled = compile_netlist(folded, word_bits)
+        except JitError as exc:
+            rep.add(Diagnostic(
+                rule="jit.compile-failed", severity=Severity.ERROR,
+                subject=name, message=f"compilation raised: {exc}"))
+            continue
+        try:
+            ast.parse(compiled.source)
+        except SyntaxError as exc:
+            rep.add(Diagnostic(
+                rule="jit.source-syntax", severity=Severity.ERROR,
+                subject=name,
+                message=f"generated source does not parse: {exc}"))
+            continue
+        rep.add(Diagnostic(
+            rule="jit.source-syntax", severity=Severity.NOTE,
+            subject=name,
+            message=f"generated source parses "
+                    f"({len(compiled.source.splitlines())} lines, "
+                    f"{compiled.n_slots} pooled temporaries)"))
+        n_gates = folded.logic_gate_count()
+        if compiled.n_ops > n_gates:
+            rep.add(Diagnostic(
+                rule="jit.op-count", severity=Severity.ERROR,
+                subject=name,
+                message=f"compiled plan has {compiled.n_ops} ops but "
+                        f"the folded netlist only {n_gates} gates; "
+                        "the jit pipeline must not grow the circuit"))
+        else:
+            rep.add(Diagnostic(
+                rule="jit.op-count", severity=Severity.NOTE,
+                subject=name,
+                message=f"scheduled ops {compiled.n_ops} <= folded "
+                        f"gate count {n_gates}"))
+        rng = np.random.default_rng(11)
+        dt = np.uint32 if word_bits == 32 else np.uint64
+        lanes = 8
+
+        def planes(k: int) -> list[np.ndarray]:
+            return [rng.integers(0, 1 << 16, size=lanes).astype(dt)
+                    ^ (rng.integers(0, 1 << 16, size=lanes).astype(dt)
+                       << 16)
+                    for _ in range(k)]
+
+        A, B, C = planes(s), planes(s), planes(s)
+        x, y = planes(eps), planes(eps)
+        want = circuits.sw_cell(A, B, C, x, y, gap, c1, c2, word_bits)
+        got = compiled.evaluate(
+            {"up": A, "left": B, "diag": C, "x": x, "y": y})
+        bad = [h for h in range(s)
+               if not np.array_equal(np.asarray(got[h]),
+                                     np.asarray(want[h]))]
+        if bad:
+            rep.add(Diagnostic(
+                rule="jit.differential", severity=Severity.ERROR,
+                subject=name,
+                message="compiled cell disagrees with "
+                        f"circuits.sw_cell on output plane(s) {bad}"))
+        else:
+            rep.add(Diagnostic(
+                rule="jit.differential", severity=Severity.NOTE,
+                subject=name,
+                message=f"matches circuits.sw_cell on {lanes} random "
+                        "lane words (seed 11)"))
     return rep

@@ -347,13 +347,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=7421,
                    help="TCP port (0 = ephemeral; default 7421)")
     p.add_argument("--engine", default="bpbc",
-                   choices=("bpbc", "numpy", "gpusim"),
-                   help="scoring backend (default bpbc)")
+                   choices=("bpbc", "bpbc-jit", "numpy", "gpusim"),
+                   help="scoring backend (default bpbc; bpbc-jit pins "
+                        "the repro.jit compiled cell evaluator)")
     p.add_argument("--workers", type=int, default=2,
                    help="engine worker threads (default 2)")
     p.add_argument("--shard-workers", type=int, default=1,
                    help="shard each batch across this many processes "
-                        "(bpbc/numpy engines; default 1 = off)")
+                        "(bpbc/bpbc-jit/numpy engines; default 1 = off)")
     p.add_argument("--word-bits", type=int, default=64,
                    choices=(8, 16, 32, 64))
     p.add_argument("--max-queue", type=int, default=1024,

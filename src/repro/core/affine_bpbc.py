@@ -119,7 +119,7 @@ def bpbc_gotoh_wavefront(XH, XL, YH, YL, scheme: AffineScheme,
         for h in range(s):
             best[h, rows] = new_best[h]
 
-    final = reduce_max_rows(best, word_bits, counter)
+    final = reduce_max_rows(best, word_bits, counter, in_place=True)
     planes = np.stack(final)
     return BPBCResult(
         score_planes=planes,

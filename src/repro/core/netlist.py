@@ -31,6 +31,7 @@ Synthesisers mirror §IV-A: :func:`synth_greater_equal`,
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
@@ -47,6 +48,7 @@ __all__ = [
     "synth_matching",
     "synth_sw_cell",
     "build_sw_cell_netlist",
+    "build_sw_cell_best_netlist",
 ]
 
 
@@ -457,14 +459,9 @@ def synth_sw_cell(net: Netlist, A: Sequence[int], B: Sequence[int],
     return synth_max(net, T2, U)
 
 
-def build_sw_cell_netlist(s: int, gap: int, c1: int, c2: int,
-                          eps: int = 2, simplify: bool = True) -> Netlist:
-    """A ready-to-evaluate SW-cell circuit with buses
-    ``up``/``left``/``diag`` (s bits) and ``x``/``y`` (eps bits).
-
-    ``simplify=False`` synthesises the literal straight-line circuit
-    (no CSE, no constant folding), whose logic-gate count equals
-    :func:`repro.core.circuits.sw_cell_ops_exact`."""
+@lru_cache(maxsize=None)
+def _build_sw_cell_netlist_cached(s: int, gap: int, c1: int, c2: int,
+                                  eps: int, simplify: bool) -> Netlist:
     net = Netlist(simplify=simplify)
     A = net.input_bus("up", s)
     B = net.input_bus("left", s)
@@ -473,3 +470,50 @@ def build_sw_cell_netlist(s: int, gap: int, c1: int, c2: int,
     y = net.input_bus("y", eps)
     net.set_outputs(synth_sw_cell(net, A, B, C, x, y, gap, c1, c2))
     return net
+
+
+def build_sw_cell_netlist(s: int, gap: int, c1: int, c2: int,
+                          eps: int = 2, simplify: bool = True) -> Netlist:
+    """A ready-to-evaluate SW-cell circuit with buses
+    ``up``/``left``/``diag`` (s bits) and ``x``/``y`` (eps bits).
+
+    ``simplify=False`` synthesises the literal straight-line circuit
+    (no CSE, no constant folding), whose logic-gate count equals
+    :func:`repro.core.circuits.sw_cell_ops_exact`.
+
+    Results are memoised on ``(s, gap, c1, c2, eps, simplify)``:
+    repeated engine calls receive the *same* :class:`Netlist` object
+    instead of re-synthesising the circuit, so treat it as read-only
+    (every shipped consumer only evaluates or inspects it)."""
+    return _build_sw_cell_netlist_cached(int(s), int(gap), int(c1),
+                                         int(c2), int(eps), bool(simplify))
+
+
+@lru_cache(maxsize=None)
+def _build_sw_cell_best_netlist_cached(s: int, gap: int, c1: int, c2: int,
+                                       eps: int) -> Netlist:
+    net = Netlist(simplify=True)
+    A = net.input_bus("up", s)
+    B = net.input_bus("left", s)
+    C = net.input_bus("diag", s)
+    x = net.input_bus("x", eps)
+    y = net.input_bus("y", eps)
+    best = net.input_bus("best", s)
+    cell = synth_sw_cell(net, A, B, C, x, y, gap, c1, c2)
+    new_best = synth_max(net, best, cell)
+    net.set_outputs(list(cell) + new_best)
+    return net
+
+
+def build_sw_cell_best_netlist(s: int, gap: int, c1: int, c2: int,
+                               eps: int = 2) -> Netlist:
+    """The SW cell fused with the running-max update.
+
+    Adds a ``best`` input bus (``s`` bits) and widens the output bus to
+    ``2s`` bits: the fresh cell planes followed by ``max(best, cell)``.
+    This is the circuit one wavefront step actually needs —
+    :mod:`repro.jit` compiles it so the per-diagonal maximum hand-off
+    costs no extra evaluator call.  Memoised like
+    :func:`build_sw_cell_netlist`; treat the result as read-only."""
+    return _build_sw_cell_best_netlist_cached(int(s), int(gap), int(c1),
+                                              int(c2), int(eps))

@@ -35,8 +35,9 @@ from .bitops import BitOpsError, OpCounter, word_dtype
 from .bitsliced import ints_from_slices
 from .circuits import max_b, sw_cell
 
-__all__ = ["BPBCResult", "bpbc_sw_sequential", "bpbc_sw_wavefront",
-           "bpbc_sw_wavefront_planes", "reduce_max_rows"]
+__all__ = ["BPBCResult", "CELL_EVALUATORS", "bpbc_sw_sequential",
+           "bpbc_sw_wavefront", "bpbc_sw_wavefront_planes",
+           "reduce_max_rows"]
 
 
 @dataclass
@@ -78,26 +79,35 @@ def _validate_inputs(XH, XL, YH, YL):
 
 
 def reduce_max_rows(planes: np.ndarray, word_bits: int,
-                    counter: OpCounter | None = None) -> list[np.ndarray]:
+                    counter: OpCounter | None = None,
+                    in_place: bool = False) -> list[np.ndarray]:
     """Tree-reduce ``(s, rows, lanes)`` planes to the per-lane row maximum.
 
     Pairwise :func:`repro.core.circuits.max_b` halving, ``ceil(log2
     rows)`` rounds — the software analogue of the paper's running-max
     hand-off along the bottom diagonal (§V step 5).
+
+    The reduction runs in place over a scratch copy of ``planes``
+    (merged halves overwrite the low rows each round) instead of
+    re-copying the surviving rows every round.  With ``in_place=True``
+    even the scratch copy is skipped and ``planes`` itself is used as
+    workspace — callers that are done with the buffer (both wavefront
+    engines reducing their ``best`` planes) pass this to make the
+    reduction copy-free.
     """
     rows = planes.shape[1]
-    cur = [planes[h] for h in range(planes.shape[0])]
+    if rows == 1:
+        return [planes[h, 0] for h in range(planes.shape[0])]
+    work = planes if in_place else planes.copy()
     while rows > 1:
         half = rows // 2
-        hi = [p[rows - half:rows] for p in cur]
-        lo = [p[:half] for p in cur]
+        lo = [work[h, :half] for h in range(work.shape[0])]
+        hi = [work[h, rows - half:rows] for h in range(work.shape[0])]
         merged = max_b(lo, hi, counter)
-        for h in range(len(cur)):
-            nxt = cur[h][: rows - half].copy()
-            nxt[:half] = merged[h]
-            cur[h] = nxt
+        for h in range(work.shape[0]):
+            work[h, :half] = merged[h]
         rows -= half
-    return [p[0] for p in cur]
+    return [work[h, 0] for h in range(work.shape[0])]
 
 
 def bpbc_sw_sequential(XH, XL, YH, YL, scheme: ScoringScheme,
@@ -157,7 +167,7 @@ def bpbc_sw_sequential(XH, XL, YH, YL, scheme: ScoringScheme,
 def bpbc_sw_wavefront(XH, XL, YH, YL, scheme: ScoringScheme,
                       word_bits: int, s: int | None = None,
                       counter: OpCounter | None = None,
-                      cell: str = "generic") -> BPBCResult:
+                      cell: str | None = None) -> BPBCResult:
     """Anti-diagonal BPBC Smith-Waterman (paper's parallel listing).
 
     The paper assigns thread ``i`` to pattern row ``i``; here the row
@@ -172,14 +182,13 @@ def bpbc_sw_wavefront(XH, XL, YH, YL, scheme: ScoringScheme,
     on zeros without branching — mirroring how the paper's kernel
     feeds zeros into border threads.
 
-    ``cell`` selects the circuit evaluator: ``"generic"`` runs the
-    paper-literal straight-line circuit of
-    :func:`repro.core.circuits.sw_cell`; ``"folded"`` evaluates the
-    constant-folded gate netlist of
-    :func:`repro.core.netlist.build_sw_cell_netlist` (gap/c1/c2 baked
-    in, ~1.6x fewer bitwise operations — the optimisation a tuned
-    CUDA kernel applies).  Results are identical; the op counter is
-    only supported for ``"generic"``.
+    ``cell`` selects the circuit evaluator (see
+    :func:`bpbc_sw_wavefront_planes` for the full list): ``"generic"``
+    runs the paper-literal straight-line circuit, ``"folded"``
+    interprets the constant-folded gate netlist, and ``"compiled"``
+    runs the :mod:`repro.jit` generated evaluator — the default when
+    no op counter is requested.  Results are bit-identical across all
+    evaluators; the op counter is only supported for ``"generic"``.
     """
     return bpbc_sw_wavefront_planes(
         np.stack([np.asarray(XL), np.asarray(XH)]),
@@ -188,10 +197,15 @@ def bpbc_sw_wavefront(XH, XL, YH, YL, scheme: ScoringScheme,
     )
 
 
+#: Valid ``cell=`` strings for the wavefront engines.
+CELL_EVALUATORS = ("generic", "folded", "compiled", "compiled-c",
+                   "compiled-numpy")
+
+
 def bpbc_sw_wavefront_planes(Xp, Yp, scheme: ScoringScheme,
                              word_bits: int, s: int | None = None,
                              counter: OpCounter | None = None,
-                             cell: str = "generic") -> BPBCResult:
+                             cell: str | None = None) -> BPBCResult:
     """General-alphabet wavefront engine over character planes.
 
     ``Xp`` has shape ``(eps, m, lanes)`` and ``Yp`` ``(eps, n,
@@ -200,6 +214,27 @@ def bpbc_sw_wavefront_planes(Xp, Yp, scheme: ScoringScheme,
     exactly this).  DNA is the ``eps = 2`` case; protein search uses
     ``eps = 5`` at a cost of ``2 * eps`` extra operations per cell in
     the match-flag loop, nothing more.
+
+    ``cell`` picks the circuit evaluator — all bit-identical:
+
+    ``"generic"``
+        The paper-literal straight-line circuit of
+        :func:`repro.core.circuits.sw_cell`; the only evaluator that
+        supports the op ``counter``.
+    ``"folded"``
+        Interprets the constant-folded netlist of
+        :func:`repro.core.netlist.build_sw_cell_netlist`.
+    ``"compiled"`` / ``"compiled-c"`` / ``"compiled-numpy"``
+        The :mod:`repro.jit` fused cell + running-max step —
+        ``"compiled"`` auto-selects the native backend when a C
+        toolchain exists and the generated-NumPy backend otherwise;
+        the suffixed forms force one backend.
+    a callable
+        ``(up, left, diag, x, y) -> planes``, evaluated like
+        ``"generic"`` (see :mod:`repro.core.tstv` for an example).
+    ``None`` (default)
+        ``"compiled"``, unless a ``counter`` is supplied, in which
+        case ``"generic"`` so op accounting keeps working.
     """
     Xp = np.asarray(Xp)
     Yp = np.asarray(Yp)
@@ -226,8 +261,24 @@ def bpbc_sw_wavefront_planes(Xp, Yp, scheme: ScoringScheme,
     lanes = Xp.shape[2]
     gap, c1, c2 = (scheme.gap_penalty, scheme.match_score,
                    scheme.mismatch_penalty)
+    if cell is None:
+        cell = "generic" if counter is not None else "compiled"
+    step = None
     if callable(cell):
         eval_cell = cell
+    elif cell in ("compiled", "compiled-c", "compiled-numpy"):
+        if counter is not None:
+            raise BitOpsError(
+                "op counting is only supported for the generic cell"
+            )
+        from .. import jit
+
+        backend = {"compiled": "auto", "compiled-c": "c",
+                   "compiled-numpy": "numpy"}[cell]
+        step = jit.sw_wavefront_step(s, gap, c1, c2, eps, word_bits,
+                                     backend=backend)
+        Xp = np.ascontiguousarray(Xp, dtype=dt)
+        Yp = np.ascontiguousarray(Yp, dtype=dt)
     elif cell == "folded":
         if counter is not None:
             raise BitOpsError(
@@ -248,39 +299,61 @@ def bpbc_sw_wavefront_planes(Xp, Yp, scheme: ScoringScheme,
                            word_bits, counter)
     else:
         raise BitOpsError(
-            f"unknown cell evaluator {cell!r}; expected 'generic', "
-            "'folded', or a callable (up, left, diag, x, y) -> planes"
+            f"unknown cell evaluator {cell!r}; expected one of "
+            f"{CELL_EVALUATORS} or a callable "
+            "(up, left, diag, x, y) -> planes"
         )
     # prev1/prev2[h, i+1, :] = row i's value on diagonals t-1 / t-2;
-    # row padding keeps index 0 at zero forever.
+    # row padding keeps index 0 at zero forever.  The buffers double-
+    # buffer with *no* per-diagonal copy: fresh planes land directly in
+    # the destination rows of prev2 and the buffers swap roles.  Rows
+    # outside the written band hold stale data, but the next diagonal
+    # only ever reads the zero pad row, rows written this step, or
+    # rows never written on either buffer (still zero) — the active
+    # band's bounds are monotone in t, so retired rows are never read
+    # again.
     prev1 = np.zeros((s, m + 1, lanes), dtype=dt)
     prev2 = np.zeros((s, m + 1, lanes), dtype=dt)
     best = np.zeros((s, m, lanes), dtype=dt)
-    for t in range(m + n - 1):
-        lo = max(0, t - n + 1)
-        hi = min(m - 1, t)
-        rows = slice(lo, hi + 1)          # active DP rows (0-based)
-        up_rows = slice(lo, hi + 1)       # padded index i -> row i-1
-        self_rows = slice(lo + 1, hi + 2)  # padded index i+1 -> row i
-        x = [Xp[b, rows] for b in range(eps)]
-        j_idx = t - np.arange(lo, hi + 1)
-        y = [Yp[b, j_idx] for b in range(eps)]
-        fresh = eval_cell(
-            [prev1[h, up_rows] for h in range(s)],    # d[i-1][j]
-            [prev1[h, self_rows] for h in range(s)],  # d[i][j-1]
-            [prev2[h, up_rows] for h in range(s)],    # d[i-1][j-1]
-            x, y,
-        )
-        nxt = prev1.copy()
-        for h in range(s):
-            nxt[h, self_rows] = fresh[h]
-        prev2 = prev1
-        prev1 = nxt
-        new_best = max_b([best[h, rows] for h in range(s)], fresh,
-                         counter)
-        for h in range(s):
-            best[h, rows] = new_best[h]
-    final = reduce_max_rows(best, word_bits, counter)
+    if step is not None and step.backend == "c":
+        a1, a2 = prev1.ctypes.data, prev2.ctypes.data
+        ab = best.ctypes.data
+        ax, ay = Xp.ctypes.data, Yp.ctypes.data
+        fn = step.fn
+        for t in range(m + n - 1):
+            lo = t - n + 1 if t >= n else 0
+            hi = m - 1 if t >= m else t
+            fn(a1, a2, ab, ax, ay, t, lo, hi, m, n, lanes)
+            a1, a2 = a2, a1
+    elif step is not None:
+        for t in range(m + n - 1):
+            lo = max(0, t - n + 1)
+            hi = min(m - 1, t)
+            step(prev1, prev2, best, Xp, Yp, t, lo, hi)
+            prev1, prev2 = prev2, prev1
+    else:
+        for t in range(m + n - 1):
+            lo = max(0, t - n + 1)
+            hi = min(m - 1, t)
+            rows = slice(lo, hi + 1)          # active DP rows (0-based)
+            up_rows = slice(lo, hi + 1)       # padded index i -> row i-1
+            self_rows = slice(lo + 1, hi + 2)  # padded index i+1 -> row i
+            x = [Xp[b, rows] for b in range(eps)]
+            y = [Yp[b, t - hi:t - lo + 1][::-1] for b in range(eps)]
+            fresh = eval_cell(
+                [prev1[h, up_rows] for h in range(s)],    # d[i-1][j]
+                [prev1[h, self_rows] for h in range(s)],  # d[i][j-1]
+                [prev2[h, up_rows] for h in range(s)],    # d[i-1][j-1]
+                x, y,
+            )
+            for h in range(s):
+                prev2[h, self_rows] = fresh[h]
+            prev1, prev2 = prev2, prev1
+            new_best = max_b([best[h, rows] for h in range(s)], fresh,
+                             counter)
+            for h in range(s):
+                best[h, rows] = new_best[h]
+    final = reduce_max_rows(best, word_bits, counter, in_place=True)
     planes = np.stack(final)
     return BPBCResult(
         score_planes=planes,

@@ -75,7 +75,7 @@ def cell_evaluator_study(pairs: int = 2048, m: int = 64,
     # Larger lane arrays than the other studies: the folded netlist's
     # win is per-NumPy-call, so it needs arrays big enough that call
     # dispatch is not the bottleneck.
-    """Generic circuit vs constant-folded netlist."""
+    """Generic circuit vs folded netlist vs repro.jit compiled cell."""
     batch = paper_workload(n, pairs=pairs, m=m, seed=23)
     XH, XL = encode_batch_bit_transposed(batch.X, 64)
     YH, YL = encode_batch_bit_transposed(batch.Y, 64)
@@ -84,13 +84,17 @@ def cell_evaluator_study(pairs: int = 2048, m: int = 64,
                         None, None, "generic")
     folded_ms = _timed(bpbc_sw_wavefront, XH, XL, YH, YL, SCHEME, 64,
                        None, None, "folded")
+    compiled_ms = _timed(bpbc_sw_wavefront, XH, XL, YH, YL, SCHEME, 64,
+                         None, None, "compiled")
     net = build_sw_cell_netlist(s, SCHEME.gap_penalty,
                                 SCHEME.match_score,
                                 SCHEME.mismatch_penalty)
     return {
         "generic_ms": generic_ms,
         "folded_ms": folded_ms,
+        "compiled_ms": compiled_ms,
         "speedup": generic_ms / folded_ms,
+        "compiled_speedup": generic_ms / compiled_ms,
         "generic_ops": sw_cell_ops_exact(s, 2),
         "folded_gates": net.logic_gate_count(),
     }
@@ -148,9 +152,12 @@ def run(verbose: bool = True) -> str:
     parts.append(render_table(
         ["evaluator", "ops or gates / cell", "time (ms)"],
         [["generic circuit", ce["generic_ops"], ce["generic_ms"]],
-         ["folded netlist", ce["folded_gates"], ce["folded_ms"]]],
-        title="Ablation: constant folding "
-              f"(measured {ce['speedup']:.2f}x)"))
+         ["folded netlist", ce["folded_gates"], ce["folded_ms"]],
+         ["compiled (repro.jit)", ce["folded_gates"],
+          ce["compiled_ms"]]],
+        title="Ablation: constant folding + compilation "
+              f"(folded {ce['speedup']:.2f}x, compiled "
+              f"{ce['compiled_speedup']:.2f}x)"))
     gm = gap_model_study()
     parts.append(render_table(
         ["gap model", "time (ms)"],

@@ -47,14 +47,22 @@ def analytic_table() -> dict:
 
 
 def measure_cpu_bitwise(n: int, pairs: int, m: int, word_bits: int,
-                        seed: int = 0) -> dict[str, float]:
-    """Wall-clock W2B / SWA / B2W breakdown of the bitwise NumPy engine."""
+                        seed: int = 0,
+                        cell: str | None = None) -> dict[str, float]:
+    """Wall-clock W2B / SWA / B2W breakdown of the bitwise NumPy engine.
+
+    ``cell`` selects the circuit evaluator (see
+    :func:`repro.core.sw_bpbc.bpbc_sw_wavefront_planes`), e.g.
+    ``"generic"`` for the paper-literal interpreter or ``"compiled"``
+    for the :mod:`repro.jit` path the engine defaults to.
+    """
     batch = paper_workload(n, pairs=pairs, m=m, seed=seed)
     t0 = time.perf_counter()
     XH, XL = encode_batch_bit_transposed(batch.X, word_bits)
     YH, YL = encode_batch_bit_transposed(batch.Y, word_bits)
     t1 = time.perf_counter()
-    result = bpbc_sw_wavefront(XH, XL, YH, YL, SCHEME, word_bits)
+    result = bpbc_sw_wavefront(XH, XL, YH, YL, SCHEME, word_bits,
+                               cell=cell)
     t2 = time.perf_counter()
     # B2W: reduced untranspose of the bit-sliced scores per lane group.
     s = result.s
@@ -91,18 +99,25 @@ def measured_table(n_values=(256, 512, 1024), pairs: int = 2048,
                    m: int = 128) -> list[dict]:
     """Scaled-down measured Table IV rows on this machine.
 
-    The three engines score identical workloads; rows carry the same
-    breakdown columns as the paper plus agreement checks.
+    The engines score identical workloads; rows carry the same
+    breakdown columns as the paper plus agreement checks.  Bitwise
+    engines run twice at 64 bits: once with the paper-literal
+    interpreted circuit (``cell="generic"``) and once with the
+    :mod:`repro.jit` compiled evaluator — the measured gap is the
+    interpretation overhead the jit removes.
     """
     rows = []
     for n in n_values:
-        b32 = measure_cpu_bitwise(n, pairs, m, 32)
-        b64 = measure_cpu_bitwise(n, pairs, m, 64)
+        b32 = measure_cpu_bitwise(n, pairs, m, 32, cell="generic")
+        b64 = measure_cpu_bitwise(n, pairs, m, 64, cell="generic")
+        j64 = measure_cpu_bitwise(n, pairs, m, 64, cell="compiled")
         ww = measure_cpu_wordwise(n, pairs, m)
         agree = bool((b32["scores"] == ww["scores"]).all()
-                     and (b64["scores"] == ww["scores"]).all())
+                     and (b64["scores"] == ww["scores"]).all()
+                     and (j64["scores"] == ww["scores"]).all())
         rows.append({"n": n, "bitwise32": b32, "bitwise64": b64,
-                     "wordwise": ww, "scores_agree": agree})
+                     "bitwise64_jit": j64, "wordwise": ww,
+                     "scores_agree": agree})
     return rows
 
 
@@ -135,21 +150,25 @@ def run(verbose: bool = True, measured_pairs: int = 2048,
 
     meas = measured_table(measured_n, pairs=measured_pairs)
     headers = ["n", "b32 w2b", "b32 swa", "b32 b2w", "b64 w2b", "b64 swa",
-               "b64 b2w", "wordwise swa", "b64 speedup", "agree"]
+               "b64 b2w", "jit64 swa", "wordwise swa", "b64 speedup",
+               "jit64 speedup", "agree"]
     rows = []
     for r in meas:
         rows.append([
             r["n"], r["bitwise32"]["w2b"], r["bitwise32"]["swa"],
             r["bitwise32"]["b2w"], r["bitwise64"]["w2b"],
             r["bitwise64"]["swa"], r["bitwise64"]["b2w"],
+            r["bitwise64_jit"]["swa"],
             r["wordwise"]["swa"],
             r["wordwise"]["total"] / r["bitwise64"]["total"],
+            r["wordwise"]["total"] / r["bitwise64_jit"]["total"],
             r["scores_agree"],
         ])
     parts.append(render_table(
         headers, rows,
         title=f"Measured on this machine (ms, {measured_pairs} pairs, "
-              "m=128): bitwise lane-parallel vs wordwise"))
+              "m=128): bitwise lane-parallel (interpreted vs jit) vs "
+              "wordwise"))
     out = "\n\n".join(parts)
     if verbose:
         print(out)

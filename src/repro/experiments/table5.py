@@ -44,16 +44,19 @@ def analytic_rows() -> list[dict]:
 
 def measured_rows(n_values=(256, 512, 1024), pairs: int = 2048,
                   m: int = 128) -> list[dict]:
-    """Measured GCUPS of our engines (bitwise-64 vs wordwise)."""
+    """Measured GCUPS of our engines (interpreted / jit / wordwise)."""
     rows = []
     for n in n_values:
-        b64 = measure_cpu_bitwise(n, pairs, m, 64)
+        b64 = measure_cpu_bitwise(n, pairs, m, 64, cell="generic")
+        j64 = measure_cpu_bitwise(n, pairs, m, 64, cell="compiled")
         ww = measure_cpu_wordwise(n, pairs, m)
         rows.append({
             "n": n,
             "bitwise64_gcups": b64["cells"] / (b64["total"] * 1e-3) / 1e9,
+            "jit64_gcups": j64["cells"] / (j64["total"] * 1e-3) / 1e9,
             "wordwise_gcups": ww["cells"] / (ww["total"] * 1e-3) / 1e9,
             "speedup": ww["total"] / b64["total"],
+            "jit_speedup": ww["total"] / j64["total"],
         })
     return rows
 
@@ -74,9 +77,12 @@ def run(verbose: bool = True, measured_pairs: int = 2048,
     ))
     meas = measured_rows(measured_n, pairs=measured_pairs)
     parts.append(render_table(
-        ["n", "bitwise-64 GCUPS", "wordwise GCUPS", "bitwise speedup"],
+        ["n", "bitwise-64 GCUPS", "jit-64 GCUPS", "wordwise GCUPS",
+         "bitwise speedup", "jit speedup"],
         [[r["n"], round(r["bitwise64_gcups"], 4),
-          round(r["wordwise_gcups"], 4), r["speedup"]] for r in meas],
+          round(r["jit64_gcups"], 4),
+          round(r["wordwise_gcups"], 4), r["speedup"],
+          r["jit_speedup"]] for r in meas],
         title=f"Measured on this machine ({measured_pairs} pairs, m=128)",
     ))
     out = "\n\n".join(parts)

@@ -1,0 +1,38 @@
+"""repro.jit — compile the BPBC cell circuit instead of interpreting it.
+
+The paper's claim is that the SW recurrence *is* a circuit; this
+package takes that literally and compiles the circuit:
+
+* :mod:`repro.jit.compiler` — `Netlist` → straight-line generated
+  NumPy (``compile()``/``exec``), CSE + liveness-pooled in-place
+  temporaries, zero heap allocations after warmup.
+* :mod:`repro.jit.cbackend` — the same plan → C → shared object via
+  the system compiler, entirely optional.
+* :mod:`repro.jit.cells` — LRU-cached factories: `compiled_sw_cell`
+  and the fused cell+running-max `sw_wavefront_step` the wavefront
+  engine drives via ``cell="compiled"``.
+
+Select it anywhere a cell evaluator is accepted::
+
+    bpbc_sw_wavefront(XH, XL, YH, YL, scheme, 64, cell="compiled")
+
+or per backend with ``"compiled-c"`` / ``"compiled-numpy"``.
+"""
+
+from .cbackend import cc_available
+from .cells import CStep, NumpyStep, compiled_sw_cell, sw_wavefront_step
+from .compiler import (CellPlan, CompiledNetlist, JitError, compile_netlist,
+                       plan_netlist)
+
+__all__ = [
+    "JitError",
+    "CellPlan",
+    "CompiledNetlist",
+    "plan_netlist",
+    "compile_netlist",
+    "compiled_sw_cell",
+    "sw_wavefront_step",
+    "NumpyStep",
+    "CStep",
+    "cc_available",
+]

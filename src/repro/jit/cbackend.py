@@ -1,0 +1,230 @@
+"""Optional C backend: netlist plans lowered to a native wavefront step.
+
+The NumPy backend of :mod:`repro.jit.compiler` still pays one ufunc
+dispatch (~1 µs) and three full passes over memory *per gate*.  A real
+BPBC implementation evaluates the whole cell circuit in registers and
+touches memory once per plane — exactly what a C compiler produces
+from the straight-line gate body.  This module emits that C: one
+``step`` function per ``(s, eps, scheme, word_bits)`` evaluating the
+fused SW-cell + running-max circuit for every active row and lane of
+one anti-diagonal, compiles it with the system C compiler
+(``$REPRO_CC``, ``cc``, ``gcc`` or ``clang`` — whichever exists), and
+loads it through :mod:`ctypes`.
+
+No third-party dependency is involved and nothing here is required:
+when no toolchain is present (or a compile fails)
+:func:`repro.jit.cells.sw_wavefront_step` silently falls back to the
+generated-NumPy backend, which is bit-identical.
+
+Shared objects are cached under ``$REPRO_JIT_CACHE`` (default: a
+per-uid, mode-0700 directory inside the system temp dir) keyed by a
+SHA-256 of the source, so each circuit compiles once per machine.
+
+Memory layout contract (all arrays C-contiguous, the word dtype):
+
+* ``p1``/``p2``: ``(s, m + 1, L)`` row-padded state planes for
+  diagonals ``t - 1`` / ``t - 2``; padded row 0 is a permanent zero.
+* ``best``: ``(s, m, L)`` running per-row maxima.
+* ``xp``/``yp``: ``(eps, m, L)`` / ``(eps, n, L)`` character planes.
+
+The row loop runs **descending** so the in-place write of row ``r + 1``
+into ``p2`` (which doubles as the diagonal input buffer) lands after
+row ``r + 1`` itself has been read — that is what makes the zero-copy
+double-buffering of the wavefront engine sound.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from functools import lru_cache
+
+from ..core.bitops import check_word_bits
+from .compiler import CellPlan, JitError, Ref
+
+__all__ = ["cc_available", "compiler_path", "c_step_source",
+           "compile_step", "STEP_SYMBOL"]
+
+#: Exported symbol name of every generated step kernel.
+STEP_SYMBOL = "repro_sw_step"
+
+_C_TYPES = {8: "uint8_t", 16: "uint16_t", 32: "uint32_t", 64: "uint64_t"}
+
+_lock = threading.Lock()
+_libs: dict[str, ctypes.CDLL] = {}
+
+
+@lru_cache(maxsize=1)
+def compiler_path() -> str | None:
+    """Absolute path of the system C compiler, or ``None``."""
+    override = os.environ.get("REPRO_CC")
+    candidates = (override,) if override else ("cc", "gcc", "clang")
+    for cand in candidates:
+        if cand:
+            found = shutil.which(cand)
+            if found:
+                return found
+    return None
+
+
+def cc_available() -> bool:
+    """Whether the native backend can be used on this machine."""
+    return compiler_path() is not None
+
+
+def _cache_dir() -> str:
+    path = os.environ.get("REPRO_JIT_CACHE")
+    if not path:
+        uid = os.getuid() if hasattr(os, "getuid") else 0
+        path = os.path.join(tempfile.gettempdir(), f"repro-jit-{uid}")
+    os.makedirs(path, mode=0o700, exist_ok=True)
+    return path
+
+
+def c_step_source(plan: CellPlan, s: int, eps: int, word_bits: int) -> str:
+    """Emit the C source of the fused wavefront step for ``plan``.
+
+    ``plan`` must come from a netlist with buses ``up``/``left``/
+    ``diag``/``best`` (``s`` bits each) and ``x``/``y`` (``eps`` bits)
+    and ``2 * s`` outputs: the fresh cell planes followed by the
+    updated running-max planes (see
+    :func:`repro.core.netlist.build_sw_cell_best_netlist`).
+    """
+    check_word_bits(word_bits)
+    expected = ([("up", h) for h in range(s)]
+                + [("left", h) for h in range(s)]
+                + [("diag", h) for h in range(s)]
+                + [("x", b) for b in range(eps)]
+                + [("y", b) for b in range(eps)]
+                + [("best", h) for h in range(s)])
+    if list(plan.input_layout) != expected:
+        raise JitError("plan input layout does not match the fused "
+                       "SW-cell/best netlist")
+    if len(plan.outputs) != 2 * s:
+        raise JitError(
+            f"fused plan must have {2 * s} outputs, got {len(plan.outputs)}"
+        )
+
+    # Flat input index -> C load expression (strides hoisted below).
+    load: list[str] = ([f"up[{h} * ps + l]" for h in range(s)]
+                       + [f"left[{h} * ps + l]" for h in range(s)]
+                       + [f"diag[{h} * ps + l]" for h in range(s)]
+                       + [f"xr[{b} * cs + l]" for b in range(eps)]
+                       + [f"yr[{b} * ds + l]" for b in range(eps)]
+                       + [f"br[{h} * bs + l]" for h in range(s)])
+    used = {r[1] for op in plan.ops for r in op[1:]
+            if r is not None and r[0] == "in"}
+    used.update(r[1] for r in plan.outputs if r[0] == "in")
+
+    def nm(r: Ref) -> str:
+        if r[0] == "in":
+            return f"i{r[1]}"
+        if r[0] == "op":
+            return f"t{r[1]}"
+        return "(~(W)0)" if r[1] else "((W)0)"
+
+    body: list[str] = []
+    for k in sorted(used):
+        body.append(f"const W i{k} = {load[k]};")
+    for j, (kind, a, b) in enumerate(plan.ops):
+        if kind == "NOT":
+            expr = f"~{nm(a)}"
+        else:
+            sym = {"AND": "&", "OR": "|", "XOR": "^"}[kind]
+            expr = f"{nm(a)} {sym} {nm(b)}"  # type: ignore[arg-type]
+        body.append(f"const W t{j} = {expr};")
+    for h in range(s):
+        body.append(f"dst[{h} * ps + l] = {nm(plan.outputs[h])};")
+    for h in range(s):
+        body.append(f"br[{h} * bs + l] = {nm(plan.outputs[s + h])};")
+    inner = "\n                ".join(body)
+
+    return f"""#include <stdint.h>
+
+typedef {_C_TYPES[word_bits]} W;
+
+void {STEP_SYMBOL}(W* restrict p1, W* restrict p2, W* restrict best,
+                   const W* restrict xp, const W* restrict yp,
+                   long t, long lo, long hi, long m, long n, long L)
+{{
+    const long ps = (m + 1) * L;   /* state plane stride     */
+    const long bs = m * L;         /* best plane stride      */
+    const long cs = m * L;         /* x character planes     */
+    const long ds = n * L;         /* y character planes     */
+    (void)n;
+    for (long r = hi; r >= lo; --r) {{
+        const W* up   = p1 + r * L;
+        const W* left = p1 + (r + 1) * L;
+        const W* diag = p2 + r * L;
+        W* dst        = p2 + (r + 1) * L;
+        const W* xr   = xp + r * L;
+        const W* yr   = yp + (t - r) * L;
+        W* br         = best + r * L;
+        for (long l = 0; l < L; ++l) {{
+                {inner}
+        }}
+    }}
+}}
+"""
+
+
+def _build(source: str, cc: str, so_path: str) -> None:
+    src_path = so_path[:-3] + ".c"
+    with open(src_path, "w") as fh:
+        fh.write(source)
+    tmp = f"{so_path}.{os.getpid()}.tmp"
+    base = [cc, "-O3", "-shared", "-fPIC", "-o", tmp, src_path]
+    attempts = [base[:1] + ["-march=native"] + base[1:], base]
+    last = None
+    for argv in attempts:
+        proc = subprocess.run(argv, capture_output=True, text=True)
+        if proc.returncode == 0:
+            os.replace(tmp, so_path)
+            return
+        last = proc
+    tail = (last.stderr or "").strip()[-500:] if last is not None else ""
+    raise JitError(f"C compilation failed ({cc}): {tail}")
+
+
+def compile_step(source: str):
+    """Compile ``source`` and return the loaded step function.
+
+    Idempotent and cached: the same source returns the same
+    :mod:`ctypes` function object for the life of the process, and the
+    shared object persists on disk across processes.  Raises
+    :class:`~repro.jit.compiler.JitError` when no compiler is available
+    or the build fails.
+    """
+    cc = compiler_path()
+    if cc is None:
+        raise JitError(
+            "no C compiler found (set $REPRO_CC or install cc/gcc/clang); "
+            "use the NumPy jit backend instead"
+        )
+    digest = hashlib.sha256(source.encode()).hexdigest()[:24]
+    with _lock:
+        lib = _libs.get(digest)
+        if lib is None:
+            so_path = os.path.join(_cache_dir(), f"step-{digest}.so")
+            if not os.path.exists(so_path):
+                _build(source, cc, so_path)
+            try:
+                lib = ctypes.CDLL(so_path)
+            except OSError as exc:
+                # A stale/corrupt cache entry: rebuild once.
+                os.unlink(so_path)
+                _build(source, cc, so_path)
+                try:
+                    lib = ctypes.CDLL(so_path)
+                except OSError:
+                    raise JitError(f"cannot load {so_path}: {exc}") from exc
+            _libs[digest] = lib
+    fn = getattr(lib, STEP_SYMBOL)
+    fn.argtypes = [ctypes.c_void_p] * 5 + [ctypes.c_long] * 6
+    fn.restype = None
+    return fn

@@ -1,0 +1,142 @@
+"""Compiled SW-cell factories and the fused wavefront step.
+
+:func:`compiled_sw_cell`
+    LRU-cached ``(s, gap, c1, c2, eps, word_bits)`` →
+    :class:`~repro.jit.compiler.CompiledNetlist` of the plain SW-cell
+    circuit — a drop-in for ``build_sw_cell_netlist(...).evaluate``.
+
+:func:`sw_wavefront_step`
+    LRU-cached factory for the engine's hot loop: the SW cell *fused*
+    with the running-max update
+    (:func:`repro.core.netlist.build_sw_cell_best_netlist`), lowered to
+    either a native step kernel (``backend="c"``, via
+    :mod:`repro.jit.cbackend`) or a generated zero-alloc NumPy function
+    (``backend="numpy"``).  ``backend="auto"`` prefers native and
+    silently falls back when no C toolchain is available — results are
+    bit-identical either way (pinned by the differential fuzz suite).
+
+Both caches key on plain ints, so repeated engine calls reuse the same
+compiled artifact instead of re-synthesising and re-lowering the
+circuit.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..core.netlist import (build_sw_cell_best_netlist,
+                            build_sw_cell_netlist)
+from . import cbackend
+from .compiler import CompiledNetlist, JitError, plan_netlist
+
+__all__ = ["compiled_sw_cell", "sw_wavefront_step", "NumpyStep", "CStep"]
+
+
+@lru_cache(maxsize=128)
+def _compiled_sw_cell_cached(s: int, gap: int, c1: int, c2: int,
+                             eps: int, word_bits: int) -> CompiledNetlist:
+    net = build_sw_cell_netlist(s, gap, c1, c2, eps=eps)
+    return CompiledNetlist(net, word_bits, name=f"sw_cell[s={s}]")
+
+
+def compiled_sw_cell(s: int, gap: int, c1: int, c2: int, eps: int = 2,
+                     word_bits: int = 64) -> CompiledNetlist:
+    """A compiled SW-cell evaluator (memoised per parameter tuple).
+
+    Repeated calls with equal parameters return the *same*
+    :class:`~repro.jit.compiler.CompiledNetlist` — its temporary pools
+    warm up once per process, after which every evaluation is
+    allocation-free.
+    """
+    return _compiled_sw_cell_cached(int(s), int(gap), int(c1), int(c2),
+                                    int(eps), int(word_bits))
+
+
+class NumpyStep:
+    """One fused wavefront step via the generated-NumPy evaluator.
+
+    Calling convention matches the zero-copy engine loop: ``p1``/``p2``
+    are the ``(s, m + 1, lanes)`` row-padded state planes of diagonals
+    ``t - 1`` / ``t - 2`` (padded row 0 permanently zero), ``best`` the
+    ``(s, m, lanes)`` running maxima, ``Xp``/``Yp`` the character
+    planes.  Fresh cell planes are written straight into the
+    destination rows of ``p2`` and the new maxima into ``best`` — the
+    compiled function computes everything into pooled temporaries
+    before its trailing output copies, so the in-place aliasing is
+    safe.
+    """
+
+    backend = "numpy"
+
+    def __init__(self, compiled: CompiledNetlist, s: int, eps: int) -> None:
+        self.compiled = compiled
+        self.source = compiled.source
+        self._s = s
+        self._eps = eps
+
+    def __call__(self, p1: np.ndarray, p2: np.ndarray, best: np.ndarray,
+                 Xp: np.ndarray, Yp: np.ndarray,
+                 t: int, lo: int, hi: int) -> None:
+        s, eps = self._s, self._eps
+        up = slice(lo, hi + 1)          # padded index i  -> row i - 1
+        dst = slice(lo + 1, hi + 2)     # padded index i + 1 -> row i
+        # Row r of the active band aligns with y position t - r; the
+        # reversed slice view realises that gather with no copy.
+        ins = ([p1[h, up] for h in range(s)]
+               + [p1[h, dst] for h in range(s)]
+               + [p2[h, up] for h in range(s)]
+               + [Xp[b, up] for b in range(eps)]
+               + [Yp[b, t - hi:t - lo + 1][::-1] for b in range(eps)]
+               + [best[h, up] for h in range(s)])
+        outs = ([p2[h, dst] for h in range(s)]
+                + [best[h, up] for h in range(s)])
+        self.compiled.run(ins, outs)
+
+
+class CStep:
+    """One fused wavefront step as a native kernel (see cbackend)."""
+
+    backend = "c"
+
+    def __init__(self, fn, source: str) -> None:
+        self.fn = fn
+        self.source = source
+
+
+@lru_cache(maxsize=64)
+def _step_cached(s: int, gap: int, c1: int, c2: int, eps: int,
+                 word_bits: int, backend: str):
+    net = build_sw_cell_best_netlist(s, gap, c1, c2, eps=eps)
+    if backend in ("auto", "c"):
+        try:
+            plan = plan_netlist(net)
+            source = cbackend.c_step_source(plan, s, eps, word_bits)
+            return CStep(cbackend.compile_step(source), source)
+        except JitError:
+            if backend == "c":
+                raise
+    compiled = CompiledNetlist(net, word_bits,
+                               name=f"sw_cell_best[s={s}]")
+    return NumpyStep(compiled, s, eps)
+
+
+def sw_wavefront_step(s: int, gap: int, c1: int, c2: int, eps: int,
+                      word_bits: int, backend: str = "auto"):
+    """The fused cell + running-max step for one scoring configuration.
+
+    ``backend``: ``"auto"`` (native when a C compiler is present,
+    NumPy otherwise), ``"c"`` (native or raise
+    :class:`~repro.jit.compiler.JitError`), or ``"numpy"``.  Returns a
+    :class:`CStep` or :class:`NumpyStep`; inspect ``.backend`` and
+    ``.source``.  Memoised — one lowering per configuration per
+    process.
+    """
+    if backend not in ("auto", "c", "numpy"):
+        raise JitError(
+            f"unknown jit backend {backend!r}; expected 'auto', 'c', "
+            "or 'numpy'"
+        )
+    return _step_cached(int(s), int(gap), int(c1), int(c2), int(eps),
+                        int(word_bits), backend)

@@ -1,0 +1,429 @@
+"""Netlist-to-NumPy compilation: straight-line generated evaluators.
+
+:class:`~repro.core.netlist.Netlist.evaluate` *interprets* the gate
+DAG — a Python-level loop that allocates one fresh NumPy temporary per
+live gate.  At wavefront scale that interpreter overhead and the
+allocator traffic dominate wall-clock (the same constant factors
+AnySeq/GPU attacks with partial evaluation + code generation).  This
+module removes both:
+
+:func:`plan_netlist`
+    Lowers a netlist into a :class:`CellPlan` — a compact straight-line
+    schedule over *value references* rather than gate ids.  The pass
+    re-runs constant folding, double-negation and complement peepholes,
+    and value-numbering CSE over the live cone, then dead-code
+    eliminates, so even a ``simplify=False`` (paper-literal) netlist
+    compiles to its reduced form.
+
+:func:`compile_netlist`
+    Turns a plan into a generated Python function via
+    ``compile()``/``exec``: one line per operation, every operation an
+    in-place ufunc call (``np.bitwise_and(a, b, out)``) into a slot of
+    a liveness-pooled temporary buffer.  After the first call for a
+    given shape the evaluator performs **zero heap allocations** — the
+    slot pool and its shape views are cached on the returned
+    :class:`CompiledNetlist`.
+
+The plan is backend-neutral: :mod:`repro.jit.cbackend` consumes the
+same :class:`CellPlan` to emit C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.bitops import BitOpsError, full_mask, word_dtype
+from ..core.netlist import Netlist
+
+__all__ = ["JitError", "CellPlan", "plan_netlist", "compile_netlist",
+           "CompiledNetlist"]
+
+
+class JitError(BitOpsError):
+    """Raised for uncompilable netlists or jit evaluation misuse."""
+
+
+#: A value reference inside a plan: ``("in", k)`` is flat input ``k``,
+#: ``("op", k)`` is the result of operation ``k``, ``("const", b)`` is
+#: the all-zeros / all-ones word.
+Ref = tuple[str, int]
+
+_COMMUTATIVE = frozenset({"AND", "OR", "XOR"})
+
+
+@dataclass(frozen=True)
+class CellPlan:
+    """A topologically ordered straight-line schedule for a netlist.
+
+    Attributes
+    ----------
+    input_layout:
+        Flat input order as ``(bus, bit)`` pairs — the order evaluators
+        expect their input planes in (declared bus order, LSB first).
+    ops:
+        ``(kind, a, b)`` triples; ``kind`` is AND/OR/XOR/NOT (``b`` is
+        ``None`` for NOT).  Operands are :data:`Ref` values and never
+        constants (the peepholes fold those away).
+    outputs:
+        One :data:`Ref` per output bit.
+    """
+
+    input_layout: tuple[tuple[str, int], ...]
+    ops: tuple[tuple[str, Ref, Ref | None], ...]
+    outputs: tuple[Ref, ...]
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.input_layout)
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.ops)
+
+
+def plan_netlist(net: Netlist) -> CellPlan:
+    """Lower a netlist's live cone into a :class:`CellPlan`.
+
+    Re-simplifies while lowering: constant operands fold, ``~~x``
+    cancels, ``x OP x`` and ``x OP ~x`` collapse, and commutative
+    operand normalisation + value numbering share repeated subterms.
+    The result computes the exact same function as
+    ``net.evaluate`` (bit-identity is pinned by the differential fuzz
+    suite and :mod:`repro.analyze.netcheck`).
+    """
+    out_ids = net.outputs
+    if not out_ids:
+        raise JitError("netlist has no outputs; nothing to compile")
+    gates = net.gates
+
+    layout: list[tuple[str, int]] = []
+    flat_of_gid: dict[int, int] = {}
+    for bus, width in net.input_buses:
+        for h, gid in zip(range(width), net.input_ids(bus)):
+            flat_of_gid[gid] = len(layout)
+            layout.append((bus, h))
+
+    ops: list[tuple[str, Ref, Ref | None]] = []
+    cse: dict[tuple, Ref] = {}
+
+    def emit(kind: str, a: Ref, b: Ref | None) -> Ref:
+        if b is not None and kind in _COMMUTATIVE and b < a:
+            a, b = b, a
+        key = (kind, a, b)
+        ref = cse.get(key)
+        if ref is None:
+            ops.append((kind, a, b))
+            ref = ("op", len(ops) - 1)
+            cse[key] = ref
+        return ref
+
+    def is_not(r: Ref) -> bool:
+        return r[0] == "op" and ops[r[1]][0] == "NOT"
+
+    def complement(a: Ref, b: Ref) -> bool:
+        return ((is_not(a) and ops[a[1]][1] == b)
+                or (is_not(b) and ops[b[1]][1] == a))
+
+    def mk_not(a: Ref) -> Ref:
+        if a[0] == "const":
+            return ("const", 1 - a[1])
+        if is_not(a):
+            return ops[a[1]][1]  # type: ignore[return-value]
+        return emit("NOT", a, None)
+
+    live = net.used_gates()
+    ref_of: dict[int, Ref] = {}
+    for gid, g in enumerate(gates):
+        if gid not in live:
+            continue
+        kind = g.kind
+        if kind == "INPUT":
+            ref_of[gid] = ("in", flat_of_gid[gid])
+            continue
+        if kind == "CONST0":
+            ref_of[gid] = ("const", 0)
+            continue
+        if kind == "CONST1":
+            ref_of[gid] = ("const", 1)
+            continue
+        if kind == "NOT":
+            ref_of[gid] = mk_not(ref_of[g.inputs[0]])
+            continue
+        a, b = ref_of[g.inputs[0]], ref_of[g.inputs[1]]
+        r: Ref
+        if kind == "AND":
+            if ("const", 0) in (a, b):
+                r = ("const", 0)
+            elif a == ("const", 1):
+                r = b
+            elif b == ("const", 1):
+                r = a
+            elif a == b:
+                r = a
+            elif complement(a, b):
+                r = ("const", 0)
+            else:
+                r = emit("AND", a, b)
+        elif kind == "OR":
+            if ("const", 1) in (a, b):
+                r = ("const", 1)
+            elif a == ("const", 0):
+                r = b
+            elif b == ("const", 0):
+                r = a
+            elif a == b:
+                r = a
+            elif complement(a, b):
+                r = ("const", 1)
+            else:
+                r = emit("OR", a, b)
+        elif kind == "XOR":
+            if a == ("const", 0):
+                r = b
+            elif b == ("const", 0):
+                r = a
+            elif a == ("const", 1):
+                r = mk_not(b)
+            elif b == ("const", 1):
+                r = mk_not(a)
+            elif a == b:
+                r = ("const", 0)
+            elif complement(a, b):
+                r = ("const", 1)
+            else:
+                r = emit("XOR", a, b)
+        else:  # pragma: no cover - Netlist._add rejects unknown kinds
+            raise JitError(f"cannot compile gate kind {kind!r}")
+        ref_of[gid] = r
+
+    out_refs = [ref_of[o] for o in out_ids]
+
+    # Dead-code elimination: simplification above can orphan operations
+    # whose only consumer folded away (common when compiling the
+    # paper-literal simplify=False netlists).
+    needed: set[int] = set()
+    stack = [r[1] for r in out_refs if r[0] == "op"]
+    while stack:
+        k = stack.pop()
+        if k in needed:
+            continue
+        needed.add(k)
+        for opnd in ops[k][1:]:
+            if opnd is not None and opnd[0] == "op":
+                stack.append(opnd[1])
+    remap: dict[int, int] = {}
+    packed: list[tuple[str, Ref, Ref | None]] = []
+
+    def renum(r: Ref | None) -> Ref | None:
+        if r is not None and r[0] == "op":
+            return ("op", remap[r[1]])
+        return r
+
+    for k, (kind, a, b) in enumerate(ops):
+        if k not in needed:
+            continue
+        remap[k] = len(packed)
+        packed.append((kind, renum(a), renum(b)))  # type: ignore[arg-type]
+    outputs = tuple(renum(r) for r in out_refs)
+
+    return CellPlan(  # type: ignore[arg-type]
+        tuple(layout), tuple(packed), outputs)
+
+
+def _codegen(plan: CellPlan, fname: str) -> tuple[str, int, int]:
+    """Generate the evaluator source; return (source, n_slots, n_ops).
+
+    Input references that appear directly as outputs are materialised
+    into temporaries first, so the emitted trailing block of output
+    copies reads only temporaries and constant scalars — callers may
+    therefore pass output arrays that alias input arrays (the wavefront
+    engine does exactly that: cell outputs land in the rows the diag
+    inputs were read from).
+    """
+    ops = list(plan.ops)
+    outputs = list(plan.outputs)
+    materialised: dict[Ref, Ref] = {}
+    for j, r in enumerate(outputs):
+        if r[0] == "in":
+            if r not in materialised:
+                ops.append(("COPY", r, None))
+                materialised[r] = ("op", len(ops) - 1)
+            outputs[j] = materialised[r]
+
+    # Liveness: last operation index reading each op result; results
+    # that feed an output stay live to the end.
+    sentinel = len(ops)
+    last_use: dict[int, int] = {}
+    for j, (_kind, a, b) in enumerate(ops):
+        for r in (a, b):
+            if r is not None and r[0] == "op":
+                last_use[r[1]] = j
+    for r in outputs:
+        if r[0] == "op":
+            last_use[r[1]] = sentinel
+
+    # Slot assignment: free each operand's slot the moment it dies,
+    # *before* allocating the result slot — the result then reuses an
+    # operand's buffer and the ufunc runs in place (safe: AND/OR/XOR/
+    # NOT/copyto are elementwise).
+    slot: dict[int, int] = {}
+    free: list[int] = []
+    n_slots = 0
+    for j, (_kind, a, b) in enumerate(ops):
+        for r in dict.fromkeys((a, b)):
+            if r is not None and r[0] == "op" and last_use.get(r[1]) == j:
+                free.append(slot[r[1]])
+        if free:
+            s = free.pop()
+        else:
+            s = n_slots
+            n_slots += 1
+        slot[j] = s
+
+    def nm(r: Ref) -> str:
+        if r[0] == "in":
+            return f"i{r[1]}"
+        if r[0] == "op":
+            return f"t{slot[r[1]]}"
+        return "_o" if r[1] else "_z"
+
+    lines = [f"def {fname}(ins, outs, pool):"]
+    if plan.n_inputs:
+        unpack = ", ".join(f"i{k}" for k in range(plan.n_inputs))
+        lines.append(f"    ({unpack},) = ins")
+    if n_slots:
+        unpack = ", ".join(f"t{k}" for k in range(n_slots))
+        lines.append(f"    ({unpack},) = pool")
+    fn_of = {"AND": "_and", "OR": "_or", "XOR": "_xor"}
+    for j, (kind, a, b) in enumerate(ops):
+        dst = f"t{slot[j]}"
+        if kind == "NOT":
+            lines.append(f"    _not({nm(a)}, {dst})")
+        elif kind == "COPY":
+            lines.append(f"    _cp({dst}, {nm(a)})")
+        else:
+            lines.append(f"    {fn_of[kind]}({nm(a)}, {nm(b)}, {dst})")
+    for j, r in enumerate(outputs):
+        lines.append(f"    _cp(outs[{j}], {nm(r)})")
+    lines.append("")
+    return "\n".join(lines), n_slots, len(ops)
+
+
+def compile_netlist(net: Netlist, word_bits: int,
+                    name: str = "cell") -> "CompiledNetlist":
+    """Lower ``net`` to a :class:`CompiledNetlist` for ``word_bits``."""
+    return CompiledNetlist(net, word_bits, name=name)
+
+
+class CompiledNetlist:
+    """A netlist lowered to a generated straight-line NumPy function.
+
+    Two entry points:
+
+    :meth:`run`
+        The hot path: takes pre-shaped input arrays in
+        :attr:`input_layout` order and writes the output planes into
+        caller-provided arrays.  All arrays must share one shape and
+        the compiled dtype; after the first call for a shape no heap
+        allocation occurs.
+    :meth:`evaluate`
+        Drop-in for :meth:`repro.core.netlist.Netlist.evaluate` — same
+        bus-dict signature, returns fresh output planes.
+
+    Inspectables: :attr:`source` (the generated Python), :attr:`n_ops`
+    (bitwise operations per call), :attr:`n_slots` (pooled
+    temporaries).
+    """
+
+    def __init__(self, net: Netlist, word_bits: int,
+                 name: str = "cell") -> None:
+        self.word_bits = word_bits
+        self.dtype = word_dtype(word_bits)
+        self.name = name
+        self.plan = plan_netlist(net)
+        self._bus_widths = list(net.input_buses)
+        fname = "_compiled_cell"
+        self.source, self.n_slots, self.n_ops = _codegen(self.plan, fname)
+        ns = {
+            "_and": np.bitwise_and, "_or": np.bitwise_or,
+            "_xor": np.bitwise_xor, "_not": np.invert, "_cp": np.copyto,
+            "_z": self.dtype.type(0),
+            "_o": self.dtype.type(full_mask(word_bits)),
+        }
+        exec(compile(self.source, f"<repro.jit:{name}>", "exec"), ns)
+        self._fn = ns[fname]
+        self.n_outputs = len(self.plan.outputs)
+        # shape -> per-slot views into the capacity buffers below
+        self._views: dict[tuple, list[np.ndarray]] = {}
+        # trailing shape -> (capacity, buffers of shape (capacity, *tail))
+        self._pools: dict[tuple, tuple[int, list[np.ndarray]]] = {}
+
+    @property
+    def input_layout(self) -> tuple[tuple[str, int], ...]:
+        """Flat input order: ``(bus, bit)`` per input plane."""
+        return self.plan.input_layout
+
+    def _pool_views(self, shape: tuple) -> list[np.ndarray]:
+        if not shape:
+            raise JitError("run() requires array inputs (ndim >= 1)")
+        lead, tail = shape[0], shape[1:]
+        entry = self._pools.get(tail)
+        if entry is None or entry[0] < lead:
+            bufs = [np.empty((lead,) + tail, self.dtype)
+                    for _ in range(self.n_slots)]
+            self._pools[tail] = (lead, bufs)
+            self._views = {k: v for k, v in self._views.items()
+                           if k[1:] != tail}
+            entry = (lead, bufs)
+        cap, bufs = entry
+        views = bufs if lead == cap else [b[:lead] for b in bufs]
+        self._views[shape] = views
+        return views
+
+    def run(self, ins, outs) -> None:
+        """Evaluate into ``outs`` (hot path, zero-alloc after warmup).
+
+        ``ins``: one array per :attr:`input_layout` entry; ``outs``:
+        one array per output bit.  All of one shape and the compiled
+        dtype.  Output arrays may alias input arrays (outputs are
+        written only after every operation has executed) but must not
+        alias each other.
+        """
+        views = self._views.get(ins[0].shape)
+        if views is None:
+            views = self._pool_views(ins[0].shape)
+        self._fn(ins, outs, views)
+
+    def evaluate(self, inputs: dict, word_bits: int | None = None) -> list:
+        """Bus-dict evaluation, compatible with ``Netlist.evaluate``."""
+        if word_bits is not None and word_bits != self.word_bits:
+            raise JitError(
+                f"netlist was compiled for word_bits={self.word_bits}, "
+                f"asked to evaluate at {word_bits}"
+            )
+        dt = self.dtype
+        flat: list[np.ndarray] = []
+        by_bus: dict[str, list] = {}
+        for bus, width in self._bus_widths:
+            if bus not in inputs:
+                raise JitError(f"missing input bus {bus!r}")
+            planes = inputs[bus]
+            if len(planes) != width:
+                raise JitError(
+                    f"bus {bus!r} expects {width} planes, got {len(planes)}"
+                )
+            by_bus[bus] = [np.asarray(p, dtype=dt) for p in planes]
+        shape = np.broadcast_shapes(
+            *(p.shape for ps in by_bus.values() for p in ps))
+        scalar = shape == ()
+        if scalar:
+            shape = (1,)
+        for bus, _width in self._bus_widths:
+            flat.extend(np.broadcast_to(p, shape) for p in by_bus[bus])
+        outs = [np.empty(shape, dt) for _ in range(self.n_outputs)]
+        self.run(flat, outs)
+        if scalar:
+            return [o[0] for o in outs]
+        return outs

@@ -1,12 +1,16 @@
 """Worker pool fanning packed batches out to pluggable engines.
 
 An *engine* is any callable ``(PackedBatch, word_bits) -> (P,) scores``
-returning exact per-lane maximum scores.  Three are built in:
+returning exact per-lane maximum scores.  Four are built in:
 
 * ``"bpbc"`` — the paper's bitwise wavefront engine
   (:func:`repro.core.sw_bpbc.bpbc_sw_wavefront`); mixed-length batches
   take the sentinel-padded 3-plane path, which stays exact (see
   :mod:`repro.serve.packer`).
+* ``"bpbc-jit"`` — the same engine pinned to the :mod:`repro.jit`
+  compiled cell evaluator (``cell="compiled"``): the circuit is
+  lowered to a generated straight-line kernel instead of interpreted,
+  bit-identical and several times faster.
 * ``"numpy"`` — the wordwise baseline
   (:func:`repro.swa.numpy_batch.sw_batch_max_scores`); sentinel codes
   simply never compare equal, so padding is exact here too.
@@ -43,19 +47,25 @@ from .errors import EngineFailedError
 from .packer import PackedBatch
 from .stats import ServiceStats
 
-__all__ = ["ENGINES", "EnginePool", "ShardedEngine", "resolve_engine"]
+__all__ = ["ENGINES", "SHARDABLE_ENGINES", "EnginePool", "ShardedEngine",
+           "resolve_engine"]
 
 
-def _engine_bpbc(batch: PackedBatch, word_bits: int) -> np.ndarray:
+def _engine_bpbc(batch: PackedBatch, word_bits: int,
+                 cell: str | None = None) -> np.ndarray:
     if batch.padded:
         Xp, Yp = batch.char_planes(word_bits)
         result = bpbc_sw_wavefront_planes(Xp, Yp, batch.scheme,
-                                          word_bits)
+                                          word_bits, cell=cell)
     else:
         XH, XL, YH, YL = batch.bit_planes(word_bits)
         result = bpbc_sw_wavefront(XH, XL, YH, YL, batch.scheme,
-                                   word_bits)
+                                   word_bits, cell=cell)
     return result.max_scores[:batch.pairs]
+
+
+def _engine_bpbc_jit(batch: PackedBatch, word_bits: int) -> np.ndarray:
+    return _engine_bpbc(batch, word_bits, cell="compiled")
 
 
 def _engine_numpy(batch: PackedBatch, word_bits: int) -> np.ndarray:
@@ -85,9 +95,13 @@ def _engine_gpusim(batch: PackedBatch, word_bits: int) -> np.ndarray:
 #: Built-in engine registry (extend freely; values are engine callables).
 ENGINES = {
     "bpbc": _engine_bpbc,
+    "bpbc-jit": _engine_bpbc_jit,
     "numpy": _engine_numpy,
     "gpusim": _engine_gpusim,
 }
+
+#: Engines a :class:`ShardedEngine` can spread across processes.
+SHARDABLE_ENGINES = ("bpbc", "bpbc-jit", "numpy")
 
 
 def resolve_engine(engine):
@@ -106,8 +120,8 @@ def resolve_engine(engine):
 class ShardedEngine:
     """Engine wrapper scoring each batch across a shard process pool.
 
-    Wraps a *shardable* engine (``"bpbc"`` or ``"numpy"``; the gpusim
-    engine is simulation-bound and not shardable) in a persistent
+    Wraps a *shardable* engine (one of :data:`SHARDABLE_ENGINES`; the
+    gpusim engine is simulation-bound and not shardable) in a persistent
     :class:`repro.shard.ShardExecutor`.  Satisfies the engine protocol
     ``(PackedBatch, word_bits) -> scores``, so it plugs straight into
     :class:`EnginePool` / :class:`~repro.serve.service.AlignmentService`.
@@ -167,11 +181,11 @@ class EnginePool:
             )
         self._owned_sharded: ShardedEngine | None = None
         if shard_workers is not None and shard_workers > 1:
-            if not isinstance(engine, str) or engine not in ("bpbc",
-                                                             "numpy"):
+            if (not isinstance(engine, str)
+                    or engine not in SHARDABLE_ENGINES):
                 raise ValueError(
-                    "shard_workers requires the 'bpbc' or 'numpy' "
-                    f"engine, got {engine!r}"
+                    "shard_workers requires one of the "
+                    f"{SHARDABLE_ENGINES} engines, got {engine!r}"
                 )
             self._owned_sharded = ShardedEngine(
                 engine, workers=shard_workers, word_bits=word_bits,

@@ -84,19 +84,27 @@ def unpack_side(buf: bytes, lens: bytes) -> list[np.ndarray]:
 
 
 def _score_bpbc(X: np.ndarray, Y: np.ndarray, scheme: ScoringScheme,
-                word_bits: int) -> np.ndarray:
+                word_bits: int, cell: str | None = None) -> np.ndarray:
     """BPBC wavefront scores for one rectangular (possibly sentinel-
     padded) batch — the same dispatch as the serve engine pool."""
     if (X.size and X.max() > 3) or (Y.size and Y.max() > 3):
         result = bpbc_sw_wavefront_planes(
             encode_batch_char_planes(X, word_bits),
             encode_batch_char_planes(Y, word_bits),
-            scheme, word_bits)
+            scheme, word_bits, cell=cell)
     else:
         XH, XL = encode_batch_bit_transposed(X, word_bits)
         YH, YL = encode_batch_bit_transposed(Y, word_bits)
-        result = bpbc_sw_wavefront(XH, XL, YH, YL, scheme, word_bits)
+        result = bpbc_sw_wavefront(XH, XL, YH, YL, scheme, word_bits,
+                                   cell=cell)
     return result.max_scores[:X.shape[0]]
+
+
+def _score_bpbc_jit(X: np.ndarray, Y: np.ndarray, scheme: ScoringScheme,
+                    word_bits: int) -> np.ndarray:
+    # Pinned to the repro.jit compiled evaluator; each worker process
+    # warms its own compiled-cell cache once in init_worker's engine.
+    return _score_bpbc(X, Y, scheme, word_bits, cell="compiled")
 
 
 def _score_numpy(X: np.ndarray, Y: np.ndarray, scheme: ScoringScheme,
@@ -110,6 +118,7 @@ def _score_numpy(X: np.ndarray, Y: np.ndarray, scheme: ScoringScheme,
 #: matrices that may carry sentinel padding.
 SHARD_ENGINES = {
     "bpbc": _score_bpbc,
+    "bpbc-jit": _score_bpbc_jit,
     "numpy": _score_numpy,
 }
 

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analyze import check_sw_cell_counts, verify_netlist
+from repro.analyze import (check_compiled_cells, check_sw_cell_counts,
+                           verify_netlist)
 from repro.core.circuits import sw_cell_ops_exact
 from repro.core.netlist import Netlist, build_sw_cell_netlist
 
@@ -103,6 +104,23 @@ class TestSwCellCounts:
         literal, folded = [int(tok) for tok in fold.message.split()
                            if tok.isdigit()][:2]
         assert folded < literal
+
+    def test_compiled_cells_analyse_clean(self):
+        """Acceptance: the repro.jit lowering of every shipped width
+        passes the source-syntax, op-count, and differential checks."""
+        rep = check_compiled_cells(s_values=(4, 8, 16))
+        assert rep.ok
+        rules = {d.rule for d in rep.diagnostics}
+        assert rules == {"jit.source-syntax", "jit.op-count",
+                         "jit.differential"}
+        assert all(d.severity.value == "note" for d in rep.diagnostics)
+
+    def test_compiled_check_runs_through_driver(self):
+        from repro.analyze import analyze_netlists
+
+        rep = analyze_netlists(s_values=(4,))
+        assert rep.ok
+        assert any(d.rule.startswith("jit.") for d in rep.diagnostics)
 
     def test_simplified_netlist_still_evaluates_identically(self):
         """simplify=True changes gate structure, never the function."""

@@ -16,6 +16,7 @@ from repro.core.circuits import (
 from repro.core.netlist import (
     Netlist,
     NetlistError,
+    build_sw_cell_best_netlist,
     build_sw_cell_netlist,
     synth_add,
     synth_matching,
@@ -242,6 +243,53 @@ class TestGateCounts:
         logic = net.logic_gate_count()
         assert logic <= 9 * s - 2
         assert logic >= 7 * s  # CSE cannot shrink it below ~7s
+
+
+class TestNetlistMemoisation:
+    def test_same_object_per_parameter_tuple(self):
+        """Synthesis is memoised: equal parameters return the *same*
+        netlist object (treat it as read-only)."""
+        a = build_sw_cell_netlist(8, 1, 2, 1)
+        b = build_sw_cell_netlist(8, 1, 2, 1)
+        assert a is b
+
+    def test_numpy_ints_normalise_to_same_entry(self):
+        a = build_sw_cell_netlist(8, 1, 2, 1)
+        b = build_sw_cell_netlist(np.int64(8), np.uint8(1),
+                                  np.int32(2), np.int64(1))
+        assert a is b
+
+    def test_distinct_parameters_distinct_objects(self):
+        a = build_sw_cell_netlist(8, 1, 2, 1)
+        b = build_sw_cell_netlist(8, 1, 2, 2)
+        c = build_sw_cell_netlist(8, 1, 2, 1, simplify=False)
+        assert a is not b
+        assert a is not c
+
+    def test_best_netlist_cached_and_correct(self, rng):
+        """The fused cell + running-max netlist is memoised too, and
+        its outputs are (cell planes, updated best planes)."""
+        s, P = 6, 120
+        assert build_sw_cell_best_netlist(s, 1, 2, 1) \
+            is build_sw_cell_best_netlist(s, 1, 2, 1)
+        net = build_sw_cell_best_netlist(s, 1, 2, 1)
+        hi = (1 << s) - 2
+        A, B, C, best = (rng.integers(0, hi, P) for _ in range(4))
+        x = rng.integers(0, 4, P)
+        y = rng.integers(0, 4, P)
+        out = net.evaluate({
+            "up": _planes(A, s), "left": _planes(B, s),
+            "diag": _planes(C, s), "x": _planes(x, 2),
+            "y": _planes(y, 2), "best": _planes(best, s),
+        })
+        assert len(out) == 2 * s
+        cell = _ints(out[:s], 32, P)
+        ref = _ints(sw_cell(_planes(A, s), _planes(B, s), _planes(C, s),
+                            _planes(x, 2), _planes(y, 2), 1, 2, 1, 32),
+                    32, P)
+        np.testing.assert_array_equal(cell, ref)
+        np.testing.assert_array_equal(_ints(out[s:], 32, P),
+                                      np.maximum(best, ref))
 
 
 @settings(max_examples=25, deadline=None)

@@ -150,16 +150,57 @@ class TestWavefrontEngine:
 
 
 class TestReduceMaxRows:
-    @pytest.mark.parametrize("rows", [1, 2, 3, 7, 8, 13])
-    def test_matches_numpy_max(self, rng, rows):
-        vals = rng.integers(0, 2**6, size=(rows, 40))
+    @staticmethod
+    def _planes_of(rng, rows, lanes=40, bits=6, word_bits=32):
+        vals = rng.integers(0, 2**bits, size=(rows, lanes))
         planes = np.stack([
-            BitSlicedUInt.from_ints(vals[r], 6, 32).data
+            BitSlicedUInt.from_ints(vals[r], bits, word_bits).data
             for r in range(rows)
         ], axis=1)  # (s, rows, lanes)
+        return vals, planes
+
+    @pytest.mark.parametrize("rows", [1, 2, 3, 7, 8, 13])
+    def test_matches_numpy_max(self, rng, rows):
+        vals, planes = self._planes_of(rng, rows)
         out = reduce_max_rows(planes, 32)
         got = BitSlicedUInt(np.stack(out), 32).to_ints(40)
         np.testing.assert_array_equal(got, vals.max(axis=0))
+
+    @pytest.mark.parametrize("rows", [1, 2, 3, 7, 8, 13])
+    def test_in_place_bit_identical(self, rng, rows):
+        """in_place=True must produce bit-identical planes to the
+        copying path — same op sequence, just no scratch copy."""
+        _, planes = self._planes_of(rng, rows)
+        scratch = planes.copy()
+        ref = reduce_max_rows(planes, 32)
+        out = reduce_max_rows(scratch, 32, in_place=True)
+        np.testing.assert_array_equal(np.stack(out), np.stack(ref))
+
+    @pytest.mark.parametrize("rows", [2, 5, 8])
+    def test_default_leaves_input_untouched(self, rng, rows):
+        _, planes = self._planes_of(rng, rows)
+        before = planes.copy()
+        reduce_max_rows(planes, 32)
+        np.testing.assert_array_equal(planes, before)
+
+    def test_single_row_returns_views(self, rng):
+        """rows == 1 short-circuits to views of the input — no copy,
+        matching the pre-refactor contract."""
+        _, planes = self._planes_of(rng, 1)
+        out = reduce_max_rows(planes, 32)
+        for h, plane in enumerate(out):
+            assert np.shares_memory(plane, planes[h])
+
+    @pytest.mark.parametrize("rows", [3, 8, 13])
+    def test_counter_sequence_unchanged(self, rng, rows):
+        """The in-place rewrite must not change the counted op
+        sequence (the paper's op-count model depends on it)."""
+        _, planes = self._planes_of(rng, rows)
+        c_copy, c_inplace = OpCounter(), OpCounter()
+        reduce_max_rows(planes.copy(), 32, counter=c_copy)
+        reduce_max_rows(planes.copy(), 32, counter=c_inplace,
+                        in_place=True)
+        assert c_copy.ops == c_inplace.ops
 
 
 class TestMonotonicity:
@@ -229,3 +270,66 @@ class TestFoldedCellEvaluator:
         with pytest.raises(BitOpsError):
             bpbc_sw_wavefront(XH, XL, YH, YL, SCHEME, 32,
                               cell="simd")
+
+
+class TestCompiledCellEvaluator:
+    """The repro.jit cell evaluators (``cell="compiled*"``)."""
+
+    CELLS = ("compiled", "compiled-numpy")
+
+    @pytest.mark.parametrize("cell", CELLS)
+    @pytest.mark.parametrize("w", [32, 64])
+    def test_equals_generic(self, rng, cell, w):
+        _, _, XH, XL, YH, YL = _planes(rng, 70, 6, 12, w)
+        g = bpbc_sw_wavefront(XH, XL, YH, YL, SCHEME, w,
+                              cell="generic")
+        c = bpbc_sw_wavefront(XH, XL, YH, YL, SCHEME, w, cell=cell)
+        np.testing.assert_array_equal(g.max_scores, c.max_scores)
+        np.testing.assert_array_equal(g.score_planes, c.score_planes)
+
+    def test_c_backend_equals_generic(self, rng):
+        from repro.jit import cc_available
+
+        if not cc_available():
+            pytest.skip("no C compiler on this machine")
+        _, _, XH, XL, YH, YL = _planes(rng, 70, 6, 12, 64)
+        g = bpbc_sw_wavefront(XH, XL, YH, YL, SCHEME, 64,
+                              cell="generic")
+        c = bpbc_sw_wavefront(XH, XL, YH, YL, SCHEME, 64,
+                              cell="compiled-c")
+        np.testing.assert_array_equal(g.max_scores, c.max_scores)
+        np.testing.assert_array_equal(g.score_planes, c.score_planes)
+
+    def test_compiled_with_other_schemes(self, rng):
+        for scheme in (ScoringScheme(1, 1, 1), ScoringScheme(3, 2, 2)):
+            X, Y, XH, XL, YH, YL = _planes(rng, 20, 5, 9, 64)
+            c = bpbc_sw_wavefront(XH, XL, YH, YL, scheme, 64,
+                                  cell="compiled")
+            np.testing.assert_array_equal(c.max_scores[:20],
+                                          _gold(X, Y, scheme))
+
+    @pytest.mark.parametrize("m,n", [(1, 1), (1, 8), (8, 1), (12, 4)])
+    def test_compiled_degenerate_shapes(self, rng, m, n):
+        X, Y, XH, XL, YH, YL = _planes(rng, 10, m, n, 32)
+        r = bpbc_sw_wavefront(XH, XL, YH, YL, SCHEME, 32,
+                              cell="compiled")
+        np.testing.assert_array_equal(r.max_scores[:10], _gold(X, Y))
+
+    def test_compiled_rejects_counter(self, rng):
+        _, _, XH, XL, YH, YL = _planes(rng, 8, 3, 5, 32)
+        with pytest.raises(BitOpsError):
+            bpbc_sw_wavefront(XH, XL, YH, YL, SCHEME, 32,
+                              counter=OpCounter(), cell="compiled")
+
+    def test_default_cell_is_compiled(self, rng):
+        """With no counter the engine defaults to the compiled
+        evaluator; with a counter it falls back to the countable
+        generic interpreter."""
+        _, _, XH, XL, YH, YL = _planes(rng, 8, 3, 5, 32)
+        d = bpbc_sw_wavefront(XH, XL, YH, YL, SCHEME, 32)
+        g = bpbc_sw_wavefront(XH, XL, YH, YL, SCHEME, 32,
+                              cell="generic")
+        np.testing.assert_array_equal(d.score_planes, g.score_planes)
+        c = OpCounter()
+        bpbc_sw_wavefront(XH, XL, YH, YL, SCHEME, 32, counter=c)
+        assert c.ops > 0

@@ -1,0 +1,85 @@
+"""Tests for repro.jit.cbackend: the optional native step backend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.netlist import (build_sw_cell_best_netlist,
+                                build_sw_cell_netlist)
+from repro.jit import JitError, cc_available, plan_netlist
+from repro.jit.cbackend import STEP_SYMBOL, c_step_source, compile_step
+
+needs_cc = pytest.mark.skipif(not cc_available(),
+                              reason="no C compiler on this machine")
+
+
+def _fused_plan(s=5, eps=2):
+    return plan_netlist(build_sw_cell_best_netlist(s, 1, 2, 1, eps=eps))
+
+
+class TestCStepSource:
+    def test_emits_step_symbol(self):
+        source = c_step_source(_fused_plan(), 5, 2, 64)
+        assert STEP_SYMBOL in source
+        assert "uint64_t" in source
+
+    def test_word_width_selects_c_type(self):
+        assert "uint32_t" in c_step_source(_fused_plan(), 5, 2, 32)
+
+    def test_row_loop_descends(self):
+        """The descending row loop is what makes the in-place p2
+        write safe; pin it."""
+        source = c_step_source(_fused_plan(), 5, 2, 64)
+        assert "for (long r = hi; r >= lo; --r)" in source
+
+    def test_rejects_plain_cell_plan(self):
+        """A plan without the fused best bus has the wrong layout."""
+        plan = plan_netlist(build_sw_cell_netlist(5, 1, 2, 1))
+        with pytest.raises(JitError):
+            c_step_source(plan, 5, 2, 64)
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(JitError):
+            c_step_source(_fused_plan(s=5), 6, 2, 64)
+
+
+class TestCompileStep:
+    @needs_cc
+    def test_compiles_and_caches(self):
+        source = c_step_source(_fused_plan(), 5, 2, 64)
+        fn1 = compile_step(source)
+        fn2 = compile_step(source)
+        assert callable(fn1)
+        # Same .so handle for the same source digest.
+        assert fn1.argtypes == fn2.argtypes
+
+    @needs_cc
+    def test_kernel_computes_one_diagonal(self):
+        """Drive the raw kernel for a 1x1 DP: the single cell's score
+        must equal max(0, diag + w(x, y)) for the (2, 1, 1) scheme."""
+        s, eps, w = 4, 2, 64
+        source = c_step_source(_fused_plan(s=s, eps=eps), s, eps, w)
+        fn = compile_step(source)
+        m = n = 1
+        lanes = 1
+        p1 = np.zeros((s, m + 1, lanes), np.uint64)
+        p2 = np.zeros((s, m + 1, lanes), np.uint64)
+        best = np.zeros((s, m, lanes), np.uint64)
+        # x == y on every lane bit -> every lane scores the match: 2.
+        xp = np.zeros((eps, m, lanes), np.uint64)
+        yp = np.zeros((eps, n, lanes), np.uint64)
+        xp[0] = yp[0] = ~np.uint64(0)
+        fn(p1.ctypes.data, p2.ctypes.data, best.ctypes.data,
+           xp.ctypes.data, yp.ctypes.data, 0, 0, 0, m, n, lanes)
+        # Score 2 = bit 1 set on every lane.
+        assert int(p2[1, 1, 0]) == int(~np.uint64(0))
+        assert int(p2[0, 1, 0]) == 0
+        assert int(best[1, 0, 0]) == int(~np.uint64(0))
+
+    def test_missing_compiler_raises(self, monkeypatch):
+        from repro.jit import cbackend
+
+        monkeypatch.setattr(cbackend, "compiler_path", lambda: None)
+        with pytest.raises(JitError):
+            compile_step("int x;")

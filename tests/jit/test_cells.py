@@ -1,0 +1,85 @@
+"""Tests for repro.jit.cells: cached cell factories and step kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bitsliced import BitSlicedUInt
+from repro.core.netlist import build_sw_cell_netlist
+from repro.jit import (
+    CStep,
+    JitError,
+    NumpyStep,
+    cc_available,
+    compiled_sw_cell,
+    sw_wavefront_step,
+)
+from repro.jit.cbackend import STEP_SYMBOL
+
+needs_cc = pytest.mark.skipif(not cc_available(),
+                              reason="no C compiler on this machine")
+
+
+def _planes(vals, s, w=64):
+    return list(BitSlicedUInt.from_ints(np.asarray(vals), s, w).data)
+
+
+class TestCompiledSwCell:
+    def test_memoised_same_object(self):
+        assert compiled_sw_cell(8, 1, 2, 1) is compiled_sw_cell(8, 1, 2, 1)
+
+    def test_numpy_ints_normalise(self):
+        a = compiled_sw_cell(8, 1, 2, 1, word_bits=64)
+        b = compiled_sw_cell(np.int64(8), np.uint8(1), np.int32(2),
+                             np.int64(1), word_bits=np.int64(64))
+        assert a is b
+
+    def test_distinct_word_bits_distinct_objects(self):
+        assert compiled_sw_cell(8, 1, 2, 1, word_bits=32) \
+            is not compiled_sw_cell(8, 1, 2, 1, word_bits=64)
+
+    def test_matches_netlist_evaluate(self, rng):
+        s, P = 8, 150
+        cell = compiled_sw_cell(s, 1, 2, 1, word_bits=64)
+        net = build_sw_cell_netlist(s, 1, 2, 1)
+        hi = (1 << s) - 2
+        ins = {
+            "up": _planes(rng.integers(0, hi, P), s),
+            "left": _planes(rng.integers(0, hi, P), s),
+            "diag": _planes(rng.integers(0, hi, P), s),
+            "x": _planes(rng.integers(0, 4, P), 2),
+            "y": _planes(rng.integers(0, 4, P), 2),
+        }
+        np.testing.assert_array_equal(
+            np.stack(cell.evaluate(ins)),
+            np.stack(net.evaluate(ins, word_bits=64)))
+
+
+class TestSwWavefrontStep:
+    def test_memoised_same_object(self):
+        assert sw_wavefront_step(6, 1, 2, 1, 2, 64) \
+            is sw_wavefront_step(6, 1, 2, 1, 2, 64)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(JitError):
+            sw_wavefront_step(6, 1, 2, 1, 2, 64, backend="cuda")
+
+    def test_numpy_backend(self):
+        step = sw_wavefront_step(6, 1, 2, 1, 2, 64, backend="numpy")
+        assert isinstance(step, NumpyStep)
+        assert step.backend == "numpy"
+        assert step.source.startswith("def ")
+
+    @needs_cc
+    def test_c_backend(self):
+        step = sw_wavefront_step(6, 1, 2, 1, 2, 64, backend="c")
+        assert isinstance(step, CStep)
+        assert step.backend == "c"
+        assert STEP_SYMBOL in step.source
+        assert callable(step.fn)
+
+    def test_auto_backend_resolves(self):
+        step = sw_wavefront_step(7, 1, 2, 1, 2, 64, backend="auto")
+        expected = CStep if cc_available() else NumpyStep
+        assert isinstance(step, expected)

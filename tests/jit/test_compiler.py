@@ -1,0 +1,186 @@
+"""Tests for repro.jit.compiler: netlist lowering and codegen."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bitsliced import BitSlicedUInt
+from repro.core.netlist import Netlist, build_sw_cell_netlist
+from repro.jit import CompiledNetlist, JitError, compile_netlist, plan_netlist
+
+
+def _planes(vals, s, w=32):
+    return list(BitSlicedUInt.from_ints(np.asarray(vals), s, w).data)
+
+
+def _ints(planes, w, count):
+    return BitSlicedUInt(np.stack(planes), w).to_ints(count)
+
+
+class TestPlanNetlist:
+    def test_no_outputs_rejected(self):
+        net = Netlist()
+        net.input_bus("a", 1)
+        with pytest.raises(JitError):
+            plan_netlist(net)
+
+    def test_operands_are_never_constants(self):
+        net = build_sw_cell_netlist(8, 1, 2, 1, simplify=False)
+        plan = plan_netlist(net)
+        for _kind, a, b in plan.ops:
+            assert a[0] != "const"
+            assert b is None or b[0] != "const"
+
+    def test_resimplifies_literal_netlist(self):
+        """Compiling the paper-literal (simplify=False) netlist must
+        re-run the peepholes: the plan lands at the folded size, not
+        the literal one."""
+        literal = build_sw_cell_netlist(8, 1, 2, 1, simplify=False)
+        folded = build_sw_cell_netlist(8, 1, 2, 1, simplify=True)
+        plan = plan_netlist(literal)
+        assert plan.n_ops <= folded.logic_gate_count()
+        assert plan.n_ops < literal.logic_gate_count()
+
+    @pytest.mark.parametrize("s", [4, 8, 16])
+    def test_never_grows_folded_netlist(self, s):
+        net = build_sw_cell_netlist(s, 1, 2, 1)
+        assert plan_netlist(net).n_ops <= net.logic_gate_count()
+
+    def test_cse_merges_commuted_gates(self):
+        net = Netlist()
+        a = net.input_bus("a", 1)
+        b = net.input_bus("b", 1)
+        c = net.input_bus("c", 1)
+        # Two structurally distinct gates computing the same function
+        # after commutative normalisation.
+        g1 = net.OR(net.AND(a[0], b[0]), c[0])
+        g2 = net.OR(c[0], net.AND(b[0], a[0]))
+        net.set_outputs([g1, g2])
+        plan = plan_netlist(net)
+        assert plan.outputs[0] == plan.outputs[1]
+        assert plan.n_ops == 2  # one AND, one OR
+
+
+class TestCompiledEvaluation:
+    @pytest.mark.parametrize("w", [32, 64])
+    @pytest.mark.parametrize("simplify", [False, True])
+    def test_matches_interpreter_on_sw_cell(self, rng, w, simplify):
+        s, P = 9, 200
+        net = build_sw_cell_netlist(s, 1, 2, 1, simplify=simplify)
+        compiled = compile_netlist(net, w)
+        hi = (1 << s) - 2
+        ins = {
+            "up": _planes(rng.integers(0, hi, P), s, w),
+            "left": _planes(rng.integers(0, hi, P), s, w),
+            "diag": _planes(rng.integers(0, hi, P), s, w),
+            "x": _planes(rng.integers(0, 4, P), 2, w),
+            "y": _planes(rng.integers(0, 4, P), 2, w),
+        }
+        want = net.evaluate(ins, word_bits=w)
+        got = compiled.evaluate(ins)
+        np.testing.assert_array_equal(np.stack(got), np.stack(want))
+
+    def test_constant_outputs(self):
+        """Outputs that fold to constants come back as all-zero /
+        all-one planes of the right dtype."""
+        net = Netlist()
+        a = net.input_bus("a", 1)
+        net.set_outputs([net.XOR(a[0], a[0]),
+                         net.OR(a[0], net.NOT(a[0])), a[0]])
+        compiled = compile_netlist(net, 32)
+        vals = np.asarray([0b1010], dtype=np.uint32)
+        zero, one, thru = compiled.evaluate({"a": [vals]})
+        assert zero.dtype == np.uint32
+        np.testing.assert_array_equal(zero, 0)
+        np.testing.assert_array_equal(one, np.uint32(0xFFFFFFFF))
+        np.testing.assert_array_equal(thru, vals)
+
+    def test_output_may_alias_input(self):
+        """Input-passthrough outputs are materialised before the
+        trailing copies, so outs may alias ins (the wavefront engine
+        relies on this)."""
+        net = Netlist()
+        a = net.input_bus("a", 2)
+        net.set_outputs([a[1], a[0]])  # swap
+        compiled = compile_netlist(net, 32)
+        buf0 = np.asarray([1], dtype=np.uint32)
+        buf1 = np.asarray([2], dtype=np.uint32)
+        compiled.run([buf0, buf1], [buf0, buf1])
+        assert buf0[0] == 2 and buf1[0] == 1
+
+    def test_zero_alloc_after_warmup(self):
+        net = build_sw_cell_netlist(6, 1, 2, 1)
+        compiled = compile_netlist(net, 64)
+        shape = (17,)
+        ins = [np.zeros(shape, np.uint64)
+               for _ in range(compiled.plan.n_inputs)]
+        outs = [np.zeros(shape, np.uint64) for _ in range(6)]
+        compiled.run(ins, outs)
+        pools_before = {k: id(v[1]) for k, v in compiled._pools.items()}
+        views_before = {k: [id(b) for b in v]
+                        for k, v in compiled._views.items()}
+        compiled.run(ins, outs)
+        assert {k: id(v[1]) for k, v in compiled._pools.items()} \
+            == pools_before
+        assert {k: [id(b) for b in v]
+                for k, v in compiled._views.items()} == views_before
+
+    def test_pool_grows_for_larger_leading_dim(self):
+        net = build_sw_cell_netlist(4, 1, 2, 1)
+        compiled = compile_netlist(net, 32)
+        small = [np.zeros((4,), np.uint32)
+                 for _ in range(compiled.plan.n_inputs)]
+        big = [np.zeros((9,), np.uint32)
+               for _ in range(compiled.plan.n_inputs)]
+        outs4 = [np.zeros((4,), np.uint32) for _ in range(4)]
+        outs9 = [np.zeros((9,), np.uint32) for _ in range(4)]
+        compiled.run(small, outs4)
+        compiled.run(big, outs9)
+        compiled.run(small, outs4)  # shrunk view of the grown pool
+        (cap, _bufs), = compiled._pools.values()
+        assert cap == 9
+
+    def test_generated_source_is_inspectable(self):
+        compiled = compile_netlist(build_sw_cell_netlist(4, 1, 2, 1), 32)
+        assert compiled.source.startswith("def _compiled_cell(")
+        assert compiled.n_ops > 0
+        assert compiled.n_slots > 0
+
+    def test_word_bits_mismatch_rejected(self):
+        compiled = compile_netlist(build_sw_cell_netlist(4, 1, 2, 1), 32)
+        with pytest.raises(JitError):
+            compiled.evaluate({"up": [], "left": [], "diag": [],
+                               "x": [], "y": []}, word_bits=64)
+
+    def test_missing_bus_rejected(self):
+        compiled = compile_netlist(build_sw_cell_netlist(4, 1, 2, 1), 32)
+        with pytest.raises(JitError):
+            compiled.evaluate({"up": [np.uint32(0)] * 4})
+
+    def test_wrong_plane_count_rejected(self):
+        compiled = compile_netlist(build_sw_cell_netlist(4, 1, 2, 1), 32)
+        ins = {"up": [np.uint32(0)] * 3, "left": [np.uint32(0)] * 4,
+               "diag": [np.uint32(0)] * 4, "x": [np.uint32(0)] * 2,
+               "y": [np.uint32(0)] * 2}
+        with pytest.raises(JitError):
+            compiled.evaluate(ins)
+
+    def test_scalar_inputs_unwrap(self, rng):
+        """Scalar (0-d) inputs evaluate fine and come back unwrapped,
+        matching Netlist.evaluate's broadcasting contract."""
+        net = Netlist()
+        a = net.input_bus("a", 1)
+        b = net.input_bus("b", 1)
+        net.set_outputs([net.AND(a[0], b[0])])
+        compiled = compile_netlist(net, 32)
+        out, = compiled.evaluate({"a": [np.uint32(0b110)],
+                                  "b": [np.uint32(0b011)]})
+        assert out.shape == ()
+        assert int(out) == 0b010
+
+    def test_compile_netlist_returns_compiled(self):
+        c = compile_netlist(build_sw_cell_netlist(4, 1, 2, 1), 64,
+                            name="t")
+        assert isinstance(c, CompiledNetlist)
+        assert c.word_bits == 64

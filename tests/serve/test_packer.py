@@ -79,7 +79,7 @@ class TestPacking:
         assert batch.lane_slots(64) == 128
         assert batch.lane_occupancy(64) == pytest.approx(65 / 128)
 
-    @pytest.mark.parametrize("engine", ["bpbc", "numpy"])
+    @pytest.mark.parametrize("engine", ["bpbc", "bpbc-jit", "numpy"])
     def test_sentinel_padding_is_exact(self, rng, engine):
         """Padded scores must equal each pair's own-length DP exactly:
         the sentinels match nothing, so the padded maximum cannot move."""

@@ -81,7 +81,7 @@ def test_packed_scores_match_unpadded_gold(index):
         gold = np.asarray(
             [sw_max_score(req.query, req.subject, batch.scheme)
              for req in batch.requests], dtype=np.int64)
-        for engine in ("bpbc", "numpy"):
+        for engine in ("bpbc", "bpbc-jit", "numpy"):
             scores = np.asarray(ENGINES[engine](batch, WORD_BITS))
             bad = np.flatnonzero(scores != gold)
             assert bad.size == 0, (

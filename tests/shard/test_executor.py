@@ -277,8 +277,16 @@ class TestWorkerLayer:
                              bin_granularity=16)
         assert np.array_equal(scores, _gold(xs, ys))
 
+    def test_score_codes_jit_engine_matches_gold(self, rng):
+        xs, ys = _ragged_batch(rng, pairs=20)
+        scores = score_codes(SHARD_ENGINES["bpbc-jit"], xs, ys, SCHEME,
+                             64, bin_granularity=16)
+        assert np.array_equal(scores, _gold(xs, ys))
+
     def test_resolve_engine(self):
         assert resolve_shard_engine("bpbc") is SHARD_ENGINES["bpbc"]
+        assert resolve_shard_engine("bpbc-jit") \
+            is SHARD_ENGINES["bpbc-jit"]
         assert resolve_shard_engine(_poison_engine) is _poison_engine
         with pytest.raises(ValueError):
             resolve_shard_engine("nope")

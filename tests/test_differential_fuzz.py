@@ -33,6 +33,9 @@ import pytest
 
 from repro.core.encoding import decode, encode_batch_bit_transposed
 from repro.core.sw_bpbc import bpbc_sw_wavefront
+from repro.serve.engine_pool import ENGINES
+from repro.serve.packer import pack_requests
+from repro.serve.queue import AlignmentRequest
 from repro.shard import ShardExecutor
 from repro.swa.numpy_batch import sw_batch_max_scores
 from repro.swa.parallel import sw_matrix_wavefront
@@ -164,6 +167,64 @@ def test_bpbc_wavefront_agrees(fuzz_groups):
                                    WORD_BITS).max_scores[:GROUP_PAIRS]
         assert np.array_equal(scores, g.gold), \
             _explain("core.sw_bpbc", g, scores)
+
+
+def test_cell_evaluators_bit_identical(fuzz_groups):
+    """generic / folded / compiled produce bit-identical score planes
+    on every fuzz group — the compiled (:mod:`repro.jit`) evaluator is
+    a pure lowering, not an approximation."""
+    for g in fuzz_groups:
+        XH, XL = encode_batch_bit_transposed(g.X, WORD_BITS)
+        YH, YL = encode_batch_bit_transposed(g.Y, WORD_BITS)
+        results = {
+            cell: bpbc_sw_wavefront(XH, XL, YH, YL, g.scheme,
+                                    WORD_BITS, cell=cell)
+            for cell in ("generic", "folded", "compiled")
+        }
+        ref = results["generic"]
+        assert np.array_equal(
+            ref.max_scores[:GROUP_PAIRS], g.gold), \
+            _explain("core.sw_bpbc[generic]", g,
+                     ref.max_scores[:GROUP_PAIRS])
+        for cell in ("folded", "compiled"):
+            r = results[cell]
+            assert np.array_equal(r.score_planes, ref.score_planes), (
+                f"cell={cell!r} score planes differ from generic.\n"
+                f"  seed={SEED} (rerun: REPRO_FUZZ_SEED={SEED})\n"
+                f"  group={g.index} kind={g.kind} "
+                f"shape=({g.X.shape[1]}, {g.Y.shape[1]})\n"
+                f"  scheme={g.scheme}"
+            )
+
+
+def test_serve_bpbc_jit_engine_agrees(fuzz_groups):
+    """The ``bpbc-jit`` serve engine, fed sentinel-padded mixed-shape
+    batches — the compiled evaluator on the 3-plane path, exactly as
+    the alignment service drives it."""
+    engine = ENGINES["bpbc-jit"]
+    for scheme in SCHEMES:
+        groups = [g for g in fuzz_groups if g.scheme == scheme]
+        requests, gold_of = [], {}
+        for g in groups:
+            for p in range(GROUP_PAIRS):
+                req = AlignmentRequest(
+                    query=g.X[p], subject=g.Y[p], scheme=scheme,
+                    threshold=None, deadline=None, future=None,
+                    enqueued_at=0.0)
+                requests.append(req)
+                gold_of[id(req)] = int(g.gold[p])
+        for batch in pack_requests(requests, granularity=64):
+            scores = np.asarray(engine(batch, WORD_BITS))
+            want = np.asarray([gold_of[id(r)] for r in batch.requests])
+            bad = np.flatnonzero(scores != want)
+            assert bad.size == 0, (
+                f"serve engine bpbc-jit disagrees with gold on "
+                f"{bad.size} of {batch.pairs} pairs "
+                f"(padded={batch.padded}, scheme={scheme}, "
+                f"seed={SEED}; rerun: REPRO_FUZZ_SEED={SEED}); "
+                f"first bad lane={int(bad[0])}: "
+                f"got {int(scores[bad[0]])} want {int(want[bad[0]])}"
+            )
 
 
 def test_sharded_backend_agrees(fuzz_groups):
