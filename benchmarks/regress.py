@@ -23,6 +23,12 @@ Usage::
 ``--quick`` runs a reduced workload and keys its results under a
 separate ``quick`` section, so CI quick runs compare against the
 committed quick baseline, never against full-scale numbers.
+
+``--rounds N`` measures the whole section N times and keeps each
+entry's best (lowest) ``rel``.  Shared CI runners are noisy neighbours:
+one unlucky round can inflate a sub-second measurement well past any
+sane tolerance, but the *best* of a few rounds is stable — CI gates on
+that.
 """
 
 from __future__ import annotations
@@ -118,6 +124,32 @@ def run_section(mode: str, verbose: bool = True) -> dict:
     }
 
 
+def run_section_best(mode: str, rounds: int, verbose: bool = True) -> dict:
+    """Best-of-``rounds`` measurement of one section.
+
+    Each round re-runs :func:`run_section` (its own calibration and
+    evaluator timings); per entry the round with the lowest ``rel``
+    wins, so a noisy-neighbour spike in any single round cannot fail
+    the gate.
+    """
+    best = run_section(mode, verbose=verbose)
+    for k in range(1, rounds):
+        if verbose:
+            print(f"[{mode}] round {k + 1}/{rounds}")
+        nxt = run_section(mode, verbose=verbose)
+        for key, cur in nxt["entries"].items():
+            if cur["rel"] < best["entries"][key]["rel"]:
+                best["entries"][key] = cur
+        best["calibration_ms"] = min(best["calibration_ms"],
+                                     nxt["calibration_ms"])
+        best["compiled_speedup"] = round(
+            best["entries"]["cell-generic"]["ms"]
+            / best["entries"]["cell-compiled"]["ms"], 3)
+    if rounds > 1:
+        best["rounds"] = rounds
+    return best
+
+
 def snapshot_paths() -> list[Path]:
     """Committed snapshots at the repo root, oldest first."""
     def index(p: Path) -> int:
@@ -189,7 +221,13 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                     help="allowed rel slowdown before --check fails "
                          "(default %(default)s)")
+    ap.add_argument("--rounds", type=int, default=1,
+                    help="measure the section this many times and keep "
+                         "each entry's best rel (default %(default)s; "
+                         "CI uses 3 to ride out noisy runners)")
     args = ap.parse_args(argv)
+    if args.rounds < 1:
+        ap.error("--rounds must be >= 1")
 
     mode = "quick" if args.quick else "full"
     print(f"cell-evaluator bench regression — cc available: "
@@ -199,10 +237,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.write is not None:
         # Snapshots always carry both sections so later full *and*
         # quick runs have a baseline to compare against.
-        result["full"] = run_section("full")
-        result["quick"] = run_section("quick")
+        result["full"] = run_section_best("full", args.rounds)
+        result["quick"] = run_section_best("quick", args.rounds)
     else:
-        result[mode] = run_section(mode)
+        result[mode] = run_section_best(mode, args.rounds)
 
     status = 0
     if args.check:

@@ -234,7 +234,10 @@ def bpbc_sw_wavefront_planes(Xp, Yp, scheme: ScoringScheme,
         ``"generic"`` (see :mod:`repro.core.tstv` for an example).
     ``None`` (default)
         ``"compiled"``, unless a ``counter`` is supplied, in which
-        case ``"generic"`` so op accounting keeps working.
+        case ``"generic"`` so op accounting keeps working.  The
+        compiled evaluators are safe under concurrent callers (their
+        scratch state is thread-local / stateless), so the default
+        holds for serve's multi-threaded worker pool too.
     """
     Xp = np.asarray(Xp)
     Yp = np.asarray(Yp)

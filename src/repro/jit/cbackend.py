@@ -19,6 +19,13 @@ generated-NumPy backend, which is bit-identical.
 Shared objects are cached under ``$REPRO_JIT_CACHE`` (default: a
 per-uid, mode-0700 directory inside the system temp dir) keyed by a
 SHA-256 of the source, so each circuit compiles once per machine.
+Because the cache holds code that gets loaded into the process, the
+directory is only trusted when it is a real directory *owned by the
+current uid* with no group/other write permission — on a multi-user
+machine an attacker who pre-created the predictable path could
+otherwise plant a ``.so`` for us to ``dlopen``.  A directory failing
+that check is never used; a fresh private per-process directory
+(``tempfile.mkdtemp``) silently takes its place.
 
 Memory layout contract (all arrays C-contiguous, the word dtype):
 
@@ -39,6 +46,7 @@ import ctypes
 import hashlib
 import os
 import shutil
+import stat
 import subprocess
 import tempfile
 import threading
@@ -77,13 +85,49 @@ def cc_available() -> bool:
     return compiler_path() is not None
 
 
+#: Private per-process fallback cache dir (created lazily, guarded by
+#: ``_lock``); used when the preferred path fails :func:`_dir_trusted`.
+_fallback_dir: str | None = None
+
+
+def _dir_trusted(path: str) -> bool:
+    """Whether ``path`` is safe to load shared objects from.
+
+    ``os.makedirs(..., exist_ok=True)`` happily accepts a pre-existing
+    directory (or symlink to one) created by *another* user, and the
+    ``.so`` names inside are predictable hashes — so before trusting
+    the cache we require a real directory (no symlink), owned by the
+    current uid, with no group/other write bits.
+    """
+    try:
+        st = os.lstat(path)
+    except OSError:
+        return False
+    if not stat.S_ISDIR(st.st_mode):
+        return False
+    if hasattr(os, "getuid") and st.st_uid != os.getuid():
+        return False
+    return not st.st_mode & (stat.S_IWGRP | stat.S_IWOTH)
+
+
 def _cache_dir() -> str:
+    global _fallback_dir
     path = os.environ.get("REPRO_JIT_CACHE")
     if not path:
         uid = os.getuid() if hasattr(os, "getuid") else 0
         path = os.path.join(tempfile.gettempdir(), f"repro-jit-{uid}")
-    os.makedirs(path, mode=0o700, exist_ok=True)
-    return path
+    try:
+        os.makedirs(path, mode=0o700, exist_ok=True)
+    except OSError:
+        path = None
+    if path is not None and _dir_trusted(path):
+        return path
+    # Untrusted (foreign-owned, world/group-writable, symlinked) or
+    # uncreatable: never load code from it.  Fall back to a private
+    # per-process directory — caching degrades, security does not.
+    if _fallback_dir is None:
+        _fallback_dir = tempfile.mkdtemp(prefix="repro-jit-")
+    return _fallback_dir
 
 
 def c_step_source(plan: CellPlan, s: int, eps: int, word_bits: int) -> str:

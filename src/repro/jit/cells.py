@@ -17,7 +17,11 @@
 
 Both caches key on plain ints, so repeated engine calls reuse the same
 compiled artifact instead of re-synthesising and re-lowering the
-circuit.
+circuit.  Memoisation makes the artifacts process-wide shared objects,
+and both are safe to call concurrently: the C kernel is stateless, and
+the generated-NumPy evaluator keeps its scratch pools in thread-local
+storage (see :class:`~repro.jit.compiler.CompiledNetlist`), which is
+what lets serve's multi-threaded ``EnginePool`` drive them.
 """
 
 from __future__ import annotations

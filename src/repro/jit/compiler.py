@@ -22,7 +22,10 @@ module removes both:
     a liveness-pooled temporary buffer.  After the first call for a
     given shape the evaluator performs **zero heap allocations** — the
     slot pool and its shape views are cached on the returned
-    :class:`CompiledNetlist`.
+    :class:`CompiledNetlist`, in *thread-local* storage: the factories
+    in :mod:`repro.jit.cells` memoise evaluators process-wide, so one
+    instance is shared by every thread (serve's ``EnginePool`` workers
+    in particular), and a shared scratch pool would race.
 
 The plan is backend-neutral: :mod:`repro.jit.cbackend` consumes the
 same :class:`CellPlan` to emit C.
@@ -30,6 +33,7 @@ same :class:`CellPlan` to emit C.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -326,8 +330,10 @@ class CompiledNetlist:
         The hot path: takes pre-shaped input arrays in
         :attr:`input_layout` order and writes the output planes into
         caller-provided arrays.  All arrays must share one shape and
-        the compiled dtype; after the first call for a shape no heap
-        allocation occurs.
+        the compiled dtype; after each thread's first call for a shape
+        no heap allocation occurs.  The temporary pool is thread-local,
+        so concurrent :meth:`run` calls from different threads on the
+        same (memoised) instance are safe.
     :meth:`evaluate`
         Drop-in for :meth:`repro.core.netlist.Netlist.evaluate` — same
         bus-dict signature, returns fresh output planes.
@@ -355,31 +361,57 @@ class CompiledNetlist:
         exec(compile(self.source, f"<repro.jit:{name}>", "exec"), ns)
         self._fn = ns[fname]
         self.n_outputs = len(self.plan.outputs)
-        # shape -> per-slot views into the capacity buffers below
-        self._views: dict[tuple, list[np.ndarray]] = {}
-        # trailing shape -> (capacity, buffers of shape (capacity, *tail))
-        self._pools: dict[tuple, tuple[int, list[np.ndarray]]] = {}
+        # Scratch state lives per *thread*: evaluators are memoised
+        # process-wide (repro.jit.cells), so serve's EnginePool threads
+        # all hold the same instance — a shared pool would let two
+        # concurrent run() calls clobber each other's temporaries.
+        self._tls = threading.local()
 
     @property
     def input_layout(self) -> tuple[tuple[str, int], ...]:
         """Flat input order: ``(bus, bit)`` per input plane."""
         return self.plan.input_layout
 
+    def _local(self) -> tuple[dict, dict]:
+        """This thread's ``(views, pools)`` scratch-state dicts.
+
+        ``views``: shape -> per-slot views into the capacity buffers;
+        ``pools``: trailing shape -> (capacity, buffers of shape
+        ``(capacity, *tail)``).
+        """
+        tls = self._tls
+        try:
+            return tls.views, tls.pools
+        except AttributeError:
+            tls.views = {}
+            tls.pools = {}
+            return tls.views, tls.pools
+
+    # Introspection helpers (this thread's state; used by tests).
+    @property
+    def _views(self) -> dict[tuple, list[np.ndarray]]:
+        return self._local()[0]
+
+    @property
+    def _pools(self) -> dict[tuple, tuple[int, list[np.ndarray]]]:
+        return self._local()[1]
+
     def _pool_views(self, shape: tuple) -> list[np.ndarray]:
         if not shape:
             raise JitError("run() requires array inputs (ndim >= 1)")
+        views_by_shape, pools = self._local()
         lead, tail = shape[0], shape[1:]
-        entry = self._pools.get(tail)
+        entry = pools.get(tail)
         if entry is None or entry[0] < lead:
             bufs = [np.empty((lead,) + tail, self.dtype)
                     for _ in range(self.n_slots)]
-            self._pools[tail] = (lead, bufs)
-            self._views = {k: v for k, v in self._views.items()
-                           if k[1:] != tail}
+            pools[tail] = (lead, bufs)
+            for k in [k for k in views_by_shape if k[1:] == tail]:
+                del views_by_shape[k]
             entry = (lead, bufs)
         cap, bufs = entry
         views = bufs if lead == cap else [b[:lead] for b in bufs]
-        self._views[shape] = views
+        views_by_shape[shape] = views
         return views
 
     def run(self, ins, outs) -> None:
@@ -389,9 +421,11 @@ class CompiledNetlist:
         one array per output bit.  All of one shape and the compiled
         dtype.  Output arrays may alias input arrays (outputs are
         written only after every operation has executed) but must not
-        alias each other.
+        alias each other.  Thread-safe: temporaries are pooled per
+        thread, so each thread pays its own one-off warmup allocation.
         """
-        views = self._views.get(ins[0].shape)
+        views_by_shape, _ = self._local()
+        views = views_by_shape.get(ins[0].shape)
         if views is None:
             views = self._pool_views(ins[0].shape)
         self._fn(ins, outs, views)

@@ -83,3 +83,63 @@ class TestCompileStep:
         monkeypatch.setattr(cbackend, "compiler_path", lambda: None)
         with pytest.raises(JitError):
             compile_step("int x;")
+
+
+class TestCacheDirTrust:
+    """The .so cache must never load code from a directory another
+    local user could write to (predictable path + predictable
+    filenames = planted-library code execution)."""
+
+    def _cache_dir(self, monkeypatch, path):
+        from repro.jit import cbackend
+
+        monkeypatch.setenv("REPRO_JIT_CACHE", str(path))
+        monkeypatch.setattr(cbackend, "_fallback_dir", None)
+        return cbackend._cache_dir()
+
+    def test_private_dir_accepted(self, tmp_path, monkeypatch):
+        want = tmp_path / "cache"
+        got = self._cache_dir(monkeypatch, want)
+        assert got == str(want)
+        assert (want.stat().st_mode & 0o077) == 0  # created 0700
+
+    def test_group_or_world_writable_dir_refused(self, tmp_path,
+                                                 monkeypatch):
+        import os
+
+        if not hasattr(os, "getuid"):
+            pytest.skip("no POSIX permissions on this platform")
+        for mode in (0o770, 0o707, 0o777):
+            loose = tmp_path / f"loose-{mode:o}"
+            loose.mkdir(mode=0o700)
+            os.chmod(loose, mode)
+            got = self._cache_dir(monkeypatch, loose)
+            assert got != str(loose)
+            assert os.path.isdir(got)
+            # And the fallback itself must pass the trust check.
+            from repro.jit.cbackend import _dir_trusted
+
+            assert _dir_trusted(got)
+
+    def test_symlinked_dir_refused(self, tmp_path, monkeypatch):
+        real = tmp_path / "real"
+        real.mkdir(mode=0o700)
+        link = tmp_path / "link"
+        link.symlink_to(real)
+        got = self._cache_dir(monkeypatch, link)
+        assert got != str(link)
+
+    def test_fallback_is_stable_within_process(self, tmp_path,
+                                               monkeypatch):
+        import os
+
+        if not hasattr(os, "getuid"):
+            pytest.skip("no POSIX permissions on this platform")
+        loose = tmp_path / "loose"
+        loose.mkdir(mode=0o700)
+        os.chmod(loose, 0o777)
+        first = self._cache_dir(monkeypatch, loose)
+        from repro.jit import cbackend
+
+        monkeypatch.setenv("REPRO_JIT_CACHE", str(loose))
+        assert cbackend._cache_dir() == first
