@@ -44,6 +44,10 @@ Sub-packages
     Sharded multi-core bulk execution: cost-balanced (LPT) work
     partitions fanned out to a process pool, with per-shard failure
     containment and timing.
+``repro.resilience``
+    Deterministic seeded fault injection, retry/circuit-breaker
+    policies, and the bit-identical engine fallback chain that turns
+    the redundant scoring backends into availability.
 ``repro.experiments``
     ``python -m repro.experiments`` regenerates every table and
     figure of the paper.
@@ -57,6 +61,8 @@ from .core.sw_bpbc import (BPBCResult, bpbc_sw_sequential,
 from .filter.screening import (ScreenHit, ScreenResult, bulk_max_scores,
                                screen_pairs)
 from .kernels.pipeline import PipelineReport, run_gpu_pipeline
+from .resilience.faults import FaultPlan, FaultRule, InjectedFault
+from .resilience.retry import RetryPolicy
 from .serve.queue import AlignmentResult
 from .serve.service import AlignmentService
 from .shard import ShardError, ShardExecutor, shard_bulk_max_scores
@@ -95,4 +101,8 @@ __all__ = [
     "ShardExecutor",
     "ShardError",
     "shard_bulk_max_scores",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "RetryPolicy",
 ]

@@ -68,6 +68,12 @@ def _add_scoring_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--workers", type=int, default=1,
                    help="shard the bulk phase across this many "
                         "processes (default 1 = in-process)")
+    p.add_argument("--max-retries", type=int, default=1,
+                   help="fallback-chain rescore retries when a shard "
+                        "fails (default 1; needs --workers > 1)")
+    p.add_argument("--no-recover", dest="recover", action="store_false",
+                   help="fail fast on shard loss instead of rescoring "
+                        "failed shards on the fallback chain")
 
 
 def _load_sides(args) -> tuple[list, list]:
@@ -131,7 +137,19 @@ def _cmd_score(args) -> int:
             for qi, si in _iter_pair_chunks(len(queries), len(subjects),
                                             args.chunk_size):
                 if executor is not None:
-                    scores = executor.run(Q[qi], S[si], scheme).scores
+                    result = executor.run(
+                        Q[qi], S[si], scheme,
+                        errors="return" if args.recover else "raise")
+                    if args.recover and result.errors:
+                        from .resilience.recovery import recover_failures
+                        from .resilience.retry import RetryPolicy
+
+                        recover_failures(
+                            result, Q[qi], S[si], scheme,
+                            word_bits=args.word_bits,
+                            retry=RetryPolicy(
+                                max_retries=args.max_retries))
+                    scores = result.scores
                 else:
                     scores = bulk_max_scores(Q[qi], S[si], scheme,
                                              word_bits=args.word_bits)
@@ -146,7 +164,9 @@ def _cmd_score(args) -> int:
                                  records_to_batch(subjects), scheme,
                                  word_bits=args.word_bits,
                                  chunk_size=args.chunk_size,
-                                 workers=workers)
+                                 workers=workers,
+                                 recover=args.recover,
+                                 max_retries=args.max_retries)
         for qr, sr, sc in zip(queries, subjects, scores):
             out.write(f"{qr.id}\t{sr.id}\t{int(sc)}\n")
     return 0
@@ -166,7 +186,9 @@ def _cmd_screen(args) -> int:
                                         args.chunk_size):
             result = screen_pairs(Q[qi], S[si], args.threshold, scheme,
                                   word_bits=args.word_bits,
-                                  workers=workers)
+                                  workers=workers,
+                                  recover=args.recover,
+                                  max_retries=args.max_retries)
             base = int(qi[0]) * n_subjects + int(si[0])
             hits.extend((base + h.pair_index, h) for h in result.hits)
     else:
@@ -175,7 +197,9 @@ def _cmd_screen(args) -> int:
                               args.threshold, scheme,
                               word_bits=args.word_bits,
                               chunk_size=args.chunk_size,
-                              workers=workers)
+                              workers=workers,
+                              recover=args.recover,
+                              max_retries=args.max_retries)
         total = len(queries)
         hits = [(h.pair_index, h) for h in result.hits]
         n_subjects = 1
@@ -235,6 +259,8 @@ def _cmd_serve(args) -> int:
         cache_size=args.cache_size,
         shard_workers=(args.shard_workers if args.shard_workers > 1
                        else None),
+        resilience=args.resilient,
+        max_retries=args.max_retries,
     )
     with service:
         server = AlignmentServer(service, host=args.host,
@@ -304,6 +330,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Bitwise Parallel Bulk Computation for "
                     "Smith-Waterman (IPDPS-W 2017 reproduction)",
     )
+    parser.add_argument(
+        "--fault-plan", metavar="PATH", default=None,
+        help="run the command under a deterministic fault-injection "
+             "plan (JSON file of seeded per-site rules; see "
+             "docs/RESILIENCE.md)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("score", help="bulk-score FASTA pairs")
@@ -347,9 +378,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=7421,
                    help="TCP port (0 = ephemeral; default 7421)")
     p.add_argument("--engine", default="bpbc",
-                   choices=("bpbc", "bpbc-jit", "numpy", "gpusim"),
+                   choices=("bpbc", "bpbc-jit", "numpy", "gpusim",
+                            "resilient"),
                    help="scoring backend (default bpbc; bpbc-jit pins "
-                        "the repro.jit compiled cell evaluator)")
+                        "the repro.jit compiled cell evaluator; "
+                        "resilient scores through the engine fallback "
+                        "chain)")
     p.add_argument("--workers", type=int, default=2,
                    help="engine worker threads (default 2)")
     p.add_argument("--shard-workers", type=int, default=1,
@@ -371,6 +405,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-size", type=int, default=4096,
                    help="result-cache entries, 0 disables "
                         "(default 4096)")
+    p.add_argument("--resilient", action="store_true",
+                   help="attach the engine fallback chain: batches the "
+                        "primary engine fails are rescored instead of "
+                        "failed, breaker state shows in stats")
+    p.add_argument("--max-retries", type=int, default=1,
+                   help="rescue retries per failed batch "
+                        "(default 1; needs --resilient)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -398,7 +439,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    if args.fault_plan is None:
+        return args.func(args)
+    # Chaos mode: the whole command runs under the installed plan
+    # (shard executors forward it into their worker processes).
+    from .resilience.faults import FaultPlan
+
+    with FaultPlan.from_file(args.fault_plan):
+        return args.func(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

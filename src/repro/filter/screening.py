@@ -62,7 +62,10 @@ def bulk_max_scores(X: np.ndarray, Y: np.ndarray,
                     scheme: ScoringScheme | None = None,
                     word_bits: int = 64,
                     chunk_size: int | None = None,
-                    workers: int | None = None) -> np.ndarray:
+                    workers: int | None = None,
+                    recover: bool = True,
+                    timeout_s: float | None = None,
+                    max_retries: int = 1) -> np.ndarray:
     """Max SW score per pair via the BPBC wavefront engine.
 
     ``X`` is ``(P, m)`` and ``Y`` ``(P, n)`` wordwise code matrices;
@@ -73,9 +76,15 @@ def bulk_max_scores(X: np.ndarray, Y: np.ndarray,
 
     ``workers > 1`` shards the batch across a process pool
     (:mod:`repro.shard`); results are identical to the single-process
-    path, ``chunk_size`` becomes the per-shard pair cap, and a worker
-    failure raises :class:`repro.shard.ShardError` naming the affected
-    pairs.
+    path and ``chunk_size`` becomes the per-shard pair cap.  With
+    ``recover`` (the default) a shard lost to a worker crash, hang
+    (bounded by ``timeout_s``) or engine error is rescored in-process
+    on the :class:`~repro.resilience.fallback.EngineFallbackChain` —
+    bit-identically — and only an unrecoverable loss raises
+    :class:`~repro.resilience.errors.BulkRecoveryError` naming the
+    missing pair indices.  ``recover=False`` restores the strict
+    behaviour: the first failure raises
+    :class:`repro.shard.ShardError`.
     """
     X = np.asarray(X)
     Y = np.asarray(Y)
@@ -91,6 +100,14 @@ def bulk_max_scores(X: np.ndarray, Y: np.ndarray,
     if workers is not None and workers <= 0:
         raise ValueError(f"workers must be positive, got {workers}")
     if workers is not None and workers > 1:
+        if recover:
+            from ..resilience.recovery import shard_scores_with_recovery
+            from ..resilience.retry import RetryPolicy
+
+            return shard_scores_with_recovery(
+                X, Y, scheme, word_bits=word_bits, workers=workers,
+                max_shard_pairs=chunk_size, timeout_s=timeout_s,
+                retry=RetryPolicy(max_retries=max_retries))
         from ..shard import shard_bulk_max_scores
 
         return shard_bulk_max_scores(X, Y, scheme, word_bits=word_bits,
@@ -114,21 +131,28 @@ def screen_pairs(X: np.ndarray, Y: np.ndarray, threshold: int,
                  word_bits: int = 64,
                  align_survivors: bool = True,
                  chunk_size: int | None = None,
-                 workers: int | None = None) -> ScreenResult:
+                 workers: int | None = None,
+                 recover: bool = True,
+                 timeout_s: float | None = None,
+                 max_retries: int = 1) -> ScreenResult:
     """Bulk-score all pairs; fully align those scoring above ``threshold``.
 
     The bulk phase never computes tracebacks — exactly the paper's
     division of labour.  Survivor alignments are exact (wordwise CPU
     matrix + traceback) and their scores are asserted to agree with
     the bulk engine's, which doubles as an end-to-end self-check.
-    ``workers > 1`` shards the bulk phase across processes (see
-    :func:`bulk_max_scores`); survivor alignment stays in-process.
+    ``workers > 1`` shards the bulk phase across processes, with
+    fallback-chain recovery of failed shards unless ``recover=False``
+    (see :func:`bulk_max_scores`); survivor alignment stays
+    in-process.
     """
     scheme = scheme or DEFAULT_SCHEME
     if threshold < 0:
         raise ValueError(f"threshold must be non-negative, got {threshold}")
     scores = bulk_max_scores(X, Y, scheme, word_bits,
-                             chunk_size=chunk_size, workers=workers)
+                             chunk_size=chunk_size, workers=workers,
+                             recover=recover, timeout_s=timeout_s,
+                             max_retries=max_retries)
     hits: list[ScreenHit] = []
     if align_survivors:
         for p in np.flatnonzero(scores > threshold):

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Any, Optional
 
 import numpy as np
 
+from ..resilience.faults import should_inject
 from .errors import MemoryFault
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -136,9 +137,21 @@ class GlobalMemory:
                 f"{self._capacity} available"
             )
 
+    @staticmethod
+    def _chaos(op: str, name: str) -> None:
+        """The ``gpusim.memory.fault`` injection site: a transient or
+        permanent DRAM failure, surfaced through the same
+        :class:`MemoryFault` type as an organic access error."""
+        if should_inject("gpusim.memory.fault"):
+            raise MemoryFault(
+                f"injected fault (site gpusim.memory.fault): {op} on "
+                f"buffer {name!r} failed"
+            )
+
     # -- element access ------------------------------------------------
     def load(self, name: str, index: Index) -> Any:
         """Scalar load (one transaction)."""
+        self._chaos("load", name)
         buf = self.buffer(name)
         try:
             value = buf[index]
@@ -157,6 +170,7 @@ class GlobalMemory:
 
     def store(self, name: str, index: Index, value: Any) -> None:
         """Scalar store (one transaction)."""
+        self._chaos("store", name)
         buf = self.buffer(name)
         try:
             buf[index] = value
@@ -180,6 +194,7 @@ class GlobalMemory:
 
     def warp_load(self, name: str, flat_indices: Any) -> np.ndarray:
         """Load one element per lane (flat indices); counts coalescing."""
+        self._chaos("warp load", name)
         buf = self.buffer(name)
         flat = np.asarray(flat_indices, dtype=np.int64)
         if flat.size and (flat.min() < 0 or flat.max() >= buf.size):
@@ -196,6 +211,7 @@ class GlobalMemory:
 
     def warp_store(self, name: str, flat_indices: Any, values: Any) -> None:
         """Store one element per lane (flat indices); counts coalescing."""
+        self._chaos("warp store", name)
         buf = self.buffer(name)
         flat = np.asarray(flat_indices, dtype=np.int64)
         if flat.size and (flat.min() < 0 or flat.max() >= buf.size):

@@ -42,6 +42,7 @@ double-buffering of the wavefront engine sound.
 
 from __future__ import annotations
 
+import atexit
 import ctypes
 import hashlib
 import os
@@ -53,6 +54,7 @@ import threading
 from functools import lru_cache
 
 from ..core.bitops import check_word_bits
+from ..resilience.faults import should_inject
 from .compiler import CellPlan, JitError, Ref
 
 __all__ = ["cc_available", "compiler_path", "c_step_source",
@@ -125,9 +127,22 @@ def _cache_dir() -> str:
     # Untrusted (foreign-owned, world/group-writable, symlinked) or
     # uncreatable: never load code from it.  Fall back to a private
     # per-process directory — caching degrades, security does not.
+    # The directory is removed again at interpreter exit; nothing
+    # re-reads it across processes, so leaving it would only litter
+    # the temp dir with one orphan per process.
     if _fallback_dir is None:
         _fallback_dir = tempfile.mkdtemp(prefix="repro-jit-")
+        atexit.register(_cleanup_fallback_dir)
     return _fallback_dir
+
+
+def _cleanup_fallback_dir() -> None:
+    """Remove the per-process fallback cache dir (atexit; the loaded
+    ``.so`` stays mapped, so deleting the file is safe on POSIX)."""
+    global _fallback_dir
+    path, _fallback_dir = _fallback_dir, None
+    if path is not None:
+        shutil.rmtree(path, ignore_errors=True)
 
 
 def c_step_source(plan: CellPlan, s: int, eps: int, word_bits: int) -> str:
@@ -254,9 +269,19 @@ def compile_step(source: str):
     with _lock:
         lib = _libs.get(digest)
         if lib is None:
+            if should_inject("jit.cc.compile"):
+                raise JitError(
+                    "injected fault (site jit.cc.compile): C "
+                    "compilation reported as failed"
+                )
             so_path = os.path.join(_cache_dir(), f"step-{digest}.so")
             if not os.path.exists(so_path):
                 _build(source, cc, so_path)
+            if should_inject("jit.cc.load"):
+                raise JitError(
+                    f"injected fault (site jit.cc.load): refusing to "
+                    f"load {so_path}"
+                )
             try:
                 lib = ctypes.CDLL(so_path)
             except OSError as exc:

@@ -1,0 +1,117 @@
+"""Per-engine circuit breaker: stop hammering a backend that is down.
+
+Classic three-state breaker.  *Closed* passes calls through and counts
+consecutive failures; ``failure_threshold`` consecutive failures trip
+it *open*, where :meth:`CircuitBreaker.allow` refuses instantly (the
+caller moves on to the next engine in its fallback chain instead of
+paying a doomed call).  After ``reset_after_s`` the breaker admits a
+single *half-open* probe: success closes it again, failure re-opens it
+for another full window.
+
+Everything is lock-guarded and the clock is injectable, so tests step
+time instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["CircuitBreaker"]
+
+_CLOSED, _OPEN, _HALF_OPEN = "closed", "open", "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with timed half-open probes."""
+
+    def __init__(self, failure_threshold: int = 3,
+                 reset_after_s: float = 30.0,
+                 clock=time.monotonic) -> None:
+        if failure_threshold <= 0:
+            raise ValueError(
+                f"failure_threshold must be positive, got "
+                f"{failure_threshold}"
+            )
+        if reset_after_s < 0:
+            raise ValueError(
+                f"reset_after_s must be >= 0, got {reset_after_s}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_after_s = reset_after_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = _CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+        self.total_failures = 0
+        self.total_successes = 0
+        self.times_opened = 0
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half-open"`` (time-aware)."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        """Open -> half-open once the reset window has elapsed.
+
+        Caller holds the lock.
+        """
+        if self._state == _OPEN and self._opened_at is not None and \
+                self._clock() - self._opened_at >= self.reset_after_s:
+            self._state = _HALF_OPEN
+            self._probing = False
+
+    def allow(self) -> bool:
+        """Whether the caller may attempt a call right now.
+
+        In half-open state exactly one caller wins the probe slot;
+        concurrent callers are refused until the probe resolves.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == _CLOSED:
+                return True
+            if self._state == _HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.total_successes += 1
+            self._consecutive_failures = 0
+            self._state = _CLOSED
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.total_failures += 1
+            self._consecutive_failures += 1
+            tripped = (self._state == _HALF_OPEN
+                       or self._consecutive_failures
+                       >= self.failure_threshold)
+            if tripped and self._state != _OPEN:
+                self._state = _OPEN
+                self._opened_at = self._clock()
+                self.times_opened += 1
+            elif tripped:
+                self._opened_at = self._clock()  # extend the window
+            self._probing = False
+
+    def snapshot(self) -> dict:
+        """JSON-able state for service stats."""
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "total_failures": self.total_failures,
+                "total_successes": self.total_successes,
+                "times_opened": self.times_opened,
+            }

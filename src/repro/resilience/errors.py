@@ -1,0 +1,61 @@
+"""Typed failures of the resilience layer.
+
+The contract the chaos suite enforces is "bit-identical recovery or a
+typed error naming what failed — never a silent wrong score"; these
+are the typed errors.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ResilienceError", "SelfTestError", "FallbackExhaustedError",
+           "BulkRecoveryError"]
+
+
+class ResilienceError(RuntimeError):
+    """Base class for resilience-layer failures."""
+
+
+class SelfTestError(ResilienceError):
+    """An engine produced wrong scores on the known-answer self-test.
+
+    This is the one failure that must never be retried or fallen back
+    over silently: an engine that is *up but wrong* is worse than one
+    that is down.
+    """
+
+    def __init__(self, engine: str, expected, got) -> None:
+        super().__init__(
+            f"engine {engine!r} failed its known-answer self-test: "
+            f"expected {list(expected)}, got {list(got)}"
+        )
+        self.engine = engine
+        self.expected = tuple(int(v) for v in expected)
+        self.got = tuple(int(v) for v in got)
+
+
+class FallbackExhaustedError(ResilienceError):
+    """Every engine in a fallback chain refused or failed the batch.
+
+    ``attempts`` maps engine name -> the exception it raised (or the
+    string ``"breaker-open"`` when the breaker refused the call).
+    """
+
+    def __init__(self, message: str, attempts: dict) -> None:
+        super().__init__(message)
+        self.attempts = dict(attempts)
+
+
+class BulkRecoveryError(ResilienceError):
+    """A sharded bulk run lost pairs that recovery could not rescore.
+
+    ``pair_indices`` are the submission-order indices whose scores are
+    missing — exactly the pairs a caller may retry or must report as
+    unscored.  Nothing about the *other* pairs is in doubt: their
+    scores were computed normally.
+    """
+
+    def __init__(self, message: str, pair_indices,
+                 cause: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.pair_indices = tuple(int(i) for i in pair_indices)
+        self.cause = cause

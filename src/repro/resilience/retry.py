@@ -1,0 +1,104 @@
+"""Retry with exponential backoff, full jitter, and deadline awareness.
+
+The policy follows the standard "full jitter" scheme: attempt ``k``
+sleeps ``uniform(0, min(max_delay, base * 2**k))``, which decorrelates
+a thundering herd of retriers while keeping the expected backoff
+exponential.  Jitter draws come from a caller-supplied PRNG so tests
+(and seeded chaos runs) are deterministic.
+
+Deadline awareness is the serve-path requirement: a request carrying a
+dispatch deadline must *never* burn its remaining budget sleeping — a
+retry that cannot complete before the deadline is worthless, so
+:meth:`RetryPolicy.call` gives up (re-raising the last failure) rather
+than sleep past it.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "RetriesExhausted"]
+
+
+class RetriesExhausted(RuntimeError):
+    """Every attempt failed (or the deadline cut retrying short).
+
+    ``cause`` is the last underlying failure, ``attempts`` how many
+    calls were actually made.
+    """
+
+    def __init__(self, message: str, attempts: int,
+                 cause: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.cause = cause
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry, and how long to wait between tries.
+
+    ``max_retries`` counts *re*-tries: the total attempt budget is
+    ``1 + max_retries``.  ``max_retries=0`` means one attempt, no
+    retry — the policy degrades to a plain call.
+    """
+
+    max_retries: int = 2
+    base_delay_s: float = 0.02
+    max_delay_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        """Full-jitter delay before retry number ``attempt`` (0-based)."""
+        ceiling = min(self.max_delay_s,
+                      self.base_delay_s * (2.0 ** attempt))
+        return rng.uniform(0.0, ceiling)
+
+    def call(self, fn, *, retry_on=(Exception,),
+             deadline: float | None = None,
+             rng: random.Random | None = None,
+             on_retry=None, sleep=time.sleep):
+        """Run ``fn()`` under this policy; return its result.
+
+        ``retry_on`` names the exception types worth retrying —
+        anything else propagates immediately (a ``ValueError`` from
+        bad input will not magically pass on attempt two).
+        ``deadline`` is an absolute :func:`time.monotonic` timestamp:
+        no sleep is ever scheduled past it, and once it is in the past
+        the last failure is raised at once.  ``on_retry(attempt, exc,
+        delay_s)`` is the observability hook (stats counters, logs).
+        """
+        rng = rng if rng is not None else random.Random()
+        last: BaseException | None = None
+        for attempt in range(self.max_retries + 1):
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            try:
+                return fn()
+            except retry_on as exc:  # noqa: PERF203 - retry loop
+                last = exc
+                if attempt >= self.max_retries:
+                    break
+                delay = self.backoff_s(attempt, rng)
+                if deadline is not None and \
+                        time.monotonic() + delay >= deadline:
+                    break
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay)
+                if delay > 0:
+                    sleep(delay)
+        attempts = 0 if last is None else attempt + 1
+        raise RetriesExhausted(
+            f"gave up after {attempts} attempt(s)"
+            + (": deadline expired" if last is None
+               else f": {last!r}"),
+            attempts=attempts, cause=last) from last

@@ -21,7 +21,7 @@ import json
 import socket
 import sys
 
-from .errors import ServeError
+from .errors import ServeError, ServeProtocolError
 from .server import DEFAULT_PORT
 
 __all__ = ["ServeClient", "ClientError", "main"]
@@ -58,10 +58,29 @@ class ServeClient:
         self._fh.flush()
 
     def _recv(self) -> dict:
-        line = self._fh.readline()
+        try:
+            line = self._fh.readline()
+        except (ConnectionResetError, EOFError, OSError) as exc:
+            raise ServeProtocolError(
+                f"connection lost mid-response: {exc!r}", bytes_read=0,
+            ) from exc
         if not line:
+            # Clean EOF on a frame boundary: the server went away
+            # between responses, not mid-frame.
             raise ClientError("server closed the connection", "closed")
-        return json.loads(line)
+        if not line.endswith(b"\n"):
+            raise ServeProtocolError(
+                f"truncated response frame: connection closed after "
+                f"{len(line)} byte(s) of an unterminated line",
+                bytes_read=len(line),
+            )
+        try:
+            return json.loads(line)
+        except ValueError as exc:
+            raise ServeProtocolError(
+                f"undecodable response frame ({len(line)} bytes): {exc}",
+                bytes_read=len(line), bytes_expected=len(line),
+            ) from exc
 
     @staticmethod
     def _check(resp: dict) -> dict:
@@ -103,6 +122,10 @@ class ServeClient:
         in submission order; server-side errors surface as response
         dicts with ``ok: False`` (inspect ``error`` / ``kind``), not
         exceptions — one bad pair must not discard its neighbours.
+        Transport failures (connection reset, a frame truncated
+        mid-line) raise :class:`~repro.serve.errors.ServeProtocolError`
+        instead, carrying ``bytes_read``/``bytes_expected`` — the
+        typed signal that a reconnect-and-resend is in order.
         """
         pairs = list(pairs)
         scoring = {}

@@ -36,19 +36,23 @@ as the engine.
 from __future__ import annotations
 
 import queue as _stdqueue
+import random
 import threading
+import time
 
 import numpy as np
 
 from ..core.sw_bpbc import bpbc_sw_wavefront, bpbc_sw_wavefront_planes
+from ..resilience.errors import FallbackExhaustedError
+from ..resilience.retry import RetryPolicy
 from ..swa.numpy_batch import sw_batch_max_scores
 from .cache import ResultCache, cache_key
-from .errors import EngineFailedError
+from .errors import DeadlineExceededError, EngineFailedError
 from .packer import PackedBatch
 from .stats import ServiceStats
 
 __all__ = ["ENGINES", "SHARDABLE_ENGINES", "EnginePool", "ShardedEngine",
-           "resolve_engine"]
+           "ResilientEngine", "resolve_engine"]
 
 
 def _engine_bpbc(batch: PackedBatch, word_bits: int,
@@ -158,6 +162,31 @@ class ShardedEngine:
         self._executor.close()
 
 
+class ResilientEngine:
+    """Engine adapter scoring every batch through a fallback chain.
+
+    Satisfies the engine protocol ``(PackedBatch, word_bits) ->
+    scores`` but dispatches to an
+    :class:`~repro.resilience.fallback.EngineFallbackChain`: the batch
+    lands on the fastest engine whose circuit breaker admits traffic,
+    demoting native -> generated NumPy -> interpreted -> wordwise on
+    failure.  Select it with ``engine="resilient"`` on
+    :class:`EnginePool` / :class:`~repro.serve.service.AlignmentService`.
+    """
+
+    def __init__(self, chain=None, word_bits: int = 64) -> None:
+        if chain is None:
+            from ..resilience.fallback import EngineFallbackChain
+
+            chain = EngineFallbackChain(word_bits=word_bits)
+        self.chain = chain
+
+    def __call__(self, batch: PackedBatch, word_bits: int) -> np.ndarray:
+        scores, _engine = self.chain.score(batch.X, batch.Y,
+                                           batch.scheme, word_bits)
+        return scores
+
+
 class EnginePool:
     """N worker threads draining a bounded queue of packed batches.
 
@@ -165,6 +194,15 @@ class EnginePool:
     in a :class:`ShardedEngine`, so every batch is additionally spread
     across that many processes; the pool owns the wrapper and closes
     it in :meth:`stop`.
+
+    ``fallback`` attaches an
+    :class:`~repro.resilience.fallback.EngineFallbackChain` (pass
+    ``True`` to build the default chain) used to *rescue* batches the
+    primary engine fails: lanes whose deadline already expired are
+    failed with ``DeadlineExceededError``, the live lanes are rescored
+    on the chain under ``retry`` (deadline-aware, so a rescue never
+    sleeps past the earliest lane deadline), and only when the chain
+    itself is exhausted do the futures see ``EngineFailedError``.
     """
 
     def __init__(self, engine="bpbc", workers: int = 2,
@@ -172,13 +210,25 @@ class EnginePool:
                  cache: ResultCache | None = None,
                  stats: ServiceStats | None = None,
                  queue_depth: int | None = None,
-                 shard_workers: int | None = None) -> None:
+                 shard_workers: int | None = None,
+                 fallback=None,
+                 retry: RetryPolicy | None = None) -> None:
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
         if shard_workers is not None and shard_workers <= 0:
             raise ValueError(
                 f"shard_workers must be positive, got {shard_workers}"
             )
+        if fallback is True or (fallback is None and engine == "resilient"):
+            from ..resilience.fallback import EngineFallbackChain
+
+            fallback = EngineFallbackChain(word_bits=word_bits)
+        self.fallback_chain = fallback if fallback is not False else None
+        self._retry = retry if retry is not None \
+            else RetryPolicy(max_retries=1)
+        if engine == "resilient":
+            engine = ResilientEngine(self.fallback_chain,
+                                     word_bits=word_bits)
         self._owned_sharded: ShardedEngine | None = None
         if shard_workers is not None and shard_workers > 1:
             if (not isinstance(engine, str)
@@ -234,6 +284,9 @@ class EnginePool:
             try:
                 scores = self._engine(batch, self.word_bits)
             except Exception as exc:  # noqa: BLE001 - must not kill worker
+                if self.fallback_chain is not None:
+                    self._rescue(batch, exc)
+                    continue
                 err = EngineFailedError(
                     f"engine failed on {batch.pairs}-pair batch: {exc!r}"
                 )
@@ -244,12 +297,71 @@ class EnginePool:
                 continue
             if self._stats is not None:
                 self._stats.record_batch(batch.pairs, self.word_bits)
-            for req, score in zip(batch.requests, scores):
-                if self._cache is not None:
-                    self._cache.put(
-                        cache_key(req.query, req.subject, req.scheme),
-                        int(score),
-                    )
-                latency = req.resolve(int(score), cached=False)
+            self._deliver(batch.requests, scores)
+
+    def _deliver(self, requests, scores) -> None:
+        """Demultiplex scores onto futures; feed cache and stats."""
+        for req, score in zip(requests, scores):
+            if self._cache is not None:
+                self._cache.put(
+                    cache_key(req.query, req.subject, req.scheme),
+                    int(score),
+                )
+            latency = req.resolve(int(score), cached=False)
+            if self._stats is not None:
+                self._stats.record_completed(latency)
+
+    def _rescue(self, batch: PackedBatch, exc: BaseException) -> None:
+        """Re-dispatch a failed batch onto the fallback chain.
+
+        Expired lanes are failed immediately with a typed
+        ``DeadlineExceededError`` — retrying on their behalf would only
+        deliver an answer nobody is waiting for.  Live lanes are
+        rescored on the chain under the retry policy, bounded by the
+        earliest remaining lane deadline; scores recovered this way are
+        bit-identical to what the primary engine would have returned
+        (the chain engines are pinned identical by the fuzz suite), so
+        they feed the cache and futures exactly like a normal batch.
+        """
+        now = time.monotonic()
+        live: list[int] = []
+        for p, req in enumerate(batch.requests):
+            if req.expired(now):
+                req.fail(DeadlineExceededError(
+                    "deadline expired before the engine failure on this "
+                    f"batch could be retried ({exc!r})"
+                ))
                 if self._stats is not None:
-                    self._stats.record_completed(latency)
+                    self._stats.record_expired()
+            else:
+                live.append(p)
+        if not live:
+            return
+        idx = np.asarray(live)
+        known = [batch.requests[p].deadline for p in live
+                 if batch.requests[p].deadline is not None]
+        deadline = min(known) if known else None
+        try:
+            scores, engine = self._retry.call(
+                lambda: self.fallback_chain.score(
+                    batch.X[idx], batch.Y[idx], batch.scheme,
+                    self.word_bits),
+                retry_on=(FallbackExhaustedError,),
+                deadline=deadline,
+                rng=random.Random(batch.pairs),
+            )
+        except Exception as rexc:  # noqa: BLE001 - RetriesExhausted etc.
+            err = EngineFailedError(
+                f"engine failed on {batch.pairs}-pair batch ({exc!r}) "
+                f"and the fallback chain could not rescue the "
+                f"{len(live)} live lane(s): {rexc!r}"
+            )
+            for p in live:
+                batch.requests[p].fail(err)
+            if self._stats is not None:
+                self._stats.record_failed(len(live))
+            return
+        if self._stats is not None:
+            self._stats.record_batch(len(live), self.word_bits)
+            self._stats.record_recovered(len(live), engine)
+        self._deliver([batch.requests[p] for p in live], scores)

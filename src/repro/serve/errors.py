@@ -13,6 +13,7 @@ __all__ = [
     "DeadlineExceededError",
     "ServiceStoppedError",
     "EngineFailedError",
+    "ServeProtocolError",
     "error_kind",
 ]
 
@@ -37,12 +38,44 @@ class EngineFailedError(ServeError):
     """The backend engine raised while scoring a batch."""
 
 
+class ServeProtocolError(ServeError):
+    """The wire conversation broke mid-frame (transport fault).
+
+    Raised client-side when a response frame is truncated, undecodable,
+    or the connection is reset while reading — as opposed to a
+    well-formed *application* error response (``ok: false``), which
+    surfaces as ``ClientError``.  Retry logic keys on this distinction:
+    a protocol error means the transport failed and a reconnect-and-
+    resend is safe reasoning, while an application error would fail
+    identically on retry.
+
+    Attributes
+    ----------
+    bytes_read:
+        Bytes of the broken frame actually received.
+    bytes_expected:
+        Total frame size when knowable, else ``None`` (the
+        newline-delimited protocol does not announce lengths, so a
+        truncated frame only proves "more than ``bytes_read``").
+    """
+
+    kind = "protocol"
+
+    def __init__(self, message: str, bytes_read: int = 0,
+                 bytes_expected: int | None = None) -> None:
+        super().__init__(message)
+        self.bytes_read = int(bytes_read)
+        self.bytes_expected = (None if bytes_expected is None
+                               else int(bytes_expected))
+
+
 #: Exception class -> stable protocol ``kind`` string.
 _KINDS = {
     QueueFullError: "queue_full",
     DeadlineExceededError: "deadline",
     ServiceStoppedError: "stopped",
     EngineFailedError: "engine",
+    ServeProtocolError: "protocol",
 }
 
 

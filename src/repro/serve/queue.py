@@ -91,20 +91,34 @@ class AlignmentRequest:
         return (time.monotonic() if now is None else now) >= self.deadline
 
     def resolve(self, score: int, cached: bool = False) -> float:
-        """Fulfil the future; returns the latency in seconds."""
+        """Fulfil the future; returns the latency in seconds.
+
+        A no-op when the future already has an outcome (cancelled by
+        the caller, or failed at deadline expiry) — a late engine
+        delivery must never crash the worker thread that carries it.
+        """
         latency = time.monotonic() - self.enqueued_at
         passed = None if self.threshold is None else score > self.threshold
         result = AlignmentResult(score=int(score), passed=passed,
                                  cached=cached, wait_ms=latency * 1e3)
-        if not self.future.set_running_or_notify_cancel():
-            return latency  # caller cancelled; nothing to deliver
+        try:
+            if not self.future.set_running_or_notify_cancel():
+                return latency  # caller cancelled; nothing to deliver
+        except RuntimeError:
+            return latency  # already resolved (e.g. expired earlier)
         self.future.set_result(result)
         return latency
 
     def fail(self, exc: BaseException) -> None:
-        """Resolve the future with an error (never leaves it hanging)."""
-        if self.future.set_running_or_notify_cancel():
-            self.future.set_exception(exc)
+        """Resolve the future with an error (never leaves it hanging).
+
+        Like :meth:`resolve`, silently yields to an outcome that is
+        already set."""
+        try:
+            if self.future.set_running_or_notify_cancel():
+                self.future.set_exception(exc)
+        except RuntimeError:
+            pass
 
 
 class RequestQueue:

@@ -24,11 +24,13 @@ one pair at a time.
 from __future__ import annotations
 
 import json
+import socket
 import socketserver
 import threading
 from concurrent.futures import Future
 from queue import Queue
 
+from ..resilience.faults import should_inject
 from ..swa.scoring import DEFAULT_SCHEME, ScoringScheme
 from .errors import error_kind
 from .service import AlignmentService
@@ -109,6 +111,18 @@ class _Handler(socketserver.StreamRequestHandler):
                     "kind": error_kind(exc)}
         return (rid, future)
 
+    def _drop_connection(self) -> None:
+        """Kill this connection (fault injection): shutting the socket
+        down wakes the reader thread out of its blocking read too."""
+        try:
+            self.connection.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.connection.close()
+        except OSError:
+            pass
+
     def _write_loop(self, out: Queue) -> None:
         """Emit responses in submission order as futures resolve."""
         while True:
@@ -118,8 +132,23 @@ class _Handler(socketserver.StreamRequestHandler):
             if isinstance(item, tuple):
                 rid, future = item
                 item = self._await(rid, future)
+            data = json.dumps(item).encode() + b"\n"
+            if should_inject("serve.sock.truncate"):
+                # Half a frame, no terminator, then a dead socket —
+                # the client must see a typed protocol error, never a
+                # parsed half-response.
+                try:
+                    self.wfile.write(data[:max(1, len(data) // 2)])
+                    self.wfile.flush()
+                except OSError:
+                    pass
+                self._drop_connection()
+                return
+            if should_inject("serve.sock.drop"):
+                self._drop_connection()
+                return
             try:
-                self.wfile.write(json.dumps(item).encode() + b"\n")
+                self.wfile.write(data)
                 self.wfile.flush()
             except OSError:
                 return  # client went away; drain silently

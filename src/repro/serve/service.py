@@ -30,6 +30,7 @@ from concurrent.futures import Future
 import numpy as np
 
 from ..core.encoding import encode
+from ..resilience.retry import RetryPolicy
 from ..swa.scoring import DEFAULT_SCHEME, ScoringScheme
 from .cache import ResultCache, cache_key
 from .engine_pool import EnginePool
@@ -86,6 +87,19 @@ class AlignmentService:
         :class:`~repro.serve.engine_pool.ShardedEngine` (``bpbc`` /
         ``numpy`` engines only); per-shard timings surface in
         ``stats.snapshot()``.
+    resilience:
+        ``True`` (or a ready-made
+        :class:`~repro.resilience.fallback.EngineFallbackChain`)
+        attaches a fallback chain to the engine pool: a batch the
+        primary engine fails is rescored on the chain instead of
+        failing its futures, expired lanes get a typed deadline error,
+        and per-engine circuit-breaker state appears in
+        ``stats.snapshot()["resilience"]``.  Implied by
+        ``engine="resilient"`` (which also *scores* every batch
+        through the chain).
+    max_retries:
+        Rescue retry budget (re-tries after the first rescue attempt);
+        only meaningful with ``resilience``.
     """
 
     def __init__(self, engine="bpbc", workers: int = 2,
@@ -94,7 +108,9 @@ class AlignmentService:
                  max_wait_ms: float = 2.0,
                  bin_granularity: int = 1,
                  cache_size: int = 4096,
-                 shard_workers: int | None = None) -> None:
+                 shard_workers: int | None = None,
+                 resilience=False,
+                 max_retries: int = 1) -> None:
         if max_wait_ms < 0:
             raise ValueError(
                 f"max_wait_ms must be >= 0, got {max_wait_ms}"
@@ -114,10 +130,29 @@ class AlignmentService:
             on_expired=lambda req: self.stats.record_expired(),
         )
         self.stats.set_queue_gauge(lambda: self.queue.depth)
+        fallback = None
+        if resilience or engine == "resilient":
+            from ..resilience.fallback import EngineFallbackChain
+
+            fallback = resilience if isinstance(
+                resilience, EngineFallbackChain) \
+                else EngineFallbackChain(word_bits=word_bits)
         self.pool = EnginePool(engine=engine, workers=workers,
                                word_bits=word_bits, cache=self.cache,
                                stats=self.stats,
-                               shard_workers=shard_workers)
+                               shard_workers=shard_workers,
+                               fallback=fallback,
+                               retry=RetryPolicy(max_retries=max_retries))
+        #: The attached fallback chain (``None`` without resilience).
+        self.fallback_chain = self.pool.fallback_chain
+        if self.fallback_chain is not None:
+            chain = self.fallback_chain
+            self.stats.set_resilience_gauge(lambda: {
+                "active_engine": chain.active_engine,
+                "breakers": chain.states(),
+                "chain_scored_batches": chain.scored_batches,
+                "chain_fallback_batches": chain.fallback_batches,
+            })
         self._stop = threading.Event()
         self._packer: threading.Thread | None = None
 

@@ -37,9 +37,12 @@ class ServiceStats:
         self.lane_slots = 0
         self.shards = 0
         self.shard_pairs = 0
+        self.recovered = 0
+        self.recovered_by_engine: dict[str, int] = {}
         self._latencies: deque[float] = deque(maxlen=latency_window)
         self._shard_times: deque[float] = deque(maxlen=latency_window)
         self._queue_gauge = None
+        self._resilience_gauge = None
 
     # -- recording hooks ------------------------------------------------
     def record_submitted(self) -> None:
@@ -84,9 +87,24 @@ class ServiceStats:
             self.shard_pairs += pairs
             self._shard_times.append(elapsed_s)
 
+    def record_recovered(self, count: int, engine: str) -> None:
+        """Account requests rescued on the fallback chain after their
+        primary engine failed (``engine`` names the chain engine that
+        produced the recovered scores)."""
+        with self._lock:
+            self.recovered += count
+            self.recovered_by_engine[engine] = \
+                self.recovered_by_engine.get(engine, 0) + count
+
     def set_queue_gauge(self, fn) -> None:
         """Register a zero-arg callable reporting current queue depth."""
         self._queue_gauge = fn
+
+    def set_resilience_gauge(self, fn) -> None:
+        """Register a zero-arg callable reporting fallback-chain state
+        (per-engine breaker snapshots etc.); its dict is merged into
+        :meth:`snapshot` under the ``"resilience"`` key."""
+        self._resilience_gauge = fn
 
     # -- derived --------------------------------------------------------
     @property
@@ -138,6 +156,8 @@ class ServiceStats:
                 "lane_slots": self.lane_slots,
                 "shards": self.shards,
                 "shard_pairs": self.shard_pairs,
+                "requests_recovered": self.recovered,
+                "recovered_by_engine": dict(self.recovered_by_engine),
             }
         snap["mean_lane_occupancy"] = round(self.mean_lane_occupancy, 4)
         snap["queue_depth"] = self.queue_depth
@@ -145,6 +165,9 @@ class ServiceStats:
         snap["latency_p99_ms"] = round(p99, 3)
         snap["shard_p50_ms"] = round(sp50, 3)
         snap["shard_p99_ms"] = round(sp99, 3)
+        gauge = self._resilience_gauge
+        if gauge is not None:
+            snap["resilience"] = gauge()
         return snap
 
     def render(self) -> str:

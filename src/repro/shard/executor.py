@@ -15,7 +15,11 @@ Failure model: a worker crash, timeout, or engine exception fails
 failure surfaces as a :class:`~repro.shard.errors.ShardError` carrying
 the shard's original pair indices so the caller can retry or skip
 exactly those pairs.  Detection of a silently dead worker needs a
-finite ``timeout_s`` (a lost task never resolves on its own).
+finite ``timeout_s`` (a lost task never resolves on its own); after
+any timeout the executor terminates and respawns the whole pool, so
+the *next* run starts at full width instead of inheriting dead or
+wedged workers.  The in-process recovery of those lost pairs lives one
+layer up, in :mod:`repro.resilience.recovery`.
 
 Degradation: ``workers=1``, a platform without a usable
 ``multiprocessing`` start method, or a pool that fails to spawn all
@@ -32,6 +36,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..resilience import faults as _faults
 from ..swa.scoring import DEFAULT_SCHEME, ScoringScheme
 from .errors import ShardError
 from .partition import pair_costs, partition_lpt
@@ -176,17 +181,48 @@ class ShardExecutor:
         self.max_shard_pairs = max_shard_pairs
         self.bin_granularity = bin_granularity
         self._engine_fn = resolve_shard_engine(engine)  # fail fast
-        self._pool = None
-        if workers > 1:
-            ctx = _make_context(start_method)
-            if ctx is not None:
-                try:
-                    self._pool = ctx.Pool(
-                        workers, initializer=init_worker,
-                        initargs=(engine, word_bits, bin_granularity))
-                except (OSError, ValueError):
-                    self._pool = None  # degrade to in-process
+        self._engine_spec = engine
+        self._requested_workers = workers
+        self._ctx = _make_context(start_method) if workers > 1 else None
+        self.rebuilds = 0
+        self._pool = self._spawn_pool()
         self.workers = workers if self._pool is not None else 1
+
+    def _spawn_pool(self):
+        """Build a worker pool, or ``None`` to degrade in-process.
+
+        The parent's active :class:`~repro.resilience.faults.FaultPlan`
+        (if any) ships through the initializer so injection sites fire
+        inside workers under any start method.
+        """
+        if self._requested_workers <= 1 or self._ctx is None:
+            return None
+        try:
+            return self._ctx.Pool(
+                self._requested_workers, initializer=init_worker,
+                initargs=(self._engine_spec, self.word_bits,
+                          self.bin_granularity, _faults.active_plan()))
+        except (OSError, ValueError):
+            return None  # degrade to in-process
+
+    def _rebuild_pool(self) -> None:
+        """Replace the pool after a lost/hung worker was detected.
+
+        A worker that died silently leaves ``multiprocessing.Pool`` in
+        a degraded state (its task never resolves, and a *hung* worker
+        permanently occupies a slot), so after any timeout failure the
+        whole pool is terminated and respawned — the next :meth:`run`
+        starts at full width again.  If the respawn fails, the
+        executor degrades to in-process execution instead of limping.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+        self._pool = self._spawn_pool()
+        self.rebuilds += 1
+        self.workers = (self._requested_workers
+                        if self._pool is not None else 1)
 
     @property
     def in_process(self) -> bool:
@@ -278,6 +314,7 @@ class ShardExecutor:
                 self._pool.apply_async(run_shard, (payload, scheme))
                 for payload in payloads
             ]
+            timed_out = False
             for payload, idx, handle in zip(payloads, plan, handles):
                 try:
                     remaining = (None if deadline is None else
@@ -286,6 +323,7 @@ class ShardExecutor:
                     settle(sid, np.frombuffer(score_bytes,
                                               dtype=np.int64), elapsed)
                 except multiprocessing.TimeoutError:
+                    timed_out = True
                     failures.append(ShardError(
                         f"shard {payload.shard_id} missed the "
                         f"{self.timeout_s}s deadline (worker dead, "
@@ -296,6 +334,11 @@ class ShardExecutor:
                     failures.append(ShardError(
                         f"shard {payload.shard_id} failed in worker: "
                         f"{exc!r}", payload.shard_id, idx, cause=exc))
+            if timed_out:
+                # A missed deadline means a dead or wedged worker; the
+                # abandoned task (and any hung worker) would degrade
+                # every later run, so replace the pool wholesale.
+                self._rebuild_pool()
         failures.sort(key=lambda e: e.shard_id)
         if failures and errors == "raise":
             raise failures[0]

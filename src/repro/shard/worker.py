@@ -19,6 +19,7 @@ numerically *identical*, call for call, to the single-process engine.
 
 from __future__ import annotations
 
+import os
 import signal
 import time
 from dataclasses import dataclass
@@ -29,6 +30,7 @@ from ..core.encoding import (QUERY_PAD, SUBJECT_PAD,
                              encode_batch_bit_transposed,
                              encode_batch_char_planes)
 from ..core.sw_bpbc import bpbc_sw_wavefront, bpbc_sw_wavefront_planes
+from ..resilience.faults import FaultPlan, fault_point
 from ..swa.numpy_batch import sw_batch_max_scores
 from ..swa.scoring import ScoringScheme
 
@@ -184,19 +186,48 @@ _ENGINE = None
 _WORD_BITS = 64
 _BIN_GRANULARITY = 16
 
+#: How long the injected ``shard.worker.hang`` site sleeps — far past
+#: any test/run timeout, short enough that a terminated pool reaps it.
+_HANG_S = 60.0
+#: Injected ``shard.worker.slow`` delay: results stay correct, but a
+#: tight run deadline trips.
+_SLOW_S = 0.05
 
-def init_worker(engine, word_bits: int, bin_granularity: int) -> None:
+
+def _injected_crash() -> None:  # pragma: no cover - kills the process
+    # A hard worker death: no exception, no cleanup, no result.  The
+    # parent's only signal is the shard's task never resolving.
+    os._exit(23)
+
+
+def _injected_hang() -> None:
+    time.sleep(_HANG_S)
+
+
+def _injected_slow() -> None:
+    time.sleep(_SLOW_S)
+
+
+def init_worker(engine, word_bits: int, bin_granularity: int,
+                fault_plan: FaultPlan | None = None) -> None:
     """Pool initializer: construct this process's engine once.
 
     Also ignores SIGINT: a Ctrl-C lands on the whole foreground
     process group, and shutdown is the parent's job (it terminates
     the pool) — workers reacting too would just spray tracebacks.
+
+    ``fault_plan`` is the parent's active :class:`FaultPlan` at pool
+    construction, shipped explicitly so injection crosses the process
+    boundary under *any* start method (``fork`` would inherit it,
+    ``spawn`` would not).
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     global _ENGINE, _WORD_BITS, _BIN_GRANULARITY
     _ENGINE = resolve_shard_engine(engine)
     _WORD_BITS = word_bits
     _BIN_GRANULARITY = bin_granularity
+    if fault_plan is not None:
+        fault_plan.install()
 
 
 def run_shard(payload: ShardPayload,
@@ -206,6 +237,10 @@ def run_shard(payload: ShardPayload,
     Returns ``(shard_id, int64 score bytes, elapsed_s)`` — flat data
     only, so the result pickles as cheaply as the payload did.
     """
+    fault_point("shard.worker.crash", action=_injected_crash)
+    fault_point("shard.worker.hang", action=_injected_hang)
+    fault_point("shard.worker.slow", action=_injected_slow)
+    fault_point("shard.worker.error")
     shard_id, scores, elapsed = score_shard(
         payload, scheme, _ENGINE, _WORD_BITS, _BIN_GRANULARITY)
     return shard_id, scores.tobytes(), elapsed

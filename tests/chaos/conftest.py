@@ -1,0 +1,57 @@
+"""Chaos-suite fixtures: rotating seed, plan-leak guard, CI artifact.
+
+The suite runs under a *rotating* seed in CI (``REPRO_CHAOS_SEED`` is
+set to the run id), so every nightly explores a different deterministic
+failure schedule.  Every assertion in the suite is therefore written to
+hold for *any* seed: permanent faults and ``times=1, probability=1``
+rules fire on a fixed call count regardless of seed, and
+probability-based determinism is asserted by comparing two plans with
+the *same* seed rather than against a golden schedule.
+
+When a run does fail, reproducing it needs exactly one number — the
+seed — so ``pytest_configure`` writes it (plus the failing plan format)
+to ``REPRO_CHAOS_ARTIFACT`` when that variable is set; the CI workflow
+uploads the file as a build artifact on failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.resilience import faults
+
+#: Default pins local runs; CI rotates via REPRO_CHAOS_SEED.
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "20170829"))
+
+
+def pytest_configure(config) -> None:
+    artifact = os.environ.get("REPRO_CHAOS_ARTIFACT")
+    if artifact:
+        with open(artifact, "w", encoding="utf-8") as fh:
+            json.dump({
+                "seed": CHAOS_SEED,
+                "reproduce": "REPRO_CHAOS_SEED={} python -m pytest "
+                             "tests/chaos/".format(CHAOS_SEED),
+            }, fh, indent=2)
+
+
+@pytest.fixture
+def chaos_seed() -> int:
+    """This run's fault-plan seed (rotates in CI)."""
+    return CHAOS_SEED
+
+
+@pytest.fixture(autouse=True)
+def _no_plan_leak():
+    """No test may leak an installed FaultPlan into its neighbours."""
+    faults.deactivate()
+    yield
+    leaked = faults.active_plan()
+    faults.deactivate()
+    assert leaked is None, (
+        "a FaultPlan leaked out of a chaos test; activate plans with "
+        "'with plan:' so they always deactivate"
+    )

@@ -1,0 +1,194 @@
+"""RetryPolicy (full-jitter backoff, deadline-aware) and CircuitBreaker.
+
+Both are tested with injected clocks/PRNGs — no wall-clock sleeps, so
+the tests are exact and instant.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.retry import RetriesExhausted, RetryPolicy
+
+
+class _Clock:
+    """A hand-cranked monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestRetryPolicy:
+    def test_backoff_is_full_jitter_and_deterministic(self, chaos_seed):
+        policy = RetryPolicy(max_retries=5, base_delay_s=0.1,
+                             max_delay_s=1.0)
+        a = [policy.backoff_s(k, random.Random(chaos_seed))
+             for k in range(5)]
+        b = [policy.backoff_s(k, random.Random(chaos_seed))
+             for k in range(5)]
+        assert a == b  # same rng -> same jitter
+        for k, delay in enumerate(a):
+            assert 0.0 <= delay <= min(1.0, 0.1 * 2 ** k)
+
+    def test_succeeds_after_transient_failures(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        policy = RetryPolicy(max_retries=3, base_delay_s=0.0)
+        assert policy.call(flaky, rng=random.Random(0)) == "ok"
+        assert len(calls) == 3
+
+    def test_exhaustion_reports_attempts_and_cause(self):
+        boom = ValueError("always")
+        policy = RetryPolicy(max_retries=2, base_delay_s=0.0)
+        with pytest.raises(RetriesExhausted) as excinfo:
+            policy.call(lambda: (_ for _ in ()).throw(boom),
+                        retry_on=(ValueError,), rng=random.Random(0))
+        assert excinfo.value.attempts == 3  # 1 try + 2 retries
+        assert excinfo.value.cause is boom
+
+    def test_non_retryable_exception_propagates_immediately(self):
+        calls = []
+
+        def bad_input():
+            calls.append(1)
+            raise TypeError("not transient")
+
+        policy = RetryPolicy(max_retries=5, base_delay_s=0.0)
+        with pytest.raises(TypeError):
+            policy.call(bad_input, retry_on=(OSError,))
+        assert len(calls) == 1
+
+    def test_never_sleeps_past_deadline(self, monkeypatch):
+        # The serve-path contract: with ~50 ms to the deadline and
+        # ~1 s backoff delays, the policy must give up rather than
+        # schedule a sleep that overshoots.
+        import repro.resilience.retry as retry_mod
+
+        clock = _Clock()
+        monkeypatch.setattr(retry_mod.time, "monotonic", clock)
+        slept: list[float] = []
+
+        def sleep(s: float) -> None:
+            slept.append(s)
+            clock.now += s
+
+        policy = RetryPolicy(max_retries=10, base_delay_s=1.0,
+                             max_delay_s=1.0)
+        deadline = clock.now + 0.05
+        with pytest.raises(RetriesExhausted):
+            policy.call(lambda: (_ for _ in ()).throw(OSError("x")),
+                        retry_on=(OSError,), deadline=deadline,
+                        rng=random.Random(7), sleep=sleep)
+        assert clock.now <= deadline  # never slept past it
+
+    def test_expired_deadline_fails_without_calling(self, monkeypatch):
+        import repro.resilience.retry as retry_mod
+
+        clock = _Clock()
+        monkeypatch.setattr(retry_mod.time, "monotonic", clock)
+        calls = []
+        policy = RetryPolicy(max_retries=3)
+        with pytest.raises(RetriesExhausted) as excinfo:
+            policy.call(lambda: calls.append(1),
+                        deadline=clock.now - 1.0)
+        assert calls == []
+        assert excinfo.value.attempts == 0
+
+    def test_on_retry_hook_observes_each_retry(self):
+        seen = []
+        policy = RetryPolicy(max_retries=2, base_delay_s=0.0)
+        with pytest.raises(RetriesExhausted):
+            policy.call(lambda: (_ for _ in ()).throw(OSError("x")),
+                        retry_on=(OSError,), rng=random.Random(0),
+                        on_retry=lambda k, exc, d: seen.append(k))
+        assert seen == [0, 1]
+
+    def test_zero_retries_is_a_plain_call(self):
+        policy = RetryPolicy(max_retries=0)
+        with pytest.raises(RetriesExhausted) as excinfo:
+            policy.call(lambda: (_ for _ in ()).throw(OSError("x")),
+                        retry_on=(OSError,))
+        assert excinfo.value.attempts == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-0.1)
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kwargs):
+        clock = _Clock()
+        kwargs.setdefault("failure_threshold", 3)
+        kwargs.setdefault("reset_after_s", 30.0)
+        return CircuitBreaker(clock=clock, **kwargs), clock
+
+    def test_opens_after_consecutive_failures(self):
+        br, _ = self._breaker()
+        for _ in range(2):
+            br.record_failure()
+        assert br.state == "closed" and br.allow()
+        br.record_failure()
+        assert br.state == "open" and not br.allow()
+
+    def test_success_resets_the_failure_run(self):
+        br, _ = self._breaker()
+        br.record_failure()
+        br.record_failure()
+        br.record_success()  # run broken: counter restarts
+        br.record_failure()
+        br.record_failure()
+        assert br.state == "closed"
+
+    def test_half_open_probe_after_reset_window(self):
+        br, clock = self._breaker()
+        for _ in range(3):
+            br.record_failure()
+        assert not br.allow()
+        clock.now += 30.0
+        assert br.state == "half-open"
+        assert br.allow()        # exactly one probe slot
+        assert not br.allow()    # second caller still shed
+        br.record_success()
+        assert br.state == "closed" and br.allow()
+
+    def test_half_open_failure_reopens(self):
+        br, clock = self._breaker()
+        for _ in range(3):
+            br.record_failure()
+        clock.now += 30.0
+        assert br.allow()
+        br.record_failure()
+        assert br.state == "open" and not br.allow()
+        # ... and the reset window starts over.
+        clock.now += 30.0
+        assert br.allow()
+
+    def test_snapshot_is_json_able(self):
+        import json
+
+        br, _ = self._breaker()
+        br.record_failure()
+        snap = br.snapshot()
+        assert snap["state"] == "closed"
+        assert snap["consecutive_failures"] == 1
+        json.dumps(snap)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_after_s=-1.0)

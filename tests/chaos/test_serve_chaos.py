@@ -1,0 +1,104 @@
+"""Wire-level chaos: a live server + client under socket faults.
+
+The site sweep proves each serve fault surfaces as a typed client
+error; these tests drive the *recovery* story over real sockets — a
+client that reconnects after a mid-pipeline connection loss gets
+scores bit-identical to a fault-free run, and responses delivered
+before the fault are already correct.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.encoding import decode
+from repro.resilience.faults import FaultPlan
+from repro.serve import AlignmentServer, AlignmentService
+from repro.serve.client import ClientError, ServeClient
+from repro.serve.errors import ServeProtocolError
+from repro.workloads.dna import random_strand
+
+PAIRS = 6
+
+
+@pytest.fixture
+def served():
+    service = AlignmentService(workers=2, max_wait_ms=1.0)
+    try:
+        service.start()
+        server = AlignmentServer(service, host="127.0.0.1", port=0)
+    except OSError as exc:  # pragma: no cover - sandboxed environments
+        service.stop()
+        pytest.skip(f"cannot bind localhost sockets here: {exc}")
+    with server:
+        yield server.address
+    service.stop()
+
+
+@pytest.fixture
+def pairs(rng):
+    return [(decode(random_strand(rng, 20)),
+             decode(random_strand(rng, 24))) for _ in range(PAIRS)]
+
+
+def _scores(host, port, pairs):
+    with ServeClient(host, port) as client:
+        return [r["score"] for r in client.align_many(pairs)]
+
+
+class TestReconnectRecovery:
+    def test_truncated_pipeline_recovers_on_reconnect(self, served,
+                                                      pairs):
+        host, port = served
+        baseline = _scores(host, port, pairs)  # fault-free reference
+        with FaultPlan.single("serve.sock.truncate", times=1):
+            client = ServeClient(host, port)
+            with pytest.raises(ServeProtocolError) as excinfo:
+                client.align_many(pairs)
+            assert excinfo.value.bytes_read > 0  # typed, mid-frame
+            # The connection is gone; the recovery move is a fresh
+            # connection and a full resend — bit-identical scores.
+            assert _scores(host, port, pairs) == baseline
+
+    def test_dropped_connection_recovers_on_reconnect(self, served,
+                                                      pairs):
+        host, port = served
+        baseline = _scores(host, port, pairs)
+        with FaultPlan.single("serve.sock.drop", times=1):
+            client = ServeClient(host, port)
+            with pytest.raises(ClientError) as excinfo:
+                client.align_many(pairs)
+            assert excinfo.value.kind == "closed"
+            assert _scores(host, port, pairs) == baseline
+
+    def test_server_survives_faulted_connections(self, served, pairs):
+        # Neither fault may take down the *server*: after both, a new
+        # client still gets service on the same listener.
+        host, port = served
+        for site in ("serve.sock.drop", "serve.sock.truncate"):
+            with FaultPlan.single(site, times=1):
+                with pytest.raises((ClientError, ServeProtocolError)):
+                    ServeClient(host, port).align_many(pairs)
+        with ServeClient(host, port) as client:
+            assert client.ping()
+
+
+class TestPartialDelivery:
+    def test_responses_before_the_fault_are_correct(self, served,
+                                                    pairs):
+        """``after=2`` lets two response frames through before the
+        drop: both must already be correct — a wire fault never
+        retroactively corrupts delivered results."""
+        host, port = served
+        baseline = _scores(host, port, pairs)
+        with FaultPlan.single("serve.sock.drop", after=2):
+            client = ServeClient(host, port)
+            for q, s in pairs:
+                client._send({"op": "align", "query": q, "subject": s})
+            client._flush()
+            got = []
+            with pytest.raises(ClientError) as excinfo:
+                for _ in pairs:
+                    got.append(client._check(client._recv())["score"])
+        assert excinfo.value.kind == "closed"
+        assert got == baseline[:2]

@@ -1,0 +1,254 @@
+"""One chaos scenario per registered fault site — no site untested.
+
+``SCENARIOS`` maps every name in :data:`repro.resilience.faults.SITES`
+to a scenario asserting the suite-wide contract: under the injected
+fault the caller gets either results bit-identical to a fault-free
+run, or a *typed* error naming what failed — never a silent wrong
+score.  A completeness test pins ``set(SCENARIOS) == set(SITES)`` so
+adding a site without a chaos scenario fails CI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.resilience.errors import (BulkRecoveryError,
+                                     FallbackExhaustedError)
+from repro.resilience.faults import SITES, FaultPlan, InjectedFault
+from repro.resilience.fallback import EngineFallbackChain
+from repro.resilience.recovery import shard_scores_with_recovery
+from repro.swa.numpy_batch import sw_batch_max_scores
+from repro.swa.scoring import DEFAULT_SCHEME
+
+
+def _batch(rng, pairs=8, m=16, n=16):
+    X = rng.integers(0, 4, size=(pairs, m)).astype(np.uint8)
+    Y = rng.integers(0, 4, size=(pairs, n)).astype(np.uint8)
+    return X, Y
+
+
+# -- shard.worker.* ----------------------------------------------------
+
+def _pool_or_skip():
+    from repro.shard.executor import ShardExecutor
+
+    with ShardExecutor(workers=2) as ex:
+        if ex.in_process:
+            pytest.skip("requires a multiprocessing pool")
+
+
+def _shard_recovers(rng, site, *, times=None, timeout_s=None):
+    """Fault a pool worker; the recovered scores must be bit-identical
+    to the fault-free reference (recovery rescored lost shards on the
+    in-process fallback chain)."""
+    _pool_or_skip()
+    X, Y = _batch(rng, pairs=8)
+    expected = sw_batch_max_scores(X, Y, DEFAULT_SCHEME)
+    with FaultPlan.single(site, times=times):
+        got = shard_scores_with_recovery(X, Y, workers=2,
+                                         max_shard_pairs=4,
+                                         timeout_s=timeout_s)
+    assert np.array_equal(got, expected)
+
+
+def _scenario_worker_crash(rng, seed):
+    _shard_recovers(rng, "shard.worker.crash", times=1, timeout_s=3.0)
+
+
+def _scenario_worker_hang(rng, seed):
+    _shard_recovers(rng, "shard.worker.hang", times=1, timeout_s=1.0)
+
+
+def _scenario_worker_error(rng, seed):
+    # Permanent: every shard raises in-worker, all pairs recovered.
+    _shard_recovers(rng, "shard.worker.error", timeout_s=10.0)
+
+
+def _scenario_worker_slow(rng, seed):
+    # Slowdown must never change scores; with a generous deadline the
+    # run completes normally and needs no recovery at all.
+    _shard_recovers(rng, "shard.worker.slow", timeout_s=30.0)
+
+
+# -- serve.sock.* ------------------------------------------------------
+
+def _served():
+    from repro.serve import AlignmentServer, AlignmentService
+
+    service = AlignmentService(workers=1, max_wait_ms=1.0)
+    try:
+        service.start()
+        server = AlignmentServer(service, host="127.0.0.1", port=0)
+    except OSError as exc:  # pragma: no cover - sandboxed environments
+        service.stop()
+        pytest.skip(f"cannot bind localhost sockets here: {exc}")
+    return service, server
+
+
+def _scenario_sock_drop(rng, seed):
+    from repro.serve.client import ClientError, ServeClient
+
+    service, server = _served()
+    with server:
+        host, port = server.address
+        with FaultPlan.single("serve.sock.drop"):
+            with ServeClient(host, port) as client:
+                with pytest.raises(ClientError) as excinfo:
+                    client.align("ACGTACGT", "ACGTACGT")
+    service.stop()
+    # A dropped connection is a clean EOF on a frame boundary — the
+    # client reports the typed "closed" kind, never a partial score.
+    assert excinfo.value.kind == "closed"
+
+
+def _scenario_sock_truncate(rng, seed):
+    from repro.serve.client import ServeClient
+    from repro.serve.errors import ServeProtocolError
+
+    service, server = _served()
+    with server:
+        host, port = server.address
+        with FaultPlan.single("serve.sock.truncate"):
+            with ServeClient(host, port) as client:
+                with pytest.raises(ServeProtocolError) as excinfo:
+                    client.align("ACGTACGT", "ACGTACGT")
+    service.stop()
+    # Half a frame arrived: the error names how many bytes did.
+    assert excinfo.value.bytes_read > 0
+
+
+# -- jit.cc.* ----------------------------------------------------------
+
+def _jit_fault(site):
+    from repro.jit import JitError, cc_available
+    from repro.jit import cbackend, cells
+
+    if not cc_available():
+        pytest.skip("no C compiler on this machine")
+    args = (4, 1, 2, 1, 2, 64)
+    # Both dispatch caches would satisfy the call before the injection
+    # site is reached; clear them (and clear again afterwards so the
+    # faulted lowering never leaks into other tests).
+    cells._step_cached.cache_clear()
+    cbackend._libs.clear()
+    try:
+        with FaultPlan.single(site):
+            step = cells.sw_wavefront_step(*args, backend="auto")
+            assert step.backend == "numpy"  # demoted, bit-identical
+        cells._step_cached.cache_clear()
+        with FaultPlan.single(site):
+            with pytest.raises(JitError, match=site):
+                cells.sw_wavefront_step(*args, backend="c")
+    finally:
+        cells._step_cached.cache_clear()
+        cbackend._libs.clear()
+
+
+def _scenario_cc_compile(rng, seed):
+    _jit_fault("jit.cc.compile")
+
+
+def _scenario_cc_load(rng, seed):
+    _jit_fault("jit.cc.load")
+
+
+# -- gpusim ------------------------------------------------------------
+
+def _scenario_gpusim_memory(rng, seed):
+    from repro.gpusim.errors import MemoryFault
+    from repro.gpusim.memory import GlobalMemory
+
+    gmem = GlobalMemory()
+    gmem.alloc("scores", 8, np.int64)
+    with FaultPlan.single("gpusim.memory.fault", times=2):
+        with pytest.raises(MemoryFault, match="gpusim.memory.fault"):
+            gmem.store("scores", 0, 7)
+        with pytest.raises(MemoryFault, match="gpusim.memory.fault"):
+            gmem.load("scores", 0)
+    # The fault never silently corrupted the buffer.
+    assert gmem.load("scores", 0) == 0
+
+
+# -- engine.*.fail -----------------------------------------------------
+
+def _engine_demotes(rng, name):
+    chain = EngineFallbackChain()
+    if name not in chain.engines:
+        pytest.skip(f"engine {name!r} unavailable on this machine")
+    if len(chain.engines) < 2:
+        pytest.skip("needs a second engine to demote to")
+    X, Y = _batch(rng)
+    expected = sw_batch_max_scores(X, Y, DEFAULT_SCHEME)
+    with FaultPlan.single(f"engine.{name}.fail"):
+        scores, engine = chain.score(X, Y)
+    assert engine != name
+    assert np.array_equal(scores, expected)
+
+
+def _scenario_engine_compiled_c(rng, seed):
+    _engine_demotes(rng, "compiled-c")
+
+
+def _scenario_engine_compiled_numpy(rng, seed):
+    _engine_demotes(rng, "compiled-numpy")
+
+
+def _scenario_engine_bpbc(rng, seed):
+    _engine_demotes(rng, "bpbc")
+
+
+def _scenario_engine_numpy(rng, seed):
+    # numpy is the floor of the default chain: a demotion test would
+    # never reach it, so fault it alone and require typed exhaustion.
+    chain = EngineFallbackChain(engines=("numpy",), self_test=False)
+    X, Y = _batch(rng, pairs=4, m=12, n=12)
+    with FaultPlan.single("engine.numpy.fail"):
+        with pytest.raises(FallbackExhaustedError) as excinfo:
+            chain.score(X, Y)
+    assert isinstance(excinfo.value.attempts["numpy"], InjectedFault)
+
+
+SCENARIOS = {
+    "engine.bpbc.fail": _scenario_engine_bpbc,
+    "engine.compiled-c.fail": _scenario_engine_compiled_c,
+    "engine.compiled-numpy.fail": _scenario_engine_compiled_numpy,
+    "engine.numpy.fail": _scenario_engine_numpy,
+    "gpusim.memory.fault": _scenario_gpusim_memory,
+    "jit.cc.compile": _scenario_cc_compile,
+    "jit.cc.load": _scenario_cc_load,
+    "serve.sock.drop": _scenario_sock_drop,
+    "serve.sock.truncate": _scenario_sock_truncate,
+    "shard.worker.crash": _scenario_worker_crash,
+    "shard.worker.hang": _scenario_worker_hang,
+    "shard.worker.slow": _scenario_worker_slow,
+    "shard.worker.error": _scenario_worker_error,
+}
+
+
+def test_every_registered_site_has_a_scenario():
+    assert set(SCENARIOS) == set(SITES)
+
+
+@pytest.mark.parametrize("site", sorted(SITES))
+def test_site(site, rng, chaos_seed):
+    SCENARIOS[site](rng, chaos_seed)
+
+
+def test_unrecoverable_loss_names_every_pair(rng):
+    """Workers *and* every chain engine faulted: the caller must get a
+    typed BulkRecoveryError naming the lost pair indices — the one
+    case where nothing can hide the loss behind a wrong score."""
+    _pool_or_skip()
+    # Build the chain before the plan so construction self-tests pass.
+    chain = EngineFallbackChain()
+    X, Y = _batch(rng, pairs=8)
+    plan = FaultPlan([{"site": "shard.worker.error"}]
+                     + [{"site": f"engine.{name}.fail"}
+                        for name in chain.engines])
+    with plan:
+        with pytest.raises(BulkRecoveryError) as excinfo:
+            shard_scores_with_recovery(X, Y, workers=2,
+                                       max_shard_pairs=4,
+                                       timeout_s=10.0, chain=chain)
+    assert excinfo.value.pair_indices == tuple(range(8))

@@ -143,3 +143,34 @@ class TestCacheDirTrust:
 
         monkeypatch.setenv("REPRO_JIT_CACHE", str(loose))
         assert cbackend._cache_dir() == first
+
+    def test_fallback_dir_removed_at_interpreter_exit(self, tmp_path):
+        """The per-process mkdtemp fallback dir must not outlive the
+        process: a child interpreter forces the fallback path (the
+        preferred cache path is a plain *file*, so it is untrusted),
+        prints the fallback dir, and exits cleanly — after which the
+        dir must be gone (atexit cleanup), not temp-dir litter."""
+        import os
+        import subprocess
+        import sys
+
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        child = (
+            "import os, sys\n"
+            "from repro.jit import cbackend\n"
+            "d = cbackend._cache_dir()\n"
+            "assert os.path.isdir(d), d\n"
+            f"assert d != {str(blocker)!r}\n"
+            "print(d)\n"
+        )
+        env = dict(os.environ,
+                   REPRO_JIT_CACHE=str(blocker),
+                   PYTHONPATH=os.pathsep.join(sys.path))
+        proc = subprocess.run([sys.executable, "-c", child],
+                              capture_output=True, text=True, env=env,
+                              timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        fallback = proc.stdout.strip()
+        assert fallback
+        assert not os.path.exists(fallback)

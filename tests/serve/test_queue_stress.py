@@ -14,8 +14,10 @@ from concurrent.futures import Future
 
 import numpy as np
 
+import pytest
+
 from repro.serve import AlignmentService
-from repro.serve.errors import QueueFullError
+from repro.serve.errors import DeadlineExceededError, QueueFullError
 from repro.serve.queue import AlignmentRequest, RequestQueue
 from repro.swa.scoring import DEFAULT_SCHEME
 
@@ -24,13 +26,14 @@ PER_PRODUCER = 200
 QUEUE_SIZE = 64
 
 
-def _tagged_request(tag: int) -> AlignmentRequest:
+def _tagged_request(tag: int,
+                    deadline: float | None = None) -> AlignmentRequest:
     # The threshold field doubles as a unique tag: the consumer echoes
     # it back as the score, so delivery is traceable end to end.
     return AlignmentRequest(
         query=np.zeros(4, dtype=np.uint8),
         subject=np.zeros(4, dtype=np.uint8),
-        scheme=DEFAULT_SCHEME, threshold=tag, deadline=None,
+        scheme=DEFAULT_SCHEME, threshold=tag, deadline=deadline,
         future=Future(), enqueued_at=time.monotonic(),
     )
 
@@ -92,6 +95,87 @@ def test_sixteen_producers_no_lost_or_duplicated_futures():
     for reqs in rejected:
         for req in reqs:
             assert not req.future.done()
+
+
+class TestDeadlineExpiryEdges:
+    """Deadline boundary semantics at the queue layer."""
+
+    def test_expiry_exactly_at_pop_time_counts_as_expired(self):
+        # deadline uses >= : a request popped at precisely its deadline
+        # instant is expired, not "just barely live".
+        req = _tagged_request(0, deadline=1000.0)
+        assert req.expired(now=1000.0)
+        assert not req.expired(now=999.999999)
+
+    def test_queue_fails_request_expired_at_pop(self):
+        expired_seen: list[AlignmentRequest] = []
+        queue = RequestQueue(maxsize=8, on_expired=expired_seen.append)
+        dead = _tagged_request(1, deadline=time.monotonic() - 0.01)
+        live = _tagged_request(2)
+        queue.put(dead)
+        queue.put(live)
+        got = queue.drain(8, 0.0)
+        # Only the live request reaches the engine side ...
+        assert [r.threshold for r in got] == [2]
+        # ... the expired one's future is already failed, typed.
+        assert dead.future.done()
+        with pytest.raises(DeadlineExceededError):
+            dead.future.result(timeout=0)
+        # The stats hook fired exactly once, for exactly that request.
+        assert expired_seen == [dead]
+        assert len(queue) == 0
+
+    def test_request_expiring_after_pop_is_still_answered(self):
+        # The dispatch-time contract: expiry is enforced at pop, so a
+        # request that goes stale *after* being drained (while packed
+        # into a lane) is answered late rather than dropped.
+        queue = RequestQueue(maxsize=8)
+        req = _tagged_request(7, deadline=time.monotonic() + 0.05)
+        queue.put(req)
+        got = queue.drain(8, 0.0)
+        assert got == [req]
+        time.sleep(0.08)  # now past the deadline, but already popped
+        assert req.expired()
+        req.resolve(42)
+        assert req.future.result(timeout=0).score == 42
+
+    def test_expired_future_never_double_resolves(self):
+        # After the queue fails an expired request, later resolve()
+        # attempts must be no-ops on the future — the accounting (one
+        # outcome per future) survives racy late deliveries.
+        queue = RequestQueue(maxsize=8)
+        req = _tagged_request(3, deadline=time.monotonic() - 0.01)
+        queue.put(req)
+        stop = threading.Event()
+        stop.set()  # only the expired request is queued; don't block
+        assert queue.drain(8, 0.0, stop=stop) == []
+        with pytest.raises(DeadlineExceededError):
+            req.future.result(timeout=0)
+        req.resolve(99)  # late engine delivery: swallowed
+        with pytest.raises(DeadlineExceededError):
+            req.future.result(timeout=0)
+
+    def test_mixed_batch_expiry_accounting_balances(self):
+        expired_count = [0]
+        queue = RequestQueue(
+            maxsize=64, on_expired=lambda r: expired_count.__setitem__(
+                0, expired_count[0] + 1))
+        now = time.monotonic()
+        reqs = [_tagged_request(
+            i, deadline=(now - 0.01 if i % 3 == 0 else None))
+            for i in range(30)]
+        for r in reqs:
+            queue.put(r)
+        got = queue.drain(64, 0.0)
+        n_expired = sum(1 for i in range(30) if i % 3 == 0)
+        assert len(got) == 30 - n_expired
+        assert expired_count[0] == n_expired
+        for i, r in enumerate(reqs):
+            if i % 3 == 0:
+                assert r.future.done()
+            else:
+                assert not r.future.done()
+        assert len(queue) == 0
 
 
 def test_service_level_backpressure_accounting():

@@ -177,6 +177,41 @@ class TestFailureContainment:
                               bulk_max_scores(X, Y, SCHEME)[ok])
 
 
+class TestPoolRebuild:
+    def test_second_batch_after_worker_kill_runs_full_width(self, rng):
+        # A killed worker degrades a multiprocessing.Pool permanently;
+        # the executor must respawn the pool after the timeout so the
+        # *next* batch succeeds at full width, not on a crippled pool.
+        X, Y = _rect_batch(rng, pairs=24, m=16, n=16)
+        X[0, 0] = POISON
+        with ShardExecutor(workers=2, engine=_crash_engine,
+                           timeout_s=3.0) as ex:
+            if ex.in_process:
+                pytest.skip("requires a multiprocessing pool")
+            first = ex.run(X, Y, SCHEME, errors="return")
+            assert first.errors  # the crash was detected
+            assert ex.rebuilds == 1
+            assert not ex.in_process
+            assert ex.workers == 2
+            X2, Y2 = _rect_batch(rng, pairs=24, m=16, n=16)
+            second = ex.run(X2, Y2, SCHEME)
+            assert second.errors == []
+            assert np.array_equal(second.scores,
+                                  bulk_max_scores(X2, Y2, SCHEME))
+
+    def test_no_rebuild_without_timeout_failure(self, rng):
+        X, Y = _rect_batch(rng, pairs=16)
+        X[3, 0] = POISON
+        with ShardExecutor(workers=2, engine=_poison_engine,
+                           timeout_s=5.0) as ex:
+            if ex.in_process:
+                pytest.skip("requires a multiprocessing pool")
+            # An engine *exception* resolves normally — the pool is
+            # healthy and must not be churned.
+            ex.run(X, Y, SCHEME, errors="return")
+            assert ex.rebuilds == 0
+
+
 class TestDegradation:
     def test_no_context_degrades_to_in_process(self, rng, monkeypatch):
         monkeypatch.setattr(executor_mod, "_make_context",
