@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Tiered-index benchmark: build a synthetic database, search it,
+report per-tier survivors and wall-clock, and (optionally) check the
+top hits bit-identical against brute force.
+
+The acceptance experiment behind ``repro.index``: a ~10**8-char
+synthetic database (``--chars 100000000``) must stream through the
+tiered pipeline with peak RSS bounded by the shard size — not the
+database size — while the minimizer prefilter discards the bulk of
+the entries before any DP runs.  CI runs the 10**6-char smoke flavour
+with ``--check``, which additionally asserts every query's top hit
+(entry, score) is bit-identical to brute-force
+:func:`repro.filter.database.search_database`.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/index_bench.py              # 1e6 smoke
+    PYTHONPATH=src python benchmarks/index_bench.py --check      # + brute diff
+    PYTHONPATH=src python benchmarks/index_bench.py --chars 100000000
+"""
+
+from __future__ import annotations
+
+import argparse
+import resource
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.filter.database import search_database  # noqa: E402
+from repro.index.search import TieredSearch  # noqa: E402
+from repro.index.store import DatabaseIndex, build_index  # noqa: E402
+from repro.swa.scoring import ScoringScheme  # noqa: E402
+
+SCHEME = ScoringScheme(match_score=2, mismatch_penalty=1, gap_penalty=1)
+
+
+def _rss_mib() -> float:
+    """Current peak RSS of this process, MiB (ru_maxrss is KiB on
+    Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def synth_database(rng, total_chars: int, entry_chars: int,
+                   queries: int, query_m: int):
+    """Random entries plus ``queries`` planted exact query copies."""
+    n_entries = max(queries + 1, total_chars // entry_chars)
+    entries = [rng.integers(0, 4, size=entry_chars).astype(np.uint8)
+               for _ in range(n_entries)]
+    qs, planted = [], []
+    for qi in range(queries):
+        e = int(rng.integers(0, n_entries))
+        at = int(rng.integers(0, entry_chars - query_m + 1))
+        q = entries[e][at:at + query_m].copy()
+        qs.append(q)
+        planted.append(e)
+    return entries, qs, planted
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--chars", type=float, default=1e6,
+                    help="total database characters (default 1e6)")
+    ap.add_argument("--entry-chars", type=int, default=5000)
+    ap.add_argument("--queries", type=int, default=4)
+    ap.add_argument("--query-m", type=int, default=64)
+    ap.add_argument("--k", type=int, default=16)
+    ap.add_argument("--w", type=int, default=8)
+    ap.add_argument("--shard-chars", type=int, default=1 << 24)
+    ap.add_argument("--min-seeds", type=int, default=2)
+    ap.add_argument("--threshold", type=int, default=0)
+    ap.add_argument("--seed", type=int, default=20260808)
+    ap.add_argument("--check", action="store_true",
+                    help="assert top hits bit-identical to brute force "
+                         "(also times the brute-force baseline)")
+    args = ap.parse_args(argv)
+
+    rng = np.random.default_rng(args.seed)
+    entries, queries, planted = synth_database(
+        rng, int(args.chars), args.entry_chars, args.queries,
+        args.query_m)
+    total = sum(len(e) for e in entries)
+    print(f"database: {len(entries)} entries, {total:,} chars "
+          f"({args.entry_chars} chars/entry); "
+          f"{len(queries)} planted {args.query_m}-char queries")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        t0 = time.perf_counter()
+        idx = build_index(((f"e{i}", s) for i, s in enumerate(entries)),
+                          Path(tmp) / "idx", k=args.k, w=args.w,
+                          shard_chars=args.shard_chars)
+        build_s = time.perf_counter() - t0
+        on_disk = sum(f.stat().st_size
+                      for f in (Path(tmp) / "idx").iterdir())
+        print(f"build:    {build_s:6.2f}s  {idx.n_shards} shards, "
+              f"{on_disk / 1e6:.1f} MB on disk "
+              f"({total / build_s / 1e6:.1f} Mchar/s)")
+
+        idx = DatabaseIndex.open(Path(tmp) / "idx")
+        search = TieredSearch(idx, scheme=SCHEME,
+                              min_seeds=args.min_seeds,
+                              threshold=args.threshold)
+        rss_before = _rss_mib()
+        t0 = time.perf_counter()
+        res = search.search(queries, top_k=1)
+        tiered_s = time.perf_counter() - t0
+        # Marginal peak RSS of the search itself: the streaming claim
+        # is that this tracks the shard budget, not the database size
+        # (the synthetic entries held in memory dominate the absolute
+        # number).
+        print(f"tiered:   {tiered_s:6.2f}s  search RSS "
+              f"+{_rss_mib() - rss_before:.0f} MiB on "
+              f"{_rss_mib():.0f} MiB peak (shard budget "
+              f"{args.shard_chars / 4 / 1e6:.0f} MB packed)")
+        print(res.stats.render())
+        for h in res.hits:
+            print(f"  q{h.query_index}: {h.entry_id} score {h.score}")
+
+        missing = [qi for qi in range(len(queries))
+                   if not any(h.query_index == qi for h in res.hits)]
+        if missing:
+            print(f"FAIL: no hit for planted queries {missing}")
+            return 1
+        for h in res.hits:
+            if h.db_index == planted[h.query_index] \
+                    and h.score < 2 * args.query_m:
+                print(f"FAIL: planted exact match under-scored: {h}")
+                return 1
+
+        if args.check:
+            t0 = time.perf_counter()
+            brute = search_database(queries, entries, SCHEME,
+                                    window=4096)
+            brute_s = time.perf_counter() - t0
+            print(f"brute:    {brute_s:6.2f}s  "
+                  f"({brute_s / max(tiered_s, 1e-9):.1f}x tiered)")
+            best = {}
+            for b in brute:
+                cur = best.get(b.query_index)
+                if cur is None or b.score > cur[1]:
+                    best[b.query_index] = (b.db_index, b.score)
+            for h in res.hits:
+                want = best[h.query_index]
+                if (h.db_index, h.score) != want:
+                    print(f"FAIL: top hit differs for q{h.query_index}: "
+                          f"tiered ({h.db_index}, {h.score}) != "
+                          f"brute {want}")
+                    return 1
+            print("check:    top hits bit-identical to brute force")
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

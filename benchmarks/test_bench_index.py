@@ -1,0 +1,98 @@
+"""Tiered index search vs brute force: the prefilter acceptance.
+
+The tiered pipeline's bar on a 10**6-char synthetic database with
+planted homologies: the minimizer prefilter must discard most entries
+before any DP runs, and the surviving top hits must be
+**bit-identical** to brute-force ``search_database`` — the tiers are
+allowed to skip work, never to change answers on the hits they rank.
+
+The identity assertion always runs; the pytest-benchmark cases give
+the per-path timing view (index build, tiered search, brute force).
+The 10**8-char flavour lives in ``benchmarks/index_bench.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.filter.database import search_database
+from repro.index.search import TieredSearch
+from repro.index.store import build_index
+
+from .conftest import SCHEME
+from .index_bench import synth_database
+
+DB_CHARS = 1_000_000
+ENTRY_CHARS = 5000
+QUERIES = 4
+QUERY_M = 64
+MIN_SEEDS = 2
+
+
+@pytest.fixture(scope="module")
+def indexed_db(tmp_path_factory):
+    rng = np.random.default_rng(20260808)
+    entries, queries, planted = synth_database(
+        rng, DB_CHARS, ENTRY_CHARS, QUERIES, QUERY_M)
+    idx = build_index(((f"e{i}", s) for i, s in enumerate(entries)),
+                      tmp_path_factory.mktemp("bench") / "idx",
+                      k=16, w=8, shard_chars=1 << 20)
+    return idx, entries, queries, planted
+
+
+def test_top_hits_bit_identical_to_brute_force(indexed_db):
+    idx, entries, queries, planted = indexed_db
+    res = TieredSearch(idx, scheme=SCHEME,
+                       min_seeds=MIN_SEEDS).search(queries, top_k=1)
+    brute = search_database(queries, entries, SCHEME, window=4096)
+    best = {}
+    for b in brute:
+        cur = best.get(b.query_index)
+        if cur is None or b.score > cur[1]:
+            best[b.query_index] = (b.db_index, b.score)
+    assert len(res.hits) == QUERIES
+    for h in res.hits:
+        assert (h.db_index, h.score) == best[h.query_index]
+        assert h.score == 2 * QUERY_M  # planted exact copy
+
+
+def test_prefilter_discards_most_entries(indexed_db):
+    idx, entries, queries, planted = indexed_db
+    res = TieredSearch(idx, scheme=SCHEME,
+                       min_seeds=MIN_SEEDS).search(queries,
+                                                   align=False)
+    t0 = res.stats.tier("tier0 minimizer prefilter")
+    assert t0.candidates_in == len(entries) * QUERIES
+    # The whole point of tier 0: the overwhelming majority of entries
+    # never reaches the DP tiers.
+    assert t0.candidates_out <= t0.candidates_in * 0.05
+
+
+@pytest.mark.benchmark(group="index")
+def test_bench_index_build(benchmark, tmp_path_factory, indexed_db):
+    _, entries, _, _ = indexed_db
+    counter = iter(range(10 ** 6))
+
+    def build():
+        return build_index(
+            ((f"e{i}", s) for i, s in enumerate(entries)),
+            tmp_path_factory.mktemp("bench-build")
+            / f"idx{next(counter)}",
+            k=16, w=8, shard_chars=1 << 20)
+
+    benchmark(build)
+
+
+@pytest.mark.benchmark(group="index")
+def test_bench_tiered_search(benchmark, indexed_db):
+    idx, _, queries, _ = indexed_db
+    search = TieredSearch(idx, scheme=SCHEME, min_seeds=MIN_SEEDS)
+    benchmark(lambda: search.search(queries, top_k=1, align=False))
+
+
+@pytest.mark.benchmark(group="index")
+def test_bench_brute_force(benchmark, indexed_db):
+    _, entries, queries, _ = indexed_db
+    benchmark(lambda: search_database(queries, entries, SCHEME,
+                                      window=4096))

@@ -36,6 +36,10 @@ Sub-packages
     regenerating Tables IV and V.
 ``repro.workloads`` / ``repro.filter``
     Synthetic DNA generators and the threshold screening application.
+``repro.index``
+    Tiered billion-character database search: on-disk sharded
+    minimizer index plus the three-tier pipeline (seed prefilter,
+    bulk BPBC screen, full traceback) — see ``docs/SEARCH.md``.
 ``repro.serve``
     Asynchronous micro-batching alignment service: bounded request
     queue, length-binned lane packer, engine worker pool, result
@@ -60,6 +64,7 @@ from .core.sw_bpbc import (BPBCResult, bpbc_sw_sequential,
                            bpbc_sw_wavefront)
 from .filter.screening import (ScreenHit, ScreenResult, bulk_max_scores,
                                screen_pairs)
+from .index import TieredSearch, build_index, search_index
 from .kernels.pipeline import PipelineReport, run_gpu_pipeline
 from .resilience.faults import FaultPlan, FaultRule, InjectedFault
 from .resilience.retry import RetryPolicy
@@ -92,6 +97,9 @@ __all__ = [
     "screen_pairs",
     "ScreenResult",
     "ScreenHit",
+    "build_index",
+    "TieredSearch",
+    "search_index",
     "bpbc_string_matching_strings",
     "match_offsets",
     "run_gpu_pipeline",

@@ -10,6 +10,11 @@ Commands
     the survivors.
 ``match``
     Exact or k-mismatch bulk string matching (§II and its extension).
+``index build`` / ``index search``
+    Tiered billion-character database search: stream FASTA into an
+    on-disk minimizer index, then search it through the three-tier
+    pipeline (seed prefilter -> BPBC bulk screen -> full traceback;
+    see docs/SEARCH.md).
 ``experiments``
     Regenerate the paper's tables and figures.
 ``serve``
@@ -39,9 +44,9 @@ from .core.bitops import unpack_lanes
 from .core.approx_matching import bpbc_k_mismatch
 from .core.encoding import encode_batch_bit_transposed
 from .filter.screening import screen_pairs
+from .index.fasta import iter_fasta, read_fasta, records_to_batch
 from .swa.scoring import ScoringScheme
 from .swa.traceback import format_alignment
-from .workloads.fasta import read_fasta, records_to_batch
 
 __all__ = ["main"]
 
@@ -280,6 +285,57 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_index_build(args) -> int:
+    from .index import build_index
+
+    if args.shard_chars <= 0:
+        raise SystemExit(
+            f"error: --shard-chars must be positive, got "
+            f"{args.shard_chars}")
+    records = iter_fasta(args.fasta, ambiguous=args.ambiguous)
+    idx = build_index(records, args.out, k=args.k,
+                      w=args.minimizer_window,
+                      shard_chars=args.shard_chars)
+    print(f"built {args.out}: {idx.n_entries} entries, "
+          f"{idx.n_chars} chars in {idx.n_shards} shards "
+          f"(k={idx.k}, w={idx.w})", file=sys.stderr)
+    if args.verify:
+        idx.verify()
+        print("integrity check passed", file=sys.stderr)
+    return 0
+
+
+def _cmd_index_search(args) -> int:
+    from .index import DatabaseIndex, TieredSearch
+
+    workers = _workers_from_args(args)
+    idx = DatabaseIndex.open(args.index)
+    queries = read_fasta(args.queries)
+    searcher = TieredSearch(
+        idx, scheme=_scheme_from_args(args),
+        word_bits=args.word_bits, min_seeds=args.min_seeds,
+        threshold=args.threshold, window=args.window,
+        max_batch_pairs=args.chunk_size, workers=workers,
+        resilient=args.recover, verify=args.verify)
+    result = searcher.search([rec.sequence for rec in queries],
+                             top_k=args.top_k, align=args.align)
+    out = sys.stdout
+    out.write("query\tentry\tdb_index\tscore\n")
+    for hit in result.hits:
+        out.write(f"{queries[hit.query_index].id}\t{hit.entry_id}\t"
+                  f"{hit.db_index}\t{hit.score}\n")
+    if args.align:
+        for hit in result.hits:
+            out.write(f"\n{queries[hit.query_index].id} vs "
+                      f"{hit.entry_id} "
+                      f"(entry chars {hit.alignment.y_start}.."
+                      f"{hit.alignment.y_end})\n")
+            out.write(format_alignment(hit.alignment) + "\n")
+    if args.stats:
+        print(result.stats.render(), file=sys.stderr)
+    return 0
+
+
 def _resolve_kernel(spec: str):
     """Resolve ``--kernel module:attr`` to a plan or kernel function."""
     import importlib
@@ -369,6 +425,62 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("names", nargs="*", default=[])
     p.add_argument("--fast", action="store_true")
     p.set_defaults(func=_cmd_experiments)
+
+    p = sub.add_parser(
+        "index",
+        help="build and search an on-disk tiered index "
+             "(see docs/SEARCH.md)")
+    isub = p.add_subparsers(dest="index_command", required=True)
+
+    pb = isub.add_parser("build",
+                         help="stream FASTA into a sharded index")
+    pb.add_argument("fasta", help="FASTA file of database sequences")
+    pb.add_argument("out", help="index directory to create")
+    pb.add_argument("--k", type=int, default=16,
+                    help="k-mer size for the minimizer seeds "
+                         "(default 16)")
+    pb.add_argument("--minimizer-window", type=int, default=8,
+                    metavar="W",
+                    help="k-mers per minimizer window (default 8)")
+    pb.add_argument("--shard-chars", type=int, default=1 << 24,
+                    help="characters per shard; bounds peak memory of "
+                         "build and search (default 16Mi)")
+    pb.add_argument("--ambiguous", default="strict",
+                    choices=("strict", "replace", "skip"),
+                    help="IUPAC ambiguity-code policy (default "
+                         "strict = reject)")
+    pb.add_argument("--verify", action="store_true",
+                    help="CRC-check every shard after writing")
+    pb.set_defaults(func=_cmd_index_build)
+
+    ps = isub.add_parser(
+        "search",
+        help="three-tier search: minimizer prefilter -> BPBC screen "
+             "-> traceback")
+    ps.add_argument("index", help="index directory (from 'index build')")
+    ps.add_argument("queries", help="FASTA file of query sequences")
+    ps.add_argument("--threshold", "-t", type=int, default=0,
+                    help="report entries scoring strictly above this "
+                         "tau (default 0)")
+    ps.add_argument("--min-seeds", type=int, default=1,
+                    help="minimum shared minimizers for an entry to "
+                         "be screened (default 1; 0 = exact brute "
+                         "force)")
+    ps.add_argument("--window", type=int, default=None,
+                    help="tier-1 text window chars (default: sized "
+                         "from the longest query; too-small values "
+                         "are an error)")
+    ps.add_argument("--top-k", type=int, default=None,
+                    help="keep only the best K hits per query")
+    ps.add_argument("--no-align", dest="align", action="store_false",
+                    help="skip tier-2 tracebacks (scores only)")
+    ps.add_argument("--stats", action="store_true",
+                    help="print per-tier survivor counts and "
+                         "wall-clock to stderr")
+    ps.add_argument("--verify", action="store_true",
+                    help="CRC-check each shard while searching")
+    _add_scoring_args(ps)
+    ps.set_defaults(func=_cmd_index_search)
 
     p = sub.add_parser(
         "serve",

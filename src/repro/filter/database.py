@@ -25,6 +25,7 @@ refused in that case.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -96,6 +97,7 @@ def search_database(
     window: int | None = None,
     max_batch_pairs: int = 8192,
     workers: int | None = None,
+    strict_window: bool = False,
 ) -> list[SearchHit]:
     """All-vs-all search of ragged queries against a ragged database.
 
@@ -103,8 +105,12 @@ def search_database(
     the exact maximum local-alignment score, computed through the bulk
     BPBC engine.  ``window`` bounds the text length per batch (default:
     the longest entry, i.e. no windowing); long entries are windowed
-    with a safety overlap so no alignment is lost.  ``workers > 1``
-    scores every batch through one shared
+    with a safety overlap so no alignment is lost.  A caller-supplied
+    ``window`` too small for the worst-case overlap bound is inflated
+    to the smallest sound value — with a ``UserWarning`` naming both
+    numbers, or a ``ValueError`` instead when ``strict_window=True``
+    (for callers sizing buffers off the window they asked for).
+    ``workers > 1`` scores every batch through one shared
     :class:`repro.shard.ShardExecutor` process pool (startup amortised
     across all shape groups).
     """
@@ -123,9 +129,24 @@ def search_database(
     if window is None:
         window = max_n
     if window < max_n:
-        # Windowing will actually split texts: make the window large
-        # enough for the worst-case overlap (raises for gap == 0).
-        window = max(window, window_overlap(max_m, scheme) + 1)
+        # Windowing will actually split texts: the window must exceed
+        # the worst-case overlap (raises for gap == 0) or alignments
+        # could be lost.  Never inflate silently — callers that sized
+        # requests off their window would read out of step.
+        min_window = window_overlap(max_m, scheme) + 1
+        if window < min_window:
+            if strict_window:
+                raise ValueError(
+                    f"window {window} is unsound for the longest "
+                    f"query (m={max_m}): a local alignment can span "
+                    f"{min_window} text chars; need window >= "
+                    f"{min_window}")
+            warnings.warn(
+                f"window {window} inflated to {min_window}, the "
+                f"smallest sound value for the longest query "
+                f"(m={max_m}); pass strict_window=True to make this "
+                "an error", UserWarning, stacklevel=2)
+            window = min_window
 
     # Work items: (qi, di, query, text-window), grouped by the
     # (m, n) rectangle so each group is one bulk call.

@@ -1,0 +1,31 @@
+"""repro.index — tiered billion-character database search.
+
+An on-disk, memory-mapped sequence index (packed 2-bit shards plus a
+seeded minimizer posting index, :mod:`repro.index.store`) and the
+three-tier search pipeline over it (:mod:`repro.index.search`):
+minimizer prefilter -> bulk BPBC screen -> full traceback.  The
+canonical FASTA reader/writer lives in :mod:`repro.index.fasta`.
+
+CLI: ``python -m repro index build`` / ``python -m repro index
+search``.  See ``docs/SEARCH.md`` for the file format and the
+exactness guarantees.
+"""
+
+from .fasta import (FastaError, FastaRecord, iter_fasta, read_fasta,
+                    records_to_batch, write_fasta)
+from .minimizer import hash_kmers, kmer_values, minimizers
+from .search import (TieredHit, TieredSearch, TieredSearchResult,
+                     search_index)
+from .stats import SearchStats, TierStats
+from .store import (FORMAT_VERSION, DatabaseIndex, IndexFormatError,
+                    IndexIntegrityError, Shard, build_index)
+
+__all__ = [
+    "FastaError", "FastaRecord", "iter_fasta", "read_fasta",
+    "write_fasta", "records_to_batch",
+    "kmer_values", "hash_kmers", "minimizers",
+    "FORMAT_VERSION", "IndexFormatError", "IndexIntegrityError",
+    "Shard", "DatabaseIndex", "build_index",
+    "TieredHit", "TieredSearch", "TieredSearchResult", "search_index",
+    "SearchStats", "TierStats",
+]

@@ -1,0 +1,219 @@
+"""Streaming FASTA reading/writing for the index subsystem.
+
+This is the canonical FASTA implementation of the repo
+(:mod:`repro.workloads.fasta` re-exports it for compatibility).  It
+covers what a billion-character index build needs and what the old
+parser lacked:
+
+* **streaming**: :func:`iter_fasta` yields records one at a time, so
+  building an index over a database far larger than RAM never holds
+  more than one record's sequence in memory,
+* **ambiguous-base policy**: real FASTA carries IUPAC ambiguity codes
+  (``N``, ``R``, ``Y``, ...) that the 2-bit BPBC alphabet cannot
+  encode.  ``ambiguous="strict"`` rejects them (the old behaviour),
+  ``"replace"`` substitutes a *deterministically seeded* concrete base
+  drawn from the code's possibility set (so an ``R`` becomes the same
+  ``A`` or ``G`` on every run, and a replaced region scores like a
+  random region instead of a poly-A magnet), ``"skip"`` drops records
+  containing any ambiguity code,
+* multi-line records folded at arbitrary widths, lowercase input, and
+  ``U`` (RNA) read as ``T``.
+
+Characters outside the IUPAC nucleotide set are rejected under every
+policy — they indicate a corrupt or non-nucleotide file, not an
+ambiguity.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..core.encoding import ALPHABET, encode
+
+__all__ = [
+    "AMBIGUITY",
+    "FastaError",
+    "FastaRecord",
+    "iter_fasta",
+    "read_fasta",
+    "write_fasta",
+    "records_to_batch",
+]
+
+#: IUPAC nucleotide ambiguity codes -> the concrete bases they denote.
+AMBIGUITY: dict[str, str] = {
+    "N": "ACGT", "R": "AG", "Y": "CT", "S": "GC", "W": "AT",
+    "K": "GT", "M": "AC", "B": "CGT", "D": "AGT", "H": "ACT",
+    "V": "ACG",
+}
+
+_POLICIES = ("strict", "replace", "skip")
+
+
+class FastaError(ValueError):
+    """Raised for malformed FASTA input."""
+
+
+class _SkipRecord(Exception):
+    """Internal: a record was dropped by ``ambiguous="skip"``."""
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    """One FASTA record: id, optional description, DNA sequence."""
+
+    id: str
+    description: str
+    sequence: str
+
+    @property
+    def codes(self) -> np.ndarray:
+        """The sequence as 2-bit codes."""
+        return encode(self.sequence)
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+def _resolve_ambiguous(seq: str, header: str, source: str,
+                       policy: str, seed: int) -> str:
+    """Apply the ambiguous-base policy to one raw (uppercased) sequence."""
+    cleaned = seq.replace("U", "T")
+    bad = set(cleaned) - set(ALPHABET)
+    if not bad:
+        return cleaned
+    unknown = bad - set(AMBIGUITY)
+    if unknown:
+        raise FastaError(
+            f"{source}: record {header!r} contains non-nucleotide "
+            f"characters {sorted(unknown)}"
+        )
+    if policy == "strict":
+        raise FastaError(
+            f"{source}: record {header!r} contains non-DNA characters "
+            f"{sorted(bad)} (IUPAC ambiguity codes; pass "
+            "ambiguous='replace' or 'skip' to accept them)"
+        )
+    if policy == "skip":
+        raise _SkipRecord()
+    # "replace": seeded per record, so the substitution is stable
+    # across runs and independent of record order in the file.
+    rng = random.Random(zlib.crc32(header.encode()) ^ seed)
+    out = []
+    for ch in cleaned:
+        out.append(rng.choice(AMBIGUITY[ch]) if ch in AMBIGUITY else ch)
+    return "".join(out)
+
+
+def _make_record(header: str, chunks: list[str], source: str,
+                 policy: str, seed: int) -> FastaRecord:
+    seq = "".join(chunks).upper()
+    if not seq:
+        raise FastaError(f"{source}: record {header!r} has no sequence")
+    seq = _resolve_ambiguous(seq, header, source, policy, seed)
+    parts = header.split(None, 1)
+    return FastaRecord(id=parts[0],
+                       description=parts[1] if len(parts) > 1 else "",
+                       sequence=seq)
+
+
+def _parse(lines: Iterable[str], source: str, policy: str,
+           seed: int) -> Iterator[FastaRecord]:
+    header: str | None = None
+    chunks: list[str] = []
+    lineno = 0
+    for raw in lines:
+        lineno += 1
+        line = raw.rstrip("\n\r")
+        if not line.strip():
+            continue
+        if line.startswith(">"):
+            if header is not None:
+                try:
+                    yield _make_record(header, chunks, source, policy,
+                                       seed)
+                except _SkipRecord:
+                    pass
+            header = line[1:].strip()
+            if not header:
+                raise FastaError(f"{source}:{lineno}: empty FASTA header")
+            chunks = []
+        else:
+            if header is None:
+                raise FastaError(
+                    f"{source}:{lineno}: sequence data before any "
+                    "'>' header"
+                )
+            chunks.append(line.strip())
+    if header is not None:
+        try:
+            yield _make_record(header, chunks, source, policy, seed)
+        except _SkipRecord:
+            pass
+    elif lineno == 0:
+        raise FastaError(f"{source}: empty FASTA input")
+
+
+def iter_fasta(path: str | Path, ambiguous: str = "strict",
+               seed: int = 0) -> Iterator[FastaRecord]:
+    """Stream records from a FASTA file, one at a time.
+
+    ``ambiguous`` is the IUPAC-code policy: ``"strict"`` (raise,
+    default), ``"replace"`` (seeded deterministic substitution) or
+    ``"skip"`` (drop affected records).  Memory use is bounded by the
+    largest single record, not the file.
+    """
+    if ambiguous not in _POLICIES:
+        raise FastaError(
+            f"unknown ambiguous-base policy {ambiguous!r}; expected "
+            f"one of {_POLICIES}"
+        )
+    path = Path(path)
+    with path.open() as fh:
+        yield from _parse(fh, str(path), ambiguous, seed)
+
+
+def read_fasta(path: str | Path, ambiguous: str = "strict",
+               seed: int = 0) -> list[FastaRecord]:
+    """Parse a whole FASTA file into records (see :func:`iter_fasta`)."""
+    records = list(iter_fasta(path, ambiguous=ambiguous, seed=seed))
+    if not records:
+        raise FastaError(f"{path}: no FASTA records found")
+    return records
+
+
+def write_fasta(path: str | Path, records: Iterable[FastaRecord],
+                width: int = 70) -> None:
+    """Write records, folding sequence lines at ``width`` columns."""
+    if width <= 0:
+        raise FastaError(f"fold width must be positive, got {width}")
+    path = Path(path)
+    with path.open("w") as fh:
+        for rec in records:
+            header = rec.id if not rec.description else (
+                f"{rec.id} {rec.description}"
+            )
+            fh.write(f">{header}\n")
+            for i in range(0, len(rec.sequence), width):
+                fh.write(rec.sequence[i:i + width] + "\n")
+
+
+def records_to_batch(records: list[FastaRecord]) -> np.ndarray:
+    """Stack equal-length records into a ``(P, n)`` code matrix."""
+    if not records:
+        raise FastaError("empty record list")
+    n = len(records[0])
+    for rec in records:
+        if len(rec) != n:
+            raise FastaError(
+                f"record {rec.id!r} has length {len(rec)}; the batch "
+                f"engines need equal lengths ({n} expected). Pad or "
+                "split the input."
+            )
+    return np.stack([rec.codes for rec in records])

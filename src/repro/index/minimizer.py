@@ -1,0 +1,103 @@
+"""Seeded k-mer / minimizer extraction over 2-bit code arrays.
+
+Tier 0 of the search pipeline needs a cheap, alignment-free way to ask
+"could this query possibly align here?".  The standard answer (used by
+minimap2-class mappers and the seeded prefilters of SWAPHI-class
+database search) is *minimizers*: hash every k-mer, and in every
+window of ``w`` consecutive k-mers keep only the smallest hash.  Two
+sequences sharing an exact k-mer that is a minimizer in both will
+produce the same (value) entry, so an index of database minimizers
+answers the question with a posting-list lookup while storing only
+``~2/(w+1)`` of all k-mer positions.
+
+Everything here is vectorized NumPy over ``uint8`` code arrays (the
+wordwise format of :mod:`repro.core.encoding`); the hash is an
+invertible 64-bit mixer (splitmix64 finalizer), so poly-A runs do not
+collapse onto minimizer value 0 and window minima are effectively
+random k-mer samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MAX_K", "kmer_values", "hash_kmers", "minimizers"]
+
+#: Largest supported k: a k-mer of 2-bit codes must fit in a uint64.
+MAX_K = 32
+
+
+def _check_k(k: int) -> None:
+    if not 1 <= k <= MAX_K:
+        raise ValueError(f"k must be in [1, {MAX_K}], got {k}")
+
+
+def kmer_values(codes: np.ndarray, k: int) -> np.ndarray:
+    """Packed 2-bit values of every k-mer of a code array.
+
+    ``codes`` is a 1-D ``uint8`` array of 2-bit base codes; returns a
+    ``uint64`` array of length ``len(codes) - k + 1`` where entry
+    ``i`` packs ``codes[i:i+k]`` big-endian (first base in the high
+    bits).  Empty when the sequence is shorter than ``k``.
+    """
+    _check_k(k)
+    codes = np.asarray(codes, dtype=np.uint64)
+    if codes.ndim != 1:
+        raise ValueError(f"expected a 1-D code array, got {codes.shape}")
+    n = codes.shape[0]
+    if n < k:
+        return np.empty(0, dtype=np.uint64)
+    out = np.zeros(n - k + 1, dtype=np.uint64)
+    for i in range(k):
+        out <<= np.uint64(2)
+        out |= codes[i:n - k + 1 + i]
+    return out
+
+
+def hash_kmers(values: np.ndarray) -> np.ndarray:
+    """Mix packed k-mer values through the splitmix64 finalizer.
+
+    Invertible (no two k-mers collide) and avalanche-complete, so the
+    window-minimum below samples k-mers near-uniformly instead of
+    preferring lexicographically small (poly-A) ones.
+    """
+    x = np.asarray(values, dtype=np.uint64).copy()
+    with np.errstate(over="ignore"):
+        # Full splitmix64 step: the golden-gamma add matters — the
+        # bare finalizer fixes 0, which would hash poly-A runs to the
+        # global minimum and make them permanent minimizers.
+        x += np.uint64(0x9E3779B97F4A7C15)
+        x ^= x >> np.uint64(30)
+        x *= np.uint64(0xBF58476D1CE4E5B9)
+        x ^= x >> np.uint64(27)
+        x *= np.uint64(0x94D049BB133111EB)
+        x ^= x >> np.uint64(31)
+    return x
+
+
+def minimizers(codes: np.ndarray, k: int,
+               w: int) -> tuple[np.ndarray, np.ndarray]:
+    """Minimizer ``(positions, hashed values)`` of one code array.
+
+    For every window of ``w`` consecutive k-mers the position of the
+    smallest *hashed* k-mer is selected; duplicate selections from
+    overlapping windows are collapsed.  Returns ``(positions, values)``
+    — ``int64`` k-mer start positions (sorted, unique) and the
+    ``uint64`` hashed value at each.  A sequence shorter than ``k``
+    has no minimizers; one shorter than ``k + w - 1`` is treated as a
+    single window.
+    """
+    if w < 1:
+        raise ValueError(f"w must be positive, got {w}")
+    hashes = hash_kmers(kmer_values(codes, k))
+    n_kmers = hashes.shape[0]
+    if n_kmers == 0:
+        return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.uint64))
+    if n_kmers <= w:
+        pos = np.array([int(np.argmin(hashes))], dtype=np.int64)
+        return pos, hashes[pos]
+    windows = np.lib.stride_tricks.sliding_window_view(hashes, w)
+    pos = windows.argmin(axis=1) + np.arange(windows.shape[0],
+                                             dtype=np.int64)
+    pos = np.unique(pos)
+    return pos, hashes[pos]

@@ -1,0 +1,73 @@
+"""Per-tier accounting for the search pipeline.
+
+Mirrors :class:`repro.serve.stats.ServiceStats` in spirit: every
+search run reports, per tier, how many candidates went in, how many
+survived, and how long the tier took — the numbers that tell you
+whether the prefilter is earning its keep (tier-0 survivor rate) and
+where the wall-clock goes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TierStats", "SearchStats"]
+
+
+@dataclass
+class TierStats:
+    """One tier of one search run."""
+
+    name: str
+    candidates_in: int = 0
+    candidates_out: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def survivor_rate(self) -> float:
+        """Fraction of candidates that survived the tier."""
+        return self.candidates_out / max(1, self.candidates_in)
+
+
+@dataclass
+class SearchStats:
+    """Whole-pipeline accounting for one :meth:`TieredSearch.search`."""
+
+    tiers: list[TierStats] = field(default_factory=list)
+    shards_searched: int = 0
+    entries_total: int = 0
+    chars_total: int = 0
+    queries: int = 0
+    engine_batches: dict[str, int] = field(default_factory=dict)
+
+    def tier(self, name: str) -> TierStats:
+        """The (created-on-first-use) stats row for one tier."""
+        for t in self.tiers:
+            if t.name == name:
+                return t
+        t = TierStats(name)
+        self.tiers.append(t)
+        return t
+
+    def record_engine(self, engine: str) -> None:
+        self.engine_batches[engine] = \
+            self.engine_batches.get(engine, 0) + 1
+
+    def render(self) -> str:
+        """Human-readable per-tier table (the ``--stats`` output)."""
+        lines = [
+            f"searched {self.queries} queries x {self.entries_total} "
+            f"entries ({self.chars_total} chars, "
+            f"{self.shards_searched} shards)"
+        ]
+        for t in self.tiers:
+            lines.append(
+                f"  {t.name:<28} {t.candidates_in:>12} -> "
+                f"{t.candidates_out:<12} ({t.survivor_rate:7.3%})  "
+                f"{t.elapsed_s * 1e3:9.1f} ms"
+            )
+        if self.engine_batches:
+            parts = ", ".join(f"{k}={v}" for k, v in
+                              sorted(self.engine_batches.items()))
+            lines.append(f"  tier-1 engine batches: {parts}")
+        return "\n".join(lines)

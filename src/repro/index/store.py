@@ -1,0 +1,490 @@
+"""On-disk sharded sequence index: packed 2-bit codes + minimizer
+postings, memory-mapped.
+
+An index is a directory::
+
+    myindex/
+      manifest.json     # format version, k/w params, shard table
+      shard-00000.rpx   # fixed-budget shard, see layout below
+      shard-00001.rpx
+      ...
+
+Entries are streamed into shards of at most ``shard_chars`` characters
+(an entry never spans two shards; one longer than the budget gets its
+own oversized shard), so both index *build* and index *search* touch
+one shard's worth of data at a time — peak memory is bounded by shard
+size, not database size.
+
+Shard file layout (little-endian, every section 8-byte aligned)::
+
+    header (64 bytes):
+      magic   b"RPIX" | version u16 | pad u16 | k u32 | w u32
+      n_entries u64 | n_chars u64 | n_keys u64 | n_postings u64
+      ids_bytes u64 | crc32 u32 (of the payload) | pad
+    payload:
+      offsets  int64[n_entries + 1]   cumulative char offsets
+      ids      utf-8, newline-joined entry ids (ids_bytes long)
+      packed   uint8[ceil(n_chars / 4)]  2-bit codes, 4 per byte
+      keys     uint64[n_keys]          sorted unique minimizer hashes
+      poffs    int64[n_keys + 1]       CSR posting-list offsets
+      postings int64[n_postings]       k-mer start positions (shard
+                                       char space), sorted per key
+
+Structural checks (magic, version, section bounds vs file size,
+monotonic offsets) run on every open; the CRC-32 of the payload is
+verified on ``verify=True`` (it reads every byte, defeating lazy
+mmap paging, so it is opt-in for search and used by ``index build``'s
+read-back check and the CLI ``--verify`` flag).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..core.encoding import encode, pack_2bit, unpack_2bit
+from ..resilience.faults import fault_point
+from .fasta import FastaRecord
+from .minimizer import minimizers
+
+__all__ = ["FORMAT_VERSION", "IndexFormatError", "IndexIntegrityError",
+           "Shard", "DatabaseIndex", "build_index"]
+
+#: On-disk format version; bumped on any layout change.
+FORMAT_VERSION = 1
+
+_MAGIC = b"RPIX"
+_HEADER = struct.Struct("<4sHHIIQQQQQI")  # 60 bytes, padded to 64
+_HEADER_BYTES = 64
+
+
+class IndexFormatError(ValueError):
+    """The file is not a (compatible) repro index."""
+
+
+class IndexIntegrityError(RuntimeError):
+    """The index is structurally valid but its contents are corrupt."""
+
+
+def _align8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+def _pad8(fh, n: int) -> int:
+    """Pad section of ``n`` bytes to an 8-byte boundary; returns pad."""
+    pad = _align8(n) - n
+    if pad:
+        fh.write(b"\0" * pad)
+    return pad
+
+
+@dataclass(frozen=True)
+class _ShardMeta:
+    """One manifest row: where a shard lives and what it holds."""
+
+    file: str
+    n_entries: int
+    n_chars: int
+    entry_base: int   # global index of this shard's first entry
+    char_base: int    # global char offset of this shard's first char
+    crc32: int
+
+
+class Shard:
+    """One memory-mapped shard of the index (read side).
+
+    All arrays are zero-copy views into one ``np.memmap``; nothing is
+    read from disk until touched (except with ``verify=True``).
+    """
+
+    def __init__(self, path: str | Path, *, k: int, w: int,
+                 entry_base: int = 0, verify: bool = False,
+                 expected_crc: int | None = None) -> None:
+        self.path = Path(path)
+        self.entry_base = entry_base
+        fault_point("index.shard.open",
+                    action=lambda: _raise_injected(self.path))
+        try:
+            mm = np.memmap(self.path, dtype=np.uint8, mode="r")
+        except (OSError, ValueError) as exc:
+            raise IndexFormatError(
+                f"{self.path}: cannot map shard: {exc}") from exc
+        if mm.size < _HEADER_BYTES:
+            raise IndexFormatError(
+                f"{self.path}: truncated header ({mm.size} bytes)")
+        (magic, version, _pad, self.k, self.w, self.n_entries,
+         self.n_chars, n_keys, n_postings, ids_bytes,
+         self.crc32) = _HEADER.unpack(mm[:_HEADER.size].tobytes())
+        if magic != _MAGIC:
+            raise IndexFormatError(
+                f"{self.path}: bad magic {magic!r}; not a repro index "
+                "shard")
+        if version != FORMAT_VERSION:
+            raise IndexFormatError(
+                f"{self.path}: format version {version} != supported "
+                f"{FORMAT_VERSION}")
+        if k != self.k or w != self.w:
+            raise IndexIntegrityError(
+                f"{self.path}: shard params k={self.k}/w={self.w} "
+                f"disagree with index manifest k={k}/w={w}")
+        self._mm = mm
+        pos = _HEADER_BYTES
+        self.offsets, pos = self._section(pos, np.int64,
+                                          self.n_entries + 1)
+        ids_start = pos
+        pos = _align8(pos + ids_bytes)
+        self._ids_span = (ids_start, ids_start + ids_bytes)
+        self.packed, pos = self._section(pos, np.uint8,
+                                         (self.n_chars + 3) // 4)
+        self.keys, pos = self._section(pos, np.uint64, n_keys)
+        self.posting_offsets, pos = self._section(pos, np.int64,
+                                                  n_keys + 1)
+        self.postings, pos = self._section(pos, np.int64, n_postings)
+        if pos != mm.size:
+            raise IndexFormatError(
+                f"{self.path}: {mm.size - pos} trailing bytes after "
+                "the last section")
+        if self.n_entries and (
+                self.offsets[0] != 0
+                or self.offsets[-1] != self.n_chars
+                or np.any(np.diff(self.offsets) <= 0)):
+            raise IndexIntegrityError(
+                f"{self.path}: entry offsets table is not a strictly "
+                f"increasing 0..{self.n_chars} sequence")
+        if expected_crc is not None and expected_crc != self.crc32:
+            raise IndexIntegrityError(
+                f"{self.path}: header crc32 {self.crc32:#010x} != "
+                f"manifest crc32 {expected_crc:#010x}")
+        self._ids: list[str] | None = None
+        if verify:
+            self.verify()
+
+    def _section(self, pos: int, dtype, count: int):
+        nbytes = int(count) * np.dtype(dtype).itemsize
+        end = pos + nbytes
+        if end > self._mm.size:
+            raise IndexFormatError(
+                f"{self.path}: section at byte {pos} ({nbytes} bytes) "
+                f"runs past end of file ({self._mm.size} bytes)")
+        view = self._mm[pos:end].view(dtype)
+        return view, _align8(end)
+
+    # -- integrity ------------------------------------------------------
+    def verify(self) -> None:
+        """Recompute the payload CRC-32; raise on any corruption."""
+        crc = zlib.crc32(self._mm[_HEADER_BYTES:])
+        fault_point("index.shard.verify",
+                    action=lambda: _raise_corrupt(self.path))
+        if crc != self.crc32:
+            raise IndexIntegrityError(
+                f"{self.path}: payload crc32 {crc:#010x} != header "
+                f"crc32 {self.crc32:#010x}; the shard is corrupt")
+
+    # -- entry access ---------------------------------------------------
+    @property
+    def ids(self) -> list[str]:
+        """Entry ids (decoded lazily from the ids blob)."""
+        if self._ids is None:
+            a, b = self._ids_span
+            blob = self._mm[a:b].tobytes().decode("utf-8")
+            self._ids = blob.split("\n") if blob else []
+            if len(self._ids) != self.n_entries:
+                raise IndexIntegrityError(
+                    f"{self.path}: {len(self._ids)} ids for "
+                    f"{self.n_entries} entries")
+        return self._ids
+
+    def entry_length(self, i: int) -> int:
+        return int(self.offsets[i + 1] - self.offsets[i])
+
+    def entry_codes(self, i: int) -> np.ndarray:
+        """Wordwise 2-bit codes of local entry ``i``."""
+        return self.window_codes(int(self.offsets[i]),
+                                 int(self.offsets[i + 1]))
+
+    def window_codes(self, start: int, end: int) -> np.ndarray:
+        """Codes of shard char range ``[start, end)`` (zero-copy read
+        of the touched bytes only)."""
+        if not 0 <= start <= end <= self.n_chars:
+            raise ValueError(
+                f"char range [{start}, {end}) outside shard "
+                f"[0, {self.n_chars})")
+        b0, b1 = start // 4, (end + 3) // 4
+        codes = unpack_2bit(np.asarray(self.packed[b0:b1]),
+                            (b1 - b0) * 4)
+        lo = start - b0 * 4
+        return codes[lo:lo + (end - start)]
+
+    def entry_of(self, positions: np.ndarray) -> np.ndarray:
+        """Local entry index containing each shard char position."""
+        return np.searchsorted(self.offsets, positions, side="right") - 1
+
+    def lookup(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Posting positions for a batch of hashed minimizer values.
+
+        Returns ``(positions, value_index)``: every indexed occurrence
+        of every queried value, as shard char positions plus the index
+        into ``values`` that produced each.
+        """
+        values = np.asarray(values, dtype=np.uint64)
+        lo = np.searchsorted(self.keys, values, side="left")
+        found = (lo < self.keys.shape[0])
+        found[found] &= self.keys[lo[found]] == values[found]
+        pos_chunks: list[np.ndarray] = []
+        src_chunks: list[np.ndarray] = []
+        for vi in np.flatnonzero(found):
+            a = int(self.posting_offsets[lo[vi]])
+            b = int(self.posting_offsets[lo[vi] + 1])
+            pos_chunks.append(np.asarray(self.postings[a:b]))
+            src_chunks.append(np.full(b - a, vi, dtype=np.int64))
+        if not pos_chunks:
+            return (np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.int64))
+        return np.concatenate(pos_chunks), np.concatenate(src_chunks)
+
+    def close(self) -> None:
+        """Drop the mapping (views become invalid)."""
+        self._mm = None  # type: ignore[assignment]
+
+
+def _raise_injected(path: Path) -> None:
+    raise IndexIntegrityError(
+        f"{path}: injected fault at site 'index.shard.open'")
+
+
+def _raise_corrupt(path: Path) -> None:
+    raise IndexIntegrityError(
+        f"{path}: injected fault at site 'index.shard.verify'")
+
+
+def _write_shard(path: Path, k: int, w: int, ids: list[str],
+                 seqs: list[np.ndarray]) -> int:
+    """Write one shard file; returns its payload CRC-32."""
+    offsets = np.zeros(len(seqs) + 1, dtype=np.int64)
+    np.cumsum([len(s) for s in seqs], out=offsets[1:])
+    chars = (np.concatenate(seqs) if seqs
+             else np.empty(0, dtype=np.uint8)).astype(np.uint8)
+    n_chars = int(offsets[-1])
+
+    # Minimizers are computed per entry (k-mers never span entries),
+    # then shifted into shard char space.
+    val_chunks: list[np.ndarray] = []
+    pos_chunks: list[np.ndarray] = []
+    for i, seq in enumerate(seqs):
+        pos, vals = minimizers(seq, k, w)
+        if pos.size:
+            val_chunks.append(vals)
+            pos_chunks.append(pos + int(offsets[i]))
+    if val_chunks:
+        vals = np.concatenate(val_chunks)
+        pos = np.concatenate(pos_chunks)
+        order = np.lexsort((pos, vals))
+        vals, pos = vals[order], pos[order]
+        keys, counts = np.unique(vals, return_counts=True)
+        poffs = np.zeros(keys.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=poffs[1:])
+    else:
+        keys = np.empty(0, dtype=np.uint64)
+        poffs = np.zeros(1, dtype=np.int64)
+        pos = np.empty(0, dtype=np.int64)
+
+    ids_blob = "\n".join(ids).encode("utf-8")
+    packed = pack_2bit(chars)
+    crc = 0
+    with path.open("wb") as fh:
+        fh.write(b"\0" * _HEADER_BYTES)  # placeholder
+        crc = zlib.crc32(offsets.tobytes(), crc)
+        fh.write(offsets.tobytes())
+        pad = b"\0" * (_align8(len(ids_blob)) - len(ids_blob))
+        crc = zlib.crc32(ids_blob + pad, crc)
+        fh.write(ids_blob + pad)
+        for arr in (packed, keys, poffs, pos):
+            raw = arr.tobytes()
+            padded = raw + b"\0" * (_align8(len(raw)) - len(raw))
+            crc = zlib.crc32(padded, crc)
+            fh.write(padded)
+        header = _HEADER.pack(_MAGIC, FORMAT_VERSION, 0, k, w,
+                              len(seqs), n_chars, keys.shape[0],
+                              pos.shape[0], len(ids_blob), crc)
+        fh.seek(0)
+        fh.write(header.ljust(_HEADER_BYTES, b"\0"))
+    return crc
+
+
+class DatabaseIndex:
+    """A built index: manifest plus lazily opened shards."""
+
+    def __init__(self, path: str | Path, manifest: dict) -> None:
+        self.path = Path(path)
+        self.k = int(manifest["k"])
+        self.w = int(manifest["w"])
+        self.shard_chars = int(manifest["shard_chars"])
+        self.n_entries = int(manifest["n_entries"])
+        self.n_chars = int(manifest["n_chars"])
+        self._shards = [_ShardMeta(**row) for row in manifest["shards"]]
+
+    # -- lifecycle ------------------------------------------------------
+    @classmethod
+    def open(cls, path: str | Path) -> "DatabaseIndex":
+        """Open an index directory (manifest checks; shards stay lazy)."""
+        path = Path(path)
+        manifest_path = path / "manifest.json"
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except FileNotFoundError:
+            raise IndexFormatError(
+                f"{path}: no manifest.json; not an index directory"
+            ) from None
+        except json.JSONDecodeError as exc:
+            raise IndexFormatError(
+                f"{manifest_path}: invalid JSON: {exc}") from exc
+        if manifest.get("format") != "repro-index":
+            raise IndexFormatError(
+                f"{manifest_path}: format "
+                f"{manifest.get('format')!r} != 'repro-index'")
+        if manifest.get("version") != FORMAT_VERSION:
+            raise IndexFormatError(
+                f"{manifest_path}: version {manifest.get('version')} "
+                f"!= supported {FORMAT_VERSION}")
+        return cls(path, manifest)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def open_shard(self, i: int, verify: bool = False) -> Shard:
+        """Memory-map shard ``i``, cross-checking it against the
+        manifest row (entry/char counts and, with ``verify``, CRC)."""
+        meta = self._shards[i]
+        shard = Shard(self.path / meta.file, k=self.k, w=self.w,
+                      entry_base=meta.entry_base, verify=verify,
+                      expected_crc=meta.crc32)
+        if (shard.n_entries != meta.n_entries
+                or shard.n_chars != meta.n_chars):
+            raise IndexIntegrityError(
+                f"{shard.path}: header counts "
+                f"({shard.n_entries} entries, {shard.n_chars} chars) "
+                f"disagree with manifest ({meta.n_entries}, "
+                f"{meta.n_chars})")
+        return shard
+
+    def iter_shards(self, verify: bool = False) -> Iterator[Shard]:
+        """Open shards one at a time (each closed by the caller or GC)."""
+        for i in range(self.n_shards):
+            yield self.open_shard(i, verify=verify)
+
+    def verify(self) -> None:
+        """Full integrity pass over every shard (reads everything)."""
+        for shard in self.iter_shards(verify=True):
+            shard.close()
+
+    def entry_id(self, global_index: int) -> str:
+        """Id of a global entry index (opens the owning shard)."""
+        if not 0 <= global_index < self.n_entries:
+            raise ValueError(
+                f"entry {global_index} outside [0, {self.n_entries})")
+        for i, meta in enumerate(self._shards):
+            if global_index < meta.entry_base + meta.n_entries:
+                shard = self.open_shard(i)
+                try:
+                    return shard.ids[global_index - meta.entry_base]
+                finally:
+                    shard.close()
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _normalise(item, index: int) -> tuple[str, np.ndarray]:
+    """Accept FastaRecord, (id, seq), str, or a 1-D code array."""
+    if isinstance(item, FastaRecord):
+        return item.id, item.codes
+    if isinstance(item, tuple) and len(item) == 2:
+        name, seq = item
+        return str(name), (encode(seq) if isinstance(seq, str)
+                           else np.asarray(seq, dtype=np.uint8))
+    if isinstance(item, str):
+        return f"seq{index}", encode(item)
+    return f"seq{index}", np.asarray(item, dtype=np.uint8)
+
+
+def build_index(sequences: Iterable, path: str | Path, *,
+                k: int = 16, w: int = 8,
+                shard_chars: int = 1 << 24) -> DatabaseIndex:
+    """Stream sequences into a new on-disk index at ``path``.
+
+    ``sequences`` yields :class:`~repro.index.fasta.FastaRecord`,
+    ``(id, sequence)`` pairs, plain strings, or 1-D code arrays —
+    e.g. ``iter_fasta(...)`` to build from a FASTA file without ever
+    holding it in memory.  Entries accumulate into shards of at most
+    ``shard_chars`` characters (an entry longer than the budget gets a
+    shard of its own), so peak memory is one shard.  ``path`` must not
+    already contain an index (refuses to clobber).
+    """
+    if shard_chars <= 0:
+        raise ValueError(f"shard_chars must be positive, got {shard_chars}")
+    if w < 1:
+        raise ValueError(f"w must be positive, got {w}")
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    manifest_path = path / "manifest.json"
+    if manifest_path.exists():
+        raise IndexFormatError(
+            f"{path}: already contains an index (manifest.json "
+            "exists); refusing to overwrite")
+
+    shards: list[_ShardMeta] = []
+    ids: list[str] = []
+    seqs: list[np.ndarray] = []
+    pending = 0
+    entry_base = 0
+    char_base = 0
+
+    def flush() -> None:
+        nonlocal ids, seqs, pending, entry_base, char_base
+        if not seqs:
+            return
+        fname = f"shard-{len(shards):05d}.rpx"
+        crc = _write_shard(path / fname, k, w, ids, seqs)
+        shards.append(_ShardMeta(file=fname, n_entries=len(seqs),
+                                 n_chars=pending,
+                                 entry_base=entry_base,
+                                 char_base=char_base, crc32=crc))
+        entry_base += len(seqs)
+        char_base += pending
+        ids, seqs, pending = [], [], 0
+
+    count = 0
+    for item in sequences:
+        name, codes = _normalise(item, count)
+        count += 1
+        if codes.ndim != 1 or codes.size == 0:
+            raise ValueError(
+                f"entry {name!r}: expected a non-empty 1-D code "
+                f"array, got shape {codes.shape}")
+        if "\n" in name:
+            raise ValueError(f"entry id {name!r} contains a newline")
+        if pending and pending + codes.size > shard_chars:
+            flush()
+        ids.append(name)
+        seqs.append(codes)
+        pending += codes.size
+        if pending >= shard_chars:
+            flush()
+    flush()
+    if not shards:
+        raise ValueError("cannot build an index over zero sequences")
+
+    manifest = {
+        "format": "repro-index",
+        "version": FORMAT_VERSION,
+        "k": k, "w": w, "shard_chars": shard_chars,
+        "n_entries": entry_base, "n_chars": char_base,
+        "shards": [vars(m) for m in shards],
+    }
+    manifest_path.write_text(json.dumps(manifest, indent=1))
+    return DatabaseIndex(path, manifest)

@@ -83,6 +83,18 @@ SITES: dict[str, str] = {
         "batch",
     "engine.numpy.fail":
         "the resilience chain's numpy SWA engine raises on a batch",
+    "index.shard.open":
+        "opening an index shard reports corruption "
+        "(IndexIntegrityError before the mmap is used)",
+    "index.shard.verify":
+        "the shard payload CRC check reports corruption "
+        "(IndexIntegrityError from Shard.verify)",
+    "index.tier1.screen":
+        "a tier-1 bulk-screen batch raises before scoring; a "
+        "resilient TieredSearch rescores it on the fallback chain",
+    "index.tier2.align":
+        "a tier-2 traceback alignment raises; TieredSearch retries "
+        "once, then propagates",
 }
 
 

@@ -1,130 +1,22 @@
-"""Minimal FASTA reading/writing for the command-line tools.
+"""Compatibility shim: the FASTA implementation moved to
+:mod:`repro.index.fasta`.
 
-A deliberately small, dependency-free parser covering what the CLI
-needs: multi-record files, ``>``-headers with ids and optional
-descriptions, sequence lines folded at arbitrary widths, case
-normalisation, and strict DNA-alphabet validation (the BPBC engines
-encode 2-bit bases only).
+The index subsystem needed streaming parsing and an ambiguous-base
+policy, so the canonical reader/writer lives there now; this module
+keeps the historical import path working.  New code should import from
+``repro.index.fasta``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from pathlib import Path
-from typing import Iterable, Iterator
+from ..index.fasta import (
+    FastaError,
+    FastaRecord,
+    iter_fasta,
+    read_fasta,
+    records_to_batch,
+    write_fasta,
+)
 
-import numpy as np
-
-from ..core.encoding import ALPHABET, encode
-
-__all__ = ["FastaRecord", "read_fasta", "write_fasta", "records_to_batch"]
-
-
-class FastaError(ValueError):
-    """Raised for malformed FASTA input."""
-
-
-@dataclass(frozen=True)
-class FastaRecord:
-    """One FASTA record: id, optional description, DNA sequence."""
-
-    id: str
-    description: str
-    sequence: str
-
-    @property
-    def codes(self) -> np.ndarray:
-        """The sequence as 2-bit codes."""
-        return encode(self.sequence)
-
-    def __len__(self) -> int:
-        return len(self.sequence)
-
-
-def _parse(lines: Iterable[str], source: str) -> Iterator[FastaRecord]:
-    header: str | None = None
-    chunks: list[str] = []
-    lineno = 0
-    for raw in lines:
-        lineno += 1
-        line = raw.rstrip("\n\r")
-        if not line.strip():
-            continue
-        if line.startswith(">"):
-            if header is not None:
-                yield _make_record(header, chunks, source)
-            header = line[1:].strip()
-            if not header:
-                raise FastaError(
-                    f"{source}:{lineno}: empty FASTA header"
-                )
-            chunks = []
-        else:
-            if header is None:
-                raise FastaError(
-                    f"{source}:{lineno}: sequence data before any "
-                    "'>' header"
-                )
-            chunks.append(line.strip())
-    if header is not None:
-        yield _make_record(header, chunks, source)
-    elif lineno == 0:
-        raise FastaError(f"{source}: empty FASTA input")
-
-
-def _make_record(header: str, chunks: list[str],
-                 source: str) -> FastaRecord:
-    seq = "".join(chunks).upper()
-    if not seq:
-        raise FastaError(f"{source}: record {header!r} has no sequence")
-    bad = set(seq) - set(ALPHABET)
-    if bad:
-        raise FastaError(
-            f"{source}: record {header!r} contains non-DNA characters "
-            f"{sorted(bad)}"
-        )
-    parts = header.split(None, 1)
-    return FastaRecord(id=parts[0],
-                       description=parts[1] if len(parts) > 1 else "",
-                       sequence=seq)
-
-
-def read_fasta(path: str | Path) -> list[FastaRecord]:
-    """Parse a FASTA file into records (strict DNA alphabet)."""
-    path = Path(path)
-    with path.open() as fh:
-        records = list(_parse(fh, str(path)))
-    if not records:
-        raise FastaError(f"{path}: no FASTA records found")
-    return records
-
-
-def write_fasta(path: str | Path, records: Iterable[FastaRecord],
-                width: int = 70) -> None:
-    """Write records, folding sequence lines at ``width`` columns."""
-    if width <= 0:
-        raise FastaError(f"fold width must be positive, got {width}")
-    path = Path(path)
-    with path.open("w") as fh:
-        for rec in records:
-            header = rec.id if not rec.description else (
-                f"{rec.id} {rec.description}"
-            )
-            fh.write(f">{header}\n")
-            for i in range(0, len(rec.sequence), width):
-                fh.write(rec.sequence[i:i + width] + "\n")
-
-
-def records_to_batch(records: list[FastaRecord]) -> np.ndarray:
-    """Stack equal-length records into a ``(P, n)`` code matrix."""
-    if not records:
-        raise FastaError("empty record list")
-    n = len(records[0])
-    for rec in records:
-        if len(rec) != n:
-            raise FastaError(
-                f"record {rec.id!r} has length {len(rec)}; the batch "
-                f"engines need equal lengths ({n} expected). Pad or "
-                "split the input."
-            )
-    return np.stack([rec.codes for rec in records])
+__all__ = ["FastaError", "FastaRecord", "iter_fasta", "read_fasta",
+           "write_fasta", "records_to_batch"]

@@ -170,6 +170,104 @@ def _scenario_gpusim_memory(rng, seed):
     assert gmem.load("scores", 0) == 0
 
 
+# -- index.* -----------------------------------------------------------
+
+def _tiny_index(rng, tmp):
+    from repro.index.store import build_index
+    from repro.workloads.dna import random_strand
+
+    entries = [random_strand(rng, int(n))
+               for n in rng.integers(100, 300, size=8)]
+    query = random_strand(rng, 24)
+    entries[3][20:44] = query
+    idx = build_index(((f"e{i}", s) for i, s in enumerate(entries)),
+                      tmp / "idx", k=8, w=4, shard_chars=600)
+    return idx, query
+
+
+def _scenario_index_shard_open(rng, seed):
+    import tempfile
+    from pathlib import Path
+
+    from repro.index.store import IndexIntegrityError
+
+    with tempfile.TemporaryDirectory() as tmp:
+        idx, _ = _tiny_index(rng, Path(tmp))
+        with FaultPlan.single("index.shard.open", times=1):
+            with pytest.raises(IndexIntegrityError,
+                               match="index.shard.open"):
+                idx.open_shard(0)
+            # times=1 spent: the same shard opens cleanly afterwards.
+            idx.open_shard(0).close()
+
+
+def _scenario_index_shard_verify(rng, seed):
+    import tempfile
+    from pathlib import Path
+
+    from repro.index.store import IndexIntegrityError
+
+    with tempfile.TemporaryDirectory() as tmp:
+        idx, _ = _tiny_index(rng, Path(tmp))
+        with FaultPlan.single("index.shard.verify", times=1):
+            with pytest.raises(IndexIntegrityError,
+                               match="index.shard.verify"):
+                idx.verify()
+        # The reported corruption was injected, not real: a clean
+        # re-verify of the untouched files passes.
+        idx.verify()
+
+
+def _scenario_index_tier1_screen(rng, seed):
+    import tempfile
+    from pathlib import Path
+
+    from repro.index.search import TieredSearch
+
+    with tempfile.TemporaryDirectory() as tmp:
+        idx, query = _tiny_index(rng, Path(tmp))
+        search = TieredSearch(idx, scheme=DEFAULT_SCHEME, min_seeds=1,
+                              threshold=20, resilient=True)
+        clean = search.search([query], align=False)
+        with FaultPlan.single("index.tier1.screen", times=1):
+            hit = search.search([query], align=False)
+        # Rescued on the fallback chain: bit-identical hits, and the
+        # stats name the rescue so operators can see it happened.
+        assert ([(h.db_index, h.score) for h in hit.hits]
+                == [(h.db_index, h.score) for h in clean.hits])
+        assert any("rescued" in e for e in hit.stats.engine_batches)
+        # Non-resilient searches surface the typed fault instead.
+        brittle = TieredSearch(idx, scheme=DEFAULT_SCHEME, min_seeds=1,
+                               threshold=20, resilient=False)
+        with FaultPlan.single("index.tier1.screen", times=1):
+            with pytest.raises(InjectedFault):
+                brittle.search([query], align=False)
+
+
+def _scenario_index_tier2_align(rng, seed):
+    import tempfile
+    from pathlib import Path
+
+    from repro.index.search import TieredSearch
+
+    with tempfile.TemporaryDirectory() as tmp:
+        idx, query = _tiny_index(rng, Path(tmp))
+        search = TieredSearch(idx, scheme=DEFAULT_SCHEME, min_seeds=1,
+                              threshold=20)
+        clean = search.search([query])
+        with FaultPlan.single("index.tier2.align", times=1):
+            hit = search.search([query])
+        # One transient alignment failure is absorbed by the retry.
+        assert ([(h.db_index, h.score, h.alignment.aligned_x)
+                 for h in hit.hits]
+                == [(h.db_index, h.score, h.alignment.aligned_x)
+                    for h in clean.hits])
+        # A permanent fault exhausts the retry and propagates typed.
+        with FaultPlan.single("index.tier2.align"):
+            with pytest.raises(InjectedFault):
+                search.search([query])
+
+
 # -- engine.*.fail -----------------------------------------------------
 
 def _engine_demotes(rng, name):
@@ -215,6 +313,10 @@ SCENARIOS = {
     "engine.compiled-numpy.fail": _scenario_engine_compiled_numpy,
     "engine.numpy.fail": _scenario_engine_numpy,
     "gpusim.memory.fault": _scenario_gpusim_memory,
+    "index.shard.open": _scenario_index_shard_open,
+    "index.shard.verify": _scenario_index_shard_verify,
+    "index.tier1.screen": _scenario_index_tier1_screen,
+    "index.tier2.align": _scenario_index_tier2_align,
     "jit.cc.compile": _scenario_cc_compile,
     "jit.cc.load": _scenario_cc_load,
     "serve.sock.drop": _scenario_sock_drop,

@@ -65,6 +65,93 @@ class TestWindows:
         assert hits[0].score == sw_max_score(q, d, scheme)
 
 
+class TestWindowsEdgeCases:
+    def test_length_equals_window(self):
+        # Exactly one window, no phantom right-aligned duplicate.
+        for ov in (0, 7, 15):
+            assert windows_for(16, 16, ov) == [(0, 16)]
+
+    def test_overlap_equals_window_minus_one(self):
+        # Step 1: every position starts a window (densest legal case).
+        wins = windows_for(8, 4, 3)
+        assert wins == [(a, a + 4) for a in range(5)]
+
+    def test_single_char_text(self):
+        assert windows_for(1, 4, 2) == [(0, 1)]
+        assert windows_for(1, 1, 0) == [(0, 1)]
+
+    def test_zero_overlap_tiles(self):
+        assert windows_for(12, 4, 0) == [(0, 4), (4, 8), (8, 12)]
+        # Non-multiple length: right-aligned tail window.
+        assert windows_for(10, 4, 0)[-1] == (6, 10)
+
+    @settings(max_examples=60, deadline=None)
+    @given(length=st.integers(1, 200), window=st.integers(1, 50),
+           overlap=st.integers(0, 49))
+    def test_every_short_substring_lies_in_some_window(
+            self, length, window, overlap):
+        """The soundness property tier-1 windowing relies on: every
+        substring of length <= overlap+1 is contained in one window."""
+        if overlap >= window:
+            with pytest.raises(ValueError):
+                windows_for(length, window, overlap)
+            return
+        wins = windows_for(length, window, overlap)
+        span = min(overlap + 1, length)
+        for start in range(length - span + 1):
+            assert any(a <= start and start + span <= b
+                       for a, b in wins), (length, window, overlap,
+                                           start)
+        # And windows never overrun or leave gaps.
+        covered = set()
+        for a, b in wins:
+            assert 0 <= a < b <= length
+            covered.update(range(a, b))
+        assert covered == set(range(length))
+
+
+class TestWindowInflation:
+    """Satellite: unsound caller windows must never be silently fixed."""
+
+    def _planted(self, rng):
+        q = random_strand(rng, 12)
+        text = random_strand(rng, 300)
+        text[100:112] = q
+        return [decode(q)], [decode(text)]
+
+    def test_unsound_window_warns_and_inflates(self, rng):
+        queries, db = self._planted(rng)
+        min_window = window_overlap(12, SCHEME) + 1
+        with pytest.warns(UserWarning, match="inflated"):
+            hits = search_database(queries, db, SCHEME, window=10)
+        # The inflated run is still exact.
+        assert hits[0].score == 24
+        # The warning names the sound minimum.
+        with pytest.warns(UserWarning, match=str(min_window)):
+            search_database(queries, db, SCHEME, window=10)
+
+    def test_strict_window_raises(self, rng):
+        queries, db = self._planted(rng)
+        with pytest.raises(ValueError, match="unsound"):
+            search_database(queries, db, SCHEME, window=10,
+                            strict_window=True)
+
+    def test_sound_window_no_warning(self, rng, recwarn):
+        queries, db = self._planted(rng)
+        window = window_overlap(12, SCHEME) + 1
+        hits = search_database(queries, db, SCHEME, window=window)
+        assert hits[0].score == 24
+        assert not [w for w in recwarn
+                    if issubclass(w.category, UserWarning)]
+
+    def test_strict_sound_window_ok(self, rng):
+        queries, db = self._planted(rng)
+        window = window_overlap(12, SCHEME) + 2
+        hits = search_database(queries, db, SCHEME, window=window,
+                               strict_window=True)
+        assert hits[0].score == 24
+
+
 class TestSearchDatabase:
     def test_all_vs_all_exact_scores(self, rng):
         queries = [decode(random_strand(rng, m)) for m in (6, 9)]

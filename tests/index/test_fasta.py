@@ -1,0 +1,131 @@
+"""Tests for repro.index.fasta: streaming + ambiguous-base policy.
+
+(The strict-mode basics are additionally covered through the
+compatibility shim by tests/workloads/test_fasta.py.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index.fasta import (
+    AMBIGUITY,
+    FastaError,
+    FastaRecord,
+    iter_fasta,
+    read_fasta,
+    write_fasta,
+)
+
+
+@pytest.fixture
+def mixed_file(tmp_path):
+    p = tmp_path / "mixed.fa"
+    p.write_text(
+        ">clean first\n"
+        "ACGTacgt\n"
+        "ACGT\n"
+        ">ambig has Ns\n"
+        "ACNNGT\n"
+        ">rna\n"
+        "ACGU\n"
+    )
+    return p
+
+
+class TestMultiLineAndCase:
+    def test_folded_lines_joined(self, tmp_path):
+        p = tmp_path / "f.fa"
+        p.write_text(">x\nAC\nGT\nAC\n")
+        assert read_fasta(p)[0].sequence == "ACGTAC"
+
+    def test_lowercase_normalised(self, tmp_path):
+        p = tmp_path / "f.fa"
+        p.write_text(">x\nacgt\nACGT\n")
+        assert read_fasta(p)[0].sequence == "ACGTACGT"
+
+    def test_u_read_as_t(self, tmp_path):
+        p = tmp_path / "f.fa"
+        p.write_text(">x\nACGU\nuuuu\n")
+        assert read_fasta(p)[0].sequence == "ACGTTTTT"
+
+    def test_blank_lines_and_crlf(self, tmp_path):
+        p = tmp_path / "f.fa"
+        p.write_bytes(b">x desc\r\nACGT\r\n\r\nACGT\r\n")
+        rec = read_fasta(p)[0]
+        assert rec == FastaRecord("x", "desc", "ACGTACGT")
+
+
+class TestStreaming:
+    def test_iter_is_lazy(self, tmp_path):
+        p = tmp_path / "f.fa"
+        p.write_text(">a\nACGT\n>b\nTTTT\n>c\nGGGG\n")
+        it = iter_fasta(p)
+        assert next(it).id == "a"
+        assert next(it).id == "b"
+        assert [r.id for r in it] == ["c"]
+
+    def test_iter_bad_policy(self, tmp_path):
+        p = tmp_path / "f.fa"
+        p.write_text(">a\nACGT\n")
+        with pytest.raises(FastaError, match="policy"):
+            list(iter_fasta(p, ambiguous="drop"))
+
+
+class TestAmbiguousPolicy:
+    def test_strict_raises_and_names_codes(self, mixed_file):
+        with pytest.raises(FastaError) as exc:
+            read_fasta(mixed_file, ambiguous="strict")
+        assert "N" in str(exc.value)
+
+    def test_skip_drops_affected_records(self, mixed_file):
+        recs = read_fasta(mixed_file, ambiguous="skip")
+        assert [r.id for r in recs] == ["clean", "rna"]
+
+    def test_replace_substitutes_valid_bases(self, mixed_file):
+        recs = read_fasta(mixed_file, ambiguous="replace")
+        assert [r.id for r in recs] == ["clean", "ambig", "rna"]
+        seq = recs[1].sequence
+        assert len(seq) == 6
+        assert seq[:2] == "AC" and seq[4:] == "GT"
+        assert set(seq) <= set("ACGT")
+
+    def test_replace_is_deterministic(self, mixed_file):
+        a = read_fasta(mixed_file, ambiguous="replace")
+        b = read_fasta(mixed_file, ambiguous="replace")
+        assert a == b
+
+    def test_replace_seed_changes_choice(self, tmp_path):
+        p = tmp_path / "n.fa"
+        p.write_text(">x\n" + "N" * 64 + "\n")
+        seqs = {read_fasta(p, ambiguous="replace", seed=s)[0].sequence
+                for s in range(4)}
+        assert len(seqs) > 1  # seeds explore different substitutions
+
+    def test_replace_respects_possibility_set(self, tmp_path):
+        p = tmp_path / "r.fa"
+        p.write_text(">x\n" + "R" * 32 + "\n")
+        seq = read_fasta(p, ambiguous="replace")[0].sequence
+        assert set(seq) <= set(AMBIGUITY["R"])
+
+    def test_truly_unknown_chars_always_rejected(self, tmp_path):
+        p = tmp_path / "x.fa"
+        p.write_text(">x\nAC*T\n")
+        for policy in ("strict", "replace", "skip"):
+            with pytest.raises(FastaError, match="non-nucleotide"):
+                read_fasta(p, ambiguous=policy)
+
+    def test_all_records_skipped_is_empty_error(self, tmp_path):
+        p = tmp_path / "n.fa"
+        p.write_text(">x\nNNNN\n")
+        with pytest.raises(FastaError, match="no FASTA records"):
+            read_fasta(p, ambiguous="skip")
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path):
+        recs = [FastaRecord("a", "hello world", "ACGT" * 40),
+                FastaRecord("b", "", "TGCA")]
+        p = tmp_path / "out.fa"
+        write_fasta(p, recs, width=13)
+        assert read_fasta(p) == recs

@@ -1,0 +1,137 @@
+"""Tests for repro.index.minimizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.minimizer import (MAX_K, hash_kmers, kmer_values,
+                                   minimizers)
+
+
+class TestKmerValues:
+    def test_matches_bruteforce(self, rng):
+        codes = rng.integers(0, 4, size=50).astype(np.uint8)
+        k = 5
+        vals = kmer_values(codes, k)
+        assert vals.shape == (46,)
+        for i in range(46):
+            want = 0
+            for c in codes[i:i + k]:
+                want = (want << 2) | int(c)
+            assert int(vals[i]) == want
+
+    def test_short_sequence_empty(self):
+        assert kmer_values(np.zeros(3, dtype=np.uint8), 4).size == 0
+
+    def test_k_bounds(self):
+        codes = np.zeros(40, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            kmer_values(codes, 0)
+        with pytest.raises(ValueError):
+            kmer_values(codes, MAX_K + 1)
+        assert kmer_values(codes, MAX_K).size == 40 - MAX_K + 1
+
+    def test_max_k_uses_full_word(self):
+        codes = np.full(MAX_K, 3, dtype=np.uint8)  # all-C k-mer
+        assert int(kmer_values(codes, MAX_K)[0]) == (1 << 64) - 1
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            kmer_values(np.zeros((2, 8), dtype=np.uint8), 4)
+
+
+class TestHash:
+    def test_injective_on_distinct_kmers(self, rng):
+        vals = rng.integers(0, 1 << 30, size=1000).astype(np.uint64)
+        vals = np.unique(vals)
+        assert np.unique(hash_kmers(vals)).size == vals.size
+
+    def test_deterministic(self):
+        v = np.arange(16, dtype=np.uint64)
+        np.testing.assert_array_equal(hash_kmers(v), hash_kmers(v))
+
+    def test_poly_a_not_zero(self):
+        # Code 0 k-mers (poly-A) must not hash to the global minimum
+        # pattern — that would make every window pick the same seed.
+        assert int(hash_kmers(np.zeros(1, dtype=np.uint64))[0]) != 0
+
+
+class TestMinimizers:
+    def test_one_per_window(self, rng):
+        codes = rng.integers(0, 4, size=200).astype(np.uint8)
+        k, w = 8, 5
+        pos, vals = minimizers(codes, k, w)
+        hashes = hash_kmers(kmer_values(codes, k))
+        # Every window of w consecutive k-mers contains a selected
+        # position (the defining property of a minimizer scheme).
+        selected = set(pos.tolist())
+        for start in range(hashes.shape[0] - w + 1):
+            assert selected & set(range(start, start + w))
+        # And every selected value is the hash at its position.
+        np.testing.assert_array_equal(vals, hashes[pos])
+
+    def test_selected_are_window_minima(self, rng):
+        codes = rng.integers(0, 4, size=120).astype(np.uint8)
+        w = 4
+        pos, _ = minimizers(codes, 6, w)
+        hashes = hash_kmers(kmer_values(codes, 6))
+        n = hashes.shape[0]
+        for p in pos.tolist():
+            # p must be the minimum of at least one w-window
+            # containing it (that is what selected it).
+            assert any(
+                int(hashes[p]) == int(hashes[s:s + w].min())
+                for s in range(max(0, p - w + 1), min(p, n - w) + 1))
+
+    def test_positions_sorted_unique(self, rng):
+        codes = rng.integers(0, 4, size=300).astype(np.uint8)
+        pos, _ = minimizers(codes, 10, 6)
+        assert np.all(np.diff(pos) > 0)
+
+    def test_short_sequences(self):
+        pos, vals = minimizers(np.zeros(3, dtype=np.uint8), 8, 4)
+        assert pos.size == 0 and vals.size == 0
+        # Shorter than a full window: one minimizer, the global min.
+        codes = np.array([0, 1, 2, 3, 1], dtype=np.uint8)
+        pos, vals = minimizers(codes, 4, 8)
+        assert pos.size == 1
+
+    def test_w_validation(self):
+        with pytest.raises(ValueError):
+            minimizers(np.zeros(10, dtype=np.uint8), 4, 0)
+
+    def test_shared_substring_shares_minimizers(self, rng):
+        """The property tier 0 relies on: a long exact shared
+        substring yields at least one common (position-shifted)
+        minimizer value."""
+        core = rng.integers(0, 4, size=64).astype(np.uint8)
+        left = rng.integers(0, 4, size=37).astype(np.uint8)
+        text = np.concatenate([left, core,
+                               rng.integers(0, 4, size=50)]).astype(
+                                   np.uint8)
+        _, qvals = minimizers(core, 8, 4)
+        _, tvals = minimizers(text, 8, 4)
+        assert np.intersect1d(qvals, tvals).size > 0
+
+
+@settings(max_examples=25)
+@given(st.integers(1, 12), st.integers(1, 8), st.integers(0, 2 ** 32))
+def test_minimizer_cover_property(k, w, seed):
+    """For random (k, w, sequence): selections are sorted, in range,
+    and cover every window."""
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(0, 4, size=int(rng.integers(1, 80))).astype(
+        np.uint8)
+    pos, vals = minimizers(codes, k, w)
+    n_kmers = max(0, codes.size - k + 1)
+    if n_kmers == 0:
+        assert pos.size == 0
+        return
+    assert pos.size > 0
+    assert np.all((pos >= 0) & (pos < n_kmers))
+    selected = set(pos.tolist())
+    for start in range(max(1, n_kmers - w + 1)):
+        assert selected & set(range(start, min(start + w, n_kmers)))

@@ -1,0 +1,234 @@
+"""Tests for repro.index.search: the three-tier pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.encoding import decode
+from repro.filter.database import search_database
+from repro.index.search import TieredSearch, search_index
+from repro.index.store import build_index
+from repro.swa.scoring import ScoringScheme
+from repro.swa.sequential import sw_max_score
+from repro.workloads.dna import random_strand
+
+SCHEME = ScoringScheme(2, 1, 1)
+
+
+@pytest.fixture
+def db(rng):
+    """25 random entries with a query planted into three of them."""
+    entries = [random_strand(rng, int(n))
+               for n in rng.integers(150, 600, size=25)]
+    query = random_strand(rng, 32)
+    entries[4][10:42] = query
+    entries[9][110:142] = query
+    mutated = query.copy()
+    mutated[::6] = (mutated[::6] + 1) % 4  # ~6 substitutions
+    entries[20][100:132] = mutated
+    return entries, query
+
+
+@pytest.fixture
+def indexed(tmp_path, db):
+    entries, query = db
+    idx = build_index(((f"e{i}", s) for i, s in enumerate(entries)),
+                      tmp_path / "idx", k=10, w=5, shard_chars=2000)
+    return idx, entries, query
+
+
+class TestTier0:
+    def test_planted_entries_found(self, indexed):
+        idx, entries, query = indexed
+        res = TieredSearch(idx, scheme=SCHEME, min_seeds=1,
+                           threshold=40).search([query])
+        found = {h.db_index for h in res.hits}
+        assert {4, 9} <= found
+
+    def test_prefilter_prunes(self, indexed):
+        idx, entries, query = indexed
+        res = TieredSearch(idx, scheme=SCHEME, min_seeds=2,
+                           threshold=40).search([query])
+        t0 = res.stats.tier("tier0 minimizer prefilter")
+        assert t0.candidates_in == len(entries)
+        assert 0 < t0.candidates_out < len(entries)
+
+    def test_query_shorter_than_k_rejected(self, indexed):
+        idx, _, _ = indexed
+        with pytest.raises(ValueError, match="shorter"):
+            TieredSearch(idx, scheme=SCHEME).search(["ACGT"])
+        # ... but fine in exact mode.
+        res = TieredSearch(idx, scheme=SCHEME, min_seeds=0,
+                           threshold=7).search(["ACGT"], align=False)
+        assert res.stats.queries == 1
+
+
+class TestExactness:
+    def test_scores_are_exact(self, indexed):
+        """Tier-1 windowing must never clip a planted alignment."""
+        idx, entries, query = indexed
+        res = TieredSearch(idx, scheme=SCHEME, min_seeds=1,
+                           threshold=30).search([query])
+        for h in res.hits:
+            want = sw_max_score(decode(query), decode(entries[h.db_index]),
+                                SCHEME)
+            assert h.score == want
+
+    def test_min_seeds_zero_equals_brute_force(self, indexed):
+        idx, entries, query = indexed
+        res = TieredSearch(idx, scheme=SCHEME, min_seeds=0,
+                           threshold=0).search([query], align=False)
+        brute = search_database([query], entries, SCHEME)
+        tiered = {(h.query_index, h.db_index): h.score
+                  for h in res.hits}
+        for b in brute:
+            key = (b.query_index, b.db_index)
+            # threshold=0 reports strictly positive scores only.
+            if b.score > 0:
+                assert tiered[key] == b.score
+            else:
+                assert key not in tiered
+        assert len(tiered) == sum(1 for b in brute if b.score > 0)
+
+    def test_alignment_matches_score_and_coordinates(self, indexed):
+        idx, entries, query = indexed
+        res = TieredSearch(idx, scheme=SCHEME, min_seeds=2,
+                           threshold=50).search([query])
+        assert res.hits
+        for h in res.hits:
+            assert h.alignment.score == h.score
+            y0, y1 = h.alignment.y_start, h.alignment.y_end
+            entry = entries[h.db_index]
+            assert 0 <= y0 < y1 <= len(entry)
+            # The aligned text region really is at those coordinates.
+            region = decode(entry[y0:y1])
+            assert h.alignment.aligned_y.replace("-", "") == region
+
+    def test_hit_straddling_window_boundary(self, tmp_path, rng):
+        """A planted hit crossing a tier-1 window edge must be exact
+        (the overlap soundness carried over from windows_for)."""
+        query = random_strand(rng, 24)
+        entry = random_strand(rng, 4000)
+        # Worst case: plant right where the default window would cut.
+        entry[1990:2014] = query
+        idx = build_index([("x", entry)], tmp_path / "idx", k=8, w=4)
+        res = TieredSearch(idx, scheme=SCHEME, min_seeds=1,
+                           threshold=40, window=200).search([query])
+        assert res.hits and res.hits[0].score == 48
+
+
+class TestApi:
+    def test_threshold_strictly_above(self, indexed):
+        idx, entries, query = indexed
+        exact = TieredSearch(idx, scheme=SCHEME, min_seeds=0,
+                             threshold=0).search([query], align=False)
+        scores = sorted(h.score for h in exact.hits)
+        tau = scores[len(scores) // 2]
+        res = TieredSearch(idx, scheme=SCHEME, min_seeds=0,
+                           threshold=tau).search([query], align=False)
+        assert all(h.score > tau for h in res.hits)
+        assert len(res.hits) == sum(1 for s in scores if s > tau)
+
+    def test_top_k_and_ranking(self, indexed):
+        idx, entries, query = indexed
+        res = TieredSearch(idx, scheme=SCHEME, min_seeds=0,
+                           threshold=0).search([query], top_k=3,
+                                               align=False)
+        assert len(res.hits) == 3
+        assert [h.score for h in res.hits] == sorted(
+            (h.score for h in res.hits), reverse=True)
+        best = max(sw_max_score(decode(query), decode(e), SCHEME)
+                   for e in entries)
+        assert res.hits[0].score == best
+
+    def test_multiple_queries(self, indexed):
+        idx, entries, query = indexed
+        q2 = entries[7][:40].copy()
+        res = TieredSearch(idx, scheme=SCHEME, min_seeds=2,
+                           threshold=40).search([query, q2])
+        by_q = {h.query_index for h in res.hits}
+        assert by_q == {0, 1}
+        assert any(h.query_index == 1 and h.db_index == 7
+                   for h in res.hits)
+
+    def test_search_index_convenience_and_path(self, indexed):
+        idx, entries, query = indexed
+        res = search_index(str(idx.path), [query], top_k=1,
+                           scheme=SCHEME, min_seeds=1, threshold=40)
+        assert res.hits[0].score == 64
+
+    def test_entry_ids_on_hits(self, indexed):
+        idx, entries, query = indexed
+        res = TieredSearch(idx, scheme=SCHEME, min_seeds=2,
+                           threshold=50).search([query])
+        for h in res.hits:
+            assert h.entry_id == f"e{h.db_index}"
+
+    def test_unsound_window_rejected(self, indexed):
+        idx, _, query = indexed
+        with pytest.raises(ValueError, match="unsound"):
+            TieredSearch(idx, scheme=SCHEME,
+                         window=10).search([query])
+
+    def test_validation(self, indexed):
+        idx, _, query = indexed
+        with pytest.raises(ValueError):
+            TieredSearch(idx, min_seeds=-1)
+        with pytest.raises(ValueError):
+            TieredSearch(idx, threshold=-1)
+        with pytest.raises(ValueError):
+            TieredSearch(idx, max_batch_pairs=0)
+        with pytest.raises(ValueError):
+            TieredSearch(idx, workers=0)
+        with pytest.raises(ValueError):
+            TieredSearch(idx).search([])
+        with pytest.raises(ValueError):
+            TieredSearch(idx).search([query], top_k=0)
+
+    def test_stats_shape(self, indexed):
+        idx, entries, query = indexed
+        res = TieredSearch(idx, scheme=SCHEME, min_seeds=1,
+                           threshold=40).search([query])
+        names = [t.name for t in res.stats.tiers]
+        assert names == ["tier0 minimizer prefilter",
+                         "tier1 bpbc screen", "tier2 traceback"]
+        assert res.stats.shards_searched == idx.n_shards
+        assert res.stats.engine_batches
+        rendered = res.stats.render()
+        assert "tier1" in rendered and "ms" in rendered
+
+
+class TestExecutionModes:
+    def test_non_resilient_matches(self, indexed):
+        idx, entries, query = indexed
+        a = TieredSearch(idx, scheme=SCHEME, min_seeds=1, threshold=30,
+                         resilient=False).search([query], align=False)
+        b = TieredSearch(idx, scheme=SCHEME, min_seeds=1, threshold=30,
+                         resilient=True).search([query], align=False)
+        assert ([(h.db_index, h.score) for h in a.hits]
+                == [(h.db_index, h.score) for h in b.hits])
+
+    def test_workers_match(self, indexed):
+        idx, entries, query = indexed
+        a = TieredSearch(idx, scheme=SCHEME, min_seeds=1,
+                         threshold=30).search([query], align=False)
+        b = TieredSearch(idx, scheme=SCHEME, min_seeds=1, threshold=30,
+                         workers=2,
+                         max_batch_pairs=8).search([query], align=False)
+        assert ([(h.db_index, h.score) for h in a.hits]
+                == [(h.db_index, h.score) for h in b.hits])
+
+    def test_small_batch_pairs_match(self, indexed):
+        idx, entries, query = indexed
+        a = TieredSearch(idx, scheme=SCHEME, min_seeds=0, threshold=0,
+                         max_batch_pairs=3).search([query], align=False)
+        b = TieredSearch(idx, scheme=SCHEME, min_seeds=0,
+                         threshold=0).search([query], align=False)
+        assert ([(h.db_index, h.score) for h in a.hits]
+                == [(h.db_index, h.score) for h in b.hits])
+
+    def test_verify_mode_searches_clean_index(self, indexed):
+        idx, entries, query = indexed
+        res = TieredSearch(idx, scheme=SCHEME, min_seeds=2,
+                           threshold=50, verify=True).search([query])
+        assert res.hits

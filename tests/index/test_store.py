@@ -1,0 +1,259 @@
+"""Tests for repro.index.store: shard format, build/open, integrity."""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import decode, encode
+from repro.index.minimizer import hash_kmers, kmer_values
+from repro.index.store import (FORMAT_VERSION, DatabaseIndex,
+                               IndexFormatError, IndexIntegrityError,
+                               build_index)
+from repro.workloads.dna import random_strand
+
+
+@pytest.fixture
+def entries(rng):
+    return [(f"entry-{i}", random_strand(rng, int(n)))
+            for i, n in enumerate(rng.integers(50, 300, size=25))]
+
+
+@pytest.fixture
+def built(tmp_path, entries):
+    idx = build_index(entries, tmp_path / "idx", k=8, w=4,
+                      shard_chars=1000)
+    return idx, entries
+
+
+class TestBuild:
+    def test_counts_and_sharding(self, built):
+        idx, entries = built
+        assert idx.n_entries == len(entries)
+        assert idx.n_chars == sum(len(s) for _, s in entries)
+        assert idx.n_shards > 1  # 1000-char budget forces splitting
+        for shard in idx.iter_shards():
+            assert shard.n_chars <= 1000 or shard.n_entries == 1
+            shard.close()
+
+    def test_roundtrip_sequences_and_ids(self, built):
+        idx, entries = built
+        i = 0
+        for shard in idx.iter_shards():
+            for local in range(shard.n_entries):
+                name, codes = entries[i]
+                assert shard.entry_base + local == i
+                assert shard.ids[local] == name
+                np.testing.assert_array_equal(
+                    shard.entry_codes(local), codes)
+                i += 1
+            shard.close()
+        assert i == len(entries)
+
+    def test_oversized_entry_gets_own_shard(self, tmp_path, rng):
+        big = random_strand(rng, 5000)
+        idx = build_index([("small", random_strand(rng, 10)),
+                           ("big", big),
+                           ("tail", random_strand(rng, 10))],
+                          tmp_path / "idx", shard_chars=100)
+        assert idx.n_shards == 3
+        shard = idx.open_shard(1)
+        assert shard.n_entries == 1 and shard.n_chars == 5000
+        np.testing.assert_array_equal(shard.entry_codes(0), big)
+        shard.close()
+
+    def test_accepts_strings_and_records(self, tmp_path):
+        from repro.index.fasta import FastaRecord
+
+        idx = build_index(["ACGTACGTAC",
+                           FastaRecord("r", "", "TTTTGGGGCC"),
+                           ("named", "ACACACACAC")],
+                          tmp_path / "idx", k=4, w=2)
+        shard = idx.open_shard(0)
+        assert shard.ids == ["seq0", "r", "named"]
+        assert decode(shard.entry_codes(0)) == "ACGTACGTAC"
+        shard.close()
+
+    def test_refuses_overwrite(self, tmp_path):
+        build_index(["ACGTACGT"], tmp_path / "idx")
+        with pytest.raises(IndexFormatError, match="refusing"):
+            build_index(["ACGTACGT"], tmp_path / "idx")
+
+    def test_rejects_empty(self, tmp_path):
+        with pytest.raises(ValueError):
+            build_index([], tmp_path / "idx")
+        with pytest.raises(ValueError):
+            build_index([("x", np.empty(0, dtype=np.uint8))],
+                        tmp_path / "idx2")
+
+    def test_rejects_newline_id(self, tmp_path):
+        with pytest.raises(ValueError, match="newline"):
+            build_index([("a\nb", "ACGT")], tmp_path / "idx")
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            build_index(["ACGT"], tmp_path / "a", shard_chars=0)
+        with pytest.raises(ValueError):
+            build_index(["ACGT"], tmp_path / "b", w=0)
+
+
+class TestPostings:
+    def test_lookup_finds_every_indexed_minimizer(self, built):
+        from repro.index.minimizer import minimizers
+
+        idx, entries = built
+        for shard in idx.iter_shards():
+            for local in range(shard.n_entries):
+                codes = shard.entry_codes(local)
+                pos, vals = minimizers(codes, idx.k, idx.w)
+                got_pos, src = shard.lookup(vals)
+                base = int(shard.offsets[local])
+                # Every (value, position) of this entry is indexed.
+                want = set(zip(vals.tolist(), (pos + base).tolist()))
+                got = set(zip(vals[src].tolist(), got_pos.tolist()))
+                assert want <= got
+            shard.close()
+
+    def test_lookup_miss_is_empty(self, built):
+        idx, _ = built
+        shard = idx.open_shard(0)
+        absent = hash_kmers(np.array([123456789], dtype=np.uint64))
+        pos, src = shard.lookup(absent)
+        assert pos.size == 0 and src.size == 0
+        shard.close()
+
+    def test_postings_sorted_per_key(self, built):
+        idx, _ = built
+        for shard in idx.iter_shards():
+            offs = np.asarray(shard.posting_offsets)
+            posts = np.asarray(shard.postings)
+            assert np.all(np.diff(np.asarray(shard.keys).view(
+                np.uint64)) > 0)
+            for a, b in zip(offs[:-1], offs[1:]):
+                assert np.all(np.diff(posts[a:b]) > 0)
+            shard.close()
+
+    def test_kmers_never_span_entries(self, tmp_path):
+        # Two entries whose concatenation contains a k-mer neither
+        # holds alone: it must not be indexed.
+        a, b = "AAAAAAAA", "CCCCCCCC"
+        idx = build_index([("a", a), ("b", b)], tmp_path / "idx",
+                          k=8, w=1)
+        shard = idx.open_shard(0)
+        spanning = hash_kmers(kmer_values(encode("AAAACCCC"), 8))
+        pos, _ = shard.lookup(spanning)
+        assert pos.size == 0
+        shard.close()
+
+
+class TestIntegrity:
+    def test_verify_passes_clean(self, built):
+        built[0].verify()
+
+    def test_corrupt_payload_detected(self, built, tmp_path):
+        idx, _ = built
+        target = idx.path / idx._shards[1].file
+        raw = bytearray(target.read_bytes())
+        raw[200] ^= 0xFF  # flip one payload byte
+        target.write_bytes(bytes(raw))
+        with pytest.raises(IndexIntegrityError, match="crc32"):
+            idx.open_shard(1, verify=True)
+
+    def test_unverified_open_structural_only(self, built):
+        idx, _ = built
+        target = idx.path / idx._shards[1].file
+        raw = bytearray(target.read_bytes())
+        # Corrupt the packed-sequence region (after offsets/ids).
+        raw[-10] ^= 0xFF
+        target.write_bytes(bytes(raw))
+        idx.open_shard(1, verify=False).close()  # lazy: no CRC read
+
+    def test_bad_magic(self, built):
+        idx, _ = built
+        target = idx.path / idx._shards[0].file
+        raw = bytearray(target.read_bytes())
+        raw[:4] = b"NOPE"
+        target.write_bytes(bytes(raw))
+        with pytest.raises(IndexFormatError, match="magic"):
+            idx.open_shard(0)
+
+    def test_version_mismatch(self, built):
+        idx, _ = built
+        target = idx.path / idx._shards[0].file
+        raw = bytearray(target.read_bytes())
+        struct.pack_into("<H", raw, 4, FORMAT_VERSION + 1)
+        target.write_bytes(bytes(raw))
+        with pytest.raises(IndexFormatError, match="version"):
+            idx.open_shard(0)
+
+    def test_truncated_file(self, built):
+        idx, _ = built
+        target = idx.path / idx._shards[0].file
+        target.write_bytes(target.read_bytes()[:100])
+        with pytest.raises(IndexFormatError, match="past end"):
+            idx.open_shard(0)
+
+    def test_manifest_count_mismatch(self, built):
+        idx, _ = built
+        manifest = json.loads((idx.path / "manifest.json").read_text())
+        manifest["shards"][0]["n_entries"] += 1
+        (idx.path / "manifest.json").write_text(json.dumps(manifest))
+        reopened = DatabaseIndex.open(idx.path)
+        with pytest.raises(IndexIntegrityError, match="disagree"):
+            reopened.open_shard(0)
+
+    def test_open_non_index(self, tmp_path):
+        with pytest.raises(IndexFormatError, match="manifest"):
+            DatabaseIndex.open(tmp_path)
+
+    def test_open_bad_manifest_version(self, built, tmp_path):
+        idx, _ = built
+        manifest = json.loads((idx.path / "manifest.json").read_text())
+        manifest["version"] = 99
+        (idx.path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(IndexFormatError, match="version"):
+            DatabaseIndex.open(idx.path)
+
+
+class TestAccess:
+    def test_window_codes(self, built):
+        idx, entries = built
+        shard = idx.open_shard(0)
+        whole = np.concatenate(
+            [entries[shard.entry_base + i][1]
+             for i in range(shard.n_entries)])
+        for a, b in ((0, 7), (3, 11), (1, 1), (13, 64)):
+            np.testing.assert_array_equal(shard.window_codes(a, b),
+                                          whole[a:b])
+        with pytest.raises(ValueError):
+            shard.window_codes(0, shard.n_chars + 1)
+        shard.close()
+
+    def test_entry_of(self, built):
+        idx, _ = built
+        shard = idx.open_shard(0)
+        offs = np.asarray(shard.offsets)
+        for e in range(shard.n_entries):
+            probe = np.array([offs[e], offs[e + 1] - 1])
+            np.testing.assert_array_equal(shard.entry_of(probe),
+                                          [e, e])
+        shard.close()
+
+    def test_entry_id_global(self, built):
+        idx, entries = built
+        for gi in (0, len(entries) // 2, len(entries) - 1):
+            assert idx.entry_id(gi) == entries[gi][0]
+        with pytest.raises(ValueError):
+            idx.entry_id(len(entries))
+
+    def test_reopen_from_disk(self, built):
+        idx, entries = built
+        fresh = DatabaseIndex.open(idx.path)
+        assert fresh.n_entries == idx.n_entries
+        assert fresh.n_chars == idx.n_chars
+        assert (fresh.k, fresh.w) == (idx.k, idx.w)
+        np.testing.assert_array_equal(
+            fresh.open_shard(0).entry_codes(0), entries[0][1])

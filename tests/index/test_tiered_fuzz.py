@@ -1,0 +1,102 @@
+"""Seeded tiered-vs-brute-force differential over random databases.
+
+The exactness contract of :class:`repro.index.search.TieredSearch`:
+
+* ``min_seeds=0, threshold=0`` is *exactly* brute-force
+  :func:`repro.filter.database.search_database` (positive scores),
+* with ``min_seeds=1`` hits are a subset of the brute-force positive
+  hits and every score is *seed-anchored*: the exact optimum over the
+  seed-containing windows, hence a lower bound on the entry's global
+  optimum (equal whenever the best alignment overlaps a seeded
+  window — the planted-homology case the tiers target).
+
+This module fuzzes both properties over random ragged databases,
+random queries with planted (mutated) homologies, rotating schemes
+and shard budgets.  The seed defaults to a constant and is rotated by
+CI's nightly fuzz job via ``REPRO_FUZZ_SEED``; reproduce a failure
+with::
+
+    REPRO_FUZZ_SEED=<seed> python -m pytest tests/index/test_tiered_fuzz.py
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.filter.database import search_database
+from repro.index.search import TieredSearch
+from repro.index.store import build_index
+from repro.swa.scoring import ScoringScheme
+from repro.workloads.dna import MutationModel, mutate
+
+DEFAULT_SEED = 20260808
+
+SEED = int(os.environ.get("REPRO_FUZZ_SEED", DEFAULT_SEED))
+
+SCHEMES = (
+    ScoringScheme(2, 1, 1),
+    ScoringScheme(1, 1, 1),
+    ScoringScheme(3, 2, 2),
+)
+
+ROUNDS = 6
+
+
+def _random_db(rng, round_index):
+    """A ragged database with planted mutated homologies."""
+    n_entries = int(rng.integers(10, 30))
+    entries = [rng.integers(0, 4, size=int(n),
+                            dtype=np.uint8).astype(np.uint8)
+               for n in rng.integers(40, 400, size=n_entries)]
+    m = int(rng.integers(16, 48))
+    query = rng.integers(0, 4, size=m, dtype=np.uint8).astype(np.uint8)
+    model = MutationModel(sub_rate=0.1)
+    for _ in range(int(rng.integers(1, 4))):
+        e = int(rng.integers(0, n_entries))
+        copy = mutate(rng, query, model)
+        if len(copy) <= len(entries[e]):
+            at = int(rng.integers(0, len(entries[e]) - len(copy) + 1))
+            entries[e][at:at + len(copy)] = copy
+    return entries, query
+
+
+@pytest.mark.parametrize("round_index", range(ROUNDS))
+def test_tiered_vs_brute_force(tmp_path, round_index):
+    rng = np.random.default_rng(SEED + round_index * 7919)
+    scheme = SCHEMES[round_index % len(SCHEMES)]
+    entries, query = _random_db(rng, round_index)
+    k = int(rng.integers(6, 13))
+    w = int(rng.integers(2, 8))
+    shard_chars = int(rng.integers(300, 3000))
+    ctx = (f"seed={SEED} round={round_index} scheme={scheme} "
+           f"k={k} w={w} shard_chars={shard_chars}")
+
+    idx = build_index(((f"e{i}", s) for i, s in enumerate(entries)),
+                      tmp_path / f"idx{round_index}", k=k, w=w,
+                      shard_chars=shard_chars)
+    brute = {(h.query_index, h.db_index): h.score
+             for h in search_database([query], entries, scheme)}
+
+    # Exact mode: identical positive-score hit sets.
+    exact = TieredSearch(idx, scheme=scheme, min_seeds=0,
+                         threshold=0).search([query], align=False)
+    got = {(h.query_index, h.db_index): h.score for h in exact.hits}
+    want = {key: s for key, s in brute.items() if s > 0}
+    assert got == want, f"exact-mode mismatch [{ctx}]"
+
+    # Seeded mode: a subset of the brute-force positives; every score
+    # is a seed-anchored exact optimum, never above the global one;
+    # alignments self-check against the screened score.
+    if len(query) >= k:
+        seeded = TieredSearch(idx, scheme=scheme, min_seeds=1,
+                              threshold=0).search([query])
+        for h in seeded.hits:
+            key = (h.query_index, h.db_index)
+            assert key in want, f"seeded hit not in brute [{ctx}]"
+            assert h.score <= brute[key], \
+                f"seeded score above optimum for {h.db_index} [{ctx}]"
+            assert h.alignment is not None
+            assert h.alignment.score == h.score

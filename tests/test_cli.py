@@ -159,6 +159,54 @@ class TestMatch:
             assert offs.count(",") == 64 - 16  # every offset hits
 
 
+class TestIndex:
+    @pytest.fixture
+    def db_and_query(self, tmp_path):
+        rng = np.random.default_rng(17)
+        entries = [random_strand(rng, 400) for _ in range(12)]
+        query = random_strand(rng, 32)
+        entries[5][100:132] = query
+        db = tmp_path / "db.fa"
+        write_fasta(db, [FastaRecord(f"e{i}", "", decode(s))
+                         for i, s in enumerate(entries)])
+        qf = tmp_path / "q.fa"
+        write_fasta(qf, [FastaRecord("q0", "", decode(query))])
+        return db, qf, tmp_path / "idx"
+
+    def test_build_then_search(self, db_and_query, capsys):
+        db, qf, idx = db_and_query
+        assert main(["index", "build", str(db), str(idx),
+                     "--k", "10", "--minimizer-window", "5",
+                     "--shard-chars", "1500", "--verify"]) == 0
+        err = capsys.readouterr().err
+        assert "12 entries" in err and "integrity check passed" in err
+
+        assert main(["index", "search", str(idx), str(qf),
+                     "-t", "40", "--stats"]) == 0
+        captured = capsys.readouterr()
+        lines = captured.out.strip().splitlines()
+        assert lines[0] == "query\tentry\tdb_index\tscore"
+        assert lines[1].startswith("q0\te5\t5\t64")
+        assert "q0 vs e5" in captured.out  # traceback block
+        assert "tier0 minimizer prefilter" in captured.err
+
+    def test_search_no_align_scores_only(self, db_and_query, capsys):
+        db, qf, idx = db_and_query
+        main(["index", "build", str(db), str(idx)])
+        capsys.readouterr()
+        assert main(["index", "search", str(idx), str(qf),
+                     "-t", "40", "--no-align", "--top-k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "q0\te5\t5\t64" in out
+        assert "vs" not in out
+
+    def test_build_rejects_bad_shard_chars(self, db_and_query):
+        db, qf, idx = db_and_query
+        with pytest.raises(SystemExit, match="shard-chars"):
+            main(["index", "build", str(db), str(idx),
+                  "--shard-chars", "0"])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
