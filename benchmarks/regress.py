@@ -5,7 +5,10 @@ Times the bitwise wavefront engine on the Table IV acceptance workload
 once per cell evaluator (``generic`` interpreter, ``folded`` netlist,
 ``compiled-numpy``, and ``compiled`` with automatic backend choice),
 calibrates against the wordwise NumPy engine on the same workload, and
-records a ``BENCH_<n>.json`` snapshot at the repo root.
+records a ``BENCH_<n>.json`` snapshot at the repo root.  A protein
+entry (``protein-compiled``) times the compiled substitution-matrix
+Gotoh cell (BLOSUM62, affine 11/1) against the word-wise scalar Gotoh
+reference the same way.
 
 Absolute milliseconds are machine-specific, so every entry also stores
 ``rel`` — its time divided by the wordwise calibration run.  Regression
@@ -46,7 +49,13 @@ if str(ROOT / "src") not in sys.path:
 
 import numpy as np  # noqa: E402
 
-from repro.core.encoding import encode_batch_bit_transposed  # noqa: E402
+from repro.core.affine_bpbc import bpbc_gotoh_wavefront_planes  # noqa: E402
+from repro.core.alphabet import PROTEIN_X  # noqa: E402
+from repro.core.encoding import (encode_batch_bit_transposed,  # noqa: E402
+                                 encode_batch_char_planes)
+from repro.core.matrices import BLOSUM62  # noqa: E402
+from repro.core.protein import (ProteinScheme,  # noqa: E402
+                                subst_gotoh_batch_max_scores)
 from repro.core.sw_bpbc import bpbc_sw_wavefront  # noqa: E402
 from repro.jit import cc_available  # noqa: E402
 from repro.swa.numpy_batch import sw_batch_max_scores  # noqa: E402
@@ -54,6 +63,7 @@ from repro.swa.scoring import ScoringScheme  # noqa: E402
 from repro.workloads.datasets import paper_workload  # noqa: E402
 
 SCHEME = ScoringScheme(match_score=2, mismatch_penalty=1, gap_penalty=1)
+PROTEIN_SCHEME = ProteinScheme(BLOSUM62, gap_open=11, gap_extend=1)
 WORD_BITS = 64
 
 #: Evaluators tracked by the snapshot, slowest first.
@@ -61,10 +71,14 @@ CELLS = ("generic", "folded", "compiled-numpy", "compiled")
 
 #: Workload per section.  ``full`` is the Table IV acceptance workload
 #: (same shape as ``benchmarks/conftest.py``'s ``bench_batch``);
-#: ``quick`` is sized for CI smoke runs (~seconds total).
+#: ``quick`` is sized for CI smoke runs (~seconds total).  The protein
+#: sub-workload is smaller: the affine mux-tree cell does several
+#: times the gate work of the DNA cell per plane.
 WORKLOADS = {
-    "full": {"pairs": 2048, "m": 128, "n": 512, "repeats": 3},
-    "quick": {"pairs": 256, "m": 64, "n": 128, "repeats": 5},
+    "full": {"pairs": 2048, "m": 128, "n": 512, "repeats": 3,
+             "protein": {"pairs": 512, "m": 64, "n": 128}},
+    "quick": {"pairs": 256, "m": 64, "n": 128, "repeats": 5,
+              "protein": {"pairs": 128, "m": 32, "n": 64}},
 }
 
 #: Default allowed slowdown in ``rel`` before --check fails.
@@ -114,11 +128,45 @@ def run_section(mode: str, verbose: bool = True) -> dict:
                / entries["cell-compiled"]["ms"])
     if verbose:
         print(f"  compiled speedup over generic: {speedup:.2f}x")
+
+    # -- protein affine: compiled mux-tree Gotoh cell vs the word-wise
+    # scalar reference, calibrated the same way (rel transfers across
+    # machines; the gate catches the compiled cell regressing against
+    # its own baseline ratio).
+    pcfg = cfg["protein"]
+    rng = np.random.default_rng(42)
+    PX = rng.integers(0, 20, size=(pcfg["pairs"], pcfg["m"]),
+                      dtype=np.uint8)
+    PY = rng.integers(0, 20, size=(pcfg["pairs"], pcfg["n"]),
+                      dtype=np.uint8)
+    eps = PROTEIN_X.pad_bits
+    Xp = encode_batch_char_planes(PX, WORD_BITS, char_bits=eps)
+    Yp = encode_batch_char_planes(PY, WORD_BITS, char_bits=eps)
+    protein_cal_ms = _best_of(
+        lambda: subst_gotoh_batch_max_scores(PX, PY, PROTEIN_SCHEME),
+        repeats)
+
+    def protein_swa():
+        return bpbc_gotoh_wavefront_planes(
+            Xp, Yp, PROTEIN_SCHEME, WORD_BITS, cell="compiled")
+    protein_swa()  # warmup: jit compile outside the timing
+    protein_ms = _best_of(protein_swa, repeats)
+    entries["protein-compiled"] = {
+        "ms": round(protein_ms, 3),
+        "rel": round(protein_ms / protein_cal_ms, 5),
+    }
+    if verbose:
+        print(f"  {'protein wordwise (cal)':<24} "
+              f"{protein_cal_ms:9.1f} ms")
+        print(f"  {'protein-compiled':<24} {protein_ms:9.1f} ms   "
+              f"rel {protein_ms / protein_cal_ms:7.4f}")
     return {
         "workload": {"pairs": pairs, "m": m, "n": n,
                      "word_bits": WORD_BITS, "seed": 42,
                      "repeats": repeats},
         "calibration_ms": round(cal_ms, 3),
+        "protein_workload": dict(pcfg, word_bits=WORD_BITS, seed=42),
+        "protein_calibration_ms": round(protein_cal_ms, 3),
         "entries": entries,
         "compiled_speedup": round(speedup, 3),
     }
@@ -142,6 +190,8 @@ def run_section_best(mode: str, rounds: int, verbose: bool = True) -> dict:
                 best["entries"][key] = cur
         best["calibration_ms"] = min(best["calibration_ms"],
                                      nxt["calibration_ms"])
+        best["protein_calibration_ms"] = min(
+            best["protein_calibration_ms"], nxt["protein_calibration_ms"])
         best["compiled_speedup"] = round(
             best["entries"]["cell-generic"]["ms"]
             / best["entries"]["cell-compiled"]["ms"], 3)

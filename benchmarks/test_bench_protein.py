@@ -1,0 +1,70 @@
+"""Benchmarks for the protein substitution-matrix engines.
+
+The protein counterpart of the Table IV engine benchmarks: the
+jit-compiled BPBC Gotoh engine (BLOSUM62, affine 11/1) and its linear
+degenerate case against the word-wise vectorised Gotoh reference on
+identical workloads.  Absolute times are machine-specific; the
+regression gate on the compiled-vs-wordwise ratio lives in
+``benchmarks/regress.py`` (the ``protein-compiled`` entry).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.affine_bpbc import bpbc_gotoh_wavefront_planes
+from repro.core.alphabet import PROTEIN_X
+from repro.core.encoding import encode_batch_char_planes
+from repro.core.matrices import BLOSUM62
+from repro.core.protein import ProteinScheme, subst_gotoh_batch_max_scores
+from repro.core.sw_bpbc import bpbc_sw_wavefront_planes
+
+WORD_BITS = 64
+
+AFFINE = ProteinScheme(BLOSUM62, gap_open=11, gap_extend=1)
+LINEAR = ProteinScheme(BLOSUM62, gap_open=4, gap_extend=4)
+
+
+@pytest.fixture(scope="session")
+def protein_batch():
+    """256 random protein pairs, m = 64, n = 128."""
+    rng = np.random.default_rng(42)
+    X = rng.integers(0, 20, size=(256, 64), dtype=np.uint8)
+    Y = rng.integers(0, 20, size=(256, 128), dtype=np.uint8)
+    return X, Y
+
+
+def _planes(batch):
+    X, Y = batch
+    eps = PROTEIN_X.pad_bits
+    return (encode_batch_char_planes(X, WORD_BITS, char_bits=eps),
+            encode_batch_char_planes(Y, WORD_BITS, char_bits=eps))
+
+
+@pytest.mark.benchmark(group="protein-affine")
+def test_compiled_gotoh_engine(benchmark, protein_batch):
+    Xp, Yp = _planes(protein_batch)
+    result = benchmark(bpbc_gotoh_wavefront_planes, Xp, Yp, AFFINE,
+                       WORD_BITS, cell="compiled")
+    assert result.max_scores.shape[0] >= protein_batch[0].shape[0]
+
+
+@pytest.mark.benchmark(group="protein-affine")
+def test_wordwise_gotoh_reference(benchmark, protein_batch):
+    X, Y = protein_batch
+    scores = benchmark(subst_gotoh_batch_max_scores, X, Y, AFFINE)
+    assert scores.shape == (X.shape[0],)
+
+
+@pytest.mark.benchmark(group="protein-linear")
+def test_compiled_linear_subst_engine(benchmark, protein_batch):
+    Xp, Yp = _planes(protein_batch)
+    result = benchmark(bpbc_sw_wavefront_planes, Xp, Yp, LINEAR,
+                       WORD_BITS, cell="compiled")
+    assert result.max_scores.shape[0] >= protein_batch[0].shape[0]
+
+
+@pytest.mark.benchmark(group="protein-w2b")
+def test_char_plane_transpose(benchmark, protein_batch):
+    benchmark(_planes, protein_batch)

@@ -8,7 +8,8 @@ Three passes over the artifacts this library builds:
   functions for barrier divergence, non-constant shuffle deltas, and
   shared-memory stripe violations;
 * :mod:`repro.analyze.netcheck` — a netlist DAG verifier plus the
-  gate-count assertions against the paper's ``46s - 16 + 2e`` table.
+  gate-count assertions against the paper's ``46s - 16 + 2e`` table
+  and the protein substitution-cell op-count pins.
 
 Run everything with ``python -m repro analyze --all``.
 """
@@ -17,8 +18,8 @@ from .drivers import (KernelLaunchPlan, analyze_all, analyze_kernels,
                       analyze_netlists, analyze_plan,
                       shipped_kernel_plans)
 from .lint import KernelLintError, lint_kernel
-from .netcheck import (check_compiled_cells, check_sw_cell_counts,
-                       verify_netlist)
+from .netcheck import (check_compiled_cells, check_protein_cells,
+                       check_sw_cell_counts, verify_netlist)
 from .races import RaceTracer, trace_launch
 from .report import Diagnostic, Report, Severity
 
@@ -27,6 +28,7 @@ __all__ = [
     "RaceTracer", "trace_launch",
     "lint_kernel", "KernelLintError",
     "verify_netlist", "check_sw_cell_counts", "check_compiled_cells",
+    "check_protein_cells",
     "KernelLaunchPlan", "shipped_kernel_plans", "analyze_plan",
     "analyze_kernels", "analyze_netlists", "analyze_all",
 ]

@@ -27,7 +27,8 @@ from ..kernels.sw_kernel import (shared_words_needed, sw_wavefront_kernel,
 from ..kernels.transpose_kernel import b2w_kernel, w2b_kernel
 from ..swa.scoring import DEFAULT_SCHEME
 from .lint import KernelLintError, lint_kernel
-from .netcheck import check_compiled_cells, check_sw_cell_counts
+from .netcheck import (check_compiled_cells, check_protein_cells,
+                       check_sw_cell_counts)
 from .races import trace_launch
 from .report import Diagnostic, Report, Severity
 
@@ -148,11 +149,15 @@ def analyze_netlists(s_values: Sequence[int] = (4, 8, 16)) -> Report:
     """Verify SW-cell netlists and their :mod:`repro.jit` compilations.
 
     Runs the paper op-count/differential check over the synthesised
-    netlists, then the compiled-cell check (generated-source syntax,
-    op-count bound, and differential evaluation) over the same widths.
+    netlists, the compiled-cell check (generated-source syntax,
+    op-count bound, and differential evaluation) over the same widths,
+    and the protein substitution-cell check (mux-tree op-count pins
+    plus differential and engine-vs-scalar-Gotoh evaluation) over the
+    shipped matrices.
     """
     rep = check_sw_cell_counts(s_values=s_values)
     rep.extend(check_compiled_cells(s_values=s_values))
+    rep.extend(check_protein_cells())
     return rep
 
 

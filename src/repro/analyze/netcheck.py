@@ -27,6 +27,16 @@ Three layers:
     assert the scheduled op count never exceeds the folded gate count,
     and differentially evaluate the compiled cell against the
     hand-coded circuit.
+
+:func:`check_protein_cells`
+    The protein layer: for each shipped substitution matrix,
+    synthesise the literal substitution SW cell and Gotoh cell, pin
+    their gate counts to
+    :func:`repro.core.subst.subst_sw_cell_ops_exact` /
+    :func:`repro.core.subst.subst_gotoh_cell_ops_exact`, lint the
+    DAGs, differentially evaluate them against the hand-coded
+    circuits, and finally run the bit-plane Gotoh engine on random
+    residue pairs against the word-wise scalar Gotoh reference.
 """
 
 from __future__ import annotations
@@ -41,7 +51,7 @@ from ..core.netlist import Netlist, NetlistError, build_sw_cell_netlist
 from .report import Diagnostic, Report, Severity
 
 __all__ = ["verify_netlist", "check_sw_cell_counts",
-           "check_compiled_cells"]
+           "check_compiled_cells", "check_protein_cells"]
 
 _LOGIC_KINDS = frozenset({"AND", "OR", "XOR", "NOT"})
 
@@ -289,4 +299,178 @@ def check_compiled_cells(s_values: Sequence[int] = (4, 8, 16),
                 subject=name,
                 message=f"matches circuits.sw_cell on {lanes} random "
                         "lane words (seed 11)"))
+    return rep
+
+
+def check_protein_cells(s_values: Sequence[int] = (6, 8),
+                        matrix_names: Sequence[str] = ("blosum62",
+                                                       "blosum50",
+                                                       "pam250"),
+                        gap_open: int = 11, gap_extend: int = 1,
+                        word_bits: int = 32) -> Report:
+    """Verify the protein substitution-matrix cells.
+
+    For each shipped matrix and each ``s``: synthesise the literal
+    (``simplify=False``) substitution SW cell and Gotoh cell, pin
+    their logic-gate counts to the structure-derived
+    ``subst_*_ops_exact`` accessors, lint both DAGs, and
+    differentially evaluate each against its hand-coded circuit on
+    deterministic pseudo-random planes.  One engine-level check per
+    matrix then scores random residue pairs through the bit-plane
+    Gotoh engine and compares against the word-wise scalar Gotoh
+    reference — the count pins cannot pass on circuits that compute
+    the wrong function, and the engine check cannot pass on a correct
+    cell wired wrongly into the wavefront.
+    """
+    from ..core import subst
+    from ..core.affine_bpbc import bpbc_gotoh_wavefront_planes
+    from ..core.encoding import encode_batch_char_planes
+    from ..core.matrices import matrix_by_name
+    from ..core.netlist import (build_gotoh_cell_netlist,
+                                build_subst_sw_cell_netlist)
+    from ..core.protein import ProteinScheme, subst_gotoh_batch_max_scores
+
+    rep = Report()
+    dt = np.uint32 if word_bits == 32 else np.uint64
+
+    def demote_truncation(diags: list[Diagnostic]) -> list[Diagnostic]:
+        # The mux tree's add/ssub run at the biased width s_ext and
+        # only the low s planes are kept, so the literal cell always
+        # strands the top-plane arithmetic — expected, not a finding.
+        return [
+            Diagnostic(rule=d.rule, severity=Severity.NOTE,
+                       subject=d.subject,
+                       message=d.message + " (expected: s_ext-wide "
+                       "mux-tree arithmetic truncated to s planes)",
+                       location=d.location)
+            if d.rule == "netlist.dead-gates" else d
+            for d in diags
+        ]
+
+    for mname in matrix_names:
+        scheme = ProteinScheme(matrix=matrix_by_name(mname),
+                               gap_open=gap_open, gap_extend=gap_extend)
+        weights = scheme.weights()
+        eps = scheme.alphabet.pad_bits
+        for s in s_values:
+            rng = np.random.default_rng(1000 + s)
+            lanes = 8
+
+            def planes(k: int) -> list[np.ndarray]:
+                return [rng.integers(0, 1 << 16, size=lanes).astype(dt)
+                        ^ (rng.integers(0, 1 << 16,
+                                        size=lanes).astype(dt) << 16)
+                        for _ in range(k)]
+
+            # -- linear substitution SW cell -------------------------
+            name = f"subst_sw_cell[{mname},s={s}]"
+            expected = subst.subst_sw_cell_ops_exact(weights, s, eps)
+            try:
+                literal = build_subst_sw_cell_netlist(
+                    s, gap_extend, weights, eps=eps, simplify=False)
+            except NetlistError as exc:
+                rep.add(Diagnostic(
+                    rule="netlist.synth-failed", severity=Severity.ERROR,
+                    subject=name, message=f"synthesis raised: {exc}"))
+                continue
+            got_n = literal.logic_gate_count()
+            if got_n != expected:
+                rep.add(Diagnostic(
+                    rule="netlist.op-count", severity=Severity.ERROR,
+                    subject=name,
+                    message=f"literal netlist has {got_n} logic gates; "
+                            f"subst_sw_cell_ops_exact is {expected}"))
+            else:
+                rep.add(Diagnostic(
+                    rule="netlist.op-count", severity=Severity.NOTE,
+                    subject=name,
+                    message=f"literal gate count {got_n} == "
+                            "subst_sw_cell_ops_exact"))
+            rep.extend(demote_truncation(
+                verify_netlist(literal, name, expected_outputs=s)))
+            A, B, C = planes(s), planes(s), planes(s)
+            x, y = planes(eps), planes(eps)
+            want = subst.subst_sw_cell(A, B, C, x, y, gap_extend,
+                                       weights, word_bits)
+            got = literal.evaluate(
+                {"up": A, "left": B, "diag": C, "x": x, "y": y},
+                word_bits=word_bits)
+            bad = [h for h in range(s)
+                   if not np.array_equal(np.asarray(got[h]),
+                                         np.asarray(want[h]))]
+            rep.add(Diagnostic(
+                rule="netlist.differential",
+                severity=Severity.ERROR if bad else Severity.NOTE,
+                subject=name,
+                message=(f"netlist disagrees with subst_sw_cell on "
+                         f"output plane(s) {bad}" if bad else
+                         f"matches subst_sw_cell on {lanes} random "
+                         "lane words")))
+
+            # -- affine (Gotoh) substitution cell --------------------
+            name = f"subst_gotoh_cell[{mname},s={s}]"
+            expected = subst.subst_gotoh_cell_ops_exact(weights, s, eps)
+            literal = build_gotoh_cell_netlist(
+                s, gap_open, gap_extend, weights=weights, eps=eps,
+                simplify=False)
+            got_n = literal.logic_gate_count()
+            if got_n != expected:
+                rep.add(Diagnostic(
+                    rule="netlist.op-count", severity=Severity.ERROR,
+                    subject=name,
+                    message=f"literal netlist has {got_n} logic gates; "
+                            f"subst_gotoh_cell_ops_exact is {expected}"))
+            else:
+                rep.add(Diagnostic(
+                    rule="netlist.op-count", severity=Severity.NOTE,
+                    subject=name,
+                    message=f"literal gate count {got_n} == "
+                            "subst_gotoh_cell_ops_exact"))
+            rep.extend(demote_truncation(
+                verify_netlist(literal, name, expected_outputs=3 * s)))
+            hl, el, hu, fu, hd = (planes(s) for _ in range(5))
+            x, y = planes(eps), planes(eps)
+            H, E, F = subst.gotoh_cell_b(hl, el, hu, fu, hd, x, y,
+                                         gap_open, gap_extend,
+                                         word_bits, weights=weights)
+            want = list(H) + list(E) + list(F)
+            got = literal.evaluate(
+                {"h_left": hl, "e_left": el, "h_up": hu, "f_up": fu,
+                 "h_diag": hd, "x": x, "y": y}, word_bits=word_bits)
+            bad = [h for h in range(3 * s)
+                   if not np.array_equal(np.asarray(got[h]),
+                                         np.asarray(want[h]))]
+            rep.add(Diagnostic(
+                rule="netlist.differential",
+                severity=Severity.ERROR if bad else Severity.NOTE,
+                subject=name,
+                message=(f"netlist disagrees with gotoh_cell_b on "
+                         f"output plane(s) {bad}" if bad else
+                         f"matches gotoh_cell_b on {lanes} random "
+                         "lane words")))
+
+        # -- engine vs scalar Gotoh reference ------------------------
+        name = f"gotoh_engine[{mname}]"
+        rng = np.random.default_rng(97)
+        P, m, n = 4, 10, 12
+        X = rng.integers(0, 20, size=(P, m)).astype(np.uint8)
+        Y = rng.integers(0, 20, size=(P, n)).astype(np.uint8)
+        Xp = encode_batch_char_planes(X, word_bits, char_bits=eps)
+        Yp = encode_batch_char_planes(Y, word_bits, char_bits=eps)
+        engine = bpbc_gotoh_wavefront_planes(
+            Xp, Yp, scheme, word_bits).max_scores[:P]
+        ref = subst_gotoh_batch_max_scores(X, Y, scheme)
+        if not np.array_equal(np.asarray(engine, dtype=np.int64),
+                              np.asarray(ref, dtype=np.int64)):
+            rep.add(Diagnostic(
+                rule="netlist.engine-differential",
+                severity=Severity.ERROR, subject=name,
+                message=f"bit-plane Gotoh engine scores {list(engine)} "
+                        f"differ from the scalar reference {list(ref)}"))
+        else:
+            rep.add(Diagnostic(
+                rule="netlist.engine-differential",
+                severity=Severity.NOTE, subject=name,
+                message=f"bit-plane Gotoh engine matches the scalar "
+                        f"Gotoh reference on {P} random pairs"))
     return rep

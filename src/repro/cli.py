@@ -51,10 +51,60 @@ from .swa.traceback import format_alignment
 __all__ = ["main"]
 
 
-def _scheme_from_args(args) -> ScoringScheme:
+def _scheme_from_args(args):
+    """Build the scoring scheme the flags describe.
+
+    ``--alphabet protein`` selects substitution-matrix Gotoh scoring
+    (``--matrix``, ``--gap-open``/``--gap-extend`` defaulting to
+    11/1); ``--gap-open``/``--gap-extend`` on DNA select affine gaps;
+    otherwise the paper's linear scheme from ``--match``/``--mismatch``
+    /``--gap``.
+    """
+    gap_open = getattr(args, "gap_open", None)
+    gap_extend = getattr(args, "gap_extend", None)
+    if getattr(args, "alphabet", "dna") == "protein":
+        from .core.matrices import matrix_by_name
+        from .core.protein import ProteinScheme
+
+        return ProteinScheme(
+            matrix=matrix_by_name(getattr(args, "matrix", "blosum62")),
+            gap_open=11 if gap_open is None else gap_open,
+            gap_extend=1 if gap_extend is None else gap_extend,
+        )
+    if gap_open is not None or gap_extend is not None:
+        from .swa.affine import AffineScheme
+
+        return AffineScheme(
+            match_score=args.match, mismatch_penalty=args.mismatch,
+            gap_open=args.gap if gap_open is None else gap_open,
+            gap_extend=1 if gap_extend is None else gap_extend,
+        )
     return ScoringScheme(match_score=args.match,
                          mismatch_penalty=args.mismatch,
                          gap_penalty=args.gap)
+
+
+def _add_alphabet_args(p: argparse.ArgumentParser) -> None:
+    from .core.matrices import MATRICES
+
+    p.add_argument("--alphabet", choices=("dna", "protein"),
+                   default="dna",
+                   help="sequence alphabet (protein selects "
+                        "substitution-matrix Gotoh scoring; default "
+                        "dna)")
+    p.add_argument("--matrix", default="blosum62",
+                   choices=sorted(MATRICES),
+                   help="protein substitution matrix "
+                        "(default blosum62)")
+    p.add_argument("--gap-open", type=int, default=None,
+                   help="affine gap-open cost (protein default 11; "
+                        "enables affine gaps for DNA)")
+    p.add_argument("--gap-extend", type=int, default=None,
+                   help="affine gap-extend cost (default 1)")
+    p.add_argument("--ambiguous", default="strict",
+                   choices=("strict", "replace", "mask", "skip"),
+                   help="FASTA ambiguity-code policy (default strict "
+                        "= reject; mask rewrites protein B/Z/J to X)")
 
 
 def _add_scoring_args(p: argparse.ArgumentParser) -> None:
@@ -64,6 +114,7 @@ def _add_scoring_args(p: argparse.ArgumentParser) -> None:
                    help="mismatch penalty c2 (default 1)")
     p.add_argument("--gap", type=int, default=1,
                    help="linear gap penalty (default 1)")
+    _add_alphabet_args(p)
     p.add_argument("--word-bits", type=int, default=64,
                    choices=(8, 16, 32, 64),
                    help="lane word width (default 64)")
@@ -83,8 +134,12 @@ def _add_scoring_args(p: argparse.ArgumentParser) -> None:
 
 def _load_sides(args) -> tuple[list, list]:
     """Read both FASTA files, validating counts for pairwise mode."""
-    queries = read_fasta(args.queries)
-    subjects = read_fasta(args.subjects)
+    alphabet = getattr(args, "alphabet", "dna")
+    ambiguous = getattr(args, "ambiguous", "strict")
+    queries = read_fasta(args.queries, ambiguous=ambiguous,
+                         alphabet=alphabet)
+    subjects = read_fasta(args.subjects, ambiguous=ambiguous,
+                          alphabet=alphabet)
     if not getattr(args, "all_vs_all", False) and \
             len(queries) != len(subjects):
         raise SystemExit(
@@ -269,11 +324,13 @@ def _cmd_serve(args) -> int:
     )
     with service:
         server = AlignmentServer(service, host=args.host,
-                                 port=args.port)
+                                 port=args.port,
+                                 default_scheme=_scheme_from_args(args))
         host, port = server.address
         print(f"serving on {host}:{port} "
               f"(engine={args.engine}, workers={args.workers}, "
-              f"word_bits={args.word_bits}); Ctrl-C to stop",
+              f"word_bits={args.word_bits}, "
+              f"alphabet={args.alphabet}); Ctrl-C to stop",
               file=sys.stderr)
         try:
             server.serve_forever()
@@ -292,10 +349,14 @@ def _cmd_index_build(args) -> int:
         raise SystemExit(
             f"error: --shard-chars must be positive, got "
             f"{args.shard_chars}")
-    records = iter_fasta(args.fasta, ambiguous=args.ambiguous)
-    idx = build_index(records, args.out, k=args.k,
+    k = args.k if args.k is not None else \
+        (16 if args.alphabet == "dna" else 6)
+    records = iter_fasta(args.fasta, ambiguous=args.ambiguous,
+                         alphabet=args.alphabet)
+    idx = build_index(records, args.out, k=k,
                       w=args.minimizer_window,
-                      shard_chars=args.shard_chars)
+                      shard_chars=args.shard_chars,
+                      alphabet=args.alphabet)
     print(f"built {args.out}: {idx.n_entries} entries, "
           f"{idx.n_chars} chars in {idx.n_shards} shards "
           f"(k={idx.k}, w={idx.w})", file=sys.stderr)
@@ -310,7 +371,8 @@ def _cmd_index_search(args) -> int:
 
     workers = _workers_from_args(args)
     idx = DatabaseIndex.open(args.index)
-    queries = read_fasta(args.queries)
+    queries = read_fasta(args.queries, ambiguous=args.ambiguous,
+                         alphabet=args.alphabet)
     searcher = TieredSearch(
         idx, scheme=_scheme_from_args(args),
         word_bits=args.word_bits, min_seeds=args.min_seeds,
@@ -436,19 +498,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="stream FASTA into a sharded index")
     pb.add_argument("fasta", help="FASTA file of database sequences")
     pb.add_argument("out", help="index directory to create")
-    pb.add_argument("--k", type=int, default=16,
+    pb.add_argument("--k", type=int, default=None,
                     help="k-mer size for the minimizer seeds "
-                         "(default 16)")
+                         "(default 16 for DNA, 6 for protein)")
     pb.add_argument("--minimizer-window", type=int, default=8,
                     metavar="W",
                     help="k-mers per minimizer window (default 8)")
     pb.add_argument("--shard-chars", type=int, default=1 << 24,
                     help="characters per shard; bounds peak memory of "
                          "build and search (default 16Mi)")
+    pb.add_argument("--alphabet", choices=("dna", "protein"),
+                    default="dna",
+                    help="database alphabet (default dna)")
     pb.add_argument("--ambiguous", default="strict",
-                    choices=("strict", "replace", "skip"),
-                    help="IUPAC ambiguity-code policy (default "
-                         "strict = reject)")
+                    choices=("strict", "replace", "mask", "skip"),
+                    help="ambiguity-code policy (default strict = "
+                         "reject; mask rewrites protein B/Z/J to X)")
     pb.add_argument("--verify", action="store_true",
                     help="CRC-check every shard after writing")
     pb.set_defaults(func=_cmd_index_build)
@@ -524,6 +589,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-retries", type=int, default=1,
                    help="rescue retries per failed batch "
                         "(default 1; needs --resilient)")
+    p.add_argument("--match", type=int, default=2,
+                   help="default-scheme match score (default 2)")
+    p.add_argument("--mismatch", type=int, default=1,
+                   help="default-scheme mismatch penalty (default 1)")
+    p.add_argument("--gap", type=int, default=1,
+                   help="default-scheme linear gap penalty (default 1)")
+    _add_alphabet_args(p)
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(

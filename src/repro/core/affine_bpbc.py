@@ -7,118 +7,217 @@ is::
 
     E = max_B(SSub_B(H_left, open), SSub_B(E_left, extend))
     F = max_B(SSub_B(H_up,   open), SSub_B(F_up,   extend))
-    H = max_B(max_B(E, F), matching_B(H_diag, x, y))
+    H = max_B(max_B(E, F), diag)
 
-costing ``4 * (9s-4) + 4 * (9s-2) + matching`` bitwise operations per
-cell — roughly 1.8x the linear cell of Theorem 6, deciding
+where ``diag`` is the paper's ``matching_B`` equality gate for
+DNA-style schemes and the substitution mux tree of
+:mod:`repro.core.subst` for protein schemes — costing
+``4 * (9s-4) + 4 * (9s-2) + diag`` bitwise operations per cell,
+roughly 1.8x the linear cell of Theorem 6, deciding
 ``word_bits x lanes`` pairs at once exactly as before.
+
+State is fully zero-copy (mirroring the linear wavefront engine): H
+double-buffers across two row-padded plane sets whose roles swap each
+diagonal, E and F live in single row-padded plane sets updated *in
+place* — E is read and rewritten at the same padded row (the diagonal
+column shift), F read one row above its write.  Every evaluator
+computes the whole cell before storing (the compiled ones by
+construction, the interpreted ones because their outputs are fresh
+arrays), and the C kernel walks rows descending so the H write at
+padded ``r + 1`` lands only after that row has been consumed as a
+diagonal input — the same hazard argument as the linear engine.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..swa.affine import AffineScheme
 from .bitops import BitOpsError, OpCounter, word_dtype
 from .bitsliced import ints_from_slices
-from .circuits import (
-    clamp_penalty,
-    matching_b,
-    matching_b_ops_exact,
-    max_b,
-    max_b_ops,
-    splat_constant,
-    ssub_b,
-    ssub_b_ops,
-)
-from .sw_bpbc import BPBCResult, reduce_max_rows
+from .circuits import matching_b_ops_exact, max_b, max_b_ops, ssub_b_ops
+from .subst import gotoh_cell_b
+from .sw_bpbc import CELL_EVALUATORS, BPBCResult, reduce_max_rows
 
-__all__ = ["bpbc_gotoh_wavefront", "gotoh_cell_ops_exact"]
+__all__ = ["bpbc_gotoh_wavefront", "bpbc_gotoh_wavefront_planes",
+           "gotoh_cell_ops_exact"]
 
 
 def gotoh_cell_ops_exact(s: int, eps: int = 2) -> int:
     """Bitwise operations of one affine cell: four saturating
     subtractions, four maxima (E, F, and the two-level H fold) and one
-    matching multiplexer."""
+    matching multiplexer.  For the substitution-matrix variant see
+    :func:`repro.core.subst.subst_gotoh_cell_ops_exact`."""
     return (4 * ssub_b_ops(s) + 4 * max_b_ops(s)
             + matching_b_ops_exact(s, eps))
 
 
-def bpbc_gotoh_wavefront(XH, XL, YH, YL, scheme: AffineScheme,
-                         word_bits: int, s: int | None = None,
-                         counter: OpCounter | None = None) -> BPBCResult:
-    """Anti-diagonal bit-sliced Gotoh over lane arrays.
+def bpbc_gotoh_wavefront(XH, XL, YH, YL, scheme, word_bits: int,
+                         s: int | None = None,
+                         counter: OpCounter | None = None,
+                         cell: str | None = None) -> BPBCResult:
+    """Anti-diagonal bit-sliced Gotoh over 2-bit H/L lane arrays.
+
+    Thin wrapper over :func:`bpbc_gotoh_wavefront_planes` (the
+    character-plane form), mirroring
+    :func:`repro.core.sw_bpbc.bpbc_sw_wavefront`.
+    """
+    return bpbc_gotoh_wavefront_planes(
+        np.stack([np.asarray(XL), np.asarray(XH)]),
+        np.stack([np.asarray(YL), np.asarray(YH)]),
+        scheme, word_bits, s=s, counter=counter, cell=cell,
+    )
+
+
+def bpbc_gotoh_wavefront_planes(Xp, Yp, scheme, word_bits: int,
+                                s: int | None = None,
+                                counter: OpCounter | None = None,
+                                cell: str | None = None) -> BPBCResult:
+    """General-alphabet affine wavefront engine over character planes.
 
     Same input/output contract as
-    :func:`repro.core.sw_bpbc.bpbc_sw_wavefront`; maintains bit-sliced
-    H (two diagonals), E and F (one diagonal each) with the padded-row
-    layout that turns every boundary read into a zero read.
+    :func:`repro.core.sw_bpbc.bpbc_sw_wavefront_planes`; ``scheme`` is
+    an :class:`~repro.swa.affine.AffineScheme` (DNA equality diagonal)
+    or a :class:`repro.core.protein.ProteinScheme` (substitution mux
+    tree).  ``cell`` picks the evaluator exactly as in the linear
+    engine — ``"generic"`` (interpreted, op-countable), ``"folded"``
+    (netlist interpreter), ``"compiled"``/``"compiled-c"``/
+    ``"compiled-numpy"`` (the :mod:`repro.jit` fused Gotoh step), or a
+    callable ``(h_left, e_left, h_up, f_up, h_diag, x, y) ->
+    (H, E, F)``.  All are bit-identical, pinned against the scalar
+    Gotoh reference by the differential battery.
     """
-    XH = np.asarray(XH)
-    XL = np.asarray(XL)
-    YH = np.asarray(YH)
-    YL = np.asarray(YL)
-    if XH.shape != XL.shape or YH.shape != YL.shape:
-        raise BitOpsError("H/L plane shapes must match")
-    if XH.shape[1:] != YH.shape[1:]:
+    Xp = np.asarray(Xp)
+    Yp = np.asarray(Yp)
+    if Xp.ndim != 3 or Yp.ndim != 3:
         raise BitOpsError(
-            f"lane shape mismatch: {XH.shape[1:]} vs {YH.shape[1:]}"
+            "expected (eps, positions, lanes) character planes, got "
+            f"{Xp.shape} and {Yp.shape}"
         )
-    m, n = XH.shape[0], YH.shape[0]
+    eps = Xp.shape[0]
+    if Yp.shape[0] != eps:
+        raise BitOpsError(
+            f"character width mismatch: {eps} vs {Yp.shape[0]} planes"
+        )
+    if Xp.shape[2:] != Yp.shape[2:]:
+        raise BitOpsError(
+            f"lane shape mismatch: {Xp.shape[2:]} vs {Yp.shape[2:]}"
+        )
+    m, n = Xp.shape[1], Yp.shape[1]
     if m == 0 or n == 0:
         raise BitOpsError("sequences must be non-empty")
     if s is None:
         s = scheme.score_bits(m, n)
     dt = word_dtype(word_bits)
-    lanes = XH.shape[1]
-    c1 = scheme.match_score
-    c2 = scheme.mismatch_penalty
-    go_planes = splat_constant(clamp_penalty(scheme.gap_open, s), s,
-                               word_bits)
-    ge_planes = splat_constant(clamp_penalty(scheme.gap_extend, s), s,
-                               word_bits)
+    lanes = Xp.shape[2]
+    go, ge = scheme.gap_open, scheme.gap_extend
+    wk = None
+    get_wk = getattr(scheme, "weights_key", None)
+    if callable(get_wk):
+        wk = get_wk()
+        c1 = c2 = None
+    else:
+        c1, c2 = scheme.match_score, scheme.mismatch_penalty
+    if cell is None:
+        cell = "generic" if counter is not None else "compiled"
+    step = None
+    if callable(cell):
+        eval_cell = cell
+    elif cell in ("compiled", "compiled-c", "compiled-numpy"):
+        if counter is not None:
+            raise BitOpsError(
+                "op counting is only supported for the generic cell"
+            )
+        from .. import jit
 
+        backend = {"compiled": "auto", "compiled-c": "c",
+                   "compiled-numpy": "numpy"}[cell]
+        step = jit.gotoh_wavefront_step(s, go, ge, eps, word_bits,
+                                        backend=backend, c1=c1, c2=c2,
+                                        weights=wk)
+        Xp = np.ascontiguousarray(Xp, dtype=dt)
+        Yp = np.ascontiguousarray(Yp, dtype=dt)
+    elif cell == "folded":
+        if counter is not None:
+            raise BitOpsError(
+                "op counting is only supported for the generic cell"
+            )
+        from .netlist import build_gotoh_cell_netlist
+
+        net = build_gotoh_cell_netlist(s, go, ge, c1=c1, c2=c2,
+                                       weights=wk, eps=eps)
+
+        def eval_cell(h_left, e_left, h_up, f_up, h_diag, x, y):
+            flat = net.evaluate(
+                {"h_left": h_left, "e_left": e_left, "h_up": h_up,
+                 "f_up": f_up, "h_diag": h_diag, "x": x, "y": y},
+                word_bits=word_bits,
+            )
+            return flat[:s], flat[s:2 * s], flat[2 * s:]
+    elif cell == "generic":
+        def eval_cell(h_left, e_left, h_up, f_up, h_diag, x, y):
+            return gotoh_cell_b(h_left, e_left, h_up, f_up, h_diag,
+                                x, y, go, ge, word_bits, weights=wk,
+                                c1=c1, c2=c2, counter=counter)
+    else:
+        raise BitOpsError(
+            f"unknown cell evaluator {cell!r}; expected one of "
+            f"{CELL_EVALUATORS} or a callable "
+            "(h_left, e_left, h_up, f_up, h_diag, x, y) -> (H, E, F)"
+        )
+    # Row-padded state: padded index i + 1 holds DP row i, padded row 0
+    # is a permanent zero.  h1/h2 double-buffer H (h2 also serves the
+    # diagonal reads); e/f are updated in place.  Rows outside the
+    # written band hold stale data but are never read again — the
+    # band's bounds are monotone in t (same argument as the linear
+    # engine), and rows not yet entered read their init zeros.
     h1 = np.zeros((s, m + 1, lanes), dtype=dt)
     h2 = np.zeros((s, m + 1, lanes), dtype=dt)
-    e1 = np.zeros((s, m + 1, lanes), dtype=dt)
-    f1 = np.zeros((s, m + 1, lanes), dtype=dt)
+    e = np.zeros((s, m + 1, lanes), dtype=dt)
+    f = np.zeros((s, m + 1, lanes), dtype=dt)
     best = np.zeros((s, m, lanes), dtype=dt)
-    for t in range(m + n - 1):
-        lo = max(0, t - n + 1)
-        hi = min(m - 1, t)
-        rows = slice(lo, hi + 1)
-        up_rows = slice(lo, hi + 1)          # padded i -> DP row i-1
-        self_rows = slice(lo + 1, hi + 2)    # padded i+1 -> DP row i
-        x = [XL[rows], XH[rows]]
-        j_idx = t - np.arange(lo, hi + 1)
-        y = [YL[j_idx], YH[j_idx]]
-
-        h_left = [h1[h, self_rows] for h in range(s)]
-        e_left = [e1[h, self_rows] for h in range(s)]
-        h_up = [h1[h, up_rows] for h in range(s)]
-        f_up = [f1[h, up_rows] for h in range(s)]
-        h_diag = [h2[h, up_rows] for h in range(s)]
-
-        E = max_b(ssub_b(h_left, go_planes, counter),
-                  ssub_b(e_left, ge_planes, counter), counter)
-        F = max_b(ssub_b(h_up, go_planes, counter),
-                  ssub_b(f_up, ge_planes, counter), counter)
-        diag = matching_b(h_diag, x, y, c1, c2, word_bits, counter)
-        H = max_b(max_b(E, F, counter), diag, counter)
-
-        nh = h1.copy()
-        ne = e1.copy()
-        nf = f1.copy()
-        for h in range(s):
-            nh[h, self_rows] = H[h]
-            ne[h, self_rows] = E[h]
-            nf[h, self_rows] = F[h]
-        h2 = h1
-        h1, e1, f1 = nh, ne, nf
-        new_best = max_b([best[h, rows] for h in range(s)], H, counter)
-        for h in range(s):
-            best[h, rows] = new_best[h]
-
+    if step is not None and step.backend == "c":
+        a1, a2 = h1.ctypes.data, h2.ctypes.data
+        ae, af = e.ctypes.data, f.ctypes.data
+        ab = best.ctypes.data
+        ax, ay = Xp.ctypes.data, Yp.ctypes.data
+        fn = step.fn
+        for t in range(m + n - 1):
+            lo = t - n + 1 if t >= n else 0
+            hi = m - 1 if t >= m else t
+            fn(a1, a2, ae, af, ab, ax, ay, t, lo, hi, m, n, lanes)
+            a1, a2 = a2, a1
+    elif step is not None:
+        for t in range(m + n - 1):
+            lo = max(0, t - n + 1)
+            hi = min(m - 1, t)
+            step(h1, h2, e, f, best, Xp, Yp, t, lo, hi)
+            h1, h2 = h2, h1
+    else:
+        for t in range(m + n - 1):
+            lo = max(0, t - n + 1)
+            hi = min(m - 1, t)
+            rows = slice(lo, hi + 1)          # active DP rows (0-based)
+            up = slice(lo, hi + 1)            # padded index i -> row i-1
+            dst = slice(lo + 1, hi + 2)       # padded index i+1 -> row i
+            x = [Xp[b, rows] for b in range(eps)]
+            y = [Yp[b, t - hi:t - lo + 1][::-1] for b in range(eps)]
+            H, E, F = eval_cell(
+                [h1[h, dst] for h in range(s)],   # H[i][j-1]
+                [e[h, dst] for h in range(s)],    # E[i][j-1]
+                [h1[h, up] for h in range(s)],    # H[i-1][j]
+                [f[h, up] for h in range(s)],     # F[i-1][j]
+                [h2[h, up] for h in range(s)],    # H[i-1][j-1]
+                x, y,
+            )
+            for h in range(s):
+                h2[h, dst] = H[h]
+                e[h, dst] = E[h]
+                f[h, dst] = F[h]
+            h1, h2 = h2, h1
+            new_best = max_b([best[h, rows] for h in range(s)], H,
+                             counter)
+            for h in range(s):
+                best[h, rows] = new_best[h]
     final = reduce_max_rows(best, word_bits, counter, in_place=True)
     planes = np.stack(final)
     return BPBCResult(

@@ -27,7 +27,7 @@ import numpy as np
 
 from .bitops import BitOpsError, pack_lanes, unpack_lanes
 
-__all__ = ["Alphabet", "DNA", "RNA", "PROTEIN", "MURPHY10"]
+__all__ = ["Alphabet", "DNA", "RNA", "PROTEIN", "PROTEIN_X", "MURPHY10"]
 
 
 @dataclass(frozen=True)
@@ -65,6 +65,28 @@ class Alphabet:
     def bits(self) -> int:
         """Bits per character (the paper's epsilon)."""
         return max(1, (self.size - 1).bit_length())
+
+    @property
+    def query_pad(self) -> int:
+        """Sentinel code padding *query* sequences: the first code past
+        the alphabet, so it never equals any real character — and never
+        equals :attr:`subject_pad`, so pad-vs-pad never matches either.
+        (For DNA these are the classic 4/5 of
+        :mod:`repro.core.encoding`.)"""
+        return self.size
+
+    @property
+    def subject_pad(self) -> int:
+        """Sentinel code padding *subject* sequences (see
+        :attr:`query_pad`)."""
+        return self.size + 1
+
+    @property
+    def pad_bits(self) -> int:
+        """Bits per character once the sentinel pads are representable
+        (``>= bits``; 3 for DNA, still 5 for the 22-letter protein
+        alphabet)."""
+        return max(self.bits, self.subject_pad.bit_length())
 
     def code(self, ch: str) -> int:
         """Code of one character (resolving aliases, case-folding)."""
@@ -148,6 +170,14 @@ RNA = Alphabet(name="RNA", letters="AUGC", aliases={"T": "U"})
 
 #: The 20 standard amino acids (5-bit codes, alphabetical one-letter).
 PROTEIN = Alphabet(name="protein", letters="ACDEFGHIKLMNPQRSTVWY")
+
+#: The protein *engine* alphabet: 20 residues plus the unknown-residue
+#: wildcard ``X`` and the stop ``*`` — the 22 symbols every shipped
+#: substitution matrix scores (5-bit codes; sentinel pads 22/23 still
+#: fit the same 5 planes).  Selenocysteine ``U`` and pyrrolysine ``O``
+#: alias their conventional stand-ins C and K.
+PROTEIN_X = Alphabet(name="protein-x", letters="ACDEFGHIKLMNPQRSTVWYX*",
+                     aliases={"U": "C", "O": "K"})
 
 #: Murphy's reduced 10-letter amino alphabet: hydrophobic and charged
 #: groups merged, 4-bit codes.  Group representatives: L (LVIM),

@@ -1,0 +1,226 @@
+"""Amino-acid substitution matrices for the protein BPBC pipeline.
+
+The paper's ``matching_B`` gate scores a character pair as ``+c1`` on
+equality and ``-c2`` otherwise — fine for DNA, useless for protein
+search, where every serious engine (SWAPHI, SSW, the striped-profile
+family in PAPERS.md) scores residue pairs through a substitution
+matrix.  This module ships the three classic matrices (BLOSUM62,
+BLOSUM50, PAM250 — the NCBI 24-letter tables including the B/Z
+ambiguity rows, X and the stop ``*``) and accepts arbitrary integer
+matrices; :mod:`repro.core.subst` turns any of them into the
+bit-sliced lookup circuit.
+
+A :class:`SubstitutionMatrix` is frozen and hashable (values are
+tuples of tuples), so it can key the ``lru_cache`` of the netlist
+builders directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["SubstitutionMatrix", "BLOSUM62", "BLOSUM50", "PAM250",
+           "MATRICES", "matrix_by_name"]
+
+
+@dataclass(frozen=True)
+class SubstitutionMatrix:
+    """An integer residue-pair scoring matrix.
+
+    ``residues[i]`` names row/column ``i`` of ``values``; lookups by
+    character resolve through :meth:`score`.  ``values`` must be a
+    square tuple of tuples of ints — hashable, so a matrix can key a
+    netlist cache.
+    """
+
+    name: str
+    residues: str
+    values: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        k = len(self.residues)
+        if k == 0:
+            raise ValueError("matrix needs at least one residue")
+        if len(set(self.residues)) != k:
+            raise ValueError(f"duplicate residues in {self.residues!r}")
+        if len(self.values) != k or any(len(r) != k for r in self.values):
+            raise ValueError(
+                f"matrix {self.name!r} must be {k}x{k} to match its "
+                f"residue string"
+            )
+
+    @classmethod
+    def from_rows(cls, name: str, residues: str,
+                  rows) -> "SubstitutionMatrix":
+        """Build from any nested int iterable (e.g. a NumPy array)."""
+        values = tuple(tuple(int(v) for v in row) for row in rows)
+        return cls(name=name, residues=residues, values=values)
+
+    def score(self, a: str, b: str) -> int:
+        """Score of one residue pair by character (case-folded)."""
+        ia = self.residues.find(a.upper())
+        ib = self.residues.find(b.upper())
+        if ia < 0 or ib < 0:
+            missing = a if ia < 0 else b
+            raise KeyError(
+                f"residue {missing!r} not in matrix {self.name}"
+            )
+        return self.values[ia][ib]
+
+    @property
+    def min_score(self) -> int:
+        return min(min(row) for row in self.values)
+
+    @property
+    def max_score(self) -> int:
+        return max(max(row) for row in self.values)
+
+    @property
+    def is_symmetric(self) -> bool:
+        k = len(self.residues)
+        return all(self.values[i][j] == self.values[j][i]
+                   for i in range(k) for j in range(i + 1, k))
+
+    def weights_for(self, letters: str) -> np.ndarray:
+        """Dense ``(A, A)`` int64 weight table over an alphabet.
+
+        ``letters[i]`` is the character with code ``i`` (the
+        :class:`repro.core.alphabet.Alphabet` order); every letter must
+        be a residue of this matrix.
+        """
+        idx = []
+        for ch in letters:
+            k = self.residues.find(ch.upper())
+            if k < 0:
+                raise KeyError(
+                    f"alphabet letter {ch!r} not in matrix {self.name}"
+                )
+            idx.append(k)
+        vals = np.array(self.values, dtype=np.int64)
+        ix = np.array(idx)
+        return vals[np.ix_(ix, ix)]
+
+    def weights_key_for(self, letters: str) -> tuple[tuple[int, ...], ...]:
+        """Hashable form of :meth:`weights_for` (netlist cache key)."""
+        return _weights_key(self, letters)
+
+
+@lru_cache(maxsize=64)
+def _weights_key(matrix: SubstitutionMatrix,
+                 letters: str) -> tuple[tuple[int, ...], ...]:
+    w = matrix.weights_for(letters)
+    return tuple(tuple(int(v) for v in row) for row in w)
+
+
+#: NCBI residue order shared by the three shipped matrices.
+_NCBI_ORDER = "ARNDCQEGHILKMFPSTWYVBZX*"
+
+
+def _m(name: str, text: str) -> SubstitutionMatrix:
+    rows = [tuple(int(v) for v in line.split())
+            for line in text.strip().splitlines()]
+    mat = SubstitutionMatrix(name=name, residues=_NCBI_ORDER,
+                             values=tuple(rows))
+    assert mat.is_symmetric, f"shipped matrix {name} must be symmetric"
+    return mat
+
+
+BLOSUM62 = _m("blosum62", """
+ 4 -1 -2 -2  0 -1 -1  0 -2 -1 -1 -1 -1 -2 -1  1  0 -3 -2  0 -2 -1  0 -4
+-1  5  0 -2 -3  1  0 -2  0 -3 -2  2 -1 -3 -2 -1 -1 -3 -2 -3 -1  0 -1 -4
+-2  0  6  1 -3  0  0  0  1 -3 -3  0 -2 -3 -2  1  0 -4 -2 -3  3  0 -1 -4
+-2 -2  1  6 -3  0  2 -1 -1 -3 -4 -1 -3 -3 -1  0 -1 -4 -3 -3  4  1 -1 -4
+ 0 -3 -3 -3  9 -3 -4 -3 -3 -1 -1 -3 -1 -2 -3 -1 -1 -2 -2 -1 -3 -3 -2 -4
+-1  1  0  0 -3  5  2 -2  0 -3 -2  1  0 -3 -1  0 -1 -2 -1 -2  0  3 -1 -4
+-1  0  0  2 -4  2  5 -2  0 -3 -3  1 -2 -3 -1  0 -1 -3 -2 -2  1  4 -1 -4
+ 0 -2  0 -1 -3 -2 -2  6 -2 -4 -4 -2 -3 -3 -2  0 -2 -2 -3 -3 -1 -2 -1 -4
+-2  0  1 -1 -3  0  0 -2  8 -3 -3 -1 -2 -1 -2 -1 -2 -2  2 -3  0  0 -1 -4
+-1 -3 -3 -3 -1 -3 -3 -4 -3  4  2 -3  1  0 -3 -2 -1 -3 -1  3 -3 -3 -1 -4
+-1 -2 -3 -4 -1 -2 -3 -4 -3  2  4 -2  2  0 -3 -2 -1 -2 -1  1 -4 -3 -1 -4
+-1  2  0 -1 -3  1  1 -2 -1 -3 -2  5 -1 -3 -1  0 -1 -3 -2 -2  0  1 -1 -4
+-1 -1 -2 -3 -1  0 -2 -3 -2  1  2 -1  5  0 -2 -1 -1 -1 -1  1 -3 -1 -1 -4
+-2 -3 -3 -3 -2 -3 -3 -3 -1  0  0 -3  0  6 -4 -2 -2  1  3 -1 -3 -3 -1 -4
+-1 -2 -2 -1 -3 -1 -1 -2 -2 -3 -3 -1 -2 -4  7 -1 -1 -4 -3 -2 -2 -1 -2 -4
+ 1 -1  1  0 -1  0  0  0 -1 -2 -2  0 -1 -2 -1  4  1 -3 -2 -2  0  0  0 -4
+ 0 -1  0 -1 -1 -1 -1 -2 -2 -1 -1 -1 -1 -2 -1  1  5 -2 -2  0 -1 -1  0 -4
+-3 -3 -4 -4 -2 -2 -3 -2 -2 -3 -2 -3 -1  1 -4 -3 -2 11  2 -3 -4 -3 -2 -4
+-2 -2 -2 -3 -2 -1 -2 -3  2 -1 -1 -2 -1  3 -3 -2 -2  2  7 -1 -3 -2 -1 -4
+ 0 -3 -3 -3 -1 -2 -2 -3 -3  3  1 -2  1 -1 -2 -2  0 -3 -1  4 -3 -2 -1 -4
+-2 -1  3  4 -3  0  1 -1  0 -3 -4  0 -3 -3 -2  0 -1 -4 -3 -3  4  1 -1 -4
+-1  0  0  1 -3  3  4 -2  0 -3 -3  1 -1 -3 -1  0 -1 -3 -2 -2  1  4 -1 -4
+ 0 -1 -1 -1 -2 -1 -1 -1 -1 -1 -1 -1 -1 -1 -2  0  0 -2 -1 -1 -1 -1 -1 -4
+-4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4  1
+""")
+
+BLOSUM50 = _m("blosum50", """
+ 5 -2 -1 -2 -1 -1 -1  0 -2 -1 -2 -1 -1 -3 -1  1  0 -3 -2  0 -2 -1 -1 -5
+-2  7 -1 -2 -4  1  0 -3  0 -4 -3  3 -2 -3 -3 -1 -1 -3 -1 -3 -1  0 -1 -5
+-1 -1  7  2 -2  0  0  0  1 -3 -4  0 -2 -4 -2  1  0 -4 -2 -3  4  0 -1 -5
+-2 -2  2  8 -4  0  2 -1 -1 -4 -4 -1 -4 -5 -1  0 -1 -5 -3 -4  5  1 -1 -5
+-1 -4 -2 -4 13 -3 -3 -3 -3 -2 -2 -3 -2 -2 -4 -1 -1 -5 -3 -1 -3 -3 -2 -5
+-1  1  0  0 -3  7  2 -2  1 -3 -2  2  0 -4 -1  0 -1 -1 -1 -3  0  4 -1 -5
+-1  0  0  2 -3  2  6 -3  0 -4 -3  1 -2 -3 -1 -1 -1 -3 -2 -3  1  5 -1 -5
+ 0 -3  0 -1 -3 -2 -3  8 -2 -4 -4 -2 -3 -4 -2  0 -2 -3 -3 -4 -1 -2 -2 -5
+-2  0  1 -1 -3  1  0 -2 10 -4 -3  0 -1 -1 -2 -1 -2 -3  2 -4  0  0 -1 -5
+-1 -4 -3 -4 -2 -3 -4 -4 -4  5  2 -3  2  0 -3 -3 -1 -3 -1  4 -4 -3 -1 -5
+-2 -3 -4 -4 -2 -2 -3 -4 -3  2  5 -3  3  1 -4 -3 -1 -2 -1  1 -4 -3 -1 -5
+-1  3  0 -1 -3  2  1 -2  0 -3 -3  6 -2 -4 -1  0 -1 -3 -2 -3  0  1 -1 -5
+-1 -2 -2 -4 -2  0 -2 -3 -1  2  3 -2  7  0 -3 -2 -1 -1  0  1 -3 -1 -1 -5
+-3 -3 -4 -5 -2 -4 -3 -4 -1  0  1 -4  0  8 -4 -3 -2  1  4 -1 -4 -4 -2 -5
+-1 -3 -2 -1 -4 -1 -1 -2 -2 -3 -4 -1 -3 -4 10 -1 -1 -4 -3 -3 -2 -1 -2 -5
+ 1 -1  1  0 -1  0 -1  0 -1 -3 -3  0 -2 -3 -1  5  2 -4 -2 -2  0  0 -1 -5
+ 0 -1  0 -1 -1 -1 -1 -2 -2 -1 -1 -1 -1 -2 -1  2  5 -3 -2  0  0 -1  0 -5
+-3 -3 -4 -5 -5 -1 -3 -3 -3 -3 -2 -3 -1  1 -4 -4 -3 15  2 -3 -5 -2 -3 -5
+-2 -1 -2 -3 -3 -1 -2 -3  2 -1 -1 -2  0  4 -3 -2 -2  2  8 -1 -3 -2 -1 -5
+ 0 -3 -3 -4 -1 -3 -3 -4 -4  4  1 -3  1 -1 -3 -2  0 -3 -1  5 -4 -3 -1 -5
+-2 -1  4  5 -3  0  1 -1  0 -4 -4  0 -3 -4 -2  0  0 -5 -3 -4  5  2 -1 -5
+-1  0  0  1 -3  4  5 -2  0 -3 -3  1 -1 -4 -1  0 -1 -2 -2 -3  2  5 -1 -5
+-1 -1 -1 -1 -2 -1 -1 -2 -1 -1 -1 -1 -1 -2 -2 -1  0 -3 -1 -1 -1 -1 -1 -5
+-5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5  1
+""")
+
+PAM250 = _m("pam250", """
+ 2 -2  0  0 -2  0  0  1 -1 -1 -2 -1 -1 -3  1  1  1 -6 -3  0  0  0  0 -8
+-2  6  0 -1 -4  1 -1 -3  2 -2 -3  3  0 -4  0  0 -1  2 -4 -2 -1  0 -1 -8
+ 0  0  2  2 -4  1  1  0  2 -2 -3  1 -2 -3  0  1  0 -4 -2 -2  2  1  0 -8
+ 0 -1  2  4 -5  2  3  1  1 -2 -4  0 -3 -6 -1  0  0 -7 -4 -2  3  3 -1 -8
+-2 -4 -4 -5 12 -5 -5 -3 -3 -2 -6 -5 -5 -4 -3  0 -2 -8  0 -2 -4 -5 -3 -8
+ 0  1  1  2 -5  4  2 -1  3 -2 -2  1 -1 -5  0 -1 -1 -5 -4 -2  1  3 -1 -8
+ 0 -1  1  3 -5  2  4  0  1 -2 -3  0 -2 -5 -1  0  0 -7 -4 -2  3  3 -1 -8
+ 1 -3  0  1 -3 -1  0  5 -2 -3 -4 -2 -3 -5  0  1  0 -7 -5 -1  0  0 -1 -8
+-1  2  2  1 -3  3  1 -2  6 -2 -2  0 -2 -2  0 -1 -1 -3  0 -2  1  2 -1 -8
+-1 -2 -2 -2 -2 -2 -2 -3 -2  5  2 -2  2  1 -2 -1  0 -5 -1  4 -2 -2 -1 -8
+-2 -3 -3 -4 -6 -2 -3 -4 -2  2  6 -3  4  2 -3 -3 -2 -2 -1  2 -3 -3 -1 -8
+-1  3  1  0 -5  1  0 -2  0 -2 -3  5  0 -5 -1  0  0 -3 -4 -2  1  0 -1 -8
+-1  0 -2 -3 -5 -1 -2 -3 -2  2  4  0  6  0 -2 -2 -1 -4 -2  2 -2 -2 -1 -8
+-3 -4 -3 -6 -4 -5 -5 -5 -2  1  2 -5  0  9 -5 -3 -3  0  7 -1 -4 -5 -2 -8
+ 1  0  0 -1 -3  0 -1  0  0 -2 -3 -1 -2 -5  6  1  0 -6 -5 -1 -1  0 -1 -8
+ 1  0  1  0  0 -1  0  1 -1 -1 -3  0 -2 -3  1  2  1 -2 -3 -1  0  0  0 -8
+ 1 -1  0  0 -2 -1  0  0 -1  0 -2  0 -1 -3  0  1  3 -5 -3  0  0 -1  0 -8
+-6  2 -4 -7 -8 -5 -7 -7 -3 -5 -2 -3 -4  0 -6 -2 -5 17  0 -6 -5 -6 -4 -8
+-3 -4 -2 -4  0 -4 -4 -5  0 -1 -1 -4 -2  7 -5 -3 -3  0 10 -2 -3 -4 -2 -8
+ 0 -2 -2 -2 -2 -2 -2 -1 -2  4  2 -2  2 -1 -1 -1  0 -6 -2  4 -2 -2 -1 -8
+ 0 -1  2  3 -4  1  3  0  1 -2 -3  1 -2 -4 -1  0  0 -5 -3 -2  3  2 -1 -8
+ 0  0  1  3 -5  3  3  0  2 -2 -3  0 -2 -5  0  0 -1 -6 -4 -2  2  3 -1 -8
+ 0 -1  0 -1 -3 -1 -1 -1 -1 -1 -1 -1 -1 -2 -1  0  0 -4 -2 -1 -1 -1 -1 -8
+-8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8  1
+""")
+
+#: Shipped matrices by canonical (lower-case) name.
+MATRICES: dict[str, SubstitutionMatrix] = {
+    m.name: m for m in (BLOSUM62, BLOSUM50, PAM250)
+}
+
+
+def matrix_by_name(name: str) -> SubstitutionMatrix:
+    """Look up a shipped matrix by (case-insensitive) name."""
+    mat = MATRICES.get(name.lower())
+    if mat is None:
+        raise KeyError(
+            f"unknown substitution matrix {name!r}; shipped: "
+            f"{sorted(MATRICES)}"
+        )
+    return mat

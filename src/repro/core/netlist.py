@@ -47,8 +47,16 @@ __all__ = [
     "synth_ssub",
     "synth_matching",
     "synth_sw_cell",
+    "synth_subst_matching",
+    "synth_subst_sw_cell",
+    "synth_gotoh_cell",
     "build_sw_cell_netlist",
     "build_sw_cell_best_netlist",
+    "build_subst_matching_netlist",
+    "build_subst_sw_cell_netlist",
+    "build_subst_sw_cell_best_netlist",
+    "build_gotoh_cell_netlist",
+    "build_gotoh_cell_best_netlist",
 ]
 
 
@@ -459,6 +467,106 @@ def synth_sw_cell(net: Netlist, A: Sequence[int], B: Sequence[int],
     return synth_max(net, T2, U)
 
 
+def synth_subst_matching(net: Netlist, C: Sequence[int],
+                         x: Sequence[int], y: Sequence[int],
+                         weights) -> list[int]:
+    """``max(0, C + M[x][y])`` — the substitution mux-tree lookup.
+
+    Gate-for-gate the circuit of
+    :func:`repro.core.subst.subst_matching_b`: per-symbol equality
+    decodes, per-bit OR/AND weight selection over the biased table,
+    then ``ssub(add(C, wb), bias)`` at the overflow-free extended width
+    truncated back to ``len(C)`` planes.  With ``simplify=False`` the
+    logic-gate count equals
+    :func:`repro.core.subst.subst_matching_ops_exact`.
+    """
+    from .circuits import clamp_penalty
+    from .subst import subst_structure
+
+    s = len(C)
+    eps = len(x)
+    if len(y) != eps or eps == 0:
+        raise NetlistError(
+            f"character width mismatch: {eps} vs {len(y)} planes"
+        )
+    st = subst_structure(weights, eps)
+
+    def decode(planes, not_bits, codes):
+        notp = {i: net.NOT(planes[i]) for i in not_bits}
+        dec = {}
+        for a in codes:
+            acc = None
+            for i in range(eps):
+                lit = planes[i] if (a >> i) & 1 else notp[i]
+                acc = lit if acc is None else net.AND(acc, lit)
+            dec[a] = acc
+        return dec
+
+    xdec = decode(x, st.x_not_bits, st.used_rows)
+    ydec = decode(y, st.y_not_bits, st.used_cols)
+    wsel = []
+    for h in range(st.wbits):
+        acc = None
+        for a, cols in st.rows_by_bit[h]:
+            ym = None
+            for b in cols:
+                ym = ydec[b] if ym is None else net.OR(ym, ydec[b])
+            term = net.AND(xdec[a], ym)
+            acc = term if acc is None else net.OR(acc, term)
+        wsel.append(acc if acc is not None else net.const(False))
+    s_ext = st.s_ext(s)
+    zero = net.const(False)
+    C_ext = list(C) + [zero] * (s_ext - s)
+    w_ext = wsel + [zero] * (s_ext - st.wbits)
+    total = synth_add(net, C_ext, w_ext)
+    res = synth_ssub(net, total,
+                     net.const_bus(clamp_penalty(st.bias, s_ext), s_ext))
+    return res[:s]
+
+
+def synth_subst_sw_cell(net: Netlist, A: Sequence[int], B: Sequence[int],
+                        C: Sequence[int], x: Sequence[int],
+                        y: Sequence[int], gap: int, weights) -> list[int]:
+    """Linear-gap SW cell with a substitution-matrix diagonal term."""
+    from .circuits import clamp_penalty
+
+    T = synth_max(net, A, B)
+    U = synth_ssub(net, T,
+                   net.const_bus(clamp_penalty(gap, len(T)), len(T)))
+    T2 = synth_subst_matching(net, C, x, y, weights)
+    return synth_max(net, T2, U)
+
+
+def synth_gotoh_cell(net: Netlist, h_left: Sequence[int],
+                     e_left: Sequence[int], h_up: Sequence[int],
+                     f_up: Sequence[int], h_diag: Sequence[int],
+                     x: Sequence[int], y: Sequence[int], gap_open: int,
+                     gap_extend: int, c1: int | None = None,
+                     c2: int | None = None, weights=None,
+                     ) -> tuple[list[int], list[int], list[int]]:
+    """One affine (Gotoh) cell; returns the ``(H, E, F)`` buses.
+
+    The diagonal term is the substitution mux tree when ``weights`` is
+    given, the paper's equality gate with ``c1``/``c2`` otherwise —
+    mirroring :func:`repro.core.subst.gotoh_cell_b` gate for gate.
+    """
+    from .circuits import clamp_penalty
+
+    s = len(h_left)
+    go = net.const_bus(clamp_penalty(gap_open, s), s)
+    ge = net.const_bus(clamp_penalty(gap_extend, s), s)
+    E = synth_max(net, synth_ssub(net, h_left, go),
+                  synth_ssub(net, e_left, ge))
+    F = synth_max(net, synth_ssub(net, h_up, go),
+                  synth_ssub(net, f_up, ge))
+    if weights is not None:
+        diag = synth_subst_matching(net, h_diag, x, y, weights)
+    else:
+        diag = synth_matching(net, h_diag, x, y, int(c1), int(c2))
+    H = synth_max(net, synth_max(net, E, F), diag)
+    return H, E, F
+
+
 @lru_cache(maxsize=None)
 def _build_sw_cell_netlist_cached(s: int, gap: int, c1: int, c2: int,
                                   eps: int, simplify: bool) -> Netlist:
@@ -517,3 +625,152 @@ def build_sw_cell_best_netlist(s: int, gap: int, c1: int, c2: int,
     :func:`build_sw_cell_netlist`; treat the result as read-only."""
     return _build_sw_cell_best_netlist_cached(int(s), int(gap), int(c1),
                                               int(c2), int(eps))
+
+
+# ---------------------------------------------------------------------------
+# Protein / affine builders.  All take ``weights`` as the hashable
+# tuple-of-tuples form (repro.core.subst.weights_key), which is what
+# lets lru_cache memoise per matrix.
+# ---------------------------------------------------------------------------
+
+@lru_cache(maxsize=None)
+def _build_subst_matching_netlist_cached(s: int, weights, eps: int,
+                                         simplify: bool) -> Netlist:
+    net = Netlist(simplify=simplify)
+    C = net.input_bus("diag", s)
+    x = net.input_bus("x", eps)
+    y = net.input_bus("y", eps)
+    net.set_outputs(synth_subst_matching(net, C, x, y, weights))
+    return net
+
+
+def build_subst_matching_netlist(s: int, weights, eps: int = 5,
+                                 simplify: bool = True) -> Netlist:
+    """The bare substitution lookup ``max(0, diag + M[x][y])`` with
+    buses ``diag`` (s bits) and ``x``/``y`` (eps bits).
+
+    ``simplify=False`` yields the literal mux-tree circuit whose
+    logic-gate count equals
+    :func:`repro.core.subst.subst_matching_ops_exact` — the protein
+    analogue of the ``19s - 8 + 2e`` pin.  Memoised; treat the result
+    as read-only."""
+    from .subst import weights_key
+
+    return _build_subst_matching_netlist_cached(
+        int(s), weights_key(weights), int(eps), bool(simplify))
+
+
+@lru_cache(maxsize=None)
+def _build_subst_sw_cell_netlist_cached(s: int, gap: int, weights,
+                                        eps: int, simplify: bool,
+                                        best: bool) -> Netlist:
+    net = Netlist(simplify=simplify)
+    A = net.input_bus("up", s)
+    B = net.input_bus("left", s)
+    C = net.input_bus("diag", s)
+    x = net.input_bus("x", eps)
+    y = net.input_bus("y", eps)
+    cell = synth_subst_sw_cell(net, A, B, C, x, y, gap, weights)
+    if best:
+        b = net.input_bus("best", s)
+        net.set_outputs(list(cell) + synth_max(net, b, cell))
+    else:
+        net.set_outputs(cell)
+    return net
+
+
+def build_subst_sw_cell_netlist(s: int, gap: int, weights, eps: int = 5,
+                                simplify: bool = True) -> Netlist:
+    """Linear-gap substitution SW cell; same ``up``/``left``/``diag``/
+    ``x``/``y`` buses as :func:`build_sw_cell_netlist`, so every layer
+    above (engine loop, jit, C backend) treats it as "just a bigger
+    netlist".  ``simplify=False`` pins
+    :func:`repro.core.subst.subst_sw_cell_ops_exact`.  Memoised."""
+    from .subst import weights_key
+
+    return _build_subst_sw_cell_netlist_cached(
+        int(s), int(gap), weights_key(weights), int(eps),
+        bool(simplify), False)
+
+
+def build_subst_sw_cell_best_netlist(s: int, gap: int, weights,
+                                     eps: int = 5) -> Netlist:
+    """The substitution SW cell fused with the running-max update
+    (protein counterpart of :func:`build_sw_cell_best_netlist`)."""
+    from .subst import weights_key
+
+    return _build_subst_sw_cell_netlist_cached(
+        int(s), int(gap), weights_key(weights), int(eps), True, True)
+
+
+@lru_cache(maxsize=None)
+def _build_gotoh_cell_netlist_cached(s: int, go: int, ge: int, c1, c2,
+                                     weights, eps: int, simplify: bool,
+                                     best: bool) -> Netlist:
+    net = Netlist(simplify=simplify)
+    h_left = net.input_bus("h_left", s)
+    e_left = net.input_bus("e_left", s)
+    h_up = net.input_bus("h_up", s)
+    f_up = net.input_bus("f_up", s)
+    h_diag = net.input_bus("h_diag", s)
+    x = net.input_bus("x", eps)
+    y = net.input_bus("y", eps)
+    H, E, F = synth_gotoh_cell(net, h_left, e_left, h_up, f_up, h_diag,
+                               x, y, go, ge, c1=c1, c2=c2,
+                               weights=weights)
+    if best:
+        b = net.input_bus("best", s)
+        net.set_outputs(list(H) + list(E) + list(F)
+                        + synth_max(net, b, H))
+    else:
+        net.set_outputs(list(H) + list(E) + list(F))
+    return net
+
+
+def build_gotoh_cell_netlist(s: int, gap_open: int, gap_extend: int,
+                             c1: int | None = None, c2: int | None = None,
+                             weights=None, eps: int = 2,
+                             simplify: bool = True) -> Netlist:
+    """One affine (Gotoh) cell as a netlist.
+
+    Buses ``h_left``/``e_left``/``h_up``/``f_up``/``h_diag`` (s bits
+    each) and ``x``/``y`` (eps bits); outputs ``H | E | F`` (3s bits).
+    Pass ``weights`` (any square int table) for the substitution
+    diagonal term, or ``c1``/``c2`` for the DNA equality gate.
+    ``simplify=False`` pins
+    :func:`repro.core.affine_bpbc.gotoh_cell_ops_exact` /
+    :func:`repro.core.subst.subst_gotoh_cell_ops_exact`.  Memoised."""
+    from .subst import weights_key
+
+    wk = None if weights is None else weights_key(weights)
+    if (wk is None) == (c1 is None or c2 is None):
+        raise NetlistError(
+            "pass either weights or both c1 and c2 for the gotoh cell"
+        )
+    c1i = None if c1 is None else int(c1)
+    c2i = None if c2 is None else int(c2)
+    return _build_gotoh_cell_netlist_cached(
+        int(s), int(gap_open), int(gap_extend), c1i, c2i, wk, int(eps),
+        bool(simplify), False)
+
+
+def build_gotoh_cell_best_netlist(s: int, gap_open: int, gap_extend: int,
+                                  c1: int | None = None,
+                                  c2: int | None = None, weights=None,
+                                  eps: int = 2) -> Netlist:
+    """The Gotoh cell fused with the running-max update: adds a
+    ``best`` input bus and a fourth ``s``-bit output group
+    ``max(best, H)`` — the circuit one affine wavefront step needs
+    (:mod:`repro.jit` lowers it to the in-place Gotoh step)."""
+    from .subst import weights_key
+
+    wk = None if weights is None else weights_key(weights)
+    if (wk is None) == (c1 is None or c2 is None):
+        raise NetlistError(
+            "pass either weights or both c1 and c2 for the gotoh cell"
+        )
+    c1i = None if c1 is None else int(c1)
+    c2i = None if c2 is None else int(c2)
+    return _build_gotoh_cell_netlist_cached(
+        int(s), int(gap_open), int(gap_extend), c1i, c2i, wk, int(eps),
+        True, True)

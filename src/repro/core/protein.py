@@ -1,0 +1,251 @@
+"""Protein scoring schemes and the word-wise scalar Gotoh references.
+
+:class:`ProteinScheme` is the protein counterpart of
+:class:`repro.swa.scoring.ScoringScheme` / :class:`repro.swa.affine.AffineScheme`:
+a substitution matrix (BLOSUM62 by default) over a 5-bit amino-acid
+alphabet plus affine gap costs (BLAST's 11/1 by default).  With
+``gap_open == gap_extend`` the model degenerates to linear gaps and the
+engines run the cheaper linear substitution cell.
+
+The module also provides the *gold* scalar references every bit-sliced
+protein path is pinned against by the differential battery:
+
+* :func:`subst_gotoh_matrix` / :func:`subst_gotoh_max_score` — pure
+  Python Gotoh DP with zero-clamped E/F (matching the circuit's
+  saturating subtractions),
+* :func:`subst_gotoh_batch_max_scores` — the int32 wavefront-vectorised
+  batch engine (mirrors :func:`repro.swa.affine.gotoh_batch_max_scores`).
+
+Both index a *padded* weight table (:func:`padded_weight_table`): codes
+at or above the alphabet size — the sentinel pads of
+:mod:`repro.core.encoding` — score the matrix minimum, exactly what the
+mux-tree circuit computes for an undecoded pair, so references and
+circuits agree bit-for-bit even on sentinel-padded batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from .alphabet import PROTEIN_X, Alphabet
+from .matrices import BLOSUM62, SubstitutionMatrix
+from .subst import WeightsKey
+
+__all__ = [
+    "ProteinScheme",
+    "padded_weight_table",
+    "subst_gotoh_matrix",
+    "subst_gotoh_max_score",
+    "subst_gotoh_batch_max_scores",
+]
+
+
+@dataclass(frozen=True)
+class ProteinScheme:
+    """Substitution-matrix scoring with affine gaps.
+
+    ``gap_open`` is the total cost of a gap's first character,
+    ``gap_extend`` of each further one (non-negative magnitudes,
+    ``gap_open >= gap_extend >= 1``); equality means linear gaps.  The
+    ``alphabet`` orders the weight table rows/columns and is excluded
+    from equality/hashing (its identity is implied by the letters the
+    matrix is sliced with).
+    """
+
+    matrix: SubstitutionMatrix = BLOSUM62
+    gap_open: int = 11
+    gap_extend: int = 1
+    alphabet: Alphabet = field(default=PROTEIN_X, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.gap_extend < 1:
+            raise ValueError(
+                f"gap_extend must be at least 1, got {self.gap_extend}"
+            )
+        if self.gap_open < self.gap_extend:
+            raise ValueError(
+                "gap_open must not be below gap_extend "
+                f"({self.gap_open} < {self.gap_extend})"
+            )
+        w = self.matrix.weights_for(self.alphabet.letters)  # validates
+        if int(w.max()) <= 0:
+            raise ValueError(
+                f"matrix {self.matrix.name!r} has no positive score "
+                "over this alphabet; no alignment could ever start"
+            )
+
+    # -- shape of the scheme ------------------------------------------------
+
+    @property
+    def is_affine(self) -> bool:
+        """Whether opening costs more than extending."""
+        return self.gap_open != self.gap_extend
+
+    @property
+    def gap_penalty(self) -> int:
+        """The per-character gap cost of the *linear* degenerate case
+        (raises when the scheme is genuinely affine)."""
+        if self.is_affine:
+            raise ValueError(
+                "affine scheme has no single gap penalty "
+                f"(open {self.gap_open}, extend {self.gap_extend})"
+            )
+        return self.gap_open
+
+    @property
+    def max_weight(self) -> int:
+        """Largest substitution score over the alphabet."""
+        return max(max(row) for row in self.weights_key())
+
+    @property
+    def min_weight(self) -> int:
+        """Smallest substitution score over the alphabet."""
+        return min(min(row) for row in self.weights_key())
+
+    # -- weight table views -------------------------------------------------
+
+    def weights(self) -> np.ndarray:
+        """Dense ``(A, A)`` int64 weight table in alphabet code order."""
+        return self.matrix.weights_for(self.alphabet.letters)
+
+    def weights_key(self) -> WeightsKey:
+        """Hashable tuple form (keys the netlist/jit caches)."""
+        return self.matrix.weights_key_for(self.alphabet.letters)
+
+    # -- score sizing (the engine contract) ---------------------------------
+
+    def max_score(self, m: int, n: int | None = None) -> int:
+        """Largest possible H value: a gap-free all-best-pairs path."""
+        shorter = m if n is None else min(m, n)
+        return max(0, self.max_weight) * shorter
+
+    def score_bits(self, m: int, n: int | None = None) -> int:
+        """Bits needed for any H/E/F value under zero-clamping."""
+        return max(1, self.max_score(m, n).bit_length())
+
+
+@lru_cache(maxsize=64)
+def _padded_table_cached(key: WeightsKey, pad_bits: int) -> np.ndarray:
+    size = 1 << pad_bits
+    a = len(key)
+    if a > size:
+        raise ValueError(
+            f"{a} codes do not fit in {pad_bits} character planes"
+        )
+    bias = max(0, -min(min(row) for row in key))
+    table = np.full((size, size), -bias, dtype=np.int64)
+    table[:a, :a] = np.array(key, dtype=np.int64)
+    table.setflags(write=False)
+    return table
+
+
+def padded_weight_table(scheme: ProteinScheme,
+                        pad_bits: int | None = None) -> np.ndarray:
+    """Weight table totalised over every ``pad_bits``-bit code.
+
+    Entries involving a code outside the alphabet score ``-bias`` (the
+    matrix minimum, i.e. the mux tree's undecoded-pair output), so the
+    scalar references below agree with the circuits on sentinel-padded
+    batches.  Cached and read-only.
+    """
+    if pad_bits is None:
+        pad_bits = scheme.alphabet.pad_bits
+    return _padded_table_cached(scheme.weights_key(), int(pad_bits))
+
+
+def subst_gotoh_matrix(x, y, scheme: ProteinScheme) -> np.ndarray:
+    """Full ``(m+1) x (n+1)`` H matrix, pure Python (gold standard).
+
+    ``x``/``y`` are code sequences in alphabet order (any code below
+    ``2**pad_bits`` is accepted; pads score the matrix minimum).  E and
+    F are zero-clamped, matching the bit-sliced engine.
+    """
+    W = padded_weight_table(scheme)
+    m, n = len(x), len(y)
+    H = np.zeros((m + 1, n + 1), dtype=np.int64)
+    E = np.zeros((m + 1, n + 1), dtype=np.int64)
+    F = np.zeros((m + 1, n + 1), dtype=np.int64)
+    go = scheme.gap_open
+    ge = scheme.gap_extend
+    for i in range(1, m + 1):
+        wrow = W[int(x[i - 1])]
+        for j in range(1, n + 1):
+            E[i, j] = max(0, H[i, j - 1] - go, E[i, j - 1] - ge)
+            F[i, j] = max(0, H[i - 1, j] - go, F[i - 1, j] - ge)
+            diag = H[i - 1, j - 1] + wrow[int(y[j - 1])]
+            H[i, j] = max(0, E[i, j], F[i, j], diag)
+    return H
+
+
+def subst_gotoh_max_score(x, y, scheme: ProteinScheme) -> int:
+    """Maximum substitution-matrix affine local-alignment score."""
+    return int(subst_gotoh_matrix(x, y, scheme).max())
+
+
+def subst_gotoh_batch_max_scores(X: np.ndarray, Y: np.ndarray,
+                                 scheme: ProteinScheme) -> np.ndarray:
+    """Word-wise batch engine: max H per pair, wavefront-vectorised.
+
+    ``X`` is ``(P, m)``, ``Y`` is ``(P, n)`` code matrices; returns
+    ``(P,)`` int64.  The scalar reference the protein BPBC engines are
+    pinned against — and the engine behind the ``numpy`` rung of the
+    resilience fallback chain for protein schemes.
+    """
+    X = np.asarray(X)
+    Y = np.asarray(Y)
+    if X.ndim != 2 or Y.ndim != 2 or X.shape[0] != Y.shape[0]:
+        raise ValueError(
+            f"expected (P, m) / (P, n) code matrices, got {X.shape} "
+            f"and {Y.shape}"
+        )
+    W = padded_weight_table(scheme).astype(np.int32)
+    P, m = X.shape
+    n = Y.shape[1]
+    Xi = X.astype(np.intp)
+    Yi = Y.astype(np.intp)
+    go = np.int32(scheme.gap_open)
+    ge = np.int32(scheme.gap_extend)
+    h1 = np.zeros((P, m), dtype=np.int32)  # H on diagonal t-1
+    h2 = np.zeros((P, m), dtype=np.int32)  # H on diagonal t-2
+    e1 = np.zeros((P, m), dtype=np.int32)  # E on diagonal t-1
+    f1 = np.zeros((P, m), dtype=np.int32)  # F on diagonal t-1
+    best = np.zeros(P, dtype=np.int32)
+    for t in range(m + n - 1):
+        lo = max(0, t - n + 1)
+        hi = min(m - 1, t)
+        i_idx = np.arange(lo, hi + 1)
+        j_idx = t - i_idx
+        width = hi - lo + 1
+        h_up = np.zeros((P, width), dtype=np.int32)
+        h_diag = np.zeros((P, width), dtype=np.int32)
+        f_up = np.zeros((P, width), dtype=np.int32)
+        inner = i_idx > 0
+        h_up[:, inner] = h1[:, i_idx[inner] - 1]
+        h_diag[:, inner] = h2[:, i_idx[inner] - 1]
+        f_up[:, inner] = f1[:, i_idx[inner] - 1]
+        h_left = h1[:, i_idx].copy()
+        e_left = e1[:, i_idx].copy()
+        jz = j_idx > 0
+        h_left[:, ~jz] = 0
+        e_left[:, ~jz] = 0
+        h_diag[:, ~jz] = 0
+        E = np.maximum(0, np.maximum(h_left - go, e_left - ge))
+        F = np.maximum(0, np.maximum(h_up - go, f_up - ge))
+        w = W[Xi[:, i_idx], Yi[:, j_idx]]
+        H = np.maximum(np.maximum(E, F),
+                       np.maximum(0, h_diag + w)).astype(np.int32)
+        best = np.maximum(best, H.max(axis=1))
+        h2 = h1
+        nh = h1.copy()
+        nh[:, lo:hi + 1] = H
+        h1 = nh
+        ne = e1.copy()
+        ne[:, lo:hi + 1] = E
+        e1 = ne
+        nf = f1.copy()
+        nf[:, lo:hi + 1] = F
+        f1 = nf
+    return best.astype(np.int64)

@@ -1,0 +1,302 @@
+"""Bit-sliced substitution-matrix lookup: the protein ``matching_B``.
+
+The DNA gate :func:`repro.core.circuits.matching_b` scores a pair by
+equality; protein search needs ``H_diag + M[x][y]`` for an arbitrary
+integer matrix ``M``.  This module builds that as a pure AND/OR/XOR/NOT
+circuit over character bit planes — a mux tree over the encoded
+residue pair:
+
+1. **Decode** — one equality term per used residue code on each side:
+   ``xeq[a] = AND of eps literals`` (``x[i]`` or ``~x[i]``).
+2. **Select** — the matrix is biased to non-negative weights
+   ``wb = M + bias`` (``bias = max(0, -min M)``); bit ``h`` of the
+   selected weight is the OR over rows ``a`` of
+   ``xeq[a] AND (OR of yeq[b] for columns b with bit h set)``.
+3. **Arithmetic** — ``max(0, C + M[x][y])`` is computed exactly as
+   ``ssub(add(C, wb), bias)`` at an extended width ``s_ext`` (no
+   overflow), then truncated to the low ``s`` planes.
+
+Truncation soundness: in engine use every DP value satisfies
+``C + M[x][y] <= max(M) * min(m, n) < 2**s`` (that is how
+``ProteinScheme.score_bits`` sizes ``s``), so the dropped planes are
+zero.  On arbitrary cell inputs the circuit computes
+``max(0, C + M[x][y]) mod 2**s`` — what the differential checks pin.
+
+Codes ``>= A`` (the sentinel pad codes) match no decode row, select
+weight ``0``, and therefore score ``-bias`` — the minimum of the
+matrix, i.e. pads can never improve a score; exactly the property the
+serve packer and shard binning rely on.
+
+Every synthesis exists three ways, all pinned against each other by
+:mod:`repro.analyze.netcheck` and the protein differential fuzz suite:
+the straight-line interpreted circuit here, the gate netlist
+(:func:`repro.core.netlist.build_subst_sw_cell_netlist` family), and
+the analytic op-count accessors (:func:`subst_matching_ops_exact`
+family) mirroring the ``46s - 16 + 2e`` formulas of the DNA cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from .bitops import BitOpsError, OpCounter, word_dtype
+from .circuits import (
+    add_b,
+    add_b_ops,
+    clamp_penalty,
+    max_b,
+    max_b_ops,
+    splat_constant,
+    ssub_b,
+    ssub_b_ops,
+)
+
+__all__ = [
+    "SubstStructure",
+    "subst_structure",
+    "weights_key",
+    "subst_matching_b",
+    "subst_sw_cell",
+    "gotoh_cell_b",
+    "subst_matching_ops_exact",
+    "subst_sw_cell_ops_exact",
+    "subst_gotoh_cell_ops_exact",
+]
+
+Planes = Sequence[np.ndarray]
+
+#: Hashable weight table: tuple of tuple of int, row = x code.
+WeightsKey = tuple[tuple[int, ...], ...]
+
+
+def weights_key(weights) -> WeightsKey:
+    """Normalise any square int table to the hashable tuple form."""
+    key = tuple(tuple(int(v) for v in row) for row in np.asarray(weights))
+    k = len(key)
+    if k == 0 or any(len(row) != k for row in key):
+        raise BitOpsError("weight table must be square and non-empty")
+    return key
+
+
+@dataclass(frozen=True)
+class SubstStructure:
+    """The canonical synthesis plan of one weight table.
+
+    All three realisations of the lookup circuit — the straight-line
+    interpreted version, the netlist synthesiser and the op-count
+    accessor — iterate this structure in the same order, which is what
+    makes the exact-count pin meaningful.
+    """
+
+    size: int                 #: alphabet size A (codes 0..A-1 decoded)
+    bias: int                 #: max(0, -min(weights))
+    max_biased: int           #: max(weights) + bias
+    wbits: int                #: planes of the biased weight
+    used_rows: tuple[int, ...]    #: x codes with any non-zero biased row
+    used_cols: tuple[int, ...]    #: y codes feeding any selected bit
+    #: rows_by_bit[h] = ((row a, (cols with bit h set, ...)), ...)
+    rows_by_bit: tuple[tuple[tuple[int, tuple[int, ...]], ...], ...]
+    x_not_bits: tuple[int, ...]   #: x planes whose complement is needed
+    y_not_bits: tuple[int, ...]   #: y planes whose complement is needed
+    eps: int                  #: character planes per side
+
+    def s_ext(self, s: int) -> int:
+        """Width at which ``C + wb`` cannot overflow."""
+        return max(((1 << s) - 1 + self.max_biased).bit_length(), s, 1)
+
+
+@lru_cache(maxsize=64)
+def _structure_cached(key: WeightsKey, eps: int) -> SubstStructure:
+    size = len(key)
+    if size > (1 << eps):
+        raise BitOpsError(
+            f"{size} codes do not fit in {eps} character planes"
+        )
+    lo = min(min(row) for row in key)
+    hi = max(max(row) for row in key)
+    bias = max(0, -lo)
+    max_biased = hi + bias
+    wbits = max(1, max_biased.bit_length())
+    wb = [[v + bias for v in row] for row in key]
+    used_rows = tuple(a for a in range(size) if any(wb[a]))
+    used_cols = tuple(b for b in range(size)
+                      if any(wb[a][b] for a in range(size)))
+    rows_by_bit = tuple(
+        tuple((a, tuple(b for b in range(size) if (wb[a][b] >> h) & 1))
+              for a in used_rows
+              if any((wb[a][b] >> h) & 1 for b in range(size)))
+        for h in range(wbits)
+    )
+    x_not_bits = tuple(i for i in range(eps)
+                       if any(not (a >> i) & 1 for a in used_rows))
+    y_not_bits = tuple(i for i in range(eps)
+                       if any(not (b >> i) & 1 for b in used_cols))
+    return SubstStructure(size=size, bias=bias, max_biased=max_biased,
+                          wbits=wbits, used_rows=used_rows,
+                          used_cols=used_cols, rows_by_bit=rows_by_bit,
+                          x_not_bits=x_not_bits, y_not_bits=y_not_bits,
+                          eps=eps)
+
+
+def subst_structure(weights, eps: int) -> SubstStructure:
+    """The (memoised) synthesis structure of one weight table."""
+    return _structure_cached(weights_key(weights), int(eps))
+
+
+def _count(counter: OpCounter | None, n: int, kind: str) -> None:
+    if counter is not None:
+        counter.add(n, kind=kind)
+
+
+def _decode(planes: Planes, not_bits, codes, eps: int, counter) -> dict:
+    """Equality planes ``dec[a]`` for every code in ``codes``."""
+    notp = {}
+    for i in not_bits:
+        notp[i] = ~planes[i]
+        _count(counter, 1, "decode")
+    dec = {}
+    for a in codes:
+        acc = None
+        for i in range(eps):
+            lit = planes[i] if (a >> i) & 1 else notp[i]
+            if acc is None:
+                acc = lit
+            else:
+                acc = acc & lit
+                _count(counter, 1, "decode")
+        dec[a] = acc
+    return dec
+
+
+def subst_matching_b(C: Planes, x: Planes, y: Planes, weights,
+                     word_bits: int,
+                     counter: OpCounter | None = None) -> list[np.ndarray]:
+    """Per-lane ``max(0, C + M[x][y])`` — the substitution mux tree.
+
+    ``C`` is ``s`` score planes; ``x``/``y`` are ``eps`` character
+    planes.  Straight-line circuit; the analytic count is
+    :func:`subst_matching_ops_exact` and the gate netlist
+    :func:`repro.core.netlist.build_subst_matching_netlist`.
+    """
+    s = len(C)
+    eps = len(x)
+    if eps == 0 or len(y) != eps:
+        raise BitOpsError(
+            f"character width mismatch: {eps} vs {len(y)} planes"
+        )
+    st = subst_structure(weights, eps)
+    dt = word_dtype(word_bits)
+    zero = dt.type(0)
+    xdec = _decode(x, st.x_not_bits, st.used_rows, eps, counter)
+    ydec = _decode(y, st.y_not_bits, st.used_cols, eps, counter)
+    wsel: list = []
+    for h in range(st.wbits):
+        acc = None
+        for a, cols in st.rows_by_bit[h]:
+            ym = None
+            for b in cols:
+                if ym is None:
+                    ym = ydec[b]
+                else:
+                    ym = ym | ydec[b]
+                    _count(counter, 1, "select")
+            term = xdec[a] & ym
+            _count(counter, 1, "select")
+            if acc is None:
+                acc = term
+            else:
+                acc = acc | term
+                _count(counter, 1, "select")
+        wsel.append(acc if acc is not None else zero)
+    s_ext = st.s_ext(s)
+    C_ext = list(C) + [zero] * (s_ext - s)
+    w_ext = wsel + [zero] * (s_ext - st.wbits)
+    total = add_b(C_ext, w_ext, counter)
+    res = ssub_b(total,
+                 splat_constant(clamp_penalty(st.bias, s_ext), s_ext,
+                                word_bits),
+                 counter)
+    return res[:s]
+
+
+def subst_sw_cell(A: Planes, B: Planes, C: Planes, x: Planes, y: Planes,
+                  gap: int, weights, word_bits: int,
+                  counter: OpCounter | None = None) -> list[np.ndarray]:
+    """Linear-gap SW cell with a substitution matrix:
+    ``max(0, A - gap, B - gap, C + M[x][y])``."""
+    T = max_b(A, B, counter)
+    s = len(T)
+    U = ssub_b(T, splat_constant(clamp_penalty(gap, s), s, word_bits),
+               counter)
+    T2 = subst_matching_b(C, x, y, weights, word_bits, counter)
+    return max_b(T2, U, counter)
+
+
+def gotoh_cell_b(h_left: Planes, e_left: Planes, h_up: Planes,
+                 f_up: Planes, h_diag: Planes, x: Planes, y: Planes,
+                 gap_open: int, gap_extend: int, word_bits: int,
+                 weights=None, c1: int | None = None,
+                 c2: int | None = None,
+                 counter: OpCounter | None = None,
+                 ) -> tuple[list, list, list]:
+    """One affine (Gotoh) cell over bit planes; returns ``(H, E, F)``.
+
+    The diagonal term uses the substitution mux tree when ``weights``
+    is given and the paper's equality gate with ``c1``/``c2``
+    otherwise (see :mod:`repro.core.affine_bpbc` for the recurrence
+    and the zero-clamping argument).
+    """
+    from .circuits import matching_b
+
+    s = len(h_left)
+    go = splat_constant(clamp_penalty(gap_open, s), s, word_bits)
+    ge = splat_constant(clamp_penalty(gap_extend, s), s, word_bits)
+    E = max_b(ssub_b(h_left, go, counter), ssub_b(e_left, ge, counter),
+              counter)
+    F = max_b(ssub_b(h_up, go, counter), ssub_b(f_up, ge, counter),
+              counter)
+    if weights is not None:
+        diag = subst_matching_b(h_diag, x, y, weights, word_bits, counter)
+    else:
+        diag = matching_b(h_diag, x, y, int(c1), int(c2), word_bits,
+                          counter)
+    H = max_b(max_b(E, F, counter), diag, counter)
+    return H, E, F
+
+
+# ---------------------------------------------------------------------------
+# Exact op-count accessors (mirroring sw_cell_ops_exact and
+# gotoh_cell_ops_exact; asserted against both the interpreted circuit's
+# measured count and the simplify=False netlist's logic_gate_count).
+# ---------------------------------------------------------------------------
+
+def subst_matching_ops_exact(weights, s: int, eps: int) -> int:
+    """Exact op count of :func:`subst_matching_b` for one table."""
+    st = subst_structure(weights, eps)
+    n = len(st.x_not_bits) + len(st.y_not_bits)
+    n += (len(st.used_rows) + len(st.used_cols)) * (eps - 1)
+    for rows in st.rows_by_bit:
+        for _a, cols in rows:
+            n += (len(cols) - 1) + 1
+        if rows:
+            n += len(rows) - 1
+    s_ext = st.s_ext(s)
+    return n + add_b_ops(s_ext) + ssub_b_ops(s_ext)
+
+
+def subst_sw_cell_ops_exact(weights, s: int, eps: int) -> int:
+    """Exact op count of :func:`subst_sw_cell` (the protein analogue of
+    the paper's ``46s - 16 + 2e``)."""
+    return (2 * max_b_ops(s) + ssub_b_ops(s)
+            + subst_matching_ops_exact(weights, s, eps))
+
+
+def subst_gotoh_cell_ops_exact(weights, s: int, eps: int) -> int:
+    """Exact op count of the protein Gotoh cell: four saturating
+    subtractions, four maxima and the substitution mux tree."""
+    return (4 * ssub_b_ops(s) + 4 * max_b_ops(s)
+            + subst_matching_ops_exact(weights, s, eps))

@@ -215,6 +215,14 @@ def bpbc_sw_wavefront_planes(Xp, Yp, scheme: ScoringScheme,
     ``eps = 5`` at a cost of ``2 * eps`` extra operations per cell in
     the match-flag loop, nothing more.
 
+    ``scheme`` may be a DNA-style :class:`~repro.swa.scoring.ScoringScheme`
+    or a *linear* :class:`repro.core.protein.ProteinScheme` (one whose
+    ``gap_open == gap_extend``) — the substitution mux tree of
+    :mod:`repro.core.subst` then replaces the equality gate in every
+    evaluator, including the compiled ones ("the compiler sees just a
+    bigger netlist").  Affine protein schemes go through
+    :func:`repro.core.affine_bpbc.bpbc_gotoh_wavefront_planes`.
+
     ``cell`` picks the circuit evaluator — all bit-identical:
 
     ``"generic"``
@@ -262,8 +270,17 @@ def bpbc_sw_wavefront_planes(Xp, Yp, scheme: ScoringScheme,
         s = scheme.score_bits(m, n)
     dt = word_dtype(word_bits)
     lanes = Xp.shape[2]
-    gap, c1, c2 = (scheme.gap_penalty, scheme.match_score,
-                   scheme.mismatch_penalty)
+    # Protein schemes carry a weights_key() substitution table; DNA-style
+    # schemes carry c1/c2.  Duck-typed so this module never imports
+    # repro.core.protein (which imports the engines).
+    wk = None
+    get_wk = getattr(scheme, "weights_key", None)
+    if callable(get_wk):
+        wk = get_wk()
+        gap, c1, c2 = scheme.gap_penalty, None, None
+    else:
+        gap, c1, c2 = (scheme.gap_penalty, scheme.match_score,
+                       scheme.mismatch_penalty)
     if cell is None:
         cell = "generic" if counter is not None else "compiled"
     step = None
@@ -278,8 +295,12 @@ def bpbc_sw_wavefront_planes(Xp, Yp, scheme: ScoringScheme,
 
         backend = {"compiled": "auto", "compiled-c": "c",
                    "compiled-numpy": "numpy"}[cell]
-        step = jit.sw_wavefront_step(s, gap, c1, c2, eps, word_bits,
-                                     backend=backend)
+        if wk is not None:
+            step = jit.subst_wavefront_step(s, gap, wk, eps, word_bits,
+                                            backend=backend)
+        else:
+            step = jit.sw_wavefront_step(s, gap, c1, c2, eps, word_bits,
+                                         backend=backend)
         Xp = np.ascontiguousarray(Xp, dtype=dt)
         Yp = np.ascontiguousarray(Yp, dtype=dt)
     elif cell == "folded":
@@ -287,9 +308,12 @@ def bpbc_sw_wavefront_planes(Xp, Yp, scheme: ScoringScheme,
             raise BitOpsError(
                 "op counting is only supported for the generic cell"
             )
-        from .netlist import build_sw_cell_netlist
+        from .netlist import build_subst_sw_cell_netlist, build_sw_cell_netlist
 
-        net = build_sw_cell_netlist(s, gap, c1, c2, eps=eps)
+        if wk is not None:
+            net = build_subst_sw_cell_netlist(s, gap, wk, eps=eps)
+        else:
+            net = build_sw_cell_netlist(s, gap, c1, c2, eps=eps)
 
         def eval_cell(up, left, diag, x, y):
             return net.evaluate(
@@ -297,9 +321,16 @@ def bpbc_sw_wavefront_planes(Xp, Yp, scheme: ScoringScheme,
                 word_bits=word_bits,
             )
     elif cell == "generic":
-        def eval_cell(up, left, diag, x, y):
-            return sw_cell(up, left, diag, x, y, gap, c1, c2,
-                           word_bits, counter)
+        if wk is not None:
+            from .subst import subst_sw_cell
+
+            def eval_cell(up, left, diag, x, y):
+                return subst_sw_cell(up, left, diag, x, y, gap, wk,
+                                     word_bits, counter)
+        else:
+            def eval_cell(up, left, diag, x, y):
+                return sw_cell(up, left, diag, x, y, gap, c1, c2,
+                               word_bits, counter)
     else:
         raise BitOpsError(
             f"unknown cell evaluator {cell!r}; expected one of "

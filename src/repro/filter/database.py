@@ -47,24 +47,41 @@ class SearchHit:
     score: int
 
 
+def _scheme_caps(scheme) -> tuple[int, int]:
+    """``(max pair score, min per-text-char gap cost)`` of any scheme.
+
+    Protein schemes cap a pair at the matrix maximum and charge at
+    least ``gap_extend`` per skipped text character; affine DNA schemes
+    likewise (``gap_open >= gap_extend``); linear schemes use
+    ``match_score`` / ``gap_penalty``.
+    """
+    if callable(getattr(scheme, "weights_key", None)):
+        return scheme.max_weight, scheme.gap_extend
+    if hasattr(scheme, "gap_extend"):
+        return scheme.match_score, scheme.gap_extend
+    return scheme.match_score, scheme.gap_penalty
+
+
 def window_overlap(m: int, scheme: ScoringScheme | None = None) -> int:
     """Overlap that preserves every local alignment of an ``m``-char
     query.
 
     A positive-scoring alignment contains at most ``m`` aligned query
-    characters (scoring at most ``m * c1`` in total) and every text
-    gap costs ``gap``, so the number of gapped text positions is less
-    than ``m * c1 / gap`` and the total text span is at most
-    ``m + (m * c1 - 1) // gap``.  Raises if ``gap == 0`` (spans are
-    unbounded; windowing would be unsound).
+    characters (each scoring at most the scheme's best pair score
+    ``c``) and every skipped text character costs at least ``g`` (the
+    gap penalty, or ``gap_extend`` for affine/protein schemes), so the
+    number of gapped text positions is less than ``m * c / g`` and the
+    total text span is at most ``m + (m * c - 1) // g``.  Raises if
+    ``g == 0`` (spans are unbounded; windowing would be unsound).
     """
     scheme = scheme or DEFAULT_SCHEME
-    if scheme.gap_penalty == 0:
+    c_max, gap = _scheme_caps(scheme)
+    if gap == 0:
         raise ValueError(
             "windowed search requires a positive gap penalty; with "
             "gap == 0 a local alignment can span the entire text"
         )
-    return m + (m * scheme.match_score - 1) // scheme.gap_penalty
+    return m + (m * c_max - 1) // gap
 
 
 def windows_for(length: int, window: int,
@@ -117,9 +134,11 @@ def search_database(
     scheme = scheme or DEFAULT_SCHEME
     if workers is not None and workers <= 0:
         raise ValueError(f"workers must be positive, got {workers}")
-    q_codes = [encode(q) if isinstance(q, str) else np.asarray(q)
+    alph = getattr(scheme, "alphabet", None)
+    enc = alph.encode if alph is not None else encode
+    q_codes = [enc(q) if isinstance(q, str) else np.asarray(q)
                for q in queries]
-    d_codes = [encode(d) if isinstance(d, str) else np.asarray(d)
+    d_codes = [enc(d) if isinstance(d, str) else np.asarray(d)
                for d in database]
     if not q_codes or not d_codes:
         raise ValueError("queries and database must be non-empty")

@@ -16,11 +16,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.encoding import decode, encode_batch_bit_transposed
-from ..core.sw_bpbc import bpbc_sw_wavefront
+from ..core.encoding import (decode, encode_batch_bit_transposed,
+                             encode_batch_char_planes)
+from ..core.sw_bpbc import bpbc_sw_wavefront, bpbc_sw_wavefront_planes
+from ..swa.affine import AffineScheme
 from ..swa.scoring import DEFAULT_SCHEME, ScoringScheme
 from ..swa.sequential import sw_matrix
-from ..swa.traceback import Alignment, traceback
+from ..swa.traceback import Alignment, gotoh_align, traceback
 
 __all__ = ["ScreenHit", "ScreenResult", "screen_pairs", "bulk_max_scores"]
 
@@ -120,6 +122,27 @@ def bulk_max_scores(X: np.ndarray, Y: np.ndarray,
             scores[start:stop] = bulk_max_scores(
                 X[start:stop], Y[start:stop], scheme, word_bits)
         return scores
+    if callable(getattr(scheme, "weights_key", None)):
+        # Protein scheme: eps-bit character planes, substitution cell;
+        # the affine variant routes to the Gotoh engine.
+        eps = scheme.alphabet.pad_bits
+        Xp = encode_batch_char_planes(X, word_bits, char_bits=eps)
+        Yp = encode_batch_char_planes(Y, word_bits, char_bits=eps)
+        if scheme.is_affine:
+            from ..core.affine_bpbc import bpbc_gotoh_wavefront_planes
+
+            result = bpbc_gotoh_wavefront_planes(Xp, Yp, scheme,
+                                                 word_bits)
+        else:
+            result = bpbc_sw_wavefront_planes(Xp, Yp, scheme, word_bits)
+        return result.max_scores[:P]
+    if isinstance(scheme, AffineScheme):
+        from ..core.affine_bpbc import bpbc_gotoh_wavefront_planes
+
+        Xp = encode_batch_char_planes(X, word_bits, char_bits=2)
+        Yp = encode_batch_char_planes(Y, word_bits, char_bits=2)
+        result = bpbc_gotoh_wavefront_planes(Xp, Yp, scheme, word_bits)
+        return result.max_scores[:P]
     XH, XL = encode_batch_bit_transposed(X, word_bits)
     YH, YL = encode_batch_bit_transposed(Y, word_bits)
     result = bpbc_sw_wavefront(XH, XL, YH, YL, scheme, word_bits)
@@ -155,11 +178,20 @@ def screen_pairs(X: np.ndarray, Y: np.ndarray, threshold: int,
                              max_retries=max_retries)
     hits: list[ScreenHit] = []
     if align_survivors:
+        protein = callable(getattr(scheme, "weights_key", None))
+        affine = protein or isinstance(scheme, AffineScheme)
         for p in np.flatnonzero(scores > threshold):
-            x = decode(X[p])
-            y = decode(Y[p])
-            d = sw_matrix(x, y, scheme)
-            aln = traceback(d, x, y, scheme)
+            if protein:
+                x = scheme.alphabet.decode(X[p])
+                y = scheme.alphabet.decode(Y[p])
+            else:
+                x = decode(X[p])
+                y = decode(Y[p])
+            if affine:
+                aln = gotoh_align(x, y, scheme)
+            else:
+                d = sw_matrix(x, y, scheme)
+                aln = traceback(d, x, y, scheme)
             if aln.score != scores[p]:  # pragma: no cover - self check
                 raise AssertionError(
                     f"bulk/CPU score mismatch on pair {p}: "

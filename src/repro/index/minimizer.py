@@ -1,4 +1,5 @@
-"""Seeded k-mer / minimizer extraction over 2-bit code arrays.
+"""Seeded k-mer / minimizer extraction over character-code arrays
+(2-bit DNA by default; any code width up to ``max_k`` packing).
 
 Tier 0 of the search pipeline needs a cheap, alignment-free way to ask
 "could this query possibly align here?".  The standard answer (used by
@@ -21,35 +22,49 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["MAX_K", "kmer_values", "hash_kmers", "minimizers"]
+__all__ = ["MAX_K", "max_k", "kmer_values", "hash_kmers", "minimizers"]
 
-#: Largest supported k: a k-mer of 2-bit codes must fit in a uint64.
+#: Largest supported k for 2-bit codes: a k-mer must fit in a uint64.
+#: For wider alphabets the bound is ``max_k(bits) = 64 // bits``.
 MAX_K = 32
 
 
-def _check_k(k: int) -> None:
-    if not 1 <= k <= MAX_K:
-        raise ValueError(f"k must be in [1, {MAX_K}], got {k}")
+def max_k(bits: int = 2) -> int:
+    """Largest k whose packed k-mer of ``bits``-bit codes fits uint64."""
+    if not 1 <= bits <= 64:
+        raise ValueError(f"bits must be in [1, 64], got {bits}")
+    return 64 // bits
 
 
-def kmer_values(codes: np.ndarray, k: int) -> np.ndarray:
-    """Packed 2-bit values of every k-mer of a code array.
+def _check_k(k: int, bits: int) -> None:
+    if not 1 <= k <= max_k(bits):
+        raise ValueError(
+            f"k must be in [1, {max_k(bits)}] for {bits}-bit codes, "
+            f"got {k}")
 
-    ``codes`` is a 1-D ``uint8`` array of 2-bit base codes; returns a
-    ``uint64`` array of length ``len(codes) - k + 1`` where entry
-    ``i`` packs ``codes[i:i+k]`` big-endian (first base in the high
-    bits).  Empty when the sequence is shorter than ``k``.
+
+def kmer_values(codes: np.ndarray, k: int, bits: int = 2) -> np.ndarray:
+    """Packed values of every k-mer of a code array.
+
+    ``codes`` is a 1-D ``uint8`` array of ``bits``-bit character codes
+    (2 for DNA, 5 for the protein alphabet); returns a ``uint64``
+    array of length ``len(codes) - k + 1`` where entry ``i`` packs
+    ``codes[i:i+k]`` big-endian (first character in the high bits).
+    Empty when the sequence is shorter than ``k``.
     """
-    _check_k(k)
+    _check_k(k, bits)
     codes = np.asarray(codes, dtype=np.uint64)
     if codes.ndim != 1:
         raise ValueError(f"expected a 1-D code array, got {codes.shape}")
+    if codes.size and int(codes.max()) >> bits:
+        raise ValueError(
+            f"code {int(codes.max())} does not fit {bits} bits")
     n = codes.shape[0]
     if n < k:
         return np.empty(0, dtype=np.uint64)
     out = np.zeros(n - k + 1, dtype=np.uint64)
     for i in range(k):
-        out <<= np.uint64(2)
+        out <<= np.uint64(bits)
         out |= codes[i:n - k + 1 + i]
     return out
 
@@ -75,21 +90,22 @@ def hash_kmers(values: np.ndarray) -> np.ndarray:
     return x
 
 
-def minimizers(codes: np.ndarray, k: int,
-               w: int) -> tuple[np.ndarray, np.ndarray]:
+def minimizers(codes: np.ndarray, k: int, w: int,
+               bits: int = 2) -> tuple[np.ndarray, np.ndarray]:
     """Minimizer ``(positions, hashed values)`` of one code array.
 
     For every window of ``w`` consecutive k-mers the position of the
     smallest *hashed* k-mer is selected; duplicate selections from
     overlapping windows are collapsed.  Returns ``(positions, values)``
     — ``int64`` k-mer start positions (sorted, unique) and the
-    ``uint64`` hashed value at each.  A sequence shorter than ``k``
+    ``uint64`` hashed value at each.  ``bits`` is the character code
+    width (2 for DNA, 5 for protein).  A sequence shorter than ``k``
     has no minimizers; one shorter than ``k + w - 1`` is treated as a
     single window.
     """
     if w < 1:
         raise ValueError(f"w must be positive, got {w}")
-    hashes = hash_kmers(kmer_values(codes, k))
+    hashes = hash_kmers(kmer_values(codes, k, bits))
     n_kmers = hashes.shape[0]
     if n_kmers == 0:
         return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.uint64))

@@ -49,13 +49,15 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from ..core.alphabet import DNA
 from ..core.encoding import decode, encode
 from ..filter.database import window_overlap, windows_for
 from ..filter.screening import bulk_max_scores
 from ..resilience.faults import fault_point
+from ..swa.affine import AffineScheme
 from ..swa.scoring import DEFAULT_SCHEME, ScoringScheme
 from ..swa.sequential import sw_matrix
-from ..swa.traceback import Alignment, traceback
+from ..swa.traceback import Alignment, gotoh_align, traceback
 from .minimizer import minimizers
 from .stats import SearchStats
 from .store import DatabaseIndex
@@ -159,6 +161,18 @@ class TieredSearch:
             raise ValueError(f"workers must be positive, got {workers}")
         self.index = index
         self.scheme = scheme or DEFAULT_SCHEME
+        scheme_alph = getattr(self.scheme, "alphabet", None)
+        if index.alphabet is not DNA:
+            # Protein (or other wide-alphabet) index: the scheme must
+            # carry a matching alphabet or every code would be
+            # misread as a nucleotide.
+            if scheme_alph is None or scheme_alph is not index.alphabet:
+                raise ValueError(
+                    f"index stores {index.alphabet.name} codes but the "
+                    f"scoring scheme targets "
+                    f"{getattr(scheme_alph, 'name', 'DNA')}; pass a "
+                    "scheme built for the index alphabet (e.g. "
+                    "ProteinScheme for a protein index)")
         self.word_bits = word_bits
         self.min_seeds = min_seeds
         self.threshold = threshold
@@ -244,7 +258,8 @@ class TieredSearch:
                align: bool = True) -> TieredSearchResult:
         """Search every query against the whole index.
 
-        ``queries`` is a list of DNA strings or 1-D code arrays.
+        ``queries`` is a list of strings (in the index's alphabet) or
+        1-D code arrays.
         Returns hits ranked per query by descending score (ties by
         entry index), at most ``top_k`` per query, each carrying a
         full :class:`~repro.swa.traceback.Alignment` unless
@@ -252,7 +267,9 @@ class TieredSearch:
         """
         if top_k is not None and top_k <= 0:
             raise ValueError(f"top_k must be positive, got {top_k}")
-        q_codes = [encode(q) if isinstance(q, str)
+        alph = self.index.alphabet
+        enc = encode if alph is DNA else alph.encode
+        q_codes = [enc(q) if isinstance(q, str)
                    else np.asarray(q, dtype=np.uint8) for q in queries]
         if not q_codes:
             raise ValueError("queries must be non-empty")
@@ -277,8 +294,8 @@ class TieredSearch:
                 f"local alignment can span {max(overlaps) + 1} text "
                 f"chars; need window > {max(overlaps)}")
 
-        q_seeds = [np.unique(minimizers(q, self.index.k,
-                                        self.index.w)[1])
+        q_seeds = [np.unique(minimizers(q, self.index.k, self.index.w,
+                                        bits=self.index.kmer_bits)[1])
                    for q in q_codes]
 
         stats = SearchStats(entries_total=self.index.n_entries,
@@ -365,9 +382,15 @@ class TieredSearch:
                expected: int) -> Alignment:
         """Wordwise matrix + traceback on one window, with one retry
         (the ``index.tier2.align`` fault site) and the bulk/CPU score
-        self-check."""
-        x = decode(q)
-        y = decode(shard.window_codes(wa, wb))
+        self-check.  Protein and affine-DNA schemes align through the
+        Gotoh DP; linear DNA through the classic SW matrix."""
+        protein = callable(getattr(self.scheme, "weights_key", None))
+        if protein:
+            x = self.scheme.alphabet.decode(q)
+            y = self.scheme.alphabet.decode(shard.window_codes(wa, wb))
+        else:
+            x = decode(q)
+            y = decode(shard.window_codes(wa, wb))
         for attempt in (0, 1):
             try:
                 fault_point("index.tier2.align")
@@ -375,8 +398,11 @@ class TieredSearch:
             except Exception:
                 if attempt:
                     raise
-        d = sw_matrix(x, y, self.scheme)
-        aln = traceback(d, x, y, self.scheme)
+        if protein or isinstance(self.scheme, AffineScheme):
+            aln = gotoh_align(x, y, self.scheme)
+        else:
+            d = sw_matrix(x, y, self.scheme)
+            aln = traceback(d, x, y, self.scheme)
         if aln.score != expected:  # pragma: no cover - self check
             raise AssertionError(
                 f"tier-1/tier-2 score mismatch: bulk {expected} vs "

@@ -1,10 +1,10 @@
-"""On-disk sharded sequence index: packed 2-bit codes + minimizer
+"""On-disk sharded sequence index: packed character codes + minimizer
 postings, memory-mapped.
 
 An index is a directory::
 
     myindex/
-      manifest.json     # format version, k/w params, shard table
+      manifest.json     # format version, k/w/alphabet, shard table
       shard-00000.rpx   # fixed-budget shard, see layout below
       shard-00001.rpx
       ...
@@ -18,17 +18,25 @@ size, not database size.
 Shard file layout (little-endian, every section 8-byte aligned)::
 
     header (64 bytes):
-      magic   b"RPIX" | version u16 | pad u16 | k u32 | w u32
+      magic   b"RPIX" | version u16 | code_bits u16 | k u32 | w u32
       n_entries u64 | n_chars u64 | n_keys u64 | n_postings u64
       ids_bytes u64 | crc32 u32 (of the payload) | pad
     payload:
       offsets  int64[n_entries + 1]   cumulative char offsets
       ids      utf-8, newline-joined entry ids (ids_bytes long)
-      packed   uint8[ceil(n_chars / 4)]  2-bit codes, 4 per byte
+      packed   2-bit codes 4-per-byte (code_bits 0/2: DNA) or raw
+               uint8 codes (code_bits 8: protein and other >2-bit
+               alphabets)
       keys     uint64[n_keys]          sorted unique minimizer hashes
       poffs    int64[n_keys + 1]       CSR posting-list offsets
       postings int64[n_postings]       k-mer start positions (shard
                                        char space), sorted per key
+
+``code_bits`` lives in what version-1 DNA shards wrote as header
+padding (always 0), so legacy shards read back unchanged as 2-bit.
+The manifest records the alphabet name (absent = ``"dna"``); protein
+indexes store raw byte codes and pack k-mers at the alphabet's code
+width (5 bits, capping k at 12).
 
 Structural checks (magic, version, section bounds vs file size,
 monotonic offsets) run on every open; the CRC-32 of the payload is
@@ -48,10 +56,11 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from ..core.alphabet import DNA, Alphabet
 from ..core.encoding import encode, pack_2bit, unpack_2bit
 from ..resilience.faults import fault_point
-from .fasta import FastaRecord
-from .minimizer import minimizers
+from .fasta import FastaRecord, resolve_alphabet
+from .minimizer import max_k, minimizers
 
 __all__ = ["FORMAT_VERSION", "IndexFormatError", "IndexIntegrityError",
            "Shard", "DatabaseIndex", "build_index"]
@@ -118,7 +127,7 @@ class Shard:
         if mm.size < _HEADER_BYTES:
             raise IndexFormatError(
                 f"{self.path}: truncated header ({mm.size} bytes)")
-        (magic, version, _pad, self.k, self.w, self.n_entries,
+        (magic, version, code_bits, self.k, self.w, self.n_entries,
          self.n_chars, n_keys, n_postings, ids_bytes,
          self.crc32) = _HEADER.unpack(mm[:_HEADER.size].tobytes())
         if magic != _MAGIC:
@@ -129,6 +138,12 @@ class Shard:
             raise IndexFormatError(
                 f"{self.path}: format version {version} != supported "
                 f"{FORMAT_VERSION}")
+        # Legacy DNA shards wrote 0 into this header slot (padding).
+        self.code_bits = code_bits or 2
+        if self.code_bits not in (2, 8):
+            raise IndexFormatError(
+                f"{self.path}: unsupported code width "
+                f"{self.code_bits} (expected 2 or 8)")
         if k != self.k or w != self.w:
             raise IndexIntegrityError(
                 f"{self.path}: shard params k={self.k}/w={self.w} "
@@ -140,8 +155,9 @@ class Shard:
         ids_start = pos
         pos = _align8(pos + ids_bytes)
         self._ids_span = (ids_start, ids_start + ids_bytes)
-        self.packed, pos = self._section(pos, np.uint8,
-                                         (self.n_chars + 3) // 4)
+        packed_bytes = (self.n_chars if self.code_bits == 8
+                        else (self.n_chars + 3) // 4)
+        self.packed, pos = self._section(pos, np.uint8, packed_bytes)
         self.keys, pos = self._section(pos, np.uint64, n_keys)
         self.posting_offsets, pos = self._section(pos, np.int64,
                                                   n_keys + 1)
@@ -215,6 +231,8 @@ class Shard:
             raise ValueError(
                 f"char range [{start}, {end}) outside shard "
                 f"[0, {self.n_chars})")
+        if self.code_bits == 8:
+            return np.asarray(self.packed[start:end])
         b0, b1 = start // 4, (end + 3) // 4
         codes = unpack_2bit(np.asarray(self.packed[b0:b1]),
                             (b1 - b0) * 4)
@@ -264,7 +282,8 @@ def _raise_corrupt(path: Path) -> None:
 
 
 def _write_shard(path: Path, k: int, w: int, ids: list[str],
-                 seqs: list[np.ndarray]) -> int:
+                 seqs: list[np.ndarray], code_bits: int = 2,
+                 kmer_bits: int = 2) -> int:
     """Write one shard file; returns its payload CRC-32."""
     offsets = np.zeros(len(seqs) + 1, dtype=np.int64)
     np.cumsum([len(s) for s in seqs], out=offsets[1:])
@@ -277,7 +296,7 @@ def _write_shard(path: Path, k: int, w: int, ids: list[str],
     val_chunks: list[np.ndarray] = []
     pos_chunks: list[np.ndarray] = []
     for i, seq in enumerate(seqs):
-        pos, vals = minimizers(seq, k, w)
+        pos, vals = minimizers(seq, k, w, bits=kmer_bits)
         if pos.size:
             val_chunks.append(vals)
             pos_chunks.append(pos + int(offsets[i]))
@@ -295,7 +314,7 @@ def _write_shard(path: Path, k: int, w: int, ids: list[str],
         pos = np.empty(0, dtype=np.int64)
 
     ids_blob = "\n".join(ids).encode("utf-8")
-    packed = pack_2bit(chars)
+    packed = chars if code_bits == 8 else pack_2bit(chars)
     crc = 0
     with path.open("wb") as fh:
         fh.write(b"\0" * _HEADER_BYTES)  # placeholder
@@ -309,7 +328,7 @@ def _write_shard(path: Path, k: int, w: int, ids: list[str],
             padded = raw + b"\0" * (_align8(len(raw)) - len(raw))
             crc = zlib.crc32(padded, crc)
             fh.write(padded)
-        header = _HEADER.pack(_MAGIC, FORMAT_VERSION, 0, k, w,
+        header = _HEADER.pack(_MAGIC, FORMAT_VERSION, code_bits, k, w,
                               len(seqs), n_chars, keys.shape[0],
                               pos.shape[0], len(ids_blob), crc)
         fh.seek(0)
@@ -327,7 +346,14 @@ class DatabaseIndex:
         self.shard_chars = int(manifest["shard_chars"])
         self.n_entries = int(manifest["n_entries"])
         self.n_chars = int(manifest["n_chars"])
+        # Absent in legacy (DNA-only) manifests.
+        self.alphabet = resolve_alphabet(manifest.get("alphabet", "dna"))
         self._shards = [_ShardMeta(**row) for row in manifest["shards"]]
+
+    @property
+    def kmer_bits(self) -> int:
+        """Code width minimizer k-mers are packed at (2 for DNA)."""
+        return 2 if self.alphabet is DNA else self.alphabet.bits
 
     # -- lifecycle ------------------------------------------------------
     @classmethod
@@ -399,22 +425,28 @@ class DatabaseIndex:
         raise AssertionError("unreachable")  # pragma: no cover
 
 
-def _normalise(item, index: int) -> tuple[str, np.ndarray]:
+def _normalise(item, index: int,
+               alphabet: Alphabet) -> tuple[str, np.ndarray]:
     """Accept FastaRecord, (id, seq), str, or a 1-D code array."""
+    def enc(seq: str) -> np.ndarray:
+        return (encode(seq) if alphabet is DNA
+                else alphabet.encode(seq))
+
     if isinstance(item, FastaRecord):
         return item.id, item.codes
     if isinstance(item, tuple) and len(item) == 2:
         name, seq = item
-        return str(name), (encode(seq) if isinstance(seq, str)
+        return str(name), (enc(seq) if isinstance(seq, str)
                            else np.asarray(seq, dtype=np.uint8))
     if isinstance(item, str):
-        return f"seq{index}", encode(item)
+        return f"seq{index}", enc(item)
     return f"seq{index}", np.asarray(item, dtype=np.uint8)
 
 
 def build_index(sequences: Iterable, path: str | Path, *,
                 k: int = 16, w: int = 8,
-                shard_chars: int = 1 << 24) -> DatabaseIndex:
+                shard_chars: int = 1 << 24,
+                alphabet: str | Alphabet = "dna") -> DatabaseIndex:
     """Stream sequences into a new on-disk index at ``path``.
 
     ``sequences`` yields :class:`~repro.index.fasta.FastaRecord`,
@@ -424,11 +456,23 @@ def build_index(sequences: Iterable, path: str | Path, *,
     ``shard_chars`` characters (an entry longer than the budget gets a
     shard of its own), so peak memory is one shard.  ``path`` must not
     already contain an index (refuses to clobber).
+
+    ``alphabet="protein"`` stores raw byte codes (5-bit residues do
+    not pack 4-per-byte) and packs minimizer k-mers at 5 bits per
+    residue, capping ``k`` at 12 — pick ``k`` accordingly (amino-acid
+    seeds are informative at much smaller k than nucleotide ones).
     """
     if shard_chars <= 0:
         raise ValueError(f"shard_chars must be positive, got {shard_chars}")
     if w < 1:
         raise ValueError(f"w must be positive, got {w}")
+    alphabet = resolve_alphabet(alphabet)
+    code_bits = 2 if alphabet is DNA else 8
+    kmer_bits = 2 if alphabet is DNA else alphabet.bits
+    if k > max_k(kmer_bits):
+        raise ValueError(
+            f"k={k} exceeds the packing limit {max_k(kmer_bits)} for "
+            f"{kmer_bits}-bit {alphabet.name} codes")
     path = Path(path)
     path.mkdir(parents=True, exist_ok=True)
     manifest_path = path / "manifest.json"
@@ -449,7 +493,8 @@ def build_index(sequences: Iterable, path: str | Path, *,
         if not seqs:
             return
         fname = f"shard-{len(shards):05d}.rpx"
-        crc = _write_shard(path / fname, k, w, ids, seqs)
+        crc = _write_shard(path / fname, k, w, ids, seqs,
+                           code_bits=code_bits, kmer_bits=kmer_bits)
         shards.append(_ShardMeta(file=fname, n_entries=len(seqs),
                                  n_chars=pending,
                                  entry_base=entry_base,
@@ -460,7 +505,7 @@ def build_index(sequences: Iterable, path: str | Path, *,
 
     count = 0
     for item in sequences:
-        name, codes = _normalise(item, count)
+        name, codes = _normalise(item, count, alphabet)
         count += 1
         if codes.ndim != 1 or codes.size == 0:
             raise ValueError(
@@ -483,6 +528,7 @@ def build_index(sequences: Iterable, path: str | Path, *,
         "format": "repro-index",
         "version": FORMAT_VERSION,
         "k": k, "w": w, "shard_chars": shard_chars,
+        "alphabet": "dna" if alphabet is DNA else alphabet.name,
         "n_entries": entry_base, "n_chars": char_base,
         "shards": [vars(m) for m in shards],
     }

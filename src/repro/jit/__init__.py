@@ -20,7 +20,9 @@ or per backend with ``"compiled-c"`` / ``"compiled-numpy"``.
 """
 
 from .cbackend import cc_available
-from .cells import CStep, NumpyStep, compiled_sw_cell, sw_wavefront_step
+from .cells import (CStep, GotohNumpyStep, NumpyStep, compiled_sw_cell,
+                    gotoh_wavefront_step, subst_wavefront_step,
+                    sw_wavefront_step)
 from .compiler import (CellPlan, CompiledNetlist, JitError, compile_netlist,
                        plan_netlist)
 
@@ -32,7 +34,10 @@ __all__ = [
     "compile_netlist",
     "compiled_sw_cell",
     "sw_wavefront_step",
+    "subst_wavefront_step",
+    "gotoh_wavefront_step",
     "NumpyStep",
     "CStep",
+    "GotohNumpyStep",
     "cc_available",
 ]

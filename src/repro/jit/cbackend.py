@@ -58,10 +58,14 @@ from ..resilience.faults import should_inject
 from .compiler import CellPlan, JitError, Ref
 
 __all__ = ["cc_available", "compiler_path", "c_step_source",
-           "compile_step", "STEP_SYMBOL"]
+           "c_gotoh_step_source", "compile_step", "STEP_SYMBOL",
+           "GOTOH_STEP_SYMBOL"]
 
 #: Exported symbol name of every generated step kernel.
 STEP_SYMBOL = "repro_sw_step"
+
+#: Exported symbol name of the affine (Gotoh) step kernels.
+GOTOH_STEP_SYMBOL = "repro_gotoh_step"
 
 _C_TYPES = {8: "uint8_t", 16: "uint16_t", 32: "uint32_t", 64: "uint64_t"}
 
@@ -232,6 +236,115 @@ void {STEP_SYMBOL}(W* restrict p1, W* restrict p2, W* restrict best,
 """
 
 
+def c_gotoh_step_source(plan: CellPlan, s: int, eps: int,
+                        word_bits: int) -> str:
+    """Emit the C source of the fused affine (Gotoh) wavefront step.
+
+    ``plan`` must come from a netlist with buses ``h_left``/``e_left``/
+    ``h_up``/``f_up``/``h_diag``/``best`` (``s`` bits each) and
+    ``x``/``y`` (``eps`` bits) and ``4 * s`` outputs: H, E, F and the
+    updated running max (see
+    :func:`repro.core.netlist.build_gotoh_cell_best_netlist`).
+
+    State layout mirrors the linear step with two extra in-place plane
+    sets: ``h1``/``h2`` double-buffer H exactly like ``p1``/``p2``
+    (``h2`` doubles as the diagonal input, hence the descending row
+    loop), while ``e``/``f`` are single-buffered — E is read and
+    rewritten at padded row ``r + 1`` (same diagonal column shift) and
+    F read at ``r``, written at ``r + 1``, which descending order also
+    keeps hazard-free.
+    """
+    check_word_bits(word_bits)
+    expected = ([("h_left", h) for h in range(s)]
+                + [("e_left", h) for h in range(s)]
+                + [("h_up", h) for h in range(s)]
+                + [("f_up", h) for h in range(s)]
+                + [("h_diag", h) for h in range(s)]
+                + [("x", b) for b in range(eps)]
+                + [("y", b) for b in range(eps)]
+                + [("best", h) for h in range(s)])
+    if list(plan.input_layout) != expected:
+        raise JitError("plan input layout does not match the fused "
+                       "Gotoh-cell/best netlist")
+    if len(plan.outputs) != 4 * s:
+        raise JitError(
+            f"fused gotoh plan must have {4 * s} outputs, got "
+            f"{len(plan.outputs)}"
+        )
+
+    load: list[str] = ([f"hl[{h} * ps + l]" for h in range(s)]
+                       + [f"el[{h} * ps + l]" for h in range(s)]
+                       + [f"hu[{h} * ps + l]" for h in range(s)]
+                       + [f"fu[{h} * ps + l]" for h in range(s)]
+                       + [f"hd[{h} * ps + l]" for h in range(s)]
+                       + [f"xr[{b} * cs + l]" for b in range(eps)]
+                       + [f"yr[{b} * ds + l]" for b in range(eps)]
+                       + [f"br[{h} * bs + l]" for h in range(s)])
+    used = {r[1] for op in plan.ops for r in op[1:]
+            if r is not None and r[0] == "in"}
+    used.update(r[1] for r in plan.outputs if r[0] == "in")
+
+    def nm(r: Ref) -> str:
+        if r[0] == "in":
+            return f"i{r[1]}"
+        if r[0] == "op":
+            return f"t{r[1]}"
+        return "(~(W)0)" if r[1] else "((W)0)"
+
+    body: list[str] = []
+    for k in sorted(used):
+        body.append(f"const W i{k} = {load[k]};")
+    for j, (kind, a, b) in enumerate(plan.ops):
+        if kind == "NOT":
+            expr = f"~{nm(a)}"
+        else:
+            sym = {"AND": "&", "OR": "|", "XOR": "^"}[kind]
+            expr = f"{nm(a)} {sym} {nm(b)}"  # type: ignore[arg-type]
+        body.append(f"const W t{j} = {expr};")
+    for h in range(s):
+        body.append(f"dh[{h} * ps + l] = {nm(plan.outputs[h])};")
+    for h in range(s):
+        body.append(f"de[{h} * ps + l] = {nm(plan.outputs[s + h])};")
+    for h in range(s):
+        body.append(f"df[{h} * ps + l] = {nm(plan.outputs[2 * s + h])};")
+    for h in range(s):
+        body.append(f"br[{h} * bs + l] = {nm(plan.outputs[3 * s + h])};")
+    inner = "\n                ".join(body)
+
+    return f"""#include <stdint.h>
+
+typedef {_C_TYPES[word_bits]} W;
+
+void {GOTOH_STEP_SYMBOL}(const W* restrict h1, W* restrict h2,
+                         W* restrict e, W* restrict f, W* restrict best,
+                         const W* restrict xp, const W* restrict yp,
+                         long t, long lo, long hi, long m, long n, long L)
+{{
+    const long ps = (m + 1) * L;   /* state plane stride     */
+    const long bs = m * L;         /* best plane stride      */
+    const long cs = m * L;         /* x character planes     */
+    const long ds = n * L;         /* y character planes     */
+    (void)n;
+    for (long r = hi; r >= lo; --r) {{
+        const W* hl = h1 + (r + 1) * L;
+        const W* el = e + (r + 1) * L;
+        const W* hu = h1 + r * L;
+        const W* fu = f + r * L;
+        const W* hd = h2 + r * L;
+        W* dh       = h2 + (r + 1) * L;
+        W* de       = e + (r + 1) * L;
+        W* df       = f + (r + 1) * L;
+        const W* xr = xp + r * L;
+        const W* yr = yp + (t - r) * L;
+        W* br       = best + r * L;
+        for (long l = 0; l < L; ++l) {{
+                {inner}
+        }}
+    }}
+}}
+"""
+
+
 def _build(source: str, cc: str, so_path: str) -> None:
     src_path = so_path[:-3] + ".c"
     with open(src_path, "w") as fh:
@@ -250,14 +363,18 @@ def _build(source: str, cc: str, so_path: str) -> None:
     raise JitError(f"C compilation failed ({cc}): {tail}")
 
 
-def compile_step(source: str):
+def compile_step(source: str, symbol: str = STEP_SYMBOL,
+                 num_ptr_args: int = 5):
     """Compile ``source`` and return the loaded step function.
 
-    Idempotent and cached: the same source returns the same
-    :mod:`ctypes` function object for the life of the process, and the
-    shared object persists on disk across processes.  Raises
-    :class:`~repro.jit.compiler.JitError` when no compiler is available
-    or the build fails.
+    ``symbol`` names the exported kernel (:data:`STEP_SYMBOL` for the
+    linear step, :data:`GOTOH_STEP_SYMBOL` with ``num_ptr_args=7`` for
+    the affine one); every kernel takes ``num_ptr_args`` pointers
+    followed by six longs.  Idempotent and cached: the same source
+    returns the same :mod:`ctypes` function object for the life of the
+    process, and the shared object persists on disk across processes.
+    Raises :class:`~repro.jit.compiler.JitError` when no compiler is
+    available or the build fails.
     """
     cc = compiler_path()
     if cc is None:
@@ -293,7 +410,7 @@ def compile_step(source: str):
                 except OSError:
                     raise JitError(f"cannot load {so_path}: {exc}") from exc
             _libs[digest] = lib
-    fn = getattr(lib, STEP_SYMBOL)
-    fn.argtypes = [ctypes.c_void_p] * 5 + [ctypes.c_long] * 6
+    fn = getattr(lib, symbol)
+    fn.argtypes = [ctypes.c_void_p] * num_ptr_args + [ctypes.c_long] * 6
     fn.restype = None
     return fn

@@ -30,12 +30,16 @@ from functools import lru_cache
 
 import numpy as np
 
-from ..core.netlist import (build_sw_cell_best_netlist,
+from ..core.netlist import (build_gotoh_cell_best_netlist,
+                            build_subst_sw_cell_best_netlist,
+                            build_sw_cell_best_netlist,
                             build_sw_cell_netlist)
 from . import cbackend
 from .compiler import CompiledNetlist, JitError, plan_netlist
 
-__all__ = ["compiled_sw_cell", "sw_wavefront_step", "NumpyStep", "CStep"]
+__all__ = ["compiled_sw_cell", "sw_wavefront_step",
+           "subst_wavefront_step", "gotoh_wavefront_step", "NumpyStep",
+           "CStep", "GotohNumpyStep"]
 
 
 @lru_cache(maxsize=128)
@@ -137,10 +141,133 @@ def sw_wavefront_step(s: int, gap: int, c1: int, c2: int, eps: int,
     ``.source``.  Memoised — one lowering per configuration per
     process.
     """
+    _check_backend(backend)
+    return _step_cached(int(s), int(gap), int(c1), int(c2), int(eps),
+                        int(word_bits), backend)
+
+
+def _check_backend(backend: str) -> None:
     if backend not in ("auto", "c", "numpy"):
         raise JitError(
             f"unknown jit backend {backend!r}; expected 'auto', 'c', "
             "or 'numpy'"
         )
-    return _step_cached(int(s), int(gap), int(c1), int(c2), int(eps),
-                        int(word_bits), backend)
+
+
+@lru_cache(maxsize=64)
+def _subst_step_cached(s: int, gap: int, weights, eps: int,
+                       word_bits: int, backend: str):
+    net = build_subst_sw_cell_best_netlist(s, gap, weights, eps=eps)
+    if backend in ("auto", "c"):
+        try:
+            plan = plan_netlist(net)
+            source = cbackend.c_step_source(plan, s, eps, word_bits)
+            return CStep(cbackend.compile_step(source), source)
+        except JitError:
+            if backend == "c":
+                raise
+    compiled = CompiledNetlist(net, word_bits,
+                               name=f"subst_sw_cell_best[s={s}]")
+    return NumpyStep(compiled, s, eps)
+
+
+def subst_wavefront_step(s: int, gap: int, weights, eps: int,
+                         word_bits: int, backend: str = "auto"):
+    """The fused substitution-matrix cell + running-max step.
+
+    Identical calling convention and bus layout to
+    :func:`sw_wavefront_step` — the mux tree of
+    :mod:`repro.core.subst` replaces the equality gate, so the same C
+    emitter and NumPy evaluator lower it unchanged ("the compiler sees
+    just a bigger netlist").  ``weights`` is any square int table;
+    memoised per hashable table form.
+    """
+    from ..core.subst import weights_key
+
+    _check_backend(backend)
+    return _subst_step_cached(int(s), int(gap), weights_key(weights),
+                              int(eps), int(word_bits), backend)
+
+
+class GotohNumpyStep:
+    """One fused affine wavefront step via the generated-NumPy evaluator.
+
+    ``h1``/``h2`` double-buffer the H planes exactly like the linear
+    step's ``p1``/``p2``; ``e``/``f`` are single-buffered
+    ``(s, m + 1, lanes)`` planes updated in place (safe because the
+    compiled function finishes every read before its trailing output
+    copies).  The caller swaps ``h1``/``h2`` after each step.
+    """
+
+    backend = "numpy"
+
+    def __init__(self, compiled: CompiledNetlist, s: int, eps: int) -> None:
+        self.compiled = compiled
+        self.source = compiled.source
+        self._s = s
+        self._eps = eps
+
+    def __call__(self, h1: np.ndarray, h2: np.ndarray, e: np.ndarray,
+                 f: np.ndarray, best: np.ndarray,
+                 Xp: np.ndarray, Yp: np.ndarray,
+                 t: int, lo: int, hi: int) -> None:
+        s, eps = self._s, self._eps
+        up = slice(lo, hi + 1)          # padded index i  -> row i - 1
+        dst = slice(lo + 1, hi + 2)     # padded index i + 1 -> row i
+        ins = ([h1[h, dst] for h in range(s)]       # H[i][j-1]
+               + [e[h, dst] for h in range(s)]      # E[i][j-1]
+               + [h1[h, up] for h in range(s)]      # H[i-1][j]
+               + [f[h, up] for h in range(s)]       # F[i-1][j]
+               + [h2[h, up] for h in range(s)]      # H[i-1][j-1]
+               + [Xp[b, up] for b in range(eps)]
+               + [Yp[b, t - hi:t - lo + 1][::-1] for b in range(eps)]
+               + [best[h, up] for h in range(s)])
+        outs = ([h2[h, dst] for h in range(s)]
+                + [e[h, dst] for h in range(s)]
+                + [f[h, dst] for h in range(s)]
+                + [best[h, up] for h in range(s)])
+        self.compiled.run(ins, outs)
+
+
+@lru_cache(maxsize=64)
+def _gotoh_step_cached(s: int, go: int, ge: int, c1, c2, weights,
+                       eps: int, word_bits: int, backend: str):
+    net = build_gotoh_cell_best_netlist(s, go, ge, c1=c1, c2=c2,
+                                        weights=weights, eps=eps)
+    if backend in ("auto", "c"):
+        try:
+            plan = plan_netlist(net)
+            source = cbackend.c_gotoh_step_source(plan, s, eps, word_bits)
+            fn = cbackend.compile_step(source,
+                                       symbol=cbackend.GOTOH_STEP_SYMBOL,
+                                       num_ptr_args=7)
+            return CStep(fn, source)
+        except JitError:
+            if backend == "c":
+                raise
+    compiled = CompiledNetlist(net, word_bits,
+                               name=f"gotoh_cell_best[s={s}]")
+    return GotohNumpyStep(compiled, s, eps)
+
+
+def gotoh_wavefront_step(s: int, gap_open: int, gap_extend: int,
+                         eps: int, word_bits: int,
+                         backend: str = "auto", c1: int | None = None,
+                         c2: int | None = None, weights=None):
+    """The fused affine (Gotoh) cell + running-max step.
+
+    The diagonal term is the DNA equality gate with ``c1``/``c2`` or
+    the substitution mux tree with ``weights`` (exactly one of the
+    two).  Returns a :class:`CStep` (seven-pointer native kernel, see
+    :func:`repro.jit.cbackend.c_gotoh_step_source`) or a
+    :class:`GotohNumpyStep`.  Memoised per configuration.
+    """
+    from ..core.subst import weights_key
+
+    _check_backend(backend)
+    wk = None if weights is None else weights_key(weights)
+    c1i = None if c1 is None else int(c1)
+    c2i = None if c2 is None else int(c2)
+    return _gotoh_step_cached(int(s), int(gap_open), int(gap_extend),
+                              c1i, c2i, wk, int(eps), int(word_bits),
+                              backend)

@@ -1,0 +1,131 @@
+"""BPBC affine-gap (Gotoh) wavefront kernel on the SIMT simulator.
+
+The same thread-per-row wavefront as :mod:`repro.kernels.sw_kernel`,
+extended to the three-matrix Gotoh recurrence: thread ``i`` owns DP
+row ``i`` and keeps its own ``H[i][j-1]`` / ``E[i][j-1]`` in
+registers, so only ``H`` and ``F`` cross the thread boundary — the
+shared-memory hand-off ships ``2s`` planes per thread (plus ``s`` for
+the running-max chain, hence ``shared_words = 3 m s``).  The diagonal
+term is the paper's equality gate for DNA schemes and the
+substitution mux tree for protein schemes, both through
+:func:`repro.core.subst.gotoh_cell_b` — the identical circuit the CPU
+engines evaluate, so the kernel is bit-identical to them by
+construction and the differential battery pins it against the scalar
+Gotoh reference.
+
+Character input is ``eps``-bit plane buffers (``(eps, positions,
+groups)``), produced on-device by
+:func:`repro.kernels.transpose_kernel.w2b_planes_kernel`.
+"""
+
+from __future__ import annotations
+
+from ..core.bitops import word_dtype
+from ..core.circuits import max_b, max_b_ops
+from ..core.subst import gotoh_cell_b, subst_gotoh_cell_ops_exact
+from ..gpusim.kernel import Barrier, ThreadCtx
+
+__all__ = ["gotoh_wavefront_kernel", "gotoh_shared_words_needed"]
+
+
+def gotoh_shared_words_needed(m: int, s: int) -> int:
+    """Shared-memory words for one block: ``2 m s`` for the H/F
+    hand-off plus ``m s`` for the running-max chain."""
+    return 3 * m * s
+
+
+def gotoh_wavefront_kernel(ctx: ThreadCtx, xp: str, yp: str, out: str,
+                           m: int, n: int, s: int, eps: int, scheme,
+                           word_bits: int):
+    """Kernel body; launch with ``grid_dim = lane_groups``,
+    ``block_dim = m``,
+    ``shared_words = gotoh_shared_words_needed(m, s)``.
+
+    Global layout: ``xp`` is ``(eps, m, groups)`` and ``yp``
+    ``(eps, n, groups)`` character-plane words; ``out`` is
+    ``(groups, s)`` bit-sliced maximum scores.  ``scheme`` is an
+    :class:`~repro.swa.affine.AffineScheme` or a
+    :class:`~repro.core.protein.ProteinScheme` (including the
+    degenerate ``gap_open == gap_extend`` linear case).
+    """
+    from ..core.affine_bpbc import gotoh_cell_ops_exact
+
+    g = ctx.block_idx
+    i = ctx.thread_idx
+    dt = word_dtype(word_bits)
+    zero = dt.type(0)
+    go, ge = scheme.gap_open, scheme.gap_extend
+    get_wk = getattr(scheme, "weights_key", None)
+    if callable(get_wk):
+        wk = get_wk()
+        c1 = c2 = None
+        cell_ops = subst_gotoh_cell_ops_exact(wk, s, eps)
+    else:
+        wk = None
+        c1, c2 = scheme.match_score, scheme.mismatch_penalty
+        cell_ops = gotoh_cell_ops_exact(s, eps)
+
+    # x_i is fixed per thread — read its eps planes once.
+    x = [dt.type(ctx.gmem.load(xp, (b, i, g))) for b in range(eps)]
+
+    h_left = [zero] * s   # H[i][j-1] (own register)
+    e_left = [zero] * s   # E[i][j-1] (own register)
+    up = [zero] * s       # H[i-1][j]
+    f_up = [zero] * s     # F[i-1][j]
+    diag = [zero] * s     # H[i-1][j-1]
+    R = [zero] * s        # running maximum of row i
+    cell_base = i * 2 * s                    # H planes, then F planes
+    rmax_base = (2 * ctx.block_dim + i) * s  # R-chain slots
+
+    for t in range(n + m - 1):
+        j = t - i
+        cur_h = None
+        if 0 <= j <= n - 1:
+            y = [dt.type(ctx.gmem.load(yp, (b, j, g)))
+                 for b in range(eps)]
+            cur_h, cur_e, cur_f = gotoh_cell_b(
+                h_left, e_left, up, f_up, diag, x, y, go, ge,
+                word_bits, weights=wk, c1=c1, c2=c2)
+            ctx.count_ops(cell_ops)
+            R = max_b(R, cur_h)
+            ctx.count_ops(max_b_ops(s))
+            # Publish H and F for thread i + 1.
+            for h in range(s):
+                ctx.smem.store(cell_base + h, int(cur_h[h]))
+                ctx.smem.store(cell_base + s + h, int(cur_f[h]))
+            # At the last column, chain the running max downwards
+            # (merging the neighbour's R read in the previous round).
+            if j == n - 1:
+                if i > 0:
+                    R = max_b(R, r_prev)  # noqa: F821 - set below
+                    ctx.count_ops(max_b_ops(s))
+                if i == ctx.block_dim - 1:
+                    for h in range(s):
+                        ctx.gmem.store(out, (g, h), dt.type(R[h]))
+                else:
+                    for h in range(s):
+                        ctx.smem.store(rmax_base + h, int(R[h]))
+        yield Barrier()
+        # Consume phase: rotate registers and read the neighbour's
+        # fresh H/F planes.
+        if cur_h is not None:
+            h_left = cur_h
+            e_left = cur_e
+        diag = up
+        j_next = t + 1 - i
+        if i > 0 and 0 <= j_next <= n - 1:
+            base = (i - 1) * 2 * s
+            up = [dt.type(ctx.smem.load(base + h)) for h in range(s)]
+            f_up = [dt.type(ctx.smem.load(base + s + h))
+                    for h in range(s)]
+        elif i == 0:
+            up = [zero] * s
+            f_up = [zero] * s
+            diag = [zero] * s
+        # The round before our last column, pick up the neighbour's
+        # chained maximum.
+        if i > 0 and t + 1 - i == n - 1:
+            prev = (2 * ctx.block_dim + i - 1) * s
+            r_prev = [dt.type(ctx.smem.load(prev + h))
+                      for h in range(s)]
+        yield Barrier()

@@ -19,8 +19,8 @@ from ..core.transpose import classify_reduced_schedule
 from ..core.encoding import CHAR_BITS
 from ..gpusim.kernel import Barrier, ThreadCtx
 
-__all__ = ["w2b_kernel", "b2w_kernel", "apply_classified_ops",
-           "apply_classified_ops_reversed"]
+__all__ = ["w2b_kernel", "w2b_planes_kernel", "b2w_kernel",
+           "apply_classified_ops", "apply_classified_ops_reversed"]
 
 
 def apply_classified_ops(regs: list, schedule, word_bits: int,
@@ -115,6 +115,36 @@ def w2b_kernel(ctx: ThreadCtx, src: str, dst_h: str, dst_l: str,
     apply_classified_ops(regs, schedule, w, ctx)
     ctx.gmem.store(dst_l, (pos, group), regs[0])
     ctx.gmem.store(dst_h, (pos, group), regs[1])
+    yield Barrier()
+
+
+def w2b_planes_kernel(ctx: ThreadCtx, src: str, dst: str,
+                      n_positions: int, lane_groups: int,
+                      word_bits: int, char_bits: int):
+    """Step 2 for general alphabets: wordwise ``char_bits``-bit codes
+    -> character planes.
+
+    Same thread layout as :func:`w2b_kernel` but parametric in the
+    code width (5 for protein) and writing one ``(char_bits,
+    n_positions, lane_groups)`` plane buffer instead of the DNA H/L
+    pair.  The reduced transpose schedule keeps only the ``char_bits``
+    live planes, exactly as the ``s = 2`` special case does.
+    """
+    w = word_bits
+    tid = ctx.global_thread_idx
+    total = n_positions * lane_groups
+    if tid >= total:
+        yield Barrier()
+        return
+    pos = tid // lane_groups
+    group = tid % lane_groups
+    idx = (np.arange(w, dtype=np.int64) + group * w) * n_positions + pos
+    codes = ctx.gmem.warp_load(src, idx)
+    regs = list(codes.astype(word_dtype(w)))
+    schedule = classify_reduced_schedule(w, char_bits)
+    apply_classified_ops(regs, schedule, w, ctx)
+    for b in range(char_bits):
+        ctx.gmem.store(dst, (b, pos, group), regs[b])
     yield Barrier()
 
 

@@ -31,7 +31,6 @@ import threading
 
 import numpy as np
 
-from ..swa.numpy_batch import sw_batch_max_scores
 from ..swa.scoring import DEFAULT_SCHEME, ScoringScheme
 from .breaker import CircuitBreaker
 from .errors import FallbackExhaustedError, SelfTestError
@@ -69,8 +68,11 @@ def _engine_bpbc(X, Y, scheme, word_bits):
 
 def _engine_numpy(X, Y, scheme, word_bits):
     fault_point("engine.numpy.fail")
-    return sw_batch_max_scores(np.asarray(X, dtype=np.uint8),
-                               np.asarray(Y, dtype=np.uint8), scheme)
+    from ..shard.worker import _score_numpy
+
+    return _score_numpy(np.asarray(X, dtype=np.uint8),
+                        np.asarray(Y, dtype=np.uint8), scheme,
+                        word_bits)
 
 
 #: Chain engines, fastest first — exactly the demotion order.

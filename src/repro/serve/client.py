@@ -103,16 +103,25 @@ class ServeClient:
 
     def align(self, query: str, subject: str, *,
               match: int | None = None, mismatch: int | None = None,
-              gap: int | None = None, threshold: int | None = None,
+              gap: int | None = None, alphabet: str | None = None,
+              matrix: str | None = None, gap_open: int | None = None,
+              gap_extend: int | None = None,
+              threshold: int | None = None,
               timeout_ms: float | None = None) -> dict:
         """One pair, one round trip; returns the response dict."""
         return self.align_many(
             [(query, subject)], match=match, mismatch=mismatch,
-            gap=gap, threshold=threshold, timeout_ms=timeout_ms,
+            gap=gap, alphabet=alphabet, matrix=matrix,
+            gap_open=gap_open, gap_extend=gap_extend,
+            threshold=threshold, timeout_ms=timeout_ms,
         )[0]
 
     def align_many(self, pairs, *, match: int | None = None,
                    mismatch: int | None = None, gap: int | None = None,
+                   alphabet: str | None = None,
+                   matrix: str | None = None,
+                   gap_open: int | None = None,
+                   gap_extend: int | None = None,
                    threshold: int | None = None,
                    timeout_ms: float | None = None) -> list[dict]:
         """Pipeline many ``(query, subject)`` pairs over one connection.
@@ -129,12 +138,12 @@ class ServeClient:
         """
         pairs = list(pairs)
         scoring = {}
-        if match is not None:
-            scoring["match"] = match
-        if mismatch is not None:
-            scoring["mismatch"] = mismatch
-        if gap is not None:
-            scoring["gap"] = gap
+        for key, value in (("match", match), ("mismatch", mismatch),
+                           ("gap", gap), ("alphabet", alphabet),
+                           ("matrix", matrix), ("gap_open", gap_open),
+                           ("gap_extend", gap_extend)):
+            if value is not None:
+                scoring[key] = value
         for i, (query, subject) in enumerate(pairs):
             obj = {"op": "align", "id": i, "query": str(query),
                    "subject": str(subject), **scoring}
@@ -178,6 +187,21 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--match", type=int, default=2)
     parser.add_argument("--mismatch", type=int, default=1)
     parser.add_argument("--gap", type=int, default=1)
+    parser.add_argument("--alphabet", choices=("dna", "protein"),
+                        default="dna",
+                        help="sequence alphabet (protein selects "
+                             "substitution-matrix Gotoh scoring)")
+    parser.add_argument("--matrix", default=None,
+                        help="substitution matrix name for protein "
+                             "(default blosum62)")
+    parser.add_argument("--gap-open", type=int, default=None,
+                        help="affine gap-open cost (protein default 11; "
+                             "enables affine gaps for DNA)")
+    parser.add_argument("--gap-extend", type=int, default=None,
+                        help="affine gap-extend cost (default 1)")
+    parser.add_argument("--ambiguous", default="strict",
+                        choices=("strict", "replace", "mask", "skip"),
+                        help="FASTA ambiguity-code policy")
     parser.add_argument("--stats", action="store_true",
                         help="print server stats to stderr afterwards")
     return parser
@@ -188,8 +212,10 @@ def main(argv: list[str] | None = None) -> int:
     from ..workloads.fasta import read_fasta
 
     args = _build_parser().parse_args(argv)
-    queries = read_fasta(args.queries)
-    subjects = read_fasta(args.subjects)
+    queries = read_fasta(args.queries, ambiguous=args.ambiguous,
+                         alphabet=args.alphabet)
+    subjects = read_fasta(args.subjects, ambiguous=args.ambiguous,
+                          alphabet=args.alphabet)
     if args.all_vs_all:
         index_pairs = [(a, b) for a in range(len(queries))
                        for b in range(len(subjects))]
@@ -214,6 +240,9 @@ def main(argv: list[str] | None = None) -> int:
             [(queries[a].sequence, subjects[b].sequence)
              for a, b in index_pairs],
             match=args.match, mismatch=args.mismatch, gap=args.gap,
+            alphabet=None if args.alphabet == "dna" else args.alphabet,
+            matrix=args.matrix, gap_open=args.gap_open,
+            gap_extend=args.gap_extend,
             threshold=args.threshold, timeout_ms=args.timeout_ms,
         )
         if args.stats:

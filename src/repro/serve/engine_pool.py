@@ -6,7 +6,10 @@ returning exact per-lane maximum scores.  Four are built in:
 * ``"bpbc"`` — the paper's bitwise wavefront engine
   (:func:`repro.core.sw_bpbc.bpbc_sw_wavefront`); mixed-length batches
   take the sentinel-padded 3-plane path, which stays exact (see
-  :mod:`repro.serve.packer`).
+  :mod:`repro.serve.packer`).  Protein schemes route to the
+  substitution-matrix cells over ``pad_bits`` character planes and
+  affine-gap schemes to the Gotoh engine — the same dispatch the shard
+  workers use.
 * ``"bpbc-jit"`` — the same engine pinned to the :mod:`repro.jit`
   compiled cell evaluator (``cell="compiled"``): the circuit is
   lowered to a generated straight-line kernel instead of interpreted,
@@ -45,6 +48,7 @@ import numpy as np
 from ..core.sw_bpbc import bpbc_sw_wavefront, bpbc_sw_wavefront_planes
 from ..resilience.errors import FallbackExhaustedError
 from ..resilience.retry import RetryPolicy
+from ..swa.affine import AffineScheme
 from ..swa.numpy_batch import sw_batch_max_scores
 from .cache import ResultCache, cache_key
 from .errors import DeadlineExceededError, EngineFailedError
@@ -57,13 +61,28 @@ __all__ = ["ENGINES", "SHARDABLE_ENGINES", "EnginePool", "ShardedEngine",
 
 def _engine_bpbc(batch: PackedBatch, word_bits: int,
                  cell: str | None = None) -> np.ndarray:
-    if batch.padded:
+    scheme = batch.scheme
+    protein = callable(getattr(scheme, "weights_key", None))
+    if protein or isinstance(scheme, AffineScheme):
+        # Protein / affine: always the character-plane path (protein
+        # codes exceed 2 bits even unpadded); the Gotoh engine handles
+        # gap_open != gap_extend, the linear substitution cell the rest.
         Xp, Yp = batch.char_planes(word_bits)
-        result = bpbc_sw_wavefront_planes(Xp, Yp, batch.scheme,
+        if not protein or scheme.is_affine:
+            from ..core.affine_bpbc import bpbc_gotoh_wavefront_planes
+
+            result = bpbc_gotoh_wavefront_planes(Xp, Yp, scheme,
+                                                 word_bits, cell=cell)
+        else:
+            result = bpbc_sw_wavefront_planes(Xp, Yp, scheme,
+                                              word_bits, cell=cell)
+    elif batch.padded:
+        Xp, Yp = batch.char_planes(word_bits)
+        result = bpbc_sw_wavefront_planes(Xp, Yp, scheme,
                                           word_bits, cell=cell)
     else:
         XH, XL, YH, YL = batch.bit_planes(word_bits)
-        result = bpbc_sw_wavefront(XH, XL, YH, YL, batch.scheme,
+        result = bpbc_sw_wavefront(XH, XL, YH, YL, scheme,
                                    word_bits, cell=cell)
     return result.max_scores[:batch.pairs]
 
@@ -73,6 +92,15 @@ def _engine_bpbc_jit(batch: PackedBatch, word_bits: int) -> np.ndarray:
 
 
 def _engine_numpy(batch: PackedBatch, word_bits: int) -> np.ndarray:
+    scheme = batch.scheme
+    if callable(getattr(scheme, "weights_key", None)):
+        from ..core.protein import subst_gotoh_batch_max_scores
+
+        return subst_gotoh_batch_max_scores(batch.X, batch.Y, scheme)
+    if isinstance(scheme, AffineScheme):
+        from ..swa.affine import gotoh_batch_max_scores
+
+        return gotoh_batch_max_scores(batch.X, batch.Y, scheme)
     return sw_batch_max_scores(batch.X, batch.Y, batch.scheme)
 
 
@@ -83,7 +111,9 @@ def _engine_gpusim(batch: PackedBatch, word_bits: int) -> np.ndarray:
         scores, _ = run_gpu_pipeline(batch.X, batch.Y, batch.scheme,
                                      word_bits)
         return scores[:batch.pairs]
-    # Uniform-shape sub-runs: the simulated kernels are 2-bit only.
+    # Uniform-shape sub-runs: the simulated kernels take no sentinel
+    # codes (the affine pipeline's eps = 2 cannot represent them), and
+    # slicing each shape back to its real lengths strips the pads.
     out = np.zeros(batch.pairs, dtype=np.int64)
     shapes: dict[tuple[int, int], list[int]] = {}
     for p, req in enumerate(batch.requests):

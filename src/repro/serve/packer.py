@@ -24,6 +24,14 @@ maximum over the padded matrix equals the maximum over the real
 ``m x n`` prefix.  The price is one extra character bit-plane
 (``eps = 3``), i.e. +2 bitwise operations per cell in the match-flag
 loop — far cheaper than burning a whole engine call per odd length.
+
+Schemes that carry their own alphabet (protein
+:class:`~repro.core.protein.ProteinScheme`) pack with that alphabet's
+sentinel codes instead (22 / 23 for the 22-letter protein alphabet)
+and emit ``alphabet.pad_bits`` character planes; through the padded
+weight table the pads score the matrix minimum against everything, so
+the same only-lose-score argument keeps mixed protein bins exact.
+Binning keys include the scheme, so batches never mix alphabets.
 """
 
 from __future__ import annotations
@@ -39,7 +47,20 @@ from ..swa.scoring import ScoringScheme
 from .queue import AlignmentRequest
 
 __all__ = ["PackedBatch", "QUERY_PAD", "SUBJECT_PAD", "PAD_BITS",
-           "bin_key", "bin_requests", "pack_requests"]
+           "scheme_pads", "bin_key", "bin_requests", "pack_requests"]
+
+
+def scheme_pads(scheme) -> tuple[int, int, int]:
+    """``(query_pad, subject_pad, char_bits)`` for a scoring scheme.
+
+    Schemes with an attached alphabet (protein) pack with that
+    alphabet's sentinel codes at its pad width; everything else uses
+    the DNA constants (pads 4 / 5, ``eps = 3``).
+    """
+    alph = getattr(scheme, "alphabet", None)
+    if alph is not None:
+        return alph.query_pad, alph.subject_pad, alph.pad_bits
+    return QUERY_PAD, SUBJECT_PAD, PAD_BITS
 
 
 @dataclass
@@ -82,20 +103,33 @@ class PackedBatch:
 
         Returns ``(XH, XL, YH, YL)`` straight from
         :func:`encode_batch_bit_transposed`; raises on sentinel-padded
-        batches, whose codes exceed the 2-bit alphabet.
+        batches, whose codes exceed the 2-bit alphabet, and on schemes
+        whose alphabet is wider than 2 bits (protein).
         """
         if self.padded:
             raise ValueError(
                 "sentinel-padded batch has 3-bit codes; use char_planes"
+            )
+        if getattr(self.scheme, "alphabet", None) is not None:
+            raise ValueError(
+                f"{type(self.scheme).__name__} codes exceed the 2-bit "
+                "DNA alphabet; use char_planes"
             )
         XH, XL = encode_batch_bit_transposed(self.X, word_bits)
         YH, YL = encode_batch_bit_transposed(self.Y, word_bits)
         return XH, XL, YH, YL
 
     def char_planes(self, word_bits: int):
-        """``(eps=3, len, lanes)`` character planes for both sides."""
-        return (encode_batch_char_planes(self.X, word_bits),
-                encode_batch_char_planes(self.Y, word_bits))
+        """``(eps, len, lanes)`` character planes for both sides.
+
+        ``eps`` is the scheme alphabet's pad width (5 for protein) or
+        the DNA sentinel width 3.
+        """
+        _, _, char_bits = scheme_pads(self.scheme)
+        return (encode_batch_char_planes(self.X, word_bits,
+                                         char_bits=char_bits),
+                encode_batch_char_planes(self.Y, word_bits,
+                                         char_bits=char_bits))
 
 
 def bin_key(request: AlignmentRequest,
@@ -128,8 +162,9 @@ def pack_requests(requests: list[AlignmentRequest],
     for (mb, nb, scheme), reqs in bin_requests(requests,
                                                granularity).items():
         P = len(reqs)
-        X = np.full((P, mb), QUERY_PAD, dtype=np.uint8)
-        Y = np.full((P, nb), SUBJECT_PAD, dtype=np.uint8)
+        qpad, spad, _ = scheme_pads(scheme)
+        X = np.full((P, mb), qpad, dtype=np.uint8)
+        Y = np.full((P, nb), spad, dtype=np.uint8)
         padded = False
         for p, req in enumerate(reqs):
             X[p, :req.m] = req.query

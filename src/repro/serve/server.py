@@ -5,11 +5,16 @@ The protocol is one JSON object per line, both directions.  Requests::
     {"op": "align", "id": 7, "query": "ACGT...", "subject": "TTGA...",
      "match": 2, "mismatch": 1, "gap": 1,
      "threshold": 20, "timeout_ms": 250}
+    {"op": "align", "id": 8, "query": "MKWV...", "subject": "MKYV...",
+     "alphabet": "protein", "matrix": "blosum62",
+     "gap_open": 11, "gap_extend": 1}
     {"op": "stats"}
     {"op": "ping"}
 
 ``op`` defaults to ``"align"``; scoring fields default to the paper's
-Table II scheme.  Responses echo ``id`` and carry ``ok``; an align
+Table II scheme (or the server's configured default scheme).
+``alphabet: "protein"`` selects substitution-matrix Gotoh scoring;
+DNA requests with ``gap_open`` / ``gap_extend`` get affine gaps.  Responses echo ``id`` and carry ``ok``; an align
 response adds ``score`` / ``passed`` / ``cached`` / ``wait_ms``, an
 error response adds ``error`` (message) and ``kind`` (a stable string
 from :func:`repro.serve.errors.error_kind`).
@@ -46,9 +51,52 @@ DEFAULT_PORT = 7421
 _RESULT_TIMEOUT_S = 60.0
 
 
-def _scheme_from(obj: dict) -> ScoringScheme:
-    if not any(k in obj for k in ("match", "mismatch", "gap")):
-        return DEFAULT_SCHEME
+_SCHEME_KEYS = ("match", "mismatch", "gap", "alphabet", "matrix",
+                "gap_open", "gap_extend")
+
+
+def _scheme_from(obj: dict, default=None):
+    """Build a scoring scheme from a request's scoring fields.
+
+    ``alphabet: "protein"`` (or any ``matrix`` key) selects a protein
+    :class:`~repro.core.protein.ProteinScheme` — ``matrix`` names a
+    shipped substitution matrix (default BLOSUM62), ``gap_open`` /
+    ``gap_extend`` default to 11 / 1.  A DNA request carrying
+    ``gap_open`` / ``gap_extend`` gets an affine
+    :class:`~repro.swa.affine.AffineScheme`; plain ``match`` /
+    ``mismatch`` / ``gap`` keep the paper's linear scheme.  Requests
+    with no scoring fields use ``default`` (the server's configured
+    default scheme).
+    """
+    if not any(k in obj for k in _SCHEME_KEYS):
+        return default if default is not None else DEFAULT_SCHEME
+    alphabet = str(obj.get("alphabet", "dna")).lower()
+    if alphabet in ("protein", "protein-x") or "matrix" in obj:
+        from ..core.matrices import matrix_by_name
+        from ..core.protein import ProteinScheme
+
+        return ProteinScheme(
+            matrix=matrix_by_name(str(obj.get("matrix", "blosum62"))),
+            gap_open=int(obj.get("gap_open", 11)),
+            gap_extend=int(obj.get("gap_extend", 1)),
+        )
+    if alphabet != "dna":
+        raise ValueError(
+            f"unknown alphabet {obj.get('alphabet')!r}; expected "
+            "'dna' or 'protein'"
+        )
+    if "gap_open" in obj or "gap_extend" in obj:
+        from ..swa.affine import AffineScheme
+
+        return AffineScheme(
+            match_score=int(obj.get("match",
+                                    DEFAULT_SCHEME.match_score)),
+            mismatch_penalty=int(
+                obj.get("mismatch", DEFAULT_SCHEME.mismatch_penalty)),
+            gap_open=int(obj.get("gap_open",
+                                 DEFAULT_SCHEME.gap_penalty)),
+            gap_extend=int(obj.get("gap_extend", 1)),
+        )
     return ScoringScheme(
         match_score=int(obj.get("match", DEFAULT_SCHEME.match_score)),
         mismatch_penalty=int(
@@ -98,7 +146,8 @@ class _Handler(socketserver.StreamRequestHandler):
         try:
             future = service.submit(
                 obj["query"], obj["subject"],
-                scheme=_scheme_from(obj),
+                scheme=_scheme_from(obj, getattr(self.server,
+                                                 "default_scheme", None)),
                 threshold=obj.get("threshold"),
                 timeout_ms=obj.get("timeout_ms"),
             )
@@ -176,14 +225,20 @@ class AlignmentServer:
     ``port=0`` binds an ephemeral port; read :attr:`address` for the
     actual one.  ``serve_forever`` blocks; ``start`` runs the accept
     loop on a background thread (what the tests use).
+    ``default_scheme`` is applied to requests that carry no scoring
+    fields of their own (the CLI's ``--alphabet protein`` path);
+    ``None`` keeps the paper's Table II linear DNA scheme.
     """
 
     def __init__(self, service: AlignmentService,
                  host: str = "127.0.0.1",
-                 port: int = DEFAULT_PORT) -> None:
+                 port: int = DEFAULT_PORT,
+                 default_scheme=None) -> None:
         self.service = service
+        self.default_scheme = default_scheme
         self._tcp = _TCPServer((host, port), _Handler)
         self._tcp.service = service
+        self._tcp.default_scheme = default_scheme
         self._thread: threading.Thread | None = None
 
     @property

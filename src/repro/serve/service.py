@@ -42,10 +42,17 @@ from .stats import ServiceStats
 __all__ = ["AlignmentService"]
 
 
-def _as_codes(seq) -> np.ndarray:
-    """Accept a DNA string or a code array; return ``(len,)`` uint8."""
-    arr = encode(seq) if isinstance(seq, str) else \
-        np.ascontiguousarray(seq, dtype=np.uint8)
+def _as_codes(seq, scheme=None) -> np.ndarray:
+    """Accept a sequence string or a code array; return ``(len,)`` uint8.
+
+    Strings encode through the scheme's alphabet when it carries one
+    (protein), else as 2-bit DNA.
+    """
+    if isinstance(seq, str):
+        alph = getattr(scheme, "alphabet", None)
+        arr = encode(seq) if alph is None else alph.encode(seq)
+    else:
+        arr = np.ascontiguousarray(seq, dtype=np.uint8)
     if arr.ndim != 1 or arr.size == 0:
         raise ValueError(
             f"expected a non-empty sequence, got shape {arr.shape}"
@@ -196,7 +203,9 @@ class AlignmentService:
                timeout_ms: float | None = None) -> Future:
         """Queue one pair; returns a future of ``AlignmentResult``.
 
-        ``query`` / ``subject`` are DNA strings or 1-D code arrays.
+        ``query`` / ``subject`` are sequence strings or 1-D code
+        arrays; strings encode through the scheme's alphabet when it
+        carries one (protein schemes), else as DNA.
         ``timeout_ms`` sets a dispatch deadline: a request still queued
         when it expires resolves with ``DeadlineExceededError``.
         Raises ``QueueFullError`` (backpressure) or
@@ -206,9 +215,9 @@ class AlignmentService:
             raise ServiceStoppedError(
                 "submit on a stopped service; call start() first"
             )
-        q = _as_codes(query)
-        s = _as_codes(subject)
         scheme = scheme or DEFAULT_SCHEME
+        q = _as_codes(query, scheme)
+        s = _as_codes(subject, scheme)
         now = time.monotonic()
         self.stats.record_submitted()
         future: Future = Future()

@@ -31,6 +31,7 @@ from ..core.encoding import (QUERY_PAD, SUBJECT_PAD,
                              encode_batch_char_planes)
 from ..core.sw_bpbc import bpbc_sw_wavefront, bpbc_sw_wavefront_planes
 from ..resilience.faults import FaultPlan, fault_point
+from ..swa.affine import AffineScheme
 from ..swa.numpy_batch import sw_batch_max_scores
 from ..swa.scoring import ScoringScheme
 
@@ -88,8 +89,35 @@ def unpack_side(buf: bytes, lens: bytes) -> list[np.ndarray]:
 def _score_bpbc(X: np.ndarray, Y: np.ndarray, scheme: ScoringScheme,
                 word_bits: int, cell: str | None = None) -> np.ndarray:
     """BPBC wavefront scores for one rectangular (possibly sentinel-
-    padded) batch — the same dispatch as the serve engine pool."""
-    if (X.size and X.max() > 3) or (Y.size and Y.max() > 3):
+    padded) batch — the same dispatch as the serve engine pool.
+
+    Protein schemes route to the substitution cell (affine variants to
+    the Gotoh engine) over ``pad_bits`` character planes; DNA affine
+    schemes to the Gotoh engine; everything else takes the paper's
+    2-bit (or sentinel-padded 3-bit) linear path.
+    """
+    if callable(getattr(scheme, "weights_key", None)):
+        eps = scheme.alphabet.pad_bits
+        Xp = encode_batch_char_planes(X, word_bits, char_bits=eps)
+        Yp = encode_batch_char_planes(Y, word_bits, char_bits=eps)
+        if scheme.is_affine:
+            from ..core.affine_bpbc import bpbc_gotoh_wavefront_planes
+
+            result = bpbc_gotoh_wavefront_planes(Xp, Yp, scheme,
+                                                 word_bits, cell=cell)
+        else:
+            result = bpbc_sw_wavefront_planes(Xp, Yp, scheme, word_bits,
+                                              cell=cell)
+    elif isinstance(scheme, AffineScheme):
+        from ..core.affine_bpbc import bpbc_gotoh_wavefront_planes
+
+        padded = (X.size and X.max() > 3) or (Y.size and Y.max() > 3)
+        eps = 3 if padded else 2
+        result = bpbc_gotoh_wavefront_planes(
+            encode_batch_char_planes(X, word_bits, char_bits=eps),
+            encode_batch_char_planes(Y, word_bits, char_bits=eps),
+            scheme, word_bits, cell=cell)
+    elif (X.size and X.max() > 3) or (Y.size and Y.max() > 3):
         result = bpbc_sw_wavefront_planes(
             encode_batch_char_planes(X, word_bits),
             encode_batch_char_planes(Y, word_bits),
@@ -111,7 +139,16 @@ def _score_bpbc_jit(X: np.ndarray, Y: np.ndarray, scheme: ScoringScheme,
 
 def _score_numpy(X: np.ndarray, Y: np.ndarray, scheme: ScoringScheme,
                  word_bits: int) -> np.ndarray:
-    # Sentinel codes never compare equal, so padding is exact here too.
+    # Sentinel codes never compare equal (and score the matrix minimum
+    # through the padded weight table), so padding is exact here too.
+    if callable(getattr(scheme, "weights_key", None)):
+        from ..core.protein import subst_gotoh_batch_max_scores
+
+        return subst_gotoh_batch_max_scores(X, Y, scheme)
+    if isinstance(scheme, AffineScheme):
+        from ..swa.affine import gotoh_batch_max_scores
+
+        return gotoh_batch_max_scores(X, Y, scheme)
     return sw_batch_max_scores(X, Y, scheme)
 
 
@@ -146,9 +183,15 @@ def score_codes(engine_fn, xs, ys, scheme: ScoringScheme,
     then each bin is padded only to its *longest member* — so a
     uniform-shape input produces exactly one unpadded engine call and
     mixed lengths waste < ``g`` sentinel positions per sequence.
+
+    Sentinel codes come from the scheme's alphabet when it has one
+    (protein pads 22/23), otherwise the classic DNA 4/5.
     """
     P = len(xs)
     out = np.zeros(P, dtype=np.int64)
+    alph = getattr(scheme, "alphabet", None)
+    qpad = alph.query_pad if alph is not None else QUERY_PAD
+    spad = alph.subject_pad if alph is not None else SUBJECT_PAD
     g = bin_granularity
     bins: dict[tuple[int, int], list[int]] = {}
     for p in range(P):
@@ -157,8 +200,8 @@ def score_codes(engine_fn, xs, ys, scheme: ScoringScheme,
     for rows in bins.values():
         mb = max(len(xs[p]) for p in rows)
         nb = max(len(ys[p]) for p in rows)
-        X = np.full((len(rows), mb), QUERY_PAD, dtype=np.uint8)
-        Y = np.full((len(rows), nb), SUBJECT_PAD, dtype=np.uint8)
+        X = np.full((len(rows), mb), qpad, dtype=np.uint8)
+        Y = np.full((len(rows), nb), spad, dtype=np.uint8)
         for r, p in enumerate(rows):
             X[r, :len(xs[p])] = xs[p]
             Y[r, :len(ys[p])] = ys[p]

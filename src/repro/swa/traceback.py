@@ -16,7 +16,8 @@ import numpy as np
 from .scoring import ScoringScheme
 from .sequential import sw_matrix
 
-__all__ = ["Alignment", "traceback", "align", "format_alignment"]
+__all__ = ["Alignment", "traceback", "align", "gotoh_traceback",
+           "gotoh_align", "format_alignment"]
 
 #: Traceback direction codes.
 _STOP, _DIAG, _UP, _LEFT = 0, 1, 2, 3
@@ -111,6 +112,138 @@ def traceback(d: np.ndarray, x, y, scheme: ScoringScheme,
         aligned_x="".join(reversed(ax)),
         aligned_y="".join(reversed(ay)),
     )
+
+
+def _pair_weight(scheme):
+    """Per-pair weight function of an affine scheme.
+
+    :class:`~repro.core.protein.ProteinScheme` scores through its
+    substitution matrix (by character for strings, through the padded
+    weight table for code sequences);
+    :class:`~repro.swa.affine.AffineScheme` uses the equality gate.
+    """
+    if callable(getattr(scheme, "weights_key", None)):
+        def w(a, b):
+            if isinstance(a, (str, np.str_)):
+                return scheme.matrix.score(a, b)
+            from ..core.protein import padded_weight_table
+
+            return int(padded_weight_table(scheme)[int(a), int(b)])
+    else:
+        c1, c2 = scheme.match_score, scheme.mismatch_penalty
+
+        def w(a, b):
+            return c1 if a == b else -c2
+    return w
+
+
+def gotoh_traceback(x, y, scheme, matrices=None,
+                    end: tuple[int, int] | None = None) -> Alignment:
+    """Trace one optimal affine-gap local alignment back from ``end``.
+
+    ``scheme`` is an :class:`~repro.swa.affine.AffineScheme` or a
+    :class:`~repro.core.protein.ProteinScheme`; ``matrices`` the
+    ``(H, E, F)`` triple of the Gotoh DP (zero-clamped E/F, as
+    :func:`repro.swa.affine.gotoh_matrix` and
+    :func:`repro.core.protein.subst_gotoh_matrix` produce — recomputed
+    here when omitted).  The trace is a three-state machine over
+    H/E/F: in H, diagonal steps are preferred (substitutions over
+    gaps) and gap runs are entered through E (gap in ``x``) before F
+    (gap in ``y``); inside E/F the run extends until the opening step
+    pays ``gap_open`` back into H.
+    """
+    m, n = len(x), len(y)
+    if matrices is None:
+        matrices = _gotoh_matrices(x, y, scheme)
+    H, E, F = matrices
+    if H.shape != (m + 1, n + 1):
+        raise ValueError(
+            f"matrix shape {H.shape} does not fit sequences "
+            f"({m + 1} x {n + 1} expected)"
+        )
+    if end is None:
+        flat = int(np.argmax(H))
+        end = (flat // (n + 1), flat % (n + 1))
+    i, j = end
+    score = int(H[i, j])
+    go, ge = scheme.gap_open, scheme.gap_extend
+    w = _pair_weight(scheme)
+    ax: list[str] = []
+    ay: list[str] = []
+    x_end, y_end = i, j
+    state = "H"
+    while i > 0 and j > 0:
+        if state == "H":
+            here = H[i, j]
+            if here == 0:
+                break
+            if here == H[i - 1, j - 1] + w(x[i - 1], y[j - 1]):
+                ax.append(str(x[i - 1]))
+                ay.append(str(y[j - 1]))
+                i -= 1
+                j -= 1
+            elif here == E[i, j]:
+                state = "E"
+            elif here == F[i, j]:
+                state = "F"
+            else:  # pragma: no cover - corrupted matrices
+                raise ValueError(
+                    f"inconsistent Gotoh matrices at cell ({i}, {j})"
+                )
+        elif state == "E":
+            here = E[i, j]
+            ax.append("-")
+            ay.append(str(y[j - 1]))
+            if here == H[i, j - 1] - go:
+                state = "H"
+            elif here != E[i, j - 1] - ge:  # pragma: no cover
+                raise ValueError(
+                    f"inconsistent E matrix at cell ({i}, {j})"
+                )
+            j -= 1
+        else:  # state == "F"
+            here = F[i, j]
+            ax.append(str(x[i - 1]))
+            ay.append("-")
+            if here == H[i - 1, j] - go:
+                state = "H"
+            elif here != F[i - 1, j] - ge:  # pragma: no cover
+                raise ValueError(
+                    f"inconsistent F matrix at cell ({i}, {j})"
+                )
+            i -= 1
+    return Alignment(
+        score=score,
+        x_start=i,
+        x_end=x_end,
+        y_start=j,
+        y_end=y_end,
+        aligned_x="".join(reversed(ax)),
+        aligned_y="".join(reversed(ay)),
+    )
+
+
+def _gotoh_matrices(x, y, scheme):
+    """The full ``(H, E, F)`` Gotoh DP (zero-clamped E/F)."""
+    m, n = len(x), len(y)
+    H = np.zeros((m + 1, n + 1), dtype=np.int64)
+    E = np.zeros((m + 1, n + 1), dtype=np.int64)
+    F = np.zeros((m + 1, n + 1), dtype=np.int64)
+    go, ge = scheme.gap_open, scheme.gap_extend
+    w = _pair_weight(scheme)
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            E[i, j] = max(0, H[i, j - 1] - go, E[i, j - 1] - ge)
+            F[i, j] = max(0, H[i - 1, j] - go, F[i - 1, j] - ge)
+            diag = H[i - 1, j - 1] + w(x[i - 1], y[j - 1])
+            H[i, j] = max(0, E[i, j], F[i, j], diag)
+    return H, E, F
+
+
+def gotoh_align(x, y, scheme) -> Alignment:
+    """Best affine-gap local alignment (Gotoh DP + traceback)."""
+    return gotoh_traceback(x, y, scheme, matrices=_gotoh_matrices(x, y,
+                                                                  scheme))
 
 
 def align(x, y, scheme: ScoringScheme | None = None) -> Alignment:

@@ -354,3 +354,42 @@ def test_unrecoverable_loss_names_every_pair(rng):
                                        max_shard_pairs=4,
                                        timeout_s=10.0, chain=chain)
     assert excinfo.value.pair_indices == tuple(range(8))
+
+
+def test_protein_scheme_demotes_bit_identically(rng):
+    """A protein (substitution-matrix, affine) scheme rides the same
+    fallback chain: faulting the top engine demotes, and the recovered
+    scores stay bit-identical to the scalar Gotoh reference."""
+    from repro.core.matrices import BLOSUM62
+    from repro.core.protein import (ProteinScheme,
+                                    subst_gotoh_batch_max_scores)
+
+    chain = EngineFallbackChain()
+    if len(chain.engines) < 2:
+        pytest.skip("needs a second engine to demote to")
+    scheme = ProteinScheme(BLOSUM62, gap_open=11, gap_extend=1)
+    X = rng.integers(0, 20, size=(8, 16)).astype(np.uint8)
+    Y = rng.integers(0, 20, size=(8, 16)).astype(np.uint8)
+    expected = subst_gotoh_batch_max_scores(X, Y, scheme)
+    top = chain.engines[0]
+    with FaultPlan.single(f"engine.{top}.fail"):
+        scores, engine = chain.score(X, Y, scheme=scheme)
+    assert engine != top
+    assert np.array_equal(scores, expected)
+
+
+def test_protein_scheme_numpy_floor_is_gotoh(rng):
+    """The chain's wordwise floor must dispatch protein schemes to the
+    substitution Gotoh reference, not the DNA match/mismatch engine."""
+    from repro.core.matrices import PAM250
+    from repro.core.protein import (ProteinScheme,
+                                    subst_gotoh_batch_max_scores)
+
+    chain = EngineFallbackChain(engines=("numpy",), self_test=False)
+    scheme = ProteinScheme(PAM250, gap_open=10, gap_extend=2)
+    X = rng.integers(0, 20, size=(4, 12)).astype(np.uint8)
+    Y = rng.integers(0, 20, size=(4, 12)).astype(np.uint8)
+    scores, engine = chain.score(X, Y, scheme=scheme)
+    assert engine == "numpy"
+    assert np.array_equal(scores,
+                          subst_gotoh_batch_max_scores(X, Y, scheme))

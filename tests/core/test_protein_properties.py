@@ -1,0 +1,185 @@
+"""Hypothesis properties of the protein encoding and circuit layers.
+
+Four algebraic statements the substitution-matrix pipeline must hold
+for *every* input, not just the fuzz battery's samples:
+
+1. encode/decode round-trips any IUPAC amino-acid string (aliases
+   ``U``/``O`` land on their conventional stand-ins C/K);
+2. the mux-tree lookup circuit (:func:`repro.core.subst.subst_matching_b`)
+   equals direct weight-table indexing for **all** 32 x 32 five-bit
+   code pairs — every residue, wildcard, stop, and sentinel pad — for
+   shipped and random matrices alike, and its gate count matches the
+   analytic :func:`repro.core.subst.subst_matching_ops_exact`;
+3. gap costs act monotonically: ``gap_open == gap_extend`` degenerates
+   affine Gotoh to the linear SW engine exactly, and raising
+   ``gap_open`` never raises a score;
+4. symmetric matrices make the score invariant under query/target
+   swap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alphabet import PROTEIN_X
+from repro.core.bitops import OpCounter, unpack_lanes, word_dtype
+from repro.core.encoding import encode_batch_char_planes
+from repro.core.matrices import (BLOSUM50, BLOSUM62, MATRICES, PAM250,
+                                 SubstitutionMatrix)
+from repro.core.protein import (ProteinScheme, padded_weight_table,
+                                subst_gotoh_batch_max_scores,
+                                subst_gotoh_max_score)
+from repro.core.subst import (subst_matching_b, subst_matching_ops_exact,
+                              subst_structure)
+from repro.core.sw_bpbc import bpbc_sw_wavefront_planes
+
+A = PROTEIN_X.size          # 22
+EPS = PROTEIN_X.pad_bits    # 5
+WORD_BITS = 64
+
+#: Strings over the canonical letters plus the accepted aliases.
+_LETTERS = PROTEIN_X.letters + "U" + "O" + PROTEIN_X.letters.lower()
+
+protein_text = st.text(alphabet=_LETTERS, min_size=1, max_size=40)
+
+protein_codes = st.lists(
+    st.integers(0, A - 1), min_size=1, max_size=24,
+).map(lambda xs: np.array(xs, dtype=np.uint8))
+
+
+def random_matrices() -> st.SearchStrategy[SubstitutionMatrix]:
+    """Arbitrary symmetric integer matrices with a positive diagonal."""
+
+    def build(seed: int) -> SubstitutionMatrix:
+        rng = np.random.default_rng(seed)
+        vals = rng.integers(-9, 10, size=(A, A))
+        vals = np.minimum(vals, vals.T)
+        np.fill_diagonal(vals, rng.integers(1, 10, size=A))
+        return SubstitutionMatrix.from_rows(
+            f"prop-{seed}", PROTEIN_X.letters, vals)
+
+    return st.integers(0, 2**32 - 1).map(build)
+
+
+# -- 1. encode/decode round-trip ---------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(protein_text)
+def test_encode_decode_round_trip(seq):
+    codes = PROTEIN_X.encode(seq)
+    canonical = "".join(
+        PROTEIN_X.aliases.get(c.upper(), c.upper()) for c in seq)
+    assert PROTEIN_X.decode(codes) == canonical
+    # A second trip through the codec is the identity.
+    assert PROTEIN_X.decode(PROTEIN_X.encode(canonical)) == canonical
+
+
+def test_aliases_map_to_stand_ins():
+    assert PROTEIN_X.code("U") == PROTEIN_X.code("C")
+    assert PROTEIN_X.code("O") == PROTEIN_X.code("K")
+
+
+# -- 2. mux tree == direct indexing ------------------------------------------
+
+def _mux_all_pairs(scheme: ProteinScheme) -> None:
+    """Evaluate the lookup circuit on every 5-bit code pair at once."""
+    side = 1 << EPS
+    xs = np.repeat(np.arange(side, dtype=np.uint8), side)
+    ys = np.tile(np.arange(side, dtype=np.uint8), side)
+    lanes_x = encode_batch_char_planes(xs[:, None], WORD_BITS,
+                                       char_bits=EPS)[:, 0]
+    lanes_y = encode_batch_char_planes(ys[:, None], WORD_BITS,
+                                       char_bits=EPS)[:, 0]
+    weights = scheme.weights_key()
+    s = max(1, scheme.max_weight).bit_length() + 1
+    dt = word_dtype(WORD_BITS)
+    C = [np.zeros(lanes_x.shape[1], dtype=dt) for _ in range(s)]
+    counter = OpCounter()
+    planes = subst_matching_b(C, list(lanes_x), list(lanes_y), weights,
+                              WORD_BITS, counter=counter)
+    got = sum(
+        unpack_lanes(p[None, :], WORD_BITS,
+                     count=side * side)[0].astype(np.int64) << b
+        for b, p in enumerate(planes)
+    )
+    table = padded_weight_table(scheme)
+    want = np.maximum(0, table[xs.astype(np.intp), ys.astype(np.intp)])
+    np.testing.assert_array_equal(
+        got, want,
+        err_msg=f"mux tree disagrees with direct indexing for "
+                f"{scheme.matrix.name}")
+    assert counter.ops == subst_matching_ops_exact(weights, s, EPS)
+
+
+@pytest.mark.parametrize("matrix", [BLOSUM62, BLOSUM50, PAM250],
+                         ids=lambda m: m.name)
+def test_mux_tree_matches_indexing_shipped(matrix):
+    _mux_all_pairs(ProteinScheme(matrix))
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_matrices())
+def test_mux_tree_matches_indexing_random(matrix):
+    _mux_all_pairs(ProteinScheme(matrix, gap_open=5, gap_extend=2))
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_matrices())
+def test_pad_codes_score_matrix_minimum(matrix):
+    """Any code outside the alphabet scores the matrix minimum."""
+    scheme = ProteinScheme(matrix, gap_open=5, gap_extend=2)
+    table = padded_weight_table(scheme)
+    assert (table[A:, :] == scheme.min_weight).all()
+    assert (table[:, A:] == scheme.min_weight).all()
+    key = scheme.weights_key()
+    st_ = subst_structure(key, EPS)
+    assert st_.bias == max(0, -scheme.min_weight)
+
+
+# -- 3. gap-cost monotonicity ------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(protein_codes, protein_codes, st.integers(1, 6),
+       st.integers(0, 8))
+def test_linear_degeneracy_and_open_monotonicity(x, y, ge, extra):
+    linear = ProteinScheme(BLOSUM62, gap_open=ge, gap_extend=ge)
+    affine = ProteinScheme(BLOSUM62, gap_open=ge + extra, gap_extend=ge)
+    lin_score = subst_gotoh_max_score(x, y, linear)
+    aff_score = subst_gotoh_max_score(x, y, affine)
+    # Opening can only get more expensive: scores never go up.
+    assert aff_score <= lin_score
+    if extra == 0:
+        assert aff_score == lin_score
+
+
+@settings(max_examples=25, deadline=None)
+@given(protein_codes, protein_codes, st.integers(1, 5))
+def test_open_equals_extend_matches_linear_engine(x, y, gap):
+    """The Gotoh reference at open == extend is the linear SW engine."""
+    scheme = ProteinScheme(BLOSUM62, gap_open=gap, gap_extend=gap)
+    gold = subst_gotoh_max_score(x, y, scheme)
+    Xp = encode_batch_char_planes(x[None, :], 32, char_bits=EPS)
+    Yp = encode_batch_char_planes(y[None, :], 32, char_bits=EPS)
+    got = bpbc_sw_wavefront_planes(Xp, Yp, scheme, 32,
+                                   cell="generic").max_scores[0]
+    assert int(got) == gold
+
+
+# -- 4. query/target swap invariance -----------------------------------------
+
+def test_shipped_matrices_are_symmetric():
+    for name, matrix in sorted(MATRICES.items()):
+        assert matrix.is_symmetric, name
+
+
+@settings(max_examples=40, deadline=None)
+@given(protein_codes, protein_codes,
+       st.sampled_from([BLOSUM62, BLOSUM50, PAM250]))
+def test_swap_invariance_symmetric(x, y, matrix):
+    scheme = ProteinScheme(matrix, gap_open=8, gap_extend=2)
+    fwd = subst_gotoh_batch_max_scores(x[None, :], y[None, :], scheme)
+    rev = subst_gotoh_batch_max_scores(y[None, :], x[None, :], scheme)
+    assert int(fwd[0]) == int(rev[0])

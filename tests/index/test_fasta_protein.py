@@ -1,0 +1,163 @@
+"""Regression tests for amino-acid FASTA parsing.
+
+The original ambiguity path assumed the DNA alphabet — ``"mask"``
+would have rewritten protein ambiguity codes to ``N``, a residue code
+(asparagine!), silently corrupting every masked region.  These tests
+pin the protein rules: masking maps B/Z/J to the wildcard ``X`` (which
+every shipped substitution matrix scores explicitly), ``U``/``O``
+alias to C/K, DNA refuses masking outright, and write/read round-trips
+preserve content under the protein alphabet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.alphabet import DNA, PROTEIN_X
+from repro.index.fasta import (PROTEIN_AMBIGUITY, FastaError, FastaRecord,
+                               iter_fasta, read_fasta, resolve_alphabet,
+                               write_fasta)
+
+
+@pytest.fixture
+def protein_file(tmp_path):
+    p = tmp_path / "prot.fa"
+    p.write_text(
+        ">clean hemoglobin fragment\n"
+        "MVLSPADKTNVKAAW\n"
+        ">ambig has Asx/Glx/Xle\n"
+        "MKBZJLE\n"
+        ">aliased selenoprotein\n"
+        "MUOK\n"
+        ">wild explicit wildcard and stop\n"
+        "MX*K\n"
+    )
+    return p
+
+
+class TestResolveAlphabet:
+    def test_names(self):
+        assert resolve_alphabet("dna") is DNA
+        assert resolve_alphabet("protein") is PROTEIN_X
+        assert resolve_alphabet("protein-x") is PROTEIN_X
+        assert resolve_alphabet(PROTEIN_X) is PROTEIN_X
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(FastaError, match="unknown alphabet"):
+            resolve_alphabet("rna2")
+
+
+class TestProteinMask:
+    def test_mask_maps_to_x_never_n(self, protein_file):
+        recs = read_fasta(protein_file, ambiguous="mask",
+                          alphabet="protein")
+        assert recs[1].sequence == "MKXXXLE"
+        assert "N" not in recs[1].sequence
+
+    def test_mask_covers_every_protein_ambiguity_code(self, tmp_path):
+        p = tmp_path / "all.fa"
+        codes = "".join(sorted(PROTEIN_AMBIGUITY))
+        p.write_text(f">a\nM{codes}K\n")
+        rec = read_fasta(p, ambiguous="mask", alphabet="protein")[0]
+        assert rec.sequence == "M" + "X" * len(PROTEIN_AMBIGUITY) + "K"
+
+    def test_dna_mask_refused(self, tmp_path):
+        p = tmp_path / "d.fa"
+        p.write_text(">a\nACNGT\n")
+        with pytest.raises(FastaError, match="no encodable wildcard"):
+            read_fasta(p, ambiguous="mask", alphabet="dna")
+
+    def test_x_is_not_an_ambiguity_code(self, protein_file):
+        # X encodes directly, so strict mode accepts it untouched.
+        recs = read_fasta(protein_file, ambiguous="skip",
+                          alphabet="protein")
+        assert any(r.sequence == "MX*K" for r in recs)
+
+
+class TestProteinPolicies:
+    def test_strict_raises_on_bzj(self, protein_file):
+        with pytest.raises(FastaError, match="ambiguity codes"):
+            read_fasta(protein_file, alphabet="protein")
+
+    def test_skip_drops_only_ambiguous(self, protein_file):
+        recs = read_fasta(protein_file, ambiguous="skip",
+                          alphabet="protein")
+        assert [r.id for r in recs] == ["clean", "aliased", "wild"]
+
+    def test_replace_deterministic_and_plausible(self, protein_file):
+        a = read_fasta(protein_file, ambiguous="replace",
+                       alphabet="protein")[1].sequence
+        b = read_fasta(protein_file, ambiguous="replace",
+                       alphabet="protein")[1].sequence
+        assert a == b
+        assert a[0:2] == "MK" and a[5:] == "LE"
+        for ch, code in zip(a[2:5], "BZJ"):
+            assert ch in PROTEIN_AMBIGUITY[code]
+
+    def test_replace_seed_changes_choice_space(self, tmp_path):
+        p = tmp_path / "many.fa"
+        p.write_text(">a\n" + "B" * 64 + "\n")
+        s0 = read_fasta(p, ambiguous="replace", alphabet="protein",
+                        seed=0)[0].sequence
+        s1 = read_fasta(p, ambiguous="replace", alphabet="protein",
+                        seed=1)[0].sequence
+        assert set(s0) <= set("DN") and set(s1) <= set("DN")
+        assert s0 != s1  # 2^-64 false-failure odds
+
+    def test_truly_foreign_characters_rejected(self, tmp_path):
+        p = tmp_path / "bad.fa"
+        p.write_text(">a\nMK7LE\n")
+        for policy in ("strict", "replace", "mask", "skip"):
+            with pytest.raises(FastaError, match="outside the"):
+                read_fasta(p, ambiguous=policy, alphabet="protein")
+
+    def test_dna_sequence_read_as_protein_is_valid_protein(self,
+                                                           tmp_path):
+        # ACGT are all residues, so cross-reading parses — but the
+        # codes differ from DNA codes, which is what .codes pins.
+        p = tmp_path / "x.fa"
+        p.write_text(">a\nACGT\n")
+        rec = read_fasta(p, alphabet="protein")[0]
+        assert rec.alphabet is PROTEIN_X
+        np.testing.assert_array_equal(rec.codes,
+                                      PROTEIN_X.encode("ACGT"))
+
+
+class TestCodesAndAliases:
+    def test_aliases_encode_to_stand_ins(self, protein_file):
+        recs = read_fasta(protein_file, ambiguous="mask",
+                          alphabet="protein")
+        np.testing.assert_array_equal(recs[2].codes,
+                                      PROTEIN_X.encode("MCKK"))
+
+    def test_lowercase_folds(self, tmp_path):
+        p = tmp_path / "lc.fa"
+        p.write_text(">a\nmvlspadk\n")
+        rec = read_fasta(p, alphabet="protein")[0]
+        assert rec.sequence == "MVLSPADK"
+
+    def test_record_alphabet_default_is_dna(self):
+        rec = FastaRecord(id="a", description="", sequence="ACGT")
+        assert rec.alphabet is DNA
+        assert rec.codes.max() <= 3
+
+
+class TestRoundTrip:
+    def test_write_read_round_trip(self, protein_file, tmp_path):
+        recs = read_fasta(protein_file, ambiguous="mask",
+                          alphabet="protein")
+        out = tmp_path / "out.fa"
+        write_fasta(out, recs, width=7)
+        back = read_fasta(out, alphabet="protein")
+        assert [(r.id, r.sequence) for r in back] == \
+            [(r.id, r.sequence) for r in recs]
+        for r in back:
+            assert r.alphabet is PROTEIN_X
+
+    def test_streaming_matches_batch(self, protein_file):
+        streamed = list(iter_fasta(protein_file, ambiguous="mask",
+                                   alphabet="protein"))
+        batched = read_fasta(protein_file, ambiguous="mask",
+                             alphabet="protein")
+        assert streamed == batched
