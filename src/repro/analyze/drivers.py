@@ -7,7 +7,11 @@ completes in well under a second.  :func:`analyze_kernels` puts each
 plan through both the static lint (:mod:`repro.analyze.lint`) and a
 traced launch under the race detector (:mod:`repro.analyze.races`);
 :func:`analyze_netlists` runs the netlist verifier
-(:mod:`repro.analyze.netcheck`); :func:`analyze_all` merges the two.
+(:mod:`repro.analyze.netcheck`); :func:`analyze_all` merges those with
+the cross-layer contract lints (:mod:`repro.analyze.contracts`).  The
+exhaustive equivalence/width prover (:mod:`repro.analyze.prove`) is
+deliberately *not* part of :func:`analyze_all` — it takes several
+seconds and has its own CLI flag (``--prove``) and CI job.
 
 All shipped artifacts are expected to analyse clean — the test suite
 pins that as a regression gate.
@@ -26,6 +30,7 @@ from ..kernels.sw_kernel import (shared_words_needed, sw_wavefront_kernel,
                                  sw_wavefront_kernel_shfl)
 from ..kernels.transpose_kernel import b2w_kernel, w2b_kernel
 from ..swa.scoring import DEFAULT_SCHEME
+from .contracts import analyze_contracts
 from .lint import KernelLintError, lint_kernel
 from .netcheck import (check_compiled_cells, check_protein_cells,
                        check_sw_cell_counts)
@@ -162,7 +167,13 @@ def analyze_netlists(s_values: Sequence[int] = (4, 8, 16)) -> Report:
 
 
 def analyze_all() -> Report:
-    """Every analysis pass over every shipped artifact."""
+    """Every fast analysis pass over every shipped artifact.
+
+    Kernels (lint + race trace), netlists (op counts + differential),
+    and the cross-layer contract lints.  The exhaustive prover runs
+    separately via ``analyze --prove`` / :func:`analyze_prove`.
+    """
     rep = analyze_kernels()
     rep.extend(analyze_netlists())
+    rep.extend(analyze_contracts())
     return rep

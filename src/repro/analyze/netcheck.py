@@ -59,14 +59,19 @@ _LOGIC_KINDS = frozenset({"AND", "OR", "XOR", "NOT"})
 def verify_netlist(net: Netlist, name: str,
                    expected_outputs: int | None = None,
                    expected_logic_gates: int | None = None,
-                   max_depth: int | None = None) -> list[Diagnostic]:
+                   max_depth: int | None = None,
+                   truncation_expected: bool = False) -> list[Diagnostic]:
     """Lint one netlist DAG; return diagnostics (empty = clean).
 
     ``expected_outputs`` asserts the output bus width,
     ``expected_logic_gates`` the AND/OR/XOR/NOT total, ``max_depth``
     bounds the critical path.  Dead logic gates and unused input bits
     are warnings — legal, but they mean the synthesiser emitted work
-    no output depends on.
+    no output depends on.  ``truncation_expected`` demotes the
+    dead-gates finding to a note: substitution mux trees run their
+    arithmetic at the biased width ``s_ext`` and keep only the low
+    ``s`` planes, so stranded top-plane gates are by construction,
+    not a defect.
     """
     out: list[Diagnostic] = []
 
@@ -92,9 +97,14 @@ def verify_netlist(net: Netlist, name: str,
     if dead_logic:
         shown = ", ".join(str(g) for g in dead_logic[:8])
         more = "..." if len(dead_logic) > 8 else ""
-        diag("netlist.dead-gates", Severity.WARNING,
-             f"{len(dead_logic)} logic gate(s) unreachable from the "
-             f"outputs (ids {shown}{more})")
+        msg = (f"{len(dead_logic)} logic gate(s) unreachable from the "
+               f"outputs (ids {shown}{more})")
+        if truncation_expected:
+            diag("netlist.dead-gates", Severity.NOTE,
+                 msg + " (expected: s_ext-wide mux-tree arithmetic "
+                 "truncated to s planes)")
+        else:
+            diag("netlist.dead-gates", Severity.WARNING, msg)
     unused_inputs = [
         f"{bus}[{h}]"
         for bus, _width in net.input_buses
@@ -333,20 +343,6 @@ def check_protein_cells(s_values: Sequence[int] = (6, 8),
     rep = Report()
     dt = np.uint32 if word_bits == 32 else np.uint64
 
-    def demote_truncation(diags: list[Diagnostic]) -> list[Diagnostic]:
-        # The mux tree's add/ssub run at the biased width s_ext and
-        # only the low s planes are kept, so the literal cell always
-        # strands the top-plane arithmetic — expected, not a finding.
-        return [
-            Diagnostic(rule=d.rule, severity=Severity.NOTE,
-                       subject=d.subject,
-                       message=d.message + " (expected: s_ext-wide "
-                       "mux-tree arithmetic truncated to s planes)",
-                       location=d.location)
-            if d.rule == "netlist.dead-gates" else d
-            for d in diags
-        ]
-
     for mname in matrix_names:
         scheme = ProteinScheme(matrix=matrix_by_name(mname),
                                gap_open=gap_open, gap_extend=gap_extend)
@@ -386,8 +382,8 @@ def check_protein_cells(s_values: Sequence[int] = (6, 8),
                     subject=name,
                     message=f"literal gate count {got_n} == "
                             "subst_sw_cell_ops_exact"))
-            rep.extend(demote_truncation(
-                verify_netlist(literal, name, expected_outputs=s)))
+            rep.extend(verify_netlist(literal, name, expected_outputs=s,
+                                      truncation_expected=True))
             A, B, C = planes(s), planes(s), planes(s)
             x, y = planes(eps), planes(eps)
             want = subst.subst_sw_cell(A, B, C, x, y, gap_extend,
@@ -426,8 +422,9 @@ def check_protein_cells(s_values: Sequence[int] = (6, 8),
                     subject=name,
                     message=f"literal gate count {got_n} == "
                             "subst_gotoh_cell_ops_exact"))
-            rep.extend(demote_truncation(
-                verify_netlist(literal, name, expected_outputs=3 * s)))
+            rep.extend(verify_netlist(literal, name,
+                                      expected_outputs=3 * s,
+                                      truncation_expected=True))
             hl, el, hu, fu, hd = (planes(s) for _ in range(5))
             x, y = planes(eps), planes(eps)
             H, E, F = subst.gotoh_cell_b(hl, el, hu, fu, hd, x, y,

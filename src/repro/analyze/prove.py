@@ -1,0 +1,945 @@
+"""Exhaustive netlist proving: the BPBC trick turned on itself.
+
+The differential suites sample the cell circuits on random planes;
+this module *proves* them, three ways:
+
+**Equivalence** — every shipped cell netlist is checked bit-for-bit
+against the scalar reference recurrences on **all** input
+combinations at small score widths.  The enumeration is the paper's
+own bulk-computation trick pointed at verification: input bit ``k``
+of the truth table over ``2**n`` combinations is itself a periodic
+bit pattern, so 64 combinations pack into each lane word and one
+netlist evaluation per gate covers a whole chunk of the cube.
+Circuits too wide to enumerate directly (the affine Gotoh cells, the
+fused protein ``best`` variants) are decomposed assume-guarantee
+style: prove the E/F cones exhaustively over their own inputs, cut
+them out (:func:`repro.core.netlist.cut_netlist`), and prove the
+residual over all cut values — sound because the cut sweep covers a
+superset of what the cones can produce, and because a structural
+support check first proves no signal bypasses the cut.
+
+**Widths** — :meth:`repro.core.netlist.Netlist.prove_widths` interval
+analysis applied to every shipped ``(scheme, score_bits)`` pairing,
+plus a self-test that a deliberately undersized ``s`` is rejected
+with the offending gate named.
+
+**Uniformity** — exhaustive-at-small-``s`` pins all ``s`` only if
+gate structure is width-uniform.  All width dependence of the cells
+flows through the four ripple primitives (``add``/``ssub``/``max``/
+``ge``; the substitution mux tree is pure width-independent
+selection), so the check asserts their literal gate counts and
+depths are affine in the bus width — the structural-induction
+witness that each added plane adds the same per-bit stage.
+
+Run it with ``python -m repro analyze --prove`` (its own CI job —
+the full pass enumerates a few hundred million cube points).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - jit imports stay lazy at runtime
+    from ..jit.compiler import CompiledNetlist
+
+from ..core.affine_bpbc import gotoh_cell_reference
+from ..core.circuits import clamp_penalty, sw_cell_reference
+from ..core.matrices import matrix_by_name
+from ..core.netlist import (Netlist, NetlistError,
+                            build_gotoh_cell_best_netlist,
+                            build_gotoh_cell_netlist,
+                            build_subst_matching_netlist,
+                            build_subst_sw_cell_best_netlist,
+                            build_subst_sw_cell_netlist,
+                            build_sw_cell_best_netlist,
+                            build_sw_cell_netlist, cut_netlist,
+                            synth_add, synth_greater_equal, synth_max,
+                            synth_ssub)
+from ..core.protein import ProteinScheme
+from ..core.subst import WeightsKey, subst_matching_reference
+from ..swa.scoring import ScoringScheme
+from .report import Diagnostic, Report, Severity
+
+__all__ = [
+    "MAX_EXHAUSTIVE_BITS",
+    "prove_equivalence",
+    "input_support",
+    "mutate_netlist",
+    "prove_linear_cell",
+    "prove_gotoh_cell",
+    "check_score_widths",
+    "check_width_uniformity",
+    "analyze_prove",
+]
+
+#: Largest swept-input width a single exhaustive proof may take on.
+#: 2**24 combinations x a ~2k-gate netlist is a few seconds of NumPy;
+#: anything wider must be decomposed (and the prover says so rather
+#: than silently sampling).
+MAX_EXHAUSTIVE_BITS = 24
+
+#: Combinations per evaluation chunk (2**18 = 4096 lane words, 32 KiB
+#: per bit plane — every gate of the netlist holds one plane live, so
+#: chunking bounds peak memory at ~a hundred MiB for the big cells).
+_CHUNK_BITS = 18
+
+#: Truth-table patterns of input bits 0..5 within one 64-bit word:
+#: bit j of word holds combination j's value of swept input bit k.
+_LOW_PATTERNS = (
+    np.uint64(0xAAAAAAAAAAAAAAAA),
+    np.uint64(0xCCCCCCCCCCCCCCCC),
+    np.uint64(0xF0F0F0F0F0F0F0F0),
+    np.uint64(0xFF00FF00FF00FF00),
+    np.uint64(0xFFFF0000FFFF0000),
+    np.uint64(0xFFFFFFFF00000000),
+)
+
+_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+Evaluator = Callable[[dict[str, list[np.ndarray]]], Sequence[np.ndarray]]
+Reference = Callable[[dict[str, np.ndarray]], np.ndarray]
+
+
+def _plane_chunk(bit: int, w0: int, w1: int) -> np.ndarray:
+    """The packed plane of swept input ``bit`` over words [w0, w1)."""
+    if bit < 6:
+        return np.full(w1 - w0, _LOW_PATTERNS[bit], dtype=np.uint64)
+    sel = ((np.arange(w0, w1, dtype=np.uint64)
+            >> np.uint64(bit - 6)) & np.uint64(1)).astype(bool)
+    return np.where(sel, _ONES, np.uint64(0))
+
+
+def prove_equivalence(evaluate: Evaluator, name: str,
+                      sweep: Sequence[tuple[str, int]],
+                      reference: Reference, *,
+                      fixed: Mapping[str, tuple[int, int]] | None = None,
+                      out_slice: slice | None = None,
+                      max_bits: int = MAX_EXHAUSTIVE_BITS,
+                      rule: str = "prove.equivalence",
+                      detail: str = "") -> list[Diagnostic]:
+    """Exhaustively check a circuit against a reference recurrence.
+
+    ``sweep`` lists the input buses to enumerate as ``(bus, width)``
+    (bit offsets assigned in order, LSB first); ``fixed`` pins any
+    remaining buses to ``(value, width)`` constants.  ``reference``
+    receives the integer value array of every bus (swept buses as
+    per-combination arrays, fixed buses as scalars) and must return
+    the expected integer of the compared output planes —
+    ``out_slice`` selects which planes those are (default: all).
+
+    Returns one ERROR diagnostic with a decoded counterexample on the
+    first disagreement, an ERROR ``prove.infeasible`` when the swept
+    width exceeds ``max_bits`` (an exhaustive claim must never
+    silently degrade to sampling), or a NOTE stating exactly what was
+    proven.
+    """
+    n = sum(w for _, w in sweep)
+    if n > max_bits:
+        return [Diagnostic(
+            rule="prove.infeasible", severity=Severity.ERROR,
+            subject=name,
+            message=f"{n} swept input bits exceed the exhaustive "
+                    f"budget of {max_bits}; decompose the proof "
+                    f"instead of sampling")]
+    offsets: dict[str, int] = {}
+    off = 0
+    for bus, w in sweep:
+        offsets[bus] = off
+        off += w
+    fixed = dict(fixed or {})
+    fixed_planes = {
+        bus: [_ONES if (value >> h) & 1 else np.uint64(0)
+              for h in range(width)]
+        for bus, (value, width) in fixed.items()
+    }
+    total = 1 << n
+    n_bad = 0
+    first: tuple[dict[str, int], int, int] | None = None
+    for c0 in range(0, total, 1 << _CHUNK_BITS):
+        cend = min(c0 + (1 << _CHUNK_BITS), total)
+        w0, w1 = c0 >> 6, (cend + 63) >> 6
+        inputs: dict[str, list[np.ndarray]] = dict(fixed_planes)
+        for bus, w in sweep:
+            base = offsets[bus]
+            inputs[bus] = [_plane_chunk(base + h, w0, w1)
+                           for h in range(w)]
+        try:
+            outs = list(evaluate(inputs))
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            return [Diagnostic(
+                rule="prove.eval-failed", severity=Severity.ERROR,
+                subject=name,
+                message=f"netlist evaluation raised {exc!r}")]
+        if out_slice is not None:
+            outs = outs[out_slice]
+        idx = np.arange(c0, cend, dtype=np.int64)
+        vals: dict[str, np.ndarray] = {
+            bus: (idx >> offsets[bus]) & ((1 << w) - 1)
+            for bus, w in sweep
+        }
+        for bus, (value, _width) in fixed.items():
+            vals[bus] = np.int64(value)
+        want = np.asarray(reference(vals), dtype=np.int64)
+        word_local = (idx >> 6) - w0
+        bit_in_word = (idx & 63).astype(np.uint64)
+        got = np.zeros(len(idx), dtype=np.int64)
+        for h, plane in enumerate(outs):
+            plane = np.asarray(plane, dtype=np.uint64)
+            if plane.ndim == 0:
+                plane = np.full(w1 - w0, plane, dtype=np.uint64)
+            bits = (plane[word_local] >> bit_in_word) & np.uint64(1)
+            got |= bits.astype(np.int64) << h
+        bad = np.nonzero(got != want)[0]
+        if bad.size:
+            n_bad += int(bad.size)
+            if first is None:
+                j = int(bad[0])
+                combo = int(idx[j])
+                assign = {bus: (combo >> offsets[bus]) & ((1 << w) - 1)
+                          for bus, w in sweep}
+                first = (assign, int(got[j]), int(want[j]))
+    if first is not None:
+        assign, got_v, want_v = first
+        return [Diagnostic(
+            rule=rule, severity=Severity.ERROR, subject=name,
+            message=f"circuit disagrees with the reference on "
+                    f"{n_bad} of {total} input combinations; "
+                    f"counterexample {assign}: circuit={got_v}, "
+                    f"reference={want_v}")]
+    note = f"bit-exact on all {total} combinations ({n} swept bits"
+    if fixed:
+        note += f", {len(fixed)} bus(es) pinned"
+    if detail:
+        note += f"; {detail}"
+    return [Diagnostic(rule=rule, severity=Severity.NOTE, subject=name,
+                       message=note + ")")]
+
+
+def input_support(net: Netlist, out_ids: Sequence[int]) -> set[str]:
+    """Names of the input buses in the fan-in cone of ``out_ids``."""
+    gates = net.gates
+    seen: set[int] = set()
+    stack = list(out_ids)
+    while stack:
+        gid = stack.pop()
+        if gid in seen:
+            continue
+        seen.add(gid)
+        stack.extend(gates[gid].inputs)
+    id_to_bus = {gid: bus for bus, _w in net.input_buses
+                 for gid in net.input_ids(bus)}
+    return {id_to_bus[g] for g in seen if g in id_to_bus}
+
+
+def _check_support(net: Netlist, name: str, group: str,
+                   out_ids: Sequence[int],
+                   allowed: set[str]) -> list[Diagnostic]:
+    """ERROR when a cone reads buses outside its allowed support —
+    the structural premise of every decomposed proof below."""
+    extra = input_support(net, out_ids) - allowed
+    if extra:
+        return [Diagnostic(
+            rule="prove.cut-support", severity=Severity.ERROR,
+            subject=name,
+            message=f"{group} cone reads input bus(es) "
+                    f"{sorted(extra)} outside its recurrence support "
+                    f"{sorted(allowed)}; the decomposed proof would "
+                    f"be unsound")]
+    return []
+
+
+def _zero_fixed(net: Netlist,
+                skip: Sequence[str]) -> dict[str, tuple[int, int]]:
+    """Pin every input bus not in ``skip`` to zero."""
+    return {bus: (0, w) for bus, w in net.input_buses
+            if bus not in skip}
+
+
+def _net_eval(net: Netlist) -> Evaluator:
+    return lambda ins: net.evaluate(ins, word_bits=64)
+
+
+# ---------------------------------------------------------------------------
+# Whole-cell proof drivers.
+# ---------------------------------------------------------------------------
+
+def prove_linear_cell(net: Netlist | None, name: str, s: int, eps: int,
+                      gap: int, c1: int | None = None,
+                      c2: int | None = None,
+                      weights: WeightsKey | None = None,
+                      has_best: bool = False,
+                      evaluate: Evaluator | None = None,
+                      ) -> list[Diagnostic]:
+    """Prove a linear SW cell netlist (DNA or substitution, optionally
+    fused with the running-max group) against the scalar references.
+
+    The cell group is swept directly over ``up``/``left``/``diag``/
+    ``x``/``y`` (``best``, if present, pinned to zero after a support
+    check).  The fused ``best`` group is then proven over all
+    ``(best, cell)`` pairs by cutting the cell output bus — a direct
+    sweep would need ``4s + 2*eps`` bits, which the protein cells
+    cannot afford.
+    """
+
+    def cell_ref(vals: dict[str, np.ndarray]) -> np.ndarray:
+        if weights is not None:
+            from ..core.subst import subst_sw_cell_reference
+
+            return subst_sw_cell_reference(
+                vals["up"], vals["left"], vals["diag"], vals["x"],
+                vals["y"], gap, weights, eps, s)
+        return sw_cell_reference(vals["up"], vals["left"], vals["diag"],
+                                 vals["x"], vals["y"], gap, c1, c2, s)
+
+    if evaluate is None:
+        if net is None:
+            raise NetlistError(
+                "prove_linear_cell needs a netlist or an evaluator")
+        evaluate = _net_eval(net)
+    diags: list[Diagnostic] = []
+    sweep = [("up", s), ("left", s), ("diag", s), ("x", eps), ("y", eps)]
+    fixed: dict[str, tuple[int, int]] = {}
+    if has_best:
+        if net is None:
+            raise NetlistError(
+                "fused-best proofs cut the netlist; pass it explicitly")
+        diags += _check_support(net, name, "cell", net.outputs[:s],
+                                {"up", "left", "diag", "x", "y"})
+        if diags:
+            return diags
+        fixed = {"best": (0, s)}
+    diags += prove_equivalence(
+        evaluate, name, sweep, cell_ref,
+        fixed=fixed, out_slice=slice(0, s))
+    if not has_best or net is None:
+        return diags
+    cell_ids = net.outputs[:s]
+    try:
+        residual = cut_netlist(net, {"cell": cell_ids})
+    except NetlistError as exc:
+        diags.append(Diagnostic(
+            rule="prove.cut-aliased", severity=Severity.ERROR,
+            subject=name, message=f"cell-group cut failed: {exc}"))
+        return diags
+    best_ids = residual.outputs[s:2 * s]
+    diags += _check_support(residual, name, "best", best_ids,
+                            {"best", "cell"})
+    if diags and diags[-1].severity is Severity.ERROR:
+        return diags
+    diags += prove_equivalence(
+        _net_eval(residual), f"{name}:best",
+        [("best", s), ("cell", s)],
+        lambda vals: np.maximum(vals["best"], vals["cell"]),
+        fixed=_zero_fixed(residual, ("best", "cell")),
+        out_slice=slice(s, 2 * s),
+        detail="running-max group over the cell cut")
+    return diags
+
+
+def prove_gotoh_cell(net: Netlist, name: str, s: int, eps: int,
+                     gap_open: int, gap_extend: int,
+                     c1: int | None = None, c2: int | None = None,
+                     weights: WeightsKey | None = None,
+                     has_best: bool = False,
+                     ) -> list[Diagnostic]:
+    """Prove an affine (Gotoh) cell netlist by assume-guarantee
+    decomposition.
+
+    A direct sweep needs ``5s + 2*eps`` (+``s`` fused) bits — 30+ for
+    the protein cells.  Instead: (1) prove the E and F cones
+    exhaustively over their own two score buses (after proving,
+    structurally, that they read nothing else); (2) cut E and F out
+    and prove the residual H group equals
+    ``max(max(E, F), diag(h_diag, x, y))`` over *all* cut values —
+    a superset of what the verified cones can produce; (3) for fused
+    netlists, cut H and prove the running-max group.  When the direct
+    sweep fits the budget the caller can cross-check it via
+    :func:`prove_linear_cell`-style full enumeration (see
+    ``analyze_prove``).
+    """
+    go = clamp_penalty(gap_open, s)
+    ge = clamp_penalty(gap_extend, s)
+    outs = net.outputs
+    groups = {
+        "E": (outs[s:2 * s], "h_left", "e_left"),
+        "F": (outs[2 * s:3 * s], "h_up", "f_up"),
+    }
+    diags: list[Diagnostic] = []
+    for label, (ids, hbus, ebus) in groups.items():
+        bad = _check_support(net, name, label, ids, {hbus, ebus})
+        if bad:
+            diags += bad
+            continue
+
+        def ef_ref(vals: dict[str, np.ndarray], hb: str = hbus,
+                   eb: str = ebus) -> np.ndarray:
+            return np.maximum(np.maximum(vals[hb] - go, 0),
+                              np.maximum(vals[eb] - ge, 0))
+
+        lo = s * (1 if label == "E" else 2)
+        diags += prove_equivalence(
+            _net_eval(net), f"{name}:{label}",
+            [(hbus, s), (ebus, s)], ef_ref,
+            fixed=_zero_fixed(net, (hbus, ebus)),
+            out_slice=slice(lo, lo + s),
+            detail=f"{label} cone over its own support")
+    if any(d.severity is Severity.ERROR for d in diags):
+        return diags
+    try:
+        residual = cut_netlist(net, {"cutE": groups["E"][0],
+                                     "cutF": groups["F"][0]})
+    except NetlistError as exc:
+        diags.append(Diagnostic(
+            rule="prove.cut-aliased", severity=Severity.ERROR,
+            subject=name, message=f"E/F cut failed: {exc}"))
+        return diags
+    h_ids = residual.outputs[:s]
+    bad = _check_support(residual, name, "H", h_ids,
+                         {"cutE", "cutF", "h_diag", "x", "y"})
+    if bad:
+        return diags + bad
+
+    def h_ref(vals: dict[str, np.ndarray]) -> np.ndarray:
+        if weights is not None:
+            diag = subst_matching_reference(vals["h_diag"], vals["x"],
+                                            vals["y"], weights, eps, s)
+        else:
+            from ..core.circuits import matching_reference
+
+            diag = matching_reference(vals["h_diag"], vals["x"],
+                                      vals["y"], c1, c2, s)
+        return np.maximum(np.maximum(vals["cutE"], vals["cutF"]), diag)
+
+    diags += prove_equivalence(
+        _net_eval(residual), f"{name}:H",
+        [("h_diag", s), ("x", eps), ("y", eps),
+         ("cutE", s), ("cutF", s)],
+        h_ref,
+        fixed=_zero_fixed(residual,
+                          ("h_diag", "x", "y", "cutE", "cutF")),
+        out_slice=slice(0, s),
+        detail="H residual over all E/F cut values")
+    if not has_best:
+        return diags
+    try:
+        residual2 = cut_netlist(net, {"cutH": outs[:s]})
+    except NetlistError as exc:
+        diags.append(Diagnostic(
+            rule="prove.cut-aliased", severity=Severity.ERROR,
+            subject=name, message=f"H cut failed: {exc}"))
+        return diags
+    best_ids = residual2.outputs[3 * s:4 * s]
+    bad = _check_support(residual2, name, "best", best_ids,
+                         {"best", "cutH"})
+    if bad:
+        return diags + bad
+    diags += prove_equivalence(
+        _net_eval(residual2), f"{name}:best",
+        [("best", s), ("cutH", s)],
+        lambda vals: np.maximum(vals["best"], vals["cutH"]),
+        fixed=_zero_fixed(residual2, ("best", "cutH")),
+        out_slice=slice(3 * s, 4 * s),
+        detail="running-max group over the H cut")
+    return diags
+
+
+def prove_gotoh_cell_direct(net: Netlist, name: str, s: int, eps: int,
+                            gap_open: int, gap_extend: int,
+                            c1: int | None = None,
+                            c2: int | None = None,
+                            weights: WeightsKey | None = None,
+                            ) -> list[Diagnostic]:
+    """Direct full-cube sweep of a (non-fused) Gotoh cell — feasible
+    only at the smallest widths, where it cross-checks the
+    decomposition machinery of :func:`prove_gotoh_cell`."""
+
+    def ref(vals: dict[str, np.ndarray]) -> np.ndarray:
+        H, E, F = gotoh_cell_reference(
+            vals["h_left"], vals["e_left"], vals["h_up"], vals["f_up"],
+            vals["h_diag"], vals["x"], vals["y"], gap_open, gap_extend,
+            s, c1=c1, c2=c2, weights=weights, eps=eps)
+        return H | (E << s) | (F << (2 * s))
+
+    return prove_equivalence(
+        _net_eval(net), f"{name}:direct",
+        [("h_left", s), ("e_left", s), ("h_up", s), ("f_up", s),
+         ("h_diag", s), ("x", eps), ("y", eps)],
+        ref, rule="prove.equivalence",
+        detail="direct sweep cross-checking the decomposition")
+
+
+# ---------------------------------------------------------------------------
+# Mutation (prover-sensitivity) support.
+# ---------------------------------------------------------------------------
+
+def mutate_netlist(net: Netlist, seed: int) -> tuple[Netlist, str]:
+    """A copy of ``net`` with one live logic gate's kind flipped.
+
+    Netlists from the builders are memoised and shared — they must
+    never be mutated in place.  The copy replays every gate in id
+    order into a fresh ``Netlist(simplify=False)`` (ids are preserved
+    exactly: input buses re-declare at the same positions, CSE stays
+    off), then swaps the kind of one seeded-random live AND/OR/XOR
+    gate.  Returns the mutant and a description of the flip.
+    """
+    gates = net.gates
+    rng = random.Random(seed)
+    live = net.used_gates()
+    candidates = sorted(g for g in live
+                        if gates[g].kind in ("AND", "OR", "XOR"))
+    if not candidates:
+        raise NetlistError("no live logic gate to mutate")
+    target = rng.choice(candidates)
+    new_kind = rng.choice([k for k in ("AND", "OR", "XOR")
+                           if k != gates[target].kind])
+    desc = (f"gate {target}: {gates[target].kind} -> {new_kind} "
+            f"(seed {seed})")
+    starts = {net.input_ids(bus)[0]: (bus, w)
+              for bus, w in net.input_buses}
+    out = Netlist(simplify=False)
+    gid = 0
+    while gid < len(gates):
+        if gid in starts:
+            bus, w = starts[gid]
+            ids = out.input_bus(bus, w)
+            if ids[0] != gid:
+                raise NetlistError("replay lost id alignment")
+            gid += w
+            continue
+        g = gates[gid]
+        kind = new_kind if gid == target else g.kind
+        if out._add(kind, g.inputs, g.name) != gid:
+            raise NetlistError("replay lost id alignment")
+        gid += 1
+    out.set_outputs(net.outputs)
+    return out, desc
+
+
+# ---------------------------------------------------------------------------
+# Width soundness and width uniformity.
+# ---------------------------------------------------------------------------
+
+def _width_case(net: Netlist, name: str, s: int, v_max: int,
+                ranges: dict[str, tuple[int, int]],
+                out_groups: Sequence[tuple[str, slice]],
+                ) -> list[Diagnostic]:
+    """Run interval analysis on one shipped pairing: no hazards may
+    fire and every score output group's hull must stay in
+    ``[0, v_max]`` (the inductive step of the positional bound)."""
+    rep = net.prove_widths(ranges)
+    diags: list[Diagnostic] = []
+    for issue in rep.issues:
+        diags.append(Diagnostic(
+            rule="prove.widths", severity=Severity.ERROR, subject=name,
+            message=issue.render()))
+    outs = net.outputs
+    for label, sl in out_groups:
+        hull = rep.interval_of(outs[sl])
+        if hull is None:
+            diags.append(Diagnostic(
+                rule="prove.widths", severity=Severity.ERROR,
+                subject=name,
+                message=f"no interval derived for output group "
+                        f"{label} — the arithmetic log is incomplete"))
+        elif hull[1] > v_max:
+            diags.append(Diagnostic(
+                rule="prove.widths", severity=Severity.ERROR,
+                subject=name,
+                message=f"output group {label} hull {list(hull)} "
+                        f"escapes the inductive bound [0, {v_max}]"))
+    if not diags:
+        diags.append(Diagnostic(
+            rule="prove.widths", severity=Severity.NOTE, subject=name,
+            message=f"statically sound at s={s}: no overflow, no "
+                    f"unsound truncation, outputs within "
+                    f"[0, {v_max}]"))
+    return diags
+
+
+def check_score_widths(sizes: Sequence[int] = (8, 64, 4096),
+                       matrix_names: Sequence[str] = ("blosum62",
+                                                      "blosum50",
+                                                      "pam250"),
+                       gap: int = 1, c1: int = 2, c2: int = 1,
+                       gap_open: int = 2, gap_extend: int = 1,
+                       protein_gap_open: int = 11,
+                       protein_gap_extend: int = 1) -> Report:
+    """Statically prove ``score_bits(m, n)`` sufficient for every
+    shipped (scheme, cell) pairing, and self-test that an undersized
+    width is rejected.
+
+    The input ranges encode the positional invariant the engines
+    maintain: every score entering a cell at position ``(i, j)`` is at
+    most ``max_step * min(i, j) <= V = scheme.max_score(m, n)``, and
+    the diagonal operand — one position earlier — is at most
+    ``V - max_step``.  The analysis then *proves* the binding case:
+    cell outputs stay within ``[0, V]``, no adder carries out, no
+    truncated plane can be nonzero.
+    """
+    rep = Report()
+    dna = ScoringScheme(match_score=c1, mismatch_penalty=c2,
+                        gap_penalty=gap)
+    for m in sizes:
+        s = dna.score_bits(m, m)
+        v = dna.max_score(m, m)
+        score = (0, v)
+        diag = (0, max(0, v - c1))
+        net = build_sw_cell_best_netlist(s, gap, c1, c2)
+        rep.extend(_width_case(
+            net, f"sw_cell_best[s={s},m={m}]", s, v,
+            {"up": score, "left": score, "diag": diag, "best": score},
+            [("cell", slice(0, s)), ("best", slice(s, 2 * s))]))
+        gnet = build_gotoh_cell_best_netlist(s, gap_open, gap_extend,
+                                             c1=c1, c2=c2)
+        rep.extend(_width_case(
+            gnet, f"gotoh_cell_best[s={s},m={m}]", s, v,
+            {"h_left": score, "e_left": score, "h_up": score,
+             "f_up": score, "h_diag": diag, "best": score},
+            [("H", slice(0, s)), ("E", slice(s, 2 * s)),
+             ("F", slice(2 * s, 3 * s)),
+             ("best", slice(3 * s, 4 * s))]))
+    for mname in matrix_names:
+        scheme = ProteinScheme(matrix=matrix_by_name(mname),
+                               gap_open=protein_gap_open,
+                               gap_extend=protein_gap_extend)
+        wk = scheme.weights_key()
+        eps = scheme.alphabet.pad_bits
+        maxw = max(0, scheme.max_weight)
+        for m in sizes:
+            s = scheme.score_bits(m, m)
+            v = scheme.max_score(m, m)
+            score = (0, v)
+            diag = (0, max(0, v - maxw))
+            net = build_subst_sw_cell_best_netlist(
+                s, protein_gap_extend, wk, eps=eps)
+            rep.extend(_width_case(
+                net, f"subst_sw_cell_best[{mname},s={s},m={m}]", s, v,
+                {"up": score, "left": score, "diag": diag,
+                 "best": score},
+                [("cell", slice(0, s)), ("best", slice(s, 2 * s))]))
+            gnet = build_gotoh_cell_best_netlist(
+                s, protein_gap_open, protein_gap_extend, weights=wk,
+                eps=eps)
+            rep.extend(_width_case(
+                gnet, f"subst_gotoh_cell_best[{mname},s={s},m={m}]",
+                s, v,
+                {"h_left": score, "e_left": score, "h_up": score,
+                 "f_up": score, "h_diag": diag, "best": score},
+                [("H", slice(0, s)), ("E", slice(s, 2 * s)),
+                 ("F", slice(2 * s, 3 * s)),
+                 ("best", slice(3 * s, 4 * s))]))
+
+    # Self-test: the analyzer must *reject* a deliberately undersized
+    # width, naming the overflowing gate.  An analyzer that accepts
+    # everything proves nothing.
+    m = 16
+    s_ok = dna.score_bits(m, m)
+    v = dna.max_score(m, m)
+    for s_bad in (s_ok - 1, s_ok - 2):
+        mask = (1 << s_bad) - 1
+        net = build_sw_cell_netlist(s_bad, gap, c1, c2)
+        bad_rep = net.prove_widths({
+            "up": (0, min(v, mask)), "left": (0, min(v, mask)),
+            "diag": (0, min(max(0, v - c1), mask))})
+        if bad_rep.issues:
+            issue = bad_rep.issues[0]
+            rep.add(Diagnostic(
+                rule="prove.width-selftest", severity=Severity.NOTE,
+                subject=f"sw_cell[s={s_bad},m={m}]",
+                message=f"undersized width correctly rejected: "
+                        f"{issue.render()}"))
+        else:
+            rep.add(Diagnostic(
+                rule="prove.width-selftest", severity=Severity.ERROR,
+                subject=f"sw_cell[s={s_bad},m={m}]",
+                message=f"analyzer accepted s={s_bad} although "
+                        f"max_score({m},{m})={v} needs {s_ok} bits — "
+                        f"the width proof is vacuous"))
+    return rep
+
+
+def check_width_uniformity(widths: Sequence[int] = (2, 3, 4, 5, 6, 7),
+                           ) -> Report:
+    """Assert the arithmetic primitives are width-uniform: literal
+    gate count and depth affine in the bus width.
+
+    This is the structural-induction half of the small-``s``
+    exhaustive argument: every cell is a fixed composition of
+    ``add``/``ssub``/``max``/``ge`` ripples (at ``s``, ``2s`` or
+    ``s_ext``) plus width-*independent* selection logic, so if each
+    primitive grows by an identical per-bit stage, a cell proven
+    bit-exact at s∈{2,3,4} computes the same recurrence at every
+    ``s`` (nothing structurally new appears at larger widths).
+    """
+
+    def literal(kind: str, w: int) -> Netlist:
+        net = Netlist(simplify=False)
+        a = net.input_bus("a", w)
+        b = net.input_bus("b", w)
+        if kind == "add":
+            net.set_outputs(synth_add(net, a, b))
+        elif kind == "ssub":
+            net.set_outputs(synth_ssub(net, a, b))
+        elif kind == "max":
+            net.set_outputs(synth_max(net, a, b))
+        else:
+            net.set_outputs([synth_greater_equal(net, a, b)])
+        return net
+
+    rep = Report()
+    for kind in ("add", "ssub", "max", "ge"):
+        counts = []
+        depths = []
+        for w in widths:
+            net = literal(kind, w)
+            counts.append(net.logic_gate_count())
+            depths.append(net.depth())
+        d2c = {counts[i + 1] - counts[i] for i in range(len(counts) - 1)}
+        d2d = {depths[i + 1] - depths[i] for i in range(len(depths) - 1)}
+        name = f"synth_{kind}"
+        if len(d2c) > 1 or len(d2d) > 1:
+            rep.add(Diagnostic(
+                rule="prove.uniformity", severity=Severity.ERROR,
+                subject=name,
+                message=f"gate structure is not width-uniform over "
+                        f"widths {list(widths)}: counts {counts}, "
+                        f"depths {depths} — exhaustive small-s proofs "
+                        f"no longer pin larger widths"))
+        else:
+            rep.add(Diagnostic(
+                rule="prove.uniformity", severity=Severity.NOTE,
+                subject=name,
+                message=f"width-uniform: +{d2c.pop()} gates and "
+                        f"+{d2d.pop()} depth per added plane over "
+                        f"widths {list(widths)}"))
+    return rep
+
+
+# ---------------------------------------------------------------------------
+# The shipped-netlist catalogue and the top-level driver.
+# ---------------------------------------------------------------------------
+
+def _reingest(compiled: "CompiledNetlist", name: str,
+              ) -> tuple[Netlist | None, list[Diagnostic]]:
+    """Re-ingest a compiled evaluator and differentially pin the
+    re-ingestion itself against the executing function on random
+    planes — a wrong re-ingestion would make its proofs vacuous."""
+    from ..jit.compiler import JitError, netlist_from_source
+
+    try:
+        net = netlist_from_source(compiled)
+    except JitError as exc:
+        return None, [Diagnostic(
+            rule="prove.reingest", severity=Severity.ERROR,
+            subject=name,
+            message=f"source re-ingestion failed: {exc}")]
+    rng = np.random.default_rng(20260808)
+    ins = {
+        bus: [rng.integers(0, 1 << 63, 32, dtype=np.uint64) * 2
+              + rng.integers(0, 2, 32, dtype=np.uint64)
+              for _ in range(w)]
+        for bus, w in compiled._bus_widths
+    }
+    got = net.evaluate(ins, word_bits=64)
+    want = compiled.evaluate(ins)
+    bad = [h for h in range(len(want))
+           if not np.array_equal(np.asarray(got[h]),
+                                 np.asarray(want[h]))]
+    if bad:
+        return None, [Diagnostic(
+            rule="prove.reingest", severity=Severity.ERROR,
+            subject=name,
+            message=f"re-ingested netlist disagrees with the "
+                    f"executing compiled function on output "
+                    f"plane(s) {bad}")]
+    return net, [Diagnostic(
+        rule="prove.reingest", severity=Severity.NOTE, subject=name,
+        message=f"re-ingested {net.logic_gate_count()} gates from "
+                f"generated source; matches the executing function "
+                f"on 32 random lane words")]
+
+
+def analyze_prove(s_values: Sequence[int] = (2, 3, 4),
+                  matrix_names: Sequence[str] = ("blosum62",
+                                                 "blosum50", "pam250"),
+                  gap: int = 1, c1: int = 2, c2: int = 1,
+                  gap_open: int = 2, gap_extend: int = 1,
+                  protein_gap_open: int = 11,
+                  protein_gap_extend: int = 1,
+                  include_compiled: bool = True) -> Report:
+    """The full proving pass over every shipped cell netlist.
+
+    For each ``s`` in ``s_values``: the DNA linear cell (literal and
+    folded), the fused running-max variant, the DNA Gotoh cell
+    (decomposed, with a direct full-cube cross-check where it fits),
+    the substitution matching/cell/Gotoh netlists for every shipped
+    matrix, and — via source re-ingestion — the jit-compiled
+    evaluators the engines actually execute.  Follows with the width
+    soundness pass, the width-uniformity pass, and a prover
+    sensitivity self-test (a known-bad mutant must be caught).
+    """
+    rep = Report()
+    eps = 2
+    for s in s_values:
+        lit = build_sw_cell_netlist(s, gap, c1, c2, simplify=False)
+        rep.extend(prove_linear_cell(
+            lit, f"sw_cell[s={s},literal]", s, eps, gap, c1, c2))
+        net = build_sw_cell_netlist(s, gap, c1, c2)
+        rep.extend(prove_linear_cell(
+            net, f"sw_cell[s={s}]", s, eps, gap, c1, c2))
+        best = build_sw_cell_best_netlist(s, gap, c1, c2)
+        rep.extend(prove_linear_cell(
+            best, f"sw_cell_best[s={s}]", s, eps, gap, c1, c2,
+            has_best=True))
+        gnet = build_gotoh_cell_netlist(s, gap_open, gap_extend,
+                                        c1=c1, c2=c2)
+        gname = f"gotoh_cell[s={s}]"
+        rep.extend(prove_gotoh_cell(gnet, gname, s, eps, gap_open,
+                                    gap_extend, c1=c1, c2=c2))
+        if 5 * s + 2 * eps <= 20:
+            rep.extend(prove_gotoh_cell_direct(
+                gnet, gname, s, eps, gap_open, gap_extend, c1=c1,
+                c2=c2))
+        gbest = build_gotoh_cell_best_netlist(s, gap_open, gap_extend,
+                                              c1=c1, c2=c2)
+        rep.extend(prove_gotoh_cell(
+            gbest, f"gotoh_cell_best[s={s}]", s, eps, gap_open,
+            gap_extend, c1=c1, c2=c2, has_best=True))
+    for mname in matrix_names:
+        scheme = ProteinScheme(matrix=matrix_by_name(mname),
+                               gap_open=protein_gap_open,
+                               gap_extend=protein_gap_extend)
+        wk = scheme.weights_key()
+        peps = scheme.alphabet.pad_bits
+        for s in s_values:
+            mnet = build_subst_matching_netlist(s, wk, eps=peps)
+            rep.extend(prove_equivalence(
+                _net_eval(mnet), f"subst_matching[{mname},s={s}]",
+                [("diag", s), ("x", peps), ("y", peps)],
+                lambda vals, _wk=wk, _e=peps, _s=s:
+                    subst_matching_reference(
+                        vals["diag"], vals["x"], vals["y"], _wk, _e,
+                        _s)))
+            cnet = build_subst_sw_cell_netlist(
+                s, protein_gap_extend, wk, eps=peps)
+            rep.extend(prove_linear_cell(
+                cnet, f"subst_sw_cell[{mname},s={s}]", s, peps,
+                protein_gap_extend, weights=wk))
+            cbest = build_subst_sw_cell_best_netlist(
+                s, protein_gap_extend, wk, eps=peps)
+            rep.extend(prove_linear_cell(
+                cbest, f"subst_sw_cell_best[{mname},s={s}]", s, peps,
+                protein_gap_extend, weights=wk, has_best=True))
+            gnet = build_gotoh_cell_netlist(
+                s, protein_gap_open, protein_gap_extend, weights=wk,
+                eps=peps)
+            rep.extend(prove_gotoh_cell(
+                gnet, f"subst_gotoh_cell[{mname},s={s}]", s, peps,
+                protein_gap_open, protein_gap_extend, weights=wk))
+            gbest = build_gotoh_cell_best_netlist(
+                s, protein_gap_open, protein_gap_extend, weights=wk,
+                eps=peps)
+            rep.extend(prove_gotoh_cell(
+                gbest, f"subst_gotoh_cell_best[{mname},s={s}]", s,
+                peps, protein_gap_open, protein_gap_extend,
+                weights=wk, has_best=True))
+    if include_compiled:
+        from ..jit.cells import compiled_sw_cell
+
+        for s in s_values:
+            compiled = compiled_sw_cell(s, gap, c1, c2, word_bits=64)
+            name = f"compiled_sw_cell[s={s}]"
+            net, diags = _reingest(compiled, name)
+            rep.extend(diags)
+            if net is not None:
+                rep.extend(prove_linear_cell(
+                    net, name, s, eps, gap, c1, c2))
+            # Also prove the executing function itself directly — the
+            # cube fits, so no re-ingestion trust is needed at all.
+            rep.extend(prove_linear_cell(
+                None, f"{name}:executing", s, eps, gap, c1, c2,
+                evaluate=lambda ins, _c=compiled: _c.evaluate(ins)))
+        from ..jit.compiler import CompiledNetlist
+
+        for s in s_values:
+            step = CompiledNetlist(
+                build_sw_cell_best_netlist(s, gap, c1, c2), 64,
+                name=f"sw_step[s={s}]")
+            name = f"compiled_sw_step[s={s}]"
+            net, diags = _reingest(step, name)
+            rep.extend(diags)
+            if net is not None:
+                rep.extend(prove_linear_cell(
+                    net, name, s, eps, gap, c1, c2, has_best=True))
+            gstep = CompiledNetlist(
+                build_gotoh_cell_best_netlist(s, gap_open, gap_extend,
+                                              c1=c1, c2=c2), 64,
+                name=f"gotoh_step[s={s}]")
+            name = f"compiled_gotoh_step[s={s}]"
+            net, diags = _reingest(gstep, name)
+            rep.extend(diags)
+            if net is not None:
+                rep.extend(prove_gotoh_cell(
+                    net, name, s, eps, gap_open, gap_extend, c1=c1,
+                    c2=c2, has_best=True))
+        scheme = ProteinScheme(matrix=matrix_by_name(matrix_names[0]),
+                               gap_open=protein_gap_open,
+                               gap_extend=protein_gap_extend)
+        wk = scheme.weights_key()
+        peps = scheme.alphabet.pad_bits
+        for s in s_values:
+            pstep = CompiledNetlist(
+                build_subst_sw_cell_best_netlist(
+                    s, protein_gap_extend, wk, eps=peps), 64,
+                name=f"subst_step[s={s}]")
+            name = f"compiled_subst_step[{matrix_names[0]},s={s}]"
+            net, diags = _reingest(pstep, name)
+            rep.extend(diags)
+            if net is not None:
+                rep.extend(prove_linear_cell(
+                    net, name, s, peps, protein_gap_extend,
+                    weights=wk, has_best=True))
+            pgstep = CompiledNetlist(
+                build_gotoh_cell_best_netlist(
+                    s, protein_gap_open, protein_gap_extend,
+                    weights=wk, eps=peps), 64,
+                name=f"subst_gotoh_step[s={s}]")
+            name = (f"compiled_subst_gotoh_step"
+                    f"[{matrix_names[0]},s={s}]")
+            net, diags = _reingest(pgstep, name)
+            rep.extend(diags)
+            if net is not None:
+                rep.extend(prove_gotoh_cell(
+                    net, name, s, peps, protein_gap_open,
+                    protein_gap_extend, weights=wk, has_best=True))
+    rep.extend(check_score_widths(matrix_names=matrix_names, gap=gap,
+                                  c1=c1, c2=c2, gap_open=gap_open,
+                                  gap_extend=gap_extend,
+                                  protein_gap_open=protein_gap_open,
+                                  protein_gap_extend=protein_gap_extend))
+    rep.extend(check_width_uniformity())
+    # Prover sensitivity: a single flipped gate must be caught.
+    target = build_sw_cell_netlist(3, gap, c1, c2)
+    caught = False
+    for attempt in range(5):
+        mutant, desc = mutate_netlist(target, 20260808 + attempt)
+        diags = prove_linear_cell(mutant, "sensitivity", 3, eps, gap,
+                                  c1, c2)
+        if any(d.severity is Severity.ERROR for d in diags):
+            caught = True
+            rep.add(Diagnostic(
+                rule="prove.sensitivity", severity=Severity.NOTE,
+                subject="sw_cell[s=3]",
+                message=f"mutation {desc} correctly refuted by the "
+                        f"exhaustive sweep"))
+            break
+    if not caught:
+        rep.add(Diagnostic(
+            rule="prove.sensitivity", severity=Severity.ERROR,
+            subject="sw_cell[s=3]",
+            message="five seeded single-gate mutations all passed the "
+                    "equivalence sweep — the prover is not sensitive"))
+    return rep

@@ -18,7 +18,9 @@ Severities follow compiler convention:
 from __future__ import annotations
 
 import enum
+import json
 from dataclasses import dataclass, field
+from typing import Any
 
 __all__ = ["Severity", "Diagnostic", "Report"]
 
@@ -52,6 +54,12 @@ class Diagnostic:
         where = f" ({self.location})" if self.location else ""
         return (f"{self.severity.value}: [{self.rule}] {self.subject}: "
                 f"{self.message}{where}")
+
+    def to_dict(self) -> dict[str, str]:
+        """JSON-ready mapping (severity as its string value)."""
+        return {"rule": self.rule, "severity": self.severity.value,
+                "subject": self.subject, "message": self.message,
+                "location": self.location}
 
 
 @dataclass
@@ -93,6 +101,43 @@ class Report:
     def exit_code(self) -> int:
         """Process exit code: 0 when :attr:`ok`, 1 otherwise."""
         return 0 if self.ok else 1
+
+    def dedup(self) -> "Report":
+        """A new report with exact-duplicate diagnostics removed.
+
+        Order is preserved (first occurrence wins).  Useful when the
+        same check runs over overlapping artifact sets — e.g. a
+        netlist proven both standalone and as a jit re-ingestion
+        source.
+        """
+        seen: set[Diagnostic] = set()
+        out: list[Diagnostic] = []
+        for d in self.diagnostics:
+            if d not in seen:
+                seen.add(d)
+                out.append(d)
+        return Report(out)
+
+    def to_json(self, verbose: bool = True, indent: int | None = None,
+                ) -> str:
+        """Machine-readable rendering for ``--format json``.
+
+        Mirrors :meth:`render`: ``verbose=False`` drops notes, errors
+        and warnings always appear.  The summary block carries the
+        same counts as the text footer plus the exit-code verdict.
+        """
+        diags = [d for d in self.diagnostics
+                 if verbose or d.severity is not Severity.NOTE]
+        payload: dict[str, Any] = {
+            "diagnostics": [d.to_dict() for d in diags],
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "notes": len(self.by_severity(Severity.NOTE)),
+                "ok": self.ok,
+            },
+        }
+        return json.dumps(payload, indent=indent)
 
     def render(self, verbose: bool = True) -> str:
         """Multi-line rendering plus a summary footer.

@@ -415,8 +415,9 @@ def _resolve_kernel(spec: str):
 
 
 def _cmd_analyze(args) -> int:
-    from .analyze import (KernelLaunchPlan, Report, analyze_kernels,
-                          analyze_netlists, analyze_plan, lint_kernel)
+    from .analyze import (KernelLaunchPlan, Report, analyze_contracts,
+                          analyze_kernels, analyze_netlists, analyze_plan,
+                          analyze_prove, lint_kernel)
 
     report = Report()
     if args.kernel:
@@ -432,12 +433,20 @@ def _cmd_analyze(args) -> int:
                     "nor a kernel function"
                 )
     run_all = args.all or not (args.kernels or args.netlists
-                               or args.kernel)
+                               or args.kernel or args.contracts
+                               or args.prove)
     if args.kernels or run_all:
         report.extend(analyze_kernels())
     if args.netlists or run_all:
         report.extend(analyze_netlists())
-    print(report.render(verbose=args.verbose))
+    if args.contracts or run_all:
+        report.extend(analyze_contracts())
+    if args.prove:
+        report.extend(analyze_prove())
+    if args.format == "json":
+        print(report.to_json(verbose=args.verbose, indent=2))
+    else:
+        print(report.render(verbose=args.verbose))
     return report.exit_code
 
 
@@ -606,12 +615,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--netlists", action="store_true",
                    help="verify SW-cell netlists against the op-count "
                         "table")
+    p.add_argument("--contracts", action="store_true",
+                   help="lint cross-layer contracts (fault-site "
+                        "literals vs the catalogue, engine-name "
+                        "registries vs each other)")
+    p.add_argument("--prove", action="store_true",
+                   help="exhaustively prove every shipped cell netlist "
+                        "bit-exact against the scalar reference at "
+                        "small widths, and the score_bits pairings "
+                        "overflow-sound (seconds; not part of --all)")
     p.add_argument("--all", action="store_true",
-                   help="run every pass (default when no flag given)")
+                   help="run every fast pass — kernels, netlists, "
+                        "contracts (default when no flag given)")
     p.add_argument("--kernel", action="append", default=[],
                    metavar="MODULE:ATTR",
                    help="analyze a specific kernel function or "
                         "KernelLaunchPlan (repeatable)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="output format (default text)")
     p.add_argument("--verbose", action="store_true", default=True,
                    help="print notes as well as findings (default)")
     p.add_argument("--quiet", dest="verbose", action="store_false",

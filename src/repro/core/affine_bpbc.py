@@ -39,7 +39,7 @@ from .subst import gotoh_cell_b
 from .sw_bpbc import CELL_EVALUATORS, BPBCResult, reduce_max_rows
 
 __all__ = ["bpbc_gotoh_wavefront", "bpbc_gotoh_wavefront_planes",
-           "gotoh_cell_ops_exact"]
+           "gotoh_cell_ops_exact", "gotoh_cell_reference"]
 
 
 def gotoh_cell_ops_exact(s: int, eps: int = 2) -> int:
@@ -226,3 +226,38 @@ def bpbc_gotoh_wavefront_planes(Xp, Yp, scheme, word_bits: int,
         s=s,
         word_bits=word_bits,
     )
+
+
+def gotoh_cell_reference(h_left, e_left, h_up, f_up, h_diag, x, y,
+                         gap_open: int, gap_extend: int, s: int,
+                         c1: int | None = None, c2: int | None = None,
+                         weights=None, eps: int | None = None):
+    """Value semantics of one Gotoh cell on *arbitrary* ``s``-bit
+    inputs; returns ``(H, E, F)`` int64 arrays.
+
+    Matches ``synth_gotoh_cell`` / :func:`repro.core.subst.gotoh_cell_b`
+    exactly: penalties clamp to the bus width, the saturating
+    subtractions floor at zero, and the diagonal term is the equality
+    gate (``c1``/``c2``) or the substitution mux tree (``weights``).
+    The equivalence prover (:mod:`repro.analyze.prove`) checks every
+    shipped affine netlist against this oracle over the full input
+    cube at small ``s``.
+    """
+    from .circuits import clamp_penalty, matching_reference
+    from .subst import subst_matching_reference
+
+    go = clamp_penalty(gap_open, s)
+    ge = clamp_penalty(gap_extend, s)
+    h_left = np.asarray(h_left, dtype=np.int64)
+    e_left = np.asarray(e_left, dtype=np.int64)
+    h_up = np.asarray(h_up, dtype=np.int64)
+    f_up = np.asarray(f_up, dtype=np.int64)
+    E = np.maximum(np.maximum(h_left - go, 0), np.maximum(e_left - ge, 0))
+    F = np.maximum(np.maximum(h_up - go, 0), np.maximum(f_up - ge, 0))
+    if weights is not None:
+        diag = subst_matching_reference(h_diag, x, y, weights,
+                                        int(eps), s)
+    else:
+        diag = matching_reference(h_diag, x, y, int(c1), int(c2), s)
+    H = np.maximum(np.maximum(E, F), diag)
+    return H, E, F

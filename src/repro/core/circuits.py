@@ -63,6 +63,8 @@ __all__ = [
     "matching_b_ops_bound",
     "sw_cell_ops_exact",
     "sw_cell_ops_paper",
+    "matching_reference",
+    "sw_cell_reference",
 ]
 
 Planes = Sequence[np.ndarray]
@@ -282,3 +284,37 @@ def sw_cell_ops_exact(s: int, eps: int = 2) -> int:
 def sw_cell_ops_paper(s: int) -> int:
     """Theorem 6's stated count for the SW cell: ``48s - 18``."""
     return 48 * s - 18
+
+
+# ---------------------------------------------------------------------------
+# Word-level reference semantics for the equivalence prover.
+#
+# These are *not* alternative engines: they state, in plain integer
+# arithmetic, what the circuits above compute on ARBITRARY s-bit
+# inputs — including inputs no Smith-Waterman run would ever produce.
+# repro.analyze.prove exhaustively checks every netlist against them
+# over the full input cube, so the semantics must model the hardware
+# honestly: the adder wraps modulo 2**s, the subtractor saturates at
+# zero, penalties are clamped to the bus width (clamp_penalty) exactly
+# as the synthesisers clamp their constant buses.
+# ---------------------------------------------------------------------------
+
+def matching_reference(C, x, y, c1: int, c2: int, s: int) -> np.ndarray:
+    """Value semantics of :func:`matching_b` / ``synth_matching`` on
+    arbitrary ``s``-bit inputs: ``(C + c1) mod 2**s`` on character
+    match, ``max(C - clamp_penalty(c2, s), 0)`` otherwise."""
+    mask = (1 << s) - 1
+    C = np.asarray(C, dtype=np.int64)
+    match = np.asarray(x, dtype=np.int64) == np.asarray(y, dtype=np.int64)
+    return np.where(match, (C + c1) & mask,
+                    np.maximum(C - clamp_penalty(c2, s), 0))
+
+
+def sw_cell_reference(A, B, C, x, y, gap: int, c1: int, c2: int,
+                      s: int) -> np.ndarray:
+    """Value semantics of :func:`sw_cell` / ``synth_sw_cell``:
+    ``max(matching(C, x, y), max(max(A, B) - gap, 0))``."""
+    A = np.asarray(A, dtype=np.int64)
+    B = np.asarray(B, dtype=np.int64)
+    gapped = np.maximum(np.maximum(A, B) - clamp_penalty(gap, s), 0)
+    return np.maximum(matching_reference(C, x, y, c1, c2, s), gapped)

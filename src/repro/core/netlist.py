@@ -41,6 +41,10 @@ from .bitops import BitOpsError, full_mask, word_dtype
 __all__ = [
     "Netlist",
     "NetlistError",
+    "ArithEvent",
+    "WidthIssue",
+    "WidthReport",
+    "cut_netlist",
     "synth_greater_equal",
     "synth_max",
     "synth_add",
@@ -79,6 +83,72 @@ class Gate:
     name: str = ""
 
 
+@dataclass(frozen=True)
+class ArithEvent:
+    """One bus-level arithmetic step recorded during synthesis.
+
+    The gate DAG is pure Boolean logic — per-gate integer intervals
+    are meaningless.  The synthesisers therefore log the *word-level*
+    operations they implement (adds, saturating subtractions, maxima,
+    multiplexes, constant buses, width extensions, truncations) keyed
+    by the gate-id tuples of their operand and result buses.
+    :meth:`Netlist.prove_widths` replays this log under interval
+    abstraction to prove the chosen score width cannot overflow.
+
+    ``lo``/``hi`` carry the literal range for ``const`` and ``range``
+    events (a constant bus, or a bus whose value set is known by
+    construction — e.g. the selected substitution weight is in
+    ``[0, max_biased]``); they are unused for derived events.
+    """
+
+    kind: str                 #: const | range | extend | add | ssub |
+    #: max | mux | truncate
+    out: tuple[int, ...]      #: result bus gate ids (LSB first)
+    a: tuple[int, ...] = ()   #: first operand bus
+    b: tuple[int, ...] = ()   #: second operand bus
+    lo: int = 0               #: literal lower bound (const/range only)
+    hi: int = 0               #: literal upper bound (const/range only)
+    note: str = ""            #: synthesiser context for diagnostics
+
+
+@dataclass(frozen=True)
+class WidthIssue:
+    """One statically-proven width hazard from :meth:`prove_widths`.
+
+    ``gate`` names the first gate whose value interval escapes the bus
+    width: the top plane of an overflowing adder (its carry out has no
+    gate to land in) or the first truncated plane that is not provably
+    zero.
+    """
+
+    kind: str        #: "add-overflow" | "truncation-unsound"
+    gate: int        #: offending gate id
+    width: int       #: bus width the interval escapes
+    lo: int          #: proven lower bound at the hazard
+    hi: int          #: proven upper bound at the hazard
+    message: str
+
+    def render(self) -> str:
+        return f"{self.kind} at gate {self.gate}: {self.message}"
+
+
+@dataclass
+class WidthReport:
+    """Interval-analysis result: hazards plus the per-bus hulls."""
+
+    issues: list[WidthIssue]
+    intervals: dict[tuple[int, ...], tuple[int, int]]
+
+    @property
+    def ok(self) -> bool:
+        """True when no width hazard was proven."""
+        return not self.issues
+
+    def interval_of(self, bus: Sequence[int]) -> tuple[int, int] | None:
+        """The proven ``[lo, hi]`` hull of a bus, if one was derived."""
+        return self.intervals.get(tuple(bus))
+
+
 class Netlist:
     """A combinational circuit under construction.
 
@@ -101,6 +171,7 @@ class Netlist:
         self._input_order: list[tuple[str, int]] = []  # (bus, width)
         self._input_ids: dict[str, list[int]] = {}
         self._outputs: list[int] = []
+        self._arith: list[ArithEvent] = []
         self._plan_cache: list[tuple] | None = None
         self._const0: int | None = None
         self._const1: int | None = None
@@ -159,7 +230,16 @@ class Netlist:
             raise NetlistError(
                 f"constant {value} does not fit in {width} bits"
             )
-        return [self.const(bool((value >> h) & 1)) for h in range(width)]
+        bus = [self.const(bool((value >> h) & 1)) for h in range(width)]
+        self._record_arith("const", bus, lo=value, hi=value)
+        return bus
+
+    def _record_arith(self, kind: str, out: Sequence[int],
+                      a: Sequence[int] = (), b: Sequence[int] = (),
+                      lo: int = 0, hi: int = 0, note: str = "") -> None:
+        """Log one word-level step for :meth:`prove_widths`."""
+        self._arith.append(ArithEvent(kind, tuple(out), tuple(a),
+                                      tuple(b), lo, hi, note))
 
     # Gate helpers with light peephole simplification: constant inputs
     # fold away, so synthesising with constant operands yields the
@@ -298,6 +378,115 @@ class Netlist:
             stack.extend(self._gates[gid].inputs)
         return live
 
+    @property
+    def arith_events(self) -> list[ArithEvent]:
+        """The synthesis-time arithmetic log (construction order)."""
+        return list(self._arith)
+
+    def prove_widths(self, input_ranges: dict[str, tuple[int, int]]
+                     | None = None) -> WidthReport:
+        """Statically prove the synthesised arithmetic cannot escape
+        its bus widths, by abstract interpretation over the recorded
+        :class:`ArithEvent` log.
+
+        ``input_ranges`` maps input bus names to ``(lo, hi)`` value
+        bounds (the engine invariant, e.g. scores in
+        ``[0, scheme.max_score(m, n)]``); unnamed buses — and any bus
+        an event reads without a derived interval — assume the full
+        ``[0, 2**width - 1]`` range, so the analysis is sound but may
+        be imprecise, never the reverse.  Two hazards are provable:
+
+        * ``add-overflow`` — an adder's output interval exceeds
+          ``2**width - 1``, so its carry out of the top plane is lost
+          (the recurrence silently wraps);
+        * ``truncation-unsound`` — a bus is truncated to fewer planes
+          although a dropped plane is not provably zero (the
+          ``subst.py`` extended-width argument fails).
+
+        Interval transfer is exact for the synthesised semantics:
+        ``ssub`` saturates at zero, ``max`` takes elementwise bound
+        maxima, ``mux`` hulls both arms, ``extend`` preserves the
+        value.  If a bus tuple is bound more than once (possible under
+        CSE when two synth calls produce structurally identical
+        buses), the hull of all bindings is kept.
+        """
+        iv: dict[tuple[int, ...], tuple[int, int]] = {}
+        issues: list[WidthIssue] = []
+
+        def bind(bus: tuple[int, ...], lo: int, hi: int) -> None:
+            prev = iv.get(bus)
+            if prev is not None:
+                lo, hi = min(lo, prev[0]), max(hi, prev[1])
+            iv[bus] = (lo, hi)
+
+        ranges = dict(input_ranges or {})
+        for name in ranges:
+            if name not in self._input_ids:
+                raise NetlistError(
+                    f"input_ranges names unknown bus {name!r}"
+                )
+        for name, width in self._input_order:
+            cap = (1 << width) - 1
+            lo, hi = ranges.get(name, (0, cap))
+            bind(tuple(self._input_ids[name]),
+                 max(0, int(lo)), min(int(hi), cap))
+
+        def get(bus: tuple[int, ...]) -> tuple[int, int]:
+            got = iv.get(bus)
+            if got is None:  # unknown source: assume full range
+                return 0, (1 << len(bus)) - 1
+            return got
+
+        for ev in self._arith:
+            w = len(ev.out)
+            mask = (1 << w) - 1
+            if ev.kind in ("const", "range"):
+                bind(ev.out, ev.lo, ev.hi)
+            elif ev.kind == "extend":
+                lo, hi = get(ev.a)
+                bind(ev.out, lo, hi)
+            elif ev.kind == "add":
+                (alo, ahi), (blo, bhi) = get(ev.a), get(ev.b)
+                lo, hi = alo + blo, ahi + bhi
+                if hi > mask:
+                    gate = ev.out[-1]
+                    issues.append(WidthIssue(
+                        "add-overflow", gate, w, lo, hi,
+                        f"{w}-bit adder result interval [{lo}, {hi}] "
+                        f"exceeds 2**{w} - 1 = {mask}; the carry out "
+                        f"of top-plane gate {gate} is lost"
+                        + (f" ({ev.note})" if ev.note else "")))
+                    lo, hi = 0, mask
+                bind(ev.out, lo, hi)
+            elif ev.kind == "ssub":
+                (alo, ahi), (blo, bhi) = get(ev.a), get(ev.b)
+                bind(ev.out, max(alo - bhi, 0), max(ahi - blo, 0))
+            elif ev.kind == "max":
+                (alo, ahi), (blo, bhi) = get(ev.a), get(ev.b)
+                bind(ev.out, max(alo, blo), max(ahi, bhi))
+            elif ev.kind == "mux":
+                (alo, ahi), (blo, bhi) = get(ev.a), get(ev.b)
+                bind(ev.out, min(alo, blo), max(ahi, bhi))
+            elif ev.kind == "truncate":
+                lo, hi = get(ev.a)
+                if hi > mask:
+                    gate = ev.a[w]
+                    issues.append(WidthIssue(
+                        "truncation-unsound", gate, w, lo, hi,
+                        f"truncation to {w} planes drops gate {gate} "
+                        f"whose source interval [{lo}, {hi}] exceeds "
+                        f"2**{w} - 1 = {mask}, so the dropped plane "
+                        f"is not provably zero"
+                        + (f" ({ev.note})" if ev.note else "")))
+                    lo = min(lo, mask)
+                    hi = mask
+                bind(ev.out, lo, hi)
+            else:
+                raise NetlistError(
+                    f"unknown arithmetic event kind {ev.kind!r}"
+                )
+        return WidthReport(issues, iv)
+
     # -- evaluation --------------------------------------------------------
     def _plan(self) -> list[tuple]:
         """Cached evaluation plan: live non-input gates in id order
@@ -390,7 +579,9 @@ def synth_max(net: Netlist, A: Sequence[int],
     """``max(A, B)`` via the comparator plus a bus-wide mux."""
     s = _check_same_width("max", A, B)
     ge = synth_greater_equal(net, A, B)
-    return [net.MUX(ge, A[i], B[i]) for i in range(s)]
+    out = [net.MUX(ge, A[i], B[i]) for i in range(s)]
+    net._record_arith("max", out, A, B)
+    return out
 
 
 def synth_add(net: Netlist, A: Sequence[int],
@@ -400,6 +591,7 @@ def synth_add(net: Netlist, A: Sequence[int],
     s = _check_same_width("add", A, B)
     out = [net.XOR(A[0], B[0])]
     if s == 1:
+        net._record_arith("add", out, A, B)
         return out
     p = net.AND(A[0], B[0])
     for i in range(1, s):
@@ -411,6 +603,7 @@ def synth_add(net: Netlist, A: Sequence[int],
             # count then equals add_b's measured 6s - 4 operations.
             out.append(net.XOR(net.XOR(A[i], B[i]), p))
         p = net.OR(net.AND(A[i], t), net.AND(B[i], p))
+    net._record_arith("add", out, A, B)
     return out
 
 
@@ -429,7 +622,9 @@ def synth_ssub(net: Netlist, A: Sequence[int],
         p = net.OR(net.AND(net.NOT(A[i]), t), net.AND(B[i], p))
     # NOT(p) inside the loop mirrors ssub_b's per-bit ~p (2s measured
     # ops); under CSE it is a single shared gate, as before.
-    return [net.AND(q, net.NOT(p)) for q in out]
+    masked = [net.AND(q, net.NOT(p)) for q in out]
+    net._record_arith("ssub", masked, A, B)
+    return masked
 
 
 def synth_matching(net: Netlist, C: Sequence[int], x: Sequence[int],
@@ -451,7 +646,9 @@ def synth_matching(net: Netlist, C: Sequence[int], x: Sequence[int],
     e = net.const(False)
     for i in range(len(x)):
         e = net.OR(e, net.XOR(x[i], y[i]))
-    return [net.MUX(e, T[i], R[i]) for i in range(s)]
+    out = [net.MUX(e, T[i], R[i]) for i in range(s)]
+    net._record_arith("mux", out, T, R, note="matching select")
+    return out
 
 
 def synth_sw_cell(net: Netlist, A: Sequence[int], B: Sequence[int],
@@ -514,13 +711,22 @@ def synth_subst_matching(net: Netlist, C: Sequence[int],
             term = net.AND(xdec[a], ym)
             acc = term if acc is None else net.OR(acc, term)
         wsel.append(acc if acc is not None else net.const(False))
+    # The mux tree selects a biased weight from the table (or 0 for a
+    # pad code) — the analyzer only needs the value *range*.
+    net._record_arith("range", wsel, lo=0, hi=st.max_biased,
+                      note="selected biased substitution weight")
     s_ext = st.s_ext(s)
     zero = net.const(False)
     C_ext = list(C) + [zero] * (s_ext - s)
     w_ext = wsel + [zero] * (s_ext - st.wbits)
+    net._record_arith("extend", C_ext, C, note="C zero-extended")
+    net._record_arith("extend", w_ext, wsel, note="weight zero-extended")
     total = synth_add(net, C_ext, w_ext)
     res = synth_ssub(net, total,
                      net.const_bus(clamp_penalty(st.bias, s_ext), s_ext))
+    if s_ext > s:
+        net._record_arith("truncate", res[:s], res,
+                          note="subst result back to s planes")
     return res[:s]
 
 
@@ -774,3 +980,69 @@ def build_gotoh_cell_best_netlist(s: int, gap_open: int, gap_extend: int,
     return _build_gotoh_cell_netlist_cached(
         int(s), int(gap_open), int(gap_extend), c1i, c2i, wk, int(eps),
         True, True)
+
+
+# ---------------------------------------------------------------------------
+# Assume-guarantee decomposition support for repro.analyze.prove.
+# ---------------------------------------------------------------------------
+
+def cut_netlist(net: Netlist,
+                cuts: dict[str, Sequence[int]]) -> Netlist:
+    """Copy ``net`` with the named gate groups replaced by fresh input
+    buses — the *cut* step of an assume-guarantee equivalence proof.
+
+    Each ``cuts`` entry maps a new bus name to the gate ids whose
+    values the residual circuit should receive as free inputs (LSB
+    first).  Everything downstream of a cut gate now reads the new
+    input; the cut gate's own fan-in cone becomes dead logic.  Output
+    declarations are preserved (cut output gates map to their new
+    input gates), so group slicing by position still works.
+
+    Exhaustively verifying the residual over *all* cut-bus values is
+    sound — it covers a superset of the values the replaced cone can
+    produce.  Two shapes would silently break that argument and raise
+    :exc:`NetlistError` instead: a gate id appearing in more than one
+    cut bus (the proof would treat one signal as two independent
+    variables), and cutting an ``INPUT`` gate (the "cut" would shadow
+    an existing free variable).
+
+    The copy is built with ``simplify=False`` so the surviving gate
+    structure is exactly the original's; the synthesis-time arithmetic
+    log is *not* carried over (a residual is proved exhaustively, not
+    by interval analysis).
+    """
+    gates = net.gates
+    seen: set[int] = set()
+    for name, ids in cuts.items():
+        for gid in ids:
+            if gid in seen:
+                raise NetlistError(
+                    f"gate {gid} appears in more than one cut bus; "
+                    f"aliased cut variables make the residual proof "
+                    f"unsound"
+                )
+            if not 0 <= gid < len(gates):
+                raise NetlistError(f"cut bus {name!r} names unknown "
+                                   f"gate {gid}")
+            if gates[gid].kind == "INPUT":
+                raise NetlistError(
+                    f"cut bus {name!r} would cut INPUT gate {gid}; "
+                    f"cut at derived gates only"
+                )
+            seen.add(gid)
+    out = Netlist(simplify=False)
+    mapping: dict[int, int] = {}
+    for name, width in net.input_buses:
+        for old, new in zip(net.input_ids(name),
+                            out.input_bus(name, width)):
+            mapping[old] = new
+    for name, ids in cuts.items():
+        for old, new in zip(ids, out.input_bus(name, len(ids))):
+            mapping[old] = new
+    for gid, g in enumerate(gates):
+        if gid in mapping:
+            continue
+        mapping[gid] = out._add(
+            g.kind, tuple(mapping[i] for i in g.inputs), g.name)
+    out.set_outputs([mapping[o] for o in net.outputs])
+    return out

@@ -65,6 +65,9 @@ __all__ = [
     "subst_matching_ops_exact",
     "subst_sw_cell_ops_exact",
     "subst_gotoh_cell_ops_exact",
+    "selected_weight_table",
+    "subst_matching_reference",
+    "subst_sw_cell_reference",
 ]
 
 Planes = Sequence[np.ndarray]
@@ -300,3 +303,64 @@ def subst_gotoh_cell_ops_exact(weights, s: int, eps: int) -> int:
     subtractions, four maxima and the substitution mux tree."""
     return (4 * ssub_b_ops(s) + 4 * max_b_ops(s)
             + subst_matching_ops_exact(weights, s, eps))
+
+
+# ---------------------------------------------------------------------------
+# Reference semantics for the equivalence prover (repro.analyze.prove).
+# ---------------------------------------------------------------------------
+
+def selected_weight_table(weights, eps: int) -> np.ndarray:
+    """The biased weight the mux tree selects, for every ``(x, y)``
+    code pair including pads: a ``(2**eps, 2**eps)`` int64 table with
+    ``key[x][y] + bias`` inside the matrix and 0 outside.
+
+    This is the mux tree's contract stated as data: a row with an
+    all-zero biased weight never enters ``used_rows`` (and likewise
+    columns), so those selections — and every pad code — yield 0,
+    which is exactly what the table records.
+    """
+    st = subst_structure(weights, eps)
+    key = weights_key(weights)
+    n = 1 << eps
+    table = np.zeros((n, n), dtype=np.int64)
+    for a in range(st.size):
+        for b in range(st.size):
+            table[a, b] = key[a][b] + st.bias
+    return table
+
+
+def subst_matching_reference(C, x, y, weights, eps: int,
+                             s: int) -> np.ndarray:
+    """Value semantics of :func:`subst_matching_b` /
+    ``synth_subst_matching`` on arbitrary ``s``-bit ``C`` and
+    ``eps``-bit codes: add the selected biased weight at the
+    overflow-free extended width, saturating-subtract the bias, keep
+    the low ``s`` planes.  The final masking is genuine truncation —
+    the prover checks the circuit bit for bit, so the reference must
+    wrap exactly where the circuit would (it provably cannot for
+    in-range scores; see ``Netlist.prove_widths``)."""
+    from .circuits import clamp_penalty
+
+    st = subst_structure(weights, eps)
+    C = np.asarray(C, dtype=np.int64)
+    wb = selected_weight_table(weights, eps)[
+        np.asarray(x, dtype=np.int64), np.asarray(y, dtype=np.int64)]
+    # C + wb <= (2**s - 1) + max_biased < 2**s_ext: the extended-width
+    # add never wraps, so plain integer addition models it exactly.
+    total = C + wb
+    res = np.maximum(total - clamp_penalty(st.bias, st.s_ext(s)), 0)
+    return res & ((1 << s) - 1)
+
+
+def subst_sw_cell_reference(A, B, C, x, y, gap: int, weights, eps: int,
+                            s: int) -> np.ndarray:
+    """Value semantics of :func:`subst_sw_cell` /
+    ``synth_subst_sw_cell``: substitution matching folded with the
+    gapped ``max(max(A, B) - gap, 0)`` term."""
+    from .circuits import clamp_penalty
+
+    A = np.asarray(A, dtype=np.int64)
+    B = np.asarray(B, dtype=np.int64)
+    gapped = np.maximum(np.maximum(A, B) - clamp_penalty(gap, s), 0)
+    return np.maximum(
+        subst_matching_reference(C, x, y, weights, eps, s), gapped)

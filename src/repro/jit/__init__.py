@@ -24,7 +24,7 @@ from .cells import (CStep, GotohNumpyStep, NumpyStep, compiled_sw_cell,
                     gotoh_wavefront_step, subst_wavefront_step,
                     sw_wavefront_step)
 from .compiler import (CellPlan, CompiledNetlist, JitError, compile_netlist,
-                       plan_netlist)
+                       netlist_from_source, plan_netlist)
 
 __all__ = [
     "JitError",
@@ -32,6 +32,7 @@ __all__ = [
     "CompiledNetlist",
     "plan_netlist",
     "compile_netlist",
+    "netlist_from_source",
     "compiled_sw_cell",
     "sw_wavefront_step",
     "subst_wavefront_step",

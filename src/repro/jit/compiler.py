@@ -42,7 +42,7 @@ from ..core.bitops import BitOpsError, full_mask, word_dtype
 from ..core.netlist import Netlist
 
 __all__ = ["JitError", "CellPlan", "plan_netlist", "compile_netlist",
-           "CompiledNetlist"]
+           "CompiledNetlist", "netlist_from_source"]
 
 
 class JitError(BitOpsError):
@@ -461,3 +461,91 @@ class CompiledNetlist:
         if scalar:
             return [o[0] for o in outs]
         return outs
+
+
+def netlist_from_source(compiled: "CompiledNetlist") -> Netlist:
+    """Re-ingest a compiled evaluator's generated source as a
+    :class:`~repro.core.netlist.Netlist`.
+
+    The equivalence prover must verify the artifact that *executes*,
+    not the netlist it was lowered from — the planner re-simplifies,
+    value-numbers and pools temporaries, and a bug in any of those
+    stages would be invisible to a proof over the source netlist.
+    This function parses :attr:`CompiledNetlist.source` (the exact
+    string handed to ``exec``) back into a gate DAG: temporaries are
+    interpreted sequentially so slot reuse resolves to the value a
+    slot holds *at that line*, exactly as NumPy executes it.
+
+    Raises :exc:`JitError` on any statement outside the generated
+    grammar — re-ingestion must fail loudly rather than guess.
+    """
+    import ast
+
+    tree = ast.parse(compiled.source)
+    if len(tree.body) != 1 or not isinstance(tree.body[0], ast.FunctionDef):
+        raise JitError("generated source is not a single function")
+    net = Netlist(simplify=False)
+    env: dict[str, int] = {
+        "_z": net.const(False),
+        "_o": net.const(True),
+    }
+    by_bus = {bus: net.input_bus(bus, width)
+              for bus, width in compiled._bus_widths}
+    for k, (bus, bit) in enumerate(compiled.input_layout):
+        env[f"i{k}"] = by_bus[bus][bit]
+
+    def rd(node: ast.expr) -> int:
+        if not isinstance(node, ast.Name) or node.id not in env:
+            raise JitError(f"unexpected operand {ast.dump(node)}")
+        return env[node.id]
+
+    outputs: dict[int, int] = {}
+    kinds = {"_and": "AND", "_or": "OR", "_xor": "XOR"}
+    for stmt in tree.body[0].body:
+        if isinstance(stmt, ast.Assign):
+            # The (i0, ...,) = ins / (t0, ...,) = pool unpack lines.
+            if (len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Tuple)
+                    and isinstance(stmt.value, ast.Name)
+                    and stmt.value.id in ("ins", "pool")):
+                continue
+            raise JitError(f"unexpected assignment {ast.dump(stmt)}")
+        if not (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Call)
+                and isinstance(stmt.value.func, ast.Name)):
+            raise JitError(f"unexpected statement {ast.dump(stmt)}")
+        call = stmt.value
+        fn = call.func.id
+        args = call.args
+        if fn in kinds and len(args) == 3:
+            dst = args[2]
+            if not isinstance(dst, ast.Name):
+                raise JitError("logic op destination must be a slot")
+            env[dst.id] = net._add(kinds[fn], (rd(args[0]), rd(args[1])))
+        elif fn == "_not" and len(args) == 2:
+            dst = args[1]
+            if not isinstance(dst, ast.Name):
+                raise JitError("NOT destination must be a slot")
+            env[dst.id] = net._add("NOT", (rd(args[0]),))
+        elif fn == "_cp" and len(args) == 2:
+            dst, src = args
+            if isinstance(dst, ast.Subscript):
+                # Trailing output copy: _cp(outs[j], value).
+                if not (isinstance(dst.value, ast.Name)
+                        and dst.value.id == "outs"
+                        and isinstance(dst.slice, ast.Constant)):
+                    raise JitError("unexpected output subscript")
+                outputs[int(dst.slice.value)] = rd(src)
+            elif isinstance(dst, ast.Name):
+                env[dst.id] = rd(src)
+            else:
+                raise JitError("unexpected copy destination")
+        else:
+            raise JitError(f"unexpected call {fn!r}")
+    if sorted(outputs) != list(range(compiled.n_outputs)):
+        raise JitError(
+            f"source declares outputs {sorted(outputs)}, expected "
+            f"0..{compiled.n_outputs - 1}"
+        )
+    net.set_outputs([outputs[j] for j in range(compiled.n_outputs)])
+    return net

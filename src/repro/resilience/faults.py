@@ -39,7 +39,7 @@ from dataclasses import dataclass
 
 __all__ = ["SITES", "FaultRule", "FaultPlan", "InjectedFault",
            "active_plan", "deactivate", "should_inject", "fault_point",
-           "known_sites"]
+           "known_sites", "engine_fault_sites"]
 
 
 #: Every fault site threaded through the stack: name -> what firing it
@@ -331,3 +331,19 @@ def fault_point(site: str, action=None) -> None:
         action()
         return
     raise InjectedFault(site)
+
+
+def engine_fault_sites() -> dict[str, str]:
+    """Fallback-chain engine name -> its ``engine.<name>.fail`` site.
+
+    Parsed from :data:`SITES`, so it is the catalogue's own statement
+    of which engines the chaos suite can fail — the contract lint
+    (:mod:`repro.analyze.contracts`) holds it against
+    ``fallback.RESILIENCE_ENGINES`` in both directions.
+    """
+    prefix, suffix = "engine.", ".fail"
+    return {
+        site[len(prefix):-len(suffix)]: site
+        for site in SITES
+        if site.startswith(prefix) and site.endswith(suffix)
+    }

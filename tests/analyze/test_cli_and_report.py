@@ -43,6 +43,44 @@ class TestReport:
         assert "chatty" not in rep.render(verbose=False)
         assert "chatty" in rep.render(verbose=True)
 
+    def test_by_severity_filters_exactly(self):
+        rep = Report([_diag(sev=Severity.NOTE),
+                      _diag(sev=Severity.WARNING),
+                      _diag(sev=Severity.ERROR),
+                      _diag(sev=Severity.ERROR, rule="y")])
+        assert len(rep.by_severity(Severity.NOTE)) == 1
+        assert len(rep.warnings) == 1
+        assert [d.rule for d in rep.errors] == ["x", "y"]
+
+    def test_to_dict_round_trips_severity_as_string(self):
+        d = _diag(rule="race.ww", sev=Severity.WARNING, loc="g[3]")
+        obj = d.to_dict()
+        assert obj == {"rule": "race.ww", "severity": "warning",
+                       "subject": "k", "message": "m",
+                       "location": "g[3]"}
+
+    def test_to_json_summary_and_quiet_filter(self):
+        import json
+
+        rep = Report([_diag(sev=Severity.NOTE, msg="chatty"),
+                      _diag(sev=Severity.ERROR, msg="broken")])
+        obj = json.loads(rep.to_json(verbose=False))
+        assert obj["summary"] == {"errors": 1, "warnings": 0,
+                                  "notes": 1, "ok": False}
+        msgs = [d["message"] for d in obj["diagnostics"]]
+        assert msgs == ["broken"]
+        full = json.loads(rep.to_json(verbose=True))
+        assert len(full["diagnostics"]) == 2
+
+    def test_dedup_preserves_order_and_distinct(self):
+        a = _diag(rule="a")
+        b = _diag(rule="b")
+        rep = Report([a, b, a, a, b]).dedup()
+        assert [d.rule for d in rep.diagnostics] == ["a", "b"]
+        # distinct locations are NOT duplicates
+        rep2 = Report([_diag(loc="x"), _diag(loc="y")]).dedup()
+        assert len(rep2.diagnostics) == 2
+
 
 class TestDrivers:
     def test_shipped_plans_cover_every_kernel(self):
@@ -98,6 +136,25 @@ class TestCli:
                    "tests.analyze.fixtures:nonconst_shfl_kernel"])
         assert rc == 1
         assert "lint.shfl-nonconst-delta" in capsys.readouterr().out
+
+    def test_contracts_flag_and_json_round_trip(self, capsys):
+        import json
+
+        assert main(["analyze", "--contracts", "--format", "json"]) == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["summary"]["ok"] is True
+        rules = {d["rule"] for d in obj["diagnostics"]}
+        assert "contract.fault-sites" in rules
+        assert "contract.fallback-chain" in rules
+
+    def test_json_quiet_drops_notes(self, capsys):
+        import json
+
+        assert main(["analyze", "--contracts", "--format", "json",
+                     "--quiet"]) == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["diagnostics"] == []
+        assert obj["summary"]["notes"] > 0
 
     def test_bad_kernel_spec_rejected(self):
         with pytest.raises(SystemExit):

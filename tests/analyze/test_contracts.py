@@ -1,0 +1,124 @@
+"""Tests for the cross-layer contract lints."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analyze import Severity
+from repro.analyze.contracts import (RegistrySnapshot, analyze_contracts,
+                                     check_engine_registries,
+                                     check_fault_sites,
+                                     collect_fault_site_uses,
+                                     registry_snapshot)
+
+
+def _rules(rep, severity=None):
+    return [d.rule for d in rep.diagnostics
+            if severity is None or d.severity is severity]
+
+
+def _snap(**overrides) -> RegistrySnapshot:
+    """A self-consistent snapshot; overrides introduce drift."""
+    base = dict(
+        shard_engines=("a", "b"),
+        shardable_engines=("a", "b"),
+        serve_engines=("a", "b", "c"),
+        cli_engine_choices=("a", "b", "c", "resilient"),
+        chain=("a", "b"),
+        resilience_engines=("a", "b"),
+        engine_fault_sites=("a", "b"),
+    )
+    base.update(overrides)
+    return RegistrySnapshot(**base)
+
+
+class TestLiveRepo:
+    def test_contracts_clean(self):
+        rep = analyze_contracts()
+        assert rep.exit_code == 0, rep.render()
+        assert not rep.warnings, rep.render()
+
+    def test_fault_sites_bijective(self):
+        rep = check_fault_sites()
+        assert rep.ok, rep.render()
+        msgs = [d.message for d in rep.diagnostics]
+        assert any("agree in both directions" in m for m in msgs)
+
+    def test_snapshot_reflects_the_cli(self):
+        snap = registry_snapshot()
+        assert "resilient" in snap.cli_engine_choices
+        assert set(snap.shard_engines) == set(snap.shardable_engines)
+        assert snap.chain == snap.resilience_engines
+
+
+class TestRegistryDrift:
+    def test_consistent_snapshot_is_all_notes(self):
+        rep = check_engine_registries(_snap())
+        assert rep.ok, rep.render()
+        assert len(rep.diagnostics) == 5
+
+    def test_shard_serve_drift(self):
+        rep = check_engine_registries(_snap(shard_engines=("a",)))
+        assert "contract.shard-engines" in _rules(rep, Severity.ERROR)
+
+    def test_shardable_outside_pool(self):
+        rep = check_engine_registries(
+            _snap(shardable_engines=("a", "b", "ghost"),
+                  shard_engines=("a", "b", "ghost")))
+        assert "contract.shardable-subset" in _rules(rep, Severity.ERROR)
+
+    def test_cli_missing_engine(self):
+        rep = check_engine_registries(
+            _snap(cli_engine_choices=("a", "b", "resilient")))
+        assert "contract.cli-engines" in _rules(rep, Severity.ERROR)
+
+    def test_chain_order_drift(self):
+        rep = check_engine_registries(_snap(chain=("b", "a")))
+        assert "contract.fallback-chain" in _rules(rep, Severity.ERROR)
+
+    def test_missing_engine_fault_site(self):
+        rep = check_engine_registries(_snap(engine_fault_sites=("a",)))
+        assert "contract.engine-fault-sites" in _rules(rep,
+                                                       Severity.ERROR)
+
+
+class TestFaultSiteLint:
+    def _write(self, tmp_path, body):
+        p = tmp_path / "mod.py"
+        p.write_text(textwrap.dedent(body))
+        return [p]
+
+    def test_unknown_literal_is_an_error(self, tmp_path):
+        paths = self._write(tmp_path, """
+            from repro.resilience.faults import fault_point
+
+            def f():
+                fault_point("engine.typo.fail")
+        """)
+        rep = check_fault_sites(paths, sites={"real.site": "doc"})
+        rules = _rules(rep, Severity.ERROR)
+        assert "contract.fault-site-unknown" in rules
+        assert "contract.fault-site-unused" in rules
+
+    def test_dynamic_site_is_a_warning(self, tmp_path):
+        paths = self._write(tmp_path, """
+            def f(faults, name):
+                faults.should_inject("known.site")
+                faults.should_inject(name)
+        """)
+        rep = check_fault_sites(paths, sites={"known.site": "doc"})
+        assert rep.ok
+        assert "contract.fault-site-dynamic" in _rules(rep,
+                                                       Severity.WARNING)
+
+    def test_collect_records_position(self, tmp_path):
+        paths = self._write(tmp_path, """
+            from repro.resilience.faults import fault_point
+
+            fault_point("x.y")
+        """)
+        uses = collect_fault_site_uses(paths)
+        assert len(uses) == 1
+        assert uses[0].site == "x.y"
+        assert uses[0].call == "fault_point"
+        assert uses[0].lineno == 4

@@ -37,6 +37,20 @@ class TestVerifyNetlist:
         dead = next(d for d in diags if d.rule == "netlist.dead-gates")
         assert dead.severity.value == "warning"
 
+    def test_expected_truncation_demotes_dead_gates(self):
+        """One knob controls the severity everywhere: the same
+        netlist's dead-gate finding is a warning by default and a
+        note under truncation_expected=True."""
+        net = Netlist()
+        a = net.input_bus("a", 2)
+        net.AND(a[0], a[1])
+        net.set_outputs([net.NOT(a[0])])
+        demoted = verify_netlist(net, "trunc", truncation_expected=True)
+        dead = next(d for d in demoted
+                    if d.rule == "netlist.dead-gates")
+        assert dead.severity.value == "note"
+        assert "truncated to s planes" in dead.message
+
     def test_unused_inputs_warned(self):
         net = Netlist()
         a = net.input_bus("a", 2)

@@ -1,0 +1,245 @@
+"""Tests for the exhaustive prover (:mod:`repro.analyze.prove`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analyze import Severity
+from repro.analyze.prove import (MAX_EXHAUSTIVE_BITS, analyze_prove,
+                                 check_score_widths,
+                                 check_width_uniformity, input_support,
+                                 mutate_netlist, prove_equivalence,
+                                 prove_gotoh_cell, prove_gotoh_cell_direct,
+                                 prove_linear_cell)
+from repro.core.circuits import sw_cell_reference
+from repro.core.matrices import matrix_by_name
+from repro.core.netlist import (NetlistError, build_gotoh_cell_netlist,
+                                build_sw_cell_best_netlist,
+                                build_sw_cell_netlist, cut_netlist)
+from repro.core.protein import ProteinScheme
+
+GAP, C1, C2, EPS = 1, 2, 1, 2
+
+
+def _errors(diags):
+    return [d for d in diags if d.severity is Severity.ERROR]
+
+
+def _net_eval(net):
+    return lambda ins: net.evaluate(ins, word_bits=64)
+
+
+class TestProveEquivalence:
+    def test_linear_cell_proves_clean(self):
+        net = build_sw_cell_netlist(3, GAP, C1, C2)
+        diags = prove_linear_cell(net, "sw3", 3, EPS, GAP, C1, C2)
+        assert not _errors(diags), [d.render() for d in diags]
+        note = diags[-1]
+        # 3 score buses x 3 bits + 2 character buses x 2 bits.
+        assert "13 swept bits" in note.message
+        assert f"all {1 << 13} combinations" in note.message
+
+    def test_mutant_is_refuted_with_counterexample(self):
+        net = build_sw_cell_netlist(3, GAP, C1, C2)
+        mutant, desc = mutate_netlist(net, seed=42)
+        diags = prove_linear_cell(mutant, "mut", 3, EPS, GAP, C1, C2)
+        errs = _errors(diags)
+        assert errs, "flipped gate survived the exhaustive sweep"
+        assert "counterexample" in errs[0].message
+        assert "circuit=" in errs[0].message
+        assert "seed 42" in desc
+
+    def test_mutant_preserves_structure(self):
+        net = build_sw_cell_netlist(4, GAP, C1, C2)
+        mutant, _ = mutate_netlist(net, seed=7)
+        assert len(mutant.gates) == len(net.gates)
+        assert mutant.outputs == net.outputs
+        flips = [i for i, (a, b) in
+                 enumerate(zip(net.gates, mutant.gates))
+                 if a.kind != b.kind]
+        assert len(flips) == 1
+
+    def test_infeasible_width_is_an_error_not_a_sample(self):
+        diags = prove_equivalence(
+            lambda ins: [], "wide",
+            [("a", MAX_EXHAUSTIVE_BITS + 1)], lambda vals: vals["a"])
+        assert len(diags) == 1
+        assert diags[0].rule == "prove.infeasible"
+        assert diags[0].severity is Severity.ERROR
+
+    def test_eval_exception_reported_not_raised(self):
+        def boom(ins):
+            raise RuntimeError("kaput")
+
+        diags = prove_equivalence(boom, "b", [("a", 2)],
+                                  lambda vals: vals["a"])
+        assert diags[0].rule == "prove.eval-failed"
+        assert "kaput" in diags[0].message
+
+    def test_fixed_buses_are_pinned(self):
+        net = build_sw_cell_netlist(2, GAP, C1, C2)
+        diags = prove_equivalence(
+            _net_eval(net), "pinned",
+            [("up", 2), ("left", 2), ("diag", 2)],
+            lambda vals: sw_cell_reference(
+                vals["up"], vals["left"], vals["diag"], vals["x"],
+                vals["y"], GAP, C1, C2, 2),
+            fixed={"x": (3, EPS), "y": (3, EPS)})
+        assert not _errors(diags)
+        assert "2 bus(es) pinned" in diags[-1].message
+
+
+class TestGotoh:
+    def test_decomposed_proof_clean(self):
+        net = build_gotoh_cell_netlist(2, 2, 1, c1=C1, c2=C2)
+        diags = prove_gotoh_cell(net, "g2", 2, EPS, 2, 1, c1=C1, c2=C2)
+        assert not _errors(diags), [d.render() for d in diags]
+        # E cone, F cone, H residual: three proofs.
+        notes = [d for d in diags if d.severity is Severity.NOTE]
+        assert len(notes) == 3
+
+    def test_direct_sweep_agrees_with_decomposition(self):
+        net = build_gotoh_cell_netlist(2, 2, 1, c1=C1, c2=C2)
+        diags = prove_gotoh_cell_direct(net, "g2", 2, EPS, 2, 1,
+                                        c1=C1, c2=C2)
+        assert not _errors(diags), [d.render() for d in diags]
+        # 5 score buses x 2 bits + 2 character buses x 2 bits.
+        assert "14 swept bits" in diags[-1].message
+
+    def test_gotoh_mutant_caught(self):
+        net = build_gotoh_cell_netlist(2, 2, 1, c1=C1, c2=C2)
+        for seed in range(5):
+            mutant, _ = mutate_netlist(net, seed=seed)
+            diags = prove_gotoh_cell(mutant, "gm", 2, EPS, 2, 1,
+                                     c1=C1, c2=C2)
+            if _errors(diags):
+                return
+        pytest.fail("no seeded Gotoh mutation was refuted")
+
+
+class TestCuts:
+    def test_input_support_of_best_group(self):
+        net = build_sw_cell_best_netlist(3, GAP, C1, C2)
+        cell_support = input_support(net, net.outputs[:3])
+        assert cell_support == {"up", "left", "diag", "x", "y"}
+        best_support = input_support(net, net.outputs[3:])
+        assert "best" in best_support
+
+    def test_cut_rejects_aliased_variables(self):
+        net = build_sw_cell_best_netlist(3, GAP, C1, C2)
+        ids = net.outputs[:3]
+        with pytest.raises(NetlistError, match="unsound"):
+            cut_netlist(net, {"a": ids, "b": ids})
+
+    def test_cut_rejects_input_gates(self):
+        net = build_sw_cell_netlist(2, GAP, C1, C2)
+        with pytest.raises(NetlistError):
+            cut_netlist(net, {"a": [net.input_ids("up")[0]]})
+
+    def test_fused_best_proof_uses_cut(self):
+        net = build_sw_cell_best_netlist(2, GAP, C1, C2)
+        diags = prove_linear_cell(net, "b2", 2, EPS, GAP, C1, C2,
+                                  has_best=True)
+        assert not _errors(diags), [d.render() for d in diags]
+        assert any("running-max group over the cell cut" in d.message
+                   for d in diags)
+
+
+class TestReingest:
+    def test_compiled_cell_reingests_and_proves(self):
+        from repro.analyze.prove import _reingest
+        from repro.jit.cells import compiled_sw_cell
+
+        compiled = compiled_sw_cell(2, GAP, C1, C2, word_bits=64)
+        net, diags = _reingest(compiled, "c2")
+        assert net is not None, [d.render() for d in diags]
+        assert diags[0].rule == "prove.reingest"
+        assert not _errors(
+            prove_linear_cell(net, "c2", 2, EPS, GAP, C1, C2))
+
+    def test_reingested_netlist_matches_gate_for_gate(self):
+        from repro.jit.compiler import CompiledNetlist, netlist_from_source
+
+        src = build_sw_cell_netlist(3, GAP, C1, C2)
+        compiled = CompiledNetlist(src, 64, name="t")
+        net = netlist_from_source(compiled)
+        rng = np.random.default_rng(0)
+        ins = {bus: [rng.integers(0, 1 << 62, 8, dtype=np.uint64)
+                     for _ in range(w)]
+               for bus, w in src.input_buses}
+        got = net.evaluate(ins, word_bits=64)
+        want = compiled.evaluate(ins)
+        for g, w in zip(got, want):
+            np.testing.assert_array_equal(np.asarray(g), np.asarray(w))
+
+
+class TestWidths:
+    def test_shipped_pairings_accepted(self):
+        rep = check_score_widths(sizes=(8, 64))
+        assert rep.ok, rep.render()
+        assert any(d.rule == "prove.width-selftest"
+                   for d in rep.diagnostics)
+
+    def test_undersized_width_rejected_naming_gate(self):
+        net = build_sw_cell_netlist(5, GAP, C1, C2)
+        v = 32  # max_score(16, 16) with match=2 needs 6 bits
+        wrep = net.prove_widths({"up": (0, min(v, 31)),
+                                 "left": (0, min(v, 31)),
+                                 "diag": (0, 30)})
+        assert wrep.issues
+        issue = wrep.issues[0]
+        assert issue.kind in ("add-overflow", "truncation-unsound")
+        assert "gate" in issue.render()
+
+    def test_protein_truncation_proved_dead(self):
+        scheme = ProteinScheme(matrix=matrix_by_name("blosum62"))
+        m = 64
+        s = scheme.score_bits(m, m)
+        v = scheme.max_score(m, m)
+        from repro.core.netlist import build_subst_sw_cell_netlist
+
+        net = build_subst_sw_cell_netlist(
+            s, scheme.gap_extend, scheme.weights_key(),
+            eps=scheme.alphabet.pad_bits)
+        wrep = net.prove_widths({
+            "up": (0, v), "left": (0, v),
+            "diag": (0, max(0, v - scheme.max_weight))})
+        assert wrep.ok, [i.render() for i in wrep.issues]
+
+    def test_uniformity_of_ripple_primitives(self):
+        rep = check_width_uniformity()
+        assert rep.ok, rep.render()
+        assert len(rep.diagnostics) == 4
+        for d in rep.diagnostics:
+            assert "width-uniform" in d.message
+
+
+class TestDriver:
+    def test_analyze_prove_small_slice_clean(self):
+        rep = analyze_prove(s_values=(2,), matrix_names=("blosum62",),
+                            include_compiled=False)
+        assert rep.exit_code == 0, rep.render()
+        assert any(d.rule == "prove.sensitivity"
+                   for d in rep.diagnostics)
+
+    def test_analyze_prove_catches_planted_bug(self, monkeypatch):
+        """The acceptance gate: a single flipped gate in a shipped
+        builder must turn the whole pass red."""
+        import repro.analyze.prove as prove_mod
+
+        real = build_sw_cell_netlist
+
+        def sabotaged(s, gap, c1, c2, **kw):
+            net = real(s, gap, c1, c2, **kw)
+            mutant, _ = mutate_netlist(net, seed=1)
+            return mutant
+
+        monkeypatch.setattr(prove_mod, "build_sw_cell_netlist",
+                            sabotaged)
+        rep = analyze_prove(s_values=(2,), matrix_names=("blosum62",),
+                            include_compiled=False)
+        assert rep.exit_code == 1
+        assert any(d.rule == "prove.equivalence"
+                   and d.severity is Severity.ERROR
+                   for d in rep.diagnostics)

@@ -1,0 +1,107 @@
+"""Seeded netlist-mutation fuzzing of the exhaustive prover.
+
+The prover's value rests on one property: *any* single-gate corruption
+of a shipped cell netlist is refuted by the exhaustive sweep.  The
+unit tests pin a handful of seeds; this module is the volume
+complement for the nightly fuzz job — a rotating stream of seeded
+single-gate mutations across the shipped cell shapes (DNA linear,
+fused best, affine Gotoh, protein substitution), each of which must
+produce an equivalence ERROR with a decoded counterexample.
+
+The seed defaults to a fixed constant (deterministic tier-1 run) and
+is overridden by ``REPRO_FUZZ_SEED`` — reproduce a CI failure with::
+
+    REPRO_FUZZ_SEED=<seed from the failure message> \
+        python -m pytest tests/analyze/test_prove_fuzz.py
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+from repro.analyze import Severity
+from repro.analyze.prove import (mutate_netlist, prove_gotoh_cell,
+                                 prove_linear_cell)
+from repro.core.matrices import matrix_by_name
+from repro.core.netlist import (build_gotoh_cell_netlist,
+                                build_subst_sw_cell_netlist,
+                                build_sw_cell_best_netlist,
+                                build_sw_cell_netlist)
+from repro.core.protein import ProteinScheme
+
+DEFAULT_SEED = 20260806
+SEED = int(os.environ.get("REPRO_FUZZ_SEED", DEFAULT_SEED))
+
+#: Mutations per cell shape per run.  A flipped XOR->OR can be
+#: value-preserving on a degenerate cone, so each trial allows a few
+#: re-rolls before calling the prover insensitive.
+TRIALS = 8
+REROLLS = 4
+
+_SCHEME = ProteinScheme(matrix=matrix_by_name("blosum62"))
+
+
+def _errors(diags):
+    return [d for d in diags if d.severity is Severity.ERROR]
+
+
+def _trial_seeds(shape: str) -> list[int]:
+    rng = random.Random(f"{SEED}:{shape}")
+    return [rng.randrange(1 << 30) for _ in range(TRIALS * REROLLS)]
+
+
+def _assert_caught(shape, build, prove):
+    seeds = _trial_seeds(shape)
+    caught = 0
+    for trial in range(TRIALS):
+        refuted = False
+        tried = []
+        for roll in range(REROLLS):
+            seed = seeds[trial * REROLLS + roll]
+            tried.append(seed)
+            mutant, desc = mutate_netlist(build(), seed)
+            errs = _errors(prove(mutant))
+            if errs:
+                assert "counterexample" in errs[0].message, (
+                    f"run seed {SEED}, {desc}: error without a "
+                    f"decoded counterexample: {errs[0].render()}")
+                refuted = True
+                break
+        assert refuted, (
+            f"run seed {SEED} [{shape}]: no mutation from seeds "
+            f"{tried} was refuted — the prover has gone insensitive; "
+            f"replay with REPRO_FUZZ_SEED={SEED}")
+        caught += 1
+    assert caught == TRIALS
+
+
+class TestMutationSensitivity:
+    def test_linear_cell(self):
+        _assert_caught(
+            "linear",
+            lambda: build_sw_cell_netlist(3, 1, 2, 1),
+            lambda net: prove_linear_cell(net, "fuzz", 3, 2, 1, 2, 1))
+
+    def test_fused_best_cell(self):
+        _assert_caught(
+            "best",
+            lambda: build_sw_cell_best_netlist(2, 1, 2, 1),
+            lambda net: prove_linear_cell(net, "fuzz", 2, 2, 1, 2, 1,
+                                          has_best=True))
+
+    def test_gotoh_cell(self):
+        _assert_caught(
+            "gotoh",
+            lambda: build_gotoh_cell_netlist(2, 2, 1, c1=2, c2=1),
+            lambda net: prove_gotoh_cell(net, "fuzz", 2, 2, 2, 1,
+                                         c1=2, c2=1))
+
+    def test_subst_cell(self):
+        wk = _SCHEME.weights_key()
+        eps = _SCHEME.alphabet.pad_bits
+        _assert_caught(
+            "subst",
+            lambda: build_subst_sw_cell_netlist(2, 1, wk, eps=eps),
+            lambda net: prove_linear_cell(net, "fuzz", 2, eps, 1,
+                                          weights=wk))
