@@ -27,6 +27,12 @@ Usage::
 separate ``quick`` section, so CI quick runs compare against the
 committed quick baseline, never against full-scale numbers.
 
+``--write`` additionally records two evidence sections that ``--check``
+never gates (transport timings do not transfer across machines): a
+``transport`` ladder showing shm-vs-pickle shard transport cost as the
+payload grows, and a ``serve`` record showing the SLO scheduler
+shedding an overload burst that drowns the static service.
+
 ``--rounds N`` measures the whole section N times and keeps each
 entry's best (lowest) ``rel``.  Shared CI runners are noisy neighbours:
 one unlucky round can inflate a sub-second measurement well past any
@@ -200,6 +206,151 @@ def run_section_best(mode: str, rounds: int, verbose: bool = True) -> dict:
     return best
 
 
+def _null_engine(X, Y, scheme, word_bits):
+    """Transport-cost probe: ships bytes, computes nothing."""
+    return np.zeros(len(X), dtype=np.int64)
+
+
+#: Transport evidence ladder: pair counts of 2x512-nt payloads.  Each
+#: rung quadruples the bytes crossing the executor/worker boundary.
+TRANSPORT_PAIRS = (16, 64, 256, 1024)
+TRANSPORT_LENGTH = 512
+TRANSPORT_REPEATS = 5
+TRANSPORT_WORKERS = 4
+
+
+def run_transport_section(verbose: bool = True) -> dict | None:
+    """Shm-vs-pickle transport cost ladder (snapshot evidence).
+
+    A null engine isolates transport: every millisecond here is
+    packing, shipping, and unpacking bytes.  Recorded raw — absolute
+    numbers and growth ratios are evidence for the zero-copy claim,
+    not gated entries (``check`` never compares this section; shared
+    runners make cross-machine transport ratios meaningless).
+    """
+    from repro.shard import ShardExecutor, shm_available
+
+    if not shm_available():
+        if verbose:
+            print("[transport] shared memory unavailable — skipped")
+        return None
+    rng = np.random.default_rng(37)
+    ladder = [
+        (rng.integers(0, 4, size=(p, TRANSPORT_LENGTH), dtype=np.uint8),
+         rng.integers(0, 4, size=(p, TRANSPORT_LENGTH), dtype=np.uint8))
+        for p in TRANSPORT_PAIRS
+    ]
+    times: dict[str, list[float]] = {}
+    for transport in ("pickle", "shm"):
+        with ShardExecutor(workers=TRANSPORT_WORKERS,
+                           engine=_null_engine,
+                           transport=transport) as ex:
+            if ex.in_process:
+                if verbose:
+                    print("[transport] no multiprocessing pool — "
+                          "skipped")
+                return None
+            ex.run(*ladder[0], SCHEME)  # warm the pool + arena
+            times[transport] = [
+                round(_best_of(lambda X=X, Y=Y: ex.run(X, Y, SCHEME),
+                               TRANSPORT_REPEATS), 3)
+                for X, Y in ladder
+            ]
+    growth = {t: round(ts[-1] / ts[0], 3) for t, ts in times.items()}
+    top = round(times["pickle"][-1] / times["shm"][-1], 3)
+    if verbose:
+        factor = TRANSPORT_PAIRS[-1] // TRANSPORT_PAIRS[0]
+        print(f"[transport] null engine, {TRANSPORT_WORKERS} workers, "
+              f"payload x{factor} ladder:")
+        for t in ("pickle", "shm"):
+            ms = ", ".join(f"{v:7.2f}" for v in times[t])
+            print(f"  {t:<7} [{ms}] ms  -> x{growth[t]:.1f} growth")
+        print(f"  pickle/shm at top rung: {top:.2f}x")
+    return {
+        "workload": {"pairs": list(TRANSPORT_PAIRS),
+                     "length": TRANSPORT_LENGTH,
+                     "workers": TRANSPORT_WORKERS,
+                     "repeats": TRANSPORT_REPEATS, "seed": 37},
+        "ms": times,
+        "growth": growth,
+        "pickle_over_shm_at_top": top,
+    }
+
+
+#: Serve evidence: the overload burst of the scheduler benchmark
+#: (see benchmarks/test_bench_transport.py for the full rationale).
+SERVE_WARMUP = 8
+SERVE_WARMUP_RPS = 4.0
+SERVE_REQUESTS = 128
+SERVE_M = 512
+SERVE_SLO_MS = 100.0
+SERVE_MAX_BATCH = 8
+
+
+def run_serve_section(verbose: bool = True) -> dict:
+    """Static vs SLO-scheduled service under one burst (evidence).
+
+    Both services see the same warm-up and the same burst; the static
+    one drains everything late, the adaptive one sheds at admission
+    and keeps its completions near the SLO.  Scores are asserted
+    bit-identical to the single-process reference before anything is
+    recorded — a snapshot of wrong answers would be worthless.
+    """
+    sys.path.insert(0, str(ROOT / "benchmarks"))
+    from traffic import replay, request_stream
+
+    from repro.filter.screening import bulk_max_scores
+    from repro.serve import AlignmentService
+
+    rng = np.random.default_rng(41)
+    warm = list(request_stream(rng, SERVE_WARMUP,
+                               rate_per_s=SERVE_WARMUP_RPS, m=SERVE_M))
+    burst = list(request_stream(rng, SERVE_REQUESTS,
+                                rate_per_s=np.inf, m=SERVE_M))
+    expected = bulk_max_scores(np.stack([r.query for r in burst]),
+                               np.stack([r.subject for r in burst]),
+                               SCHEME)
+
+    def _run(slo_ms):
+        service = AlignmentService(engine="bpbc", workers=1,
+                                   max_wait_ms=2.0, cache_size=0,
+                                   max_batch=SERVE_MAX_BATCH,
+                                   max_queue=4096, slo_ms=slo_ms)
+        with service:
+            replay(service, warm)
+            report = replay(service, burst, realtime=False)
+        got = [r.score for r in report.results]
+        want = [int(expected[i]) for i in report.indices]
+        if got != want:
+            raise AssertionError(
+                "served scores diverged from the reference")
+        return {
+            "completed": report.completed,
+            "rejected": report.rejected,
+            "p50_ms": round(report.percentile_ms(50), 1),
+            "p99_ms": round(report.p99_ms, 1),
+            "goodput_rps": round(report.goodput_rps(SERVE_SLO_MS), 1),
+        }
+
+    static = _run(slo_ms=None)
+    adaptive = _run(slo_ms=SERVE_SLO_MS)
+    if verbose:
+        print(f"[serve] burst of {SERVE_REQUESTS} x {SERVE_M} nt, "
+              f"SLO {SERVE_SLO_MS:.0f} ms:")
+        for name, rec in (("static", static), ("adaptive", adaptive)):
+            print(f"  {name:<8} {rec['completed']:4d} completed "
+                  f"({rec['rejected']} shed), p99 {rec['p99_ms']:7.1f} "
+                  f"ms, goodput {rec['goodput_rps']:6.1f}/s")
+    return {
+        "workload": {"requests": SERVE_REQUESTS, "m": SERVE_M,
+                     "slo_ms": SERVE_SLO_MS,
+                     "max_batch": SERVE_MAX_BATCH,
+                     "warmup": SERVE_WARMUP, "seed": 41},
+        "static": static,
+        "adaptive": adaptive,
+    }
+
+
 def snapshot_paths() -> list[Path]:
     """Committed snapshots at the repo root, oldest first."""
     def index(p: Path) -> int:
@@ -286,9 +437,15 @@ def main(argv: list[str] | None = None) -> int:
     result: dict = {"schema": 1}
     if args.write is not None:
         # Snapshots always carry both sections so later full *and*
-        # quick runs have a baseline to compare against.
+        # quick runs have a baseline to compare against — plus the
+        # transport/serve evidence sections (never gated: check()
+        # only compares per-mode entries).
         result["full"] = run_section_best("full", args.rounds)
         result["quick"] = run_section_best("quick", args.rounds)
+        transport = run_transport_section()
+        if transport is not None:
+            result["transport"] = transport
+        result["serve"] = run_serve_section()
     else:
         result[mode] = run_section_best(mode, args.rounds)
 

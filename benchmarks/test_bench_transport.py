@@ -1,0 +1,194 @@
+"""Transport + scheduling acceptance: the PR's two perf claims, measured.
+
+1. **Zero-copy transport** — with a null engine isolating transport
+   cost, growing the payload 64x must cost the shm transport clearly
+   less than the pickle transport: shm writes sequences into a shared
+   segment once and ships O(1) descriptors, while pickle serialises,
+   pipes and deserialises every byte.  Scores stay bit-identical to
+   the single-process engine on both transports, always asserted.
+
+2. **SLO-aware scheduling** — under a burst the service cannot absorb
+   in time, the adaptive scheduler must shed load at admission (typed,
+   counted) and thereby hold completed-request p99 far below the
+   unscheduled service drowning in its own queue — at identical
+   scores for everything it does answer.
+
+As elsewhere in this suite, speedup/latency assertions need real
+parallel hardware to be physically meaningful and skip (not pass) on
+smaller machines; identity assertions always run.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.filter.screening import bulk_max_scores
+from repro.serve import AlignmentService
+from repro.shard import ShardExecutor, default_workers, shm_available
+
+from .conftest import SCHEME
+from .traffic import replay, request_stream
+
+#: Per-pair sequence length and pair counts of the growth ladder:
+#: each rung quadruples total payload (pairs x 2 sides x length).
+GROWTH_LENGTH = 512
+GROWTH_PAIRS = (16, 64, 256, 1024)
+
+GROWTH_REPEATS = 5
+GROWTH_WORKERS = 4
+
+#: The overload burst for the scheduler benchmark: long pairs make
+#: every batch expensive enough that a one-worker service genuinely
+#: cannot drain the burst inside the SLO — the shape admission
+#: control exists for.  A small warm-up teaches the scheduler the
+#: engine's real rate first (a cold scheduler deliberately admits),
+#: and small batches keep the backlog term sensitive to queue depth.
+SCHED_WARMUP = 8
+SCHED_WARMUP_RPS = 4.0
+SCHED_REQUESTS = 256
+SCHED_M = 512
+SCHED_SLO_MS = 100.0
+SCHED_MAX_BATCH = 8
+
+
+def _null_engine(X, Y, scheme, word_bits):
+    """Transport-cost probe: ships bytes, computes nothing."""
+    return np.zeros(len(X), dtype=np.int64)
+
+
+def _payload(rng, pairs):
+    X = rng.integers(0, 4, size=(pairs, GROWTH_LENGTH), dtype=np.uint8)
+    Y = rng.integers(0, 4, size=(pairs, GROWTH_LENGTH), dtype=np.uint8)
+    return X, Y
+
+
+def _best_run_ms(ex, X, Y):
+    best = float("inf")
+    for _ in range(GROWTH_REPEATS):
+        t0 = time.perf_counter()
+        ex.run(X, Y, SCHEME)
+        best = min(best, time.perf_counter() - t0)
+    return best * 1e3
+
+
+@pytest.mark.skipif(not shm_available(),
+                    reason="multiprocessing.shared_memory unavailable")
+def test_transports_bit_identical():
+    rng = np.random.default_rng(31)
+    X, Y = _payload(rng, 128)
+    base = bulk_max_scores(X, Y, SCHEME)
+    for transport in ("shm", "pickle"):
+        with ShardExecutor(workers=2, transport=transport) as ex:
+            if ex.in_process:
+                pytest.skip("requires a multiprocessing pool")
+            result = ex.run(X, Y, SCHEME)
+        assert np.array_equal(result.scores, base), transport
+
+
+@pytest.mark.skipif(not shm_available(),
+                    reason="multiprocessing.shared_memory unavailable")
+@pytest.mark.skipif(
+    default_workers() < GROWTH_WORKERS,
+    reason=f"needs >= {GROWTH_WORKERS} usable cores for stable "
+           "transport timings")
+def test_shm_transport_beats_pickle_at_scale():
+    rng = np.random.default_rng(37)
+    ladder = [_payload(rng, pairs) for pairs in GROWTH_PAIRS]
+    times = {}
+    for transport in ("pickle", "shm"):
+        with ShardExecutor(workers=GROWTH_WORKERS, engine=_null_engine,
+                           transport=transport) as ex:
+            if ex.in_process:
+                pytest.skip("requires a multiprocessing pool")
+            ex.run(*ladder[0], SCHEME)  # warm the pool + arena
+            times[transport] = [_best_run_ms(ex, X, Y)
+                                for X, Y in ladder]
+    small, large = GROWTH_PAIRS[0], GROWTH_PAIRS[-1]
+    factor = large // small
+    growth = {t: ts[-1] / ts[0] for t, ts in times.items()}
+    print(f"\npayload x{factor} ({small} -> {large} pairs of "
+          f"2x{GROWTH_LENGTH} nt, null engine, "
+          f"{GROWTH_WORKERS} workers):")
+    for t in ("pickle", "shm"):
+        ms = ", ".join(f"{v:7.2f}" for v in times[t])
+        print(f"  {t:<7} [{ms}] ms  -> x{growth[t]:.1f} cost growth")
+    # The claim, gated loosely enough to survive shared runners: at
+    # the top of the ladder shm must be cheaper outright, and its
+    # cost growth across the ladder visibly flatter than pickle's.
+    assert times["shm"][-1] < times["pickle"][-1], (
+        f"shm {times['shm'][-1]:.1f} ms not cheaper than pickle "
+        f"{times['pickle'][-1]:.1f} ms at {large} pairs"
+    )
+    assert growth["shm"] < growth["pickle"], (
+        f"shm cost grew x{growth['shm']:.1f} vs pickle "
+        f"x{growth['pickle']:.1f} over a x{factor} payload"
+    )
+
+
+def test_adaptive_scheduler_sheds_load_and_holds_p99():
+    rng = np.random.default_rng(41)
+    warm = list(request_stream(rng, SCHED_WARMUP,
+                               rate_per_s=SCHED_WARMUP_RPS, m=SCHED_M))
+    burst = list(request_stream(rng, SCHED_REQUESTS,
+                                rate_per_s=np.inf, m=SCHED_M))
+    expected = bulk_max_scores(np.stack([r.query for r in burst]),
+                               np.stack([r.subject for r in burst]),
+                               SCHEME)
+
+    static = AlignmentService(engine="bpbc", workers=1,
+                              max_wait_ms=2.0, cache_size=0,
+                              max_batch=SCHED_MAX_BATCH,
+                              max_queue=4096)
+    with static:
+        replay(static, warm)
+        static_report = replay(static, burst, realtime=False)
+
+    adaptive = AlignmentService(engine="bpbc", workers=1,
+                                max_wait_ms=2.0, cache_size=0,
+                                max_batch=SCHED_MAX_BATCH,
+                                max_queue=4096, slo_ms=SCHED_SLO_MS)
+    with adaptive:
+        # The paced warm-up rides the cold-start admission pass and
+        # teaches the scheduler the engine's real ns-per-op rate —
+        # gently, so the live p50 reflects uncontended batches; the
+        # burst then meets a model with grounded estimates.
+        warm_report = replay(adaptive, warm)
+        adaptive_report = replay(adaptive, burst, realtime=False)
+    sched_snap = adaptive.stats.snapshot()["scheduler"]
+
+    # Identity first: every completed score (both services) matches
+    # the single-process reference.  Admission only decides *whether*
+    # a pair is scored, never what its score is.
+    assert ([r.score for r in static_report.results]
+            == expected.tolist())
+    assert ([r.score for r in adaptive_report.results]
+            == [int(expected[i]) for i in adaptive_report.indices])
+
+    print(f"\nburst of {SCHED_REQUESTS} x {SCHED_M} nt pairs, "
+          f"SLO {SCHED_SLO_MS:.0f} ms:")
+    print(f"  static:   {static_report.completed:4d} completed, "
+          f"p99 {static_report.p99_ms:9.1f} ms, "
+          f"goodput {static_report.goodput_rps(SCHED_SLO_MS):7.1f}/s")
+    print(f"  adaptive: {adaptive_report.completed:4d} completed "
+          f"({adaptive_report.rejected} shed), "
+          f"p99 {adaptive_report.p99_ms:9.1f} ms, "
+          f"goodput {adaptive_report.goodput_rps(SCHED_SLO_MS):7.1f}/s")
+
+    # Under an overload burst the scheduler must be *doing* something:
+    # shedding load typed-and-counted, with the model having learned
+    # a real rate from the batches it did run.
+    assert adaptive_report.rejected > 0
+    assert sched_snap["rejected"] == (warm_report.rejected
+                                      + adaptive_report.rejected)
+    assert sched_snap["observations"] > 0
+    # And the point of shedding: the requests it does serve are not
+    # stuck behind a doomed queue.  The static service's tail is the
+    # whole burst's drain time; the adaptive tail must sit well under
+    # it (2x margin keeps shared-runner noise out of the gate).
+    assert adaptive_report.p99_ms * 2 < static_report.p99_ms, (
+        f"adaptive p99 {adaptive_report.p99_ms:.1f} ms not clearly "
+        f"below static p99 {static_report.p99_ms:.1f} ms"
+    )

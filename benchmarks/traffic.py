@@ -1,0 +1,103 @@
+"""Traffic replay for serving benchmarks: one driver, shared metrics.
+
+Re-exports the seeded generators from :mod:`repro.workloads.traffic`
+and adds :func:`replay` — the loop every serving benchmark was
+open-coding: play a ``TimedRequest`` stream against an
+:class:`~repro.serve.AlignmentService` (in real time or as a burst),
+absorb SLO admission rejections as shed load rather than failures, and
+return a :class:`ReplayReport` with the latency distribution and the
+throughput figures the SLO benchmarks gate on.
+
+``goodput_rps`` is the honest serving metric: completions that *met*
+the SLO per wall-clock second.  A service that answers everything two
+SLOs late has high throughput and zero goodput; admission control
+trades the former for the latter.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve import AdmissionRejected
+from repro.workloads.traffic import (TimedRequest, poisson_arrivals,
+                                     request_stream)
+
+__all__ = ["TimedRequest", "poisson_arrivals", "request_stream",
+           "ReplayReport", "replay"]
+
+
+@dataclass
+class ReplayReport:
+    """What one replayed stream did end to end."""
+
+    #: ``AlignmentResult`` per completed request, submission order.
+    results: list = field(default_factory=list)
+    #: Stream position of each completed request (``results[k]``
+    #: answers the stream's ``indices[k]``-th request) — what lets a
+    #: caller check bit-identity when admission shed part of the
+    #: stream.
+    indices: list = field(default_factory=list)
+    #: Requests shed by SLO admission control.
+    rejected: int = 0
+    #: First submission to last future resolved, seconds.
+    wall_s: float = 0.0
+
+    @property
+    def completed(self) -> int:
+        return len(self.results)
+
+    @property
+    def latencies_ms(self) -> np.ndarray:
+        return np.asarray([r.wait_ms for r in self.results])
+
+    def percentile_ms(self, q: float) -> float:
+        lats = self.latencies_ms
+        return float(np.percentile(lats, q)) if lats.size else 0.0
+
+    @property
+    def p99_ms(self) -> float:
+        return self.percentile_ms(99)
+
+    @property
+    def completed_rps(self) -> float:
+        return self.completed / self.wall_s if self.wall_s > 0 else 0.0
+
+    def goodput_rps(self, slo_ms: float) -> float:
+        """Completions that met the SLO, per second of wall clock."""
+        if self.wall_s <= 0:
+            return 0.0
+        lats = self.latencies_ms
+        return float((lats <= slo_ms).sum()) / self.wall_s
+
+
+def replay(service, stream, *, realtime: bool = True,
+           priority: int = 0, timeout_s: float = 300.0) -> ReplayReport:
+    """Play ``stream`` (any ``TimedRequest`` iterable) against a
+    running service.
+
+    ``realtime`` sleeps out each request's ``at_s`` arrival offset
+    (the Poisson process as generated); ``False`` submits the whole
+    stream as one burst — the overload shape the admission-control
+    benchmarks want.  ``AdmissionRejected`` counts as shed load;
+    every other error propagates.
+    """
+    report = ReplayReport()
+    futures = []
+    start = time.perf_counter()
+    for i, req in enumerate(stream):
+        if realtime:
+            delay = req.at_s - (time.perf_counter() - start)
+            if delay > 0:
+                time.sleep(delay)
+        try:
+            futures.append(service.submit(req.query, req.subject,
+                                          priority=priority))
+            report.indices.append(i)
+        except AdmissionRejected:
+            report.rejected += 1
+    report.results = [f.result(timeout=timeout_s) for f in futures]
+    report.wall_s = time.perf_counter() - start
+    return report

@@ -67,7 +67,8 @@ def bulk_max_scores(X: np.ndarray, Y: np.ndarray,
                     workers: int | None = None,
                     recover: bool = True,
                     timeout_s: float | None = None,
-                    max_retries: int = 1) -> np.ndarray:
+                    max_retries: int = 1,
+                    transport: str = "auto") -> np.ndarray:
     """Max SW score per pair via the BPBC wavefront engine.
 
     ``X`` is ``(P, m)`` and ``Y`` ``(P, n)`` wordwise code matrices;
@@ -87,6 +88,10 @@ def bulk_max_scores(X: np.ndarray, Y: np.ndarray,
     missing pair indices.  ``recover=False`` restores the strict
     behaviour: the first failure raises
     :class:`repro.shard.ShardError`.
+
+    ``transport`` picks the shard transport (``"auto"``/``"shm"``/
+    ``"pickle"``, see :class:`repro.shard.ShardExecutor`); results are
+    bit-identical on every transport.
     """
     X = np.asarray(X)
     Y = np.asarray(Y)
@@ -109,12 +114,14 @@ def bulk_max_scores(X: np.ndarray, Y: np.ndarray,
             return shard_scores_with_recovery(
                 X, Y, scheme, word_bits=word_bits, workers=workers,
                 max_shard_pairs=chunk_size, timeout_s=timeout_s,
-                retry=RetryPolicy(max_retries=max_retries))
+                retry=RetryPolicy(max_retries=max_retries),
+                transport=transport)
         from ..shard import shard_bulk_max_scores
 
         return shard_bulk_max_scores(X, Y, scheme, word_bits=word_bits,
                                      workers=workers,
-                                     max_shard_pairs=chunk_size)
+                                     max_shard_pairs=chunk_size,
+                                     transport=transport)
     if chunk_size is not None and P > chunk_size:
         scores = np.empty(P, dtype=np.int64)
         for start in range(0, P, chunk_size):
@@ -157,7 +164,8 @@ def screen_pairs(X: np.ndarray, Y: np.ndarray, threshold: int,
                  workers: int | None = None,
                  recover: bool = True,
                  timeout_s: float | None = None,
-                 max_retries: int = 1) -> ScreenResult:
+                 max_retries: int = 1,
+                 transport: str = "auto") -> ScreenResult:
     """Bulk-score all pairs; fully align those scoring above ``threshold``.
 
     The bulk phase never computes tracebacks — exactly the paper's
@@ -175,7 +183,8 @@ def screen_pairs(X: np.ndarray, Y: np.ndarray, threshold: int,
     scores = bulk_max_scores(X, Y, scheme, word_bits,
                              chunk_size=chunk_size, workers=workers,
                              recover=recover, timeout_s=timeout_s,
-                             max_retries=max_retries)
+                             max_retries=max_retries,
+                             transport=transport)
     hits: list[ScreenHit] = []
     if align_survivors:
         protein = callable(getattr(scheme, "weights_key", None))

@@ -15,6 +15,8 @@ Layers (each its own module):
 * :mod:`~repro.serve.packer` — length binning and lane packing.
 * :mod:`~repro.serve.engine_pool` — worker threads, engine registry.
 * :mod:`~repro.serve.cache` — keyed LRU over exact scores.
+* :mod:`~repro.serve.scheduler` — SLO-aware adaptive scheduling:
+  cost-model latency prediction, admission control, dispatch hints.
 * :mod:`~repro.serve.stats` — service counters and percentiles.
 * :mod:`~repro.serve.service` — the :class:`AlignmentService` facade.
 * :mod:`~repro.serve.server` / :mod:`~repro.serve.client` — a
@@ -25,10 +27,12 @@ Layers (each its own module):
 from .cache import ResultCache, cache_key
 from .engine_pool import (ENGINES, EnginePool, ShardedEngine,
                           resolve_engine)
-from .errors import (DeadlineExceededError, EngineFailedError,
-                     QueueFullError, ServeError, ServiceStoppedError)
+from .errors import (AdmissionRejected, DeadlineExceededError,
+                     EngineFailedError, QueueFullError, ServeError,
+                     ServiceStoppedError)
 from .packer import PackedBatch, bin_requests, pack_requests
 from .queue import AlignmentRequest, AlignmentResult, RequestQueue
+from .scheduler import AdaptiveScheduler
 from .server import DEFAULT_PORT, AlignmentServer
 from .service import AlignmentService
 from .stats import ServiceStats
@@ -49,8 +53,10 @@ __all__ = [
     "ResultCache",
     "cache_key",
     "ServiceStats",
+    "AdaptiveScheduler",
     "ServeError",
     "QueueFullError",
+    "AdmissionRejected",
     "DeadlineExceededError",
     "ServiceStoppedError",
     "EngineFailedError",

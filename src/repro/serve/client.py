@@ -107,13 +107,15 @@ class ServeClient:
               matrix: str | None = None, gap_open: int | None = None,
               gap_extend: int | None = None,
               threshold: int | None = None,
-              timeout_ms: float | None = None) -> dict:
+              timeout_ms: float | None = None,
+              priority: int | None = None) -> dict:
         """One pair, one round trip; returns the response dict."""
         return self.align_many(
             [(query, subject)], match=match, mismatch=mismatch,
             gap=gap, alphabet=alphabet, matrix=matrix,
             gap_open=gap_open, gap_extend=gap_extend,
             threshold=threshold, timeout_ms=timeout_ms,
+            priority=priority,
         )[0]
 
     def align_many(self, pairs, *, match: int | None = None,
@@ -123,7 +125,8 @@ class ServeClient:
                    gap_open: int | None = None,
                    gap_extend: int | None = None,
                    threshold: int | None = None,
-                   timeout_ms: float | None = None) -> list[dict]:
+                   timeout_ms: float | None = None,
+                   priority: int | None = None) -> list[dict]:
         """Pipeline many ``(query, subject)`` pairs over one connection.
 
         All requests are written before any response is read, so the
@@ -151,6 +154,8 @@ class ServeClient:
                 obj["threshold"] = threshold
             if timeout_ms is not None:
                 obj["timeout_ms"] = timeout_ms
+            if priority is not None:
+                obj["priority"] = priority
             self._send(obj)
         self._flush()
         return [self._recv() for _ in pairs]
@@ -184,6 +189,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="also report pass/fail against this tau")
     parser.add_argument("--timeout-ms", type=float, default=None,
                         help="per-request dispatch deadline")
+    parser.add_argument("--priority", type=int, default=None,
+                        help="priority class (higher drains first; "
+                             "server default 0)")
     parser.add_argument("--match", type=int, default=2)
     parser.add_argument("--mismatch", type=int, default=1)
     parser.add_argument("--gap", type=int, default=1)
@@ -244,6 +252,7 @@ def main(argv: list[str] | None = None) -> int:
             matrix=args.matrix, gap_open=args.gap_open,
             gap_extend=args.gap_extend,
             threshold=args.threshold, timeout_ms=args.timeout_ms,
+            priority=args.priority,
         )
         if args.stats:
             print(json.dumps(client.stats(), indent=2), file=sys.stderr)

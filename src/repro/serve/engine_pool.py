@@ -171,17 +171,23 @@ class ShardedEngine:
     def __init__(self, engine="bpbc", workers: int | None = None,
                  word_bits: int = 64,
                  stats: ServiceStats | None = None,
-                 timeout_s: float | None = None) -> None:
+                 timeout_s: float | None = None,
+                 transport: str = "auto") -> None:
         from ..shard import ShardExecutor
 
         self._executor = ShardExecutor(workers=workers, engine=engine,
                                        word_bits=word_bits,
-                                       timeout_s=timeout_s)
+                                       timeout_s=timeout_s,
+                                       transport=transport)
         self.workers = self._executor.workers
         self.stats = stats
 
     def __call__(self, batch: PackedBatch, word_bits: int) -> np.ndarray:
-        result = self._executor.run(batch.X, batch.Y, batch.scheme)
+        # The scheduler's width hint caps this batch's fan-out: a
+        # batch already inside its latency budget on one worker skips
+        # the shard dispatch overhead entirely.
+        result = self._executor.run(batch.X, batch.Y, batch.scheme,
+                                    width=batch.shard_width_hint)
         if self.stats is not None:
             for t in result.timings:
                 self.stats.record_shard(t.pairs, t.elapsed_s)
@@ -242,7 +248,9 @@ class EnginePool:
                  queue_depth: int | None = None,
                  shard_workers: int | None = None,
                  fallback=None,
-                 retry: RetryPolicy | None = None) -> None:
+                 retry: RetryPolicy | None = None,
+                 transport: str = "auto",
+                 observer=None) -> None:
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
         if shard_workers is not None and shard_workers <= 0:
@@ -269,9 +277,14 @@ class EnginePool:
                 )
             self._owned_sharded = ShardedEngine(
                 engine, workers=shard_workers, word_bits=word_bits,
-                stats=stats)
+                stats=stats, transport=transport)
             engine = self._owned_sharded
+        # A plain named engine can honour per-batch engine hints from
+        # the scheduler (all registry engines are bit-identical);
+        # wrapped/custom engines ignore hints.
+        self._engine_name = engine if isinstance(engine, str) else None
         self._engine = resolve_engine(engine)
+        self._observer = observer
         self.workers = workers
         self.word_bits = word_bits
         self._cache = cache
@@ -311,8 +324,15 @@ class EnginePool:
             batch = self._q.get()
             if batch is None:
                 return
+            engine_fn, label = self._engine, self._engine_name
+            if (batch.engine_hint is not None
+                    and self._engine_name is not None
+                    and batch.engine_hint in ENGINES):
+                engine_fn = ENGINES[batch.engine_hint]
+                label = batch.engine_hint
+            t0 = time.perf_counter()
             try:
-                scores = self._engine(batch, self.word_bits)
+                scores = engine_fn(batch, self.word_bits)
             except Exception as exc:  # noqa: BLE001 - must not kill worker
                 if self.fallback_chain is not None:
                     self._rescue(batch, exc)
@@ -325,8 +345,15 @@ class EnginePool:
                 if self._stats is not None:
                     self._stats.record_failed(batch.pairs)
                 continue
+            elapsed = time.perf_counter() - t0
             if self._stats is not None:
-                self._stats.record_batch(batch.pairs, self.word_bits)
+                self._stats.record_batch(batch.pairs, self.word_bits,
+                                         elapsed)
+            if self._observer is not None:
+                try:
+                    self._observer(batch, label, elapsed)
+                except Exception:  # noqa: BLE001 - observer is advisory
+                    pass
             self._deliver(batch.requests, scores)
 
     def _deliver(self, requests, scores) -> None:

@@ -10,6 +10,7 @@ from __future__ import annotations
 __all__ = [
     "ServeError",
     "QueueFullError",
+    "AdmissionRejected",
     "DeadlineExceededError",
     "ServiceStoppedError",
     "EngineFailedError",
@@ -24,6 +25,14 @@ class ServeError(RuntimeError):
 
 class QueueFullError(ServeError):
     """Backpressure: the request queue is at capacity (submit rejected)."""
+
+
+class AdmissionRejected(ServeError):
+    """The SLO-aware scheduler predicts this request cannot meet its
+    deadline (queue backlog + own cost exceed the configured SLO), so
+    it is shed at submission instead of scored too late.  Distinct
+    from ``QueueFullError``: the queue may have room — it is *time*
+    that has run out, not space."""
 
 
 class DeadlineExceededError(ServeError):
@@ -71,6 +80,7 @@ class ServeProtocolError(ServeError):
 
 #: Exception class -> stable protocol ``kind`` string.
 _KINDS = {
+    AdmissionRejected: "admission",
     QueueFullError: "queue_full",
     DeadlineExceededError: "deadline",
     ServiceStoppedError: "stopped",

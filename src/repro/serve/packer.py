@@ -77,6 +77,11 @@ class PackedBatch:
     Y: np.ndarray
     scheme: ScoringScheme
     padded: bool
+    #: Optional dispatch hints set by the adaptive scheduler: a named
+    #: bit-identical engine to score this batch on, and a shard
+    #: fan-out cap.  ``None`` = the pool's configured behaviour.
+    engine_hint: str | None = None
+    shard_width_hint: int | None = None
 
     @property
     def pairs(self) -> int:

@@ -75,6 +75,8 @@ class AlignmentRequest:
     deadline: float | None
     future: Future
     enqueued_at: float
+    #: Priority class: higher drains first; FIFO within a class.
+    priority: int = 0
 
     @property
     def m(self) -> int:
@@ -122,7 +124,15 @@ class AlignmentRequest:
 
 
 class RequestQueue:
-    """Thread-safe bounded FIFO of :class:`AlignmentRequest`.
+    """Thread-safe bounded priority queue of :class:`AlignmentRequest`.
+
+    Requests drain strictly by descending ``priority`` class and FIFO
+    within a class, so a latency-sensitive client (``priority=1``)
+    overtakes bulk traffic (``priority=0``) at every drain without any
+    re-sorting — one deque per class.  The capacity bound spans all
+    classes: a high-priority request still sees ``QueueFullError``
+    when bulk traffic has filled the queue (admission control, not the
+    queue, is the tool against that).
 
     ``on_expired`` is called (with the request) whenever a deadline
     expiry is detected at pop time, after the future has been failed —
@@ -136,12 +146,13 @@ class RequestQueue:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
         self.maxsize = maxsize
         self._on_expired = on_expired
-        self._items: deque[AlignmentRequest] = deque()
+        self._classes: dict[int, deque[AlignmentRequest]] = {}
+        self._size = 0
         self._cond = threading.Condition()
 
     def __len__(self) -> int:
         with self._cond:
-            return len(self._items)
+            return self._size
 
     @property
     def depth(self) -> int:
@@ -153,12 +164,14 @@ class RequestQueue:
         from .errors import QueueFullError
 
         with self._cond:
-            if len(self._items) >= self.maxsize:
+            if self._size >= self.maxsize:
                 raise QueueFullError(
                     f"request queue full ({self.maxsize} pending); "
                     "retry later or raise max_queue"
                 )
-            self._items.append(request)
+            self._classes.setdefault(request.priority,
+                                     deque()).append(request)
+            self._size += 1
             self._cond.notify()
 
     def _pop_live(self, limit: int) -> list[AlignmentRequest]:
@@ -168,8 +181,10 @@ class RequestQueue:
         """
         out: list[AlignmentRequest] = []
         now = time.monotonic()
-        while self._items and len(out) < limit:
-            req = self._items.popleft()
+        while self._size and len(out) < limit:
+            cls = max(p for p, q in self._classes.items() if q)
+            req = self._classes[cls].popleft()
+            self._size -= 1
             if req.expired(now):
                 req.fail(DeadlineExceededError(
                     f"deadline expired {now - req.deadline:.4f}s before "
@@ -215,8 +230,11 @@ class RequestQueue:
     def fail_all(self, exc: BaseException) -> int:
         """Fail every queued request (service shutdown); returns count."""
         with self._cond:
-            pending = list(self._items)
-            self._items.clear()
+            pending = [req
+                       for p in sorted(self._classes, reverse=True)
+                       for req in self._classes[p]]
+            self._classes.clear()
+            self._size = 0
         for req in pending:
             req.fail(exc)
         return len(pending)

@@ -150,6 +150,7 @@ class _Handler(socketserver.StreamRequestHandler):
                                                  "default_scheme", None)),
                 threshold=obj.get("threshold"),
                 timeout_ms=obj.get("timeout_ms"),
+                priority=int(obj.get("priority", 0)),
             )
         except KeyError as exc:
             return {"ok": False, "id": rid,

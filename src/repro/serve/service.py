@@ -34,9 +34,10 @@ from ..resilience.retry import RetryPolicy
 from ..swa.scoring import DEFAULT_SCHEME, ScoringScheme
 from .cache import ResultCache, cache_key
 from .engine_pool import EnginePool
-from .errors import ServiceStoppedError
+from .errors import AdmissionRejected, ServiceStoppedError
 from .packer import pack_requests
 from .queue import AlignmentRequest, AlignmentResult, RequestQueue
+from .scheduler import AdaptiveScheduler
 from .stats import ServiceStats
 
 __all__ = ["AlignmentService"]
@@ -107,6 +108,18 @@ class AlignmentService:
     max_retries:
         Rescue retry budget (re-tries after the first rescue attempt);
         only meaningful with ``resilience``.
+    slo_ms:
+        Latency SLO in milliseconds.  Setting it attaches an
+        :class:`~repro.serve.scheduler.AdaptiveScheduler`: submissions
+        whose predicted completion would miss the SLO are shed with a
+        typed :class:`~repro.serve.errors.AdmissionRejected`, drain
+        windows shrink to fit the budget, and batches carry engine /
+        shard-width dispatch hints.  ``None`` (default) keeps the
+        static packer.
+    transport:
+        Shard transport for ``shard_workers > 1``: ``"auto"``
+        (default), ``"shm"`` or ``"pickle"`` — see
+        :class:`repro.shard.ShardExecutor`.
     """
 
     def __init__(self, engine="bpbc", workers: int = 2,
@@ -117,7 +130,9 @@ class AlignmentService:
                  cache_size: int = 4096,
                  shard_workers: int | None = None,
                  resilience=False,
-                 max_retries: int = 1) -> None:
+                 max_retries: int = 1,
+                 slo_ms: float | None = None,
+                 transport: str = "auto") -> None:
         if max_wait_ms < 0:
             raise ValueError(
                 f"max_wait_ms must be >= 0, got {max_wait_ms}"
@@ -144,12 +159,32 @@ class AlignmentService:
             fallback = resilience if isinstance(
                 resilience, EngineFallbackChain) \
                 else EngineFallbackChain(word_bits=word_bits)
+        #: The SLO scheduler (``None`` without ``slo_ms``); built
+        #: before the pool so the observer hook can feed it timings.
+        self.scheduler: AdaptiveScheduler | None = None
+        if slo_ms is not None:
+            engines = None
+            if (isinstance(engine, str)
+                    and engine in ("bpbc", "bpbc-jit")
+                    and (shard_workers is None or shard_workers <= 1)):
+                # The two BPBC variants are bit-identical by
+                # construction (pinned by the fuzz suite), so the
+                # scheduler may route batches to whichever its learned
+                # rates favour.
+                engines = ("bpbc-jit", "bpbc")
+            self.scheduler = AdaptiveScheduler(
+                slo_ms, word_bits=word_bits, stats=self.stats,
+                max_batch=self.max_batch, max_wait_s=self.max_wait_s,
+                shard_workers=shard_workers, engines=engines)
+            self.stats.set_scheduler_gauge(self.scheduler.snapshot)
         self.pool = EnginePool(engine=engine, workers=workers,
                                word_bits=word_bits, cache=self.cache,
                                stats=self.stats,
                                shard_workers=shard_workers,
                                fallback=fallback,
-                               retry=RetryPolicy(max_retries=max_retries))
+                               retry=RetryPolicy(max_retries=max_retries),
+                               transport=transport,
+                               observer=self._observe_batch)
         #: The attached fallback chain (``None`` without resilience).
         self.fallback_chain = self.pool.fallback_chain
         if self.fallback_chain is not None:
@@ -162,6 +197,13 @@ class AlignmentService:
             })
         self._stop = threading.Event()
         self._packer: threading.Thread | None = None
+
+    def _observe_batch(self, batch, engine_label, elapsed_s) -> None:
+        """Engine-pool observer: feed completed timings to the model."""
+        if self.scheduler is not None:
+            self.scheduler.observe(batch.pairs, batch.m, batch.n,
+                                   batch.scheme, elapsed_s,
+                                   engine=engine_label)
 
     # -- lifecycle ------------------------------------------------------
     @property
@@ -200,7 +242,8 @@ class AlignmentService:
     def submit(self, query, subject,
                scheme: ScoringScheme | None = None,
                threshold: int | None = None,
-               timeout_ms: float | None = None) -> Future:
+               timeout_ms: float | None = None,
+               priority: int = 0) -> Future:
         """Queue one pair; returns a future of ``AlignmentResult``.
 
         ``query`` / ``subject`` are sequence strings or 1-D code
@@ -208,7 +251,10 @@ class AlignmentService:
         carries one (protein schemes), else as DNA.
         ``timeout_ms`` sets a dispatch deadline: a request still queued
         when it expires resolves with ``DeadlineExceededError``.
-        Raises ``QueueFullError`` (backpressure) or
+        ``priority`` picks the queue class — higher classes drain
+        first at every packer window.
+        Raises ``QueueFullError`` (backpressure), ``AdmissionRejected``
+        (the SLO scheduler predicts a miss; only with ``slo_ms``) or
         ``ServiceStoppedError`` immediately; never blocks.
         """
         if not self.running:
@@ -224,13 +270,21 @@ class AlignmentService:
         request = AlignmentRequest(
             query=q, subject=s, scheme=scheme, threshold=threshold,
             deadline=None if timeout_ms is None else now + timeout_ms / 1e3,
-            future=future, enqueued_at=now,
+            future=future, enqueued_at=now, priority=priority,
         )
         cached = self.cache.get(cache_key(q, s, scheme))
         if cached is not None:
             latency = request.resolve(cached, cached=True)
             self.stats.record_cache_hit(latency)
             return future
+        if self.scheduler is not None:
+            try:
+                self.scheduler.admit(len(q), len(s), scheme,
+                                     queue_depth=self.queue.depth)
+            except AdmissionRejected:
+                self.stats.record_admission_rejected()
+                self.stats.record_rejected()
+                raise
         try:
             self.queue.put(request)
         except Exception:
@@ -242,19 +296,26 @@ class AlignmentService:
               scheme: ScoringScheme | None = None,
               threshold: int | None = None,
               timeout_ms: float | None = None,
+              priority: int = 0,
               result_timeout_s: float | None = None) -> AlignmentResult:
         """Synchronous convenience wrapper around :meth:`submit`."""
         return self.submit(query, subject, scheme=scheme,
                            threshold=threshold,
-                           timeout_ms=timeout_ms).result(
+                           timeout_ms=timeout_ms,
+                           priority=priority).result(
                                timeout=result_timeout_s)
 
     # -- the micro-batching loop ---------------------------------------
     def _packer_loop(self) -> None:
         while not self._stop.is_set():
-            requests = self.queue.drain(self.max_batch, self.max_wait_s,
+            max_items, max_wait = self.max_batch, self.max_wait_s
+            if self.scheduler is not None:
+                max_items, max_wait = self.scheduler.batch_window()
+            requests = self.queue.drain(max_items, max_wait,
                                         stop=self._stop)
             if not requests:
                 continue
             for batch in pack_requests(requests, self.bin_granularity):
+                if self.scheduler is not None:
+                    self.scheduler.plan_batch(batch)
                 self.pool.submit(batch)

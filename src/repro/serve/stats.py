@@ -39,10 +39,15 @@ class ServiceStats:
         self.shard_pairs = 0
         self.recovered = 0
         self.recovered_by_engine: dict[str, int] = {}
+        self.admission_rejected = 0
+        self.scheduled_batches = 0
+        self.sched_engine_hints: dict[str, int] = {}
         self._latencies: deque[float] = deque(maxlen=latency_window)
         self._shard_times: deque[float] = deque(maxlen=latency_window)
+        self._batch_times: deque[float] = deque(maxlen=latency_window)
         self._queue_gauge = None
         self._resilience_gauge = None
+        self._scheduler_gauge = None
 
     # -- recording hooks ------------------------------------------------
     def record_submitted(self) -> None:
@@ -67,13 +72,18 @@ class ServiceStats:
             self.completed += 1
             self._latencies.append(latency_s)
 
-    def record_batch(self, pairs: int, word_bits: int) -> None:
-        """Account one dispatched batch's lane usage."""
+    def record_batch(self, pairs: int, word_bits: int,
+                     elapsed_s: float | None = None) -> None:
+        """Account one dispatched batch's lane usage (and optionally
+        its engine wall time, feeding the batch-time percentiles the
+        adaptive scheduler and benches read)."""
         slots = -(-pairs // word_bits) * word_bits
         with self._lock:
             self.batches += 1
             self.lanes_used += pairs
             self.lane_slots += slots
+            if elapsed_s is not None:
+                self._batch_times.append(elapsed_s)
 
     def record_completed(self, latency_s: float) -> None:
         with self._lock:
@@ -96,6 +106,19 @@ class ServiceStats:
             self.recovered_by_engine[engine] = \
                 self.recovered_by_engine.get(engine, 0) + count
 
+    def record_admission_rejected(self) -> None:
+        """Account one request shed by SLO admission control."""
+        with self._lock:
+            self.admission_rejected += 1
+
+    def record_scheduled(self, engine_hint: str | None = None) -> None:
+        """Account one batch planned by the adaptive scheduler."""
+        with self._lock:
+            self.scheduled_batches += 1
+            if engine_hint is not None:
+                self.sched_engine_hints[engine_hint] = \
+                    self.sched_engine_hints.get(engine_hint, 0) + 1
+
     def set_queue_gauge(self, fn) -> None:
         """Register a zero-arg callable reporting current queue depth."""
         self._queue_gauge = fn
@@ -105,6 +128,12 @@ class ServiceStats:
         (per-engine breaker snapshots etc.); its dict is merged into
         :meth:`snapshot` under the ``"resilience"`` key."""
         self._resilience_gauge = fn
+
+    def set_scheduler_gauge(self, fn) -> None:
+        """Register a zero-arg callable reporting adaptive-scheduler
+        state (learned rates, admit/reject counts); its dict appears
+        in :meth:`snapshot` under the ``"scheduler"`` key."""
+        self._scheduler_gauge = fn
 
     # -- derived --------------------------------------------------------
     @property
@@ -139,6 +168,16 @@ class ServiceStats:
         return (float(np.percentile(arr, 50)),
                 float(np.percentile(arr, 99)))
 
+    def batch_time_percentiles(self) -> tuple[float, float]:
+        """(p50, p99) per-batch engine wall time in ms over the window."""
+        with self._lock:
+            times = list(self._batch_times)
+        if not times:
+            return (0.0, 0.0)
+        arr = np.asarray(times) * 1e3
+        return (float(np.percentile(arr, 50)),
+                float(np.percentile(arr, 99)))
+
     def snapshot(self) -> dict:
         """All counters and derived figures as one JSON-able dict."""
         p50, p99 = self.latency_percentiles()
@@ -158,6 +197,9 @@ class ServiceStats:
                 "shard_pairs": self.shard_pairs,
                 "requests_recovered": self.recovered,
                 "recovered_by_engine": dict(self.recovered_by_engine),
+                "admission_rejected": self.admission_rejected,
+                "scheduled_batches": self.scheduled_batches,
+                "sched_engine_hints": dict(self.sched_engine_hints),
             }
         snap["mean_lane_occupancy"] = round(self.mean_lane_occupancy, 4)
         snap["queue_depth"] = self.queue_depth
@@ -165,9 +207,15 @@ class ServiceStats:
         snap["latency_p99_ms"] = round(p99, 3)
         snap["shard_p50_ms"] = round(sp50, 3)
         snap["shard_p99_ms"] = round(sp99, 3)
+        bp50, bp99 = self.batch_time_percentiles()
+        snap["batch_p50_ms"] = round(bp50, 3)
+        snap["batch_p99_ms"] = round(bp99, 3)
         gauge = self._resilience_gauge
         if gauge is not None:
             snap["resilience"] = gauge()
+        gauge = self._scheduler_gauge
+        if gauge is not None:
+            snap["scheduler"] = gauge()
         return snap
 
     def render(self) -> str:

@@ -40,11 +40,17 @@ from ..resilience import faults as _faults
 from ..swa.scoring import DEFAULT_SCHEME, ScoringScheme
 from .errors import ShardError
 from .partition import pair_costs, partition_lpt
-from .worker import (init_worker, pack_shard, resolve_shard_engine,
-                     run_shard, score_shard)
+from .shm import MIN_SHM_BYTES, ShmArena, shm_available
+from .worker import (as_contiguous_u8, init_worker, pack_shard,
+                     resolve_shard_engine, run_shard, run_shard_shm,
+                     score_shard)
 
 __all__ = ["ShardTiming", "ShardRunResult", "ShardExecutor",
-           "shard_bulk_max_scores", "default_workers"]
+           "shard_bulk_max_scores", "default_workers", "TRANSPORTS"]
+
+#: Recognised shard transports: ``auto`` picks shm for payloads past
+#: the size threshold and pickle otherwise / when shm is unavailable.
+TRANSPORTS = ("auto", "shm", "pickle")
 
 
 def default_workers() -> int:
@@ -111,14 +117,19 @@ class ShardRunResult:
 
 
 def _as_rows(batch) -> list[np.ndarray]:
-    """Accept a ``(P, n)`` code matrix or a ragged list of 1-D arrays."""
+    """Accept a ``(P, n)`` code matrix or a ragged list of 1-D arrays.
+
+    Already-contiguous ``uint8`` inputs pass through untouched (rows
+    of a contiguous matrix are themselves contiguous views); anything
+    else is converted once here so the packing paths never copy again.
+    """
     if isinstance(batch, np.ndarray):
         if batch.ndim != 2:
             raise ValueError(
                 f"expected a (P, n) code matrix, got shape {batch.shape}"
             )
-        return list(np.ascontiguousarray(batch, dtype=np.uint8))
-    rows = [np.ascontiguousarray(row, dtype=np.uint8) for row in batch]
+        return list(as_contiguous_u8(batch))
+    rows = [as_contiguous_u8(row) for row in batch]
     for row in rows:
         if row.ndim != 1:
             raise ValueError(
@@ -154,13 +165,25 @@ class ShardExecutor:
         Force a ``multiprocessing`` start method; default tries
         ``fork`` then ``spawn``/``forkserver``, degrading to
         in-process execution when none is usable.
+    transport:
+        ``"auto"`` (default) fans shards out through the zero-copy
+        shared-memory arena (:mod:`repro.shard.shm`) once a run's
+        payload reaches ``shm_min_bytes``, and over the classic pickle
+        pipe otherwise; ``"shm"`` / ``"pickle"`` force one transport.
+        Either way the transport is invisible to results: an shm shard
+        that fails to attach is retried over pickle, bit-identically.
+    shm_min_bytes:
+        ``auto`` threshold — runs smaller than this pickle (a tiny
+        payload's pipe cost is below the segment bookkeeping).
     """
 
     def __init__(self, workers: int | None = None, engine="bpbc",
                  word_bits: int = 64, timeout_s: float | None = None,
                  max_shard_pairs: int | None = None,
                  bin_granularity: int = 16,
-                 start_method: str | None = None) -> None:
+                 start_method: str | None = None,
+                 transport: str = "auto",
+                 shm_min_bytes: int = MIN_SHM_BYTES) -> None:
         workers = default_workers() if workers is None else workers
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -176,15 +199,31 @@ class ShardExecutor:
             raise ValueError(
                 f"bin_granularity must be positive, got {bin_granularity}"
             )
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, got {transport!r}"
+            )
+        if shm_min_bytes < 0:
+            raise ValueError(
+                f"shm_min_bytes must be >= 0, got {shm_min_bytes}"
+            )
         self.word_bits = word_bits
         self.timeout_s = timeout_s
         self.max_shard_pairs = max_shard_pairs
         self.bin_granularity = bin_granularity
+        self.transport = transport
+        self.shm_min_bytes = shm_min_bytes
         self._engine_fn = resolve_shard_engine(engine)  # fail fast
         self._engine_spec = engine
         self._requested_workers = workers
         self._ctx = _make_context(start_method) if workers > 1 else None
         self.rebuilds = 0
+        self._arena: ShmArena | None = None
+        #: Runs fanned out over each transport, and shards that failed
+        #: on shm and were recovered over the pickle pipe.
+        self.shm_runs = 0
+        self.pickle_runs = 0
+        self.shm_fallbacks = 0
         self._pool = self._spawn_pool()
         self.workers = workers if self._pool is not None else 1
 
@@ -219,6 +258,11 @@ class ShardExecutor:
         if pool is not None:
             pool.terminate()
             pool.join()
+        if self._arena is not None:
+            # A wedged worker may wake up later and write into its old
+            # reply slots; retiring the generation makes that write
+            # land in a dead mapping instead of the next run's data.
+            self._arena.retire()
         self._pool = self._spawn_pool()
         self.rebuilds += 1
         self.workers = (self._requested_workers
@@ -237,6 +281,9 @@ class ShardExecutor:
         if pool is not None:
             pool.terminate()
             pool.join()
+        arena, self._arena = self._arena, None
+        if arena is not None:
+            arena.close()
         self.workers = 1
 
     def __enter__(self) -> "ShardExecutor":
@@ -252,8 +299,18 @@ class ShardExecutor:
             pass
 
     # -- execution ------------------------------------------------------
+    def _pick_transport(self, payload_bytes: int) -> str:
+        """Transport for one pool run: forced, or sized for ``auto``."""
+        if self.transport == "pickle" or not shm_available():
+            return "pickle"
+        if self.transport == "shm":
+            return "shm"
+        return ("shm" if payload_bytes >= self.shm_min_bytes
+                else "pickle")
+
     def run(self, X, Y, scheme: ScoringScheme | None = None,
-            errors: str = "raise") -> ShardRunResult:
+            errors: str = "raise",
+            width: int | None = None) -> ShardRunResult:
         """Score every pair ``(X[p], Y[p])``; shard-parallel.
 
         ``X`` / ``Y`` are ``(P, m)`` / ``(P, n)`` code matrices or
@@ -261,11 +318,17 @@ class ShardExecutor:
         raises the first :class:`ShardError` after all shards settle;
         ``errors="return"`` instead reports failures in
         ``ShardRunResult.errors`` with the affected scores at ``-1``.
+        ``width`` caps the shard fan-out of *this* run below the pool
+        width (the serve scheduler's per-batch knob — a batch small
+        enough to meet its SLO on one worker should not pay the
+        fan-out overhead of eight).
         """
         if errors not in ("raise", "return"):
             raise ValueError(
                 f'errors must be "raise" or "return", got {errors!r}'
             )
+        if width is not None and width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
         xs = _as_rows(X)
         ys = _as_rows(Y)
         if len(xs) != len(ys):
@@ -278,12 +341,12 @@ class ShardExecutor:
                                   timings=[], errors=[])
         scheme = scheme or DEFAULT_SCHEME
         costs = pair_costs(xs, ys)
-        plan = partition_lpt(costs, self.workers,
+        shards = (self.workers if width is None
+                  else min(self.workers, width))
+        plan = partition_lpt(costs, shards,
                              max_pairs=self.max_shard_pairs)
-        payloads = [
-            pack_shard(sid, [xs[i] for i in idx], [ys[i] for i in idx])
-            for sid, idx in enumerate(plan)
-        ]
+        shard_xs = [[xs[i] for i in idx] for idx in plan]
+        shard_ys = [[ys[i] for i in idx] for idx in plan]
         scores = np.full(len(xs), -1, dtype=np.int64)
         timings: list[ShardTiming] = []
         failures: list[ShardError] = []
@@ -297,43 +360,106 @@ class ShardExecutor:
                 cost=int(costs[idx].sum()), elapsed_s=elapsed))
 
         if self._pool is None:
-            for payload, idx in zip(payloads, plan):
+            for sid, idx in enumerate(plan):
                 try:
-                    sid, shard_scores, elapsed = score_shard(
+                    payload = pack_shard(sid, shard_xs[sid],
+                                         shard_ys[sid])
+                    rsid, shard_scores, elapsed = score_shard(
                         payload, scheme, self._engine_fn,
                         self.word_bits, self.bin_granularity)
-                    settle(sid, shard_scores, elapsed)
+                    settle(rsid, shard_scores, elapsed)
                 except Exception as exc:  # noqa: BLE001 - per-shard fault
                     failures.append(ShardError(
-                        f"shard {payload.shard_id} failed in-process: "
-                        f"{exc!r}", payload.shard_id, idx, cause=exc))
+                        f"shard {sid} failed in-process: "
+                        f"{exc!r}", sid, idx, cause=exc))
         else:
+            payload_bytes = (sum(len(r) for r in xs)
+                             + sum(len(r) for r in ys))
+            refs = None
+            if self._pick_transport(payload_bytes) == "shm":
+                try:
+                    if self._arena is None:
+                        self._arena = ShmArena()
+                    refs = self._arena.begin_run(
+                        [(sid, shard_xs[sid], shard_ys[sid])
+                         for sid in range(len(plan))])
+                except Exception:  # noqa: BLE001 - arena is optional
+                    refs = None  # whole run degrades to pickle
+            if refs is not None:
+                self.shm_runs += 1
+                handles = [
+                    self._pool.apply_async(run_shard_shm, (ref, scheme))
+                    for ref in refs
+                ]
+            else:
+                self.pickle_runs += 1
+                handles = [
+                    self._pool.apply_async(
+                        run_shard,
+                        (pack_shard(sid, shard_xs[sid], shard_ys[sid]),
+                         scheme))
+                    for sid in range(len(plan))
+                ]
             deadline = (None if self.timeout_s is None
                         else time.monotonic() + self.timeout_s)
-            handles = [
-                self._pool.apply_async(run_shard, (payload, scheme))
-                for payload in payloads
-            ]
+
+            def remaining():
+                return (None if deadline is None else
+                        max(deadline - time.monotonic(), 1e-3))
+
             timed_out = False
-            for payload, idx, handle in zip(payloads, plan, handles):
+            for sid, (idx, handle) in enumerate(zip(plan, handles)):
                 try:
-                    remaining = (None if deadline is None else
-                                 max(deadline - time.monotonic(), 1e-3))
-                    sid, score_bytes, elapsed = handle.get(remaining)
-                    settle(sid, np.frombuffer(score_bytes,
-                                              dtype=np.int64), elapsed)
+                    if refs is not None:
+                        rsid, _pairs, elapsed = handle.get(remaining())
+                        settle(rsid, self._arena.scores(refs[rsid]),
+                               elapsed)
+                    else:
+                        rsid, score_bytes, elapsed = \
+                            handle.get(remaining())
+                        settle(rsid, np.frombuffer(score_bytes,
+                                                   dtype=np.int64),
+                               elapsed)
+                    continue
                 except multiprocessing.TimeoutError:
                     timed_out = True
                     failures.append(ShardError(
-                        f"shard {payload.shard_id} missed the "
+                        f"shard {sid} missed the "
                         f"{self.timeout_s}s deadline (worker dead, "
                         "stuck, or overloaded); pairs "
                         f"{idx[0]}..{idx[-1]} unscored",
-                        payload.shard_id, idx))
+                        sid, idx))
+                    continue
                 except Exception as exc:  # noqa: BLE001 - per-shard fault
+                    if refs is None:
+                        failures.append(ShardError(
+                            f"shard {sid} failed in worker: "
+                            f"{exc!r}", sid, idx, cause=exc))
+                        continue
+                    shm_exc = exc
+                # An shm-transported shard failed (attach fault, dead
+                # segment, or an engine error): retry it once over the
+                # pickle pipe — the transports are bit-identical, so a
+                # transport fault must never cost the caller scores.
+                try:
+                    payload = pack_shard(sid, shard_xs[sid],
+                                         shard_ys[sid])
+                    rsid, score_bytes, elapsed = self._pool.apply_async(
+                        run_shard, (payload, scheme)).get(remaining())
+                    settle(rsid, np.frombuffer(score_bytes,
+                                               dtype=np.int64), elapsed)
+                    self.shm_fallbacks += 1
+                except multiprocessing.TimeoutError:
+                    timed_out = True
                     failures.append(ShardError(
-                        f"shard {payload.shard_id} failed in worker: "
-                        f"{exc!r}", payload.shard_id, idx, cause=exc))
+                        f"shard {sid} missed the {self.timeout_s}s "
+                        "deadline during its pickle retry; pairs "
+                        f"{idx[0]}..{idx[-1]} unscored", sid, idx))
+                except Exception as rexc:  # noqa: BLE001 - per-shard
+                    failures.append(ShardError(
+                        f"shard {sid} failed on the shm transport "
+                        f"({shm_exc!r}) and again on the pickle retry: "
+                        f"{rexc!r}", sid, idx, cause=rexc))
             if timed_out:
                 # A missed deadline means a dead or wedged worker; the
                 # abandoned task (and any hung worker) would degrade
@@ -352,7 +478,8 @@ def shard_bulk_max_scores(X, Y, scheme: ScoringScheme | None = None,
                           engine="bpbc",
                           timeout_s: float | None = None,
                           max_shard_pairs: int | None = None,
-                          bin_granularity: int = 16) -> np.ndarray:
+                          bin_granularity: int = 16,
+                          transport: str = "auto") -> np.ndarray:
     """One-shot sharded scoring: build a pool, score, tear down.
 
     The convenience form of :class:`ShardExecutor` for batch callers
@@ -364,5 +491,6 @@ def shard_bulk_max_scores(X, Y, scheme: ScoringScheme | None = None,
     with ShardExecutor(workers=workers, engine=engine,
                        word_bits=word_bits, timeout_s=timeout_s,
                        max_shard_pairs=max_shard_pairs,
-                       bin_granularity=bin_granularity) as executor:
+                       bin_granularity=bin_granularity,
+                       transport=transport) as executor:
         return executor.run(X, Y, scheme).scores

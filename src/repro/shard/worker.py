@@ -36,8 +36,24 @@ from ..swa.numpy_batch import sw_batch_max_scores
 from ..swa.scoring import ScoringScheme
 
 __all__ = ["ShardPayload", "SHARD_ENGINES", "resolve_shard_engine",
-           "pack_shard", "unpack_side", "score_codes", "score_shard",
-           "init_worker", "run_shard"]
+           "as_contiguous_u8", "pack_shard", "unpack_side",
+           "score_codes", "score_shard", "init_worker", "run_shard",
+           "run_shard_shm"]
+
+
+def as_contiguous_u8(arr) -> np.ndarray:
+    """``arr`` itself when already C-contiguous ``uint8``, else a copy.
+
+    The hot packing paths call this per row; the explicit flag check
+    skips NumPy's conversion machinery entirely on the common case
+    (rows of an already-contiguous code matrix), and the fallback is
+    the same ``ascontiguousarray`` as before — byte-identical output
+    either way.
+    """
+    if isinstance(arr, np.ndarray) and arr.dtype == np.uint8 \
+            and arr.flags.c_contiguous:
+        return arr
+    return np.ascontiguousarray(arr, dtype=np.uint8)
 
 
 @dataclass(frozen=True)
@@ -62,12 +78,10 @@ def pack_shard(shard_id: int, xs, ys) -> ShardPayload:
     """Flatten a shard's ragged pair list into a :class:`ShardPayload`."""
     xl = np.asarray([len(x) for x in xs], dtype=np.int32)
     yl = np.asarray([len(y) for y in ys], dtype=np.int32)
-    xbuf = (np.concatenate([np.ascontiguousarray(x, dtype=np.uint8)
-                            for x in xs]) if len(xs) else
-            np.empty(0, np.uint8))
-    ybuf = (np.concatenate([np.ascontiguousarray(y, dtype=np.uint8)
-                            for y in ys]) if len(ys) else
-            np.empty(0, np.uint8))
+    xbuf = (np.concatenate([as_contiguous_u8(x) for x in xs])
+            if len(xs) else np.empty(0, np.uint8))
+    ybuf = (np.concatenate([as_contiguous_u8(y) for y in ys])
+            if len(ys) else np.empty(0, np.uint8))
     return ShardPayload(shard_id=int(shard_id), pairs=len(xl),
                         xbuf=xbuf.tobytes(), xlens=xl.tobytes(),
                         ybuf=ybuf.tobytes(), ylens=yl.tobytes())
@@ -287,3 +301,32 @@ def run_shard(payload: ShardPayload,
     shard_id, scores, elapsed = score_shard(
         payload, scheme, _ENGINE, _WORD_BITS, _BIN_GRANULARITY)
     return shard_id, scores.tobytes(), elapsed
+
+
+def run_shard_shm(ref, scheme: ScoringScheme) -> tuple[int, int, float]:
+    """Pool task: score one shard addressed by a shared-memory ref.
+
+    The zero-copy twin of :func:`run_shard`: sequences are read as
+    ``np.frombuffer`` views straight out of the executor's shared
+    segment and scores are written back into its reply region, so the
+    only pickled traffic is the :class:`~repro.shard.shm.ShmShardRef`
+    in and this ``(shard_id, pairs, elapsed_s)`` tuple out.  The same
+    worker fault sites apply on this path — a chaos plan cannot be
+    dodged by switching transports.
+    """
+    from .shm import attach_segment, read_side, write_scores
+
+    fault_point("shard.worker.crash", action=_injected_crash)
+    fault_point("shard.worker.hang", action=_injected_hang)
+    fault_point("shard.worker.slow", action=_injected_slow)
+    fault_point("shard.worker.error")
+    t0 = time.perf_counter()
+    buf = attach_segment(ref.segment).buf
+    xs = read_side(buf, ref.xlens_off, ref.pairs, ref.xbuf_off,
+                   ref.xbuf_bytes)
+    ys = read_side(buf, ref.ylens_off, ref.pairs, ref.ybuf_off,
+                   ref.ybuf_bytes)
+    scores = score_codes(_ENGINE, xs, ys, scheme, _WORD_BITS,
+                         _BIN_GRANULARITY)
+    write_scores(buf, ref, scores)
+    return ref.shard_id, ref.pairs, time.perf_counter() - t0

@@ -9,8 +9,8 @@ import numpy as np
 import pytest
 
 from repro.serve.engine_pool import ENGINES
-from repro.serve.packer import (QUERY_PAD, SUBJECT_PAD, bin_requests,
-                                pack_requests)
+from repro.serve.packer import (QUERY_PAD, SUBJECT_PAD, bin_key,
+                                bin_requests, pack_requests)
 from repro.serve.queue import AlignmentRequest
 from repro.swa.scoring import DEFAULT_SCHEME, ScoringScheme
 from repro.swa.sequential import sw_max_score
@@ -47,6 +47,38 @@ class TestBinning:
     def test_bad_granularity(self, rng):
         with pytest.raises(ValueError):
             bin_requests([make_request(rng, 4, 4)], granularity=0)
+
+
+class TestBinKey:
+    def test_granularity_one_is_identity(self, rng):
+        req = make_request(rng, 7, 13)
+        assert bin_key(req, 1) == (7, 13, DEFAULT_SCHEME)
+
+    def test_exact_multiple_stays_in_its_own_bin(self, rng):
+        # A length sitting exactly on the boundary must not round up
+        # to the next bin (ceil(16/16)*16 == 16, not 32).
+        req = make_request(rng, 16, 32)
+        assert bin_key(req, 16) == (16, 32, DEFAULT_SCHEME)
+
+    def test_one_past_the_boundary_rounds_up(self, rng):
+        req = make_request(rng, 17, 33)
+        assert bin_key(req, 16) == (32, 48, DEFAULT_SCHEME)
+
+    def test_length_one_lands_in_first_bin(self, rng):
+        req = make_request(rng, 1, 1)
+        assert bin_key(req, 16) == (16, 16, DEFAULT_SCHEME)
+
+    def test_granularity_larger_than_sequences(self, rng):
+        # One giant bin: every request shares it (per scheme).
+        keys = {bin_key(make_request(rng, m, n), 1024)
+                for m, n in [(1, 1), (5, 900), (1000, 3)]}
+        assert keys == {(1024, 1024, DEFAULT_SCHEME)}
+
+    def test_scheme_is_part_of_the_key(self, rng):
+        a = bin_key(make_request(rng, 8, 8), 8)
+        b = bin_key(make_request(rng, 8, 8, scheme=ScoringScheme(3, 2, 2)),
+                    8)
+        assert a != b
 
 
 class TestPacking:
