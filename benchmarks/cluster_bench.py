@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Cluster smoke benchmark: boot a real 3-node harness, route a mixed
+DNA/protein batch, kill a node mid-batch, and prove recovery.
+
+The acceptance experiment behind ``repro.cluster``: a coordinator over
+three ``repro.serve`` subprocesses must score a mixed batch, survive
+one node being SIGKILLed mid-batch (seeded ``cluster.node.drop``
+driving the harness drop hook), and return scores *bit-identical* to
+the fault-free single-node reference — the resilience contract at
+cluster scale.  ``--check`` (the CI ``cluster-smoke`` job) asserts all
+of it; without the flag the same run just reports timings.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/cluster_bench.py           # report
+    PYTHONPATH=src python benchmarks/cluster_bench.py --check   # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cluster import LocalCluster  # noqa: E402
+from repro.core.encoding import decode  # noqa: E402
+from repro.core.matrices import BLOSUM62  # noqa: E402
+from repro.core.protein import ProteinScheme  # noqa: E402
+from repro.resilience.faults import FaultPlan  # noqa: E402
+from repro.serve import AlignmentServer, AlignmentService  # noqa: E402
+from repro.serve.client import ServeClient  # noqa: E402
+from repro.swa.scoring import ScoringScheme  # noqa: E402
+
+DNA_SCHEME = ScoringScheme(match_score=2, mismatch_penalty=1,
+                           gap_penalty=1)
+PROTEIN_SCHEME = ProteinScheme(BLOSUM62, gap_open=11, gap_extend=1)
+PROTEIN_LETTERS = "ARNDCQEGHILKMFPSTWYV"
+
+
+def mixed_batches(rng, dna_pairs: int, protein_pairs: int):
+    """A DNA batch and a protein batch (schemes differ per batch)."""
+    dna = [(decode(rng.integers(0, 4, size=int(m)).astype(np.uint8)),
+            decode(rng.integers(0, 4, size=int(n)).astype(np.uint8)))
+           for m, n in rng.integers(16, 96, size=(dna_pairs, 2))]
+    protein = [("".join(PROTEIN_LETTERS[c] for c in
+                        rng.integers(0, 20, size=int(m))),
+                "".join(PROTEIN_LETTERS[c] for c in
+                        rng.integers(0, 20, size=int(n))))
+               for m, n in rng.integers(12, 48,
+                                        size=(protein_pairs, 2))]
+    return dna, protein
+
+
+def single_node_reference(dna, protein):
+    """Fault-free single-node scores — the gold the cluster must hit."""
+    from repro.serve.wire import scheme_wire_fields
+
+    service = AlignmentService(workers=2, max_wait_ms=1.0)
+    service.start()
+    with AlignmentServer(service, host="127.0.0.1", port=0) as server:
+        host, port = server.address
+        with ServeClient(host, port) as client:
+            t0 = time.perf_counter()
+            d = client.align_many(dna,
+                                  **scheme_wire_fields(DNA_SCHEME))
+            p = client.align_many(protein,
+                                  **scheme_wire_fields(PROTEIN_SCHEME))
+            elapsed = time.perf_counter() - t0
+    service.stop()
+    if not all(r["ok"] for r in d + p):
+        raise AssertionError("single-node reference run failed")
+    return [int(r["score"]) for r in d], \
+        [int(r["score"]) for r in p], elapsed
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--nodes", type=int, default=3)
+    ap.add_argument("--dna-pairs", type=int, default=48)
+    ap.add_argument("--protein-pairs", type=int, default=16)
+    ap.add_argument("--seed", type=int, default=20260808)
+    ap.add_argument("--check", action="store_true",
+                    help="assert bit-identical recovery after the "
+                         "node kill (the CI cluster-smoke gate)")
+    args = ap.parse_args(argv)
+
+    rng = np.random.default_rng(args.seed)
+    dna, protein = mixed_batches(rng, args.dna_pairs,
+                                 args.protein_pairs)
+    print(f"workload: {len(dna)} DNA pairs (linear scheme) + "
+          f"{len(protein)} protein pairs (blosum62 affine)")
+
+    dna_gold, protein_gold, single_s = single_node_reference(dna,
+                                                             protein)
+    print(f"single:   {single_s:6.2f}s  one in-process node "
+          f"(the bit-exact reference)")
+
+    with LocalCluster(n=args.nodes, startup_timeout_s=120.0) as lc:
+        with lc.coordinator(deadline_s=60.0) as coord:
+            t0 = time.perf_counter()
+            got_dna = coord.score_batch(dna, DNA_SCHEME)
+            got_protein = coord.score_batch(protein, PROTEIN_SCHEME)
+            healthy_s = time.perf_counter() - t0
+            print(f"cluster:  {healthy_s:6.2f}s  {args.nodes} "
+                  f"subprocess nodes, healthy run")
+            if list(got_dna) != dna_gold or \
+                    list(got_protein) != protein_gold:
+                print("FAIL: healthy cluster scores diverged from the "
+                      "single-node reference")
+                return 1
+
+            # Round two: a node dies mid-batch; same gold scores.
+            plan = FaultPlan.single("cluster.node.drop",
+                                    seed=args.seed, times=1)
+            t0 = time.perf_counter()
+            with plan:
+                kill_dna = coord.score_batch(dna, DNA_SCHEME)
+                kill_protein = coord.score_batch(protein,
+                                                 PROTEIN_SCHEME)
+            killed_s = time.perf_counter() - t0
+            dead = [s.name for s in lc.specs if not lc.alive(s.name)]
+            status = coord.status()["cluster"]
+            print(f"chaos:    {killed_s:6.2f}s  killed {dead or 'none'} "
+                  f"mid-batch; rerouted {status['rerouted']}, "
+                  f"degraded {status['degraded']}, "
+                  f"shed {status['shed']}")
+
+            if args.check:
+                if plan.fire_counts()["cluster.node.drop"] != 1:
+                    print("FAIL: the node-drop fault never fired")
+                    return 1
+                if len(dead) != 1:
+                    print(f"FAIL: expected exactly one dead node, "
+                          f"got {dead}")
+                    return 1
+                if list(kill_dna) != dna_gold or \
+                        list(kill_protein) != protein_gold:
+                    print("FAIL: post-kill scores diverged from the "
+                          "single-node reference")
+                    return 1
+                if status["shed"]:
+                    print("FAIL: requests were shed on a cluster with "
+                          "two live nodes")
+                    return 1
+                # Survivors must keep serving.
+                again = coord.score_batch(dna, DNA_SCHEME)
+                if list(again) != dna_gold:
+                    print("FAIL: survivors returned wrong scores")
+                    return 1
+                print("check:    recovery bit-identical to the "
+                      "single-node reference")
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

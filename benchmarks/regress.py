@@ -27,11 +27,14 @@ Usage::
 separate ``quick`` section, so CI quick runs compare against the
 committed quick baseline, never against full-scale numbers.
 
-``--write`` additionally records two evidence sections that ``--check``
-never gates (transport timings do not transfer across machines): a
+``--write`` additionally records three evidence sections that
+``--check`` never gates (timings do not transfer across machines): a
 ``transport`` ladder showing shm-vs-pickle shard transport cost as the
-payload grows, and a ``serve`` record showing the SLO scheduler
-shedding an overload burst that drowns the static service.
+payload grows, a ``serve`` record showing the SLO scheduler shedding
+an overload burst that drowns the static service, and a ``cluster``
+record comparing the 3-node coordinator against a single node —
+healthy and with a node SIGKILLed mid-batch — after asserting the
+scores bit-identical.
 
 ``--rounds N`` measures the whole section N times and keeps each
 entry's best (lowest) ``rel``.  Shared CI runners are noisy neighbours:
@@ -351,6 +354,88 @@ def run_serve_section(verbose: bool = True) -> dict:
     }
 
 
+#: Cluster evidence: coordinator-vs-single-node on one mixed batch.
+CLUSTER_NODES = 3
+CLUSTER_DNA_PAIRS = 48
+CLUSTER_PROTEIN_PAIRS = 16
+CLUSTER_SEED = 20260808
+
+
+def run_cluster_section(verbose: bool = True) -> dict | None:
+    """Coordinator vs single node (snapshot evidence; never gated).
+
+    Boots a real 3-subprocess harness, scores the cluster_bench mixed
+    batch through the coordinator, kills one node mid-batch, and
+    records healthy/chaos timings plus routing counters — after
+    asserting every score bit-identical to the single-node reference.
+    Returns None where subprocesses or sockets are unavailable.
+    """
+    sys.path.insert(0, str(ROOT / "benchmarks"))
+    import time
+
+    from cluster_bench import (DNA_SCHEME, PROTEIN_SCHEME,
+                               mixed_batches, single_node_reference)
+
+    from repro.cluster import LocalCluster
+    from repro.resilience.faults import FaultPlan
+
+    rng = np.random.default_rng(CLUSTER_SEED)
+    dna, protein = mixed_batches(rng, CLUSTER_DNA_PAIRS,
+                                 CLUSTER_PROTEIN_PAIRS)
+    try:
+        dna_gold, protein_gold, single_s = single_node_reference(
+            dna, protein)
+        with LocalCluster(n=CLUSTER_NODES,
+                          startup_timeout_s=120.0) as lc:
+            with lc.coordinator(deadline_s=60.0) as coord:
+                t0 = time.perf_counter()
+                got_d = coord.score_batch(dna, DNA_SCHEME)
+                got_p = coord.score_batch(protein, PROTEIN_SCHEME)
+                healthy_s = time.perf_counter() - t0
+                if list(got_d) != dna_gold or \
+                        list(got_p) != protein_gold:
+                    raise AssertionError(
+                        "cluster scores diverged from the "
+                        "single-node reference")
+                with FaultPlan.single("cluster.node.drop",
+                                      seed=CLUSTER_SEED, times=1):
+                    t0 = time.perf_counter()
+                    kill_d = coord.score_batch(dna, DNA_SCHEME)
+                    chaos_s = time.perf_counter() - t0
+                if list(kill_d) != dna_gold:
+                    raise AssertionError(
+                        "post-kill scores diverged from the "
+                        "single-node reference")
+                status = coord.status()
+    except Exception as exc:  # noqa: BLE001 - evidence only
+        if verbose:
+            print(f"[cluster] harness unavailable — skipped ({exc})")
+        return None
+    cluster = status["cluster"]
+    record = {
+        "workload": {"nodes": CLUSTER_NODES,
+                     "dna_pairs": CLUSTER_DNA_PAIRS,
+                     "protein_pairs": CLUSTER_PROTEIN_PAIRS,
+                     "seed": CLUSTER_SEED},
+        "single_node_s": round(single_s, 3),
+        "cluster_healthy_s": round(healthy_s, 3),
+        "cluster_node_killed_s": round(chaos_s, 3),
+        "rerouted": cluster["rerouted"],
+        "degraded": cluster["degraded"],
+        "shed": cluster["shed"],
+        "per_node_p99_ms": {
+            n["name"]: round(n["p99_ms"], 1)
+            for n in status["per_node"] if n["p99_ms"] is not None},
+    }
+    if verbose:
+        print(f"[cluster] {CLUSTER_NODES} nodes, "
+              f"{CLUSTER_DNA_PAIRS}+{CLUSTER_PROTEIN_PAIRS} pairs: "
+              f"single {single_s:5.2f}s, cluster {healthy_s:5.2f}s, "
+              f"node-killed {chaos_s:5.2f}s "
+              f"(rerouted {cluster['rerouted']}, bit-identical)")
+    return record
+
+
 def snapshot_paths() -> list[Path]:
     """Committed snapshots at the repo root, oldest first."""
     def index(p: Path) -> int:
@@ -438,7 +523,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.write is not None:
         # Snapshots always carry both sections so later full *and*
         # quick runs have a baseline to compare against — plus the
-        # transport/serve evidence sections (never gated: check()
+        # transport/serve/cluster evidence sections (never gated: check()
         # only compares per-mode entries).
         result["full"] = run_section_best("full", args.rounds)
         result["quick"] = run_section_best("quick", args.rounds)
@@ -446,6 +531,9 @@ def main(argv: list[str] | None = None) -> int:
         if transport is not None:
             result["transport"] = transport
         result["serve"] = run_serve_section()
+        cluster = run_cluster_section()
+        if cluster is not None:
+            result["cluster"] = cluster
     else:
         result[mode] = run_section_best(mode, args.rounds)
 

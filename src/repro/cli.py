@@ -36,6 +36,7 @@ memory.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -353,6 +354,107 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _nodes_from_topology(path):
+    """Topology file -> RemoteNode handles for already-running nodes."""
+    from .cluster import RemoteNode, load_topology
+
+    specs = load_topology(path)
+    bad = [s.name for s in specs if s.port == 0]
+    if bad:
+        raise SystemExit(
+            f"error: topology nodes {bad} have port 0 (ephemeral); "
+            "connecting to running nodes needs concrete ports — "
+            "use 'cluster serve' output, or pin ports in the file")
+    return [RemoteNode(s.name, s.host, s.port) for s in specs]
+
+
+def _cmd_cluster_serve(args) -> int:
+    import time as _time
+
+    from .cluster import LocalCluster, load_topology
+
+    specs = load_topology(args.topology) if args.topology else None
+    cluster = LocalCluster(specs, n=args.nodes)
+    with cluster:
+        resolved = {"nodes": []}
+        for spec in cluster.specs:
+            host, port = cluster.address(spec.name)
+            resolved["nodes"].append(
+                {"name": spec.name, "host": host, "port": port,
+                 "engine": spec.engine, "workers": spec.workers})
+            print(f"node {spec.name} serving on {host}:{port} "
+                  f"(engine={spec.engine})", file=sys.stderr)
+        # The resolved topology (concrete ports) goes to stdout so it
+        # can be piped to a file for 'cluster route' / 'cluster status'.
+        print(json.dumps(resolved, indent=2))
+        sys.stdout.flush()
+        print("cluster up; Ctrl-C to stop", file=sys.stderr)
+        try:
+            while True:
+                _time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+def _cmd_cluster_route(args) -> int:
+    from .cluster import ClusterCoordinator, LocalCluster
+
+    queries = read_fasta(args.queries, ambiguous=args.ambiguous,
+                         alphabet=args.alphabet)
+    subjects = read_fasta(args.subjects, ambiguous=args.ambiguous,
+                          alphabet=args.alphabet)
+    if args.all_vs_all:
+        index_pairs = [(a, b) for a in range(len(queries))
+                       for b in range(len(subjects))]
+    else:
+        if len(queries) != len(subjects):
+            raise SystemExit(
+                f"error: {len(queries)} queries vs {len(subjects)} "
+                "subjects; pairwise mode needs equal counts "
+                "(or pass --all-vs-all)")
+        index_pairs = list(zip(range(len(queries)),
+                               range(len(subjects))))
+    pairs = [(queries[a].sequence, subjects[b].sequence)
+             for a, b in index_pairs]
+    scheme = _scheme_from_args(args)
+
+    def run(coordinator) -> int:
+        scores = coordinator.score_batch(pairs, scheme,
+                                         deadline_s=args.deadline_s)
+        print("query\tsubject\tscore\towner")
+        for (a, b), score in zip(index_pairs, scores):
+            owner = coordinator.owners(queries[a].sequence,
+                                       subjects[b].sequence,
+                                       scheme)[0]
+            print(f"{queries[a].id}\t{subjects[b].id}\t{score}\t"
+                  f"{owner}")
+        if args.status:
+            print(json.dumps(coordinator.status(), indent=2),
+                  file=sys.stderr)
+        return 0
+
+    if args.topology:
+        with ClusterCoordinator(_nodes_from_topology(args.topology),
+                                replication=args.replication) as coord:
+            return run(coord)
+    with LocalCluster(n=args.local) as cluster:
+        with cluster.coordinator(replication=args.replication) as coord:
+            return run(coord)
+
+
+def _cmd_cluster_status(args) -> int:
+    from .cluster import ClusterCoordinator
+
+    with ClusterCoordinator(_nodes_from_topology(args.topology),
+                            replication=args.replication) as coord:
+        health = coord.probe_once()
+        status = coord.status()
+        status["healthy"] = health
+        print(json.dumps(status, indent=2))
+    return 0 if all(health.values()) else 1
+
+
 def _cmd_index_build(args) -> int:
     from .index import build_index
 
@@ -625,6 +727,66 @@ def build_parser() -> argparse.ArgumentParser:
                    help="default-scheme linear gap penalty (default 1)")
     _add_alphabet_args(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "cluster",
+        help="multi-node serving: boot a local cluster, route "
+             "batches with failover, or probe node health")
+    csub = p.add_subparsers(dest="cluster_command", required=True)
+
+    pc = csub.add_parser(
+        "serve",
+        help="spawn serve nodes from a topology (or N ephemeral "
+             "nodes) and keep them up; resolved topology JSON goes "
+             "to stdout")
+    pc.add_argument("--topology", default=None,
+                    help="TOML/JSON topology file (default: --nodes "
+                         "ephemeral bpbc nodes)")
+    pc.add_argument("--nodes", type=int, default=3,
+                    help="node count when no topology file is given "
+                         "(default 3)")
+    pc.set_defaults(func=_cmd_cluster_serve)
+
+    pc = csub.add_parser(
+        "route",
+        help="score FASTA pairs through a coordinator with "
+             "consistent-hash routing and node failover (TSV out)")
+    pc.add_argument("queries", help="FASTA file of query sequences")
+    pc.add_argument("subjects", help="FASTA file of subjects")
+    pc.add_argument("--topology", default=None,
+                    help="connect to running nodes from this "
+                         "topology file (concrete ports)")
+    pc.add_argument("--local", type=int, default=3,
+                    help="without --topology: spawn this many "
+                         "transient local nodes (default 3)")
+    pc.add_argument("--all-vs-all", action="store_true",
+                    help="cross every query with every subject")
+    pc.add_argument("--replication", type=int, default=2,
+                    help="preferred owners per cache key (default 2)")
+    pc.add_argument("--deadline-s", type=float, default=30.0,
+                    help="per-batch reroute budget before degrading "
+                         "to the in-process fallback (default 30)")
+    pc.add_argument("--status", action="store_true",
+                    help="print cluster stats JSON to stderr after")
+    pc.add_argument("--match", type=int, default=2,
+                    help="match score c1 (default 2)")
+    pc.add_argument("--mismatch", type=int, default=1,
+                    help="mismatch penalty c2 (default 1)")
+    pc.add_argument("--gap", type=int, default=1,
+                    help="linear gap penalty (default 1)")
+    _add_alphabet_args(pc)
+    pc.set_defaults(func=_cmd_cluster_route)
+
+    pc = csub.add_parser(
+        "status",
+        help="probe every node in a topology and print the "
+             "cluster + per-node stats snapshot (exit 1 if any "
+             "node is unhealthy)")
+    pc.add_argument("--topology", required=True,
+                    help="TOML/JSON topology file (concrete ports)")
+    pc.add_argument("--replication", type=int, default=2,
+                    help="preferred owners per cache key (default 2)")
+    pc.set_defaults(func=_cmd_cluster_status)
 
     p = sub.add_parser(
         "analyze",

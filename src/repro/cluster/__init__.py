@@ -1,0 +1,36 @@
+"""repro.cluster — multi-node serving with node-level failover.
+
+A :class:`ClusterCoordinator` fronts N ``repro.serve`` TCP nodes:
+consistent-hash routing on the result-cache key (LRU hits stay
+node-local) with configurable replication, per-node circuit breakers
+and health probes, deadline-capped retry-with-reroute deduplicated by
+idempotent request IDs, and graceful degradation to the in-process
+engine fallback chain when every remote is down.  The resilience
+contract holds end to end: bit-identical scores or a typed
+:class:`ClusterDegradedError` — never a silent wrong score.
+
+:class:`LocalCluster` (see :mod:`repro.cluster.harness`) spawns real
+serve processes on ephemeral ports for tests, chaos runs, and the
+``python -m repro cluster`` CLI.
+"""
+
+from .coordinator import ClusterCoordinator
+from .errors import (ClusterDegradedError, ClusterError, NodeUnavailable,
+                     TopologyError)
+from .harness import LocalCluster, NodeSpec, load_topology
+from .hashring import HashRing, route_digest
+from .node import RemoteNode
+
+__all__ = [
+    "ClusterCoordinator",
+    "ClusterDegradedError",
+    "ClusterError",
+    "NodeUnavailable",
+    "TopologyError",
+    "LocalCluster",
+    "NodeSpec",
+    "load_topology",
+    "HashRing",
+    "route_digest",
+    "RemoteNode",
+]

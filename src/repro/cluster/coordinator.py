@@ -1,0 +1,357 @@
+"""The cluster coordinator: route, reroute, degrade — never lie.
+
+:class:`ClusterCoordinator` fronts N ``repro.serve`` nodes.  Each pair
+routes by consistent hash of its result-cache key
+(:func:`~repro.cluster.hashring.route_digest`), so a repeated pair
+lands on the node whose LRU already holds its score; ``replication``
+names how many distinct nodes are acceptable owners before routing
+falls through to the rest of the ring.
+
+Failure handling is a ladder, and every rung preserves the resilience
+contract (bit-identical scores or a typed error):
+
+1. **Reroute** — a transport failure (connect refused, node died
+   mid-batch, truncated frame) moves the unanswered pairs to the next
+   node in their preference order, reusing the *same* idempotent
+   request IDs so a retry that already landed is replayed from the
+   server's idempotency index, not scored twice.  Responses read
+   before the failure are credited as-is.
+2. **Back off** — each node has a
+   :class:`~repro.resilience.breaker.CircuitBreaker`; open-circuit
+   nodes are skipped at routing time and rejoin via health probes.
+3. **Degrade** — when a pair runs out of routes (every node failed or
+   open-circuit, or the deadline passed), it is scored *in process* on
+   an :class:`~repro.resilience.fallback.EngineFallbackChain` — the
+   engines are bit-identical, so a degraded score equals a healthy
+   cluster's score.
+4. **Shed, loudly** — with no fallback available, the leftover pairs
+   raise :class:`~repro.cluster.errors.ClusterDegradedError` naming
+   their indices.  A silent wrong (or missing) score is the one
+   forbidden outcome.
+
+The seeded ``cluster.route.mispick`` fault site lives here: firing it
+routes a pair to a non-owner, which must cost cache locality only.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from ..resilience.faults import should_inject
+from ..serve.client import fresh_request_ids
+from ..serve.service import _as_codes
+from ..serve.wire import codes_to_str, scheme_wire_fields
+from ..swa.scoring import DEFAULT_SCHEME
+from .errors import ClusterDegradedError, ClusterError, NodeUnavailable
+from .hashring import HashRing, route_digest
+from .node import RemoteNode
+
+__all__ = ["ClusterCoordinator"]
+
+
+class ClusterCoordinator:
+    """Route alignment batches across serve nodes with failover.
+
+    Parameters
+    ----------
+    nodes:
+        :class:`~repro.cluster.node.RemoteNode` handles (or
+        ``(name, host, port)`` tuples).
+    replication:
+        Distinct preferred owners per key.  The first is the cache
+        owner; the rest absorb its traffic without a full reshuffle.
+    vnodes:
+        Virtual points per node on the hash ring.
+    deadline_s:
+        Default per-batch wall-clock budget; past it, unanswered pairs
+        take the degrade ladder instead of retrying forever.
+    fallback:
+        ``"auto"`` (default) lazily builds the shared in-process
+        :func:`~repro.resilience.fallback.default_chain` on first
+        degrade; pass a chain to use it, or ``None`` to shed with
+        :class:`ClusterDegradedError` instead of degrading.
+    """
+
+    def __init__(self, nodes, *, replication: int = 2, vnodes: int = 64,
+                 deadline_s: float = 30.0, fallback="auto",
+                 word_bits: int = 64, clock=time.monotonic) -> None:
+        if replication <= 0:
+            raise ValueError(
+                f"replication must be positive, got {replication}")
+        handles = [n if isinstance(n, RemoteNode) else RemoteNode(*n)
+                   for n in nodes]
+        if not handles:
+            raise ValueError("a cluster needs at least one node")
+        names = [n.name for n in handles]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate node names: {names}")
+        self._nodes = {n.name: n for n in handles}
+        self.ring = HashRing(names, vnodes=vnodes)
+        self.replication = min(replication, len(handles))
+        self.deadline_s = deadline_s
+        self.word_bits = word_bits
+        self._clock = clock
+        self._fallback_spec = fallback
+        self._fallback = fallback if fallback not in ("auto", None) \
+            else None
+        self._lock = threading.Lock()
+        self.routed = 0
+        self.rerouted = 0
+        self.degraded = 0
+        self.shed = 0
+        self.mispicks = 0
+        self.batches = 0
+        self._probe_stop: threading.Event | None = None
+        self._probe_thread: threading.Thread | None = None
+
+    # -- routing --------------------------------------------------------
+    def owners(self, query, subject, scheme=None) -> list[str]:
+        """The replica set (owner first) for one pair — introspection
+        for ``cluster route`` and the locality tests."""
+        fields = scheme_wire_fields(scheme or DEFAULT_SCHEME)
+        digest = route_digest(query, subject, fields)
+        return self.ring.nodes_for(digest, self.replication)
+
+    def _preference(self, digest: int) -> list[str]:
+        """Full failover order for a key: owner, replicas, the rest.
+
+        The ``cluster.route.mispick`` site rotates the list so a
+        non-owner comes first — scores must not notice, only the
+        owner's cache hit rate does.
+        """
+        pref = self.ring.preference(digest)
+        if len(pref) > 1 and should_inject("cluster.route.mispick"):
+            pref = pref[1:] + pref[:1]
+            with self._lock:
+                self.mispicks += 1
+        return pref
+
+    # -- scoring --------------------------------------------------------
+    def score_batch(self, pairs, scheme=None, *,
+                    deadline_s: float | None = None,
+                    request_ids=None) -> np.ndarray:
+        """Exact max scores for ``pairs``, ``(P,) int64``.
+
+        Pairs are ``(query, subject)`` strings or code arrays.  Every
+        returned score is bit-identical to a single-node run; pairs
+        that could not be scored anywhere raise
+        :class:`ClusterDegradedError` naming their indices.
+        """
+        scheme = scheme or DEFAULT_SCHEME
+        pairs = [(self._as_text(q, scheme), self._as_text(s, scheme))
+                 for q, s in pairs]
+        n = len(pairs)
+        scores = np.zeros(n, dtype=np.int64)
+        if n == 0:
+            return scores
+        if request_ids is None:
+            request_ids = fresh_request_ids(n)
+        elif len(request_ids) != n:
+            raise ValueError(
+                f"{len(request_ids)} request_ids for {n} pairs")
+        fields = scheme_wire_fields(scheme)
+        prefs = [self._preference(route_digest(q, s, fields))
+                 for q, s in pairs]
+        cursor = [0] * n           # position in prefs[i] to try next
+        answered = np.zeros(n, dtype=bool)
+        deadline = self._clock() + (self.deadline_s if deadline_s is None
+                                    else deadline_s)
+        with self._lock:
+            self.batches += 1
+        pending = list(range(n))
+        while pending:
+            out_of_time = self._clock() >= deadline
+            groups: dict[str, list[int]] = {}
+            exhausted: list[int] = []
+            for i in pending:
+                target = None
+                while cursor[i] < len(prefs[i]):
+                    name = prefs[i][cursor[i]]
+                    if not out_of_time and \
+                            self._nodes[name].breaker.state != "open":
+                        target = name
+                        break
+                    cursor[i] += 1
+                if target is None:
+                    exhausted.append(i)
+                else:
+                    groups.setdefault(target, []).append(i)
+            if exhausted:
+                self._degrade(pairs, exhausted, scheme, scores,
+                              answered)
+            for name, idxs in groups.items():
+                node = self._nodes[name]
+                requests = [
+                    {"op": "align", "id": i, "req": request_ids[i],
+                     "query": pairs[i][0], "subject": pairs[i][1],
+                     **fields}
+                    for i in idxs
+                ]
+                try:
+                    responses = node.send_batch(requests,
+                                                deadline=deadline)
+                except NodeUnavailable as exc:
+                    landed = self._credit(exc.partial, scores, answered,
+                                          cursor, prefs)
+                    node.record_failure()
+                    moved = len(idxs) - landed
+                    with self._lock:
+                        self.routed += landed
+                        self.rerouted += moved
+                    for i in idxs:
+                        if not answered[i] and \
+                                cursor[i] < len(prefs[i]) and \
+                                prefs[i][cursor[i]] == name:
+                            cursor[i] += 1
+                    continue
+                node.breaker.record_success()
+                landed = self._credit(responses, scores, answered,
+                                      cursor, prefs)
+                with self._lock:
+                    self.routed += landed
+                    self.rerouted += len(idxs) - landed
+            pending = [i for i in pending if not answered[i]]
+        return scores
+
+    @staticmethod
+    def _as_text(seq, scheme) -> str:
+        """Wire sequences are strings; decode code arrays on the way."""
+        if isinstance(seq, str):
+            return seq
+        return codes_to_str(seq, scheme)
+
+    def _credit(self, responses, scores, answered, cursor, prefs) -> int:
+        """Record successful responses; returns how many landed.
+
+        A server-side ``bad_request`` is deterministic — every node
+        would refuse it — so it surfaces immediately as a typed
+        :class:`ClusterError`.  Transient refusals (``queue_full``,
+        ``deadline``) advance the pair to its next candidate instead.
+        """
+        landed = 0
+        for resp in responses:
+            i = resp.get("id")
+            if not isinstance(i, int) or not 0 <= i < len(answered):
+                continue
+            if resp.get("ok"):
+                if not answered[i]:
+                    scores[i] = int(resp["score"])
+                    answered[i] = True
+                    landed += 1
+                continue
+            kind = resp.get("kind", "error")
+            if kind == "bad_request":
+                raise ClusterError(
+                    f"pair {i} rejected as bad_request: "
+                    f"{resp.get('error', 'unknown')}")
+            if cursor[i] < len(prefs[i]):
+                cursor[i] += 1
+        return landed
+
+    def _ensure_fallback(self):
+        if self._fallback is None and self._fallback_spec == "auto":
+            from ..resilience.fallback import default_chain
+
+            self._fallback = default_chain(self.word_bits)
+        return self._fallback
+
+    def _degrade(self, pairs, idxs, scheme, scores, answered) -> None:
+        """Score ``idxs`` in process, or shed them with a typed error.
+
+        The fallback engines are bit-identical to the remote nodes'
+        (pinned by the differential fuzz suite), so a degraded score
+        *is* the cluster's score — degradation costs capacity, never
+        correctness.
+        """
+        chain = self._ensure_fallback()
+        if chain is None:
+            with self._lock:
+                self.shed += len(idxs)
+            raise ClusterDegradedError(
+                f"{len(idxs)} pair(s) shed: every node failed or "
+                "open-circuit before the deadline and no in-process "
+                "fallback is configured", idxs)
+        from ..resilience.errors import FallbackExhaustedError
+
+        for i in idxs:
+            q = _as_codes(pairs[i][0], scheme)
+            s = _as_codes(pairs[i][1], scheme)
+            try:
+                got, _engine = chain.score(q[None, :], s[None, :],
+                                           scheme, self.word_bits)
+            except FallbackExhaustedError as exc:
+                remaining = [j for j in idxs if not answered[j]]
+                with self._lock:
+                    self.shed += len(remaining)
+                raise ClusterDegradedError(
+                    f"{len(remaining)} pair(s) shed: every node and "
+                    "every in-process engine failed", remaining,
+                    cause=exc) from exc
+            scores[i] = int(got[0])
+            answered[i] = True
+            with self._lock:
+                self.degraded += 1
+
+    # -- health probes --------------------------------------------------
+    def probe_once(self) -> dict[str, bool]:
+        """Probe every node once; returns name -> healthy."""
+        return {name: node.probe()
+                for name, node in self._nodes.items()}
+
+    def start_probes(self, interval_s: float = 0.5) -> None:
+        """Run the probe loop on a daemon thread until :meth:`close`.
+
+        Probes are what let an open-circuit node *rejoin*: a good ping
+        closes its breaker, and routing starts offering it traffic
+        again.
+        """
+        if self._probe_thread is not None:
+            return
+        stop = threading.Event()
+
+        def loop() -> None:
+            while not stop.wait(interval_s):
+                self.probe_once()
+
+        self._probe_stop = stop
+        self._probe_thread = threading.Thread(
+            target=loop, name="cluster-probes", daemon=True)
+        self._probe_thread.start()
+
+    def close(self) -> None:
+        """Stop the probe loop (idempotent)."""
+        if self._probe_stop is not None:
+            self._probe_stop.set()
+        if self._probe_thread is not None:
+            self._probe_thread.join(timeout=5.0)
+        self._probe_stop = None
+        self._probe_thread = None
+
+    def __enter__(self) -> "ClusterCoordinator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reporting ------------------------------------------------------
+    def status(self) -> dict:
+        """JSON-able cluster + per-node stats snapshot."""
+        with self._lock:
+            cluster = {
+                "nodes": len(self._nodes),
+                "replication": self.replication,
+                "batches": self.batches,
+                "routed": self.routed,
+                "rerouted": self.rerouted,
+                "degraded": self.degraded,
+                "shed": self.shed,
+                "mispicks": self.mispicks,
+            }
+        return {
+            "cluster": cluster,
+            "per_node": [self._nodes[name].snapshot()
+                         for name in sorted(self._nodes)],
+        }

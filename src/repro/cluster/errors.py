@@ -1,0 +1,61 @@
+"""Typed failures of the cluster layer.
+
+The cluster inherits the resilience contract ("bit-identical recovery
+or a typed error, never a silent wrong score") and these are its typed
+errors.  :class:`NodeUnavailable` is the *internal* retryable signal —
+the coordinator catches it and reroutes; callers only ever see
+:class:`ClusterDegradedError` (requests shed after every route was
+exhausted) or :class:`TopologyError` (a bad cluster description).
+"""
+
+from __future__ import annotations
+
+from ..resilience.errors import ResilienceError
+
+__all__ = ["ClusterError", "TopologyError", "NodeUnavailable",
+           "ClusterDegradedError"]
+
+
+class ClusterError(ResilienceError):
+    """Base class for cluster-layer failures."""
+
+
+class TopologyError(ClusterError):
+    """A cluster topology description could not be parsed/validated."""
+
+
+class NodeUnavailable(ClusterError):
+    """One node failed a batch at the transport level (connect refused,
+    connection dropped, response frame truncated).
+
+    This is the coordinator's internal reroute signal, never surfaced
+    to callers.  ``partial`` carries any complete responses that were
+    read before the failure — the coordinator credits those (their
+    scores are exact) and reroutes only the remainder, reusing the
+    same idempotent request IDs.
+    """
+
+    def __init__(self, node: str, message: str,
+                 partial: list | None = None,
+                 cause: BaseException | None = None) -> None:
+        super().__init__(f"node {node!r}: {message}")
+        self.node = node
+        self.partial = list(partial or ())
+        self.cause = cause
+
+
+class ClusterDegradedError(ClusterError):
+    """Requests were shed: every route *and* the in-process fallback
+    were unavailable before the deadline.
+
+    ``pair_indices`` are the submission-order indices whose scores are
+    missing — exactly the pairs a caller may retry or must report as
+    unscored.  Every other pair's score is exact; nothing about them
+    is in doubt.
+    """
+
+    def __init__(self, message: str, pair_indices,
+                 cause: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.pair_indices = tuple(int(i) for i in pair_indices)
+        self.cause = cause

@@ -1,0 +1,251 @@
+"""Local cluster harness: real serve *processes* on ephemeral ports.
+
+Failover code tested only against in-process mocks has never met a
+dying process, so the chaos suite (and ``python -m repro cluster``)
+boots the real thing: :class:`LocalCluster` spawns one
+``python -m repro serve`` subprocess per topology entry, waits for
+each to announce ``serving on host:port`` on stderr, and hands back
+:class:`~repro.cluster.node.RemoteNode` handles whose ``drop_hook``
+SIGKILLs the actual process — so the ``cluster.node.drop`` fault site
+kills a genuine node mid-batch, not a simulation of one.
+
+Topologies come from TOML or JSON files (or plain dicts)::
+
+    [[nodes]]
+    name = "a"            # required, unique
+    host = "127.0.0.1"    # default
+    port = 0              # default 0 = ephemeral
+    engine = "bpbc"       # default; any serve engine name
+    workers = 2           # default
+
+``{"nodes": [{"name": "a"}, ...]}`` is the JSON equivalent.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from .errors import TopologyError
+from .node import RemoteNode
+
+__all__ = ["NodeSpec", "load_topology", "LocalCluster"]
+
+_ANNOUNCE = re.compile(r"serving on ([\d.]+):(\d+)")
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One node of a cluster topology."""
+
+    name: str
+    host: str = "127.0.0.1"
+    port: int = 0
+    engine: str = "bpbc"
+    workers: int = 2
+    word_bits: int = 64
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TopologyError("node name must be non-empty")
+        if self.port < 0:
+            raise TopologyError(
+                f"node {self.name!r}: port must be >= 0, "
+                f"got {self.port}")
+
+
+def _specs_from_obj(obj) -> list[NodeSpec]:
+    if not isinstance(obj, dict) or "nodes" not in obj:
+        raise TopologyError(
+            "topology must be an object with a 'nodes' list")
+    nodes = obj["nodes"]
+    if not isinstance(nodes, list) or not nodes:
+        raise TopologyError("topology 'nodes' must be a non-empty list")
+    specs = []
+    for entry in nodes:
+        if not isinstance(entry, dict):
+            raise TopologyError(
+                f"topology node entries must be objects, got "
+                f"{type(entry).__name__}")
+        unknown = set(entry) - {"name", "host", "port", "engine",
+                                "workers", "word_bits"}
+        if unknown:
+            raise TopologyError(
+                f"unknown topology keys: {sorted(unknown)}")
+        try:
+            specs.append(NodeSpec(**entry))
+        except TypeError as exc:
+            raise TopologyError(f"bad topology node entry: {exc}") \
+                from exc
+    names = [s.name for s in specs]
+    if len(set(names)) != len(names):
+        raise TopologyError(f"duplicate node names: {names}")
+    return specs
+
+
+def load_topology(path) -> list[NodeSpec]:
+    """Parse a TOML or JSON topology file into node specs.
+
+    ``.toml`` parses as TOML, everything else as JSON — the two
+    formats describe the identical ``nodes`` table.
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix.lower() == ".toml":
+        import tomllib
+
+        try:
+            obj = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise TopologyError(f"{path}: invalid TOML: {exc}") from exc
+    else:
+        try:
+            obj = json.loads(text)
+        except ValueError as exc:
+            raise TopologyError(f"{path}: invalid JSON: {exc}") from exc
+    return _specs_from_obj(obj)
+
+
+def _src_path() -> str:
+    """The ``src`` directory the spawned servers must import from."""
+    import repro
+
+    return str(Path(repro.__file__).resolve().parent.parent)
+
+
+class LocalCluster:
+    """Spawn and manage N real serve processes on ephemeral ports.
+
+    Use as a context manager; :meth:`nodes` / :meth:`coordinator` are
+    available once :meth:`start` returns.  :meth:`kill` is the chaos
+    hook — SIGKILL, no shutdown grace, exactly like a node losing
+    power mid-batch.
+    """
+
+    def __init__(self, specs=None, *, n: int = 3,
+                 startup_timeout_s: float = 60.0) -> None:
+        if specs is None:
+            specs = [NodeSpec(name=f"node{i}") for i in range(n)]
+        else:
+            specs = [s if isinstance(s, NodeSpec) else NodeSpec(**s)
+                     for s in specs]
+        if not specs:
+            raise TopologyError("cluster needs at least one node spec")
+        self.specs = list(specs)
+        self.startup_timeout_s = startup_timeout_s
+        self._procs: dict[str, subprocess.Popen] = {}
+        self._addrs: dict[str, tuple[str, int]] = {}
+        self._logdir: tempfile.TemporaryDirectory | None = None
+        self._logs: dict[str, Path] = {}
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "LocalCluster":
+        """Spawn every node and block until all announce their port."""
+        import os
+
+        self._logdir = tempfile.TemporaryDirectory(prefix="repro-cluster-")
+        env = dict(os.environ)
+        src = _src_path()
+        prior = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src if not prior else \
+            src + os.pathsep + prior
+        try:
+            for spec in self.specs:
+                log = Path(self._logdir.name) / f"{spec.name}.log"
+                self._logs[spec.name] = log
+                cmd = [sys.executable, "-m", "repro", "serve",
+                       "--host", spec.host, "--port", str(spec.port),
+                       "--engine", spec.engine,
+                       "--workers", str(spec.workers),
+                       "--word-bits", str(spec.word_bits)]
+                with open(log, "wb") as fh:
+                    self._procs[spec.name] = subprocess.Popen(
+                        cmd, env=env, stdout=subprocess.DEVNULL,
+                        stderr=fh, stdin=subprocess.DEVNULL)
+            deadline = time.monotonic() + self.startup_timeout_s
+            for spec in self.specs:
+                self._addrs[spec.name] = self._await_announce(
+                    spec.name, deadline)
+        except BaseException:
+            self.stop()
+            raise
+        return self
+
+    def _await_announce(self, name: str,
+                        deadline: float) -> tuple[str, int]:
+        """Poll a node's stderr log until it prints its bound address."""
+        log = self._logs[name]
+        proc = self._procs[name]
+        while True:
+            text = log.read_text(errors="replace") if log.exists() \
+                else ""
+            hit = _ANNOUNCE.search(text)
+            if hit:
+                return hit.group(1), int(hit.group(2))
+            if proc.poll() is not None:
+                raise TopologyError(
+                    f"node {name!r} exited with status "
+                    f"{proc.returncode} before serving; log:\n{text}")
+            if time.monotonic() >= deadline:
+                raise TopologyError(
+                    f"node {name!r} did not announce its port within "
+                    f"{self.startup_timeout_s:.0f}s; log:\n{text}")
+            time.sleep(0.05)
+
+    def kill(self, name: str) -> None:
+        """SIGKILL one node (the chaos path; idempotent)."""
+        proc = self._procs.get(name)
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10.0)
+
+    def alive(self, name: str) -> bool:
+        proc = self._procs.get(name)
+        return proc is not None and proc.poll() is None
+
+    def stop(self) -> None:
+        """Kill every node and clean up (idempotent)."""
+        for name in list(self._procs):
+            self.kill(name)
+        self._procs.clear()
+        self._addrs.clear()
+        if self._logdir is not None:
+            self._logdir.cleanup()
+            self._logdir = None
+        self._logs.clear()
+
+    def __enter__(self) -> "LocalCluster":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- handles --------------------------------------------------------
+    def address(self, name: str) -> tuple[str, int]:
+        return self._addrs[name]
+
+    def nodes(self, **node_kwargs) -> list[RemoteNode]:
+        """Coordinator-side handles, drop hooks wired to real kills."""
+        out = []
+        for spec in self.specs:
+            host, port = self._addrs[spec.name]
+            out.append(RemoteNode(
+                spec.name, host, port,
+                drop_hook=lambda name=spec.name: self.kill(name),
+                **node_kwargs))
+        return out
+
+    def coordinator(self, **coord_kwargs):
+        """A :class:`~repro.cluster.coordinator.ClusterCoordinator`
+        over this cluster's nodes."""
+        from .coordinator import ClusterCoordinator
+
+        node_kwargs = coord_kwargs.pop("node_kwargs", {})
+        return ClusterCoordinator(self.nodes(**node_kwargs),
+                                  **coord_kwargs)

@@ -1,0 +1,125 @@
+"""Consistent-hash ring: cache-key-local routing that survives churn.
+
+Each serve node keeps its own LRU result cache keyed by the *content*
+of a pair plus its scoring scheme (:func:`repro.serve.cache.cache_key`).
+Routing by the same key means a repeated pair lands on the node that
+already holds its score — the cluster-wide hit rate approaches the
+single-node hit rate instead of being divided by N.
+
+The ring is the classic construction: every node owns ``vnodes``
+points on a 2^64 circle, placed by SHA-256 of ``"{node}#{replica}"``
+— **not** Python's salted ``hash``, so the layout is identical on
+every machine and interpreter, and a key's owner is a pure function of
+the topology.  A key routes to the first node point at or after its
+digest; replication walks on to the next *distinct* nodes.  Adding or
+removing one node only remaps the keys adjacent to its points (~1/N of
+the space), so a node death does not shuffle every cache.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+
+import numpy as np
+
+__all__ = ["HashRing", "route_digest"]
+
+
+def _point(label: str) -> int:
+    """Deterministic 64-bit ring position for a label."""
+    digest = hashlib.sha256(label.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def route_digest(query, subject, scheme_fields: dict) -> int:
+    """64-bit routing digest of one pair under a scheme.
+
+    Mirrors the server's result-cache key: the two sequences are kept
+    separate (length-prefixed, so ``("AT","G")`` and ``("A","TG")``
+    cannot collide) and the scheme rides along as its canonical wire
+    fields (:func:`repro.serve.wire.scheme_wire_fields`) — the same
+    scheme always hashes the same way, whatever object represents it.
+    """
+    q = (query.encode("ascii") if isinstance(query, str)
+         else np.ascontiguousarray(query, dtype=np.uint8).tobytes())
+    s = (subject.encode("ascii") if isinstance(subject, str)
+         else np.ascontiguousarray(subject, dtype=np.uint8).tobytes())
+    h = hashlib.sha256()
+    h.update(len(q).to_bytes(8, "big"))
+    h.update(q)
+    h.update(s)
+    h.update(json.dumps(scheme_fields, sort_keys=True).encode())
+    return int.from_bytes(h.digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over named nodes with virtual points."""
+
+    def __init__(self, nodes=(), vnodes: int = 64) -> None:
+        if vnodes <= 0:
+            raise ValueError(f"vnodes must be positive, got {vnodes}")
+        self.vnodes = vnodes
+        self._points: list[int] = []      # sorted ring positions
+        self._owners: list[str] = []      # node name per position
+        self._nodes: set[str] = set()
+        for name in nodes:
+            self.add(name)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """Member node names, sorted."""
+        return tuple(sorted(self._nodes))
+
+    def add(self, name: str) -> None:
+        """Add a node's virtual points (idempotent)."""
+        if name in self._nodes:
+            return
+        self._nodes.add(name)
+        for r in range(self.vnodes):
+            point = _point(f"{name}#{r}")
+            at = bisect.bisect_left(self._points, point)
+            self._points.insert(at, point)
+            self._owners.insert(at, name)
+
+    def remove(self, name: str) -> None:
+        """Remove a node's virtual points (idempotent)."""
+        if name not in self._nodes:
+            return
+        self._nodes.remove(name)
+        keep = [(p, o) for p, o in zip(self._points, self._owners)
+                if o != name]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    def nodes_for(self, digest: int, count: int = 1) -> list[str]:
+        """The ``count`` distinct owners of ``digest``, owner first.
+
+        Walks clockwise from the key's position; the first node point
+        met is the owner, subsequent *distinct* nodes are its replicas.
+        Returns fewer than ``count`` names if the ring is smaller.
+        """
+        if not self._points:
+            return []
+        out: list[str] = []
+        start = bisect.bisect_right(self._points, digest % (1 << 64))
+        n = len(self._points)
+        for step in range(n):
+            owner = self._owners[(start + step) % n]
+            if owner not in out:
+                out.append(owner)
+                if len(out) >= count:
+                    break
+        return out
+
+    def preference(self, digest: int) -> list[str]:
+        """Every node, ordered owner → replicas → the rest.
+
+        The coordinator's full reroute order for one key: it tries
+        these left to right until one answers.
+        """
+        return self.nodes_for(digest, count=len(self._nodes))

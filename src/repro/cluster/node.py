@@ -1,0 +1,237 @@
+"""One serve node, as seen from the coordinator.
+
+:class:`RemoteNode` owns everything node-scoped: the address, a
+per-node :class:`~repro.resilience.breaker.CircuitBreaker`, latency
+samples for p50/p99, and the health probe.  Batches travel over a
+fresh TCP connection per call — connection reuse is a throughput
+optimisation the failover logic must not depend on, and a fresh
+socket makes "this node is down" a property of *this* call, not of a
+stale file descriptor.
+
+Transport failures (connect refused, connection dropped, a response
+frame truncated mid-line) raise :class:`NodeUnavailable` carrying the
+responses already read — the coordinator credits those and reroutes
+the rest.  Three seeded fault sites live here: ``cluster.node.connect``
+(the connect attempt fails), ``cluster.node.drop`` (the node dies
+after requests were written — via the harness ``drop_hook`` that kills
+the real process, or by severing the connection), and
+``cluster.probe.flap`` (a health probe lies about a live node).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from collections import deque
+
+from ..resilience.breaker import CircuitBreaker
+from ..resilience.faults import should_inject
+from .errors import NodeUnavailable
+
+__all__ = ["RemoteNode"]
+
+#: Latency samples kept per node (enough for stable p99 at test scale).
+_LATENCY_WINDOW = 1024
+
+
+def _percentile(samples: list[float], q: float) -> float | None:
+    """q-th percentile (0..1) by nearest-rank; None when empty."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    at = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return ordered[at]
+
+
+class RemoteNode:
+    """A coordinator-side handle on one ``repro.serve`` process."""
+
+    def __init__(self, name: str, host: str, port: int, *,
+                 connect_timeout_s: float = 2.0,
+                 failure_threshold: int = 3,
+                 reset_after_s: float = 5.0,
+                 clock=time.monotonic,
+                 drop_hook=None) -> None:
+        self.name = name
+        self.host = host
+        self.port = int(port)
+        self.connect_timeout_s = connect_timeout_s
+        self.breaker = CircuitBreaker(failure_threshold=failure_threshold,
+                                      reset_after_s=reset_after_s,
+                                      clock=clock)
+        self._clock = clock
+        #: Called when ``cluster.node.drop`` fires; the harness wires
+        #: this to kill the real serve process, so the chaos suite
+        #: exercises genuine node death rather than a simulation.
+        self.drop_hook = drop_hook
+        self._lock = threading.Lock()
+        self._latencies_ms: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self.requests = 0
+        self.failures = 0
+        self.duplicates = 0
+        self.probes_ok = 0
+        self.probes_failed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RemoteNode({self.name!r}, {self.host}:{self.port}, "
+                f"breaker={self.breaker.state})")
+
+    # -- transport ------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        if should_inject("cluster.node.connect"):
+            raise NodeUnavailable(
+                self.name, "injected connect failure "
+                "(site cluster.node.connect)")
+        try:
+            return socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout_s)
+        except OSError as exc:
+            raise NodeUnavailable(
+                self.name, f"connect to {self.host}:{self.port} "
+                f"failed: {exc}", cause=exc) from exc
+
+    def _sever(self, sock: socket.socket) -> None:
+        """``cluster.node.drop`` fired: make the node genuinely die.
+
+        With a harness hook the real serve *process* is killed; bare
+        nodes lose the connection instead, which exercises the same
+        retry path — and, because retries reuse their request IDs, the
+        server-side idempotency index on a revisit.
+        """
+        if self.drop_hook is not None:
+            self.drop_hook()
+        else:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        sock.close()
+
+    def send_batch(self, requests: list[dict],
+                   deadline: float | None = None) -> list[dict]:
+        """Pipeline ``requests`` to this node; responses in order.
+
+        Writes every request before reading any response (same
+        pipelining contract as :class:`repro.serve.client.ServeClient`)
+        and reads until all are answered or the monotonic ``deadline``
+        passes.  Any transport failure raises :class:`NodeUnavailable`
+        with the complete responses read so far attached as
+        ``partial`` — those scores are exact and must be credited, not
+        recomputed.
+        """
+        started = self._clock()
+        sock = self._connect()
+        got: list[dict] = []
+        try:
+            fh = sock.makefile("rwb")
+            try:
+                for obj in requests:
+                    fh.write(json.dumps(obj).encode() + b"\n")
+                fh.flush()
+                if should_inject("cluster.node.drop"):
+                    self._sever(sock)
+                for _ in requests:
+                    if deadline is not None:
+                        left = deadline - self._clock()
+                        if left <= 0:
+                            raise NodeUnavailable(
+                                self.name, "deadline passed with "
+                                f"{len(requests) - len(got)} "
+                                "response(s) outstanding",
+                                partial=got)
+                        sock.settimeout(left)
+                    line = fh.readline()
+                    if not line.endswith(b"\n"):
+                        raise NodeUnavailable(
+                            self.name,
+                            "connection lost mid-batch "
+                            f"({len(got)}/{len(requests)} responses "
+                            "read)", partial=got)
+                    got.append(json.loads(line))
+                    with self._lock:
+                        self._latencies_ms.append(
+                            (self._clock() - started) * 1e3)
+            except NodeUnavailable:
+                raise
+            except (OSError, ValueError) as exc:
+                raise NodeUnavailable(
+                    self.name, f"transport failure mid-batch: {exc!r}",
+                    partial=got, cause=exc) from exc
+        finally:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+        with self._lock:
+            self.requests += len(requests)
+            self.duplicates += sum(1 for r in got if r.get("duplicate"))
+        return got
+
+    # -- health ---------------------------------------------------------
+    def probe(self, timeout_s: float = 1.0) -> bool:
+        """One health probe: ping the node, update the breaker.
+
+        A good probe closes the breaker (a recovered node rejoins
+        routing); a bad one records a failure.  The seeded
+        ``cluster.probe.flap`` site makes a probe lie about a live
+        node — the breaker backs off but no score is ever affected,
+        which is exactly the blast radius a flapping health check
+        should have.
+        """
+        if should_inject("cluster.probe.flap"):
+            with self._lock:
+                self.probes_failed += 1
+            self.breaker.record_failure()
+            return False
+        try:
+            sock = socket.create_connection((self.host, self.port),
+                                            timeout=timeout_s)
+            try:
+                sock.settimeout(timeout_s)
+                fh = sock.makefile("rwb")
+                fh.write(b'{"op": "ping"}\n')
+                fh.flush()
+                resp = json.loads(fh.readline())
+                ok = bool(resp.get("ok") and resp.get("pong"))
+            finally:
+                sock.close()
+        except (OSError, ValueError):
+            ok = False
+        with self._lock:
+            if ok:
+                self.probes_ok += 1
+            else:
+                self.probes_failed += 1
+        if ok:
+            self.breaker.record_success()
+        else:
+            self.breaker.record_failure()
+        return ok
+
+    # -- reporting ------------------------------------------------------
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failures += 1
+        self.breaker.record_failure()
+
+    def snapshot(self) -> dict:
+        """JSON-able per-node stats for ``cluster status`` / tests."""
+        with self._lock:
+            samples = list(self._latencies_ms)
+            requests, failures = self.requests, self.failures
+            duplicates = self.duplicates
+            probes_ok, probes_failed = self.probes_ok, self.probes_failed
+        return {
+            "name": self.name,
+            "address": f"{self.host}:{self.port}",
+            "breaker": self.breaker.snapshot(),
+            "requests": requests,
+            "failures": failures,
+            "duplicates": duplicates,
+            "probes_ok": probes_ok,
+            "probes_failed": probes_failed,
+            "p50_ms": _percentile(samples, 0.50),
+            "p99_ms": _percentile(samples, 0.99),
+        }

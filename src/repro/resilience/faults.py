@@ -107,6 +107,20 @@ SITES: dict[str, str] = {
     "index.tier2.align":
         "a tier-2 traceback alignment raises; TieredSearch retries "
         "once, then propagates",
+    "cluster.node.connect":
+        "the coordinator's connect attempt to a serve node fails; "
+        "the batch reroutes to a replica, scores unchanged",
+    "cluster.node.drop":
+        "a serve node dies mid-batch (harness kills the process, or "
+        "the connection is severed); in-flight requests reroute and "
+        "idempotent request IDs keep retried work from scoring twice",
+    "cluster.probe.flap":
+        "a health probe falsely reports a live node down; the node's "
+        "breaker records a failure and routing shies away until the "
+        "next good probe — scores are unaffected",
+    "cluster.route.mispick":
+        "the router picks a non-owner node for a key; only cache "
+        "locality suffers, scores stay bit-identical",
 }
 
 

@@ -20,11 +20,23 @@ import argparse
 import json
 import socket
 import sys
+import uuid
 
 from .errors import ServeError, ServeProtocolError
 from .server import DEFAULT_PORT
 
-__all__ = ["ServeClient", "ClientError", "main"]
+__all__ = ["ServeClient", "ClientError", "fresh_request_ids", "main"]
+
+
+def fresh_request_ids(n: int) -> list[str]:
+    """``n`` fresh client-generated idempotency IDs (``req`` fields).
+
+    Reusing these IDs on a reconnect-and-resend is what makes the
+    retry safe: the server's :class:`~repro.serve.server.
+    IdempotencyIndex` recognises IDs it already executed and replays
+    the remembered responses instead of scoring the pairs again.
+    """
+    return [uuid.uuid4().hex for _ in range(n)]
 
 
 class ClientError(ServeError):
@@ -126,7 +138,8 @@ class ServeClient:
                    gap_extend: int | None = None,
                    threshold: int | None = None,
                    timeout_ms: float | None = None,
-                   priority: int | None = None) -> list[dict]:
+                   priority: int | None = None,
+                   request_ids=None) -> list[dict]:
         """Pipeline many ``(query, subject)`` pairs over one connection.
 
         All requests are written before any response is read, so the
@@ -138,8 +151,24 @@ class ServeClient:
         mid-line) raise :class:`~repro.serve.errors.ServeProtocolError`
         instead, carrying ``bytes_read``/``bytes_expected`` — the
         typed signal that a reconnect-and-resend is in order.
+
+        Every request carries a client-generated idempotency ID (the
+        ``req`` wire field; pass ``request_ids`` to supply your own,
+        one per pair).  A reconnect-and-resend with the *same* IDs is
+        retry-safe: the server answers IDs it already executed from
+        its idempotency index (``duplicate: true``) instead of scoring
+        them twice — see :func:`fresh_request_ids`.
         """
         pairs = list(pairs)
+        if request_ids is None:
+            request_ids = fresh_request_ids(len(pairs))
+        else:
+            request_ids = [str(r) for r in request_ids]
+            if len(request_ids) != len(pairs):
+                raise ValueError(
+                    f"{len(request_ids)} request_ids for "
+                    f"{len(pairs)} pairs"
+                )
         scoring = {}
         for key, value in (("match", match), ("mismatch", mismatch),
                            ("gap", gap), ("alphabet", alphabet),
@@ -148,8 +177,9 @@ class ServeClient:
             if value is not None:
                 scoring[key] = value
         for i, (query, subject) in enumerate(pairs):
-            obj = {"op": "align", "id": i, "query": str(query),
-                   "subject": str(subject), **scoring}
+            obj = {"op": "align", "id": i, "req": request_ids[i],
+                   "query": str(query), "subject": str(subject),
+                   **scoring}
             if threshold is not None:
                 obj["threshold"] = threshold
             if timeout_ms is not None:

@@ -14,10 +14,18 @@ The protocol is one JSON object per line, both directions.  Requests::
 ``op`` defaults to ``"align"``; scoring fields default to the paper's
 Table II scheme (or the server's configured default scheme).
 ``alphabet: "protein"`` selects substitution-matrix Gotoh scoring;
-DNA requests with ``gap_open`` / ``gap_extend`` get affine gaps.  Responses echo ``id`` and carry ``ok``; an align
+DNA requests with ``gap_open`` / ``gap_extend`` get affine gaps.
+Responses echo ``id`` and carry ``ok``; an align
 response adds ``score`` / ``passed`` / ``cached`` / ``wait_ms``, an
 error response adds ``error`` (message) and ``kind`` (a stable string
 from :func:`repro.serve.errors.error_kind`).
+
+Align requests may also carry ``req``, a client-generated request ID.
+The server keeps a bounded :class:`IdempotencyIndex` of IDs it has
+executed, shared across connections: a retry bearing a known ID (after
+a truncated response frame, say) is answered from the remembered
+response — flagged ``duplicate: true`` — instead of being scored a
+second time.
 
 Clients may *pipeline*: send many lines before reading any responses.
 The handler keeps reading while a per-connection writer thread emits
@@ -32,6 +40,7 @@ import json
 import socket
 import socketserver
 import threading
+from collections import OrderedDict
 from concurrent.futures import Future
 from queue import Queue
 
@@ -40,7 +49,7 @@ from ..swa.scoring import DEFAULT_SCHEME, ScoringScheme
 from .errors import error_kind
 from .service import AlignmentService
 
-__all__ = ["AlignmentServer", "DEFAULT_PORT"]
+__all__ = ["AlignmentServer", "IdempotencyIndex", "DEFAULT_PORT"]
 
 #: Default TCP port for ``python -m repro serve``.
 DEFAULT_PORT = 7421
@@ -105,6 +114,76 @@ def _scheme_from(obj: dict, default=None):
     )
 
 
+class IdempotencyIndex:
+    """Server-level LRU of request ID -> outcome (retry dedup).
+
+    A client that loses a response frame mid-line cannot tell whether
+    the server executed its request; the safe recovery is to reconnect
+    and *resend with the same client-generated ID* (the ``req`` wire
+    field).  This index — shared by every connection of a server, so
+    the retry may arrive on a fresh socket — remembers what each ID
+    resolved to:
+
+    * ``pending`` (a live future): the duplicate attaches to the same
+      in-flight execution instead of submitting a second one;
+    * ``done`` (the successful response payload): the duplicate gets
+      the remembered response, flagged ``duplicate: true``.
+
+    Only *successful* responses are remembered — a request that failed
+    with a typed error (deadline, queue full) must be allowed to
+    re-execute on retry.  Evicting the least-recently-used entry past
+    ``capacity`` only loses dedup, never correctness: a re-executed
+    request recomputes the identical score (the engines are
+    deterministic and the result cache is content-keyed).
+    """
+
+    def __init__(self, capacity: int = 8192) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._data: OrderedDict[str, tuple[str, object]] = OrderedDict()
+        self._lock = threading.Lock()
+        self.duplicates = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def lookup(self, req: str):
+        """``("pending", future)`` / ``("done", payload)`` or None."""
+        with self._lock:
+            hit = self._data.get(req)
+            if hit is not None:
+                self._data.move_to_end(req)
+                self.duplicates += 1
+            return hit
+
+    def begin(self, req: str, future: Future) -> None:
+        """Register an in-flight execution for ``req``."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._data[req] = ("pending", future)
+            self._data.move_to_end(req)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+    def complete(self, req: str, payload: dict) -> None:
+        """Remember the successful response payload for ``req``."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._data[req] = ("done", dict(payload))
+            self._data.move_to_end(req)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+    def forget(self, req: str) -> None:
+        """Drop ``req`` (its execution failed; a retry may re-run)."""
+        with self._lock:
+            self._data.pop(req, None)
+
+
 class _Handler(socketserver.StreamRequestHandler):
     """One thread per connection; a second thread writes responses."""
 
@@ -125,7 +204,7 @@ class _Handler(socketserver.StreamRequestHandler):
             writer.join()
 
     def _dispatch(self, service: AlignmentService, line: bytes):
-        """Parse one request line -> response dict or (id, future)."""
+        """Parse one request line -> response dict or (id, req, future)."""
         try:
             obj = json.loads(line)
             if not isinstance(obj, dict):
@@ -143,6 +222,24 @@ class _Handler(socketserver.StreamRequestHandler):
         if op != "align":
             return {"ok": False, "id": rid,
                     "error": f"unknown op {op!r}", "kind": "bad_request"}
+        req = obj.get("req")
+        req = None if req is None else str(req)
+        idem: IdempotencyIndex | None = getattr(self.server,
+                                                "idempotency", None)
+        if req is not None and idem is not None:
+            hit = idem.lookup(req)
+            if hit is not None:
+                kind, payload = hit
+                if kind == "done":
+                    # Retry of a request the server already executed:
+                    # replay the remembered response, never re-score.
+                    resp = dict(payload)
+                    resp["id"] = rid
+                    resp["duplicate"] = True
+                    return resp
+                # Still in flight: attach to the same execution (req
+                # None: the original submission owns completion).
+                return (rid, None, payload, True)
         try:
             future = service.submit(
                 obj["query"], obj["subject"],
@@ -159,7 +256,9 @@ class _Handler(socketserver.StreamRequestHandler):
         except Exception as exc:  # noqa: BLE001 - becomes a wire error
             return {"ok": False, "id": rid, "error": str(exc),
                     "kind": error_kind(exc)}
-        return (rid, future)
+        if req is not None and idem is not None:
+            idem.begin(req, future)
+        return (rid, req, future, False)
 
     def _drop_connection(self) -> None:
         """Kill this connection (fault injection): shutting the socket
@@ -180,8 +279,22 @@ class _Handler(socketserver.StreamRequestHandler):
             if item is None:
                 return
             if isinstance(item, tuple):
-                rid, future = item
+                rid, req, future, attached = item
                 item = self._await(rid, future)
+                idem: IdempotencyIndex | None = getattr(
+                    self.server, "idempotency", None)
+                if req is not None and idem is not None:
+                    if item.get("ok"):
+                        idem.complete(req, {k: v for k, v in item.items()
+                                            if k != "id"})
+                    else:
+                        # Typed failure: forget the ID so a retry may
+                        # re-execute instead of replaying the error.
+                        idem.forget(req)
+                if attached and item.get("ok"):
+                    # A duplicate that attached to the in-flight
+                    # execution is flagged like a replayed one.
+                    item["duplicate"] = True
             data = json.dumps(item).encode() + b"\n"
             if should_inject("serve.sock.truncate"):
                 # Half a frame, no terminator, then a dead socket —
@@ -229,17 +342,22 @@ class AlignmentServer:
     ``default_scheme`` is applied to requests that carry no scoring
     fields of their own (the CLI's ``--alphabet protein`` path);
     ``None`` keeps the paper's Table II linear DNA scheme.
+    ``idempotency_size`` bounds the server-wide retry-dedup index of
+    client request IDs (the ``req`` wire field; 0 disables dedup).
     """
 
     def __init__(self, service: AlignmentService,
                  host: str = "127.0.0.1",
                  port: int = DEFAULT_PORT,
-                 default_scheme=None) -> None:
+                 default_scheme=None,
+                 idempotency_size: int = 8192) -> None:
         self.service = service
         self.default_scheme = default_scheme
+        self.idempotency = IdempotencyIndex(idempotency_size)
         self._tcp = _TCPServer((host, port), _Handler)
         self._tcp.service = service
         self._tcp.default_scheme = default_scheme
+        self._tcp.idempotency = self.idempotency
         self._thread: threading.Thread | None = None
 
     @property

@@ -1,0 +1,80 @@
+"""Wire-format helpers shared by the serve client and repro.cluster.
+
+The line-JSON protocol describes a scoring scheme with plain request
+fields (``match`` / ``mismatch`` / ``gap`` / ``alphabet`` / ``matrix``
+/ ``gap_open`` / ``gap_extend``; see :mod:`repro.serve.server`).  The
+coordinator holds real scheme *objects*, so it needs the inverse of
+the server's ``_scheme_from``: a function mapping a scheme object to
+the request fields that make a remote server rebuild an equal scheme.
+
+Sequences travel as strings, so the helpers here also decode code
+arrays back to letters through the scheme's alphabet (5-bit protein
+codes) or the canonical 2-bit DNA order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["scheme_wire_fields", "codes_to_str"]
+
+#: Canonical 2-bit DNA code order (matches repro.core.encoding.encode).
+_DNA_LETTERS = "ACGT"
+
+
+def scheme_wire_fields(scheme) -> dict:
+    """Align-request scoring fields that describe ``scheme``.
+
+    Sending these fields with an ``align`` request makes the remote
+    server's scheme parser rebuild an object equal to ``scheme`` — the
+    round trip the cluster coordinator relies on for cache-key-stable
+    routing.  Protein schemes must use a *shipped* substitution matrix
+    (the wire carries the matrix by name, not by value).
+    """
+    from ..core.matrices import MATRICES
+    from ..core.protein import ProteinScheme
+    from ..swa.affine import AffineScheme
+    from ..swa.scoring import ScoringScheme
+
+    if isinstance(scheme, ProteinScheme):
+        name = scheme.matrix.name.lower()
+        if MATRICES.get(name) != scheme.matrix:
+            raise ValueError(
+                f"matrix {scheme.matrix.name!r} is not a shipped "
+                "matrix; the wire protocol carries matrices by name "
+                f"only (shipped: {sorted(MATRICES)})"
+            )
+        return {"alphabet": "protein", "matrix": name,
+                "gap_open": scheme.gap_open,
+                "gap_extend": scheme.gap_extend}
+    if isinstance(scheme, AffineScheme):
+        return {"match": scheme.match_score,
+                "mismatch": scheme.mismatch_penalty,
+                "gap_open": scheme.gap_open,
+                "gap_extend": scheme.gap_extend}
+    if isinstance(scheme, ScoringScheme):
+        return {"match": scheme.match_score,
+                "mismatch": scheme.mismatch_penalty,
+                "gap": scheme.gap_penalty}
+    raise TypeError(
+        f"cannot serialise scheme of type {type(scheme).__name__} "
+        "for the wire protocol"
+    )
+
+
+def codes_to_str(codes: np.ndarray, scheme=None) -> str:
+    """Decode a 1-D code array back to its letter string.
+
+    Schemes carrying an alphabet (protein) decode through it;
+    everything else is 2-bit DNA in canonical ACGT order.
+    """
+    arr = np.asarray(codes, dtype=np.uint8).reshape(-1)
+    alph = getattr(scheme, "alphabet", None)
+    letters = _DNA_LETTERS if alph is None else alph.letters
+    table = np.frombuffer(letters.encode("ascii"), dtype=np.uint8)
+    if arr.size and int(arr.max()) >= table.size:
+        raise ValueError(
+            f"code {int(arr.max())} out of range for a "
+            f"{table.size}-letter alphabet"
+        )
+    return table[arr].tobytes().decode("ascii")

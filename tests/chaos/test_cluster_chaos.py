@@ -1,0 +1,120 @@
+"""Cluster chaos: kill a real node mid-batch, recover bit-identically.
+
+The headline contract of ``repro.cluster``: with a 3-node subprocess
+harness and a seeded :class:`FaultPlan` SIGKILLing one node mid-batch
+(site ``cluster.node.drop`` drives the harness drop hook), the
+coordinator's scores are bit-identical to a fault-free *single-node*
+run — or, when nothing can score (every breaker open, no fallback), a
+typed :class:`ClusterDegradedError` naming the shed pairs.  A silent
+wrong score is the one forbidden outcome.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (ClusterCoordinator, ClusterDegradedError,
+                           LocalCluster, RemoteNode, TopologyError)
+from repro.core.encoding import decode
+from repro.resilience.faults import FaultPlan
+from repro.swa.scoring import DEFAULT_SCHEME
+from repro.workloads.dna import random_strand
+
+from .conftest import CHAOS_SEED
+
+
+def _pairs(rng, count=24):
+    return [(decode(random_strand(rng, int(m))),
+             decode(random_strand(rng, int(n))))
+            for m, n in rng.integers(8, 48, size=(count, 2))]
+
+
+def _single_node_reference(pairs):
+    """The fault-free single-node run the cluster must match."""
+    from repro.serve import AlignmentServer, AlignmentService
+    from repro.serve.client import ServeClient
+
+    service = AlignmentService(workers=1, max_wait_ms=1.0)
+    try:
+        service.start()
+        server = AlignmentServer(service, host="127.0.0.1", port=0)
+    except OSError as exc:  # pragma: no cover - sandboxed environments
+        service.stop()
+        pytest.skip(f"cannot bind localhost sockets here: {exc}")
+    with server:
+        host, port = server.address
+        with ServeClient(host, port) as client:
+            responses = client.align_many(pairs)
+    service.stop()
+    assert all(r["ok"] for r in responses)
+    return [int(r["score"]) for r in responses]
+
+
+def test_node_killed_mid_batch_recovers_bit_identically(rng):
+    pairs = _pairs(rng)
+    expected = _single_node_reference(pairs)
+    lc = LocalCluster(n=3, startup_timeout_s=120.0)
+    try:
+        lc.start()
+    except (TopologyError, OSError) as exc:
+        lc.stop()
+        pytest.skip(f"cannot spawn serve subprocesses here: {exc}")
+    try:
+        with lc.coordinator(deadline_s=60.0) as coord:
+            plan = FaultPlan.single("cluster.node.drop",
+                                    seed=CHAOS_SEED, times=1)
+            with plan:
+                got = coord.score_batch(pairs)
+            # The fault genuinely fired and genuinely killed a node.
+            assert plan.fire_counts()["cluster.node.drop"] == 1
+            dead = [s.name for s in lc.specs if not lc.alive(s.name)]
+            assert len(dead) == 1
+            # Bit-identical to the fault-free single-node run.
+            assert list(got) == expected
+            status = coord.status()["cluster"]
+            assert status["rerouted"] >= 1
+            assert status["routed"] + status["degraded"] == len(pairs)
+            # The survivors keep serving follow-up batches.
+            again = coord.score_batch(pairs)
+            assert list(again) == expected
+    finally:
+        lc.stop()
+
+
+def test_every_breaker_open_sheds_with_typed_error(rng):
+    """No reachable node and no fallback: the coordinator must *say*
+    which pairs it shed, not invent scores for them."""
+    pairs = _pairs(rng, count=6)
+    dead = [RemoteNode(f"n{i}", "127.0.0.1", 1, connect_timeout_s=0.2,
+                       failure_threshold=1) for i in range(3)]
+    for node in dead:
+        node.breaker.record_failure()   # all open before the batch
+        assert node.breaker.state == "open"
+    with ClusterCoordinator(dead, deadline_s=5.0,
+                            fallback=None) as coord:
+        with pytest.raises(ClusterDegradedError) as excinfo:
+            coord.score_batch(pairs)
+    assert excinfo.value.pair_indices == tuple(range(len(pairs)))
+    assert coord.status()["cluster"]["shed"] == len(pairs)
+
+
+def test_breaker_open_degrades_to_fallback_bit_identically(rng):
+    """Same dead cluster, but with the in-process fallback chain: the
+    degraded scores equal the healthy reference — degradation costs
+    capacity, never correctness."""
+    from repro.swa.numpy_batch import sw_batch_max_scores
+
+    pairs = _pairs(rng, count=6)
+    dead = [RemoteNode(f"n{i}", "127.0.0.1", 1, connect_timeout_s=0.2,
+                       failure_threshold=1) for i in range(3)]
+    with ClusterCoordinator(dead, deadline_s=10.0) as coord:
+        got = coord.score_batch(pairs)
+    from repro.serve.service import _as_codes
+
+    expected = [int(sw_batch_max_scores(
+        _as_codes(q)[None, :], _as_codes(s)[None, :],
+        DEFAULT_SCHEME)[0]) for q, s in pairs]
+    assert list(got) == expected
+    assert coord.status()["cluster"]["degraded"] == len(pairs)
+    assert isinstance(got, np.ndarray)

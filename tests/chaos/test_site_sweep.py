@@ -345,6 +345,90 @@ def _scenario_index_tier2_align(rng, seed):
                 search.search([query])
 
 
+# -- cluster.* ---------------------------------------------------------
+
+_CLUSTER_PAIRS = [("ACGTACGT", "ACGTTGCA"), ("GATTACA", "GATTACA"),
+                  ("AAAACCCC", "AAAATCCC"), ("ACACACAC", "CACACACA")]
+
+
+def _cluster_nodes(stack, n=3):
+    """n in-process serve nodes (threads, ephemeral ports) registered
+    for teardown on the ExitStack; skips where sockets are refused."""
+    from repro.cluster import RemoteNode
+
+    nodes = []
+    for i in range(n):
+        service, server = _served()
+        stack.enter_context(server)
+        stack.callback(service.stop)
+        host, port = server.address
+        nodes.append(RemoteNode(f"n{i}", host, port))
+    return nodes
+
+
+def _cluster_expected():
+    from repro.swa.sequential import sw_matrix
+
+    return [int(sw_matrix(q, s, DEFAULT_SCHEME).max())
+            for q, s in _CLUSTER_PAIRS]
+
+
+def _cluster_recovers(site, *, times=1):
+    """Fault the cluster path; scores must stay bit-identical to the
+    scalar reference.  Returns the coordinator for counter checks."""
+    from contextlib import ExitStack
+
+    from repro.cluster import ClusterCoordinator
+
+    expected = _cluster_expected()
+    with ExitStack() as stack:
+        nodes = _cluster_nodes(stack, 3)
+        coord = ClusterCoordinator(nodes, deadline_s=20.0)
+        with FaultPlan.single(site, times=times):
+            got = coord.score_batch(_CLUSTER_PAIRS)
+    assert list(got) == expected
+    return coord
+
+
+def _scenario_cluster_connect(rng, seed):
+    # A refused connect reroutes the whole group to a replica.
+    coord = _cluster_recovers("cluster.node.connect", times=1)
+    assert coord.status()["cluster"]["rerouted"] >= 1
+
+
+def _scenario_cluster_drop(rng, seed):
+    # The connection dies after requests were written; the retry
+    # reuses its request IDs, so work that landed is replayed (from
+    # the idempotency index) rather than scored twice.
+    coord = _cluster_recovers("cluster.node.drop", times=1)
+    assert coord.status()["cluster"]["rerouted"] >= 1
+
+
+def _scenario_cluster_probe_flap(rng, seed):
+    # A lying health probe may open a breaker — capacity shrinks, but
+    # the next batch still scores bit-identically on the other nodes.
+    from contextlib import ExitStack
+
+    from repro.cluster import ClusterCoordinator
+
+    expected = _cluster_expected()
+    with ExitStack() as stack:
+        nodes = _cluster_nodes(stack, 3)
+        coord = ClusterCoordinator(nodes, deadline_s=20.0)
+        with FaultPlan.single("cluster.probe.flap", times=1):
+            health = coord.probe_once()
+        assert sum(1 for ok in health.values() if not ok) == 1
+        got = coord.score_batch(_CLUSTER_PAIRS)
+    assert list(got) == expected
+
+
+def _scenario_cluster_route_mispick(rng, seed):
+    # Permanent mispick: every pair routes to a non-owner.  Only cache
+    # locality may suffer; the scores cannot.
+    coord = _cluster_recovers("cluster.route.mispick", times=None)
+    assert coord.status()["cluster"]["mispicks"] == len(_CLUSTER_PAIRS)
+
+
 # -- engine.*.fail -----------------------------------------------------
 
 def _engine_demotes(rng, name):
@@ -385,6 +469,10 @@ def _scenario_engine_numpy(rng, seed):
 
 
 SCENARIOS = {
+    "cluster.node.connect": _scenario_cluster_connect,
+    "cluster.node.drop": _scenario_cluster_drop,
+    "cluster.probe.flap": _scenario_cluster_probe_flap,
+    "cluster.route.mispick": _scenario_cluster_route_mispick,
     "engine.bpbc.fail": _scenario_engine_bpbc,
     "engine.compiled-c.fail": _scenario_engine_compiled_c,
     "engine.compiled-numpy.fail": _scenario_engine_compiled_numpy,

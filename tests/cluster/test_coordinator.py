@@ -1,0 +1,227 @@
+"""Coordinator behaviour over in-process serve nodes.
+
+These tests run real TCP round trips but keep the nodes in-process
+(threaded servers on ephemeral ports) — the subprocess harness has its
+own suite (``test_harness.py``) and the chaos battery
+(``tests/chaos/test_cluster_chaos.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (ClusterCoordinator, ClusterDegradedError,
+                           RemoteNode)
+from repro.resilience.faults import FaultPlan
+from repro.serve import AlignmentServer, AlignmentService
+from repro.serve.client import fresh_request_ids
+from repro.swa.scoring import DEFAULT_SCHEME, ScoringScheme
+from repro.swa.sequential import sw_matrix
+
+PAIRS = [("ACGTACGT", "ACGTTGCA"), ("GATTACA", "GATTACA"),
+         ("AAAACCCC", "AAAATCCC"), ("ACACACAC", "CACACACA"),
+         ("TTTTTTTT", "TTTTTTTT"), ("ACGT", "TGCA")]
+
+EXPECTED = [int(sw_matrix(q, s, DEFAULT_SCHEME).max())
+            for q, s in PAIRS]
+
+
+@pytest.fixture
+def trio():
+    """Three running in-process serve nodes + their service handles."""
+    services, servers, nodes = [], [], []
+    try:
+        for i in range(3):
+            service = AlignmentService(workers=1, max_wait_ms=1.0)
+            service.start()
+            services.append(service)
+            server = AlignmentServer(service, host="127.0.0.1", port=0)
+            server.__enter__()
+            servers.append(server)
+            host, port = server.address
+            nodes.append(RemoteNode(f"n{i}", host, port,
+                                    reset_after_s=0.2))
+    except OSError as exc:  # pragma: no cover - sandboxed environments
+        for server in servers:
+            server.__exit__(None, None, None)
+        for service in services:
+            service.stop()
+        pytest.skip(f"cannot bind localhost sockets here: {exc}")
+    yield nodes, services
+    for server in servers:
+        server.__exit__(None, None, None)
+    for service in services:
+        service.stop()
+
+
+def test_scores_match_reference(trio):
+    nodes, _ = trio
+    with ClusterCoordinator(nodes) as coord:
+        got = coord.score_batch(PAIRS)
+    assert list(got) == EXPECTED
+    assert got.dtype == np.int64
+    status = coord.status()["cluster"]
+    assert status["routed"] == len(PAIRS)
+    assert status["rerouted"] == status["degraded"] == 0
+
+
+def test_empty_batch(trio):
+    nodes, _ = trio
+    with ClusterCoordinator(nodes) as coord:
+        assert coord.score_batch([]).shape == (0,)
+
+
+def test_routing_is_cache_local(trio):
+    """A repeated pair lands on the same node, whose LRU answers it:
+    cluster-wide cache hits grow with replays."""
+    nodes, services = trio
+    with ClusterCoordinator(nodes, replication=1) as coord:
+        coord.score_batch(PAIRS)
+        hits_before = sum(s.cache.hits for s in services)
+        coord.score_batch(PAIRS)
+        hits_after = sum(s.cache.hits for s in services)
+    assert hits_after - hits_before == len(PAIRS)
+
+
+def test_owners_are_stable_and_replicated(trio):
+    nodes, _ = trio
+    with ClusterCoordinator(nodes, replication=2) as coord:
+        owners = coord.owners("ACGTACGT", "ACGTTGCA")
+        assert len(owners) == 2
+        assert owners == coord.owners("ACGTACGT", "ACGTTGCA")
+
+
+def test_dead_node_reroutes_bit_identically(trio):
+    nodes, _ = trio
+    # Point one node at a dead port: connects fail organically.
+    nodes[0] = RemoteNode(nodes[0].name, nodes[0].host, 1,
+                          connect_timeout_s=0.5)
+    with ClusterCoordinator(nodes, deadline_s=20.0) as coord:
+        got = coord.score_batch(PAIRS)
+    assert list(got) == EXPECTED
+    status = coord.status()["cluster"]
+    assert status["routed"] == len(PAIRS)
+    # Only pairs owned by the dead node rerouted; the breaker tripped
+    # after failure_threshold attempts at most.
+    assert status["rerouted"] >= 1
+
+
+def test_all_nodes_down_degrades_in_process(trio):
+    nodes, _ = trio
+    dead = [RemoteNode(n.name, n.host, 1, connect_timeout_s=0.2,
+                       failure_threshold=1) for n in nodes]
+    with ClusterCoordinator(dead, deadline_s=10.0) as coord:
+        got = coord.score_batch(PAIRS)
+    assert list(got) == EXPECTED
+    status = coord.status()["cluster"]
+    assert status["degraded"] == len(PAIRS)
+    assert status["shed"] == 0
+
+
+def test_shed_without_fallback_is_typed(trio):
+    nodes, _ = trio
+    dead = [RemoteNode(n.name, n.host, 1, connect_timeout_s=0.2,
+                       failure_threshold=1) for n in nodes]
+    with ClusterCoordinator(dead, deadline_s=10.0,
+                            fallback=None) as coord:
+        with pytest.raises(ClusterDegradedError) as excinfo:
+            coord.score_batch(PAIRS)
+    assert excinfo.value.pair_indices == tuple(range(len(PAIRS)))
+    assert coord.status()["cluster"]["shed"] == len(PAIRS)
+
+
+def test_request_ids_are_reused_across_reroutes(trio):
+    """Explicit request IDs thread through: replaying the same batch
+    with the same IDs is answered from the idempotency index."""
+    nodes, _ = trio
+    ids = fresh_request_ids(len(PAIRS))
+    with ClusterCoordinator(nodes) as coord:
+        first = coord.score_batch(PAIRS, request_ids=ids)
+        again = coord.score_batch(PAIRS, request_ids=ids)
+    assert list(first) == list(again) == EXPECTED
+    per_node = coord.status()["per_node"]
+    assert sum(n["duplicates"] for n in per_node) == len(PAIRS)
+
+
+def test_request_ids_length_mismatch():
+    node = RemoteNode("a", "127.0.0.1", 1)
+    coord = ClusterCoordinator([node])
+    with pytest.raises(ValueError, match="request_ids"):
+        coord.score_batch(PAIRS, request_ids=["only-one"])
+
+
+def test_mispick_costs_locality_not_correctness(trio):
+    nodes, _ = trio
+    with ClusterCoordinator(nodes) as coord:
+        with FaultPlan.single("cluster.route.mispick"):
+            got = coord.score_batch(PAIRS)
+    assert list(got) == EXPECTED
+    assert coord.status()["cluster"]["mispicks"] == len(PAIRS)
+
+
+def test_probes_reopen_a_recovered_node(trio):
+    nodes, _ = trio
+    victim = nodes[0]
+    for _ in range(3):
+        victim.breaker.record_failure()
+    assert victim.breaker.state == "open"
+    with ClusterCoordinator(nodes) as coord:
+        health = coord.probe_once()
+    assert all(health.values())
+    assert victim.breaker.state == "closed"
+
+
+def test_probe_loop_runs_and_stops(trio):
+    import time
+
+    nodes, _ = trio
+    coord = ClusterCoordinator(nodes)
+    coord.start_probes(interval_s=0.05)
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        if all(n.probes_ok > 0 for n in nodes):
+            break
+        time.sleep(0.02)
+    coord.close()
+    assert all(n.probes_ok > 0 for n in nodes)
+
+
+def test_non_default_scheme_travels_the_wire(trio):
+    nodes, _ = trio
+    scheme = ScoringScheme(match_score=3, mismatch_penalty=2,
+                           gap_penalty=2)
+    expected = [int(sw_matrix(q, s, scheme).max()) for q, s in PAIRS]
+    with ClusterCoordinator(nodes) as coord:
+        got = coord.score_batch(PAIRS, scheme)
+    assert list(got) == expected
+
+
+def test_protein_scheme_travels_the_wire(trio):
+    from repro.core.matrices import BLOSUM62
+    from repro.core.protein import (ProteinScheme,
+                                    subst_gotoh_batch_max_scores)
+
+    nodes, _ = trio
+    scheme = ProteinScheme(BLOSUM62, gap_open=11, gap_extend=1)
+    pairs = [("MKVLAT", "MKVLAT"), ("HEAGAWGHEE", "PAWHEAE")]
+    expected = []
+    for q, s in pairs:
+        x = scheme.alphabet.encode(q)[None, :]
+        y = scheme.alphabet.encode(s)[None, :]
+        expected.append(int(subst_gotoh_batch_max_scores(x, y,
+                                                         scheme)[0]))
+    with ClusterCoordinator(nodes) as coord:
+        got = coord.score_batch(pairs, scheme)
+    assert list(got) == expected
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError, match="at least one node"):
+        ClusterCoordinator([])
+    with pytest.raises(ValueError, match="replication"):
+        ClusterCoordinator([RemoteNode("a", "127.0.0.1", 1)],
+                           replication=0)
+    with pytest.raises(ValueError, match="duplicate"):
+        ClusterCoordinator([RemoteNode("a", "127.0.0.1", 1),
+                            RemoteNode("a", "127.0.0.1", 2)])

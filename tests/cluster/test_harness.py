@@ -1,0 +1,64 @@
+"""LocalCluster: real serve subprocesses on ephemeral ports.
+
+One 2-node cluster is shared module-wide — subprocess startup is the
+expensive part, and these tests only need *a* live cluster, not a
+fresh one each.  Node-death chaos (which consumes nodes) lives in
+``tests/chaos/test_cluster_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import LocalCluster, NodeSpec, TopologyError
+from repro.swa.scoring import DEFAULT_SCHEME
+from repro.swa.sequential import sw_matrix
+
+PAIRS = [("ACGTACGT", "ACGTTGCA"), ("GATTACA", "GATTACA")]
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    lc = LocalCluster(n=2, startup_timeout_s=120.0)
+    try:
+        lc.start()
+    except (TopologyError, OSError) as exc:
+        lc.stop()
+        pytest.skip(f"cannot spawn serve subprocesses here: {exc}")
+    yield lc
+    lc.stop()
+
+
+def test_nodes_announce_ephemeral_ports(cluster):
+    for spec in cluster.specs:
+        host, port = cluster.address(spec.name)
+        assert host == "127.0.0.1"
+        assert port > 0
+        assert cluster.alive(spec.name)
+
+
+def test_coordinator_scores_through_real_processes(cluster):
+    expected = [int(sw_matrix(q, s, DEFAULT_SCHEME).max())
+                for q, s in PAIRS]
+    with cluster.coordinator(deadline_s=30.0) as coord:
+        got = coord.score_batch(PAIRS)
+    assert list(got) == expected
+    per_node = coord.status()["per_node"]
+    assert {n["name"] for n in per_node} == {"node0", "node1"}
+
+
+def test_drop_hooks_kill_the_real_process(cluster):
+    nodes = cluster.nodes()
+    assert all(n.drop_hook is not None for n in nodes)
+
+
+def test_specs_validate():
+    with pytest.raises(TopologyError, match="at least one"):
+        LocalCluster(specs=[])
+    with pytest.raises(TopologyError, match="non-empty"):
+        NodeSpec(name="")
+
+
+def test_kill_is_idempotent(cluster):
+    # Killing an unknown name is a no-op, not an error.
+    cluster.kill("never-existed")

@@ -1,0 +1,95 @@
+"""HashRing and route_digest: the routing layer's determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.hashring import HashRing, route_digest
+from repro.core.matrices import BLOSUM62
+from repro.core.protein import ProteinScheme
+from repro.serve.wire import scheme_wire_fields
+from repro.swa.scoring import DEFAULT_SCHEME
+
+FIELDS = scheme_wire_fields(DEFAULT_SCHEME)
+
+
+def test_ring_is_deterministic_across_instances():
+    a = HashRing(["x", "y", "z"])
+    b = HashRing(["z", "x", "y"])  # insertion order must not matter
+    for key in range(200):
+        digest = route_digest(f"Q{key}", "ACGT", FIELDS)
+        assert a.nodes_for(digest, 2) == b.nodes_for(digest, 2)
+
+
+def test_every_node_owns_a_share():
+    ring = HashRing(["a", "b", "c"])
+    owners = {ring.nodes_for(route_digest(f"Q{i}", "ACGT", FIELDS))[0]
+              for i in range(500)}
+    assert owners == {"a", "b", "c"}
+
+
+def test_remove_remaps_only_the_dead_nodes_keys():
+    ring = HashRing(["a", "b", "c", "d"])
+    digests = [route_digest(f"Q{i}", "ACGT", FIELDS)
+               for i in range(500)]
+    before = [ring.nodes_for(d)[0] for d in digests]
+    ring.remove("c")
+    after = [ring.nodes_for(d)[0] for d in digests]
+    moved = sum(1 for x, y in zip(before, after) if x != y)
+    lost = sum(1 for x in before if x == "c")
+    # Consistent hashing: exactly the dead node's keys remap.
+    assert moved == lost
+    assert "c" not in after
+
+
+def test_nodes_for_returns_distinct_owners_owner_first():
+    ring = HashRing(["a", "b", "c"])
+    digest = route_digest("ACGTACGT", "TTTT", FIELDS)
+    two = ring.nodes_for(digest, 2)
+    three = ring.nodes_for(digest, 3)
+    assert len(set(two)) == 2
+    assert three[:2] == two          # replicas extend, never reorder
+    assert sorted(three) == ["a", "b", "c"]
+    # Asking past the ring size returns every node once.
+    assert ring.nodes_for(digest, 99) == three
+
+
+def test_preference_covers_all_nodes():
+    ring = HashRing(["a", "b", "c"])
+    digest = route_digest("AC", "GT", FIELDS)
+    assert sorted(ring.preference(digest)) == ["a", "b", "c"]
+
+
+def test_add_remove_idempotent():
+    ring = HashRing(["a"])
+    ring.add("a")
+    assert len(ring) == 1
+    ring.remove("missing")
+    assert ring.nodes == ("a",)
+
+
+def test_empty_ring_routes_nowhere():
+    assert HashRing().nodes_for(123, 2) == []
+
+
+def test_vnodes_must_be_positive():
+    with pytest.raises(ValueError, match="vnodes"):
+        HashRing(vnodes=0)
+
+
+def test_digest_separates_pair_boundaries():
+    # ("AT","G") vs ("A","TG"): same concatenation, different keys.
+    assert route_digest("AT", "G", FIELDS) != \
+        route_digest("A", "TG", FIELDS)
+
+
+def test_digest_depends_on_scheme():
+    protein = scheme_wire_fields(
+        ProteinScheme(BLOSUM62, gap_open=11, gap_extend=1))
+    assert route_digest("ACGT", "ACGT", FIELDS) != \
+        route_digest("ACGT", "ACGT", protein)
+
+
+def test_digest_same_for_equal_inputs():
+    assert route_digest("ACGT", "TTAA", FIELDS) == \
+        route_digest("ACGT", "TTAA", dict(FIELDS))

@@ -1,0 +1,69 @@
+"""Topology parsing: TOML and JSON describe the same nodes table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import NodeSpec, TopologyError, load_topology
+
+TOML = """
+[[nodes]]
+name = "a"
+port = 7001
+
+[[nodes]]
+name = "b"
+host = "10.0.0.2"
+port = 7002
+engine = "numpy"
+workers = 4
+"""
+
+JSON = """
+{"nodes": [
+  {"name": "a", "port": 7001},
+  {"name": "b", "host": "10.0.0.2", "port": 7002,
+   "engine": "numpy", "workers": 4}
+]}
+"""
+
+
+def test_toml_and_json_parse_identically(tmp_path):
+    toml_path = tmp_path / "topo.toml"
+    toml_path.write_text(TOML)
+    json_path = tmp_path / "topo.json"
+    json_path.write_text(JSON)
+    assert load_topology(toml_path) == load_topology(json_path)
+
+
+def test_defaults_fill_in(tmp_path):
+    path = tmp_path / "t.json"
+    path.write_text('{"nodes": [{"name": "solo"}]}')
+    (spec,) = load_topology(path)
+    assert spec == NodeSpec(name="solo")
+    assert (spec.host, spec.port, spec.engine) == \
+        ("127.0.0.1", 0, "bpbc")
+
+
+@pytest.mark.parametrize("text,match", [
+    ("[]", "object with a 'nodes' list"),
+    ('{"nodes": []}', "non-empty"),
+    ('{"nodes": ["a"]}', "must be objects"),
+    ('{"nodes": [{"name": "a", "color": "red"}]}', "unknown topology"),
+    ('{"nodes": [{"name": "a"}, {"name": "a"}]}', "duplicate"),
+    ('{"nodes": [{"name": ""}]}', "non-empty"),
+    ('{"nodes": [{"name": "a", "port": -1}]}', "port"),
+    ('not json', "invalid JSON"),
+])
+def test_bad_topologies_raise_typed(tmp_path, text, match):
+    path = tmp_path / "bad.json"
+    path.write_text(text)
+    with pytest.raises(TopologyError, match=match):
+        load_topology(path)
+
+
+def test_bad_toml_raises_typed(tmp_path):
+    path = tmp_path / "bad.toml"
+    path.write_text("nodes = [[[")
+    with pytest.raises(TopologyError, match="invalid TOML"):
+        load_topology(path)

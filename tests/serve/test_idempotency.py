@@ -1,0 +1,126 @@
+"""Idempotent request IDs: client retries can never double-score.
+
+A client that loses a connection mid-response cannot know whether the
+server executed its in-flight requests, so a blind resend risks
+scoring (and billing, and counting) the same work twice.  The ``req``
+wire field plus the server-level :class:`IdempotencyIndex` close that
+hole: a retried request that already landed is *replayed* from the
+index (flagged ``duplicate: true``), and only successful responses
+are remembered — failures are forgotten so retries re-execute.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.faults import FaultPlan
+from repro.serve import AlignmentServer, AlignmentService
+from repro.serve.client import ServeClient, fresh_request_ids
+from repro.serve.errors import ServeProtocolError
+from repro.serve.server import IdempotencyIndex
+
+PAIRS = [("ACGTACGT", "ACGTTGCA"), ("GATTACA", "GATTACA"),
+         ("AAAACCCC", "AAAATCCC")]
+
+
+@pytest.fixture
+def served():
+    service = AlignmentService(workers=1, max_wait_ms=1.0)
+    try:
+        service.start()
+        server = AlignmentServer(service, host="127.0.0.1", port=0)
+    except OSError as exc:  # pragma: no cover - sandboxed environments
+        service.stop()
+        pytest.skip(f"cannot bind localhost sockets here: {exc}")
+    with server:
+        host, port = server.address
+        yield host, port, server
+    service.stop()
+
+
+def test_fresh_request_ids_are_unique():
+    ids = fresh_request_ids(100)
+    assert len(set(ids)) == 100
+    assert all(isinstance(i, str) and i for i in ids)
+
+
+def test_resend_on_new_connection_replays(served):
+    """The retry-after-truncation shape: same IDs, fresh socket."""
+    host, port, server = served
+    ids = fresh_request_ids(len(PAIRS))
+    with ServeClient(host, port) as client:
+        first = client.align_many(PAIRS, request_ids=ids)
+    with ServeClient(host, port) as client:
+        second = client.align_many(PAIRS, request_ids=ids)
+    assert [r["score"] for r in first] == [r["score"] for r in second]
+    assert not any(r.get("duplicate") for r in first)
+    assert all(r["duplicate"] for r in second)
+    assert server.idempotency.duplicates == len(PAIRS)
+
+
+def test_fresh_ids_execute_fresh(served):
+    host, port, server = served
+    with ServeClient(host, port) as client:
+        a = client.align_many(PAIRS)
+        b = client.align_many(PAIRS)
+    assert not any(r.get("duplicate") for r in a + b)
+    assert server.idempotency.duplicates == 0
+
+
+def test_truncated_frame_retry_is_safe_end_to_end(served):
+    """Inject the actual failure the index exists for: the server
+    truncates a response frame mid-line, the client reconnects and
+    resends the same IDs, and the batch completes with every executed
+    request deduplicated."""
+    host, port, server = served
+    ids = fresh_request_ids(len(PAIRS))
+    with FaultPlan.single("serve.sock.truncate", times=1):
+        with ServeClient(host, port) as client:
+            with pytest.raises(ServeProtocolError):
+                client.align_many(PAIRS, request_ids=ids)
+        with ServeClient(host, port) as client:
+            retried = client.align_many(PAIRS, request_ids=ids)
+    assert all(r["ok"] for r in retried)
+    # Every request the server completed before/despite the cut frame
+    # was answered from the index on the retry.
+    assert sum(1 for r in retried if r.get("duplicate")) == \
+        server.idempotency.duplicates
+    assert server.idempotency.duplicates >= 1
+
+
+def test_mismatched_request_id_count_raises(served):
+    host, port, _ = served
+    with ServeClient(host, port) as client:
+        with pytest.raises(ValueError, match="request_ids"):
+            client.align_many(PAIRS, request_ids=["a", "b"])
+
+
+class TestIdempotencyIndex:
+    def test_done_then_lookup(self):
+        idx = IdempotencyIndex(capacity=4)
+        assert idx.lookup("r1") is None
+        idx.complete("r1", {"ok": True, "score": 7})
+        kind, payload = idx.lookup("r1")
+        assert kind == "done"
+        assert payload["score"] == 7
+        assert idx.duplicates == 1
+
+    def test_forget_makes_retries_re_execute(self):
+        idx = IdempotencyIndex(capacity=4)
+        idx.complete("r1", {"ok": True, "score": 7})
+        idx.forget("r1")
+        assert idx.lookup("r1") is None
+
+    def test_eviction_loses_dedup_never_correctness(self):
+        idx = IdempotencyIndex(capacity=2)
+        for i in range(5):
+            idx.complete(f"r{i}", {"ok": True, "score": i})
+        # Oldest entries evicted: a retry re-executes (correct, just
+        # not deduplicated); newest still replay.
+        assert idx.lookup("r0") is None
+        assert idx.lookup("r4")[1]["score"] == 4
+
+    def test_zero_capacity_disables(self):
+        idx = IdempotencyIndex(capacity=0)
+        idx.complete("r1", {"ok": True, "score": 7})
+        assert idx.lookup("r1") is None

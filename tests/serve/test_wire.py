@@ -1,0 +1,58 @@
+"""Wire-format helpers: scheme objects round-trip as request fields."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.matrices import BLOSUM62, SubstitutionMatrix
+from repro.core.protein import ProteinScheme
+from repro.serve.server import _scheme_from
+from repro.serve.wire import codes_to_str, scheme_wire_fields
+from repro.swa.affine import AffineScheme
+from repro.swa.scoring import ScoringScheme
+
+
+@pytest.mark.parametrize("scheme", [
+    ScoringScheme(match_score=2, mismatch_penalty=1, gap_penalty=1),
+    ScoringScheme(match_score=3, mismatch_penalty=2, gap_penalty=2),
+    AffineScheme(match_score=2, mismatch_penalty=1, gap_open=5,
+                 gap_extend=1),
+    ProteinScheme(BLOSUM62, gap_open=11, gap_extend=1),
+])
+def test_fields_round_trip_through_server_parser(scheme):
+    """The coordinator's serialisation must rebuild an equal scheme on
+    the server side — that is what keeps routing cache-key-stable."""
+    fields = scheme_wire_fields(scheme)
+    assert _scheme_from(dict(fields), None) == scheme
+
+
+def test_unshipped_matrix_is_rejected():
+    bespoke = SubstitutionMatrix(
+        name="bespoke", residues=BLOSUM62.residues,
+        values=BLOSUM62.values)
+    scheme = ProteinScheme(bespoke, gap_open=11, gap_extend=1)
+    with pytest.raises(ValueError, match="shipped"):
+        scheme_wire_fields(scheme)
+
+
+def test_unknown_scheme_type_is_typed():
+    with pytest.raises(TypeError, match="serialise"):
+        scheme_wire_fields(object())
+
+
+def test_codes_to_str_dna():
+    codes = np.array([0, 1, 2, 3, 0], dtype=np.uint8)
+    assert codes_to_str(codes) == "ACGTA"
+
+
+def test_codes_to_str_protein():
+    scheme = ProteinScheme(BLOSUM62, gap_open=11, gap_extend=1)
+    text = "MKVLAT"
+    codes = scheme.alphabet.encode(text)
+    assert codes_to_str(codes, scheme) == text
+
+
+def test_codes_to_str_out_of_range():
+    with pytest.raises(ValueError, match="out of range"):
+        codes_to_str(np.array([7], dtype=np.uint8))
